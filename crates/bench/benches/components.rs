@@ -1,0 +1,175 @@
+//! Component throughput benches: how fast the simulator's structural
+//! models run, per operation. These guard the simulator's own performance
+//! (the experiments need hundreds of millions of modeled cycles).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use jsmt_core::{System, SystemConfig};
+use jsmt_cpu::synth::SyntheticStream;
+use jsmt_cpu::{CoreConfig, SmtCore};
+use jsmt_isa::Asid;
+use jsmt_mem::{
+    Btb, BtbConfig, CacheConfig, DirectionPredictor, MemConfig, PredictorConfig, SetAssocCache,
+    Tlb, TlbConfig, TraceCache, TraceCacheConfig,
+};
+use jsmt_os::{KernelCodegen, KernelService};
+use jsmt_perfmon::LogicalCpu;
+use jsmt_workloads::{build, jvm_config_for, BenchmarkId, WorkloadSpec};
+
+fn bench_caches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem");
+    g.throughput(Throughput::Elements(1));
+
+    let mut l1 = SetAssocCache::new(CacheConfig::p4_l1d());
+    let mut addr = 0u64;
+    g.bench_function("l1d_access", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_add(0x239) & 0xF_FFFF;
+            l1.access(0x2000_0000 + addr, Asid(1), LogicalCpu::Lp0)
+        })
+    });
+
+    let mut l2 = SetAssocCache::new(CacheConfig::p4_l2());
+    g.bench_function("l2_access_phys_indexed", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_add(0x1239) & 0xFF_FFFF;
+            l2.access(0x2000_0000 + addr, Asid(1), LogicalCpu::Lp0)
+        })
+    });
+
+    let mut tc = TraceCache::new(TraceCacheConfig::p4(true));
+    g.bench_function("trace_cache_fetch", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_add(16) & 0xF_FFFF;
+            tc.fetch(0x0800_0000 + addr, Asid(1), LogicalCpu::Lp0)
+        })
+    });
+
+    let mut itlb = Tlb::new(TlbConfig::p4_itlb(true));
+    g.bench_function("itlb_access", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_add(4096) & 0xFF_FFFF;
+            itlb.access(0x0800_0000 + addr, Asid(1), LogicalCpu::Lp0)
+        })
+    });
+
+    let mut btb = Btb::new(BtbConfig::p4(true));
+    g.bench_function("btb_lookup", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_add(4) & 0xFFFF;
+            btb.lookup(0x0800_0000 + addr, Asid(1), LogicalCpu::Lp0)
+        })
+    });
+
+    let mut pred = DirectionPredictor::new(PredictorConfig::p4());
+    let mut i = 0u64;
+    g.bench_function("predictor_predict_update", |b| {
+        b.iter(|| {
+            i += 1;
+            pred.predict_and_update(
+                0x0800_0000 + (i % 512) * 4,
+                LogicalCpu::Lp0,
+                jsmt_isa::BranchKind::Conditional,
+                !i.is_multiple_of(3),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_core(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu");
+    g.throughput(Throughput::Elements(1));
+    let mut core = SmtCore::new(CoreConfig::p4(true), MemConfig::p4(true));
+    let mut s0 = SyntheticStream::builder(1).build();
+    let mut s1 = SyntheticStream::builder(2).build();
+    core.bind(LogicalCpu::Lp0, Asid(1));
+    core.bind(LogicalCpu::Lp1, Asid(1));
+    g.bench_function("smt_core_cycle_dual_thread", |b| {
+        b.iter(|| {
+            core.cycle(&mut |l, buf, max| match l {
+                LogicalCpu::Lp0 => s0.fill(buf, max),
+                LogicalCpu::Lp1 => s1.fill(buf, max),
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_kernel_codegen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("os");
+    let mut kcg = KernelCodegen::new(7);
+    let mut out = Vec::with_capacity(2048);
+    g.throughput(Throughput::Elements(900));
+    g.bench_function("kernel_ctx_switch_emit", |b| {
+        b.iter(|| {
+            out.clear();
+            kcg.emit(KernelService::ContextSwitch, 900, &mut out);
+            out.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_workload_emission(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads");
+    for id in [BenchmarkId::Compress, BenchmarkId::MolDyn, BenchmarkId::PseudoJbb] {
+        // Single-threaded so stepping thread 0 alone never parks on a
+        // barrier (this bench measures emission cost, not scheduling).
+        let spec = WorkloadSpec { id, threads: 1, scale: 1.0 };
+        let mut jvm = jsmt_jvm::JvmProcess::new(1, jvm_config_for(id));
+        let mut k = build(spec);
+        k.setup(&mut jvm);
+        let mut out = Vec::with_capacity(4096);
+        g.bench_function(format!("step_{id}"), |b| {
+            b.iter(|| {
+                out.clear();
+                let outcome = {
+                    let mut ctx = jsmt_jvm::EmitCtx::new(&mut jvm, &mut out);
+                    k.step(0, &mut ctx).outcome
+                };
+                match outcome {
+                    // Keep the kernel busy for the whole measurement:
+                    // collect on GC pressure, relaunch on completion,
+                    // single-step any blocked thread back to life.
+                    jsmt_workloads::StepOutcome::NeedsGc => {
+                        jvm.collect();
+                    }
+                    jsmt_workloads::StepOutcome::Finished => {
+                        jvm = jsmt_jvm::JvmProcess::new(1, jvm_config_for(id));
+                        k = build(spec);
+                        k.setup(&mut jvm);
+                    }
+                    _ => {}
+                }
+                out.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system");
+    g.throughput(Throughput::Elements(10_000));
+    let mut sys = System::new(SystemConfig::p4(true));
+    sys.add_relaunching_process(WorkloadSpec::single(BenchmarkId::Compress).with_scale(0.05));
+    g.bench_function("system_10k_cycles", |b| {
+        b.iter(|| {
+            for _ in 0..10_000 {
+                sys.step_cycle();
+            }
+            sys.cycles()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_caches,
+    bench_core,
+    bench_kernel_codegen,
+    bench_workload_emission,
+    bench_system
+);
+criterion_main!(benches);

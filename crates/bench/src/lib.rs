@@ -1,0 +1,286 @@
+//! # jsmt-bench
+//!
+//! The reproduction harness: the `repro` binary regenerates every table
+//! and figure of the paper's evaluation, and the Criterion benches under
+//! `benches/` measure the simulator's own component throughput plus each
+//! experiment's cost.
+//!
+//! ```text
+//! repro [--quick|--full] [--scale X] [--repeats N] <experiment>
+//! experiments: table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+//!              fig10 fig11 fig12 pairing-analysis ablation-partition
+//!              ablation-l1 all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use jsmt_core::experiments::{self as exp, ExperimentCtx, MpkiKind};
+
+/// All experiment names, in paper order. `pairing-suite` renders
+/// Figures 8, 9 and the offline analysis from a single grid pass.
+pub const EXPERIMENTS: [&str; 20] = [
+    "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "pairing-analysis", "pairing-suite", "pairing-prediction",
+    "ablation-partition", "ablation-l1", "ablation-prefetch", "ablation-jit",
+];
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// Experiment name (one of [`EXPERIMENTS`] or `all`).
+    pub experiment: String,
+    /// Experiment parameters.
+    pub ctx: ExperimentCtx,
+    /// Emit machine-readable CSV instead of the paper-style rendering.
+    pub csv: bool,
+}
+
+/// Parse arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a usage string on unknown flags or experiments.
+pub fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut ctx = ExperimentCtx::default();
+    let mut experiment: Option<String> = None;
+    let mut csv = false;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => ctx = ExperimentCtx::quick(),
+            "--full" => ctx = ExperimentCtx::full(),
+            "--csv" => csv = true,
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                ctx.scale = v.parse::<f64>().map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--repeats" => {
+                let v = it.next().ok_or("--repeats needs a value")?;
+                ctx.repeats = v.parse::<u64>().map_err(|e| format!("bad --repeats: {e}"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                ctx.seed = v.parse::<u64>().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            name if !name.starts_with('-') => {
+                if experiment.is_some() {
+                    return Err(format!("unexpected extra argument: {name}"));
+                }
+                experiment = Some(name.to_string());
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    let experiment = experiment.ok_or_else(usage)?;
+    if experiment != "all" && !EXPERIMENTS.contains(&experiment.as_str()) {
+        return Err(format!("unknown experiment '{experiment}'\n{}", usage()));
+    }
+    Ok(Cli { experiment, ctx, csv })
+}
+
+/// The usage string.
+pub fn usage() -> String {
+    format!(
+        "usage: repro [--quick|--full] [--csv] [--scale X] [--repeats N] [--seed S] <experiment>\n\
+         experiments: {} all",
+        EXPERIMENTS.join(" ")
+    )
+}
+
+/// Run one experiment and return its rendered output.
+pub fn run_experiment(name: &str, ctx: &ExperimentCtx) -> String {
+    run_experiment_fmt(name, ctx, false)
+}
+
+/// Run one experiment, rendering either the paper-style artifact or CSV.
+pub fn run_experiment_fmt(name: &str, ctx: &ExperimentCtx, csv: bool) -> String {
+    match name {
+        "table2" => {
+            let pts = exp::characterize_mt(&[2, 8], &[true], ctx);
+            if csv {
+                exp::csv_mt(&pts)
+            } else {
+                exp::render_table2(&pts)
+            }
+        }
+        "fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" => {
+            let pts = exp::characterize_mt(&[2], &[false, true], ctx);
+            if csv {
+                exp::csv_mt(&pts)
+            } else {
+                render_mt_figure(name, &pts)
+            }
+        }
+        "fig8" | "fig9" | "pairing-analysis" | "pairing-suite" | "pairing-prediction" => {
+            let grid = exp::pair_matrix(ctx);
+            if csv {
+                return exp::csv_grid(&grid);
+            }
+            match name {
+                "fig8" => exp::render_fig8(&grid),
+                "fig9" => exp::render_fig9(&grid),
+                "pairing-analysis" => exp::render_pairing_analysis(&grid),
+                "pairing-prediction" => exp::render_pairing_prediction(&grid, ctx),
+                _ => format!(
+                    "{}\n{}\n{}\n{}",
+                    exp::render_fig8(&grid),
+                    exp::render_fig9(&grid),
+                    exp::render_pairing_analysis(&grid),
+                    exp::render_pairing_prediction(&grid, ctx)
+                ),
+            }
+        }
+        "fig10" => {
+            let pts = exp::fig10_single_thread_impact(ctx);
+            if csv {
+                exp::csv_single(&pts)
+            } else {
+                exp::render_fig10(&pts)
+            }
+        }
+        "fig11" => {
+            let pts = exp::fig11_self_pairs(ctx);
+            if csv {
+                let mut c = jsmt_report::Csv::new(vec!["benchmark".into(), "combined".into()]);
+                for (id, v) in &pts {
+                    c.row(vec![id.name().into(), format!("{v:.4}")]);
+                }
+                c.render()
+            } else {
+                exp::render_fig11(&pts)
+            }
+        }
+        "fig12" => {
+            let pts = exp::fig12_ipc_vs_threads(&[1, 2, 4, 8, 16], ctx);
+            if csv {
+                exp::csv_threads(&pts)
+            } else {
+                exp::render_fig12(&pts)
+            }
+        }
+        "ablation-partition" => {
+            let pts = exp::ablation_partition(ctx);
+            if csv {
+                exp::csv_partition(&pts)
+            } else {
+                exp::render_ablation_partition(&pts)
+            }
+        }
+        "ablation-l1" => {
+            let pts = exp::ablation_l1(&[8, 16, 32, 64], ctx);
+            if csv {
+                exp::csv_l1(&pts)
+            } else {
+                exp::render_ablation_l1(&pts)
+            }
+        }
+        "ablation-prefetch" => {
+            let pts = exp::ablation_prefetch(ctx);
+            if csv {
+                exp::csv_prefetch(&pts)
+            } else {
+                exp::render_ablation_prefetch(&pts)
+            }
+        }
+        "ablation-jit" => {
+            let pts = exp::ablation_jit(ctx);
+            if csv {
+                exp::csv_jit(&pts)
+            } else {
+                exp::render_ablation_jit(&pts)
+            }
+        }
+        other => panic!("unknown experiment {other} (validated at parse time)"),
+    }
+}
+
+/// Render one of the shared-data multithreaded figures from
+/// already-measured points (used by `all` to avoid re-running).
+pub fn render_mt_figure(name: &str, pts: &[exp::MtPoint]) -> String {
+    match name {
+        "fig1" => exp::render_fig1(pts),
+        "fig2" => exp::render_fig2(pts),
+        "fig3" => exp::render_fig_mpki(pts, MpkiKind::TraceCache),
+        "fig4" => exp::render_fig_mpki(pts, MpkiKind::L1d),
+        "fig5" => exp::render_fig_mpki(pts, MpkiKind::L2),
+        "fig6" => exp::render_fig_mpki(pts, MpkiKind::Itlb),
+        "fig7" => exp::render_fig_mpki(pts, MpkiKind::BtbRatio),
+        other => panic!("not a shared multithreaded figure: {other}"),
+    }
+}
+
+/// Run every experiment, sharing measurement passes where the paper's
+/// figures share data.
+pub fn run_all(ctx: &ExperimentCtx) -> String {
+    let mut out = String::new();
+    let mut emit = |s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+
+    // Table 2 (2 and 8 threads, HT on).
+    emit(run_experiment("table2", ctx));
+    // Figures 1-7 share one characterization pass.
+    let pts = exp::characterize_mt(&[2], &[false, true], ctx);
+    for fig in ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"] {
+        emit(render_mt_figure(fig, &pts));
+    }
+    // Figures 8-9 + offline analysis share the pairing grid.
+    let grid = exp::pair_matrix(ctx);
+    emit(exp::render_fig8(&grid));
+    emit(exp::render_fig9(&grid));
+    emit(exp::render_pairing_analysis(&grid));
+    emit(exp::render_pairing_prediction(&grid, ctx));
+    // The rest.
+    emit(run_experiment("fig10", ctx));
+    emit(run_experiment("fig11", ctx));
+    emit(run_experiment("fig12", ctx));
+    emit(run_experiment("ablation-partition", ctx));
+    emit(run_experiment("ablation-l1", ctx));
+    emit(run_experiment("ablation-prefetch", ctx));
+    emit(run_experiment("ablation-jit", ctx));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_experiment_and_flags() {
+        let cli = parse_args(&s(&["--quick", "fig3"])).unwrap();
+        assert_eq!(cli.experiment, "fig3");
+        assert_eq!(cli.ctx, ExperimentCtx::quick());
+
+        let cli = parse_args(&s(&["--scale", "0.7", "--repeats", "9", "table2"])).unwrap();
+        assert_eq!(cli.ctx.scale, 0.7);
+        assert_eq!(cli.ctx.repeats, 9);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&s(&["fig99"])).is_err());
+        assert!(parse_args(&s(&["--scale"])).is_err());
+        assert!(parse_args(&s(&[])).is_err());
+        assert!(parse_args(&s(&["--bogus", "fig1"])).is_err());
+        assert!(parse_args(&s(&["fig1", "fig2"])).is_err());
+    }
+
+    #[test]
+    fn all_is_accepted() {
+        let cli = parse_args(&s(&["all"])).unwrap();
+        assert_eq!(cli.experiment, "all");
+    }
+
+    #[test]
+    fn every_experiment_name_is_routable() {
+        for e in EXPERIMENTS {
+            assert!(parse_args(&s(&[e])).is_ok(), "{e}");
+        }
+    }
+}

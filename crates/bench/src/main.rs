@@ -1,0 +1,26 @@
+//! The `repro` binary: regenerate any table or figure of the paper.
+
+use jsmt_bench::{parse_args, run_all, run_experiment_fmt, usage};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(cli) => {
+            eprintln!(
+                "# jsmt repro: experiment={} scale={} repeats={} seed={:#x}",
+                cli.experiment, cli.ctx.scale, cli.ctx.repeats, cli.ctx.seed
+            );
+            let out = if cli.experiment == "all" {
+                run_all(&cli.ctx)
+            } else {
+                run_experiment_fmt(&cli.experiment, &cli.ctx, cli.csv)
+            };
+            println!("{out}");
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Whole-system configuration.
+
+use jsmt_cpu::{CoreConfig, Partition};
+use jsmt_mem::MemConfig;
+use jsmt_os::OsConfig;
+
+/// Configuration of the modeled machine + OS + measurement run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Pipeline configuration (includes the Hyper-Threading switch).
+    pub core: CoreConfig,
+    /// Memory-system configuration.
+    pub mem: MemConfig,
+    /// OS model configuration.
+    pub os: OsConfig,
+    /// Master seed: every run is a pure function of (config, workloads).
+    pub seed: u64,
+    /// Safety cap on simulated cycles (a run that exceeds it panics,
+    /// catching deadlocks in development).
+    pub max_cycles: u64,
+}
+
+impl SystemConfig {
+    /// The paper's machine: 2.8 GHz Pentium 4 with Hyper-Threading
+    /// enabled or disabled in the BIOS.
+    pub fn p4(ht_enabled: bool) -> Self {
+        SystemConfig {
+            core: CoreConfig::p4(ht_enabled),
+            mem: MemConfig::p4(ht_enabled),
+            os: OsConfig::default(),
+            seed: 0x15_9A55,
+            max_cycles: 40_000_000_000,
+        }
+    }
+
+    /// Whether Hyper-Threading is on.
+    pub fn ht_enabled(&self) -> bool {
+        self.core.ht_enabled
+    }
+
+    /// Builder-style: set the partition policy (the §4.3 ablation).
+    pub fn with_partition(mut self, p: Partition) -> Self {
+        self.core.partition = p;
+        self
+    }
+
+    /// Builder-style: replace the memory configuration (L1 ablation).
+    pub fn with_mem(mut self, mem: MemConfig) -> Self {
+        self.mem = mem;
+        self
+    }
+
+    /// Builder-style: set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: set the cycle cap.
+    pub fn with_max_cycles(mut self, cap: u64) -> Self {
+        self.max_cycles = cap;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ht_flag_is_consistent() {
+        assert!(SystemConfig::p4(true).ht_enabled());
+        assert!(!SystemConfig::p4(false).ht_enabled());
+        let c = SystemConfig::p4(false);
+        assert!(!c.mem.itlb.partitioned);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SystemConfig::p4(true)
+            .with_partition(Partition::Dynamic)
+            .with_seed(7)
+            .with_max_cycles(1000);
+        assert_eq!(c.core.partition, Partition::Dynamic);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.max_cycles, 1000);
+    }
+}

@@ -1,0 +1,297 @@
+//! Design-choice ablations motivated by the paper's discussion:
+//!
+//! * **Dynamic partitioning** (§4.3): "The hardware solution is to allow
+//!   the resources to be shared dynamically instead of partitioning them
+//!   statically" — we run Figure 10's workloads under that proposal.
+//! * **Larger L1** (§1): "incorporating larger L1 cache may be effective
+//!   to alleviate memory latency" — we sweep the L1D size under the
+//!   multithreaded workloads.
+
+use jsmt_cpu::Partition;
+use jsmt_mem::MemConfig;
+use jsmt_report::Table;
+use jsmt_stats::pct_change;
+use jsmt_workloads::{BenchmarkId, WorkloadSpec};
+
+use super::ExperimentCtx;
+use crate::{System, SystemConfig};
+
+/// One benchmark under the three partitioning regimes.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionPoint {
+    /// The benchmark (run single-threaded, HT on).
+    pub id: BenchmarkId,
+    /// Execution time with HT disabled (the no-SMT baseline).
+    pub cycles_ht_off: u64,
+    /// Execution time under the P4's static partition.
+    pub cycles_static: u64,
+    /// Execution time under the paper's proposed dynamic partition.
+    pub cycles_dynamic: u64,
+}
+
+fn run_with(spec: WorkloadSpec, cfg: SystemConfig) -> u64 {
+    let mut sys = System::new(cfg);
+    sys.add_process(spec);
+    sys.run_to_completion().cycles
+}
+
+/// The §4.3 ablation over the single-threaded benchmarks.
+pub fn ablation_partition(ctx: &ExperimentCtx) -> Vec<PartitionPoint> {
+    BenchmarkId::SINGLE_THREADED
+        .iter()
+        .map(|&id| {
+            let spec = WorkloadSpec::single(id).with_scale(ctx.scale);
+            PartitionPoint {
+                id,
+                cycles_ht_off: run_with(spec, SystemConfig::p4(false).with_seed(ctx.seed)),
+                cycles_static: run_with(spec, SystemConfig::p4(true).with_seed(ctx.seed)),
+                cycles_dynamic: run_with(
+                    spec,
+                    SystemConfig::p4(true)
+                        .with_partition(Partition::Dynamic)
+                        .with_seed(ctx.seed),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Render the partitioning ablation.
+pub fn render_ablation_partition(points: &[PartitionPoint]) -> String {
+    let mut t = Table::new(vec![
+        "Benchmark".into(),
+        "HT-off".into(),
+        "HT-on static".into(),
+        "HT-on dynamic".into(),
+        "static vs off".into(),
+        "dynamic vs off".into(),
+    ])
+    .with_title("Ablation (§4.3): static vs. dynamic resource partitioning, single-threaded");
+    for p in points {
+        t.row(vec![
+            p.id.name().to_string(),
+            format!("{}", p.cycles_ht_off),
+            format!("{}", p.cycles_static),
+            format!("{}", p.cycles_dynamic),
+            format!("{:+.2}%", pct_change(p.cycles_ht_off as f64, p.cycles_static as f64)),
+            format!("{:+.2}%", pct_change(p.cycles_ht_off as f64, p.cycles_dynamic as f64)),
+        ]);
+    }
+    t.render()
+}
+
+/// One benchmark at one L1D size.
+#[derive(Debug, Clone, Copy)]
+pub struct L1Point {
+    /// The benchmark (2 threads, HT on).
+    pub id: BenchmarkId,
+    /// L1D capacity in KiB.
+    pub l1d_kib: usize,
+    /// Machine IPC.
+    pub ipc: f64,
+    /// L1D misses per kilo-instruction.
+    pub l1d_mpki: f64,
+}
+
+/// The §1 larger-L1 ablation over the multithreaded benchmarks.
+pub fn ablation_l1(sizes_kib: &[usize], ctx: &ExperimentCtx) -> Vec<L1Point> {
+    let mut out = Vec::new();
+    for &id in &BenchmarkId::MULTITHREADED {
+        for &kib in sizes_kib {
+            let cfg = SystemConfig::p4(true)
+                .with_mem(MemConfig::p4(true).with_l1d_kib(kib))
+                .with_seed(ctx.seed);
+            let spec = WorkloadSpec::threaded(id, 2).with_scale(ctx.scale);
+            let mut sys = System::new(cfg);
+            sys.add_process(spec);
+            let report = sys.run_to_completion();
+            out.push(L1Point {
+                id,
+                l1d_kib: kib,
+                ipc: report.metrics.ipc,
+                l1d_mpki: report.metrics.l1d_mpki,
+            });
+        }
+    }
+    out
+}
+
+/// Render the L1 ablation.
+pub fn render_ablation_l1(points: &[L1Point]) -> String {
+    let mut t = Table::new(vec![
+        "Benchmark".into(),
+        "L1D KiB".into(),
+        "IPC".into(),
+        "L1D MPKI".into(),
+    ])
+    .with_title("Ablation (§1): larger L1 data cache, multithreaded benchmarks (2 threads, HT on)");
+    for p in points {
+        t.row(vec![
+            p.id.name().to_string(),
+            format!("{}", p.l1d_kib),
+            format!("{:.3}", p.ipc),
+            format!("{:.1}", p.l1d_mpki),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_l1_reduces_misses() {
+        let ctx = ExperimentCtx { scale: 0.02, repeats: 3, seed: 1 };
+        let pts = ablation_l1(&[8, 64], &ctx);
+        let mol8 = pts.iter().find(|p| p.id == BenchmarkId::MolDyn && p.l1d_kib == 8).unwrap();
+        let mol64 = pts.iter().find(|p| p.id == BenchmarkId::MolDyn && p.l1d_kib == 64).unwrap();
+        assert!(
+            mol64.l1d_mpki < mol8.l1d_mpki,
+            "8x larger L1D must reduce MPKI: {} vs {}",
+            mol8.l1d_mpki,
+            mol64.l1d_mpki
+        );
+    }
+
+    #[test]
+    fn dynamic_partition_not_slower_than_static() {
+        let ctx = ExperimentCtx { scale: 0.02, repeats: 3, seed: 1 };
+        let spec = WorkloadSpec::single(BenchmarkId::Db).with_scale(ctx.scale);
+        let stat = run_with(spec, SystemConfig::p4(true).with_seed(ctx.seed));
+        let dynp = run_with(
+            spec,
+            SystemConfig::p4(true).with_partition(Partition::Dynamic).with_seed(ctx.seed),
+        );
+        assert!(
+            dynp <= stat + stat / 20,
+            "dynamic ({dynp}) should not lose to static ({stat})"
+        );
+    }
+}
+
+/// One benchmark with the L2 streaming prefetcher off vs. on.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefetchPoint {
+    /// The benchmark (2 threads, HT on).
+    pub id: BenchmarkId,
+    /// IPC without the prefetcher (the baseline reproduction).
+    pub ipc_off: f64,
+    /// IPC with the prefetcher.
+    pub ipc_on: f64,
+    /// L2 MPKI without the prefetcher.
+    pub l2_mpki_off: f64,
+    /// L2 MPKI with the prefetcher.
+    pub l2_mpki_on: f64,
+}
+
+/// Extension ablation: the P4's L2 streaming prefetcher (the baseline
+/// reproduction models it off; this measures what it buys the
+/// multithreaded Java workloads).
+pub fn ablation_prefetch(ctx: &ExperimentCtx) -> Vec<PrefetchPoint> {
+    BenchmarkId::MULTITHREADED
+        .iter()
+        .map(|&id| {
+            let run = |prefetch: bool| {
+                let cfg = SystemConfig::p4(true)
+                    .with_mem(MemConfig::p4(true).with_l2_prefetch(prefetch))
+                    .with_seed(ctx.seed);
+                let spec = WorkloadSpec::threaded(id, 2).with_scale(ctx.scale);
+                let mut sys = System::new(cfg);
+                sys.add_process(spec);
+                let r = sys.run_to_completion();
+                (r.metrics.ipc, r.metrics.l2_mpki)
+            };
+            let (ipc_off, l2_mpki_off) = run(false);
+            let (ipc_on, l2_mpki_on) = run(true);
+            PrefetchPoint { id, ipc_off, ipc_on, l2_mpki_off, l2_mpki_on }
+        })
+        .collect()
+}
+
+/// Render the prefetcher ablation.
+pub fn render_ablation_prefetch(points: &[PrefetchPoint]) -> String {
+    let mut t = Table::new(vec![
+        "Benchmark".into(),
+        "IPC (no pf)".into(),
+        "IPC (pf)".into(),
+        "L2 MPKI (no pf)".into(),
+        "L2 MPKI (pf)".into(),
+    ])
+    .with_title("Ablation (extension): L2 streaming prefetcher, 2 threads, HT on");
+    for p in points {
+        t.row(vec![
+            p.id.name().to_string(),
+            format!("{:.3}", p.ipc_off),
+            format!("{:.3}", p.ipc_on),
+            format!("{:.1}", p.l2_mpki_off),
+            format!("{:.1}", p.l2_mpki_on),
+        ]);
+    }
+    t.render()
+}
+
+/// One benchmark with instant (synchronous) vs. background JIT.
+#[derive(Debug, Clone, Copy)]
+pub struct JitPoint {
+    /// The benchmark (single-threaded — the interesting case: the
+    /// compiler thread lands on the sibling context).
+    pub id: BenchmarkId,
+    /// Execution time with instant compilation (the baseline model).
+    pub cycles_instant: u64,
+    /// Execution time with the background compiler thread.
+    pub cycles_background: u64,
+    /// Methods compiled by the background thread.
+    pub compiles: u64,
+}
+
+/// Extension ablation: background JIT compilation. The paper's
+/// introduction stresses that the JVM's helper threads make even
+/// single-threaded Java multithreaded; this measures the compiler
+/// thread's effect on the HT machine (it occupies the sibling context
+/// and extends the interpreted warm-up window).
+pub fn ablation_jit(ctx: &ExperimentCtx) -> Vec<JitPoint> {
+    use jsmt_workloads::jvm_config_for;
+    BenchmarkId::SINGLE_THREADED
+        .iter()
+        .map(|&id| {
+            let spec = WorkloadSpec::single(id).with_scale(ctx.scale);
+            let run = |background: bool| {
+                let mut sys = System::new(SystemConfig::p4(true).with_seed(ctx.seed));
+                sys.add_process_with_jvm(
+                    spec,
+                    jvm_config_for(id).with_background_jit(background),
+                );
+                let r = sys.run_to_completion();
+                (r.cycles, r.processes[0].compiles_done)
+            };
+            let (cycles_instant, _) = run(false);
+            let (cycles_background, compiles) = run(true);
+            JitPoint { id, cycles_instant, cycles_background, compiles }
+        })
+        .collect()
+}
+
+/// Render the background-JIT ablation.
+pub fn render_ablation_jit(points: &[JitPoint]) -> String {
+    let mut t = Table::new(vec![
+        "Benchmark".into(),
+        "instant JIT".into(),
+        "background JIT".into(),
+        "change".into(),
+        "methods compiled".into(),
+    ])
+    .with_title(
+        "Ablation (extension): background JIT compiler thread, single-threaded, HT on",
+    );
+    for p in points {
+        t.row(vec![
+            p.id.name().to_string(),
+            format!("{}", p.cycles_instant),
+            format!("{}", p.cycles_background),
+            format!("{:+.2}%", pct_change(p.cycles_instant as f64, p.cycles_background as f64)),
+            format!("{}", p.compiles),
+        ]);
+    }
+    t.render()
+}

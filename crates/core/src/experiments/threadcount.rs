@@ -1,0 +1,89 @@
+//! §4.4 — impact of the software thread count on the 2-context machine:
+//! Figure 12.
+
+use jsmt_report::Table;
+use jsmt_workloads::{BenchmarkId, WorkloadSpec};
+
+use super::{solo_run, ExperimentCtx};
+
+/// IPC of one benchmark at one thread count (HT enabled).
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadPoint {
+    /// The benchmark.
+    pub id: BenchmarkId,
+    /// Software threads (multiplexed onto the two contexts when > 2).
+    pub threads: usize,
+    /// Machine IPC.
+    pub ipc: f64,
+    /// L1D misses per kilo-instruction (the paper explains MolDyn's
+    /// 4-thread IPC drop with "substantially increased L1 data cache
+    /// misses").
+    pub l1d_mpki: f64,
+}
+
+/// The paper's Figure 12 sweep: thread counts 1–16 on the HT machine.
+pub fn fig12_ipc_vs_threads(threads_list: &[usize], ctx: &ExperimentCtx) -> Vec<ThreadPoint> {
+    let mut out = Vec::new();
+    for &id in &BenchmarkId::MULTITHREADED {
+        for &threads in threads_list {
+            let spec = WorkloadSpec::threaded(id, threads).with_scale(ctx.scale);
+            let report = solo_run(spec, true, ctx.seed);
+            out.push(ThreadPoint {
+                id,
+                threads,
+                ipc: report.metrics.ipc,
+                l1d_mpki: report.metrics.l1d_mpki,
+            });
+        }
+    }
+    out
+}
+
+/// Render Figure 12 as an IPC-vs-threads table with the L1D column that
+/// explains the MolDyn anomaly.
+pub fn render_fig12(points: &[ThreadPoint]) -> String {
+    let mut t = Table::new(vec![
+        "Benchmark".into(),
+        "Threads".into(),
+        "IPC".into(),
+        "L1D MPKI".into(),
+    ])
+    .with_title("Figure 12. IPC vs. the number of threads (HT enabled)");
+    for p in points {
+        t.row(vec![
+            p.id.name().to_string(),
+            format!("{}", p.threads),
+            format!("{:.3}", p.ipc),
+            format!("{:.1}", p.l1d_mpki),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_a_point_per_cell() {
+        let ctx = ExperimentCtx { scale: 0.02, repeats: 3, seed: 1 };
+        let pts = fig12_ipc_vs_threads(&[1, 2], &ctx);
+        assert_eq!(pts.len(), BenchmarkId::MULTITHREADED.len() * 2);
+        let rendered = render_fig12(&pts);
+        assert!(rendered.contains("MolDyn"));
+        assert!(rendered.contains("PseudoJBB"));
+    }
+
+    #[test]
+    fn two_threads_beat_one_for_parallel_kernels() {
+        let ctx = ExperimentCtx { scale: 0.03, repeats: 3, seed: 1 };
+        let run = |threads| {
+            let spec = WorkloadSpec::threaded(BenchmarkId::MonteCarlo, threads)
+                .with_scale(ctx.scale);
+            solo_run(spec, true, ctx.seed).metrics.ipc
+        };
+        let one = run(1);
+        let two = run(2);
+        assert!(two > one, "1→2 threads must raise IPC: {one:.3} vs {two:.3}");
+    }
+}

@@ -1,0 +1,34 @@
+//! # jsmt-core
+//!
+//! The system layer of the `jsmt` reproduction: assembles the SMT core
+//! (`jsmt-cpu`), the OS scheduler and kernel-code generator (`jsmt-os`),
+//! JVM processes with GC threads (`jsmt-jvm`), and benchmark kernels
+//! (`jsmt-workloads`) into a runnable machine, and provides the
+//! experiment drivers that regenerate every table and figure of
+//! *Performance Characterization of Java Applications on SMT Processors*
+//! (ISPASS 2005).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use jsmt_core::{System, SystemConfig};
+//! use jsmt_workloads::{BenchmarkId, WorkloadSpec};
+//!
+//! // Run a tiny mpegaudio slice on the HT-enabled machine.
+//! let config = SystemConfig::p4(true);
+//! let spec = WorkloadSpec::single(BenchmarkId::Mpegaudio).with_scale(0.002);
+//! let mut system = System::new(config);
+//! system.add_process(spec);
+//! let report = system.run_to_completion();
+//! assert!(report.metrics.instructions > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod experiments;
+mod system;
+
+pub use config::SystemConfig;
+pub use system::{RunReport, System};

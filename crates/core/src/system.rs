@@ -1,0 +1,818 @@
+//! The assembled machine: core + OS + JVM processes + kernels.
+
+use std::collections::VecDeque;
+
+use jsmt_cpu::SmtCore;
+use jsmt_isa::Asid;
+use jsmt_isa::Uop;
+use jsmt_jvm::{EmitCtx, GcWorkGen, JitWorkGen, JvmProcess};
+use jsmt_os::{KernelCodegen, KernelService, SchedEvent, Scheduler, ThreadId, ThreadState};
+use jsmt_perfmon::{CounterBank, DerivedMetrics, Event, LogicalCpu, Sampler};
+use jsmt_workloads::{build, jvm_config_for, BlockReason, Kernel, StepOutcome, WorkloadSpec};
+
+use crate::SystemConfig;
+
+/// What an OS thread does when scheduled.
+#[derive(Debug, Clone, Copy)]
+enum Role {
+    /// Runs kernel-thread `ktid` of process `proc`.
+    Mutator { proc: usize, ktid: usize },
+    /// The GC helper thread of process `proc`.
+    Gc { proc: usize },
+    /// The background JIT compiler thread of process `proc` (only
+    /// spawned when `JvmConfig::background_jit` is set).
+    Jit { proc: usize },
+}
+
+#[derive(Debug)]
+struct OsThread {
+    role: Role,
+    pending: VecDeque<Uop>,
+    /// Base of this thread's simulated stack slab.
+    stack_base: u64,
+}
+
+struct Process {
+    spec: WorkloadSpec,
+    jvm: JvmProcess,
+    kernel: Box<dyn Kernel>,
+    /// Kernel-thread index → OS thread id.
+    mutators: Vec<ThreadId>,
+    gc_thread: ThreadId,
+    gc_requested: bool,
+    gc_gen: Option<GcWorkGen>,
+    parked_for_gc: Vec<ThreadId>,
+    finished_threads: Vec<bool>,
+    /// Whether to restart the benchmark when it completes (the paper's
+    /// re-launch utility for multiprogrammed measurements, §4.2).
+    relaunch: bool,
+    completions: u64,
+    completion_cycles: Vec<u64>,
+    gc_count: u64,
+    /// Background compiler thread (when background JIT is enabled).
+    jit_thread: Option<ThreadId>,
+    jit_gen: Option<(jsmt_jvm::MethodId, JitWorkGen)>,
+    compiles_done: u64,
+}
+
+impl std::fmt::Debug for Process {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Process")
+            .field("spec", &self.spec)
+            .field("completions", &self.completions)
+            .field("gc_count", &self.gc_count)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Everything in the system except the core (split so the core's cycle
+/// callback can borrow it mutably).
+struct World {
+    sched: Scheduler,
+    kcg: KernelCodegen,
+    threads: Vec<OsThread>,
+    procs: Vec<Process>,
+    os_cfg: jsmt_os::OsConfig,
+    extra: CounterBank,
+    emit_buf: Vec<Uop>,
+    now: u64,
+    seed: u64,
+}
+
+impl World {
+    /// Supply µops for the thread bound to `lcpu`.
+    fn fill(&mut self, lcpu: LogicalCpu, buf: &mut Vec<Uop>, max: usize) -> usize {
+        let Some(tid) = self.sched.running_on(lcpu.index()) else { return 0 };
+        let ti = tid.0 as usize;
+
+        if self.threads[ti].pending.is_empty() {
+            self.generate(lcpu, tid);
+        }
+        let th = &mut self.threads[ti];
+        let n = th.pending.len().min(max);
+        for uop in th.pending.drain(..n) {
+            buf.push(uop);
+        }
+        n
+    }
+
+    /// Produce the next block of the thread's stream into its pending
+    /// queue.
+    fn generate(&mut self, lcpu: LogicalCpu, tid: ThreadId) {
+        let ti = tid.0 as usize;
+        match self.threads[ti].role {
+            Role::Gc { proc } => {
+                self.emit_buf.clear();
+                if let Some(gen) = self.procs[proc].gc_gen.as_mut() {
+                    gen.emit(&mut self.emit_buf, 96);
+                }
+                let th = &mut self.threads[ti];
+                th.pending.extend(self.emit_buf.drain(..));
+                // An exhausted generator is put back to sleep by the GC
+                // coordination phase.
+            }
+            Role::Jit { proc } => {
+                self.emit_buf.clear();
+                if let Some((_, gen)) = self.procs[proc].jit_gen.as_mut() {
+                    gen.emit(&mut self.emit_buf, 96);
+                }
+                let th = &mut self.threads[ti];
+                th.pending.extend(self.emit_buf.drain(..));
+                // Completion is handled by the helper-thread
+                // coordination phase.
+            }
+            Role::Mutator { proc, ktid } => {
+                let p = &mut self.procs[proc];
+                if p.finished_threads[ktid] {
+                    return;
+                }
+                if p.gc_requested {
+                    // Safepoint: park until the collection completes.
+                    self.sched.block(tid);
+                    p.parked_for_gc.push(tid);
+                    return;
+                }
+                self.emit_buf.clear();
+                let stack_base = self.threads[ti].stack_base;
+                let result = {
+                    let mut ctx =
+                        EmitCtx::new(&mut p.jvm, &mut self.emit_buf).with_stack(stack_base);
+                    p.kernel.step(ktid, &mut ctx)
+                };
+                let th = &mut self.threads[ti];
+                th.pending.extend(self.emit_buf.drain(..));
+                for &w in &result.wake {
+                    self.sched.wake(p.mutators[w]);
+                }
+                for _ in 0..result.syscalls {
+                    self.emit_buf.clear();
+                    self.kcg.emit(
+                        KernelService::Syscall,
+                        self.os_cfg.syscall_uops,
+                        &mut self.emit_buf,
+                    );
+                    self.threads[ti].pending.extend(self.emit_buf.drain(..));
+                    self.extra.inc(lcpu, Event::Syscalls);
+                }
+                match result.outcome {
+                    StepOutcome::Ran => {}
+                    StepOutcome::NeedsGc => {
+                        let p = &mut self.procs[proc];
+                        p.gc_requested = true;
+                        p.parked_for_gc.push(tid);
+                        self.sched.block(tid);
+                    }
+                    StepOutcome::Blocked(reason) => {
+                        if matches!(reason, BlockReason::Monitor(_)) {
+                            self.extra.inc(lcpu, Event::MonitorContended);
+                            // The contended slow path traps to the kernel
+                            // futex.
+                            self.emit_buf.clear();
+                            self.kcg.emit(
+                                KernelService::Futex,
+                                self.os_cfg.futex_uops,
+                                &mut self.emit_buf,
+                            );
+                            self.threads[ti].pending.extend(self.emit_buf.drain(..));
+                        }
+                        self.sched.block(tid);
+                    }
+                    StepOutcome::Finished => {
+                        let p = &mut self.procs[proc];
+                        p.finished_threads[ktid] = true;
+                        self.sched.finish(tid);
+                        self.maybe_complete(proc);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record a benchmark completion and (for re-launch runs) respawn it.
+    fn maybe_complete(&mut self, proc: usize) {
+        let now = self.now;
+        let p = &mut self.procs[proc];
+        if !p.finished_threads.iter().all(|&f| f) {
+            return;
+        }
+        p.completions += 1;
+        p.completion_cycles.push(now);
+        if !p.relaunch {
+            return;
+        }
+        // Fresh JVM process (same address space id) and kernel, exactly
+        // like re-executing the java command.
+        let asid = p.jvm.asid();
+        let old_cfg = *p.jvm.config();
+        p.jvm = JvmProcess::new(asid.0, old_cfg);
+        p.kernel = build(p.spec);
+        p.kernel.setup(&mut p.jvm);
+        p.gc_requested = false;
+        p.gc_gen = None;
+        p.jit_gen = None;
+        p.parked_for_gc.clear();
+        p.finished_threads = vec![false; p.spec.threads];
+        let nthreads = p.spec.threads;
+        let mut new_mutators = Vec::with_capacity(nthreads);
+        for ktid in 0..nthreads {
+            let tid = self.sched.spawn(asid);
+            new_mutators.push(tid);
+            let stack_base = self.procs[proc].jvm.alloc_stack(64 * 1024);
+            self.threads.push(OsThread {
+                role: Role::Mutator { proc, ktid },
+                pending: VecDeque::new(),
+                stack_base,
+            });
+            // Thread creation cost, charged to the new thread.
+            self.emit_buf.clear();
+            self.kcg.emit(
+                KernelService::ThreadSpawn,
+                self.os_cfg.thread_spawn_uops,
+                &mut self.emit_buf,
+            );
+            let last = self.threads.len() - 1;
+            self.threads[last].pending.extend(self.emit_buf.drain(..));
+        }
+        self.procs[proc].mutators = new_mutators;
+    }
+
+    /// Stop-the-world GC coordination, run once per cycle.
+    fn gc_coordination(&mut self) {
+        for proc in 0..self.procs.len() {
+            // Start a collection once every mutator is parked.
+            if self.procs[proc].gc_requested && self.procs[proc].gc_gen.is_none() {
+                let all_parked = self.procs[proc].mutators.iter().all(|&t| {
+                    matches!(self.sched.state(t), ThreadState::Blocked | ThreadState::Finished)
+                });
+                if all_parked {
+                    let p = &mut self.procs[proc];
+                    let live = p.jvm.collect();
+                    let heap_base = p.jvm.heap().base();
+                    p.gc_gen =
+                        Some(GcWorkGen::new(heap_base, live, self.seed ^ (p.gc_count + 1)));
+                    p.gc_count += 1;
+                    self.extra.inc(LogicalCpu::Lp0, Event::GcCount);
+                    let gc_tid = p.gc_thread;
+                    self.sched.wake(gc_tid);
+                }
+            }
+            // Finish a collection whose work has fully drained.
+            let done = match &self.procs[proc].gc_gen {
+                Some(gen) => {
+                    gen.is_done()
+                        && self.threads[self.procs[proc].gc_thread.0 as usize]
+                            .pending
+                            .is_empty()
+                }
+                None => false,
+            };
+            if done {
+                let gc_tid = self.procs[proc].gc_thread;
+                self.procs[proc].gc_gen = None;
+                self.procs[proc].gc_requested = false;
+                self.sched.block(gc_tid);
+                let parked = std::mem::take(&mut self.procs[proc].parked_for_gc);
+                for t in parked {
+                    self.sched.wake(t);
+                }
+            }
+            // Attribute GC-thread CPU time.
+            if self.procs[proc].gc_gen.is_some() {
+                for l in 0..2 {
+                    if self.sched.running_on(l) == Some(self.procs[proc].gc_thread) {
+                        self.extra.inc(LogicalCpu::from_index(l), Event::GcCycles);
+                    }
+                }
+            }
+
+            // Background JIT: start queued compilations, finish drained
+            // ones.
+            let Some(jit_tid) = self.procs[proc].jit_thread else { continue };
+            if self.procs[proc].jit_gen.is_none() {
+                if let Some(m) = self.procs[proc].jvm.methods_mut().take_compile_request() {
+                    let (base, size) = self.procs[proc].jvm.methods().body_of(m);
+                    self.procs[proc].jit_gen =
+                        Some((m, JitWorkGen::new(base, size, self.seed ^ m.0 as u64)));
+                    self.sched.wake(jit_tid);
+                }
+            }
+            let jit_done = match &self.procs[proc].jit_gen {
+                Some((_, gen)) => {
+                    gen.is_done() && self.threads[jit_tid.0 as usize].pending.is_empty()
+                }
+                None => false,
+            };
+            if jit_done {
+                let (m, _) = self.procs[proc].jit_gen.take().expect("checked");
+                self.procs[proc].jvm.methods_mut().mark_compiled(m);
+                self.procs[proc].compiles_done += 1;
+                if !self.procs[proc].jvm.methods().has_pending_compiles() {
+                    self.sched.block(jit_tid);
+                }
+            }
+        }
+    }
+}
+
+/// Per-process results of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessReport {
+    /// The workload that ran.
+    pub spec: WorkloadSpec,
+    /// Completed executions.
+    pub completions: u64,
+    /// Machine cycle of each completion.
+    pub completion_cycles: Vec<u64>,
+    /// Collections performed.
+    pub gc_count: u64,
+    /// Objects allocated.
+    pub allocations: u64,
+    /// Methods compiled by the background compiler thread.
+    pub compiles_done: u64,
+}
+
+impl ProcessReport {
+    /// Durations of the individual executions (differences of completion
+    /// cycles; the first starts at cycle 0).
+    pub fn durations(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.completion_cycles.len());
+        let mut prev = 0;
+        for &c in &self.completion_cycles {
+            out.push(c - prev);
+            prev = c;
+        }
+        out
+    }
+
+    /// The paper's measurement rule: average the completion times after
+    /// dropping the first run (cold start) and the last (possibly
+    /// truncated). Falls back to the plain mean when fewer than three
+    /// runs completed.
+    pub fn mean_duration(&self) -> f64 {
+        let d = self.durations();
+        if d.is_empty() {
+            return f64::NAN;
+        }
+        let trimmed: &[u64] = if d.len() >= 3 { &d[1..d.len() - 1] } else { &d[..] };
+        trimmed.iter().sum::<u64>() as f64 / trimmed.len() as f64
+    }
+}
+
+/// Results of a run: raw counters, derived metrics, per-process outcomes.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Elapsed machine cycles.
+    pub cycles: u64,
+    /// Merged counters (core events + system-level events).
+    pub bank: CounterBank,
+    /// Derived metrics over the whole run.
+    pub metrics: DerivedMetrics,
+    /// Per-process outcomes, in `add_process` order.
+    pub processes: Vec<ProcessReport>,
+}
+
+/// The assembled machine.
+pub struct System {
+    cfg: SystemConfig,
+    core: SmtCore,
+    world: World,
+    started: bool,
+    jvm_override: Option<jsmt_jvm::JvmConfig>,
+    sampler: Option<Sampler>,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("cycles", &self.core.cycles())
+            .field("processes", &self.world.procs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl System {
+    /// A machine with no processes yet.
+    pub fn new(cfg: SystemConfig) -> Self {
+        System {
+            core: SmtCore::new(cfg.core, cfg.mem),
+            world: World {
+                sched: Scheduler::new(cfg.os, cfg.core.ht_enabled),
+                kcg: KernelCodegen::new(cfg.seed ^ 0xF00D),
+                threads: Vec::new(),
+                procs: Vec::new(),
+                os_cfg: cfg.os,
+                extra: CounterBank::new(),
+                emit_buf: Vec::with_capacity(2048),
+                now: 0,
+                seed: cfg.seed,
+            },
+            cfg,
+            started: false,
+            jvm_override: None,
+            sampler: None,
+        }
+    }
+
+    /// Attach an interval sampler: every `interval_cycles` machine cycles
+    /// the counter deltas are snapshotted (the Pentium 4's event-based
+    /// sampling, as Brink & Abyss exposes it). Retrieve the series with
+    /// [`System::sampler`].
+    pub fn attach_sampler(&mut self, interval_cycles: u64) {
+        self.sampler = Some(Sampler::new(interval_cycles));
+    }
+
+    /// The attached sampler, if any.
+    pub fn sampler(&self) -> Option<&Sampler> {
+        self.sampler.as_ref()
+    }
+
+    /// Add a JVM process running `spec` once (no re-launch).
+    pub fn add_process(&mut self, spec: WorkloadSpec) -> usize {
+        self.add_process_inner(spec, false)
+    }
+
+    /// Add a JVM process that re-launches on completion (multiprogram
+    /// methodology).
+    pub fn add_relaunching_process(&mut self, spec: WorkloadSpec) -> usize {
+        self.add_process_inner(spec, true)
+    }
+
+    /// Add a process with an explicit JVM configuration (heap-size and
+    /// survival ablations).
+    pub fn add_process_with_jvm(&mut self, spec: WorkloadSpec, jvm: jsmt_jvm::JvmConfig) -> usize {
+        self.jvm_override = Some(jvm);
+        let idx = self.add_process_inner(spec, false);
+        self.jvm_override = None;
+        idx
+    }
+
+    fn add_process_inner(&mut self, spec: WorkloadSpec, relaunch: bool) -> usize {
+        assert!(!self.started, "processes must be added before the first cycle");
+        let proc_idx = self.world.procs.len();
+        let asid = Asid(proc_idx as u16 + 1);
+        let jvm_cfg = self.jvm_override.unwrap_or_else(|| jvm_config_for(spec.id));
+        let mut jvm = JvmProcess::new(asid.0, jvm_cfg);
+        let mut kernel = build(spec);
+        kernel.setup(&mut jvm);
+
+        let mut mutators = Vec::with_capacity(spec.threads);
+        for ktid in 0..spec.threads {
+            let tid = self.world.sched.spawn(asid);
+            mutators.push(tid);
+            let stack_base = jvm.alloc_stack(64 * 1024);
+            self.world.threads.push(OsThread {
+                role: Role::Mutator { proc: proc_idx, ktid },
+                pending: VecDeque::new(),
+                stack_base,
+            });
+        }
+        // The GC helper thread exists from JVM start but sleeps until a
+        // collection is requested.
+        let gc_thread = self.world.sched.spawn(asid);
+        let gc_stack = jvm.alloc_stack(64 * 1024);
+        self.world.threads.push(OsThread {
+            role: Role::Gc { proc: proc_idx },
+            pending: VecDeque::new(),
+            stack_base: gc_stack,
+        });
+        self.world.sched.block(gc_thread);
+
+        // The background compiler thread, when the JVM is configured for
+        // it; sleeps until a method queues for compilation.
+        let jit_thread = if jvm.config().background_jit {
+            let t = self.world.sched.spawn(asid);
+            let jit_stack = jvm.alloc_stack(64 * 1024);
+            self.world.threads.push(OsThread {
+                role: Role::Jit { proc: proc_idx },
+                pending: VecDeque::new(),
+                stack_base: jit_stack,
+            });
+            self.world.sched.block(t);
+            Some(t)
+        } else {
+            None
+        };
+
+        self.world.procs.push(Process {
+            spec,
+            jvm,
+            kernel,
+            mutators,
+            gc_thread,
+            gc_requested: false,
+            gc_gen: None,
+            parked_for_gc: Vec::new(),
+            finished_threads: vec![false; spec.threads],
+            relaunch,
+            completions: 0,
+            completion_cycles: Vec::new(),
+            gc_count: 0,
+            jit_thread,
+            jit_gen: None,
+            compiles_done: 0,
+        });
+        proc_idx
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Elapsed machine cycles.
+    pub fn cycles(&self) -> u64 {
+        self.core.cycles()
+    }
+
+    /// Completions of process `idx`.
+    pub fn completions(&self, idx: usize) -> u64 {
+        self.world.procs[idx].completions
+    }
+
+    /// Advance the machine by one cycle.
+    pub fn step_cycle(&mut self) {
+        self.started = true;
+        self.world.now = self.core.cycles();
+        self.world.gc_coordination();
+
+        let drained = [
+            self.core.snapshot(LogicalCpu::Lp0).drained,
+            self.core.snapshot(LogicalCpu::Lp1).drained,
+        ];
+        let mut events = Vec::new();
+        self.world.sched.tick(self.world.now, drained, &mut events);
+        for ev in events {
+            match ev {
+                SchedEvent::Bind { lcpu, thread, asid } => {
+                    let l = LogicalCpu::from_index(lcpu);
+                    self.core.bind(l, asid);
+                    self.world.extra.inc(l, Event::ContextSwitches);
+                    // Switch-in kernel cost, charged to the incoming
+                    // thread's stream.
+                    self.world.emit_buf.clear();
+                    self.world.kcg.emit(
+                        KernelService::ContextSwitch,
+                        self.world.os_cfg.ctx_switch_uops,
+                        &mut self.world.emit_buf,
+                    );
+                    let ti = thread.0 as usize;
+                    // Interrupt-style: handler runs before the user stream
+                    // resumes.
+                    for uop in self.world.emit_buf.drain(..).rev() {
+                        self.world.threads[ti].pending.push_front(uop);
+                    }
+                }
+                SchedEvent::RequestDrain { lcpu } => {
+                    self.core.request_drain(LogicalCpu::from_index(lcpu));
+                }
+                SchedEvent::Unbind { lcpu, .. } => {
+                    self.core.unbind(LogicalCpu::from_index(lcpu));
+                }
+                SchedEvent::Timer { lcpu } => {
+                    let l = LogicalCpu::from_index(lcpu);
+                    self.world.extra.inc(l, Event::TimerInterrupts);
+                    if let Some(tid) = self.world.sched.running_on(lcpu) {
+                        self.world.emit_buf.clear();
+                        self.world.kcg.emit(
+                            KernelService::TimerInterrupt,
+                            self.world.os_cfg.timer_uops,
+                            &mut self.world.emit_buf,
+                        );
+                        let ti = tid.0 as usize;
+                        for uop in self.world.emit_buf.drain(..).rev() {
+                            self.world.threads[ti].pending.push_front(uop);
+                        }
+                    }
+                }
+            }
+        }
+
+        let world = &mut self.world;
+        self.core.cycle(&mut |lcpu, buf, max| world.fill(lcpu, buf, max));
+
+        if let Some(sampler) = self.sampler.as_mut() {
+            sampler.tick(self.core.cycles(), self.core.counters());
+        }
+    }
+
+    /// Run until every process has completed at least `target` executions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured cycle cap is exceeded (indicates a
+    /// deadlock or an unreasonably large workload).
+    pub fn run_until_completions(&mut self, target: u64) -> RunReport {
+        while self.world.procs.iter().any(|p| p.completions < target) {
+            self.step_cycle();
+            assert!(
+                self.core.cycles() < self.cfg.max_cycles,
+                "cycle cap exceeded at {} cycles (progress: {:?})",
+                self.core.cycles(),
+                self.world.procs.iter().map(|p| p.kernel.progress()).collect::<Vec<_>>()
+            );
+        }
+        self.report()
+    }
+
+    /// Run every process to (first) completion.
+    pub fn run_to_completion(&mut self) -> RunReport {
+        self.run_until_completions(1)
+    }
+
+    /// Run for a fixed number of cycles (interval profiling).
+    pub fn run_cycles(&mut self, cycles: u64) -> RunReport {
+        for _ in 0..cycles {
+            self.step_cycle();
+        }
+        self.report()
+    }
+
+    /// Produce the report for the run so far.
+    pub fn report(&self) -> RunReport {
+        let mut bank = self.core.counters().clone();
+        bank.merge(&self.world.extra);
+        for p in &self.world.procs {
+            bank.add(LogicalCpu::Lp0, Event::Allocations, p.jvm.heap().stats().objects);
+        }
+        let cycles = self.core.cycles();
+        RunReport {
+            cycles,
+            metrics: DerivedMetrics::from_bank(&bank, cycles),
+            processes: self
+                .world
+                .procs
+                .iter()
+                .map(|p| ProcessReport {
+                    spec: p.spec,
+                    completions: p.completions,
+                    completion_cycles: p.completion_cycles.clone(),
+                    gc_count: p.gc_count,
+                    allocations: p.jvm.heap().stats().objects,
+                    compiles_done: p.compiles_done,
+                })
+                .collect(),
+            bank,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsmt_workloads::BenchmarkId;
+
+    fn quick(id: BenchmarkId, threads: usize, ht: bool, scale: f64) -> RunReport {
+        let mut sys = System::new(SystemConfig::p4(ht).with_max_cycles(400_000_000));
+        sys.add_process(WorkloadSpec { id, threads, scale });
+        sys.run_to_completion()
+    }
+
+    #[test]
+    fn mpegaudio_runs_to_completion() {
+        let r = quick(BenchmarkId::Mpegaudio, 1, false, 0.01);
+        assert_eq!(r.processes[0].completions, 1);
+        assert!(r.metrics.instructions > 10_000);
+        assert!(r.metrics.ipc > 0.05, "ipc {}", r.metrics.ipc);
+    }
+
+    #[test]
+    fn multithreaded_kernel_completes_under_ht() {
+        let r = quick(BenchmarkId::MonteCarlo, 2, true, 0.01);
+        assert_eq!(r.processes[0].completions, 1);
+        assert!(
+            r.metrics.dual_thread_fraction > 0.3,
+            "two threads should co-run: dt = {}",
+            r.metrics.dual_thread_fraction
+        );
+    }
+
+    #[test]
+    fn eight_threads_multiplex_on_two_contexts() {
+        let r = quick(BenchmarkId::MonteCarlo, 8, true, 0.01);
+        assert_eq!(r.processes[0].completions, 1);
+        assert!(r.bank.total(Event::ContextSwitches) > 8);
+    }
+
+    #[test]
+    fn gc_happens_for_allocation_heavy_benchmarks() {
+        let mut sys = System::new(SystemConfig::p4(true).with_max_cycles(400_000_000));
+        sys.add_process_with_jvm(
+            WorkloadSpec::single(BenchmarkId::Jack).with_scale(0.05),
+            jsmt_jvm::JvmConfig::default().with_heap(512 * 1024).with_survival(0.15),
+        );
+        let r = sys.run_to_completion();
+        assert!(r.processes[0].gc_count > 0, "jack must collect");
+        assert!(r.bank.total(Event::GcCycles) > 0);
+    }
+
+    #[test]
+    fn os_activity_is_counted() {
+        let r = quick(BenchmarkId::Javac, 1, true, 0.03);
+        assert!(r.bank.total(Event::Syscalls) > 0);
+        assert!(r.bank.total(Event::OsCycles) > 0);
+        assert!(r.metrics.os_cycle_fraction > 0.0);
+        assert!(r.metrics.os_cycle_fraction < 0.5);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = quick(BenchmarkId::Compress, 1, true, 0.01);
+        let b = quick(BenchmarkId::Compress, 1, true, 0.01);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.bank, b.bank);
+    }
+
+    #[test]
+    fn relaunch_accumulates_completions() {
+        let mut sys = System::new(SystemConfig::p4(true).with_max_cycles(400_000_000));
+        sys.add_relaunching_process(WorkloadSpec::single(BenchmarkId::Mpegaudio).with_scale(0.003));
+        let r = sys.run_until_completions(3);
+        assert!(r.processes[0].completions >= 3);
+        let durations = r.processes[0].durations();
+        assert_eq!(durations.len() as u64, r.processes[0].completions);
+        assert!(r.processes[0].mean_duration() > 0.0);
+    }
+
+    #[test]
+    fn two_processes_coschedule() {
+        let mut sys = System::new(SystemConfig::p4(true).with_max_cycles(400_000_000));
+        sys.add_process(WorkloadSpec::single(BenchmarkId::Compress).with_scale(0.005));
+        sys.add_process(WorkloadSpec::single(BenchmarkId::Db).with_scale(0.005));
+        let r = sys.run_to_completion();
+        assert_eq!(r.processes.len(), 2);
+        assert!(r.processes.iter().all(|p| p.completions >= 1));
+        assert!(r.metrics.dual_thread_fraction > 0.2, "dt {}", r.metrics.dual_thread_fraction);
+    }
+}
+
+#[cfg(test)]
+mod api_contract_tests {
+    use super::*;
+    use jsmt_workloads::BenchmarkId;
+
+    #[test]
+    #[should_panic(expected = "before the first cycle")]
+    fn processes_cannot_join_a_running_machine() {
+        let mut sys = System::new(SystemConfig::p4(true));
+        sys.add_process(WorkloadSpec::single(BenchmarkId::Mpegaudio).with_scale(0.01));
+        sys.step_cycle();
+        sys.add_process(WorkloadSpec::single(BenchmarkId::Db).with_scale(0.01));
+    }
+
+    #[test]
+    fn empty_machine_idles_safely() {
+        let mut sys = System::new(SystemConfig::p4(true));
+        for _ in 0..1000 {
+            sys.step_cycle();
+        }
+        let r = sys.report();
+        assert_eq!(r.metrics.instructions, 0);
+        assert_eq!(r.cycles, 1000);
+        assert!(r.processes.is_empty());
+    }
+
+    #[test]
+    fn run_cycles_is_exact() {
+        let mut sys = System::new(SystemConfig::p4(false));
+        sys.add_process(WorkloadSpec::single(BenchmarkId::Compress).with_scale(0.5));
+        let r = sys.run_cycles(12_345);
+        assert_eq!(r.cycles, 12_345);
+    }
+
+    #[test]
+    fn process_report_duration_math() {
+        let p = ProcessReport {
+            spec: WorkloadSpec::single(BenchmarkId::Db),
+            completions: 4,
+            completion_cycles: vec![100, 180, 260, 400],
+            gc_count: 0,
+            allocations: 0,
+            compiles_done: 0,
+        };
+        assert_eq!(p.durations(), vec![100, 80, 80, 140]);
+        // Trimmed mean drops the first (100) and last (140).
+        assert_eq!(p.mean_duration(), 80.0);
+    }
+
+    #[test]
+    fn mean_duration_small_samples_fall_back() {
+        let p = ProcessReport {
+            spec: WorkloadSpec::single(BenchmarkId::Db),
+            completions: 2,
+            completion_cycles: vec![100, 300],
+            gc_count: 0,
+            allocations: 0,
+            compiles_done: 0,
+        };
+        assert_eq!(p.mean_duration(), 150.0);
+        let empty = ProcessReport {
+            spec: WorkloadSpec::single(BenchmarkId::Db),
+            completions: 0,
+            completion_cycles: vec![],
+            gc_count: 0,
+            allocations: 0,
+            compiles_done: 0,
+        };
+        assert!(empty.mean_duration().is_nan());
+    }
+}

@@ -1,0 +1,140 @@
+//! Core (pipeline) configuration.
+
+/// How window/buffer resources are divided between the two contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partition {
+    /// The Pentium 4 design: when Hyper-Threading is enabled, each context
+    /// owns exactly half of the window and load/store buffers, whether or
+    /// not the sibling context is running anything. This is the design the
+    /// paper identifies as the cause of single-threaded slowdowns (§4.3).
+    Static,
+    /// The paper's proposed hardware fix: a context may use the whole
+    /// window when the sibling is idle; capacity is split only while both
+    /// contexts are bound.
+    Dynamic,
+}
+
+/// Structural parameters of the modeled core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Whether Hyper-Threading is enabled (two usable contexts).
+    pub ht_enabled: bool,
+    /// Resource-division policy under Hyper-Threading.
+    pub partition: Partition,
+    /// Total reorder-window capacity in µops (P4: 126).
+    pub window_uops: usize,
+    /// Total load-buffer entries (P4: 48).
+    pub load_buffers: usize,
+    /// Total store-buffer entries (P4: 24).
+    pub store_buffers: usize,
+    /// µops fetched per cycle from the trace cache (P4: 3).
+    pub fetch_width: usize,
+    /// µops retired per cycle (P4: 3).
+    pub retire_width: usize,
+    /// Total µops that may begin execution per cycle.
+    pub issue_width: usize,
+    /// Per-cycle issue quota per [`jsmt_isa::PortClass`], indexed by
+    /// `PortClass::index()`: `[IntFast, IntSlow, Fp, Load, Store]`.
+    pub port_quota: [u8; 5],
+    /// Cycles from mispredicted-branch resolution to useful fetch (the
+    /// P4's famously long pipeline makes this ~20).
+    pub redirect_penalty: u32,
+    /// Maximum window slots the scheduler examines per context per cycle
+    /// (models finite scheduler bandwidth and bounds simulation cost).
+    pub scheduler_scan: usize,
+}
+
+impl CoreConfig {
+    /// A Pentium 4 (Northwood, 2.8 GHz)-like core.
+    pub fn p4(ht_enabled: bool) -> Self {
+        CoreConfig {
+            ht_enabled,
+            partition: Partition::Static,
+            window_uops: 126,
+            load_buffers: 48,
+            store_buffers: 24,
+            fetch_width: 3,
+            retire_width: 3,
+            issue_width: 6,
+            // Two double-pumped fast ALUs, one slow int, one FP, one load
+            // AGU, one store AGU.
+            port_quota: [4, 1, 2, 1, 1],
+            redirect_penalty: 20,
+            scheduler_scan: 48,
+        }
+    }
+
+    /// Builder-style: set the partition policy.
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        self.partition = partition;
+        self
+    }
+
+    /// Capacity of one context's window given whether the sibling context
+    /// is currently bound.
+    pub fn window_share(&self, sibling_bound: bool) -> usize {
+        self.share(self.window_uops, sibling_bound)
+    }
+
+    /// Capacity of one context's load buffers.
+    pub fn load_share(&self, sibling_bound: bool) -> usize {
+        self.share(self.load_buffers, sibling_bound)
+    }
+
+    /// Capacity of one context's store buffers.
+    pub fn store_share(&self, sibling_bound: bool) -> usize {
+        self.share(self.store_buffers, sibling_bound)
+    }
+
+    fn share(&self, total: usize, sibling_bound: bool) -> usize {
+        if !self.ht_enabled {
+            return total;
+        }
+        match self.partition {
+            Partition::Static => total / 2,
+            Partition::Dynamic => {
+                if sibling_bound {
+                    total / 2
+                } else {
+                    total
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ht_off_gives_full_resources() {
+        let c = CoreConfig::p4(false);
+        assert_eq!(c.window_share(false), 126);
+        assert_eq!(c.load_share(false), 48);
+        assert_eq!(c.store_share(false), 24);
+    }
+
+    #[test]
+    fn static_partition_halves_even_when_sibling_idle() {
+        let c = CoreConfig::p4(true);
+        assert_eq!(c.window_share(false), 63);
+        assert_eq!(c.window_share(true), 63);
+        assert_eq!(c.store_share(false), 12);
+    }
+
+    #[test]
+    fn dynamic_partition_recombines_when_idle() {
+        let c = CoreConfig::p4(true).with_partition(Partition::Dynamic);
+        assert_eq!(c.window_share(false), 126);
+        assert_eq!(c.window_share(true), 63);
+    }
+
+    #[test]
+    fn p4_widths() {
+        let c = CoreConfig::p4(true);
+        assert_eq!(c.fetch_width, 3);
+        assert_eq!(c.retire_width, 3);
+        assert!(c.port_quota.iter().map(|&q| q as usize).sum::<usize>() >= c.issue_width);
+    }
+}

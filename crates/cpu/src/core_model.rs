@@ -1,0 +1,776 @@
+//! The SMT core pipeline model.
+
+use std::collections::VecDeque;
+
+use jsmt_isa::{Asid, Uop, UopKind, DEP_NONE};
+use jsmt_mem::{AccessKind, MemConfig, MemoryHierarchy};
+use jsmt_perfmon::{CounterBank, Event, LogicalCpu};
+
+use crate::CoreConfig;
+
+/// µop supply callback: append up to `max` µops of the software thread
+/// currently bound to `lcpu` into `buf`, returning how many were added.
+/// Returning 0 means the thread cannot supply µops now (blocked or
+/// finished); the OS layer reacts by unbinding it.
+pub type FillFn<'a> = dyn FnMut(LogicalCpu, &mut Vec<Uop>, usize) -> usize + 'a;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Waiting,
+    Executing { done_at: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    uop: Uop,
+    seq: u64,
+    state: SlotState,
+}
+
+impl Slot {
+    #[inline]
+    fn done(&self, now: u64) -> bool {
+        matches!(self.state, SlotState::Executing { done_at } if done_at <= now)
+    }
+}
+
+#[derive(Debug)]
+struct Context {
+    bound: bool,
+    draining: bool,
+    asid: Asid,
+    fetch_queue: VecDeque<Uop>,
+    window: VecDeque<Slot>,
+    loads_in_window: usize,
+    stores_in_window: usize,
+    fetch_stall_until: u64,
+    /// Sequence number of an unresolved mispredicted branch; fetch is
+    /// halted until it resolves (we never fetch down the wrong path, so
+    /// the full redirect cost is modeled as a fetch bubble).
+    redirect_pending: Option<u64>,
+    next_seq: u64,
+    in_kernel: bool,
+    starved: bool,
+}
+
+impl Context {
+    fn new() -> Self {
+        Context {
+            bound: false,
+            draining: false,
+            asid: Asid(1),
+            fetch_queue: VecDeque::with_capacity(96),
+            window: VecDeque::with_capacity(130),
+            loads_in_window: 0,
+            stores_in_window: 0,
+            fetch_stall_until: 0,
+            redirect_pending: None,
+            next_seq: 0,
+            in_kernel: false,
+            starved: false,
+        }
+    }
+
+    #[inline]
+    fn front_seq(&self) -> u64 {
+        self.window.front().map(|s| s.seq).unwrap_or(self.next_seq)
+    }
+
+    #[inline]
+    fn drained(&self) -> bool {
+        self.window.is_empty() && self.fetch_queue.is_empty()
+    }
+}
+
+/// Observable state of one context, for the OS scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextSnapshot {
+    /// A software thread is bound.
+    pub bound: bool,
+    /// The bound thread's address space.
+    pub asid: Asid,
+    /// µops currently in the window.
+    pub window_occupancy: usize,
+    /// The source failed to supply µops at the last fetch attempt.
+    pub starved: bool,
+    /// A drain has been requested and is not yet complete.
+    pub draining: bool,
+    /// Window and fetch queue are both empty.
+    pub drained: bool,
+}
+
+/// The two-context SMT core.
+#[derive(Debug)]
+pub struct SmtCore {
+    cfg: CoreConfig,
+    mem: MemoryHierarchy,
+    ctxs: [Context; 2],
+    bank: CounterBank,
+    now: u64,
+    fill_chunk: usize,
+    scratch: Vec<Uop>,
+}
+
+impl SmtCore {
+    /// Build a core from pipeline and memory configurations.
+    pub fn new(core_cfg: CoreConfig, mem_cfg: MemConfig) -> Self {
+        SmtCore {
+            cfg: core_cfg,
+            mem: MemoryHierarchy::new(mem_cfg),
+            ctxs: [Context::new(), Context::new()],
+            bank: CounterBank::new(),
+            now: 0,
+            fill_chunk: 48,
+            scratch: Vec::with_capacity(64),
+        }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// The memory hierarchy (read-only; for diagnostics).
+    pub fn memory(&self) -> &MemoryHierarchy {
+        &self.mem
+    }
+
+    /// Elapsed machine cycles.
+    pub fn cycles(&self) -> u64 {
+        self.now
+    }
+
+    /// The raw event counters.
+    pub fn counters(&self) -> &CounterBank {
+        &self.bank
+    }
+
+    /// Bind a software thread (identified only by its address space here;
+    /// thread identity lives in the OS layer) to a context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context is already bound or not yet drained, or if
+    /// `lcpu` is `Lp1` while Hyper-Threading is disabled.
+    pub fn bind(&mut self, lcpu: LogicalCpu, asid: Asid) {
+        assert!(
+            self.cfg.ht_enabled || lcpu == LogicalCpu::Lp0,
+            "logical CPU 1 does not exist with Hyper-Threading disabled"
+        );
+        let ctx = &mut self.ctxs[lcpu.index()];
+        assert!(!ctx.bound, "context {lcpu:?} already bound");
+        assert!(ctx.drained(), "context {lcpu:?} not drained before bind");
+        ctx.bound = true;
+        ctx.draining = false;
+        ctx.asid = asid;
+        ctx.starved = false;
+        ctx.in_kernel = false;
+        ctx.fetch_stall_until = self.now;
+        ctx.redirect_pending = None;
+    }
+
+    /// Request that a context stop fetching so it can be unbound. The
+    /// in-flight µops continue to execute and retire.
+    pub fn request_drain(&mut self, lcpu: LogicalCpu) {
+        self.ctxs[lcpu.index()].draining = true;
+    }
+
+    /// Detach the thread from a context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context still has µops in flight (request a drain and
+    /// wait for [`ContextSnapshot::drained`] first).
+    pub fn unbind(&mut self, lcpu: LogicalCpu) {
+        let ctx = &mut self.ctxs[lcpu.index()];
+        assert!(ctx.bound, "context {lcpu:?} not bound");
+        assert!(ctx.drained(), "unbinding context {lcpu:?} with µops in flight");
+        ctx.bound = false;
+        ctx.draining = false;
+        ctx.starved = false;
+    }
+
+    /// Snapshot a context's scheduling-relevant state.
+    pub fn snapshot(&self, lcpu: LogicalCpu) -> ContextSnapshot {
+        let ctx = &self.ctxs[lcpu.index()];
+        ContextSnapshot {
+            bound: ctx.bound,
+            asid: ctx.asid,
+            window_occupancy: ctx.window.len(),
+            starved: ctx.starved,
+            draining: ctx.draining,
+            drained: ctx.drained(),
+        }
+    }
+
+    /// Whether both contexts currently have threads bound.
+    pub fn dual_thread(&self) -> bool {
+        self.ctxs[0].bound && self.ctxs[1].bound
+    }
+
+    /// Advance the machine by one cycle. `fill` supplies µops for bound,
+    /// fetching contexts.
+    pub fn cycle(&mut self, fill: &mut FillFn<'_>) {
+        let now = self.now;
+
+        // --- per-cycle accounting -------------------------------------
+        let both = self.dual_thread();
+        if both {
+            self.bank.inc(LogicalCpu::Lp0, Event::DualThreadCycles);
+        }
+        for lcpu in LogicalCpu::BOTH {
+            let ctx = &self.ctxs[lcpu.index()];
+            if ctx.bound {
+                self.bank.inc(lcpu, Event::ClockCycles);
+                self.bank.inc(lcpu, Event::ActiveCycles);
+                if ctx.in_kernel {
+                    self.bank.inc(lcpu, Event::OsCycles);
+                }
+            }
+        }
+
+        self.resolve_redirects(now);
+        self.fetch_stage(now, fill);
+        self.issue_stage(now);
+        self.retire_stage(now);
+
+        self.now = now + 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    fn fetch_candidate(&self, now: u64) -> Option<usize> {
+        let can_fetch = |i: usize| {
+            let c = &self.ctxs[i];
+            c.bound && c.fetch_stall_until <= now && c.redirect_pending.is_none()
+        };
+        let first = (now & 1) as usize;
+        let order = [first, 1 - first];
+        order.into_iter().find(|&i| can_fetch(i))
+    }
+
+    fn fetch_stage(&mut self, now: u64, fill: &mut FillFn<'_>) {
+        let Some(i) = self.fetch_candidate(now) else { return };
+        let lcpu = LogicalCpu::from_index(i);
+
+        // Refill the fetch queue from the thread's µop source.
+        let want = self.fill_chunk.saturating_sub(self.ctxs[i].fetch_queue.len());
+        if want >= self.cfg.fetch_width && !self.ctxs[i].draining {
+            self.scratch.clear();
+            let got = fill(lcpu, &mut self.scratch, want);
+            debug_assert!(got <= want, "source overfilled the fetch buffer");
+            let delivered = self.scratch.len().min(want);
+            for uop in self.scratch.drain(..).take(delivered) {
+                self.ctxs[i].fetch_queue.push_back(uop);
+            }
+            self.ctxs[i].starved = delivered == 0 && self.ctxs[i].fetch_queue.is_empty();
+        }
+        if self.ctxs[i].fetch_queue.is_empty() {
+            return;
+        }
+
+        // One trace-cache probe per fetch cycle, at the group's leading pc.
+        let asid = self.ctxs[i].asid;
+        let first_pc = self.ctxs[i].fetch_queue.front().expect("nonempty").pc;
+        let outcome = self.mem.fetch(first_pc, asid, lcpu, &mut self.bank);
+        if !outcome.tc_hit {
+            self.ctxs[i].fetch_stall_until = now + outcome.penalty as u64;
+            self.bank.add(lcpu, Event::FetchStallCycles, outcome.penalty as u64);
+            return;
+        }
+
+        // Allocate up to fetch_width µops into the window.
+        let sibling_bound = self.ctxs[1 - i].bound;
+        let window_cap = self.cfg.window_share(sibling_bound);
+        let load_cap = self.cfg.load_share(sibling_bound);
+        let store_cap = self.cfg.store_share(sibling_bound);
+
+        let mut fetched = 0;
+        while fetched < self.cfg.fetch_width {
+            let ctx = &mut self.ctxs[i];
+            let Some(&uop) = ctx.fetch_queue.front() else { break };
+            if ctx.window.len() >= window_cap {
+                self.bank.inc(lcpu, Event::AllocStallCycles);
+                break;
+            }
+            let is_load = matches!(uop.kind, UopKind::Load | UopKind::AtomicRmw);
+            let is_store = matches!(uop.kind, UopKind::Store | UopKind::AtomicRmw);
+            if (is_load && ctx.loads_in_window >= load_cap)
+                || (is_store && ctx.stores_in_window >= store_cap)
+            {
+                self.bank.inc(lcpu, Event::AllocStallCycles);
+                break;
+            }
+
+            let ctx = &mut self.ctxs[i];
+            ctx.fetch_queue.pop_front();
+            ctx.in_kernel = uop.privileged;
+            if is_load {
+                ctx.loads_in_window += 1;
+            }
+            if is_store {
+                ctx.stores_in_window += 1;
+            }
+            let seq = ctx.next_seq;
+            ctx.next_seq += 1;
+
+            let mut mispredict = false;
+            if let Some(info) = uop.branch {
+                let predicted_target = self.mem.btb.lookup(uop.pc, asid, lcpu);
+                self.bank.inc(lcpu, Event::BtbLookups);
+                if predicted_target.is_none() {
+                    self.bank.inc(lcpu, Event::BtbMisses);
+                }
+                let dir_ok =
+                    self.mem.predictor.predict_and_update(uop.pc, lcpu, info.kind, info.taken);
+                let target_ok = !info.taken || predicted_target == Some(info.target);
+                if info.taken {
+                    self.mem.btb.update(uop.pc, asid, lcpu, info.target);
+                }
+                mispredict = !dir_ok || !target_ok;
+            }
+
+            let ctx = &mut self.ctxs[i];
+            ctx.window.push_back(Slot { uop, seq, state: SlotState::Waiting });
+            fetched += 1;
+
+            if mispredict {
+                ctx.redirect_pending = Some(seq);
+                self.bank.inc(lcpu, Event::BranchMispredicts);
+                self.bank.inc(lcpu, Event::Squashes);
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue / execute
+    // ------------------------------------------------------------------
+
+    fn issue_stage(&mut self, now: u64) {
+        let mut port_budget = self.cfg.port_quota;
+        let mut issue_budget = self.cfg.issue_width;
+        let first = (now & 1) as usize;
+        for &i in &[first, 1 - first] {
+            if issue_budget == 0 {
+                break;
+            }
+            if !self.ctxs[i].bound && self.ctxs[i].window.is_empty() {
+                continue;
+            }
+            self.issue_context(i, now, &mut port_budget, &mut issue_budget);
+        }
+    }
+
+    fn issue_context(
+        &mut self,
+        i: usize,
+        now: u64,
+        port_budget: &mut [u8; 5],
+        issue_budget: &mut usize,
+    ) {
+        let lcpu = LogicalCpu::from_index(i);
+        let asid = self.ctxs[i].asid;
+        let front_seq = self.ctxs[i].front_seq();
+        // The scan budget models finite scheduler bandwidth: only *waiting*
+        // µops consume it (issued µops have left the scheduling queues).
+        let mut scan_budget = self.cfg.scheduler_scan;
+
+        for idx in 0..self.ctxs[i].window.len() {
+            if *issue_budget == 0 || scan_budget == 0 {
+                return;
+            }
+            // Gather the facts we need without holding a borrow across the
+            // memory-model call below.
+            let (kind, dep_dist, mem_addr, pc, waiting) = {
+                let slot = &self.ctxs[i].window[idx];
+                (
+                    slot.uop.kind,
+                    slot.uop.dep_dist,
+                    slot.uop.mem,
+                    slot.uop.pc,
+                    matches!(slot.state, SlotState::Waiting),
+                )
+            };
+
+            // A serializing µop must be the oldest in the window, and
+            // blocks everything younger until it completes.
+            if kind.is_serializing()
+                && idx != 0 {
+                    return;
+                }
+
+            if !waiting {
+                if kind.is_serializing() && !self.ctxs[i].window[idx].done(now) {
+                    return;
+                }
+                continue;
+            }
+            scan_budget -= 1;
+
+            // Data dependence: the producer must have completed. A
+            // producer that already retired (or a distance reaching past
+            // the start of the stream) is trivially satisfied.
+            if dep_dist != DEP_NONE {
+                let cur_seq = front_seq + idx as u64;
+                if let Some(producer_seq) = cur_seq.checked_sub(dep_dist as u64) {
+                    if producer_seq >= front_seq {
+                        let pidx = (producer_seq - front_seq) as usize;
+                        if !self.ctxs[i].window[pidx].done(now) {
+                            continue;
+                        }
+                    }
+                }
+            }
+
+            let port = kind.port().index();
+            if port_budget[port] == 0 {
+                continue;
+            }
+
+            // Compute execution latency; memory µops consult the hierarchy.
+            let mut latency = kind.base_latency();
+            match kind {
+                UopKind::Load | UopKind::AtomicRmw => {
+                    let addr = mem_addr.unwrap_or(pc);
+                    latency +=
+                        self.mem.data_access(addr, asid, lcpu, AccessKind::Read, &mut self.bank);
+                }
+                UopKind::Store => {
+                    let addr = mem_addr.unwrap_or(pc);
+                    // The store buffer hides the miss latency from the
+                    // pipeline; the access still exercises (and pollutes)
+                    // the cache hierarchy.
+                    let _ = self.mem.data_access(addr, asid, lcpu, AccessKind::Write, &mut self.bank);
+                }
+                _ => {}
+            }
+
+            port_budget[port] -= 1;
+            *issue_budget -= 1;
+            self.ctxs[i].window[idx].state =
+                SlotState::Executing { done_at: now + latency as u64 };
+
+            if kind.is_serializing() {
+                // Nothing younger may issue this cycle.
+                return;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Redirect resolution
+    // ------------------------------------------------------------------
+
+    fn resolve_redirects(&mut self, now: u64) {
+        for i in 0..2 {
+            let Some(seq) = self.ctxs[i].redirect_pending else { continue };
+            let front = self.ctxs[i].front_seq();
+            let resolved_at = if seq < front {
+                // The branch already retired.
+                Some(now)
+            } else {
+                let idx = (seq - front) as usize;
+                match self.ctxs[i].window.get(idx) {
+                    Some(slot) => match slot.state {
+                        SlotState::Executing { done_at } if done_at <= now => Some(done_at),
+                        _ => None,
+                    },
+                    None => Some(now),
+                }
+            };
+            if let Some(at) = resolved_at {
+                let penalty = self.cfg.redirect_penalty as u64;
+                let ctx = &mut self.ctxs[i];
+                ctx.redirect_pending = None;
+                ctx.fetch_stall_until = ctx.fetch_stall_until.max(at + penalty);
+                self.bank.add(LogicalCpu::from_index(i), Event::FetchStallCycles, penalty);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Retire
+    // ------------------------------------------------------------------
+
+    fn retire_stage(&mut self, now: u64) {
+        // The P4 alternates retirement between logical CPUs when both are
+        // active; a lone thread retires every cycle.
+        let a = self.ctxs[0].window.front().map(|s| s.done(now)).unwrap_or(false);
+        let b = self.ctxs[1].window.front().map(|s| s.done(now)).unwrap_or(false);
+        let i = match (a, b) {
+            (true, true) => (now & 1) as usize,
+            (true, false) => 0,
+            (false, true) => 1,
+            (false, false) => {
+                self.bank.inc(LogicalCpu::Lp0, Event::CyclesRetire0);
+                return;
+            }
+        };
+        let lcpu = LogicalCpu::from_index(i);
+        let mut retired = 0usize;
+        while retired < self.cfg.retire_width {
+            let ctx = &mut self.ctxs[i];
+            let Some(front) = ctx.window.front() else { break };
+            if !front.done(now) {
+                break;
+            }
+            let slot = ctx.window.pop_front().expect("front exists");
+            match slot.uop.kind {
+                UopKind::Load => {
+                    ctx.loads_in_window -= 1;
+                    self.bank.inc(lcpu, Event::LoadsRetired);
+                }
+                UopKind::Store => {
+                    ctx.stores_in_window -= 1;
+                    self.bank.inc(lcpu, Event::StoresRetired);
+                }
+                UopKind::AtomicRmw => {
+                    ctx.loads_in_window -= 1;
+                    ctx.stores_in_window -= 1;
+                    self.bank.inc(lcpu, Event::LoadsRetired);
+                    self.bank.inc(lcpu, Event::StoresRetired);
+                }
+                UopKind::Branch => self.bank.inc(lcpu, Event::BranchesRetired),
+                _ => {}
+            }
+            self.bank.inc(lcpu, Event::UopsRetired);
+            self.bank.inc(lcpu, Event::InstrRetired);
+            if slot.uop.privileged {
+                self.bank.inc(lcpu, Event::UopsRetiredKernel);
+            }
+            retired += 1;
+        }
+        let hist = match retired.min(3) {
+            0 => Event::CyclesRetire0,
+            1 => Event::CyclesRetire1,
+            2 => Event::CyclesRetire2,
+            _ => Event::CyclesRetire3,
+        };
+        self.bank.inc(LogicalCpu::Lp0, hist);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SyntheticStream;
+    use crate::Partition;
+    use jsmt_perfmon::DerivedMetrics;
+
+    /// A stream small enough to warm the caches quickly, so unit tests
+    /// measure steady-state behaviour (the paper likewise drops the
+    /// cold-start run from every measurement).
+    fn small_stream(seed: u64) -> SyntheticStream {
+        SyntheticStream::builder(seed)
+            .code_footprint(4 * 1024)
+            .data_footprint(16 * 1024)
+            .build()
+    }
+
+    /// Run one thread for `warmup + cycles` and return the post-warmup
+    /// counter deltas plus the measured cycle count.
+    fn run_single(core_cfg: CoreConfig, cycles: u64, seed: u64) -> (CounterBank, u64) {
+        let mut core = SmtCore::new(core_cfg, MemConfig::p4(core_cfg.ht_enabled));
+        let mut stream = small_stream(seed);
+        core.bind(LogicalCpu::Lp0, Asid(1));
+        let warmup = 30_000;
+        for _ in 0..warmup {
+            core.cycle(&mut |_l, buf, max| stream.fill(buf, max));
+        }
+        let snap = core.counters().clone();
+        for _ in 0..cycles {
+            core.cycle(&mut |_l, buf, max| stream.fill(buf, max));
+        }
+        (core.counters().delta(&snap), cycles)
+    }
+
+    #[test]
+    fn single_thread_makes_progress() {
+        let (bank, cycles) = run_single(CoreConfig::p4(false), 20_000, 1);
+        let m = DerivedMetrics::from_bank(&bank, cycles);
+        assert!(m.ipc > 0.15 && m.ipc < 3.0, "ipc {}", m.ipc);
+    }
+
+    #[test]
+    fn retirement_histogram_accounts_every_cycle() {
+        let (bank, cycles) = run_single(CoreConfig::p4(false), 10_000, 2);
+        let hist = bank.total(Event::CyclesRetire0)
+            + bank.total(Event::CyclesRetire1)
+            + bank.total(Event::CyclesRetire2)
+            + bank.total(Event::CyclesRetire3);
+        assert_eq!(hist, cycles, "exactly one histogram bucket per cycle");
+    }
+
+    /// A DRAM-bound, high-MLP stream: the window size directly limits how
+    /// many misses overlap, which is where static partitioning hurts.
+    fn mlp_stream(seed: u64) -> SyntheticStream {
+        SyntheticStream::builder(seed)
+            .code_footprint(2 * 1024)
+            .data_footprint(16 * 1024 * 1024)
+            .mem_fraction(0.45)
+            .dep_chain(0.05)
+            .branch_fraction(0.02)
+            .build()
+    }
+
+    fn run_mlp(core_cfg: CoreConfig, cycles: u64, seed: u64) -> f64 {
+        let mut core = SmtCore::new(core_cfg, MemConfig::p4(core_cfg.ht_enabled));
+        let mut stream = mlp_stream(seed);
+        core.bind(LogicalCpu::Lp0, Asid(1));
+        for _ in 0..cycles {
+            core.cycle(&mut |_l, buf, max| stream.fill(buf, max));
+        }
+        DerivedMetrics::from_bank(core.counters(), core.cycles()).ipc
+    }
+
+    #[test]
+    fn static_partition_slows_a_single_thread() {
+        let ipc_off = run_mlp(CoreConfig::p4(false), 80_000, 3);
+        let ipc_on = run_mlp(CoreConfig::p4(true), 80_000, 3);
+        assert!(
+            ipc_on < ipc_off * 0.95,
+            "halved window must cost IPC: on={ipc_on:.3} off={ipc_off:.3}"
+        );
+    }
+
+    #[test]
+    fn dynamic_partition_recovers_single_thread_ipc() {
+        let cfg = CoreConfig::p4(true).with_partition(Partition::Dynamic);
+        let ipc_dyn = run_mlp(cfg, 80_000, 3);
+        let ipc_stat = run_mlp(CoreConfig::p4(true), 80_000, 3);
+        assert!(
+            ipc_dyn > ipc_stat,
+            "dynamic partition should beat static for one thread: {ipc_dyn:.3} vs {ipc_stat:.3}"
+        );
+    }
+
+    #[test]
+    fn two_threads_beat_one_in_throughput() {
+        // Same workload twice under HT vs once alone: machine IPC must rise.
+        let cfg = CoreConfig::p4(true);
+        let mut core = SmtCore::new(cfg, MemConfig::p4(true));
+        let mut s0 = small_stream(10);
+        let mut s1 = small_stream(11);
+        core.bind(LogicalCpu::Lp0, Asid(1));
+        core.bind(LogicalCpu::Lp1, Asid(1));
+        let mut tick = |core: &mut SmtCore| {
+            core.cycle(&mut |l, buf, max| match l {
+                LogicalCpu::Lp0 => s0.fill(buf, max),
+                LogicalCpu::Lp1 => s1.fill(buf, max),
+            })
+        };
+        for _ in 0..30_000 {
+            tick(&mut core);
+        }
+        let snap = core.counters().clone();
+        for _ in 0..60_000 {
+            tick(&mut core);
+        }
+        let smt_ipc =
+            DerivedMetrics::from_bank(&core.counters().delta(&snap), 60_000).ipc;
+        let (one, c_one) = run_single(CoreConfig::p4(true), 60_000, 10);
+        let one_ipc = DerivedMetrics::from_bank(&one, c_one).ipc;
+        assert!(
+            smt_ipc > one_ipc * 1.1,
+            "SMT should raise machine throughput: {smt_ipc:.3} vs {one_ipc:.3}"
+        );
+    }
+
+    #[test]
+    fn dual_thread_cycles_counted() {
+        let mut core = SmtCore::new(CoreConfig::p4(true), MemConfig::p4(true));
+        let mut s0 = small_stream(1);
+        let mut s1 = small_stream(2);
+        core.bind(LogicalCpu::Lp0, Asid(1));
+        for _ in 0..100 {
+            core.cycle(&mut |_l, buf, max| s0.fill(buf, max));
+        }
+        assert_eq!(core.counters().total(Event::DualThreadCycles), 0);
+        core.bind(LogicalCpu::Lp1, Asid(1));
+        for _ in 0..100 {
+            core.cycle(&mut |l, buf, max| match l {
+                LogicalCpu::Lp0 => s0.fill(buf, max),
+                LogicalCpu::Lp1 => s1.fill(buf, max),
+            });
+        }
+        assert_eq!(core.counters().total(Event::DualThreadCycles), 100);
+    }
+
+    #[test]
+    fn drain_then_unbind() {
+        let mut core = SmtCore::new(CoreConfig::p4(false), MemConfig::p4(false));
+        let mut s = small_stream(5);
+        core.bind(LogicalCpu::Lp0, Asid(1));
+        for _ in 0..1000 {
+            core.cycle(&mut |_l, buf, max| s.fill(buf, max));
+        }
+        core.request_drain(LogicalCpu::Lp0);
+        let mut waited = 0;
+        while !core.snapshot(LogicalCpu::Lp0).drained {
+            core.cycle(&mut |_l, buf, max| s.fill(buf, max));
+            waited += 1;
+            assert!(waited < 5000, "drain did not complete");
+        }
+        core.unbind(LogicalCpu::Lp0);
+        assert!(!core.snapshot(LogicalCpu::Lp0).bound);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn lp1_unusable_without_ht() {
+        let mut core = SmtCore::new(CoreConfig::p4(false), MemConfig::p4(false));
+        core.bind(LogicalCpu::Lp1, Asid(1));
+    }
+
+    #[test]
+    fn kernel_uops_drive_os_cycles() {
+        let mut core = SmtCore::new(CoreConfig::p4(false), MemConfig::p4(false));
+        let mut s = SyntheticStream::builder(6)
+            .code_footprint(4 * 1024)
+            .data_footprint(16 * 1024)
+            .privileged(true)
+            .build();
+        core.bind(LogicalCpu::Lp0, Asid(1));
+        for _ in 0..2000 {
+            core.cycle(&mut |_l, buf, max| s.fill(buf, max));
+        }
+        let bank = core.counters();
+        assert!(bank.total(Event::OsCycles) > 0);
+        assert!(bank.total(Event::UopsRetiredKernel) > 0);
+        assert_eq!(bank.total(Event::UopsRetiredKernel), bank.total(Event::UopsRetired));
+    }
+
+    #[test]
+    fn mispredicts_cause_fetch_stalls() {
+        let mk = |bias: f64| {
+            SyntheticStream::builder(7)
+                .code_footprint(4 * 1024)
+                .data_footprint(16 * 1024)
+                .branch_bias(bias)
+                .build()
+        };
+        let predictable = mk(0.999);
+        let noisy = mk(0.5);
+        let run = |mut s: SyntheticStream| {
+            let mut core = SmtCore::new(CoreConfig::p4(false), MemConfig::p4(false));
+            core.bind(LogicalCpu::Lp0, Asid(1));
+            for _ in 0..40_000 {
+                core.cycle(&mut |_l, buf, max| s.fill(buf, max));
+            }
+            let snap = core.counters().clone();
+            for _ in 0..40_000 {
+                core.cycle(&mut |_l, buf, max| s.fill(buf, max));
+            }
+            let m = DerivedMetrics::from_bank(&core.counters().delta(&snap), 40_000);
+            (m.ipc, m.branch_mispredict_ratio)
+        };
+        let (ipc_good, mr_good) = run(predictable);
+        let (ipc_bad, mr_bad) = run(noisy);
+        assert!(mr_bad > mr_good + 0.1, "mispredict ratios {mr_bad:.3} vs {mr_good:.3}");
+        assert!(ipc_bad < ipc_good, "mispredicts must cost IPC: {ipc_bad:.3} vs {ipc_good:.3}");
+    }
+}
+

@@ -1,0 +1,48 @@
+//! # jsmt-cpu
+//!
+//! The two-context SMT core model: a cycle-approximate, window-based
+//! out-of-order pipeline with Pentium 4 "Hyper-Threading"-style resource
+//! management:
+//!
+//! * fetch delivers up to 3 µops/cycle from the trace cache, for one
+//!   logical CPU per cycle (round-robin when both are active);
+//! * the reorder window and load/store buffers are **statically
+//!   partitioned** between the two contexts when Hyper-Threading is
+//!   enabled — the design decision the paper blames for single-threaded
+//!   slowdowns (§4.3) — with a `Dynamic` policy available as the paper's
+//!   proposed-fix ablation;
+//! * execution ports are fully shared each cycle;
+//! * retirement commits up to 3 µops/cycle, alternating between contexts
+//!   when both are active, and records the 0/1/2/3-µop retirement
+//!   histogram of Figure 2.
+//!
+//! The core is *execution-driven*: software threads (bound to contexts by
+//! the OS model) supply [`jsmt_isa::Uop`] streams through a fill callback,
+//! and every structural event lands in a [`jsmt_perfmon::CounterBank`].
+//!
+//! ## Example
+//!
+//! ```
+//! use jsmt_cpu::{CoreConfig, SmtCore, synth::SyntheticStream};
+//! use jsmt_mem::MemConfig;
+//! use jsmt_isa::Asid;
+//! use jsmt_perfmon::{Event, LogicalCpu};
+//!
+//! let mut core = SmtCore::new(CoreConfig::p4(false), MemConfig::p4(false));
+//! let mut stream = SyntheticStream::builder(7).build();
+//! core.bind(LogicalCpu::Lp0, Asid(1));
+//! for _ in 0..10_000 {
+//!     core.cycle(&mut |_lcpu, buf, max| stream.fill(buf, max));
+//! }
+//! assert!(core.counters().total(Event::UopsRetired) > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod core_model;
+pub mod synth;
+
+pub use config::{CoreConfig, Partition};
+pub use core_model::{ContextSnapshot, SmtCore};

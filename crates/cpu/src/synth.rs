@@ -1,0 +1,305 @@
+//! Synthetic µop streams.
+//!
+//! A configurable, deterministic µop generator used by the core's unit
+//! tests, the calibration tests, and the component benchmarks. Real
+//! benchmark streams come from `jsmt-workloads`; the synthetic stream
+//! isolates one microarchitectural stimulus at a time (code footprint,
+//! data footprint, branchiness, dependence depth), which is exactly what
+//! is needed to validate the pipeline and cache models against intuition
+//! before trusting them with whole programs.
+
+use jsmt_isa::{Addr, Region, Uop, UopKind, DEP_NONE};
+
+/// Deterministic 64-bit PRNG (splitmix64), dependency-free.
+#[derive(Debug, Clone)]
+pub struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Builder for [`SyntheticStream`].
+#[derive(Debug, Clone)]
+pub struct SyntheticStreamBuilder {
+    seed: u64,
+    code_footprint: u64,
+    data_footprint: u64,
+    mem_fraction: f64,
+    store_fraction: f64,
+    branch_fraction: f64,
+    branch_bias: f64,
+    fp_fraction: f64,
+    dep_chain: f64,
+    privileged: bool,
+}
+
+impl SyntheticStreamBuilder {
+    /// Typical "integer application" defaults: 32 KB code, 256 KB data,
+    /// 35 % memory µops, 12 % branches, well-predicted.
+    pub fn new(seed: u64) -> Self {
+        SyntheticStreamBuilder {
+            seed,
+            code_footprint: 32 * 1024,
+            data_footprint: 256 * 1024,
+            mem_fraction: 0.35,
+            store_fraction: 0.3,
+            branch_fraction: 0.12,
+            branch_bias: 0.95,
+            fp_fraction: 0.0,
+            dep_chain: 0.4,
+            privileged: false,
+        }
+    }
+
+    /// Static code footprint in bytes (drives trace cache and ITLB).
+    pub fn code_footprint(mut self, bytes: u64) -> Self {
+        self.code_footprint = bytes.max(64);
+        self
+    }
+
+    /// Data working set in bytes (drives L1D/L2/DTLB).
+    pub fn data_footprint(mut self, bytes: u64) -> Self {
+        self.data_footprint = bytes.max(64);
+        self
+    }
+
+    /// Fraction of µops that access memory.
+    pub fn mem_fraction(mut self, f: f64) -> Self {
+        self.mem_fraction = f.clamp(0.0, 0.9);
+        self
+    }
+
+    /// Fraction of µops that are branches.
+    pub fn branch_fraction(mut self, f: f64) -> Self {
+        self.branch_fraction = f.clamp(0.0, 0.5);
+        self
+    }
+
+    /// Probability that a branch follows its bias (1.0 = perfectly
+    /// predictable, 0.5 = coin flip).
+    pub fn branch_bias(mut self, p: f64) -> Self {
+        self.branch_bias = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fraction of non-memory µops that are floating point.
+    pub fn fp_fraction(mut self, f: f64) -> Self {
+        self.fp_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability that a µop depends on a recent producer (higher = less
+    /// ILP).
+    pub fn dep_chain(mut self, f: f64) -> Self {
+        self.dep_chain = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Mark all µops privileged (kernel-mode stream).
+    pub fn privileged(mut self, p: bool) -> Self {
+        self.privileged = p;
+        self
+    }
+
+    /// Finalize the stream.
+    pub fn build(self) -> SyntheticStream {
+        let code_base = if self.privileged { Region::KernelCode.base() } else { Region::Code.base() };
+        let data_base = if self.privileged { Region::KernelData.base() } else { Region::Heap.base() };
+        SyntheticStream {
+            rng: SplitMix::new(self.seed),
+            cfg: self,
+            pc_off: 0,
+            code_base,
+            data_base,
+        }
+    }
+}
+
+/// An infinite synthetic µop stream.
+///
+/// The program counter walks sequentially through the configured code
+/// footprint and loops back with a taken branch, so trace-cache behaviour
+/// matches a program whose hot code is `code_footprint` bytes. Data
+/// addresses are drawn uniformly from the data footprint.
+#[derive(Debug, Clone)]
+pub struct SyntheticStream {
+    rng: SplitMix,
+    cfg: SyntheticStreamBuilder,
+    pc_off: u64,
+    code_base: Addr,
+    data_base: Addr,
+}
+
+impl SyntheticStream {
+    /// Start configuring a stream.
+    pub fn builder(seed: u64) -> SyntheticStreamBuilder {
+        SyntheticStreamBuilder::new(seed)
+    }
+
+    #[inline]
+    fn next_pc(&mut self) -> Addr {
+        let pc = self.code_base + self.pc_off;
+        self.pc_off += 4;
+        if self.pc_off >= self.cfg.code_footprint {
+            self.pc_off = 0;
+        }
+        pc
+    }
+
+    /// Generate one µop.
+    ///
+    /// The µop *kind*, a branch's *target* and its *bias class* are stable
+    /// functions of the pc — static program properties — while data
+    /// addresses, dependence distances and branch outcomes vary per visit,
+    /// as in real execution. This is what lets the BTB and direction
+    /// predictor learn, and the trace cache see a stable code footprint.
+    pub fn next_uop(&mut self) -> Uop {
+        let pc = self.next_pc();
+        let priv_ = self.cfg.privileged;
+        let dep = if self.rng.chance(self.cfg.dep_chain) {
+            1 + self.rng.below(4) as u8
+        } else {
+            DEP_NONE
+        };
+
+        // Static (per-pc) draws.
+        let mut site = SplitMix::new(pc.wrapping_mul(0xA24B_AED4_963E_E407));
+        let unit = |x: u64| (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let r_kind = unit(site.next_u64());
+        let site_word = site.next_u64();
+
+        let branch_cut =
+            self.cfg.mem_fraction + (1.0 - self.cfg.mem_fraction) * self.cfg.branch_fraction;
+        let fp_cut = branch_cut + (1.0 - branch_cut) * self.cfg.fp_fraction;
+        let mut uop = if r_kind < self.cfg.mem_fraction {
+            let addr = self.data_base + (self.rng.below(self.cfg.data_footprint) & !7);
+            if unit(site_word) < self.cfg.store_fraction {
+                Uop::store(pc, addr)
+            } else {
+                Uop::load(pc, addr)
+            }
+        } else if r_kind < branch_cut {
+            // Branch-site classification: a `branch_bias` fraction of
+            // branch sites are strongly biased; the rest are
+            // data-dependent coin flips.
+            let biased_site = unit(site_word) < self.cfg.branch_bias;
+            let taken = if biased_site {
+                // Biased sites still flip occasionally (loop exits).
+                !self.rng.chance(0.02)
+            } else {
+                self.rng.chance(0.5)
+            };
+            let target = self.code_base + site.next_u64() % self.cfg.code_footprint;
+            Uop::branch(pc, target, taken)
+        } else if r_kind < fp_cut {
+            Uop { kind: UopKind::FpMul, ..Uop::alu(pc) }
+        } else {
+            Uop::alu(pc)
+        };
+        uop.dep_dist = dep;
+        uop.privileged = priv_;
+        uop
+    }
+
+    /// Append up to `max` µops to `buf`; always delivers (infinite stream).
+    pub fn fill(&mut self, buf: &mut Vec<Uop>, max: usize) -> usize {
+        for _ in 0..max {
+            let u = self.next_uop();
+            buf.push(u);
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsmt_isa::InstrMix;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let mut a = SyntheticStream::builder(42).build();
+        let mut b = SyntheticStream::builder(42).build();
+        for _ in 0..1000 {
+            assert_eq!(a.next_uop(), b.next_uop());
+        }
+    }
+
+    #[test]
+    fn mix_tracks_configuration() {
+        let mut s = SyntheticStream::builder(1).mem_fraction(0.5).branch_fraction(0.2).build();
+        let mut mix = InstrMix::new();
+        for _ in 0..20_000 {
+            mix.record(&s.next_uop());
+        }
+        assert!((mix.mem_fraction() - 0.5).abs() < 0.03, "mem {}", mix.mem_fraction());
+        // Branch draw happens only on the non-memory path: 0.5 * 0.2 = 0.1.
+        assert!((mix.branch_fraction() - 0.1).abs() < 0.02, "br {}", mix.branch_fraction());
+    }
+
+    #[test]
+    fn pc_stays_in_footprint_and_wraps() {
+        let mut s = SyntheticStream::builder(1).code_footprint(1024).build();
+        let base = jsmt_isa::Region::Code.base();
+        let mut wrapped = false;
+        let mut last = 0;
+        for _ in 0..600 {
+            let u = s.next_uop();
+            assert!(u.pc >= base && u.pc < base + 1024);
+            if u.pc < last {
+                wrapped = true;
+            }
+            last = u.pc;
+        }
+        assert!(wrapped, "600 µops at 4 bytes each must wrap a 1 KB footprint");
+    }
+
+    #[test]
+    fn privileged_stream_uses_kernel_addresses() {
+        let mut s = SyntheticStream::builder(1).privileged(true).build();
+        for _ in 0..200 {
+            let u = s.next_uop();
+            assert!(u.privileged);
+            assert!(jsmt_isa::Region::is_kernel(u.pc));
+            if let Some(a) = u.mem {
+                assert!(jsmt_isa::Region::is_kernel(a));
+            }
+        }
+    }
+
+    #[test]
+    fn fill_delivers_exactly_max() {
+        let mut s = SyntheticStream::builder(1).build();
+        let mut buf = Vec::new();
+        assert_eq!(s.fill(&mut buf, 17), 17);
+        assert_eq!(buf.len(), 17);
+    }
+}

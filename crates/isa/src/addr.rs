@@ -1,0 +1,290 @@
+//! Simulated virtual address-space layout.
+//!
+//! Every simulated process (a JVM instance running one benchmark) owns one
+//! [`AddressSpace`]. The layout mirrors a 32-bit Linux process of the
+//! paper's era: user code low, heap in the middle, stacks high, and the
+//! kernel mapped at the top and shared between all processes.
+
+use crate::Addr;
+
+/// Cache line size of the modeled machine (both L1 and L2 on the P4 used in
+/// the paper have 64-byte lines).
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+/// Page size used for TLB modeling (4 KiB, as on the paper's platform).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Address-space identifier distinguishing simulated processes.
+///
+/// Multiprogrammed experiments run two independent JVM processes; their
+/// identical virtual addresses must not alias in physically-tagged or
+/// flush-on-switch structures, so tags incorporate the `Asid`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Asid(pub u16);
+
+impl Asid {
+    /// The kernel's address space id; kernel addresses are shared by all
+    /// processes, so accesses to the kernel region are re-tagged with this.
+    pub const KERNEL: Asid = Asid(0);
+}
+
+/// A virtual page number (address divided by the page size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageNumber(pub u64);
+
+impl PageNumber {
+    /// Page containing `addr`.
+    #[inline]
+    pub fn containing(addr: Addr) -> Self {
+        PageNumber(addr / PAGE_BYTES)
+    }
+}
+
+/// The major regions of a simulated process address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Statically generated user code: interpreter body, runtime stubs.
+    Code,
+    /// JIT code cache: compiled method bodies are laid out here.
+    JitCode,
+    /// Java heap (allocated and collected by `jsmt-jvm`).
+    Heap,
+    /// Native/JVM internal data (method tables, constant pools, DB pages).
+    Native,
+    /// Thread stacks (one slab per thread).
+    Stack,
+    /// Kernel code (shared across processes).
+    KernelCode,
+    /// Kernel data (shared across processes).
+    KernelData,
+}
+
+impl Region {
+    const CODE_BASE: Addr = 0x0800_0000;
+    const JIT_BASE: Addr = 0x1000_0000;
+    const HEAP_BASE: Addr = 0x2000_0000;
+    const NATIVE_BASE: Addr = 0x8000_0000;
+    const STACK_BASE: Addr = 0xB000_0000;
+    const KCODE_BASE: Addr = 0xC000_0000;
+    const KDATA_BASE: Addr = 0xD000_0000;
+    const REGION_END: Addr = 0xF000_0000;
+
+    /// Base address of the region.
+    #[inline]
+    pub fn base(self) -> Addr {
+        match self {
+            Region::Code => Self::CODE_BASE,
+            Region::JitCode => Self::JIT_BASE,
+            Region::Heap => Self::HEAP_BASE,
+            Region::Native => Self::NATIVE_BASE,
+            Region::Stack => Self::STACK_BASE,
+            Region::KernelCode => Self::KCODE_BASE,
+            Region::KernelData => Self::KDATA_BASE,
+        }
+    }
+
+    /// Exclusive upper bound of the region.
+    #[inline]
+    pub fn end(self) -> Addr {
+        match self {
+            Region::Code => Self::JIT_BASE,
+            Region::JitCode => Self::HEAP_BASE,
+            Region::Heap => Self::NATIVE_BASE,
+            Region::Native => Self::STACK_BASE,
+            Region::Stack => Self::KCODE_BASE,
+            Region::KernelCode => Self::KDATA_BASE,
+            Region::KernelData => Self::REGION_END,
+        }
+    }
+
+    /// Size of the region in bytes.
+    #[inline]
+    pub fn size(self) -> u64 {
+        self.end() - self.base()
+    }
+
+    /// Classify an address into its region. Addresses outside all regions
+    /// (which the simulator never produces) map to `Native`.
+    #[inline]
+    pub fn of(addr: Addr) -> Region {
+        match addr {
+            a if a >= Self::KDATA_BASE => Region::KernelData,
+            a if a >= Self::KCODE_BASE => Region::KernelCode,
+            a if a >= Self::STACK_BASE => Region::Stack,
+            a if a >= Self::NATIVE_BASE => Region::Native,
+            a if a >= Self::HEAP_BASE => Region::Heap,
+            a if a >= Self::JIT_BASE => Region::JitCode,
+            a if a >= Self::CODE_BASE => Region::Code,
+            _ => Region::Native,
+        }
+    }
+
+    /// Whether the address lies in kernel space.
+    #[inline]
+    pub fn is_kernel(addr: Addr) -> bool {
+        addr >= Self::KCODE_BASE
+    }
+}
+
+/// A simulated process address space: a set of bump cursors, one per region,
+/// from which the JVM model and the OS carve allocations.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    asid: Asid,
+    cursors: [Addr; 5],
+}
+
+impl AddressSpace {
+    const USER_REGIONS: [Region; 5] =
+        [Region::Code, Region::JitCode, Region::Heap, Region::Native, Region::Stack];
+
+    /// Create the address space for process `asid` (must be nonzero; 0 is
+    /// reserved for the kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asid` is 0.
+    pub fn new(asid: u16) -> Self {
+        assert!(asid != 0, "asid 0 is reserved for the kernel");
+        AddressSpace {
+            asid: Asid(asid),
+            cursors: [
+                Region::Code.base(),
+                Region::JitCode.base(),
+                Region::Heap.base(),
+                Region::Native.base(),
+                Region::Stack.base(),
+            ],
+        }
+    }
+
+    /// The process id of this address space.
+    #[inline]
+    pub fn asid(&self) -> Asid {
+        self.asid
+    }
+
+    /// Base address of `region` (identical across processes; provided here
+    /// for call-site convenience).
+    #[inline]
+    pub fn region_base(&self, region: Region) -> Addr {
+        region.base()
+    }
+
+    fn cursor_index(region: Region) -> Option<usize> {
+        Self::USER_REGIONS.iter().position(|&r| r == region)
+    }
+
+    /// Carve `bytes` from `region`, aligned to `align` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is exhausted, if `align` is not a power of two,
+    /// or if `region` is a kernel region (the kernel layout is fixed).
+    pub fn alloc(&mut self, region: Region, bytes: u64, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let idx = Self::cursor_index(region)
+            .unwrap_or_else(|| panic!("cannot allocate in kernel region {region:?}"));
+        let base = (self.cursors[idx] + align - 1) & !(align - 1);
+        let end = base + bytes;
+        assert!(
+            end <= region.end(),
+            "simulated region {region:?} exhausted: wanted {bytes} bytes at {base:#x}"
+        );
+        self.cursors[idx] = end;
+        base
+    }
+
+    /// Bytes currently allocated in `region`.
+    pub fn allocated(&self, region: Region) -> u64 {
+        match Self::cursor_index(region) {
+            Some(idx) => self.cursors[idx] - region.base(),
+            None => 0,
+        }
+    }
+
+    /// Reset the heap cursor (used by the copying phase of the GC model when
+    /// an entire semispace is recycled). Only `Region::Heap` supports this.
+    pub fn reset_heap(&mut self) {
+        let idx = Self::cursor_index(Region::Heap).expect("heap is a user region");
+        self.cursors[idx] = Region::Heap.base();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        let regions = [
+            Region::Code,
+            Region::JitCode,
+            Region::Heap,
+            Region::Native,
+            Region::Stack,
+            Region::KernelCode,
+            Region::KernelData,
+        ];
+        for w in regions.windows(2) {
+            assert!(w[0].end() <= w[1].base(), "{:?} overlaps {:?}", w[0], w[1]);
+            assert!(w[0].base() < w[0].end());
+        }
+    }
+
+    #[test]
+    fn classification_round_trips() {
+        for r in [
+            Region::Code,
+            Region::JitCode,
+            Region::Heap,
+            Region::Native,
+            Region::Stack,
+            Region::KernelCode,
+            Region::KernelData,
+        ] {
+            assert_eq!(Region::of(r.base()), r);
+            assert_eq!(Region::of(r.end() - 1), r);
+        }
+    }
+
+    #[test]
+    fn kernel_detection() {
+        assert!(Region::is_kernel(Region::KernelCode.base()));
+        assert!(Region::is_kernel(Region::KernelData.base() + 100));
+        assert!(!Region::is_kernel(Region::Heap.base()));
+    }
+
+    #[test]
+    fn alloc_is_aligned_and_monotonic() {
+        let mut a = AddressSpace::new(1);
+        let x = a.alloc(Region::Heap, 100, 64);
+        let y = a.alloc(Region::Heap, 100, 64);
+        assert_eq!(x % 64, 0);
+        assert_eq!(y % 64, 0);
+        assert!(y >= x + 100);
+        assert!(a.allocated(Region::Heap) >= 200);
+    }
+
+    #[test]
+    fn heap_reset_recycles_space() {
+        let mut a = AddressSpace::new(1);
+        let first = a.alloc(Region::Heap, 4096, 64);
+        a.reset_heap();
+        let second = a.alloc(Region::Heap, 4096, 64);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for the kernel")]
+    fn asid_zero_rejected() {
+        let _ = AddressSpace::new(0);
+    }
+
+    #[test]
+    fn page_numbers() {
+        assert_eq!(PageNumber::containing(0).0, 0);
+        assert_eq!(PageNumber::containing(PAGE_BYTES).0, 1);
+        assert_eq!(PageNumber::containing(PAGE_BYTES * 7 + 123).0, 7);
+    }
+}

@@ -1,0 +1,45 @@
+//! # jsmt-isa
+//!
+//! Instruction-set substrate for the `jsmt` simulator: the micro-operation
+//! (µop) model, the simulated address-space layout, and instruction-mix
+//! accounting.
+//!
+//! The Pentium 4 front end translates IA-32 instructions into µops and the
+//! trace cache, scheduler and retirement logic all operate on µops; the
+//! paper's counters ("retire up to 3 µops per clock cycle") are µop-level.
+//! The simulator therefore works directly in µops: workload kernels emit
+//! [`Uop`] streams and the core model in `jsmt-cpu` consumes them.
+//!
+//! ## Example
+//!
+//! ```
+//! use jsmt_isa::{Uop, UopKind, AddressSpace, Region};
+//!
+//! let aspace = AddressSpace::new(1);
+//! let pc = aspace.region_base(Region::Code);
+//! let uop = Uop::alu(pc);
+//! assert_eq!(uop.kind, UopKind::Alu);
+//! assert!(!uop.privileged);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod mix;
+mod uop;
+
+pub use addr::{AddressSpace, Asid, PageNumber, Region, CACHE_LINE_BYTES, PAGE_BYTES};
+pub use mix::InstrMix;
+pub use uop::{BranchInfo, BranchKind, PortClass, Uop, UopKind, DEP_NONE};
+
+/// A simulated byte address.
+///
+/// Addresses are virtual within a process; [`Asid`] disambiguates between
+/// processes where physically-indexed structures (L2) or virtually-indexed,
+/// process-private structures (trace cache tags) need it.
+pub type Addr = u64;
+
+/// A simulated cycle count (the simulator's clock domain is the CPU core
+/// clock, nominally 2.8 GHz to match the paper's machine).
+pub type Cycle = u64;

@@ -1,0 +1,145 @@
+//! Instruction-mix accounting.
+//!
+//! Workload characterization papers always report the dynamic instruction
+//! mix; we keep a cheap accumulator that classifies µops as they stream by,
+//! used both by tests (to validate that a kernel's mix matches its intent —
+//! e.g. `mpegaudio` is FP-heavy, `db` is load-heavy) and by the reports.
+
+use crate::{Uop, UopKind};
+
+/// Accumulated dynamic µop mix for one stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstrMix {
+    /// Integer ALU (plus nops).
+    pub int_alu: u64,
+    /// Integer multiply/divide.
+    pub int_complex: u64,
+    /// Floating point of any flavour.
+    pub fp: u64,
+    /// Loads (including the read half of atomics).
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Branches.
+    pub branches: u64,
+    /// Atomics and fences.
+    pub sync: u64,
+    /// µops marked privileged (kernel mode).
+    pub kernel: u64,
+}
+
+impl InstrMix {
+    /// A fresh, zeroed mix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one µop.
+    #[inline]
+    pub fn record(&mut self, uop: &Uop) {
+        match uop.kind {
+            UopKind::Alu | UopKind::Nop => self.int_alu += 1,
+            UopKind::Mul | UopKind::Div => self.int_complex += 1,
+            UopKind::FpAdd | UopKind::FpMul | UopKind::FpDiv => self.fp += 1,
+            UopKind::Load => self.loads += 1,
+            UopKind::Store => self.stores += 1,
+            UopKind::Branch => self.branches += 1,
+            UopKind::AtomicRmw | UopKind::Fence => self.sync += 1,
+        }
+        if uop.privileged {
+            self.kernel += 1;
+        }
+    }
+
+    /// Total µops recorded.
+    pub fn total(&self) -> u64 {
+        self.int_alu + self.int_complex + self.fp + self.loads + self.stores + self.branches + self.sync
+    }
+
+    /// Fraction of µops that are memory operations.
+    pub fn mem_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.loads + self.stores) as f64 / t as f64
+        }
+    }
+
+    /// Fraction of µops that are floating point.
+    pub fn fp_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.fp as f64 / t as f64
+        }
+    }
+
+    /// Fraction of µops that are branches.
+    pub fn branch_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.branches as f64 / t as f64
+        }
+    }
+
+    /// Merge another mix into this one.
+    pub fn merge(&mut self, other: &InstrMix) {
+        self.int_alu += other.int_alu;
+        self.int_complex += other.int_complex;
+        self.fp += other.fp;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.branches += other.branches;
+        self.sync += other.sync;
+        self.kernel += other.kernel;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Uop;
+
+    #[test]
+    fn records_and_totals() {
+        let mut mix = InstrMix::new();
+        mix.record(&Uop::alu(0x1000));
+        mix.record(&Uop::load(0x1004, 0x8000));
+        mix.record(&Uop::store(0x1008, 0x8008));
+        mix.record(&Uop::branch(0x100c, 0x1000, true));
+        assert_eq!(mix.total(), 4);
+        assert!((mix.mem_fraction() - 0.5).abs() < 1e-12);
+        assert!((mix.branch_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_uops_counted_separately() {
+        let mut mix = InstrMix::new();
+        mix.record(&Uop::alu(0xC000_0000).privileged());
+        assert_eq!(mix.kernel, 1);
+        assert_eq!(mix.total(), 1);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = InstrMix::new();
+        let mut b = InstrMix::new();
+        a.record(&Uop::alu(0x1000));
+        b.record(&Uop::load(0x1004, 0x8000));
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.loads, 1);
+    }
+
+    #[test]
+    fn empty_mix_has_zero_fractions() {
+        let mix = InstrMix::new();
+        assert_eq!(mix.mem_fraction(), 0.0);
+        assert_eq!(mix.fp_fraction(), 0.0);
+        assert_eq!(mix.branch_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,297 @@
+//! The micro-operation model.
+
+use crate::Addr;
+
+/// Sentinel for "no producer dependence" in [`Uop::dep_dist`].
+pub const DEP_NONE: u8 = u8::MAX;
+
+/// The class of a micro-operation.
+///
+/// The classes are chosen to be the coarsest partition that still drives
+/// every structure the paper measures: memory µops exercise the L1D/L2/DTLB
+/// path, branches exercise the BTB and predictor, and the remaining classes
+/// differ only in execution latency and port binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UopKind {
+    /// Single-cycle integer ALU operation.
+    Alu,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide (long latency, unpipelined).
+    Div,
+    /// Floating-point add/sub/convert.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide / square root.
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional or unconditional control transfer.
+    Branch,
+    /// Atomic read-modify-write (lock-prefixed); serializing.
+    AtomicRmw,
+    /// Memory fence; serializing.
+    Fence,
+    /// No-operation / filler (renamed but trivially executed).
+    Nop,
+}
+
+impl UopKind {
+    /// Nominal execution latency in core cycles, excluding memory-hierarchy
+    /// time for loads/stores (added by the memory model).
+    ///
+    /// Values are in the neighbourhood of the Northwood Pentium 4 pipeline
+    /// latencies; the simulator is cycle-approximate, so only the relative
+    /// magnitudes matter.
+    #[inline]
+    pub fn base_latency(self) -> u32 {
+        match self {
+            UopKind::Alu => 1,
+            UopKind::Mul => 4,
+            UopKind::Div => 23,
+            UopKind::FpAdd => 4,
+            UopKind::FpMul => 6,
+            UopKind::FpDiv => 30,
+            UopKind::Load => 2,
+            UopKind::Store => 1,
+            UopKind::Branch => 1,
+            UopKind::AtomicRmw => 20,
+            UopKind::Fence => 10,
+            UopKind::Nop => 1,
+        }
+    }
+
+    /// The execution-port class this µop issues to.
+    #[inline]
+    pub fn port(self) -> PortClass {
+        match self {
+            UopKind::Alu | UopKind::Nop | UopKind::Branch => PortClass::IntFast,
+            UopKind::Mul | UopKind::Div => PortClass::IntSlow,
+            UopKind::FpAdd | UopKind::FpMul | UopKind::FpDiv => PortClass::Fp,
+            UopKind::Load => PortClass::Load,
+            UopKind::Store | UopKind::AtomicRmw | UopKind::Fence => PortClass::Store,
+        }
+    }
+
+    /// Whether this µop accesses data memory.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, UopKind::Load | UopKind::Store | UopKind::AtomicRmw)
+    }
+
+    /// Whether this µop serializes the thread (drains the window before and
+    /// after itself).
+    #[inline]
+    pub fn is_serializing(self) -> bool {
+        matches!(self, UopKind::AtomicRmw | UopKind::Fence)
+    }
+}
+
+/// Execution-port classes of the modeled core.
+///
+/// The Pentium 4 has two double-pumped fast ALU ports, one slow-int/complex
+/// port, one FP port, one load port and one store port. The per-cycle issue
+/// quota for each class is configured in `jsmt-cpu`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortClass {
+    /// Fast integer ALUs (also resolves branches).
+    IntFast,
+    /// Slow integer: multiply/divide/shift-rotate-complex.
+    IntSlow,
+    /// Floating point / SIMD.
+    Fp,
+    /// Load port (one load AGU).
+    Load,
+    /// Store port (one store AGU / store data).
+    Store,
+}
+
+impl PortClass {
+    /// All port classes, in a fixed order usable for indexing.
+    pub const ALL: [PortClass; 5] = [
+        PortClass::IntFast,
+        PortClass::IntSlow,
+        PortClass::Fp,
+        PortClass::Load,
+        PortClass::Store,
+    ];
+
+    /// Stable index of this class within [`PortClass::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            PortClass::IntFast => 0,
+            PortClass::IntSlow => 1,
+            PortClass::Fp => 2,
+            PortClass::Load => 3,
+            PortClass::Store => 4,
+        }
+    }
+}
+
+/// Static classification of a branch µop, used by the front end to decide
+/// which predictor structures apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Conditional direct branch: direction predicted by the global
+    /// predictor, target by the BTB.
+    Conditional,
+    /// Unconditional direct jump: target from the BTB (always taken).
+    Direct,
+    /// Indirect jump/call through a register or memory operand (virtual
+    /// dispatch in Java): target only from the BTB, frequently polymorphic.
+    Indirect,
+    /// Call (pushes a return address; target via BTB).
+    Call,
+    /// Return (target via return-address stack, which we fold into the BTB
+    /// model with a high hit rate).
+    Return,
+}
+
+/// Dynamic information attached to a branch µop.
+///
+/// The simulator is execution-driven: the workload kernel knows the actual
+/// outcome when it emits the branch, and the front end compares the
+/// predictor's guess against this ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchInfo {
+    /// Actual target of the branch when taken (fall-through otherwise).
+    pub target: Addr,
+    /// Actual direction.
+    pub taken: bool,
+    /// Static class.
+    pub kind: BranchKind,
+}
+
+/// A single micro-operation as produced by a workload kernel.
+///
+/// `dep_dist` encodes the data dependence that gates issue: this µop may not
+/// begin execution until the µop `dep_dist` positions earlier in the same
+/// thread's stream has completed. [`DEP_NONE`] means the µop is independent
+/// (gated only by structural resources). Kernels choose dependence
+/// distances to reflect the true dataflow of the algorithm (e.g. a pointer
+/// chase is a chain of loads each depending on the previous one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Uop {
+    /// Virtual address of the parent instruction (drives trace cache, ITLB
+    /// and BTB indexing).
+    pub pc: Addr,
+    /// Operation class.
+    pub kind: UopKind,
+    /// Effective data address for memory µops.
+    pub mem: Option<Addr>,
+    /// Outcome information for branch µops.
+    pub branch: Option<BranchInfo>,
+    /// Distance (in µops, within the same thread) to the producer this µop
+    /// must wait for, or [`DEP_NONE`].
+    pub dep_dist: u8,
+    /// True when executing in kernel mode (OS code injected by `jsmt-os`).
+    pub privileged: bool,
+}
+
+impl Uop {
+    /// An independent single-cycle ALU µop at `pc`.
+    #[inline]
+    pub fn alu(pc: Addr) -> Self {
+        Uop { pc, kind: UopKind::Alu, mem: None, branch: None, dep_dist: DEP_NONE, privileged: false }
+    }
+
+    /// A load from `addr`.
+    #[inline]
+    pub fn load(pc: Addr, addr: Addr) -> Self {
+        Uop { pc, kind: UopKind::Load, mem: Some(addr), branch: None, dep_dist: DEP_NONE, privileged: false }
+    }
+
+    /// A store to `addr`.
+    #[inline]
+    pub fn store(pc: Addr, addr: Addr) -> Self {
+        Uop { pc, kind: UopKind::Store, mem: Some(addr), branch: None, dep_dist: DEP_NONE, privileged: false }
+    }
+
+    /// A conditional branch at `pc` with the given actual outcome.
+    #[inline]
+    pub fn branch(pc: Addr, target: Addr, taken: bool) -> Self {
+        Uop {
+            pc,
+            kind: UopKind::Branch,
+            mem: None,
+            branch: Some(BranchInfo { target, taken, kind: BranchKind::Conditional }),
+            dep_dist: DEP_NONE,
+            privileged: false,
+        }
+    }
+
+    /// Builder-style: set the producer distance.
+    #[inline]
+    pub fn with_dep(mut self, dist: u8) -> Self {
+        self.dep_dist = dist;
+        self
+    }
+
+    /// Builder-style: mark as kernel-mode.
+    #[inline]
+    pub fn privileged(mut self) -> Self {
+        self.privileged = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_are_ordered_sensibly() {
+        assert!(UopKind::Div.base_latency() > UopKind::Mul.base_latency());
+        assert!(UopKind::Mul.base_latency() > UopKind::Alu.base_latency());
+        assert!(UopKind::FpDiv.base_latency() > UopKind::FpMul.base_latency());
+        assert!(UopKind::FpMul.base_latency() > UopKind::FpAdd.base_latency());
+    }
+
+    #[test]
+    fn port_indices_are_a_bijection() {
+        for (i, p) in PortClass::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn mem_classification() {
+        assert!(UopKind::Load.is_mem());
+        assert!(UopKind::Store.is_mem());
+        assert!(UopKind::AtomicRmw.is_mem());
+        assert!(!UopKind::Alu.is_mem());
+        assert!(!UopKind::Branch.is_mem());
+    }
+
+    #[test]
+    fn serializing_classification() {
+        assert!(UopKind::Fence.is_serializing());
+        assert!(UopKind::AtomicRmw.is_serializing());
+        assert!(!UopKind::Load.is_serializing());
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let u = Uop::load(0x1000, 0x8000).with_dep(3);
+        assert_eq!(u.dep_dist, 3);
+        assert_eq!(u.mem, Some(0x8000));
+        let p = Uop::alu(0x1000).privileged();
+        assert!(p.privileged);
+        let b = Uop::branch(0x1000, 0x2000, true);
+        let info = b.branch.unwrap();
+        assert!(info.taken);
+        assert_eq!(info.target, 0x2000);
+        assert_eq!(info.kind, BranchKind::Conditional);
+    }
+
+    #[test]
+    fn branch_issues_to_fast_int_port() {
+        assert_eq!(UopKind::Branch.port(), PortClass::IntFast);
+        assert_eq!(UopKind::Load.port(), PortClass::Load);
+        assert_eq!(UopKind::AtomicRmw.port(), PortClass::Store);
+    }
+}

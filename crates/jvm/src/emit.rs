@@ -1,0 +1,507 @@
+//! The µop emission context for workload kernels.
+//!
+//! Kernels run their real algorithms in Rust and *narrate* them through an
+//! [`EmitCtx`]: every abstract operation becomes µops with correct code
+//! addresses (interpreter loop vs JIT body, per the method's warm-up
+//! state), correct data addresses (the kernel's simulated structures), and
+//! explicit data dependences. Interpreted execution pays per-operation
+//! dispatch overhead ending in an indirect branch — the mechanism behind
+//! interpreted Java's poor branch behaviour.
+
+use jsmt_isa::{Addr, BranchInfo, BranchKind, Uop, UopKind, DEP_NONE};
+
+use crate::{JvmProcess, MethodMode};
+
+/// Reference to an already-emitted µop, for expressing dependences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UopRef(usize);
+
+/// Emission context borrowed for one block of a thread's execution.
+#[derive(Debug)]
+pub struct EmitCtx<'a> {
+    proc: &'a mut JvmProcess,
+    out: &'a mut Vec<Uop>,
+    pc_base: Addr,
+    pc_span: u64,
+    pc_off: u64,
+    mode: MethodMode,
+    stack_base: Addr,
+    stack_off: u64,
+    op_count: u64,
+}
+
+/// Hot stack window a thread keeps touching (locals, spills, frames).
+const STACK_WINDOW: u64 = 1536;
+
+impl<'a> EmitCtx<'a> {
+    /// Begin emitting into `out` for process `proc`. Starts at the
+    /// interpreter until [`EmitCtx::call`] selects a method. The stack
+    /// defaults to the base of the stack region; per-thread contexts
+    /// should use [`EmitCtx::with_stack`] so each software thread touches
+    /// its own hot stack window (a real and significant L1 pressure
+    /// source when two threads co-reside on an SMT core).
+    pub fn new(proc: &'a mut JvmProcess, out: &'a mut Vec<Uop>) -> Self {
+        let (base, span) = proc.methods().interpreter_range();
+        let stack_base = jsmt_isa::Region::Stack.base();
+        EmitCtx {
+            proc,
+            out,
+            pc_base: base,
+            pc_span: span,
+            pc_off: 0,
+            mode: MethodMode::Interpreted,
+            stack_base,
+            stack_off: 0,
+            op_count: 0,
+        }
+    }
+
+    /// Builder-style: set the thread's stack slab base.
+    pub fn with_stack(mut self, base: Addr) -> Self {
+        self.stack_base = base;
+        self
+    }
+
+    /// Spill/fill traffic against the thread's hot stack window, woven in
+    /// every few operations (method locals and register spills).
+    #[inline]
+    fn stack_traffic(&mut self) {
+        self.op_count += 1;
+        if !self.op_count.is_multiple_of(4) {
+            return;
+        }
+        self.stack_off = (self.stack_off + 40) % STACK_WINDOW;
+        let addr = self.stack_base + self.stack_off;
+        let pc = self.next_pc();
+        if self.op_count.is_multiple_of(8) {
+            self.push(Uop::store(pc, addr));
+        } else {
+            self.push(Uop::load(pc, addr));
+        }
+    }
+
+    /// Number of µops emitted so far in this block.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Reference to the most recently emitted µop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been emitted.
+    pub fn last(&self) -> UopRef {
+        assert!(!self.out.is_empty(), "no µops emitted yet");
+        UopRef(self.out.len() - 1)
+    }
+
+    #[inline]
+    fn next_pc(&mut self) -> Addr {
+        let pc = self.pc_base + (self.pc_off % self.pc_span);
+        self.pc_off += 4;
+        pc
+    }
+
+    #[inline]
+    fn push(&mut self, uop: Uop) -> UopRef {
+        self.out.push(uop);
+        UopRef(self.out.len() - 1)
+    }
+
+    #[inline]
+    fn dist_to(&self, r: UopRef) -> u8 {
+        let d = self.out.len() - r.0;
+        if d > 254 {
+            DEP_NONE
+        } else {
+            d as u8
+        }
+    }
+
+    /// Interpreter dispatch overhead: bytecode fetch, decode, and an
+    /// indirect dispatch branch whose target varies per operation (the
+    /// BTB-hostile part of interpreted Java).
+    fn dispatch(&mut self) {
+        self.stack_traffic();
+        if self.mode != MethodMode::Interpreted {
+            return;
+        }
+        let n = self.proc.config().interp_expansion;
+        for i in 0..n {
+            let pc = self.next_pc();
+            if i + 1 == n {
+                // Bytecode dispatch: opcode distributions are heavily
+                // skewed, so most dispatches land on a handful of hot
+                // handlers (which the BTB learns) with a tail of cold
+                // ones (which it does not) — the realistic ~25-35%
+                // indirect-mispredict regime of interpreters.
+                let r = self.proc.next_rand();
+                let target = if !r.is_multiple_of(4) {
+                    self.pc_base + ((r >> 8) % 4) * 64
+                } else {
+                    (self.pc_base + (r % self.pc_span)) & !3
+                };
+                self.push(Uop {
+                    pc,
+                    kind: UopKind::Branch,
+                    mem: None,
+                    branch: Some(BranchInfo { target, taken: true, kind: BranchKind::Indirect }),
+                    dep_dist: 1,
+                    privileged: false,
+                });
+            } else if i == 0 {
+                // Bytecode fetch from the method's (native) bytecode array.
+                let bc = (jsmt_isa::Region::Native.base() + (self.proc.next_rand() % (64 * 1024))) & !3;
+                self.push(Uop::load(pc, bc));
+            } else {
+                self.push(Uop { dep_dist: 1, ..Uop::alu(pc) });
+            }
+        }
+    }
+
+    /// Invoke a method: records the invocation (driving JIT warm-up),
+    /// moves the fetch cursor to the interpreter or the compiled body, and
+    /// emits the call.
+    pub fn call(&mut self, m: crate::MethodId) {
+        self.mode = self.proc.methods_mut().invoke(m);
+        match self.mode {
+            MethodMode::Interpreted => {
+                let (base, span) = self.proc.methods().interpreter_range();
+                self.pc_base = base;
+                self.pc_span = span;
+            }
+            MethodMode::Compiled => {
+                let (base, span) = self.proc.methods().body_of(m);
+                self.pc_base = base;
+                self.pc_span = span;
+                // Different invocations take different paths through the
+                // body: start fetch in an invocation-dependent quadrant so
+                // repeated calls exercise the whole compiled footprint
+                // while retaining partial trace reuse.
+                let inv = self.proc.methods().invocations(m);
+                self.pc_off = ((inv % 4) * (span / 4)) & !3;
+            }
+        }
+        let pc = self.next_pc();
+        let target = self.pc_base;
+        self.push(Uop {
+            pc,
+            kind: UopKind::Branch,
+            mem: None,
+            branch: Some(BranchInfo { target, taken: true, kind: BranchKind::Call }),
+            dep_dist: DEP_NONE,
+            privileged: false,
+        });
+        // Frame push: return address + saved locals.
+        self.stack_off = (self.stack_off + 64) % STACK_WINDOW;
+        let fp = self.stack_base + self.stack_off;
+        let pc = self.next_pc();
+        self.push(Uop::store(pc, fp));
+    }
+
+    /// The mode the current method executes in.
+    pub fn mode(&self) -> MethodMode {
+        self.mode
+    }
+
+    /// Emit `n` independent integer ALU µops.
+    pub fn alu(&mut self, n: u32) {
+        for _ in 0..n {
+            self.dispatch();
+            let pc = self.next_pc();
+            self.push(Uop::alu(pc));
+        }
+    }
+
+    /// Emit `n` dependent integer ALU µops (a serial chain).
+    pub fn alu_chain(&mut self, n: u32) {
+        for i in 0..n {
+            self.dispatch();
+            let pc = self.next_pc();
+            let dep = if i == 0 { DEP_NONE } else { 1 };
+            self.push(Uop { dep_dist: dep, ..Uop::alu(pc) });
+        }
+    }
+
+    /// Emit `n` floating-point µops (`mul`: multiplies, else adds),
+    /// pairwise dependent to model FP latency chains.
+    pub fn fpu(&mut self, n: u32, mul: bool) {
+        let kind = if mul { UopKind::FpMul } else { UopKind::FpAdd };
+        for i in 0..n {
+            self.dispatch();
+            let pc = self.next_pc();
+            let dep = if i % 2 == 1 { 1 } else { DEP_NONE };
+            self.push(Uop { kind, dep_dist: dep, ..Uop::alu(pc) });
+        }
+    }
+
+    /// Emit an independent load from `addr`.
+    pub fn load(&mut self, addr: Addr) -> UopRef {
+        self.dispatch();
+        let pc = self.next_pc();
+        self.push(Uop::load(pc, addr))
+    }
+
+    /// Emit a load from `addr` that depends on a previous µop (pointer
+    /// chase).
+    pub fn load_after(&mut self, addr: Addr, dep: UopRef) -> UopRef {
+        self.dispatch();
+        let pc = self.next_pc();
+        let d = self.dist_to(dep);
+        self.push(Uop { dep_dist: d, ..Uop::load(pc, addr) })
+    }
+
+    /// Emit a store to `addr`.
+    pub fn store(&mut self, addr: Addr) -> UopRef {
+        self.dispatch();
+        let pc = self.next_pc();
+        self.push(Uop::store(pc, addr))
+    }
+
+    /// Emit a conditional branch with the given outcome.
+    ///
+    /// `predictable` branches are emitted at a *stable per-method site*
+    /// (the loop-back/cutoff branch of the hot loop), so the direction
+    /// predictor trains on their repeating pattern; unpredictable ones
+    /// walk the code like any other µop, modeling data-dependent control
+    /// flow spread across many sites.
+    pub fn branch(&mut self, taken: bool, predictable: bool) {
+        self.dispatch();
+        // Real code has few branch *sites*; what varies is the outcome.
+        // Predictable branches come from the method's dedicated loop
+        // site; data-dependent ones from a small set of per-method sites,
+        // so the BTB learns targets while the direction predictor sees
+        // the actual (noisy) outcome stream.
+        let pc = if predictable {
+            self.pc_base + 8
+        } else {
+            let slot = self.proc.next_rand() % 4;
+            self.pc_base + 16 + slot * 8
+        };
+        let target = (self.pc_base + (pc.wrapping_mul(0x9E37) % self.pc_span)) & !3;
+        self.push(Uop {
+            pc,
+            kind: UopKind::Branch,
+            mem: None,
+            branch: Some(BranchInfo { target, taken, kind: BranchKind::Conditional }),
+            dep_dist: DEP_NONE,
+            privileged: false,
+        });
+    }
+
+    /// Emit a dependent floating-point divide (LJ potentials, GBM steps,
+    /// discriminant normalization — the x87 divider is a major latency
+    /// source on the modeled machine).
+    pub fn fp_div(&mut self) {
+        self.dispatch();
+        let pc = self.next_pc();
+        self.push(Uop { kind: UopKind::FpDiv, dep_dist: 1, ..Uop::alu(pc) });
+    }
+
+    /// Emit an atomic read-modify-write to `addr` (monitor fast path,
+    /// `java.util.concurrent` primitives).
+    pub fn atomic(&mut self, addr: Addr) -> UopRef {
+        self.dispatch();
+        let pc = self.next_pc();
+        self.push(Uop {
+            pc,
+            kind: UopKind::AtomicRmw,
+            mem: Some(addr),
+            branch: None,
+            dep_dist: DEP_NONE,
+            privileged: false,
+        })
+    }
+
+    /// Allocate `bytes` on the Java heap, emitting the allocation fast
+    /// path (bump, header store). Returns `None` when the heap needs a
+    /// collection first — the kernel must yield so the system can run the
+    /// GC, then retry.
+    pub fn alloc(&mut self, bytes: u64) -> Option<Addr> {
+        let addr = self.proc.heap_mut().alloc(bytes)?;
+        self.dispatch();
+        let pc = self.next_pc();
+        self.push(Uop::alu(pc)); // bump
+        let pc = self.next_pc();
+        self.push(Uop { dep_dist: 1, ..Uop::store(pc, addr) }); // header
+        Some(addr)
+    }
+
+    /// Direct access to the process (monitors, native allocation, RNG).
+    pub fn process(&mut self) -> &mut JvmProcess {
+        self.proc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JvmConfig;
+    use jsmt_isa::Region;
+
+    fn fresh() -> JvmProcess {
+        JvmProcess::new(1, JvmConfig::default())
+    }
+
+    #[test]
+    fn interpreted_ops_pay_dispatch_overhead() {
+        let mut p = fresh();
+        let m = p.methods_mut().register("f", 256);
+        let mut out_cold = Vec::new();
+        EmitCtx::new(&mut p, &mut out_cold).call(m);
+        let mut ctx = EmitCtx::new(&mut p, &mut out_cold);
+        ctx.alu(10);
+        let cold_len = out_cold.len();
+
+        // Warm the method past the JIT threshold.
+        let mut scratch = Vec::new();
+        for _ in 0..20 {
+            EmitCtx::new(&mut p, &mut scratch).call(m);
+        }
+        let mut out_hot = Vec::new();
+        let mut ctx = EmitCtx::new(&mut p, &mut out_hot);
+        ctx.call(m);
+        assert_eq!(ctx.mode(), MethodMode::Compiled);
+        ctx.alu(10);
+        assert!(
+            cold_len > out_hot.len(),
+            "interpreted block ({cold_len}) must be bigger than compiled ({})",
+            out_hot.len()
+        );
+    }
+
+    #[test]
+    fn compiled_code_fetches_from_jit_region() {
+        let mut p = fresh();
+        let m = p.methods_mut().register("f", 256);
+        let mut scratch = Vec::new();
+        for _ in 0..20 {
+            EmitCtx::new(&mut p, &mut scratch).call(m);
+        }
+        let mut out = Vec::new();
+        let mut ctx = EmitCtx::new(&mut p, &mut out);
+        ctx.call(m);
+        ctx.alu(5);
+        for u in out.iter().skip(1) {
+            assert_eq!(Region::of(u.pc), Region::JitCode, "pc {:#x}", u.pc);
+        }
+    }
+
+    #[test]
+    fn interpreted_code_fetches_from_interpreter() {
+        let mut p = fresh();
+        let m = p.methods_mut().register("f", 256);
+        let mut out = Vec::new();
+        let mut ctx = EmitCtx::new(&mut p, &mut out);
+        ctx.call(m);
+        ctx.alu(5);
+        assert!(out.iter().skip(1).any(|u| Region::of(u.pc) == Region::Code));
+        let indirects = out
+            .iter()
+            .filter(|u| matches!(u.branch, Some(BranchInfo { kind: BranchKind::Indirect, .. })))
+            .count();
+        assert!(indirects >= 5, "each interpreted op ends in dispatch, got {indirects}");
+    }
+
+    #[test]
+    fn load_after_builds_chain() {
+        let mut p = fresh();
+        let mut out = Vec::new();
+        let mut ctx = EmitCtx::new(&mut p, &mut out);
+        let a = ctx.load(Region::Heap.base());
+        let b = ctx.load_after(Region::Heap.base() + 64, a);
+        let _ = ctx.load_after(Region::Heap.base() + 128, b);
+        let loads: Vec<_> = out.iter().filter(|u| u.kind == UopKind::Load).collect();
+        // Skip the interpreter's bytecode-fetch loads; the kernel loads
+        // are the heap ones.
+        let heap_loads: Vec<_> =
+            loads.iter().filter(|u| Region::of(u.mem.unwrap()) == Region::Heap).collect();
+        assert_eq!(heap_loads.len(), 3);
+        assert!(heap_loads[1].dep_dist != DEP_NONE);
+        assert!(heap_loads[2].dep_dist != DEP_NONE);
+    }
+
+    #[test]
+    fn alloc_emits_and_signals_gc() {
+        let cfg = JvmConfig::default().with_heap(4096);
+        let mut p = JvmProcess::new(1, cfg);
+        let mut out = Vec::new();
+        let mut ctx = EmitCtx::new(&mut p, &mut out);
+        let first = ctx.alloc(1024).expect("fits");
+        assert_eq!(Region::of(first), Region::Heap);
+        assert!(ctx.alloc(4096).is_none(), "over trigger → GC request");
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn atomic_for_monitor_fast_path() {
+        let mut p = fresh();
+        let mut out = Vec::new();
+        let mut ctx = EmitCtx::new(&mut p, &mut out);
+        ctx.atomic(Region::Heap.base());
+        assert!(out.iter().any(|u| u.kind == UopKind::AtomicRmw));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::{JvmConfig, JvmProcess};
+
+    #[test]
+    fn fp_div_emits_dependent_divide() {
+        let mut p = JvmProcess::new(1, JvmConfig::default());
+        let mut out = Vec::new();
+        let mut ctx = EmitCtx::new(&mut p, &mut out);
+        ctx.fp_div();
+        let div = out.iter().find(|u| u.kind == UopKind::FpDiv).expect("divide emitted");
+        assert_eq!(div.dep_dist, 1);
+    }
+
+    #[test]
+    fn alu_chain_is_serial() {
+        let mut p = JvmProcess::new(1, JvmConfig::default());
+        let mut out = Vec::new();
+        let mut ctx = EmitCtx::new(&mut p, &mut out);
+        ctx.alu_chain(6);
+        let alus: Vec<_> = out.iter().filter(|u| u.kind == UopKind::Alu && u.dep_dist == 1).collect();
+        assert!(alus.len() >= 4, "chain must carry dependences, got {}", alus.len());
+    }
+
+    #[test]
+    fn stack_traffic_targets_the_thread_stack() {
+        let mut p = JvmProcess::new(1, JvmConfig::default());
+        let stack_base = p.alloc_stack(16 * 1024);
+        let mut out = Vec::new();
+        let mut ctx = EmitCtx::new(&mut p, &mut out).with_stack(stack_base);
+        ctx.alu(64);
+        let stack_refs = out
+            .iter()
+            .filter_map(|u| u.mem)
+            .filter(|&a| a >= stack_base && a < stack_base + 16 * 1024)
+            .count();
+        assert!(stack_refs > 8, "spill/fill traffic expected, got {stack_refs}");
+    }
+
+    #[test]
+    fn quadrant_offsets_spread_fetch_across_bodies() {
+        let mut p = JvmProcess::new(1, JvmConfig::default().with_jit_threshold(0));
+        let m = p.methods_mut().register("big", 4096);
+        let mut starts = std::collections::HashSet::new();
+        for _ in 0..8 {
+            let mut out = Vec::new();
+            let mut ctx = EmitCtx::new(&mut p, &mut out);
+            ctx.call(m);
+            ctx.alu(1);
+            // First µop after the call+frame-push fetches at the entry
+            // offset for this invocation.
+            starts.insert(out.last().unwrap().pc & !1023);
+        }
+        assert!(starts.len() >= 3, "invocations must enter different quadrants: {starts:?}");
+    }
+}

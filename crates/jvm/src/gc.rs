@@ -1,0 +1,182 @@
+//! The garbage-collector work generator.
+//!
+//! When a mutator's allocation trips the heap trigger, the system layer
+//! stops the world and runs the *GC thread*, whose µop stream this
+//! generator produces: a mark phase that pointer-chases through the live
+//! data (dependent loads — the classic GC memory behaviour) and a sweep
+//! phase that rewrites object headers. The stream executes GC code from
+//! the JVM-runtime portion of the static code region.
+
+use jsmt_isa::{Addr, Region, Uop, DEP_NONE};
+
+/// Generates the µop stream for one collection.
+#[derive(Debug, Clone)]
+pub struct GcWorkGen {
+    heap_base: Addr,
+    live_bytes: u64,
+    mark_pos: u64,
+    sweep_pos: u64,
+    code_off: u64,
+    rng: u64,
+}
+
+/// GC code lives after the interpreter in the static code region.
+const GC_CODE_OFFSET: u64 = 16 * 1024;
+const GC_CODE_SPAN: u64 = 8 * 1024;
+/// Bytes of live data examined per mark step (one object granule).
+const MARK_GRANULE: u64 = 32;
+/// Bytes swept per sweep step.
+const SWEEP_GRANULE: u64 = 128;
+
+impl GcWorkGen {
+    /// A generator for a collection that must trace `live_bytes` starting
+    /// at `heap_base`.
+    pub fn new(heap_base: Addr, live_bytes: u64, seed: u64) -> Self {
+        GcWorkGen {
+            heap_base,
+            live_bytes,
+            mark_pos: 0,
+            sweep_pos: 0,
+            code_off: 0,
+            rng: seed | 1,
+        }
+    }
+
+    /// Whether all GC work has been emitted.
+    pub fn is_done(&self) -> bool {
+        self.mark_pos >= self.live_bytes && self.sweep_pos >= self.live_bytes
+    }
+
+    /// Rough µop count of a collection over `live_bytes` (for tests and
+    /// budget planning).
+    pub fn estimate_uops(live_bytes: u64) -> u64 {
+        (live_bytes / MARK_GRANULE) * 5 + (live_bytes / SWEEP_GRANULE) * 3
+    }
+
+    #[inline]
+    fn next_pc(&mut self) -> Addr {
+        let pc = Region::Code.base() + GC_CODE_OFFSET + (self.code_off % GC_CODE_SPAN);
+        self.code_off += 4;
+        pc
+    }
+
+    #[inline]
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Append up to `max` µops of GC work; returns the number emitted
+    /// (0 when the collection's work is exhausted).
+    pub fn emit(&mut self, out: &mut Vec<Uop>, max: usize) -> usize {
+        let start = out.len();
+        while out.len() - start + 5 <= max {
+            if self.mark_pos < self.live_bytes {
+                // Mark step: load the header (pointer-chase: scattered,
+                // dependent), test, mark-bit store on a fraction, loop
+                // branch.
+                let scatter = (self.next_rand() % self.live_bytes.max(1)) & !7;
+                let pc = self.next_pc();
+                out.push(Uop::load(pc, self.heap_base + scatter));
+                let pc = self.next_pc();
+                out.push(Uop { dep_dist: 1, ..Uop::alu(pc) });
+                let pc = self.next_pc();
+                out.push(Uop { dep_dist: 1, ..Uop::alu(pc) });
+                if self.next_rand().is_multiple_of(4) {
+                    let pc = self.next_pc();
+                    out.push(Uop { dep_dist: 2, ..Uop::store(pc, self.heap_base + scatter) });
+                }
+                let pc = self.next_pc();
+                let target = Region::Code.base() + GC_CODE_OFFSET;
+                out.push(Uop::branch(pc, target, true));
+                self.mark_pos += MARK_GRANULE;
+            } else if self.sweep_pos < self.live_bytes {
+                // Sweep step: sequential header rewrite.
+                let pc = self.next_pc();
+                out.push(Uop::store(pc, self.heap_base + self.sweep_pos));
+                let pc = self.next_pc();
+                out.push(Uop::alu(pc));
+                let pc = self.next_pc();
+                let target = Region::Code.base() + GC_CODE_OFFSET + 4096;
+                out.push(Uop::branch(pc, target, true));
+                self.sweep_pos += SWEEP_GRANULE;
+            } else {
+                break;
+            }
+        }
+        let emitted = out.len() - start;
+        // GC µops are user-mode (the collector is part of the JVM, not the
+        // kernel) and independent unless marked.
+        for u in &mut out[start..] {
+            if u.dep_dist == 0 {
+                u.dep_dist = DEP_NONE;
+            }
+        }
+        emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use jsmt_isa::UopKind;
+    use super::*;
+
+    #[test]
+    fn emits_until_done() {
+        let mut g = GcWorkGen::new(Region::Heap.base(), 4096, 9);
+        let mut out = Vec::new();
+        let mut total = 0;
+        loop {
+            out.clear();
+            let n = g.emit(&mut out, 128);
+            if n == 0 {
+                break;
+            }
+            total += n;
+        }
+        assert!(g.is_done());
+        let est = GcWorkGen::estimate_uops(4096);
+        assert!(
+            (total as i64 - est as i64).unsigned_abs() < est / 2 + 64,
+            "emitted {total}, estimated {est}"
+        );
+    }
+
+    #[test]
+    fn gc_touches_only_heap_data_and_jvm_code() {
+        let mut g = GcWorkGen::new(Region::Heap.base(), 2048, 3);
+        let mut out = Vec::new();
+        g.emit(&mut out, 512);
+        for u in &out {
+            assert!(!u.privileged, "GC is user-mode JVM work");
+            assert_eq!(Region::of(u.pc), Region::Code);
+            if let Some(a) = u.mem {
+                assert_eq!(Region::of(a), Region::Heap);
+            }
+        }
+    }
+
+    #[test]
+    fn mark_phase_has_dependent_loads() {
+        let mut g = GcWorkGen::new(Region::Heap.base(), 2048, 3);
+        let mut out = Vec::new();
+        g.emit(&mut out, 256);
+        let chained = out
+            .iter()
+            .filter(|u| u.dep_dist != DEP_NONE && u.kind == UopKind::Alu)
+            .count();
+        assert!(chained > 0, "mark loads feed dependent work");
+    }
+
+    #[test]
+    fn zero_live_heap_is_trivial() {
+        let mut g = GcWorkGen::new(Region::Heap.base(), 0, 1);
+        let mut out = Vec::new();
+        assert_eq!(g.emit(&mut out, 100), 0);
+        assert!(g.is_done());
+    }
+}

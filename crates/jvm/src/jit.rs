@@ -1,0 +1,141 @@
+//! The background JIT compiler's work generator.
+//!
+//! With [`crate::JvmConfig::background_jit`] enabled, hot methods queue
+//! for a *compiler thread* — the second JVM helper thread the paper's
+//! introduction points at — whose µop stream this generator produces:
+//! IR construction (loads over the method's bytecode in the native
+//! region, allocation-like stores), optimization passes (ALU/branch
+//! work), and code emission (stores into the method's body in the JIT
+//! code region).
+
+use jsmt_isa::{Addr, Region, Uop, DEP_NONE};
+
+/// Compiler-thread code lives after the GC's slice of the JVM runtime.
+const JIT_CODE_OFFSET: u64 = 26 * 1024;
+const JIT_CODE_SPAN: u64 = 10 * 1024;
+/// µops of compilation work per byte of compiled code (real JITs spend
+/// thousands of instructions per bytecode; this is the scaled ratio).
+const UOPS_PER_CODE_BYTE: u64 = 3;
+
+/// Generates the µop stream for compiling one method.
+#[derive(Debug, Clone)]
+pub struct JitWorkGen {
+    body_base: Addr,
+    body_size: u64,
+    emitted: u64,
+    total: u64,
+    code_off: u64,
+    rng: u64,
+}
+
+impl JitWorkGen {
+    /// A generator for compiling a method whose body is at
+    /// `(body_base, body_size)`.
+    pub fn new(body_base: Addr, body_size: u64, seed: u64) -> Self {
+        JitWorkGen {
+            body_base,
+            body_size,
+            emitted: 0,
+            total: body_size * UOPS_PER_CODE_BYTE,
+            code_off: 0,
+            rng: seed | 1,
+        }
+    }
+
+    /// Whether compilation work is exhausted.
+    pub fn is_done(&self) -> bool {
+        self.emitted >= self.total
+    }
+
+    #[inline]
+    fn next_pc(&mut self) -> Addr {
+        let pc = Region::Code.base() + JIT_CODE_OFFSET + (self.code_off % JIT_CODE_SPAN);
+        self.code_off += 4;
+        pc
+    }
+
+    #[inline]
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Append up to `max` µops of compilation work; returns the number
+    /// emitted (0 when done).
+    pub fn emit(&mut self, out: &mut Vec<Uop>, max: usize) -> usize {
+        let start = out.len();
+        while out.len() - start + 6 <= max && !self.is_done() {
+            // IR build: bytecode load + hash-table probe.
+            let pc = self.next_pc();
+            let bc = (Region::Native.base() + self.next_rand() % (64 * 1024)) & !3;
+            out.push(Uop::load(pc, bc));
+            let pc = self.next_pc();
+            out.push(Uop { dep_dist: 1, ..Uop::alu(pc) });
+            // Optimization: compare/branch over the IR.
+            let pc = self.next_pc();
+            let target = Region::Code.base() + JIT_CODE_OFFSET;
+            out.push(Uop::branch(pc, target, !self.next_rand().is_multiple_of(4)));
+            let pc = self.next_pc();
+            out.push(Uop::alu(pc));
+            // Code emission: sequential stores into the method body.
+            let pc = self.next_pc();
+            let at = self.body_base + (self.emitted / UOPS_PER_CODE_BYTE) % self.body_size.max(1);
+            out.push(Uop::store(pc, at & !3));
+            let pc = self.next_pc();
+            out.push(Uop { dep_dist: DEP_NONE, ..Uop::alu(pc) });
+            self.emitted += 6;
+        }
+        out.len() - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_proportionally_to_body_size() {
+        let count = |size: u64| {
+            let mut g = JitWorkGen::new(Region::JitCode.base(), size, 7);
+            let mut out = Vec::new();
+            let mut total = 0;
+            while !g.is_done() {
+                out.clear();
+                total += g.emit(&mut out, 96);
+            }
+            total
+        };
+        let small = count(200);
+        let large = count(2000);
+        assert!(large > small * 5, "compile cost scales with code size: {small} vs {large}");
+    }
+
+    #[test]
+    fn stores_target_the_method_body() {
+        let base = Region::JitCode.base() + 4096;
+        let mut g = JitWorkGen::new(base, 512, 3);
+        let mut out = Vec::new();
+        g.emit(&mut out, 96);
+        let body_stores = out
+            .iter()
+            .filter(|u| u.kind == jsmt_isa::UopKind::Store)
+            .filter(|u| {
+                let a = u.mem.unwrap();
+                a >= base && a < base + 512
+            })
+            .count();
+        assert!(body_stores > 0, "code emission writes the body");
+    }
+
+    #[test]
+    fn zero_size_body_is_trivial() {
+        let mut g = JitWorkGen::new(Region::JitCode.base(), 0, 1);
+        assert!(g.is_done());
+        let mut out = Vec::new();
+        assert_eq!(g.emit(&mut out, 64), 0);
+    }
+}

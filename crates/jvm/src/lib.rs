@@ -1,0 +1,65 @@
+//! # jsmt-jvm
+//!
+//! A miniature JVM *runtime model*: everything about the Java execution
+//! environment that shapes the µop streams the paper measures, without a
+//! bytecode interpreter for real class files.
+//!
+//! The paper stresses that "in addition to normal Java application
+//! threads, many helper threads exist inside the JVM", that the JVM is
+//! "a multithreaded application even when the Java applications on top of
+//! it are single-threaded", and that "many components of the JVM are
+//! involved in executing Java bytecodes". This crate models those
+//! components:
+//!
+//! * **Heap + GC** ([`Heap`], [`GcWorkGen`]): bump allocation with a
+//!   stop-the-world collector whose mark/sweep work runs on a *separate
+//!   GC thread* — the helper thread that keeps even single-threaded Java
+//!   programs multithreaded.
+//! * **JIT warm-up** ([`MethodTable`]): methods start *interpreted*
+//!   (µops fetched from the shared interpreter loop, with indirect
+//!   dispatch branches and a µop-expansion factor) and are *compiled*
+//!   after a threshold, moving their fetch footprint into the JIT code
+//!   cache — the mechanism behind Java's distinctive instruction-stream
+//!   behaviour.
+//! * **Monitors** ([`MonitorTable`]): `synchronized` blocks with
+//!   uncontended fast paths (atomic µop) and contended slow paths that
+//!   trap to the OS futex model.
+//! * **Emission context** ([`EmitCtx`]): the API benchmark kernels use to
+//!   turn their real computation into µop streams with correct code
+//!   addresses, data addresses and dependence structure.
+//!
+//! ## Example
+//!
+//! ```
+//! use jsmt_jvm::{JvmConfig, JvmProcess};
+//!
+//! let mut jvm = JvmProcess::new(1, JvmConfig::default());
+//! let m = jvm.methods_mut().register("hot_loop", 400);
+//! let mut out = Vec::new();
+//! let mut ctx = jsmt_jvm::EmitCtx::new(&mut jvm, &mut out);
+//! ctx.call(m);
+//! ctx.alu(4);
+//! let addr = ctx.alloc(64).expect("fresh heap never needs GC");
+//! ctx.store(addr);
+//! drop(ctx);
+//! assert!(!out.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod emit;
+mod gc;
+mod heap;
+mod jit;
+mod methods;
+mod monitor;
+mod process;
+
+pub use emit::{EmitCtx, UopRef};
+pub use gc::GcWorkGen;
+pub use jit::JitWorkGen;
+pub use heap::{Heap, HeapStats};
+pub use methods::{MethodId, MethodMode, MethodTable};
+pub use monitor::{MonitorId, MonitorOutcome, MonitorTable};
+pub use process::{JvmConfig, JvmProcess};

@@ -1,0 +1,246 @@
+//! Method table and JIT warm-up model.
+
+use jsmt_isa::{Addr, Region};
+
+/// Handle to a registered method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MethodId(pub u32);
+
+/// Execution mode of a method at a given invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodMode {
+    /// Bytecode executed by the shared interpreter loop: µops fetch from
+    /// the (small, hot) interpreter code region, each abstract operation
+    /// pays dispatch overhead with an indirect branch.
+    Interpreted,
+    /// Compiled: µops fetch from the method's own body in the JIT code
+    /// cache (large aggregate footprint, no dispatch overhead).
+    Compiled,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CompileState {
+    Interpreted,
+    /// Hot enough; queued for the background compiler thread.
+    Pending,
+    Compiled,
+}
+
+#[derive(Debug, Clone)]
+struct MethodInfo {
+    /// Code bytes of the compiled body (proportional to bytecode size).
+    code_base: Addr,
+    code_size: u64,
+    invocations: u64,
+    state: CompileState,
+}
+
+/// The method registry with hotness-based compilation.
+///
+/// Registration assigns each method a body in the JIT code-cache region at
+/// a stable address, so compiled methods have stable trace-cache/BTB
+/// footprints. The interpreter itself is a fixed region shared by all
+/// methods.
+#[derive(Debug, Clone)]
+pub struct MethodTable {
+    methods: Vec<MethodInfo>,
+    jit_cursor: Addr,
+    jit_threshold: u64,
+    /// Total compiled-code bytes (the process's JIT code footprint).
+    code_bytes: u64,
+    /// Background compilation: methods crossing the threshold are queued
+    /// for a compiler thread instead of switching modes instantly.
+    background: bool,
+    compile_queue: Vec<MethodId>,
+}
+
+impl MethodTable {
+    /// Size of the shared interpreter loop's hot code.
+    pub const INTERPRETER_BYTES: u64 = 12 * 1024;
+
+    /// A table that compiles methods after `jit_threshold` invocations.
+    pub fn new(jit_threshold: u64) -> Self {
+        MethodTable {
+            methods: Vec::new(),
+            jit_cursor: Region::JitCode.base(),
+            jit_threshold,
+            code_bytes: 0,
+            background: false,
+            compile_queue: Vec::new(),
+        }
+    }
+
+    /// Switch to background compilation: hot methods queue for a
+    /// compiler thread (see [`MethodTable::take_compile_request`]) and
+    /// keep interpreting until [`MethodTable::mark_compiled`].
+    pub fn set_background_compilation(&mut self, on: bool) {
+        self.background = on;
+    }
+
+    /// Register a method with the given compiled-body size in bytes.
+    /// `name` is accepted for diagnostics parity with real JVMs but not
+    /// stored (method identity is the returned id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the JIT code cache region is exhausted.
+    pub fn register(&mut self, name: &str, code_bytes: u64) -> MethodId {
+        let _ = name;
+        let size = code_bytes.max(16);
+        assert!(
+            self.jit_cursor + size <= Region::JitCode.end(),
+            "JIT code cache exhausted"
+        );
+        let id = MethodId(self.methods.len() as u32);
+        self.methods.push(MethodInfo {
+            code_base: self.jit_cursor,
+            code_size: size,
+            invocations: 0,
+            state: CompileState::Interpreted,
+        });
+        self.jit_cursor += size;
+        self.code_bytes += size;
+        id
+    }
+
+    /// Record an invocation and return the mode it executes in.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown method id.
+    pub fn invoke(&mut self, id: MethodId) -> MethodMode {
+        let background = self.background;
+        let threshold = self.jit_threshold;
+        let m = &mut self.methods[id.0 as usize];
+        m.invocations += 1;
+        if !background {
+            return if m.invocations > threshold {
+                MethodMode::Compiled
+            } else {
+                MethodMode::Interpreted
+            };
+        }
+        match m.state {
+            CompileState::Compiled => MethodMode::Compiled,
+            CompileState::Pending => MethodMode::Interpreted,
+            CompileState::Interpreted => {
+                if m.invocations > threshold {
+                    m.state = CompileState::Pending;
+                    self.compile_queue.push(id);
+                }
+                MethodMode::Interpreted
+            }
+        }
+    }
+
+    /// Pop the next queued compilation request (background mode).
+    pub fn take_compile_request(&mut self) -> Option<MethodId> {
+        if self.compile_queue.is_empty() {
+            None
+        } else {
+            Some(self.compile_queue.remove(0))
+        }
+    }
+
+    /// Background compilation of `id` finished; future invocations run
+    /// compiled.
+    pub fn mark_compiled(&mut self, id: MethodId) {
+        self.methods[id.0 as usize].state = CompileState::Compiled;
+    }
+
+    /// Whether any compilations are queued.
+    pub fn has_pending_compiles(&self) -> bool {
+        !self.compile_queue.is_empty()
+    }
+
+    /// Compiled-body address range of a method.
+    pub fn body_of(&self, id: MethodId) -> (Addr, u64) {
+        let m = &self.methods[id.0 as usize];
+        (m.code_base, m.code_size)
+    }
+
+    /// The interpreter loop's address range (shared by all methods).
+    pub fn interpreter_range(&self) -> (Addr, u64) {
+        (Region::Code.base(), Self::INTERPRETER_BYTES)
+    }
+
+    /// Number of invocations a method has seen.
+    pub fn invocations(&self, id: MethodId) -> u64 {
+        self.methods[id.0 as usize].invocations
+    }
+
+    /// Total compiled-code footprint in bytes.
+    pub fn code_footprint(&self) -> u64 {
+        self.code_bytes
+    }
+
+    /// Number of registered methods.
+    pub fn len(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Whether no methods are registered.
+    pub fn is_empty(&self) -> bool {
+        self.methods.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_transitions_to_compiled() {
+        let mut t = MethodTable::new(3);
+        let m = t.register("f", 256);
+        for _ in 0..3 {
+            assert_eq!(t.invoke(m), MethodMode::Interpreted);
+        }
+        assert_eq!(t.invoke(m), MethodMode::Compiled);
+        assert_eq!(t.invocations(m), 4);
+    }
+
+    #[test]
+    fn bodies_are_disjoint_and_stable() {
+        let mut t = MethodTable::new(1);
+        let a = t.register("a", 100);
+        let b = t.register("b", 200);
+        let (base_a, size_a) = t.body_of(a);
+        let (base_b, _) = t.body_of(b);
+        assert!(base_a + size_a <= base_b);
+        assert_eq!(t.body_of(a), (base_a, size_a), "stable across calls");
+        assert_eq!(t.code_footprint(), 100 + 200);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn interpreter_lives_in_static_code() {
+        let t = MethodTable::new(1);
+        let (base, size) = t.interpreter_range();
+        assert_eq!(Region::of(base), Region::Code);
+        assert_eq!(Region::of(base + size - 1), Region::Code);
+    }
+
+    #[test]
+    fn background_mode_defers_to_compiler_thread() {
+        let mut t = MethodTable::new(2);
+        t.set_background_compilation(true);
+        let m = t.register("hot", 128);
+        for _ in 0..6 {
+            assert_eq!(t.invoke(m), MethodMode::Interpreted, "stays interpreted until compiled");
+        }
+        assert!(t.has_pending_compiles());
+        let req = t.take_compile_request().expect("queued");
+        assert_eq!(req, m);
+        assert!(!t.has_pending_compiles());
+        t.mark_compiled(m);
+        assert_eq!(t.invoke(m), MethodMode::Compiled);
+    }
+
+    #[test]
+    fn zero_threshold_compiles_immediately() {
+        let mut t = MethodTable::new(0);
+        let m = t.register("hot", 64);
+        assert_eq!(t.invoke(m), MethodMode::Compiled);
+    }
+}

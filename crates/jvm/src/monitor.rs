@@ -1,0 +1,165 @@
+//! Java monitor (lock) model.
+//!
+//! A `synchronized` block on the paper's JVM takes an uncontended fast
+//! path (an atomic compare-and-swap in user mode) or, when contended,
+//! traps to the kernel to block — which is how Java synchronization turns
+//! into OS time in Table 2. The table tracks ownership and wait queues;
+//! the caller (system layer) emits the fast-path atomic µop and routes
+//! contended outcomes to the OS futex model.
+
+use std::collections::VecDeque;
+
+/// Handle to a monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MonitorId(pub u32);
+
+/// Result of an acquisition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorOutcome {
+    /// Fast path: the monitor was free (or already owned by the thread —
+    /// Java monitors are reentrant).
+    Acquired,
+    /// Slow path: another thread owns it; the caller must block.
+    Contended,
+}
+
+#[derive(Debug, Clone, Default)]
+struct MonitorState {
+    owner: Option<u32>,
+    recursion: u32,
+    waiters: VecDeque<u32>,
+    contended_count: u64,
+}
+
+/// All monitors of one JVM process. Threads are identified by the system
+/// layer's thread keys.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorTable {
+    monitors: Vec<MonitorState>,
+}
+
+impl MonitorTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a monitor.
+    pub fn create(&mut self) -> MonitorId {
+        self.monitors.push(MonitorState::default());
+        MonitorId(self.monitors.len() as u32 - 1)
+    }
+
+    /// Attempt to acquire `mon` for `thread`. On contention the thread is
+    /// queued and the caller must block it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown monitor id.
+    pub fn enter(&mut self, mon: MonitorId, thread: u32) -> MonitorOutcome {
+        let m = &mut self.monitors[mon.0 as usize];
+        match m.owner {
+            None => {
+                m.owner = Some(thread);
+                m.recursion = 1;
+                MonitorOutcome::Acquired
+            }
+            Some(o) if o == thread => {
+                m.recursion += 1;
+                MonitorOutcome::Acquired
+            }
+            Some(_) => {
+                if !m.waiters.contains(&thread) {
+                    m.waiters.push_back(thread);
+                }
+                m.contended_count += 1;
+                MonitorOutcome::Contended
+            }
+        }
+    }
+
+    /// Release `mon`. Returns the next waiter to wake (now the owner), if
+    /// any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` does not own the monitor.
+    pub fn exit(&mut self, mon: MonitorId, thread: u32) -> Option<u32> {
+        let m = &mut self.monitors[mon.0 as usize];
+        assert_eq!(m.owner, Some(thread), "exit by non-owner");
+        m.recursion -= 1;
+        if m.recursion > 0 {
+            return None;
+        }
+        match m.waiters.pop_front() {
+            Some(next) => {
+                m.owner = Some(next);
+                m.recursion = 1;
+                Some(next)
+            }
+            None => {
+                m.owner = None;
+                None
+            }
+        }
+    }
+
+    /// Current owner of a monitor.
+    pub fn owner(&self, mon: MonitorId) -> Option<u32> {
+        self.monitors[mon.0 as usize].owner
+    }
+
+    /// Total contended acquisitions across all monitors.
+    pub fn contended_total(&self) -> u64 {
+        self.monitors.iter().map(|m| m.contended_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_fast_path() {
+        let mut t = MonitorTable::new();
+        let m = t.create();
+        assert_eq!(t.enter(m, 1), MonitorOutcome::Acquired);
+        assert_eq!(t.exit(m, 1), None);
+        assert_eq!(t.owner(m), None);
+    }
+
+    #[test]
+    fn reentrancy() {
+        let mut t = MonitorTable::new();
+        let m = t.create();
+        assert_eq!(t.enter(m, 1), MonitorOutcome::Acquired);
+        assert_eq!(t.enter(m, 1), MonitorOutcome::Acquired);
+        assert_eq!(t.exit(m, 1), None, "still held once");
+        assert_eq!(t.owner(m), Some(1));
+        assert_eq!(t.exit(m, 1), None);
+        assert_eq!(t.owner(m), None);
+    }
+
+    #[test]
+    fn contention_queues_and_hands_off() {
+        let mut t = MonitorTable::new();
+        let m = t.create();
+        t.enter(m, 1);
+        assert_eq!(t.enter(m, 2), MonitorOutcome::Contended);
+        assert_eq!(t.enter(m, 3), MonitorOutcome::Contended);
+        assert_eq!(t.contended_total(), 2);
+        assert_eq!(t.exit(m, 1), Some(2), "FIFO handoff");
+        assert_eq!(t.owner(m), Some(2));
+        assert_eq!(t.exit(m, 2), Some(3));
+        assert_eq!(t.exit(m, 3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-owner")]
+    fn exit_requires_ownership() {
+        let mut t = MonitorTable::new();
+        let m = t.create();
+        t.enter(m, 1);
+        let _ = t.exit(m, 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests on JVM runtime invariants.
+
+use jsmt_isa::Region;
+use jsmt_jvm::{GcWorkGen, Heap, JvmConfig, JvmProcess, MonitorOutcome, MonitorTable};
+use proptest::prelude::*;
+
+proptest! {
+    /// Allocations are disjoint, aligned, and within the heap.
+    #[test]
+    fn heap_allocations_disjoint(sizes in prop::collection::vec(1u64..4096, 1..100)) {
+        let mut h = Heap::new(4 << 20, 0.9);
+        let mut prev_end = h.base();
+        for s in sizes {
+            match h.alloc(s) {
+                Some(a) => {
+                    prop_assert_eq!(a % 8, 0);
+                    prop_assert!(a >= prev_end, "bump allocation is monotonic");
+                    prop_assert!(a + s <= h.base() + h.capacity());
+                    prev_end = a + ((s + 7) & !7);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Collection frees exactly (1 - survival) of the used heap, modulo
+    /// alignment, and used() never exceeds capacity.
+    #[test]
+    fn collect_conserves_bytes(allocs in prop::collection::vec(8u64..2048, 1..50),
+                               survival in 0.0f64..1.0) {
+        let mut h = Heap::new(1 << 20, 0.9);
+        for s in &allocs {
+            if h.alloc(*s).is_none() {
+                break;
+            }
+        }
+        let used = h.used();
+        let live = h.collect(survival);
+        prop_assert!(live <= used + 8);
+        prop_assert_eq!(h.used(), live);
+        prop_assert!(h.used() <= h.capacity());
+    }
+
+    /// Monitors: any sequence of enter/exit by two threads preserves the
+    /// mutual-exclusion invariant (owner is always unique and exits only
+    /// by the owner are performed).
+    #[test]
+    fn monitor_mutual_exclusion(script in prop::collection::vec((0u32..2, any::<bool>()), 1..100)) {
+        let mut t = MonitorTable::new();
+        let m = t.create();
+        let mut held: Option<u32> = None;
+        let mut want: Vec<u32> = Vec::new();
+        for (thread, is_enter) in script {
+            if is_enter && held != Some(thread) && !want.contains(&thread) {
+                match t.enter(m, thread) {
+                    MonitorOutcome::Acquired => {
+                        prop_assert!(held.is_none() || held == Some(thread));
+                        held = Some(thread);
+                    }
+                    MonitorOutcome::Contended => {
+                        prop_assert!(held.is_some() && held != Some(thread));
+                        want.push(thread);
+                    }
+                }
+            } else if !is_enter && held == Some(thread) {
+                let next = t.exit(m, thread);
+                held = next;
+                if let Some(n) = next {
+                    prop_assert!(want.contains(&n), "woken thread must have been waiting");
+                    want.retain(|&w| w != n);
+                }
+            }
+            prop_assert_eq!(t.owner(m), held);
+        }
+    }
+
+    /// GC work generation terminates and touches only heap data.
+    #[test]
+    fn gc_emission_terminates(live in 0u64..100_000, seed in any::<u64>()) {
+        let mut g = GcWorkGen::new(Region::Heap.base(), live, seed);
+        let mut out = Vec::new();
+        let mut total = 0usize;
+        for _ in 0..1_000_000 {
+            out.clear();
+            let n = g.emit(&mut out, 128);
+            if n == 0 {
+                break;
+            }
+            total += n;
+            for u in &out {
+                if let Some(a) = u.mem {
+                    prop_assert_eq!(Region::of(a), Region::Heap);
+                }
+            }
+        }
+        prop_assert!(g.is_done(), "GC of {live} live bytes must terminate (emitted {total})");
+    }
+
+    /// Method registration gives stable, disjoint bodies regardless of
+    /// sizes.
+    #[test]
+    fn method_bodies_disjoint(sizes in prop::collection::vec(1u64..8000, 1..100)) {
+        let mut p = JvmProcess::new(1, JvmConfig::default());
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for (i, s) in sizes.iter().enumerate() {
+            let m = p.methods_mut().register(&format!("m{i}"), *s);
+            let (base, len) = p.methods().body_of(m);
+            for &(b2, l2) in &ranges {
+                prop_assert!(base + len <= b2 || b2 + l2 <= base, "bodies overlap");
+            }
+            ranges.push((base, len));
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Branch target buffer and direction predictor.
+//!
+//! The paper (§4.1, Figure 7) explains the BTB degradation under
+//! Hyper-Threading: "the Pentium 4 ... treats the BTB as a shared structure
+//! with entries that are tagged with a logical processor ID. This sharing
+//! will cause destructive interferences." The [`Btb`] reproduces exactly
+//! that: one physical array, entries usable only by the logical CPU that
+//! installed them, so two contexts evict — but never prefetch for — each
+//! other.
+//!
+//! Direction prediction is a gshare-style scheme with per-logical-CPU
+//! history and a shared pattern table (cross-thread aliasing in the table
+//! is another, milder, source of destructive interference).
+
+use jsmt_isa::{Addr, Asid, BranchKind};
+use jsmt_perfmon::LogicalCpu;
+
+/// BTB geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtbConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Tag entries with the installing logical CPU (the P4 design). When
+    /// `false` the BTB behaves as an ideally shared structure (ablation).
+    pub lcpu_tagged: bool,
+}
+
+impl BtbConfig {
+    /// P4-like BTB: 4K entries, 4-way, logical-CPU-tagged.
+    pub fn p4(ht_enabled: bool) -> Self {
+        BtbConfig { sets: 1024, ways: 4, lcpu_tagged: ht_enabled }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BtbEntry {
+    tag: u64,
+    target: Addr,
+    stamp: u64,
+    valid: bool,
+}
+
+/// The branch target buffer.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    cfg: BtbConfig,
+    entries: Vec<BtbEntry>,
+    tick: u64,
+    lookups: [u64; 2],
+    misses: [u64; 2],
+}
+
+impl Btb {
+    /// Build a BTB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(cfg: BtbConfig) -> Self {
+        assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(cfg.ways >= 1, "ways must be >= 1");
+        Btb {
+            cfg,
+            entries: vec![BtbEntry { tag: 0, target: 0, stamp: 0, valid: false }; cfg.sets * cfg.ways],
+            tick: 0,
+            lookups: [0; 2],
+            misses: [0; 2],
+        }
+    }
+
+    #[inline]
+    fn tag_of(&self, pc: Addr, asid: Asid, lcpu: LogicalCpu) -> u64 {
+        let mut t = (pc << 18) | ((asid.0 as u64) << 2);
+        if self.cfg.lcpu_tagged {
+            t |= 1 << (lcpu.index() as u64);
+        }
+        t
+    }
+
+    /// Look up the predicted target for the branch at `pc`. Returns
+    /// `Some(target)` on a BTB hit. Misses are counted; the entry is not
+    /// filled here (call [`Btb::update`] at resolution).
+    pub fn lookup(&mut self, pc: Addr, asid: Asid, lcpu: LogicalCpu) -> Option<Addr> {
+        self.tick += 1;
+        self.lookups[lcpu.index()] += 1;
+        let set = (pc as usize >> 2) % self.cfg.sets;
+        let tag = self.tag_of(pc, asid, lcpu);
+        let base = set * self.cfg.ways;
+        for e in &mut self.entries[base..base + self.cfg.ways] {
+            if e.valid && e.tag == tag {
+                e.stamp = self.tick;
+                return Some(e.target);
+            }
+        }
+        self.misses[lcpu.index()] += 1;
+        None
+    }
+
+    /// Install/refresh the target for a resolved taken branch.
+    pub fn update(&mut self, pc: Addr, asid: Asid, lcpu: LogicalCpu, target: Addr) {
+        self.tick += 1;
+        let set = (pc as usize >> 2) % self.cfg.sets;
+        let tag = self.tag_of(pc, asid, lcpu);
+        let base = set * self.cfg.ways;
+        let ways = &mut self.entries[base..base + self.cfg.ways];
+        if let Some(e) = ways.iter_mut().find(|e| e.valid && e.tag == tag) {
+            e.target = target;
+            e.stamp = self.tick;
+            return;
+        }
+        let victim = ways.iter_mut().min_by_key(|e| if e.valid { e.stamp } else { 0 }).expect("ways >= 1");
+        *victim = BtbEntry { tag, target, stamp: self.tick, valid: true };
+    }
+
+    /// Lookups by `lcpu`.
+    pub fn lookups(&self, lcpu: LogicalCpu) -> u64 {
+        self.lookups[lcpu.index()]
+    }
+
+    /// Misses by `lcpu`.
+    pub fn misses(&self, lcpu: LogicalCpu) -> u64 {
+        self.misses[lcpu.index()]
+    }
+}
+
+/// Direction predictor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictorConfig {
+    /// log2 of the pattern table size.
+    pub table_bits: u32,
+    /// History length in branches.
+    pub history_bits: u32,
+}
+
+impl PredictorConfig {
+    /// A P4-class global predictor (4K-entry pattern table, 12-bit
+    /// history).
+    pub fn p4() -> Self {
+        PredictorConfig { table_bits: 12, history_bits: 12 }
+    }
+}
+
+/// Gshare direction predictor: shared 2-bit-counter pattern table,
+/// per-logical-CPU global history.
+#[derive(Debug, Clone)]
+pub struct DirectionPredictor {
+    cfg: PredictorConfig,
+    table: Vec<u8>,
+    history: [u64; 2],
+    predictions: [u64; 2],
+    mispredicts: [u64; 2],
+}
+
+impl DirectionPredictor {
+    /// Build a predictor; the pattern table starts weakly taken.
+    pub fn new(cfg: PredictorConfig) -> Self {
+        DirectionPredictor {
+            cfg,
+            table: vec![2u8; 1 << cfg.table_bits],
+            history: [0; 2],
+            predictions: [0; 2],
+            mispredicts: [0; 2],
+        }
+    }
+
+    #[inline]
+    fn slot(&self, pc: Addr, lcpu: LogicalCpu) -> usize {
+        let mask = (1u64 << self.cfg.table_bits) - 1;
+        (((pc >> 2) ^ self.history[lcpu.index()]) & mask) as usize
+    }
+
+    /// Predict the direction of the conditional branch at `pc`, then update
+    /// history and the pattern table with the actual outcome. Returns
+    /// whether the *prediction was correct*. Unconditional branch kinds are
+    /// always predicted taken (correctly).
+    pub fn predict_and_update(
+        &mut self,
+        pc: Addr,
+        lcpu: LogicalCpu,
+        kind: BranchKind,
+        taken: bool,
+    ) -> bool {
+        self.predictions[lcpu.index()] += 1;
+        if !matches!(kind, BranchKind::Conditional) {
+            // Direction of calls/returns/jumps is trivially known.
+            return true;
+        }
+        let slot = self.slot(pc, lcpu);
+        let counter = self.table[slot];
+        let predicted_taken = counter >= 2;
+        // 2-bit saturating update.
+        self.table[slot] = match (taken, counter) {
+            (true, c) if c < 3 => c + 1,
+            (false, c) if c > 0 => c - 1,
+            (_, c) => c,
+        };
+        let h = &mut self.history[lcpu.index()];
+        *h = ((*h << 1) | taken as u64) & ((1 << self.cfg.history_bits) - 1);
+        let correct = predicted_taken == taken;
+        if !correct {
+            self.mispredicts[lcpu.index()] += 1;
+        }
+        correct
+    }
+
+    /// Predictions made by `lcpu`.
+    pub fn predictions(&self, lcpu: LogicalCpu) -> u64 {
+        self.predictions[lcpu.index()]
+    }
+
+    /// Mispredictions by `lcpu`.
+    pub fn mispredicts(&self, lcpu: LogicalCpu) -> u64 {
+        self.mispredicts[lcpu.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A1: Asid = Asid(1);
+    const LP0: LogicalCpu = LogicalCpu::Lp0;
+    const LP1: LogicalCpu = LogicalCpu::Lp1;
+
+    #[test]
+    fn btb_learns_targets() {
+        let mut btb = Btb::new(BtbConfig::p4(true));
+        assert_eq!(btb.lookup(0x1000, A1, LP0), None);
+        btb.update(0x1000, A1, LP0, 0x2000);
+        assert_eq!(btb.lookup(0x1000, A1, LP0), Some(0x2000));
+    }
+
+    #[test]
+    fn lcpu_tagging_blocks_cross_thread_hits() {
+        let mut btb = Btb::new(BtbConfig::p4(true));
+        btb.update(0x1000, A1, LP0, 0x2000);
+        assert_eq!(btb.lookup(0x1000, A1, LP1), None, "tagged entry invisible to sibling");
+    }
+
+    #[test]
+    fn untagged_btb_shares_entries() {
+        let mut btb = Btb::new(BtbConfig { sets: 16, ways: 2, lcpu_tagged: false });
+        btb.update(0x1000, A1, LP0, 0x2000);
+        assert_eq!(btb.lookup(0x1000, A1, LP1), Some(0x2000));
+    }
+
+    #[test]
+    fn tagged_siblings_compete_for_ways() {
+        // Same pc from both threads with 1-way sets: each install evicts
+        // the other's entry — destructive interference.
+        let mut btb = Btb::new(BtbConfig { sets: 4, ways: 1, lcpu_tagged: true });
+        btb.update(0x1000, A1, LP0, 0x2000);
+        btb.update(0x1000, A1, LP1, 0x2000);
+        assert_eq!(btb.lookup(0x1000, A1, LP0), None, "sibling's install evicted ours");
+    }
+
+    #[test]
+    fn predictor_learns_a_loop_branch() {
+        let mut p = DirectionPredictor::new(PredictorConfig::p4());
+        // Strongly-biased taken branch: after warmup, always predicted.
+        let mut correct = 0;
+        for i in 0..1000 {
+            if p.predict_and_update(0x4000, LP0, BranchKind::Conditional, true) && i >= 10 {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 985, "biased branch should be near-perfect, got {correct}");
+    }
+
+    #[test]
+    fn predictor_struggles_with_random_branches() {
+        let mut p = DirectionPredictor::new(PredictorConfig::p4());
+        // Deterministic pseudo-random outcome stream.
+        let mut x = 0x12345u64;
+        let mut wrong = 0u64;
+        let n = 4000;
+        for _ in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let taken = (x >> 33) & 1 == 1;
+            if !p.predict_and_update(0x4000, LP0, BranchKind::Conditional, taken) {
+                wrong += 1;
+            }
+        }
+        let rate = wrong as f64 / n as f64;
+        assert!(rate > 0.3, "random branches should mispredict often, rate={rate}");
+    }
+
+    #[test]
+    fn unconditional_kinds_never_mispredict() {
+        let mut p = DirectionPredictor::new(PredictorConfig::p4());
+        assert!(p.predict_and_update(0x1000, LP0, BranchKind::Direct, true));
+        assert!(p.predict_and_update(0x1000, LP0, BranchKind::Return, true));
+        assert_eq!(p.mispredicts(LP0), 0);
+    }
+
+    #[test]
+    fn stats_per_lcpu() {
+        let mut btb = Btb::new(BtbConfig::p4(true));
+        btb.lookup(0x1000, A1, LP0);
+        btb.lookup(0x1000, A1, LP1);
+        assert_eq!(btb.lookups(LP0), 1);
+        assert_eq!(btb.misses(LP1), 1);
+    }
+}

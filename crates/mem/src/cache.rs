@@ -1,0 +1,340 @@
+//! Generic set-associative cache with true-LRU replacement.
+
+use jsmt_isa::{Addr, Asid, PAGE_BYTES};
+use jsmt_perfmon::LogicalCpu;
+
+/// Geometry and indexing policy of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Physically indexed: the set index is derived from a per-(page, asid)
+    /// hash, modeling the OS's page-frame scatter. Virtually-indexed
+    /// caches (small L1s whose index bits fall inside the page offset) use
+    /// the raw address.
+    pub phys_indexed: bool,
+    /// Statically partition the sets between the two logical CPUs (each
+    /// sees half the capacity and cannot evict the other's lines).
+    pub partitioned: bool,
+}
+
+impl CacheConfig {
+    /// The paper machine's L1 data cache: 8 KB, 4-way, 64 B lines
+    /// (32 sets). Index bits all fall within the 4 KB page offset, so it
+    /// is effectively virtually indexed; shared between logical CPUs.
+    pub fn p4_l1d() -> Self {
+        CacheConfig { sets: 32, ways: 4, line_bytes: 64, phys_indexed: false, partitioned: false }
+    }
+
+    /// The paper machine's unified L2: 1 MB, 8-way, 64 B lines
+    /// (2048 sets), physically indexed, shared.
+    pub fn p4_l2() -> Self {
+        CacheConfig { sets: 2048, ways: 8, line_bytes: 64, phys_indexed: true, partitioned: false }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_bytes
+    }
+
+    fn validate(&self) {
+        assert!(self.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.ways >= 1, "associativity must be at least 1");
+        assert!(!self.partitioned || self.sets >= 2, "partitioned cache needs >= 2 sets");
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    stamp: u64,
+    valid: bool,
+}
+
+const INVALID: Line = Line { tag: 0, stamp: 0, valid: false };
+
+/// A set-associative cache with true-LRU replacement and optional static
+/// partitioning / physical indexing.
+///
+/// The cache models only tags (hit/miss behaviour); data never moves. Tags
+/// incorporate the [`Asid`] so that identical virtual addresses in
+/// different simulated processes do not falsely hit.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    tick: u64,
+    accesses: [u64; 2],
+    misses: [u64; 2],
+}
+
+impl SetAssocCache {
+    /// Build a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (non-power-of-two sets or line
+    /// size, zero ways, or a partitioned cache with a single set).
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        SetAssocCache {
+            cfg,
+            lines: vec![INVALID; cfg.sets * cfg.ways],
+            tick: 0,
+            accesses: [0; 2],
+            misses: [0; 2],
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn index_and_tag(&self, addr: Addr, asid: Asid) -> (usize, u64, usize) {
+        let line_addr = addr / self.cfg.line_bytes;
+        let raw_index = if self.cfg.phys_indexed {
+            // Scatter pages as the OS's physical allocator would: hash the
+            // (virtual page, asid) pair to a pseudo-frame, keep the line's
+            // offset within the page.
+            let vpn = addr / PAGE_BYTES;
+            let lines_per_page = (PAGE_BYTES / self.cfg.line_bytes).max(1);
+            let frame = splitmix(vpn ^ ((asid.0 as u64) << 40));
+            (frame.wrapping_mul(lines_per_page) + (line_addr % lines_per_page)) as usize
+        } else {
+            line_addr as usize
+        };
+        (raw_index, (line_addr << 16) | asid.0 as u64, raw_index)
+    }
+
+    #[inline]
+    fn set_range(&self, raw_index: usize, lcpu: LogicalCpu) -> usize {
+        if self.cfg.partitioned {
+            let half = self.cfg.sets / 2;
+            (raw_index % half) + lcpu.index() * half
+        } else {
+            raw_index % self.cfg.sets
+        }
+    }
+
+    /// Look up `addr`; on a miss, fill the line (evicting LRU). Returns
+    /// whether the access hit.
+    pub fn access(&mut self, addr: Addr, asid: Asid, lcpu: LogicalCpu) -> bool {
+        self.tick += 1;
+        self.accesses[lcpu.index()] += 1;
+        let (raw, tag, _) = self.index_and_tag(addr, asid);
+        let set = self.set_range(raw, lcpu);
+        let base = set * self.cfg.ways;
+        let ways = &mut self.lines[base..base + self.cfg.ways];
+
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.stamp = self.tick;
+            return true;
+        }
+        self.misses[lcpu.index()] += 1;
+        // Victim: an invalid way, else the least recently used one.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.stamp } else { 0 })
+            .expect("associativity >= 1");
+        *victim = Line { tag, stamp: self.tick, valid: true };
+        false
+    }
+
+    /// Probe without filling or updating recency (used by tests and by the
+    /// GC model's footprint estimation).
+    pub fn probe(&self, addr: Addr, asid: Asid, lcpu: LogicalCpu) -> bool {
+        let (raw, tag, _) = self.index_and_tag(addr, asid);
+        let set = self.set_range(raw, lcpu);
+        let base = set * self.cfg.ways;
+        self.lines[base..base + self.cfg.ways].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidate everything (e.g. simulated cache flush).
+    pub fn flush(&mut self) {
+        self.lines.fill(INVALID);
+    }
+
+    /// Total accesses by `lcpu`.
+    pub fn accesses(&self, lcpu: LogicalCpu) -> u64 {
+        self.accesses[lcpu.index()]
+    }
+
+    /// Total misses by `lcpu`.
+    pub fn misses(&self, lcpu: LogicalCpu) -> u64 {
+        self.misses[lcpu.index()]
+    }
+
+    /// Machine-wide miss rate over the lifetime of the cache.
+    pub fn miss_rate(&self) -> f64 {
+        let a = self.accesses[0] + self.accesses[1];
+        if a == 0 {
+            0.0
+        } else {
+            (self.misses[0] + self.misses[1]) as f64 / a as f64
+        }
+    }
+
+    /// Number of currently valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[inline]
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A1: Asid = Asid(1);
+    const A2: Asid = Asid(2);
+    const LP0: LogicalCpu = LogicalCpu::Lp0;
+    const LP1: LogicalCpu = LogicalCpu::Lp1;
+
+    fn tiny() -> SetAssocCache {
+        SetAssocCache::new(CacheConfig {
+            sets: 4,
+            ways: 2,
+            line_bytes: 64,
+            phys_indexed: false,
+            partitioned: false,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x1000, A1, LP0));
+        assert!(c.access(0x1000, A1, LP0));
+        assert!(c.access(0x103F, A1, LP0), "same line");
+        assert!(!c.access(0x1040, A1, LP0), "next line");
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (stride = sets * line).
+        let stride = 4 * 64;
+        c.access(0, A1, LP0);
+        c.access(stride, A1, LP0);
+        c.access(0, A1, LP0); // touch line 0 again; line `stride` is now LRU
+        c.access(2 * stride, A1, LP0); // evicts `stride`
+        assert!(c.probe(0, A1, LP0));
+        assert!(!c.probe(stride, A1, LP0));
+        assert!(c.probe(2 * stride, A1, LP0));
+    }
+
+    #[test]
+    fn asids_do_not_alias() {
+        let mut c = tiny();
+        c.access(0x1000, A1, LP0);
+        assert!(!c.access(0x1000, A2, LP0), "same VA, different process");
+        assert!(c.access(0x1000, A1, LP0), "original still resident");
+    }
+
+    #[test]
+    fn shared_cache_is_visible_across_lcpus() {
+        let mut c = tiny();
+        c.access(0x1000, A1, LP0);
+        assert!(c.access(0x1000, A1, LP1), "same process on sibling hits");
+    }
+
+    #[test]
+    fn partitioned_cache_isolates_lcpus() {
+        let mut c = SetAssocCache::new(CacheConfig {
+            sets: 4,
+            ways: 2,
+            line_bytes: 64,
+            phys_indexed: false,
+            partitioned: true,
+        });
+        c.access(0x1000, A1, LP0);
+        assert!(!c.access(0x1000, A1, LP1), "partition prevents sharing");
+        assert!(c.access(0x1000, A1, LP0));
+        assert!(c.access(0x1000, A1, LP1));
+    }
+
+    #[test]
+    fn phys_indexing_spreads_pages() {
+        // In a 2048-set × 64 B cache a way covers 128 KB, so pages at a
+        // 128 KB *virtual* stride collide in the same sets under virtual
+        // indexing. Physical indexing hashes each page to a pseudo-frame
+        // and should scatter them across many sets.
+        let mk = |phys| {
+            SetAssocCache::new(CacheConfig {
+                sets: 2048,
+                ways: 2,
+                line_bytes: 64,
+                phys_indexed: phys,
+                partitioned: false,
+            })
+        };
+        let pages: Vec<u64> = (0..16u64).map(|i| 0x2000_0000 + i * 128 * 1024).collect();
+        let mut virt = mk(false);
+        let mut phys = mk(true);
+        for &p in &pages {
+            virt.access(p, A1, LP0);
+            phys.access(p, A1, LP0);
+        }
+        let virt_resident = pages.iter().filter(|&&p| virt.probe(p, A1, LP0)).count();
+        let phys_resident = pages.iter().filter(|&&p| phys.probe(p, A1, LP0)).count();
+        assert_eq!(virt_resident, 2, "virtual indexing keeps only `ways` colliding pages");
+        assert!(
+            phys_resident > 8,
+            "physical indexing should scatter the pages, got {phys_resident}"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = tiny();
+        c.access(0, A1, LP0);
+        c.access(0, A1, LP0);
+        c.access(64, A1, LP1);
+        assert_eq!(c.accesses(LP0), 2);
+        assert_eq!(c.misses(LP0), 1);
+        assert_eq!(c.accesses(LP1), 1);
+        assert!((c.miss_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = tiny();
+        c.access(0, A1, LP0);
+        assert_eq!(c.occupancy(), 1);
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+        assert!(!c.probe(0, A1, LP0));
+    }
+
+    #[test]
+    fn p4_geometries() {
+        assert_eq!(CacheConfig::p4_l1d().capacity_bytes(), 8 * 1024);
+        assert_eq!(CacheConfig::p4_l2().capacity_bytes(), 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        let _ = SetAssocCache::new(CacheConfig {
+            sets: 3,
+            ways: 1,
+            line_bytes: 64,
+            phys_indexed: false,
+            partitioned: false,
+        });
+    }
+}

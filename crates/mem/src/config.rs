@@ -1,0 +1,126 @@
+//! Memory-system configuration.
+
+use crate::{BtbConfig, CacheConfig, PredictorConfig, TlbConfig, TraceCacheConfig};
+
+/// Latencies of the memory system, in core cycles at the nominal 2.8 GHz.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemLatencies {
+    /// L1D hit (load-to-use).
+    pub l1d_hit: u32,
+    /// L2 hit (on L1D or trace-cache miss).
+    pub l2_hit: u32,
+    /// DRAM access (dual-channel DDR400 behind an 800 MHz FSB: ~125 ns
+    /// ≈ 350 core cycles).
+    pub memory: u32,
+    /// Extra decode cycles to rebuild a trace line after a TC miss, on top
+    /// of the L2/memory time to get the instruction bytes.
+    pub tc_build: u32,
+    /// Page-walk penalty on a TLB miss.
+    pub tlb_walk: u32,
+}
+
+impl MemLatencies {
+    /// Latencies matching the paper's machine.
+    pub fn p4() -> Self {
+        MemLatencies { l1d_hit: 2, l2_hit: 18, memory: 350, tc_build: 12, tlb_walk: 30 }
+    }
+}
+
+/// Full memory-system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// Trace cache geometry.
+    pub tc: TraceCacheConfig,
+    /// Instruction TLB (partitioned when HT is on, per the P4 design).
+    pub itlb: TlbConfig,
+    /// Data TLB (shared).
+    pub dtlb: TlbConfig,
+    /// BTB geometry.
+    pub btb: BtbConfig,
+    /// Direction predictor geometry.
+    pub predictor: PredictorConfig,
+    /// Latencies.
+    pub latencies: MemLatencies,
+    /// Enable the L2 streaming prefetcher (next-line on an ascending L1D
+    /// miss stride). The baseline reproduction runs with it off; the
+    /// `ablation-prefetch` experiment turns it on.
+    pub l2_prefetch: bool,
+}
+
+impl MemConfig {
+    /// The paper machine's memory system, configured for `ht_enabled`.
+    ///
+    /// Hyper-Threading changes two things here: the ITLB becomes
+    /// statically partitioned and BTB entries become logical-CPU-tagged.
+    /// The caches are shared either way.
+    pub fn p4(ht_enabled: bool) -> Self {
+        MemConfig {
+            l1d: CacheConfig::p4_l1d(),
+            l2: CacheConfig::p4_l2(),
+            tc: TraceCacheConfig::p4(ht_enabled),
+            itlb: TlbConfig::p4_itlb(ht_enabled),
+            dtlb: TlbConfig::p4_dtlb(),
+            btb: BtbConfig::p4(ht_enabled),
+            predictor: PredictorConfig::p4(),
+            latencies: MemLatencies::p4(),
+            l2_prefetch: false,
+        }
+    }
+
+    /// Builder-style: enable/disable the L2 streaming prefetcher.
+    pub fn with_l2_prefetch(mut self, on: bool) -> Self {
+        self.l2_prefetch = on;
+        self
+    }
+
+    /// Ablation helper: same system with an L1D scaled to `kib` kibibytes
+    /// (the paper's §1 suggests "incorporating larger L1 cache may be
+    /// effective to alleviate memory latency").
+    pub fn with_l1d_kib(mut self, kib: usize) -> Self {
+        assert!(kib.is_power_of_two(), "L1D size must be a power of two KiB");
+        let line = self.l1d.line_bytes as usize;
+        self.l1d.sets = kib * 1024 / (self.l1d.ways * line);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p4_defaults_match_paper_platform() {
+        let m = MemConfig::p4(true);
+        assert_eq!(m.l1d.capacity_bytes(), 8 * 1024, "8KB L1D");
+        assert_eq!(m.l2.capacity_bytes(), 1024 * 1024, "1MB L2");
+        assert_eq!(m.tc.capacity_uops(), 12 * 1024, "12K uop trace cache");
+        assert_eq!(m.l1d.line_bytes, 64);
+        assert_eq!(m.l2.line_bytes, 64);
+        assert!(m.itlb.partitioned, "ITLB partitioned under HT");
+        assert!(m.btb.lcpu_tagged, "BTB tagged under HT");
+    }
+
+    #[test]
+    fn ht_off_unpartitions() {
+        let m = MemConfig::p4(false);
+        assert!(!m.itlb.partitioned);
+        assert!(!m.btb.lcpu_tagged);
+    }
+
+    #[test]
+    fn l1d_scaling_ablation() {
+        let m = MemConfig::p4(true).with_l1d_kib(32);
+        assert_eq!(m.l1d.capacity_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn latency_ordering() {
+        let l = MemLatencies::p4();
+        assert!(l.l1d_hit < l.l2_hit);
+        assert!(l.l2_hit < l.memory);
+    }
+}

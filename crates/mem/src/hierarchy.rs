@@ -1,0 +1,276 @@
+//! The composed memory hierarchy.
+//!
+//! Ties the individual structures into the two paths the core exercises:
+//! the *data* path (L1D → L2 → DRAM, with DTLB in parallel) and the
+//! *fetch* path (trace cache; on a TC miss, ITLB → L2 → DRAM plus the
+//! trace-build penalty). All events are recorded into a
+//! [`jsmt_perfmon::CounterBank`] so experiments observe exactly what the
+//! paper's counter tool observed.
+
+use jsmt_isa::{Addr, Asid};
+use jsmt_perfmon::{CounterBank, Event, LogicalCpu};
+
+use crate::{Btb, DirectionPredictor, MemConfig, SetAssocCache, Tlb, TraceCache};
+
+/// Kind of data access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load (latency-critical).
+    Read,
+    /// A store (modeled as allocate-on-write; completion latency mostly
+    /// hidden by the store buffer, but misses still occupy the hierarchy).
+    Write,
+}
+
+/// Result of an instruction fetch probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchOutcome {
+    /// Whether the trace cache hit.
+    pub tc_hit: bool,
+    /// Cycles before µops are deliverable (0 on a TC hit).
+    pub penalty: u32,
+}
+
+/// The full memory system of the modeled processor.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    cfg: MemConfig,
+    l1d: SetAssocCache,
+    l2: SetAssocCache,
+    tc: TraceCache,
+    itlb: Tlb,
+    dtlb: Tlb,
+    /// Exposed for the front end: BTB and direction predictor live with
+    /// the memory structures because they share the sharing-policy story.
+    pub btb: Btb,
+    /// Direction predictor (see [`MemoryHierarchy::btb`]).
+    pub predictor: DirectionPredictor,
+    /// Last L1D-miss line address per logical CPU (stride detection for
+    /// the prefetcher).
+    last_miss_line: [Addr; 2],
+}
+
+impl MemoryHierarchy {
+    /// Build the hierarchy from a configuration.
+    pub fn new(cfg: MemConfig) -> Self {
+        MemoryHierarchy {
+            l1d: SetAssocCache::new(cfg.l1d),
+            l2: SetAssocCache::new(cfg.l2),
+            tc: TraceCache::new(cfg.tc),
+            itlb: Tlb::new(cfg.itlb),
+            dtlb: Tlb::new(cfg.dtlb),
+            btb: Btb::new(cfg.btb),
+            predictor: DirectionPredictor::new(cfg.predictor),
+            last_miss_line: [0; 2],
+            cfg,
+        }
+    }
+
+    /// The configuration this hierarchy was built with.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Perform a data access; returns the load-to-use latency in cycles.
+    ///
+    /// Stores return the same latency (the core model decides how much of
+    /// it to expose; store misses matter for occupancy and for the L1D
+    /// miss counts in Figure 4, which count both loads and stores).
+    pub fn data_access(
+        &mut self,
+        addr: Addr,
+        asid: Asid,
+        lcpu: LogicalCpu,
+        kind: AccessKind,
+        bank: &mut CounterBank,
+    ) -> u32 {
+        let lat = &self.cfg.latencies;
+        let mut cycles = lat.l1d_hit;
+
+        bank.inc(lcpu, Event::DtlbLookups);
+        if !self.dtlb.access(addr, asid, lcpu) {
+            bank.inc(lcpu, Event::DtlbMisses);
+            cycles += lat.tlb_walk;
+        }
+
+        bank.inc(lcpu, Event::L1dLookups);
+        if self.l1d.access(addr, asid, lcpu) {
+            return cycles;
+        }
+        bank.inc(lcpu, Event::L1dMisses);
+
+        // Hardware prefetcher: on an ascending short-stride miss pattern,
+        // stream the next line into the L2 ahead of demand.
+        if self.cfg.l2_prefetch {
+            let line = addr / self.cfg.l2.line_bytes;
+            let last = self.last_miss_line[lcpu.index()];
+            if line > last && line - last <= 2 {
+                let next = (line + 1) * self.cfg.l2.line_bytes;
+                self.l2.access(next, asid, lcpu);
+                bank.inc(lcpu, Event::PrefetchesIssued);
+            }
+            self.last_miss_line[lcpu.index()] = line;
+        }
+
+        bank.inc(lcpu, Event::L2Lookups);
+        if self.l2.access(addr, asid, lcpu) {
+            return cycles + lat.l2_hit;
+        }
+        bank.inc(lcpu, Event::L2Misses);
+        bank.inc(lcpu, Event::MemAccesses);
+        let _ = kind;
+        cycles + lat.memory
+    }
+
+    /// Probe the fetch path for the group starting at `pc`.
+    pub fn fetch(
+        &mut self,
+        pc: Addr,
+        asid: Asid,
+        lcpu: LogicalCpu,
+        bank: &mut CounterBank,
+    ) -> FetchOutcome {
+        let lat = &self.cfg.latencies;
+        bank.inc(lcpu, Event::TcLookups);
+        if self.tc.fetch(pc, asid, lcpu) {
+            return FetchOutcome { tc_hit: true, penalty: 0 };
+        }
+        bank.inc(lcpu, Event::TcMisses);
+        bank.inc(lcpu, Event::TcBuilds);
+
+        // Slow path: translate, read instruction bytes from L2 (or DRAM),
+        // rebuild the trace.
+        let mut penalty = lat.tc_build;
+        bank.inc(lcpu, Event::ItlbLookups);
+        if !self.itlb.access(pc, asid, lcpu) {
+            bank.inc(lcpu, Event::ItlbMisses);
+            penalty += lat.tlb_walk;
+        }
+        bank.inc(lcpu, Event::L2Lookups);
+        if self.l2.access(pc, asid, lcpu) {
+            penalty += lat.l2_hit;
+        } else {
+            bank.inc(lcpu, Event::L2Misses);
+            bank.inc(lcpu, Event::MemAccesses);
+            penalty += lat.memory;
+        }
+        FetchOutcome { tc_hit: false, penalty }
+    }
+
+    /// Maximum µops deliverable by one fetch (trace-line width).
+    pub fn fetch_width(&self) -> u32 {
+        self.tc.uops_per_fetch()
+    }
+
+    /// Access to the trace cache (read-only, for diagnostics).
+    pub fn trace_cache(&self) -> &TraceCache {
+        &self.tc
+    }
+
+    /// Access to the L1 data cache (read-only, for diagnostics).
+    pub fn l1d(&self) -> &SetAssocCache {
+        &self.l1d
+    }
+
+    /// Access to the L2 (read-only, for diagnostics).
+    pub fn l2(&self) -> &SetAssocCache {
+        &self.l2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A1: Asid = Asid(1);
+    const LP0: LogicalCpu = LogicalCpu::Lp0;
+
+    fn hier() -> (MemoryHierarchy, CounterBank) {
+        (MemoryHierarchy::new(MemConfig::p4(true)), CounterBank::new())
+    }
+
+    #[test]
+    fn data_latency_tiers() {
+        let (mut h, mut bank) = hier();
+        let cold = h.data_access(0x2000_0000, A1, LP0, AccessKind::Read, &mut bank);
+        let warm = h.data_access(0x2000_0000, A1, LP0, AccessKind::Read, &mut bank);
+        assert!(cold > 300, "cold access goes to memory: {cold}");
+        assert_eq!(warm, MemConfig::p4(true).latencies.l1d_hit);
+        assert_eq!(bank.total(Event::L1dMisses), 1);
+        assert_eq!(bank.total(Event::L2Misses), 1);
+        assert_eq!(bank.total(Event::MemAccesses), 1);
+    }
+
+    #[test]
+    fn l2_hit_tier() {
+        let (mut h, mut bank) = hier();
+        // Fill L2 and L1 with the line, then evict it from L1D by
+        // streaming conflicting lines (same L1 set: stride = 2 KB for the
+        // 32-set × 64 B L1D).
+        h.data_access(0x2000_0000, A1, LP0, AccessKind::Read, &mut bank);
+        for i in 1..=8u64 {
+            h.data_access(0x2000_0000 + i * 2048, A1, LP0, AccessKind::Read, &mut bank);
+        }
+        let lat = h.data_access(0x2000_0000, A1, LP0, AccessKind::Read, &mut bank);
+        let cfg = MemConfig::p4(true).latencies;
+        assert_eq!(lat, cfg.l1d_hit + cfg.l2_hit, "should be an L2 hit after L1 eviction");
+    }
+
+    #[test]
+    fn fetch_hit_is_free_miss_pays_build() {
+        let (mut h, mut bank) = hier();
+        let cold = h.fetch(0x0800_0000, A1, LP0, &mut bank);
+        assert!(!cold.tc_hit);
+        assert!(cold.penalty > 0);
+        let warm = h.fetch(0x0800_0000, A1, LP0, &mut bank);
+        assert!(warm.tc_hit);
+        assert_eq!(warm.penalty, 0);
+        assert_eq!(bank.total(Event::TcMisses), 1);
+        assert_eq!(bank.total(Event::TcLookups), 2);
+    }
+
+    #[test]
+    fn fetch_miss_counts_itlb() {
+        let (mut h, mut bank) = hier();
+        h.fetch(0x0800_0000, A1, LP0, &mut bank);
+        assert_eq!(bank.total(Event::ItlbLookups), 1);
+        assert_eq!(bank.total(Event::ItlbMisses), 1);
+    }
+
+    #[test]
+    fn prefetcher_streams_next_lines_into_l2() {
+        let mut h = MemoryHierarchy::new(MemConfig::p4(true).with_l2_prefetch(true));
+        let mut bank = CounterBank::new();
+        // Ascending line-by-line stream: prefetches should fire and turn
+        // later demand misses into L2 hits.
+        for i in 0..32u64 {
+            h.data_access(0x3000_0000 + i * 64, A1, LP0, AccessKind::Read, &mut bank);
+        }
+        assert!(bank.total(Event::PrefetchesIssued) > 16, "stream must trigger prefetches");
+        // Compare L2 misses against a prefetch-less hierarchy on the same
+        // stream.
+        let mut h2 = MemoryHierarchy::new(MemConfig::p4(true));
+        let mut bank2 = CounterBank::new();
+        for i in 0..32u64 {
+            h2.data_access(0x3000_0000 + i * 64, A1, LP0, AccessKind::Read, &mut bank2);
+        }
+        assert!(
+            bank.total(Event::L2Misses) < bank2.total(Event::L2Misses),
+            "prefetching must reduce demand L2 misses ({} vs {})",
+            bank.total(Event::L2Misses),
+            bank2.total(Event::L2Misses)
+        );
+    }
+
+    #[test]
+    fn dtlb_walk_adds_latency() {
+        let (mut h, mut bank) = hier();
+        h.data_access(0x3000_0000, A1, LP0, AccessKind::Read, &mut bank);
+        // Second access to a *different line of the same page*: DTLB hit,
+        // L1D miss.
+        let with_tlb_hit = h.data_access(0x3000_0000 + 64, A1, LP0, AccessKind::Read, &mut bank);
+        // A fresh page: pays the walk again.
+        let with_walk = h.data_access(0x3100_0000, A1, LP0, AccessKind::Read, &mut bank);
+        assert!(with_walk > with_tlb_hit);
+    }
+}

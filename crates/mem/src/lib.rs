@@ -1,0 +1,52 @@
+//! # jsmt-mem
+//!
+//! Memory-system models for the `jsmt` SMT simulator: set-associative
+//! caches, TLBs, the Pentium 4 trace cache, the branch target buffer and
+//! direction predictor, and the composed [`MemoryHierarchy`].
+//!
+//! Every structure supports the sharing policy the corresponding P4
+//! structure uses under Hyper-Threading, because the paper's Figures 3–7
+//! are precisely about those policies:
+//!
+//! * **L1D, L2** — fully shared, tagged by address-space id (competitive
+//!   *or* constructive sharing, depending on footprints);
+//! * **trace cache** — shared capacity, but trace lines are *thread-
+//!   tagged* under Hyper-Threading (traces are path-specific and the P4
+//!   tags its entries with thread information): siblings compete for
+//!   capacity without reusing each other's traces (Figure 3);
+//! * **ITLB** — *statically partitioned* between logical CPUs ("each
+//!   logical processor has its own ITLB", §4.1);
+//! * **BTB** — shared but entries are *tagged with the logical processor
+//!   id*, so threads evict but never share each other's entries
+//!   (destructive interference, Figure 7).
+//!
+//! ## Example
+//!
+//! ```
+//! use jsmt_mem::{CacheConfig, SetAssocCache};
+//! use jsmt_isa::Asid;
+//! use jsmt_perfmon::LogicalCpu;
+//!
+//! // The paper machine's 8 KB 4-way L1 data cache with 64-byte lines.
+//! let mut l1d = SetAssocCache::new(CacheConfig::p4_l1d());
+//! let hit = l1d.access(0x2000_0040, Asid(1), LogicalCpu::Lp0);
+//! assert!(!hit, "cold cache misses");
+//! assert!(l1d.access(0x2000_0040, Asid(1), LogicalCpu::Lp0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btb;
+mod cache;
+mod config;
+mod hierarchy;
+mod tlb;
+mod trace_cache;
+
+pub use btb::{Btb, BtbConfig, DirectionPredictor, PredictorConfig};
+pub use cache::{CacheConfig, SetAssocCache};
+pub use config::{MemConfig, MemLatencies};
+pub use hierarchy::{AccessKind, FetchOutcome, MemoryHierarchy};
+pub use tlb::{Tlb, TlbConfig};
+pub use trace_cache::{TraceCache, TraceCacheConfig};

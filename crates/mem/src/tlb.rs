@@ -1,0 +1,190 @@
+//! Translation lookaside buffers.
+//!
+//! The paper attributes PseudoJBB's sharp ITLB degradation under
+//! Hyper-Threading to the P4's *partitioned* ITLB design ("each logical
+//! processor has its own ITLB", §4.1): with HT on, each context sees half
+//! the reach even when the sibling is idle. The [`Tlb`] model makes the
+//! partitioning switchable so both Figure 6 and the dynamic-partitioning
+//! ablation can be run.
+
+use jsmt_isa::{Addr, Asid, PAGE_BYTES};
+use jsmt_perfmon::LogicalCpu;
+
+/// TLB geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Total entries (across both partitions when partitioned).
+    pub entries: usize,
+    /// Associativity (entries/ways = sets).
+    pub ways: usize,
+    /// Statically partition entries between logical CPUs.
+    pub partitioned: bool,
+}
+
+impl TlbConfig {
+    /// P4-like ITLB: 128 entries total, partitioned in half per logical
+    /// CPU when Hyper-Threading is enabled.
+    pub fn p4_itlb(ht_enabled: bool) -> Self {
+        TlbConfig { entries: 128, ways: 8, partitioned: ht_enabled }
+    }
+
+    /// P4-like DTLB: 64 entries, fully shared.
+    pub fn p4_dtlb() -> Self {
+        TlbConfig { entries: 64, ways: 8, partitioned: false }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    tag: u64,
+    stamp: u64,
+    valid: bool,
+}
+
+/// A set-associative TLB with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    sets: usize,
+    entries: Vec<Entry>,
+    tick: u64,
+    lookups: [u64; 2],
+    misses: [u64; 2],
+}
+
+impl Tlb {
+    /// Build a TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not divisible by `ways`, if the resulting set
+    /// count is not a power of two, or if a partitioned TLB has fewer than
+    /// two sets.
+    pub fn new(cfg: TlbConfig) -> Self {
+        assert!(cfg.ways >= 1 && cfg.entries.is_multiple_of(cfg.ways), "entries must divide by ways");
+        let sets = cfg.entries / cfg.ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(!cfg.partitioned || sets >= 2, "partitioned TLB needs >= 2 sets");
+        Tlb {
+            cfg,
+            sets,
+            entries: vec![Entry { tag: 0, stamp: 0, valid: false }; cfg.entries],
+            tick: 0,
+            lookups: [0; 2],
+            misses: [0; 2],
+        }
+    }
+
+    /// The TLB geometry.
+    pub fn config(&self) -> &TlbConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn set_of(&self, vpn: u64, lcpu: LogicalCpu) -> usize {
+        if self.cfg.partitioned {
+            let half = self.sets / 2;
+            (vpn as usize % half) + lcpu.index() * half
+        } else {
+            vpn as usize % self.sets
+        }
+    }
+
+    /// Translate the page containing `addr`; fills on miss. Returns hit.
+    pub fn access(&mut self, addr: Addr, asid: Asid, lcpu: LogicalCpu) -> bool {
+        self.tick += 1;
+        self.lookups[lcpu.index()] += 1;
+        let vpn = addr / PAGE_BYTES;
+        let tag = (vpn << 16) | asid.0 as u64;
+        let set = self.set_of(vpn, lcpu);
+        let base = set * self.cfg.ways;
+        let ways = &mut self.entries[base..base + self.cfg.ways];
+        if let Some(e) = ways.iter_mut().find(|e| e.valid && e.tag == tag) {
+            e.stamp = self.tick;
+            return true;
+        }
+        self.misses[lcpu.index()] += 1;
+        let victim = ways.iter_mut().min_by_key(|e| if e.valid { e.stamp } else { 0 }).expect("ways >= 1");
+        *victim = Entry { tag, stamp: self.tick, valid: true };
+        false
+    }
+
+    /// Lookups by `lcpu`.
+    pub fn lookups(&self, lcpu: LogicalCpu) -> u64 {
+        self.lookups[lcpu.index()]
+    }
+
+    /// Misses by `lcpu`.
+    pub fn misses(&self, lcpu: LogicalCpu) -> u64 {
+        self.misses[lcpu.index()]
+    }
+
+    /// Drop all translations (full TLB flush, e.g. on address-space
+    /// switch for architectures without ASIDs; our model keeps ASIDs so
+    /// this is only used by tests and the OS's explicit flush path).
+    pub fn flush(&mut self) {
+        for e in &mut self.entries {
+            e.valid = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A1: Asid = Asid(1);
+    const LP0: LogicalCpu = LogicalCpu::Lp0;
+    const LP1: LogicalCpu = LogicalCpu::Lp1;
+
+    #[test]
+    fn miss_then_hit_same_page() {
+        let mut t = Tlb::new(TlbConfig::p4_dtlb());
+        assert!(!t.access(0x2000_0000, A1, LP0));
+        assert!(t.access(0x2000_0FFF, A1, LP0), "same 4 KB page");
+        assert!(!t.access(0x2000_1000, A1, LP0), "next page");
+    }
+
+    #[test]
+    fn partitioning_halves_reach() {
+        // Touch N pages that fit in a shared TLB but overflow a half
+        // partition; a shared TLB keeps them all resident, the partitioned
+        // one does not.
+        let pages: Vec<u64> = (0..96).map(|i| i * PAGE_BYTES).collect();
+        let mut shared = Tlb::new(TlbConfig { entries: 128, ways: 8, partitioned: false });
+        let mut part = Tlb::new(TlbConfig { entries: 128, ways: 8, partitioned: true });
+        for &p in &pages {
+            shared.access(p, A1, LP0);
+            part.access(p, A1, LP0);
+        }
+        let shared_second: u64 = pages.iter().map(|&p| !shared.access(p, A1, LP0) as u64).sum();
+        let part_second: u64 = pages.iter().map(|&p| !part.access(p, A1, LP0) as u64).sum();
+        assert_eq!(shared_second, 0, "96 pages fit in 128 shared entries");
+        assert!(part_second > 0, "96 pages overflow a 64-entry partition");
+    }
+
+    #[test]
+    fn partitions_are_private() {
+        let mut t = Tlb::new(TlbConfig { entries: 16, ways: 2, partitioned: true });
+        t.access(0, A1, LP0);
+        assert!(!t.access(0, A1, LP1), "sibling has its own partition");
+        assert!(t.access(0, A1, LP0));
+    }
+
+    #[test]
+    fn stats_and_flush() {
+        let mut t = Tlb::new(TlbConfig::p4_dtlb());
+        t.access(0, A1, LP0);
+        t.access(0, A1, LP0);
+        assert_eq!(t.lookups(LP0), 2);
+        assert_eq!(t.misses(LP0), 1);
+        t.flush();
+        assert!(!t.access(0, A1, LP0));
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn bad_geometry() {
+        let _ = Tlb::new(TlbConfig { entries: 10, ways: 4, partitioned: false });
+    }
+}

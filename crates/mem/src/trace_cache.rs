@@ -1,0 +1,241 @@
+//! The Pentium 4 execution trace cache.
+//!
+//! The P4 has no conventional L1 instruction cache: decoded µops are stored
+//! in a ~12 Kµop trace cache, and a trace-cache miss sends fetch down the
+//! slow decode path through the ITLB and L2. The paper identifies the
+//! trace cache as *the* structure that determines Java pairing behaviour
+//! (§4.2: "trace cache is the major factor determining the pairing
+//! performance"), so this model is central to Figures 3, 8, 9 and 11.
+//!
+//! We model the trace cache as a set-associative cache of *trace lines*,
+//! each holding [`TraceCacheConfig::uops_per_line`] µops of sequential
+//! fetch, tagged by (line address, asid, and — under Hyper-Threading —
+//! the building logical CPU, since traces are path-specific and the P4
+//! tags entries with thread information). Capacity is shared: distinct
+//! processes and, with HT on, sibling threads compete for it.
+
+use jsmt_isa::{Addr, Asid};
+use jsmt_perfmon::LogicalCpu;
+
+/// Trace cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCacheConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// µops stored per trace line (fetch granularity).
+    pub uops_per_line: u32,
+    /// Approximate code bytes covered by one trace line, used to map a
+    /// fetch pc to its line address. IA-32 instructions average ~3.5
+    /// bytes and decompose to ~1.5 µops, so a 6-µop line covers ~16 bytes.
+    pub line_code_bytes: u64,
+    /// Tag trace lines with the building logical CPU. Traces are
+    /// path-specific and the P4 tags trace-cache entries with thread
+    /// information under Hyper-Threading, so sibling threads *compete
+    /// for* but do not *share* each other's traces — the contention the
+    /// paper's Figure 3 measures.
+    pub lcpu_tagged: bool,
+}
+
+impl TraceCacheConfig {
+    /// P4-like trace cache: 12 Kµops as 256 sets × 8 ways × 6 µops;
+    /// thread-tagged when Hyper-Threading is enabled.
+    pub fn p4(ht_enabled: bool) -> Self {
+        TraceCacheConfig {
+            sets: 256,
+            ways: 8,
+            uops_per_line: 6,
+            line_code_bytes: 16,
+            lcpu_tagged: ht_enabled,
+        }
+    }
+
+    /// Total µop capacity.
+    pub fn capacity_uops(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.uops_per_line as u64
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TraceLine {
+    tag: u64,
+    stamp: u64,
+    valid: bool,
+}
+
+/// The execution trace cache.
+#[derive(Debug, Clone)]
+pub struct TraceCache {
+    cfg: TraceCacheConfig,
+    lines: Vec<TraceLine>,
+    tick: u64,
+    lookups: [u64; 2],
+    misses: [u64; 2],
+    builds: [u64; 2],
+}
+
+impl TraceCache {
+    /// Build a trace cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid geometry (zero ways, non-power-of-two sets or
+    /// line coverage).
+    pub fn new(cfg: TraceCacheConfig) -> Self {
+        assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(cfg.line_code_bytes.is_power_of_two(), "line coverage must be a power of two");
+        assert!(cfg.ways >= 1 && cfg.uops_per_line >= 1, "degenerate geometry");
+        TraceCache {
+            cfg,
+            lines: vec![TraceLine { tag: 0, stamp: 0, valid: false }; cfg.sets * cfg.ways],
+            tick: 0,
+            lookups: [0; 2],
+            misses: [0; 2],
+            builds: [0; 2],
+        }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> &TraceCacheConfig {
+        &self.cfg
+    }
+
+    /// Look up the trace line for a fetch at `pc`. On a miss the line is
+    /// *built* (filled) immediately and the miss is recorded — the build
+    /// latency is charged by the caller from [`crate::MemLatencies`].
+    /// Returns whether fetch hit.
+    pub fn fetch(&mut self, pc: Addr, asid: Asid, lcpu: LogicalCpu) -> bool {
+        self.tick += 1;
+        self.lookups[lcpu.index()] += 1;
+        let line_addr = pc / self.cfg.line_code_bytes;
+        let set = (line_addr as usize) % self.cfg.sets;
+        let mut tag = (line_addr << 17) | ((asid.0 as u64) << 1);
+        if self.cfg.lcpu_tagged {
+            tag |= lcpu.index() as u64;
+        }
+        let base = set * self.cfg.ways;
+        let ways = &mut self.lines[base..base + self.cfg.ways];
+        if let Some(l) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.stamp = self.tick;
+            return true;
+        }
+        self.misses[lcpu.index()] += 1;
+        self.builds[lcpu.index()] += 1;
+        let victim = ways.iter_mut().min_by_key(|l| if l.valid { l.stamp } else { 0 }).expect("ways >= 1");
+        *victim = TraceLine { tag, stamp: self.tick, valid: true };
+        false
+    }
+
+    /// µops deliverable per hit (the fetch width cap from the trace cache).
+    pub fn uops_per_fetch(&self) -> u32 {
+        self.cfg.uops_per_line
+    }
+
+    /// Lookups by `lcpu`.
+    pub fn lookups(&self, lcpu: LogicalCpu) -> u64 {
+        self.lookups[lcpu.index()]
+    }
+
+    /// Misses by `lcpu`.
+    pub fn misses(&self, lcpu: LogicalCpu) -> u64 {
+        self.misses[lcpu.index()]
+    }
+
+    /// Trace builds by `lcpu` (equals misses in this model).
+    pub fn builds(&self, lcpu: LogicalCpu) -> u64 {
+        self.builds[lcpu.index()]
+    }
+
+    /// Fraction of valid lines (warm-up diagnostics).
+    pub fn occupancy(&self) -> f64 {
+        self.lines.iter().filter(|l| l.valid).count() as f64 / self.lines.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A1: Asid = Asid(1);
+    const A2: Asid = Asid(2);
+    const LP0: LogicalCpu = LogicalCpu::Lp0;
+    const LP1: LogicalCpu = LogicalCpu::Lp1;
+
+    #[test]
+    fn loop_body_hits_after_first_iteration() {
+        let mut tc = TraceCache::new(TraceCacheConfig::p4(false));
+        let body: Vec<u64> = (0..8).map(|i| 0x0800_0000 + i * 16).collect();
+        for &pc in &body {
+            assert!(!tc.fetch(pc, A1, LP0), "cold");
+        }
+        for &pc in &body {
+            assert!(tc.fetch(pc, A1, LP0), "warm loop");
+        }
+    }
+
+    #[test]
+    fn capacity_thrash_between_processes() {
+        // Two processes each streaming a footprint of ~3/4 the trace cache
+        // capacity through it, interleaved: they evict each other.
+        let cfg = TraceCacheConfig::p4(false);
+        let lines = (cfg.sets * cfg.ways) as u64;
+        let mut tc = TraceCache::new(cfg);
+        let footprint: Vec<u64> =
+            (0..(lines * 3 / 4)).map(|i| 0x0800_0000 + i * cfg.line_code_bytes).collect();
+        // Warm both.
+        for _ in 0..3 {
+            for &pc in &footprint {
+                tc.fetch(pc, A1, LP0);
+                tc.fetch(pc, A2, LP1);
+            }
+        }
+        let before = (tc.misses(LP0), tc.misses(LP1));
+        for &pc in &footprint {
+            tc.fetch(pc, A1, LP0);
+            tc.fetch(pc, A2, LP1);
+        }
+        let new_misses = tc.misses(LP0) - before.0 + tc.misses(LP1) - before.1;
+        assert!(
+            new_misses > footprint.len() as u64 / 4,
+            "interleaved oversized footprints should keep missing, got {new_misses}"
+        );
+    }
+
+    #[test]
+    fn same_process_threads_share_traces_without_ht_tagging() {
+        let mut tc = TraceCache::new(TraceCacheConfig::p4(false));
+        tc.fetch(0x0800_0000, A1, LP0);
+        assert!(tc.fetch(0x0800_0000, A1, LP1), "constructive sharing within a process");
+    }
+
+    #[test]
+    fn ht_tagging_separates_sibling_traces() {
+        let mut tc = TraceCache::new(TraceCacheConfig::p4(true));
+        tc.fetch(0x0800_0000, A1, LP0);
+        assert!(
+            !tc.fetch(0x0800_0000, A1, LP1),
+            "thread-tagged traces are not shared between logical CPUs"
+        );
+    }
+
+    #[test]
+    fn different_processes_do_not_alias() {
+        let mut tc = TraceCache::new(TraceCacheConfig::p4(false));
+        tc.fetch(0x0800_0000, A1, LP0);
+        assert!(!tc.fetch(0x0800_0000, A2, LP1));
+    }
+
+    #[test]
+    fn p4_capacity_is_12k_uops() {
+        assert_eq!(TraceCacheConfig::p4(false).capacity_uops(), 12 * 1024);
+    }
+
+    #[test]
+    fn occupancy_grows() {
+        let mut tc = TraceCache::new(TraceCacheConfig::p4(false));
+        assert_eq!(tc.occupancy(), 0.0);
+        tc.fetch(0x0800_0000, A1, LP0);
+        assert!(tc.occupancy() > 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests on the memory-system invariants.
+
+use jsmt_isa::Asid;
+use jsmt_mem::{
+    Btb, BtbConfig, CacheConfig, SetAssocCache, Tlb, TlbConfig, TraceCache, TraceCacheConfig,
+};
+use jsmt_perfmon::LogicalCpu;
+use proptest::prelude::*;
+
+fn arb_lcpu() -> impl Strategy<Value = LogicalCpu> {
+    prop_oneof![Just(LogicalCpu::Lp0), Just(LogicalCpu::Lp1)]
+}
+
+proptest! {
+    /// Inclusion: immediately re-accessing any address hits (the line was
+    /// just filled and cannot have been evicted).
+    #[test]
+    fn cache_refill_then_hit(addrs in prop::collection::vec(0u64..1_000_000, 1..200),
+                             asid in 1u16..4) {
+        let mut c = SetAssocCache::new(CacheConfig::p4_l1d());
+        for a in addrs {
+            c.access(a, Asid(asid), LogicalCpu::Lp0);
+            prop_assert!(c.access(a, Asid(asid), LogicalCpu::Lp0), "immediate re-access must hit");
+        }
+    }
+
+    /// Accesses within one line always agree (hit/miss is line-granular).
+    #[test]
+    fn cache_line_granularity(base in 0u64..1_000_000, off in 0u64..64) {
+        let mut c = SetAssocCache::new(CacheConfig::p4_l1d());
+        let line = base & !63;
+        c.access(line, Asid(1), LogicalCpu::Lp0);
+        prop_assert!(c.access(line + off, Asid(1), LogicalCpu::Lp0));
+    }
+
+    /// Miss count never exceeds access count, and stats are conserved.
+    #[test]
+    fn cache_stats_conserved(ops in prop::collection::vec((0u64..100_000, arb_lcpu()), 0..300)) {
+        let mut c = SetAssocCache::new(CacheConfig {
+            sets: 8, ways: 2, line_bytes: 64, phys_indexed: false, partitioned: false,
+        });
+        for (a, l) in &ops {
+            c.access(*a, Asid(1), *l);
+        }
+        let acc = c.accesses(LogicalCpu::Lp0) + c.accesses(LogicalCpu::Lp1);
+        let mis = c.misses(LogicalCpu::Lp0) + c.misses(LogicalCpu::Lp1);
+        prop_assert_eq!(acc, ops.len() as u64);
+        prop_assert!(mis <= acc);
+        prop_assert!(c.occupancy() <= 16);
+    }
+
+    /// A partitioned cache never lets one logical CPU's accesses evict the
+    /// other's lines.
+    #[test]
+    fn partitioned_cache_isolation(mine in prop::collection::vec(0u64..10_000, 1..20),
+                                   theirs in prop::collection::vec(0u64..10_000, 0..200)) {
+        let cfg = CacheConfig { sets: 8, ways: 2, line_bytes: 64, phys_indexed: false, partitioned: true };
+        let mut c = SetAssocCache::new(cfg);
+        // Restrict "mine" to what one partition can definitely hold.
+        let mine: Vec<u64> = mine.into_iter().take(2).collect();
+        for &a in &mine {
+            c.access(a & !63, Asid(1), LogicalCpu::Lp0);
+        }
+        let resident_before: Vec<bool> =
+            mine.iter().map(|&a| c.probe(a & !63, Asid(1), LogicalCpu::Lp0)).collect();
+        for &a in &theirs {
+            c.access(a, Asid(1), LogicalCpu::Lp1);
+        }
+        let resident_after: Vec<bool> =
+            mine.iter().map(|&a| c.probe(a & !63, Asid(1), LogicalCpu::Lp0)).collect();
+        prop_assert_eq!(resident_before, resident_after, "sibling traffic must not evict");
+    }
+
+    /// The TLB translates at page granularity.
+    #[test]
+    fn tlb_page_granularity(page in 0u64..100_000, off in 0u64..4096) {
+        let mut t = Tlb::new(TlbConfig::p4_dtlb());
+        t.access(page * 4096, Asid(1), LogicalCpu::Lp0);
+        prop_assert!(t.access(page * 4096 + off, Asid(1), LogicalCpu::Lp0));
+    }
+
+    /// BTB: after an update, a lookup from the same thread returns exactly
+    /// the stored target.
+    #[test]
+    fn btb_returns_what_was_stored(pcs in prop::collection::vec((0u64..1_000_000, 0u64..1_000_000), 1..50)) {
+        let mut btb = Btb::new(BtbConfig::p4(true));
+        for &(pc, target) in &pcs {
+            btb.update(pc, Asid(1), LogicalCpu::Lp0, target);
+            prop_assert_eq!(btb.lookup(pc, Asid(1), LogicalCpu::Lp0), Some(target));
+        }
+    }
+
+    /// Trace cache: thread tagging is strict two-way isolation.
+    #[test]
+    fn trace_cache_tagging_isolation(pc in 0u64..1_000_000) {
+        let mut tc = TraceCache::new(TraceCacheConfig::p4(true));
+        tc.fetch(pc, Asid(1), LogicalCpu::Lp0);
+        prop_assert!(!tc.fetch(pc, Asid(1), LogicalCpu::Lp1), "first sibling fetch must miss");
+        prop_assert!(tc.fetch(pc, Asid(1), LogicalCpu::Lp0), "own trace still resident");
+        prop_assert!(tc.fetch(pc, Asid(1), LogicalCpu::Lp1), "sibling's own build now hits");
+    }
+}

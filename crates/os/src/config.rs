@@ -1,0 +1,79 @@
+//! OS model configuration.
+
+/// Parameters of the OS model.
+///
+/// Costs are expressed in kernel-mode µops (the [`crate::KernelCodegen`]
+/// turns them into streams with a realistic kernel code/data footprint);
+/// periods are in core cycles at the nominal 2.8 GHz.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OsConfig {
+    /// Scheduling quantum. Linux 2.4's default timeslice was ~50 ms; at
+    /// simulation scale we shrink it so that an 8-thread run experiences
+    /// many quanta, keeping the *ratio* of scheduling work to user work in
+    /// a realistic band.
+    pub timeslice_cycles: u64,
+    /// Timer-interrupt period (Linux 2.4: 100 Hz → 28 M cycles; scaled
+    /// down with the timeslice).
+    pub timer_period_cycles: u64,
+    /// Kernel µops to handle a timer interrupt.
+    pub timer_uops: u32,
+    /// Kernel µops for a full context switch (save/restore, runqueue,
+    /// MMU bookkeeping).
+    pub ctx_switch_uops: u32,
+    /// Kernel µops for a futex-style block or wake (Java contended
+    /// monitor, thread park).
+    pub futex_uops: u32,
+    /// Kernel µops for a generic system call (I/O in `jack`/`javac`,
+    /// memory mapping in the JVM heap grower).
+    pub syscall_uops: u32,
+    /// Kernel µops to create/destroy a thread.
+    pub thread_spawn_uops: u32,
+}
+
+impl Default for OsConfig {
+    fn default() -> Self {
+        OsConfig {
+            timeslice_cycles: 240_000,
+            timer_period_cycles: 110_000,
+            timer_uops: 140,
+            ctx_switch_uops: 900,
+            futex_uops: 420,
+            syscall_uops: 300,
+            thread_spawn_uops: 2_200,
+        }
+    }
+}
+
+impl OsConfig {
+    /// Scale all OS costs by a factor (sensitivity studies).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        let s = |x: u32| ((x as f64 * factor).round() as u32).max(1);
+        self.timer_uops = s(self.timer_uops);
+        self.ctx_switch_uops = s(self.ctx_switch_uops);
+        self.futex_uops = s(self.futex_uops);
+        self.syscall_uops = s(self.syscall_uops);
+        self.thread_spawn_uops = s(self.thread_spawn_uops);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_ordered() {
+        let c = OsConfig::default();
+        assert!(c.timer_uops < c.ctx_switch_uops);
+        assert!(c.ctx_switch_uops < c.thread_spawn_uops);
+        assert!(c.timer_period_cycles <= c.timeslice_cycles);
+    }
+
+    #[test]
+    fn scaling() {
+        let c = OsConfig::default().scaled(2.0);
+        assert_eq!(c.timer_uops, OsConfig::default().timer_uops * 2);
+        let tiny = OsConfig::default().scaled(0.000001);
+        assert!(tiny.timer_uops >= 1, "costs never reach zero");
+    }
+}

@@ -1,0 +1,173 @@
+//! Kernel-mode µop generation.
+//!
+//! Redstone et al. (cited by the paper) showed the OS has a very large
+//! instruction and data footprint with worse cache/TLB behaviour than user
+//! code; the paper leans on that to explain Java-server OS overheads. The
+//! [`KernelCodegen`] reproduces the *footprint* effect: every kernel
+//! service walks a slice of a large kernel code region and touches kernel
+//! data structures, so frequent OS activity pollutes the trace cache, L1D
+//! and TLBs that user code shares with it.
+
+use jsmt_isa::{Addr, Region, Uop, DEP_NONE};
+
+/// The kernel services the simulator models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelService {
+    /// Periodic timer interrupt (accounting + runqueue poke).
+    TimerInterrupt,
+    /// Full context switch between software threads.
+    ContextSwitch,
+    /// Futex-style block/wake (contended Java monitor, `Thread.park`).
+    Futex,
+    /// Generic system call (I/O, mmap).
+    Syscall,
+    /// Thread creation/teardown.
+    ThreadSpawn,
+}
+
+/// Deterministic kernel µop stream generator.
+///
+/// Each service executes at a stable position in the kernel code region
+/// (real kernels have fixed entry points), so repeated services hit the
+/// trace cache once warm — but still *occupy* capacity that user code
+/// loses, which is the effect the paper observes.
+#[derive(Debug, Clone)]
+pub struct KernelCodegen {
+    code_span: u64,
+    data_span: u64,
+    rng_state: u64,
+}
+
+impl KernelCodegen {
+    /// Kernel code footprint: 96 KB of hot paths.
+    const CODE_SPAN: u64 = 96 * 1024;
+    /// Kernel data footprint: 192 KB of hot task structs, runqueues and
+    /// page-table paths.
+    const DATA_SPAN: u64 = 192 * 1024;
+
+    /// A generator with the default footprints.
+    pub fn new(seed: u64) -> Self {
+        KernelCodegen { code_span: Self::CODE_SPAN, data_span: Self::DATA_SPAN, rng_state: seed | 1 }
+    }
+
+    #[inline]
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*; cheap and deterministic.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Entry pc of a service (stable across calls).
+    fn entry_of(&self, service: KernelService) -> Addr {
+        let slot = match service {
+            KernelService::TimerInterrupt => 0u64,
+            KernelService::ContextSwitch => 1,
+            KernelService::Futex => 2,
+            KernelService::Syscall => 3,
+            KernelService::ThreadSpawn => 4,
+        };
+        Region::KernelCode.base() + slot * (self.code_span / 5)
+    }
+
+    /// Emit `uops` kernel-mode µops for `service` into `out`.
+    ///
+    /// The stream is ~30 % memory µops over the kernel data region, ~10 %
+    /// branches (well-biased — kernel fast paths are predictable), rest
+    /// ALU; all privileged.
+    pub fn emit(&mut self, service: KernelService, uops: u32, out: &mut Vec<Uop>) {
+        let entry = self.entry_of(service);
+        let span = self.code_span / 5;
+        let data_base = Region::KernelData.base();
+        let mut pc_off = 0u64;
+        for i in 0..uops {
+            let pc = entry + (pc_off % span);
+            pc_off += 4;
+            let r = self.next_rand();
+            let mut uop = match r % 10 {
+                0 | 1 => {
+                    let addr = (data_base + (self.next_rand() % self.data_span)) & !7;
+                    Uop::load(pc, addr)
+                }
+                2 => {
+                    let addr = (data_base + (self.next_rand() % self.data_span)) & !7;
+                    Uop::store(pc, addr)
+                }
+                3 => {
+                    // Kernel branches: biased taken, stable targets.
+                    let target = entry + (pc.wrapping_mul(0x9E37) % span);
+                    Uop::branch(pc, target, true)
+                }
+                _ => Uop::alu(pc),
+            };
+            uop.privileged = true;
+            uop.dep_dist = if i % 4 == 0 { 1 } else { DEP_NONE };
+            out.push(uop);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsmt_isa::InstrMix;
+
+    #[test]
+    fn all_uops_are_privileged_kernel_addresses() {
+        let mut kg = KernelCodegen::new(1);
+        let mut out = Vec::new();
+        kg.emit(KernelService::ContextSwitch, 500, &mut out);
+        assert_eq!(out.len(), 500);
+        for u in &out {
+            assert!(u.privileged);
+            assert!(Region::is_kernel(u.pc), "pc {:#x}", u.pc);
+            if let Some(a) = u.mem {
+                assert!(Region::is_kernel(a), "data {a:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn services_have_distinct_entries() {
+        let kg = KernelCodegen::new(1);
+        let services = [
+            KernelService::TimerInterrupt,
+            KernelService::ContextSwitch,
+            KernelService::Futex,
+            KernelService::Syscall,
+            KernelService::ThreadSpawn,
+        ];
+        let entries: std::collections::HashSet<_> =
+            services.iter().map(|&s| kg.entry_of(s)).collect();
+        assert_eq!(entries.len(), services.len());
+    }
+
+    #[test]
+    fn mix_is_kernel_like() {
+        let mut kg = KernelCodegen::new(7);
+        let mut out = Vec::new();
+        kg.emit(KernelService::Syscall, 10_000, &mut out);
+        let mut mix = InstrMix::new();
+        for u in &out {
+            mix.record(u);
+        }
+        assert!(mix.mem_fraction() > 0.2 && mix.mem_fraction() < 0.4, "{}", mix.mem_fraction());
+        assert!(mix.branch_fraction() > 0.05 && mix.branch_fraction() < 0.15);
+        assert_eq!(mix.kernel, 10_000);
+    }
+
+    #[test]
+    fn repeated_service_reuses_code_addresses() {
+        let mut kg = KernelCodegen::new(3);
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        kg.emit(KernelService::TimerInterrupt, 100, &mut first);
+        kg.emit(KernelService::TimerInterrupt, 100, &mut second);
+        let pcs: Vec<_> = first.iter().map(|u| u.pc).collect();
+        let pcs2: Vec<_> = second.iter().map(|u| u.pc).collect();
+        assert_eq!(pcs, pcs2, "stable kernel entry paths");
+    }
+}

@@ -1,0 +1,44 @@
+//! # jsmt-os
+//!
+//! The operating-system model: a time-sliced scheduler that multiplexes
+//! software threads onto the machine's one or two logical CPUs, plus a
+//! kernel-mode µop generator for the OS work the paper's Table 2 measures
+//! (timer interrupts, context switches, system calls, futex wait/wake for
+//! Java monitors).
+//!
+//! The paper's platform is RedHat Linux 9 booted single-user; the
+//! observations that depend on the OS are: OS-cycle percentage grows with
+//! thread count ("this is caused by more frequent thread scheduling");
+//! 8 threads are *multiplexed* onto the two contexts; and kernel code has
+//! its own large instruction/data footprint that pollutes the caches.
+//! This crate reproduces those mechanisms without modeling any specific
+//! kernel's internals.
+//!
+//! The scheduler is deliberately decoupled from `jsmt-cpu`: it emits
+//! [`SchedEvent`]s and the system layer (`jsmt-core`) applies them to the
+//! core, so the policy is unit-testable in isolation.
+//!
+//! ## Example
+//!
+//! ```
+//! use jsmt_os::{OsConfig, Scheduler};
+//!
+//! let mut sched = Scheduler::new(OsConfig::default(), true);
+//! let a = sched.spawn(jsmt_isa::Asid(1));
+//! let b = sched.spawn(jsmt_isa::Asid(1));
+//! let mut events = Vec::new();
+//! sched.tick(0, [true, true], &mut events);
+//! assert_eq!(events.len(), 2, "both threads get bound immediately");
+//! let _ = (a, b);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod kernel;
+mod sched;
+
+pub use config::OsConfig;
+pub use kernel::{KernelCodegen, KernelService};
+pub use sched::{SchedEvent, Scheduler, ThreadId, ThreadState};

@@ -1,0 +1,407 @@
+//! The time-slicing thread scheduler.
+
+use std::collections::VecDeque;
+
+use jsmt_isa::Asid;
+
+use crate::OsConfig;
+
+/// Identifier of a software thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u32);
+
+/// Lifecycle state of a software thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Waiting in the run queue.
+    Runnable,
+    /// Bound to a logical CPU (index stored).
+    Running(usize),
+    /// Bound, but told to drain for an impending context switch.
+    Draining(usize),
+    /// Blocked (monitor, barrier, GC safepoint, I/O).
+    Blocked,
+    /// Exited.
+    Finished,
+}
+
+/// A scheduling decision for the system layer to apply to the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedEvent {
+    /// Bind `thread` to logical CPU `lcpu`. The system layer must charge
+    /// the context-switch kernel cost to the incoming thread's stream.
+    Bind {
+        /// Logical CPU index (0 or 1).
+        lcpu: usize,
+        /// The thread being scheduled in.
+        thread: ThreadId,
+        /// Address space of the thread.
+        asid: Asid,
+    },
+    /// Ask the core to drain `lcpu` (stop fetching for the bound thread).
+    RequestDrain {
+        /// Logical CPU index.
+        lcpu: usize,
+    },
+    /// Unbind the drained thread on `lcpu`.
+    Unbind {
+        /// Logical CPU index.
+        lcpu: usize,
+        /// The thread being descheduled.
+        thread: ThreadId,
+    },
+    /// A timer interrupt fired on `lcpu`; the system layer injects the
+    /// timer-handler kernel µops into the running thread's stream.
+    Timer {
+        /// Logical CPU index.
+        lcpu: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct ThreadInfo {
+    asid: Asid,
+    state: ThreadState,
+}
+
+/// Round-robin, affinity-respecting time-slice scheduler over one or two
+/// logical CPUs.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    cfg: OsConfig,
+    nlcpus: usize,
+    threads: Vec<ThreadInfo>,
+    runq: VecDeque<ThreadId>,
+    running: [Option<ThreadId>; 2],
+    draining: [Option<ThreadId>; 2],
+    slice_end: [u64; 2],
+    next_timer: [u64; 2],
+    ctx_switches: u64,
+    timer_irqs: u64,
+    preempt_pending: [bool; 2],
+}
+
+impl Scheduler {
+    /// A scheduler over 2 logical CPUs when `ht_enabled`, else 1.
+    pub fn new(cfg: OsConfig, ht_enabled: bool) -> Self {
+        Scheduler {
+            cfg,
+            nlcpus: if ht_enabled { 2 } else { 1 },
+            threads: Vec::new(),
+            runq: VecDeque::new(),
+            running: [None; 2],
+            draining: [None; 2],
+            slice_end: [0; 2],
+            next_timer: [cfg.timer_period_cycles; 2],
+            ctx_switches: 0,
+            timer_irqs: 0,
+            preempt_pending: [false; 2],
+        }
+    }
+
+    /// Number of logical CPUs the scheduler manages.
+    pub fn nlcpus(&self) -> usize {
+        self.nlcpus
+    }
+
+    /// Create a runnable thread in address space `asid`.
+    pub fn spawn(&mut self, asid: Asid) -> ThreadId {
+        let tid = ThreadId(self.threads.len() as u32);
+        self.threads.push(ThreadInfo { asid, state: ThreadState::Runnable });
+        self.runq.push_back(tid);
+        tid
+    }
+
+    /// State of a thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown thread id.
+    pub fn state(&self, tid: ThreadId) -> ThreadState {
+        self.threads[tid.0 as usize].state
+    }
+
+    /// The thread currently running on `lcpu` (if any).
+    pub fn running_on(&self, lcpu: usize) -> Option<ThreadId> {
+        self.running[lcpu].or(self.draining[lcpu])
+    }
+
+    /// Mark the running/runnable thread blocked. If it is currently bound,
+    /// the next [`Scheduler::tick`] will drain and unbind it.
+    pub fn block(&mut self, tid: ThreadId) {
+        let info = &mut self.threads[tid.0 as usize];
+        match info.state {
+            ThreadState::Running(l) => {
+                info.state = ThreadState::Blocked;
+                // Leave `running` slot occupied until the drain completes;
+                // mark it for preemption at the next tick.
+                self.preempt_pending[l] = true;
+            }
+            ThreadState::Draining(_) => {
+                info.state = ThreadState::Blocked;
+            }
+            ThreadState::Runnable => {
+                info.state = ThreadState::Blocked;
+                self.runq.retain(|&t| t != tid);
+            }
+            ThreadState::Blocked | ThreadState::Finished => {}
+        }
+    }
+
+    /// Wake a blocked thread.
+    pub fn wake(&mut self, tid: ThreadId) {
+        let info = &mut self.threads[tid.0 as usize];
+        if info.state == ThreadState::Blocked {
+            info.state = ThreadState::Runnable;
+            self.runq.push_back(tid);
+        }
+    }
+
+    /// Mark a thread finished (its stream is exhausted).
+    pub fn finish(&mut self, tid: ThreadId) {
+        let info = &mut self.threads[tid.0 as usize];
+        match info.state {
+            ThreadState::Running(l) => {
+                info.state = ThreadState::Finished;
+                self.preempt_pending[l] = true;
+            }
+            ThreadState::Draining(_) => info.state = ThreadState::Finished,
+            ThreadState::Runnable => {
+                info.state = ThreadState::Finished;
+                self.runq.retain(|&t| t != tid);
+            }
+            _ => info.state = ThreadState::Finished,
+        }
+    }
+
+    /// Total context switches performed.
+    pub fn ctx_switches(&self) -> u64 {
+        self.ctx_switches
+    }
+
+    /// Total timer interrupts delivered.
+    pub fn timer_irqs(&self) -> u64 {
+        self.timer_irqs
+    }
+
+    /// Count of threads not yet finished.
+    pub fn live_threads(&self) -> usize {
+        self.threads.iter().filter(|t| t.state != ThreadState::Finished).count()
+    }
+
+    /// Advance scheduling decisions. `drained[l]` reports whether logical
+    /// CPU `l`'s context has fully drained (from the core's snapshot).
+    /// Decisions are appended to `out` in application order.
+    pub fn tick(&mut self, now: u64, drained: [bool; 2], out: &mut Vec<SchedEvent>) {
+        for l in 0..self.nlcpus {
+            // Timer interrupts tick on active CPUs.
+            if self.running[l].is_some() && now >= self.next_timer[l] {
+                self.next_timer[l] = now + self.cfg.timer_period_cycles;
+                self.timer_irqs += 1;
+                out.push(SchedEvent::Timer { lcpu: l });
+            }
+
+            // Finish a drain in progress; on completion fall through so
+            // the successor can be dispatched in the same tick (the
+            // context-switch cost is charged to the incoming thread).
+            if let Some(tid) = self.draining[l] {
+                if !drained[l] {
+                    continue;
+                }
+                self.draining[l] = None;
+                out.push(SchedEvent::Unbind { lcpu: l, thread: tid });
+                let info = &mut self.threads[tid.0 as usize];
+                if let ThreadState::Draining(_) = info.state {
+                    info.state = ThreadState::Runnable;
+                    self.runq.push_back(tid);
+                }
+            }
+
+            // Preemption: timeslice expiry (only when someone is waiting),
+            // or a block/finish request.
+            if let Some(tid) = self.running[l] {
+                let slice_up = now >= self.slice_end[l] && !self.runq.is_empty();
+                if slice_up || self.preempt_pending[l] {
+                    self.preempt_pending[l] = false;
+                    self.running[l] = None;
+                    self.draining[l] = Some(tid);
+                    let info = &mut self.threads[tid.0 as usize];
+                    if info.state == ThreadState::Running(l) {
+                        info.state = ThreadState::Draining(l);
+                    }
+                    out.push(SchedEvent::RequestDrain { lcpu: l });
+                    continue;
+                }
+            }
+
+            // Dispatch onto an idle CPU.
+            if self.running[l].is_none() && self.draining[l].is_none() {
+                if let Some(tid) = self.runq.pop_front() {
+                    let asid = self.threads[tid.0 as usize].asid;
+                    self.threads[tid.0 as usize].state = ThreadState::Running(l);
+                    self.running[l] = Some(tid);
+                    self.slice_end[l] = now + self.cfg.timeslice_cycles;
+                    self.next_timer[l] = self.next_timer[l].max(now + self.cfg.timer_period_cycles);
+                    self.ctx_switches += 1;
+                    out.push(SchedEvent::Bind { lcpu: l, thread: tid, asid });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Asid = Asid(1);
+
+    fn drain_all(s: &mut Scheduler, now: u64) -> Vec<SchedEvent> {
+        let mut out = Vec::new();
+        s.tick(now, [true, true], &mut out);
+        out
+    }
+
+    #[test]
+    fn two_threads_two_cpus_bind_immediately() {
+        let mut s = Scheduler::new(OsConfig::default(), true);
+        let a = s.spawn(A);
+        let b = s.spawn(A);
+        let ev = drain_all(&mut s, 0);
+        assert_eq!(
+            ev,
+            vec![
+                SchedEvent::Bind { lcpu: 0, thread: a, asid: A },
+                SchedEvent::Bind { lcpu: 1, thread: b, asid: A }
+            ]
+        );
+        assert_eq!(s.state(a), ThreadState::Running(0));
+        assert_eq!(s.state(b), ThreadState::Running(1));
+    }
+
+    #[test]
+    fn ht_off_uses_one_cpu() {
+        let mut s = Scheduler::new(OsConfig::default(), false);
+        s.spawn(A);
+        s.spawn(A);
+        let ev = drain_all(&mut s, 0);
+        assert_eq!(ev.len(), 1);
+        assert!(matches!(ev[0], SchedEvent::Bind { lcpu: 0, .. }));
+    }
+
+    #[test]
+    fn timeslice_preempts_when_queue_nonempty() {
+        let cfg = OsConfig::default();
+        let mut s = Scheduler::new(cfg, false);
+        let a = s.spawn(A);
+        let b = s.spawn(A);
+        drain_all(&mut s, 0);
+        // Before expiry: nothing but timer interrupts.
+        let ev = drain_all(&mut s, cfg.timeslice_cycles / 2);
+        assert!(ev.iter().all(|e| matches!(e, SchedEvent::Timer { .. })), "{ev:?}");
+        // After expiry: drain, unbind, bind the waiter.
+        let ev: Vec<_> = drain_all(&mut s, cfg.timeslice_cycles + 1)
+            .into_iter()
+            .filter(|e| !matches!(e, SchedEvent::Timer { .. }))
+            .collect();
+        assert_eq!(ev, vec![SchedEvent::RequestDrain { lcpu: 0 }]);
+        let ev = drain_all(&mut s, cfg.timeslice_cycles + 2);
+        assert!(ev.contains(&SchedEvent::Unbind { lcpu: 0, thread: a }));
+        assert!(matches!(
+            ev.last(),
+            Some(SchedEvent::Bind { lcpu: 0, thread, .. }) if *thread == b
+        ));
+    }
+
+    #[test]
+    fn no_preemption_without_waiters() {
+        let cfg = OsConfig::default();
+        let mut s = Scheduler::new(cfg, false);
+        s.spawn(A);
+        drain_all(&mut s, 0);
+        let ev: Vec<_> = drain_all(&mut s, cfg.timeslice_cycles * 10)
+            .into_iter()
+            .filter(|e| !matches!(e, SchedEvent::Timer { .. }))
+            .collect();
+        assert!(ev.is_empty(), "lone thread runs forever: {ev:?}");
+    }
+
+    #[test]
+    fn block_and_wake_cycle() {
+        let mut s = Scheduler::new(OsConfig::default(), false);
+        let a = s.spawn(A);
+        drain_all(&mut s, 0);
+        s.block(a);
+        let ev = drain_all(&mut s, 1);
+        assert_eq!(ev, vec![SchedEvent::RequestDrain { lcpu: 0 }]);
+        let ev = drain_all(&mut s, 2);
+        assert_eq!(ev, vec![SchedEvent::Unbind { lcpu: 0, thread: a }]);
+        assert_eq!(s.state(a), ThreadState::Blocked);
+        s.wake(a);
+        let ev = drain_all(&mut s, 3);
+        assert!(matches!(ev[0], SchedEvent::Bind { thread, .. } if thread == a));
+    }
+
+    #[test]
+    fn eight_threads_multiplex_on_two_cpus() {
+        let cfg = OsConfig::default();
+        let mut s = Scheduler::new(cfg, true);
+        let tids: Vec<_> = (0..8).map(|_| s.spawn(A)).collect();
+        let mut now = 0;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let mut out = Vec::new();
+            s.tick(now, [true, true], &mut out);
+            for e in out {
+                if let SchedEvent::Bind { thread, .. } = e {
+                    seen.insert(thread);
+                }
+            }
+            now += cfg.timeslice_cycles / 2;
+        }
+        for t in tids {
+            assert!(seen.contains(&t), "{t:?} never got scheduled");
+        }
+        assert!(s.ctx_switches() > 8, "round-robin must keep switching");
+    }
+
+    #[test]
+    fn timer_fires_periodically_on_busy_cpu() {
+        let cfg = OsConfig::default();
+        let mut s = Scheduler::new(cfg, false);
+        s.spawn(A);
+        drain_all(&mut s, 0);
+        let mut timers = 0;
+        for i in 1..=10 {
+            let ev = drain_all(&mut s, i * cfg.timer_period_cycles + 1);
+            timers += ev.iter().filter(|e| matches!(e, SchedEvent::Timer { .. })).count();
+        }
+        assert!(timers >= 9, "expected ~10 timer irqs, got {timers}");
+        assert_eq!(s.timer_irqs(), timers as u64);
+    }
+
+    #[test]
+    fn finish_releases_cpu() {
+        let mut s = Scheduler::new(OsConfig::default(), false);
+        let a = s.spawn(A);
+        let b = s.spawn(A);
+        drain_all(&mut s, 0);
+        s.finish(a);
+        drain_all(&mut s, 1);
+        let ev = drain_all(&mut s, 2);
+        assert!(matches!(ev.last(), Some(SchedEvent::Bind { thread, .. }) if *thread == b));
+        assert_eq!(s.state(a), ThreadState::Finished);
+        assert_eq!(s.live_threads(), 1);
+    }
+
+    #[test]
+    fn blocked_runnable_thread_leaves_runqueue() {
+        let mut s = Scheduler::new(OsConfig::default(), false);
+        let a = s.spawn(A);
+        let b = s.spawn(A);
+        s.block(b);
+        let ev = drain_all(&mut s, 0);
+        assert_eq!(ev.len(), 1, "only thread a binds");
+        assert!(matches!(ev[0], SchedEvent::Bind { thread, .. } if thread == a));
+    }
+}

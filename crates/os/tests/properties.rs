@@ -1,0 +1,88 @@
+//! Property-based tests on scheduler invariants.
+
+use jsmt_isa::Asid;
+use jsmt_os::{OsConfig, SchedEvent, Scheduler, ThreadState};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn scheduler_invariants_hold(nthreads in 1u32..10,
+                                 ht in any::<bool>(),
+                                 script in prop::collection::vec((0u32..10u32, any::<bool>(), any::<bool>()), 0..200)) {
+        let cfg = OsConfig::default();
+        let mut s = Scheduler::new(cfg, ht);
+        let tids: Vec<_> = (0..nthreads).map(|_| s.spawn(Asid(1))).collect();
+        let nlcpus = s.nlcpus();
+        let mut now = 0u64;
+        let mut bound: [Option<jsmt_os::ThreadId>; 2] = [None, None];
+        for (pick, do_block, do_finish) in script {
+            let t = tids[(pick % nthreads) as usize];
+            if do_finish && pick % 3 == 0 {
+                s.finish(t);
+            } else if do_block {
+                s.block(t);
+            } else {
+                s.wake(t);
+            }
+            now += cfg.timeslice_cycles / 3;
+            let mut events = Vec::new();
+            // Report everything drained (the core always drains quickly).
+            s.tick(now, [true, true], &mut events);
+            for ev in events {
+                match ev {
+                    SchedEvent::Bind { lcpu, thread, .. } => {
+                        prop_assert!(lcpu < nlcpus, "bind on nonexistent lcpu");
+                        prop_assert!(bound[lcpu].is_none(), "double bind on lcpu {lcpu}");
+                        bound[lcpu] = Some(thread);
+                    }
+                    SchedEvent::Unbind { lcpu, thread } => {
+                        prop_assert_eq!(bound[lcpu], Some(thread), "unbind mismatch");
+                        bound[lcpu] = None;
+                    }
+                    SchedEvent::RequestDrain { lcpu } => {
+                        prop_assert!(bound[lcpu].is_some(), "drain of empty lcpu");
+                    }
+                    SchedEvent::Timer { lcpu } => {
+                        prop_assert!(lcpu < nlcpus);
+                    }
+                }
+            }
+            // A thread can be running on at most one CPU.
+            if let (Some(a), Some(b)) = (bound[0], bound[1]) {
+                prop_assert_ne!(a, b, "thread bound to both CPUs");
+            }
+            // A bound thread is never simultaneously in the run queue.
+            // (Blocked/Finished are legitimate transient states between
+            // the block/finish call and the drain that unbinds.)
+            for l in 0..nlcpus {
+                if let Some(t) = bound[l] {
+                    prop_assert_ne!(s.state(t), ThreadState::Runnable, "bound thread in runqueue");
+                }
+            }
+        }
+    }
+
+    /// Every runnable thread eventually gets CPU time under pure ticking
+    /// (no starvation).
+    #[test]
+    fn no_starvation(nthreads in 2u32..12, ht in any::<bool>()) {
+        let cfg = OsConfig::default();
+        let mut s = Scheduler::new(cfg, ht);
+        let tids: Vec<_> = (0..nthreads).map(|_| s.spawn(Asid(1))).collect();
+        let mut ran = std::collections::HashSet::new();
+        let mut now = 0u64;
+        for _ in 0..(nthreads as usize * 8) {
+            let mut events = Vec::new();
+            s.tick(now, [true, true], &mut events);
+            for ev in events {
+                if let SchedEvent::Bind { thread, .. } = ev {
+                    ran.insert(thread);
+                }
+            }
+            now += cfg.timeslice_cycles + 1;
+        }
+        for t in tids {
+            prop_assert!(ran.contains(&t), "{t:?} starved");
+        }
+    }
+}

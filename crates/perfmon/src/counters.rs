@@ -1,0 +1,211 @@
+//! Raw counter storage.
+
+use crate::Event;
+
+/// One of the two logical CPUs (hardware thread contexts) of the modeled
+/// Hyper-Threading processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LogicalCpu {
+    /// Logical processor 0.
+    Lp0,
+    /// Logical processor 1.
+    Lp1,
+}
+
+impl LogicalCpu {
+    /// Both logical CPUs, in index order.
+    pub const BOTH: [LogicalCpu; 2] = [LogicalCpu::Lp0, LogicalCpu::Lp1];
+
+    /// Index (0 or 1).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            LogicalCpu::Lp0 => 0,
+            LogicalCpu::Lp1 => 1,
+        }
+    }
+
+    /// The sibling logical CPU.
+    #[inline]
+    pub fn sibling(self) -> LogicalCpu {
+        match self {
+            LogicalCpu::Lp0 => LogicalCpu::Lp1,
+            LogicalCpu::Lp1 => LogicalCpu::Lp0,
+        }
+    }
+
+    /// Logical CPU from an index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 1`.
+    #[inline]
+    pub fn from_index(i: usize) -> LogicalCpu {
+        match i {
+            0 => LogicalCpu::Lp0,
+            1 => LogicalCpu::Lp1,
+            _ => panic!("logical cpu index out of range: {i}"),
+        }
+    }
+}
+
+/// Per-logical-CPU raw event counters.
+///
+/// All structural models increment a `CounterBank` as events occur; it is
+/// the simulator-side ground truth that the [`crate::Pmu`] tool layer reads
+/// through. The bank is cheap to clone and snapshot, which the
+/// [`crate::Sampler`] uses for interval profiles.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CounterBank {
+    counts: [[u64; Event::COUNT]; 2],
+}
+
+impl CounterBank {
+    /// A zeroed bank.
+    pub fn new() -> Self {
+        CounterBank { counts: [[0; Event::COUNT]; 2] }
+    }
+
+    /// Increment `event` on `lcpu` by one.
+    #[inline]
+    pub fn inc(&mut self, lcpu: LogicalCpu, event: Event) {
+        self.counts[lcpu.index()][event.index()] += 1;
+    }
+
+    /// Add `n` occurrences of `event` on `lcpu`.
+    #[inline]
+    pub fn add(&mut self, lcpu: LogicalCpu, event: Event, n: u64) {
+        self.counts[lcpu.index()][event.index()] += n;
+    }
+
+    /// Read the count of `event` on `lcpu`.
+    #[inline]
+    pub fn get(&self, lcpu: LogicalCpu, event: Event) -> u64 {
+        self.counts[lcpu.index()][event.index()]
+    }
+
+    /// Sum of `event` across both logical CPUs.
+    #[inline]
+    pub fn total(&self, event: Event) -> u64 {
+        self.counts[0][event.index()] + self.counts[1][event.index()]
+    }
+
+    /// Pointwise difference `self - earlier` (for interval sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter decreased, which would indicate
+    /// a simulator bug (counters are monotonic).
+    pub fn delta(&self, earlier: &CounterBank) -> CounterBank {
+        let mut out = CounterBank::new();
+        for cpu in 0..2 {
+            for ev in 0..Event::COUNT {
+                debug_assert!(
+                    self.counts[cpu][ev] >= earlier.counts[cpu][ev],
+                    "counter went backwards"
+                );
+                out.counts[cpu][ev] = self.counts[cpu][ev].wrapping_sub(earlier.counts[cpu][ev]);
+            }
+        }
+        out
+    }
+
+    /// Merge `other` into `self` (pointwise add).
+    pub fn merge(&mut self, other: &CounterBank) {
+        for cpu in 0..2 {
+            for ev in 0..Event::COUNT {
+                self.counts[cpu][ev] += other.counts[cpu][ev];
+            }
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn clear(&mut self) {
+        self.counts = [[0; Event::COUNT]; 2];
+    }
+
+    /// Iterate over `(lcpu, event, count)` triples with nonzero counts.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (LogicalCpu, Event, u64)> + '_ {
+        LogicalCpu::BOTH.into_iter().flat_map(move |cpu| {
+            Event::ALL.into_iter().filter_map(move |ev| {
+                let v = self.counts[cpu.index()][ev.index()];
+                (v != 0).then_some((cpu, ev, v))
+            })
+        })
+    }
+}
+
+impl Default for CounterBank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CounterBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut map = f.debug_map();
+        for (cpu, ev, v) in self.iter_nonzero() {
+            map.entry(&format!("{:?}/{}", cpu, ev.mnemonic()), &v);
+        }
+        map.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inc_add_get_total() {
+        let mut b = CounterBank::new();
+        b.inc(LogicalCpu::Lp0, Event::TcMisses);
+        b.add(LogicalCpu::Lp1, Event::TcMisses, 9);
+        assert_eq!(b.get(LogicalCpu::Lp0, Event::TcMisses), 1);
+        assert_eq!(b.get(LogicalCpu::Lp1, Event::TcMisses), 9);
+        assert_eq!(b.total(Event::TcMisses), 10);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let mut early = CounterBank::new();
+        early.add(LogicalCpu::Lp0, Event::UopsRetired, 5);
+        let mut late = early.clone();
+        late.add(LogicalCpu::Lp0, Event::UopsRetired, 7);
+        let d = late.delta(&early);
+        assert_eq!(d.get(LogicalCpu::Lp0, Event::UopsRetired), 7);
+    }
+
+    #[test]
+    fn merge_and_clear() {
+        let mut a = CounterBank::new();
+        let mut b = CounterBank::new();
+        a.add(LogicalCpu::Lp0, Event::L2Misses, 3);
+        b.add(LogicalCpu::Lp0, Event::L2Misses, 4);
+        a.merge(&b);
+        assert_eq!(a.total(Event::L2Misses), 7);
+        a.clear();
+        assert_eq!(a.total(Event::L2Misses), 0);
+    }
+
+    #[test]
+    fn sibling_is_involution() {
+        for cpu in LogicalCpu::BOTH {
+            assert_eq!(cpu.sibling().sibling(), cpu);
+            assert_ne!(cpu.sibling(), cpu);
+        }
+    }
+
+    #[test]
+    fn iter_nonzero_skips_zeroes() {
+        let mut b = CounterBank::new();
+        b.inc(LogicalCpu::Lp1, Event::GcCount);
+        let all: Vec<_> = b.iter_nonzero().collect();
+        assert_eq!(all, vec![(LogicalCpu::Lp1, Event::GcCount, 1)]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let b = CounterBank::new();
+        assert!(!format!("{b:?}").is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Derived metrics: the quantities the paper's tables and figures plot.
+
+use crate::{CounterBank, Event};
+
+/// Retirement-width histogram, as fractions of total cycles (Figure 2 of
+/// the paper: "the CPU does not commit any µop for around 60% of the total
+/// execution time" with HT disabled).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetirementProfile {
+    /// Fraction of cycles retiring 0 µops.
+    pub retire0: f64,
+    /// Fraction of cycles retiring 1 µop.
+    pub retire1: f64,
+    /// Fraction of cycles retiring 2 µops.
+    pub retire2: f64,
+    /// Fraction of cycles retiring 3 µops.
+    pub retire3: f64,
+}
+
+impl RetirementProfile {
+    /// Sum of the four fractions (should be ~1.0 for a complete run).
+    pub fn total(&self) -> f64 {
+        self.retire0 + self.retire1 + self.retire2 + self.retire3
+    }
+}
+
+/// Derived (ratio) metrics computed from a [`CounterBank`].
+///
+/// The paper normalizes cache/TLB events to misses per 1,000 instructions
+/// (MPKI) and branch prediction to a miss *ratio*; IPC/CPI are per-cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DerivedMetrics {
+    /// Machine-wide instructions per cycle (both logical CPUs combined,
+    /// divided by elapsed machine cycles).
+    pub ipc: f64,
+    /// Cycles per instruction (1/IPC).
+    pub cpi: f64,
+    /// Trace cache misses per kilo-instruction.
+    pub tc_mpki: f64,
+    /// L1 data cache misses per kilo-instruction.
+    pub l1d_mpki: f64,
+    /// L2 misses per kilo-instruction.
+    pub l2_mpki: f64,
+    /// ITLB misses per kilo-instruction.
+    pub itlb_mpki: f64,
+    /// DTLB misses per kilo-instruction.
+    pub dtlb_mpki: f64,
+    /// Fraction of BTB lookups that missed.
+    pub btb_miss_ratio: f64,
+    /// Fraction of retired branches that were mispredicted.
+    pub branch_mispredict_ratio: f64,
+    /// Fraction of cycles in OS (kernel) mode.
+    pub os_cycle_fraction: f64,
+    /// Fraction of cycles with both logical CPUs running threads.
+    pub dual_thread_fraction: f64,
+    /// Retirement-width histogram.
+    pub retirement: RetirementProfile,
+    /// Total instructions retired.
+    pub instructions: u64,
+    /// Elapsed machine cycles.
+    pub cycles: u64,
+}
+
+impl DerivedMetrics {
+    /// Compute all derived metrics from a bank, given the elapsed machine
+    /// cycle count (wall-clock cycles of the whole core, not summed per
+    /// logical CPU).
+    pub fn from_bank(bank: &CounterBank, machine_cycles: u64) -> Self {
+        let instr = bank.total(Event::InstrRetired);
+        let cyc = machine_cycles.max(1);
+        let ki = (instr as f64 / 1000.0).max(f64::MIN_POSITIVE);
+        let ratio = |n: u64, d: u64| if d == 0 { 0.0 } else { n as f64 / d as f64 };
+        let retire_cycles = bank.total(Event::CyclesRetire0)
+            + bank.total(Event::CyclesRetire1)
+            + bank.total(Event::CyclesRetire2)
+            + bank.total(Event::CyclesRetire3);
+        let rc = retire_cycles.max(1) as f64;
+        let ipc = instr as f64 / cyc as f64;
+        DerivedMetrics {
+            ipc,
+            cpi: if instr == 0 { f64::INFINITY } else { cyc as f64 / instr as f64 },
+            tc_mpki: bank.total(Event::TcMisses) as f64 / ki,
+            l1d_mpki: bank.total(Event::L1dMisses) as f64 / ki,
+            l2_mpki: bank.total(Event::L2Misses) as f64 / ki,
+            itlb_mpki: bank.total(Event::ItlbMisses) as f64 / ki,
+            dtlb_mpki: bank.total(Event::DtlbMisses) as f64 / ki,
+            btb_miss_ratio: ratio(bank.total(Event::BtbMisses), bank.total(Event::BtbLookups)),
+            branch_mispredict_ratio: ratio(
+                bank.total(Event::BranchMispredicts),
+                bank.total(Event::BranchesRetired),
+            ),
+            os_cycle_fraction: ratio(
+                bank.total(Event::OsCycles),
+                bank.total(Event::ActiveCycles).max(cyc),
+            ),
+            dual_thread_fraction: ratio(bank.get(crate::LogicalCpu::Lp0, Event::DualThreadCycles), cyc),
+            retirement: RetirementProfile {
+                retire0: bank.total(Event::CyclesRetire0) as f64 / rc,
+                retire1: bank.total(Event::CyclesRetire1) as f64 / rc,
+                retire2: bank.total(Event::CyclesRetire2) as f64 / rc,
+                retire3: bank.total(Event::CyclesRetire3) as f64 / rc,
+            },
+            instructions: instr,
+            cycles: machine_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LogicalCpu;
+
+    fn sample_bank() -> CounterBank {
+        let mut b = CounterBank::new();
+        b.add(LogicalCpu::Lp0, Event::InstrRetired, 10_000);
+        b.add(LogicalCpu::Lp1, Event::InstrRetired, 10_000);
+        b.add(LogicalCpu::Lp0, Event::TcMisses, 40);
+        b.add(LogicalCpu::Lp0, Event::L1dMisses, 200);
+        b.add(LogicalCpu::Lp0, Event::BtbLookups, 1000);
+        b.add(LogicalCpu::Lp0, Event::BtbMisses, 50);
+        b.add(LogicalCpu::Lp0, Event::CyclesRetire0, 6000);
+        b.add(LogicalCpu::Lp0, Event::CyclesRetire1, 2000);
+        b.add(LogicalCpu::Lp0, Event::CyclesRetire2, 1500);
+        b.add(LogicalCpu::Lp0, Event::CyclesRetire3, 500);
+        b.add(LogicalCpu::Lp0, Event::DualThreadCycles, 9000);
+        b.add(LogicalCpu::Lp0, Event::OsCycles, 400);
+        b.add(LogicalCpu::Lp0, Event::ActiveCycles, 10_000);
+        b.add(LogicalCpu::Lp1, Event::ActiveCycles, 10_000);
+        b
+    }
+
+    #[test]
+    fn ipc_cpi_reciprocal() {
+        let m = DerivedMetrics::from_bank(&sample_bank(), 10_000);
+        assert!((m.ipc - 2.0).abs() < 1e-12);
+        assert!((m.cpi - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpki_normalizes_per_kilo_instruction() {
+        let m = DerivedMetrics::from_bank(&sample_bank(), 10_000);
+        assert!((m.tc_mpki - 2.0).abs() < 1e-9, "40 misses / 20 KI = 2 MPKI");
+        assert!((m.l1d_mpki - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratios() {
+        let m = DerivedMetrics::from_bank(&sample_bank(), 10_000);
+        assert!((m.btb_miss_ratio - 0.05).abs() < 1e-12);
+        assert!((m.dual_thread_fraction - 0.9).abs() < 1e-12);
+        assert!((m.os_cycle_fraction - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retirement_profile_sums_to_one() {
+        let m = DerivedMetrics::from_bank(&sample_bank(), 10_000);
+        assert!((m.retirement.total() - 1.0).abs() < 1e-9);
+        assert!((m.retirement.retire0 - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_instruction_run_is_safe() {
+        let m = DerivedMetrics::from_bank(&CounterBank::new(), 100);
+        assert_eq!(m.ipc, 0.0);
+        assert!(m.cpi.is_infinite());
+        assert_eq!(m.tc_mpki, 0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! The architectural event space.
+
+/// Countable architectural events.
+///
+/// This is the subset of the Pentium 4's 48-event space that the paper's
+/// evaluation actually uses, plus the simulator-level events needed for the
+/// JVM/OS breakdowns in Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Event {
+    /// Core clock cycles elapsed (counted per logical CPU while active).
+    ClockCycles,
+    /// Cycles in which this logical CPU had a software thread bound.
+    ActiveCycles,
+    /// Cycles in which *both* logical CPUs had threads bound ("dual-thread
+    /// mode" in the paper's Table 2). Counted symmetrically on both.
+    DualThreadCycles,
+    /// Cycles attributed to kernel-mode execution.
+    OsCycles,
+    /// Cycles spent with the pipeline retiring zero µops.
+    CyclesRetire0,
+    /// Cycles retiring exactly one µop.
+    CyclesRetire1,
+    /// Cycles retiring exactly two µops.
+    CyclesRetire2,
+    /// Cycles retiring exactly three µops (the P4 maximum).
+    CyclesRetire3,
+    /// µops retired.
+    UopsRetired,
+    /// µops retired in kernel mode.
+    UopsRetiredKernel,
+    /// Instructions retired (we treat one µop as one instruction for
+    /// MPKI-style normalization, as Brink & Abyss's `instr_retired` does
+    /// for tagged µops).
+    InstrRetired,
+    /// Trace cache lookups (one per fetch group).
+    TcLookups,
+    /// Trace cache misses (fetch falls back to the L2/decode path).
+    TcMisses,
+    /// Trace-line builds completed (fills after a miss).
+    TcBuilds,
+    /// L1 data cache lookups.
+    L1dLookups,
+    /// L1 data cache misses.
+    L1dMisses,
+    /// Unified L2 lookups (from both the instruction and data paths).
+    L2Lookups,
+    /// Unified L2 misses (to memory).
+    L2Misses,
+    /// Instruction TLB lookups.
+    ItlbLookups,
+    /// Instruction TLB misses.
+    ItlbMisses,
+    /// Data TLB lookups.
+    DtlbLookups,
+    /// Data TLB misses.
+    DtlbMisses,
+    /// BTB lookups (one per predicted branch).
+    BtbLookups,
+    /// BTB misses (no target available; static predict + refetch cost).
+    BtbMisses,
+    /// Branches retired.
+    BranchesRetired,
+    /// Branches retired whose direction or target was mispredicted.
+    BranchMispredicts,
+    /// Memory requests that reached DRAM.
+    MemAccesses,
+    /// Loads retired.
+    LoadsRetired,
+    /// Stores retired.
+    StoresRetired,
+    /// Pipeline squashes due to branch mispredicts.
+    Squashes,
+    /// Cycles this logical CPU's fetch was stalled (TC miss, redirect, …).
+    FetchStallCycles,
+    /// Cycles allocation stalled for lack of window/buffer entries.
+    AllocStallCycles,
+    /// Context switches performed by the OS on this logical CPU.
+    ContextSwitches,
+    /// Timer interrupts delivered.
+    TimerInterrupts,
+    /// System calls executed.
+    Syscalls,
+    /// Cycles spent executing the garbage collector.
+    GcCycles,
+    /// Garbage collections completed.
+    GcCount,
+    /// Objects allocated by the JVM layer.
+    Allocations,
+    /// Monitor (lock) acquisitions that contended and trapped to the OS.
+    MonitorContended,
+    /// Next-line prefetches issued into the L2 by the hardware prefetcher.
+    PrefetchesIssued,
+}
+
+impl Event {
+    /// Number of distinct events (size of a counter bank row).
+    pub const COUNT: usize = 40;
+
+    /// All events in index order.
+    pub const ALL: [Event; Event::COUNT] = [
+        Event::ClockCycles,
+        Event::ActiveCycles,
+        Event::DualThreadCycles,
+        Event::OsCycles,
+        Event::CyclesRetire0,
+        Event::CyclesRetire1,
+        Event::CyclesRetire2,
+        Event::CyclesRetire3,
+        Event::UopsRetired,
+        Event::UopsRetiredKernel,
+        Event::InstrRetired,
+        Event::TcLookups,
+        Event::TcMisses,
+        Event::TcBuilds,
+        Event::L1dLookups,
+        Event::L1dMisses,
+        Event::L2Lookups,
+        Event::L2Misses,
+        Event::ItlbLookups,
+        Event::ItlbMisses,
+        Event::DtlbLookups,
+        Event::DtlbMisses,
+        Event::BtbLookups,
+        Event::BtbMisses,
+        Event::BranchesRetired,
+        Event::BranchMispredicts,
+        Event::MemAccesses,
+        Event::LoadsRetired,
+        Event::StoresRetired,
+        Event::Squashes,
+        Event::FetchStallCycles,
+        Event::AllocStallCycles,
+        Event::ContextSwitches,
+        Event::TimerInterrupts,
+        Event::Syscalls,
+        Event::GcCycles,
+        Event::GcCount,
+        Event::Allocations,
+        Event::MonitorContended,
+        Event::PrefetchesIssued,
+    ];
+
+    /// Stable index of the event.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short mnemonic used in reports (Brink & Abyss style).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Event::ClockCycles => "clk_cycles",
+            Event::ActiveCycles => "active_cycles",
+            Event::DualThreadCycles => "dt_cycles",
+            Event::OsCycles => "os_cycles",
+            Event::CyclesRetire0 => "retire0_cycles",
+            Event::CyclesRetire1 => "retire1_cycles",
+            Event::CyclesRetire2 => "retire2_cycles",
+            Event::CyclesRetire3 => "retire3_cycles",
+            Event::UopsRetired => "uops_retired",
+            Event::UopsRetiredKernel => "uops_retired_k",
+            Event::InstrRetired => "instr_retired",
+            Event::TcLookups => "tc_lookups",
+            Event::TcMisses => "tc_misses",
+            Event::TcBuilds => "tc_builds",
+            Event::L1dLookups => "l1d_lookups",
+            Event::L1dMisses => "l1d_misses",
+            Event::L2Lookups => "l2_lookups",
+            Event::L2Misses => "l2_misses",
+            Event::ItlbLookups => "itlb_lookups",
+            Event::ItlbMisses => "itlb_misses",
+            Event::DtlbLookups => "dtlb_lookups",
+            Event::DtlbMisses => "dtlb_misses",
+            Event::BtbLookups => "btb_lookups",
+            Event::BtbMisses => "btb_misses",
+            Event::BranchesRetired => "branches",
+            Event::BranchMispredicts => "br_mispred",
+            Event::MemAccesses => "mem_accesses",
+            Event::LoadsRetired => "loads",
+            Event::StoresRetired => "stores",
+            Event::Squashes => "squashes",
+            Event::FetchStallCycles => "fetch_stall",
+            Event::AllocStallCycles => "alloc_stall",
+            Event::ContextSwitches => "ctx_switches",
+            Event::TimerInterrupts => "timer_irqs",
+            Event::Syscalls => "syscalls",
+            Event::GcCycles => "gc_cycles",
+            Event::GcCount => "gc_count",
+            Event::Allocations => "allocations",
+            Event::MonitorContended => "mon_contended",
+            Event::PrefetchesIssued => "prefetches",
+        }
+    }
+}
+
+impl std::fmt::Display for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_covers_every_event_once() {
+        let set: HashSet<_> = Event::ALL.iter().collect();
+        assert_eq!(set.len(), Event::COUNT);
+    }
+
+    #[test]
+    fn indices_match_positions() {
+        for (i, e) in Event::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i, "event {e:?} index mismatch");
+        }
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let set: HashSet<_> = Event::ALL.iter().map(|e| e.mnemonic()).collect();
+        assert_eq!(set.len(), Event::COUNT);
+    }
+
+    #[test]
+    fn display_is_mnemonic() {
+        assert_eq!(Event::TcMisses.to_string(), "tc_misses");
+    }
+}

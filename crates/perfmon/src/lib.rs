@@ -1,0 +1,40 @@
+//! # jsmt-perfmon
+//!
+//! Performance-monitoring substrate modeled after the Pentium 4 PMU as
+//! driven by the *Brink & Abyss* tool used in the paper: a fixed event
+//! space, a limited number of programmable counters with per-logical-CPU
+//! and privilege filtering, raw counter sets, a sampling facility, and the
+//! derived metrics (IPC/CPI, misses-per-kilo-instruction, retirement
+//! profile) that the paper's figures are built from.
+//!
+//! The simulator's structural models increment [`CounterBank`]s directly;
+//! the [`Pmu`] front end layers the *tool* semantics (18-counter limit,
+//! event filtering) on top, so experiment code reads measurements the same
+//! way the authors did.
+//!
+//! ## Example
+//!
+//! ```
+//! use jsmt_perfmon::{CounterBank, Event, LogicalCpu};
+//!
+//! let mut bank = CounterBank::new();
+//! bank.inc(LogicalCpu::Lp0, Event::UopsRetired);
+//! bank.add(LogicalCpu::Lp0, Event::ClockCycles, 4);
+//! assert_eq!(bank.total(Event::UopsRetired), 1);
+//! assert_eq!(bank.get(LogicalCpu::Lp0, Event::ClockCycles), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod derived;
+mod event;
+mod pmu;
+mod sampler;
+
+pub use counters::{CounterBank, LogicalCpu};
+pub use derived::{DerivedMetrics, RetirementProfile};
+pub use event::Event;
+pub use pmu::{CounterConfig, CounterId, Pmu, PmuError, PrivFilter, MAX_HW_COUNTERS};
+pub use sampler::{Sample, Sampler};

@@ -1,0 +1,237 @@
+//! The tool-facing PMU layer.
+//!
+//! The Pentium 4 exposes 18 hardware counters, each programmable to count
+//! one event filtered by logical CPU and privilege level; Brink & Abyss
+//! wraps their configuration. This module reproduces that interface: an
+//! experiment *programs* a limited set of counters and *reads* them, and
+//! mis-programming (too many counters, double-programming) is an error —
+//! the same constraint the paper's authors worked under when they had to
+//! multiplex event sets across runs.
+
+use crate::{CounterBank, Event, LogicalCpu};
+
+/// Maximum simultaneously-programmed hardware counters (the Pentium 4 has
+/// 18, which the paper contrasts with the Pentium III's 2).
+pub const MAX_HW_COUNTERS: usize = 18;
+
+/// Privilege-level filter for a programmed counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PrivFilter {
+    /// Count user-mode occurrences only.
+    User,
+    /// Count kernel-mode occurrences only.
+    Kernel,
+    /// Count both (the default).
+    #[default]
+    Both,
+}
+
+/// Configuration of one hardware counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterConfig {
+    /// The event to count.
+    pub event: Event,
+    /// Restrict to one logical CPU, or `None` for both.
+    pub lcpu: Option<LogicalCpu>,
+    /// Privilege filter.
+    pub priv_filter: PrivFilter,
+}
+
+impl CounterConfig {
+    /// Count `event` on both logical CPUs at all privilege levels.
+    pub fn all(event: Event) -> Self {
+        CounterConfig { event, lcpu: None, priv_filter: PrivFilter::Both }
+    }
+
+    /// Count `event` on a single logical CPU.
+    pub fn on(event: Event, lcpu: LogicalCpu) -> Self {
+        CounterConfig { event, lcpu: Some(lcpu), priv_filter: PrivFilter::Both }
+    }
+}
+
+/// Handle to a programmed counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(usize);
+
+/// Errors from PMU programming.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmuError {
+    /// All hardware counters are already in use.
+    OutOfCounters,
+    /// The same configuration is already programmed.
+    DuplicateConfig(CounterConfig),
+    /// The counter id does not refer to a programmed counter.
+    BadCounterId(CounterId),
+}
+
+impl std::fmt::Display for PmuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmuError::OutOfCounters => {
+                write!(f, "all {MAX_HW_COUNTERS} hardware counters are in use")
+            }
+            PmuError::DuplicateConfig(c) => write!(f, "configuration already programmed: {c:?}"),
+            PmuError::BadCounterId(id) => write!(f, "no counter programmed with id {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PmuError {}
+
+/// The programmable PMU front end.
+///
+/// Reads are served from a [`CounterBank`] maintained by the simulator. The
+/// privilege split uses the dedicated kernel-mode events where the bank
+/// tracks them (`UopsRetiredKernel`, `OsCycles`); for other events a
+/// privilege filter other than [`PrivFilter::Both`] returns the unfiltered
+/// count, mirroring the real PMU's per-event filter-support quirks that
+/// Brink & Abyss documents.
+#[derive(Debug, Clone, Default)]
+pub struct Pmu {
+    programmed: Vec<CounterConfig>,
+}
+
+impl Pmu {
+    /// A PMU with no counters programmed.
+    pub fn new() -> Self {
+        Pmu { programmed: Vec::new() }
+    }
+
+    /// Program a counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmuError::OutOfCounters`] when all [`MAX_HW_COUNTERS`]
+    /// are in use and [`PmuError::DuplicateConfig`] when an identical
+    /// configuration is already programmed.
+    pub fn program(&mut self, config: CounterConfig) -> Result<CounterId, PmuError> {
+        if self.programmed.len() >= MAX_HW_COUNTERS {
+            return Err(PmuError::OutOfCounters);
+        }
+        if self.programmed.contains(&config) {
+            return Err(PmuError::DuplicateConfig(config));
+        }
+        self.programmed.push(config);
+        Ok(CounterId(self.programmed.len() - 1))
+    }
+
+    /// Number of counters currently programmed.
+    pub fn in_use(&self) -> usize {
+        self.programmed.len()
+    }
+
+    /// Release all programmed counters.
+    pub fn reset(&mut self) {
+        self.programmed.clear();
+    }
+
+    /// Read a programmed counter against the simulator's counter bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmuError::BadCounterId`] for a stale or foreign id.
+    pub fn read(&self, id: CounterId, bank: &CounterBank) -> Result<u64, PmuError> {
+        let config = self.programmed.get(id.0).ok_or(PmuError::BadCounterId(id))?;
+        let raw = |event: Event| match config.lcpu {
+            Some(lcpu) => bank.get(lcpu, event),
+            None => bank.total(event),
+        };
+        let value = match (config.event, config.priv_filter) {
+            (Event::UopsRetired, PrivFilter::Kernel) => raw(Event::UopsRetiredKernel),
+            (Event::UopsRetired, PrivFilter::User) => {
+                raw(Event::UopsRetired).saturating_sub(raw(Event::UopsRetiredKernel))
+            }
+            (Event::ClockCycles, PrivFilter::Kernel) => raw(Event::OsCycles),
+            (Event::ClockCycles, PrivFilter::User) => {
+                raw(Event::ClockCycles).saturating_sub(raw(Event::OsCycles))
+            }
+            (event, _) => raw(event),
+        };
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank_with(lcpu: LogicalCpu, event: Event, n: u64) -> CounterBank {
+        let mut b = CounterBank::new();
+        b.add(lcpu, event, n);
+        b
+    }
+
+    #[test]
+    fn program_and_read() {
+        let mut pmu = Pmu::new();
+        let id = pmu.program(CounterConfig::all(Event::TcMisses)).unwrap();
+        let bank = bank_with(LogicalCpu::Lp0, Event::TcMisses, 42);
+        assert_eq!(pmu.read(id, &bank).unwrap(), 42);
+    }
+
+    #[test]
+    fn lcpu_filter_applies() {
+        let mut pmu = Pmu::new();
+        let id0 = pmu.program(CounterConfig::on(Event::TcMisses, LogicalCpu::Lp0)).unwrap();
+        let id1 = pmu.program(CounterConfig::on(Event::TcMisses, LogicalCpu::Lp1)).unwrap();
+        let bank = bank_with(LogicalCpu::Lp1, Event::TcMisses, 5);
+        assert_eq!(pmu.read(id0, &bank).unwrap(), 0);
+        assert_eq!(pmu.read(id1, &bank).unwrap(), 5);
+    }
+
+    #[test]
+    fn counter_limit_enforced() {
+        let mut pmu = Pmu::new();
+        for (i, ev) in Event::ALL.iter().enumerate().take(MAX_HW_COUNTERS) {
+            pmu.program(CounterConfig::all(*ev)).unwrap_or_else(|e| panic!("slot {i}: {e}"));
+        }
+        let err = pmu.program(CounterConfig::all(Event::MonitorContended)).unwrap_err();
+        assert_eq!(err, PmuError::OutOfCounters);
+        pmu.reset();
+        assert_eq!(pmu.in_use(), 0);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut pmu = Pmu::new();
+        let c = CounterConfig::all(Event::L2Misses);
+        pmu.program(c).unwrap();
+        assert_eq!(pmu.program(c).unwrap_err(), PmuError::DuplicateConfig(c));
+    }
+
+    #[test]
+    fn privilege_split_on_uops() {
+        let mut pmu = Pmu::new();
+        let user = pmu
+            .program(CounterConfig {
+                event: Event::UopsRetired,
+                lcpu: None,
+                priv_filter: PrivFilter::User,
+            })
+            .unwrap();
+        let kern = pmu
+            .program(CounterConfig {
+                event: Event::UopsRetired,
+                lcpu: None,
+                priv_filter: PrivFilter::Kernel,
+            })
+            .unwrap();
+        let mut bank = CounterBank::new();
+        bank.add(LogicalCpu::Lp0, Event::UopsRetired, 100);
+        bank.add(LogicalCpu::Lp0, Event::UopsRetiredKernel, 30);
+        assert_eq!(pmu.read(user, &bank).unwrap(), 70);
+        assert_eq!(pmu.read(kern, &bank).unwrap(), 30);
+    }
+
+    #[test]
+    fn bad_id_is_an_error() {
+        let pmu = Pmu::new();
+        let bank = CounterBank::new();
+        assert!(matches!(pmu.read(CounterId(3), &bank), Err(PmuError::BadCounterId(_))));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(PmuError::OutOfCounters.to_string().contains("18"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Interval sampling of counter banks.
+//!
+//! The Pentium 4 introduced precise event-based sampling; the paper uses
+//! interval profiles (e.g. the retirement profile of Figure 2). The
+//! [`Sampler`] takes periodic snapshots of a [`CounterBank`] and exposes
+//! per-interval deltas, giving experiments a time-series view of any event.
+
+use crate::{CounterBank, Event};
+
+/// One sampling interval: the cycle at which it ended and the counter
+/// deltas accumulated during it.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Machine cycle at which the sample was taken.
+    pub at_cycle: u64,
+    /// Event deltas since the previous sample.
+    pub delta: CounterBank,
+}
+
+/// Periodic counter snapshotter.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    interval: u64,
+    next_due: u64,
+    last: CounterBank,
+    samples: Vec<Sample>,
+}
+
+impl Sampler {
+    /// Create a sampler that fires every `interval_cycles` machine cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_cycles` is zero.
+    pub fn new(interval_cycles: u64) -> Self {
+        assert!(interval_cycles > 0, "sampling interval must be nonzero");
+        Sampler {
+            interval: interval_cycles,
+            next_due: interval_cycles,
+            last: CounterBank::new(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// The configured interval.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Offer the current machine state; records a sample if the interval
+    /// elapsed. Call once per simulated cycle (cheap when not due).
+    #[inline]
+    pub fn tick(&mut self, cycle: u64, bank: &CounterBank) {
+        if cycle >= self.next_due {
+            self.force_sample(cycle, bank);
+        }
+    }
+
+    /// Record a sample immediately (used at end-of-run so the tail interval
+    /// is not lost).
+    pub fn force_sample(&mut self, cycle: u64, bank: &CounterBank) {
+        let delta = bank.delta(&self.last);
+        self.last = bank.clone();
+        self.samples.push(Sample { at_cycle: cycle, delta });
+        self.next_due = cycle + self.interval;
+    }
+
+    /// The recorded samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Time series of one event (summed over both logical CPUs), one value
+    /// per interval.
+    pub fn series(&self, event: Event) -> Vec<u64> {
+        self.samples.iter().map(|s| s.delta.total(event)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LogicalCpu;
+
+    #[test]
+    fn samples_capture_deltas() {
+        let mut bank = CounterBank::new();
+        let mut s = Sampler::new(100);
+        bank.add(LogicalCpu::Lp0, Event::UopsRetired, 10);
+        s.tick(100, &bank);
+        bank.add(LogicalCpu::Lp0, Event::UopsRetired, 25);
+        s.tick(200, &bank);
+        let series = s.series(Event::UopsRetired);
+        assert_eq!(series, vec![10, 25]);
+    }
+
+    #[test]
+    fn tick_before_due_does_nothing() {
+        let bank = CounterBank::new();
+        let mut s = Sampler::new(1000);
+        s.tick(1, &bank);
+        s.tick(999, &bank);
+        assert!(s.samples().is_empty());
+    }
+
+    #[test]
+    fn force_sample_records_tail() {
+        let mut bank = CounterBank::new();
+        let mut s = Sampler::new(1_000_000);
+        bank.add(LogicalCpu::Lp1, Event::GcCycles, 7);
+        s.force_sample(42, &bank);
+        assert_eq!(s.samples().len(), 1);
+        assert_eq!(s.samples()[0].at_cycle, 42);
+        assert_eq!(s.series(Event::GcCycles), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_interval_rejected() {
+        let _ = Sampler::new(0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Text charts: bars, grouped series, box charts, heat maps.
+
+use jsmt_stats::BoxSummary;
+
+const BAR_WIDTH: usize = 46;
+
+/// Horizontal bar chart: one `(label, value)` bar per entry, scaled to the
+/// maximum value.
+pub fn bar_chart(title: &str, entries: &[(String, f64)]) -> String {
+    let mut out = format!("{title}\n");
+    let max = entries.iter().map(|(_, v)| *v).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+    let lw = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, v) in entries {
+        let n = ((v / max) * BAR_WIDTH as f64).round() as usize;
+        out.push_str(&format!(
+            "  {label:<lw$} | {:<BAR_WIDTH$} {v:.3}\n",
+            "#".repeat(n.min(BAR_WIDTH)),
+        ));
+    }
+    out
+}
+
+/// Grouped series chart: for each label, one bar per series (e.g.
+/// HT-off vs HT-on in Figures 1 and 3–7).
+pub fn series_chart(title: &str, series_names: &[&str], rows: &[(String, Vec<f64>)]) -> String {
+    let mut out = format!("{title}\n");
+    let max = rows
+        .iter()
+        .flat_map(|(_, vs)| vs.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let lw = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0).max(series_names.iter().map(|s| s.len()).max().unwrap_or(0));
+    for (label, values) in rows {
+        assert_eq!(values.len(), series_names.len(), "series width mismatch");
+        out.push_str(&format!("  {label}\n"));
+        for (name, v) in series_names.iter().zip(values) {
+            let n = ((v / max) * BAR_WIDTH as f64).round() as usize;
+            out.push_str(&format!(
+                "    {name:<lw$} | {:<BAR_WIDTH$} {v:.3}\n",
+                "#".repeat(n.min(BAR_WIDTH)),
+            ));
+        }
+    }
+    out
+}
+
+/// Box chart in the paper's Figure 8 style: per label, whiskers at
+/// min/max, a box from q1 to q3, `|` at the median, `o` at the mean.
+pub fn box_chart(title: &str, entries: &[(String, BoxSummary)], lo: f64, hi: f64) -> String {
+    assert!(hi > lo, "empty value range");
+    let width = 60usize;
+    let scale = |v: f64| -> usize {
+        (((v - lo) / (hi - lo)).clamp(0.0, 1.0) * (width - 1) as f64).round() as usize
+    };
+    let lw = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "  {:<lw$}  {:<width$}  (range {lo:.2}..{hi:.2})\n",
+        "",
+        "min|--[q1 med q3]--|max, o = mean"
+    ));
+    for (label, s) in entries {
+        let mut line = vec![b' '; width];
+        let (imin, iq1, imed, iq3, imax, imean) = (
+            scale(s.min),
+            scale(s.q1),
+            scale(s.median),
+            scale(s.q3),
+            scale(s.max),
+            scale(s.mean),
+        );
+        for c in line.iter_mut().take(imax + 1).skip(imin) {
+            *c = b'-';
+        }
+        for c in line.iter_mut().take(iq3 + 1).skip(iq1) {
+            *c = b'=';
+        }
+        line[imin] = b'|';
+        line[imax] = b'|';
+        line[imean] = b'o';
+        line[imed] = b'#';
+        out.push_str(&format!(
+            "  {label:<lw$}  {}  med={:.2} mean={:.2}\n",
+            String::from_utf8_lossy(&line),
+            s.median,
+            s.mean
+        ));
+    }
+    out
+}
+
+/// Text heat map in the paper's Figure 9 style: a labeled matrix where
+/// each cell's shade encodes the value ('.' low → '@' high), with the
+/// numeric value printed alongside.
+pub fn heat_map(title: &str, labels: &[String], matrix: &[Vec<f64>]) -> String {
+    assert_eq!(labels.len(), matrix.len(), "matrix must be square with labels");
+    let lo = matrix.iter().flatten().copied().fold(f64::INFINITY, f64::min);
+    let hi = matrix.iter().flatten().copied().fold(f64::NEG_INFINITY, f64::max);
+    let shades = [b'.', b':', b'-', b'=', b'+', b'*', b'%', b'@'];
+    let shade = |v: f64| -> char {
+        if hi <= lo {
+            return '=';
+        }
+        let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        shades[((t * (shades.len() - 1) as f64).round()) as usize] as char
+    };
+    let lw = labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    let mut out = format!(
+        "{title}\n  (row benchmark's speedup when paired with column; '.'≈{lo:.2} '@'≈{hi:.2})\n"
+    );
+    // Column header: truncated names, one 8-char cell per column.
+    out.push_str(&format!("  {:<lw$}  ", ""));
+    for l in labels {
+        out.push_str(&format!("{:>8}", &l[..l.len().min(7)]));
+    }
+    out.push('\n');
+    for (i, l) in labels.iter().enumerate() {
+        out.push_str(&format!("  {l:<lw$}  "));
+        for v in &matrix[i] {
+            out.push_str(&format!("  {}{:>5.2}", shade(*v), v));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let s = bar_chart("t", &[("a".into(), 1.0), ("b".into(), 2.0)]);
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let hashes = |l: &str| l.matches('#').count();
+        assert_eq!(hashes(lines[2]), BAR_WIDTH);
+        assert_eq!(hashes(lines[1]), BAR_WIDTH / 2);
+    }
+
+    #[test]
+    fn series_chart_emits_all_series() {
+        let s = series_chart(
+            "t",
+            &["HT-off", "HT-on"],
+            &[("MolDyn".into(), vec![0.5, 0.6])],
+        );
+        assert!(s.contains("HT-off"));
+        assert!(s.contains("HT-on"));
+        assert!(s.contains("MolDyn"));
+    }
+
+    #[test]
+    fn box_chart_marks_quartiles() {
+        let summary = BoxSummary::from_samples(&[1.0, 1.1, 1.2, 1.3, 1.4]).unwrap();
+        let s = box_chart("t", &[("x".into(), summary)], 0.9, 1.5);
+        assert!(s.contains('#'), "median marker");
+        assert!(s.contains('o') || s.contains("mean"), "mean marker");
+        assert!(s.contains('='), "box body");
+    }
+
+    #[test]
+    fn heat_map_is_square() {
+        let labels = vec!["a".to_string(), "b".to_string()];
+        let m = vec![vec![1.0, 1.2], vec![1.2, 0.9]];
+        let s = heat_map("t", &labels, &m);
+        assert!(s.contains("1.20"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty value range")]
+    fn box_chart_rejects_bad_range() {
+        let summary = BoxSummary::from_samples(&[1.0]).unwrap();
+        let _ = box_chart("t", &[("x".into(), summary)], 1.0, 1.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Minimal CSV output (for external plotting of any figure).
+
+/// A CSV document builder.
+#[derive(Debug, Clone)]
+pub struct Csv {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// A CSV with the given header row.
+    pub fn new(headers: Vec<String>) -> Self {
+        Csv { headers, rows: Vec::new() }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with RFC-4180-style quoting where needed.
+    pub fn render(&self) -> String {
+        let quote = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let line = |cells: &[String]| cells.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",");
+        out.push_str(&line(&self.headers));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&line(r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rows() {
+        let mut c = Csv::new(vec!["a".into(), "b".into()]);
+        c.row(vec!["1".into(), "2".into()]);
+        assert_eq!(c.render(), "a,b\n1,2\n");
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn quotes_specials() {
+        let mut c = Csv::new(vec!["a".into()]);
+        c.row(vec!["x,y".into()]);
+        c.row(vec!["he said \"hi\"".into()]);
+        let s = c.render();
+        assert!(s.contains("\"x,y\""));
+        assert!(s.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_ragged() {
+        let mut c = Csv::new(vec!["a".into(), "b".into()]);
+        c.row(vec!["1".into()]);
+    }
+}

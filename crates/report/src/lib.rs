@@ -1,0 +1,66 @@
+//! # jsmt-report
+//!
+//! Rendering for the reproduction harness: ASCII tables (Table 2), bar
+//! charts (Figures 1–7, 10–12), box charts (Figure 8), a text heat map
+//! (Figure 9's color map), and CSV output for external plotting.
+//!
+//! ## Example
+//!
+//! ```
+//! use jsmt_report::Table;
+//!
+//! let mut t = Table::new(vec!["Benchmark".into(), "CPI".into()]);
+//! t.row(vec!["MolDyn02".into(), "2.09".into()]);
+//! let s = t.render();
+//! assert!(s.contains("MolDyn02"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod charts;
+mod csv;
+mod table;
+
+pub use charts::{bar_chart, box_chart, heat_map, series_chart};
+pub use csv::Csv;
+pub use table::Table;
+
+/// Format a float with a sensible precision for reports.
+pub fn fmt_num(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Format a fraction as a percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_formatting_scales_precision() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(1234.5), "1234");
+        assert_eq!(fmt_num(42.42), "42.4");
+        assert_eq!(fmt_num(3.14159), "3.14");
+        assert_eq!(fmt_num(0.1234), "0.123");
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(fmt_pct(0.9485), "94.85%");
+    }
+}

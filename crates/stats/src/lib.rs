@@ -1,0 +1,293 @@
+//! # jsmt-stats
+//!
+//! Statistics utilities for the experiment drivers: quartile/box-chart
+//! summaries (Figure 8 is a box chart), means, correlation (the paper's
+//! offline analysis correlates trace-cache misses with pairing
+//! performance), and simple linear regression.
+//!
+//! ## Example
+//!
+//! ```
+//! use jsmt_stats::BoxSummary;
+//!
+//! let s = BoxSummary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+//! assert_eq!(s.median, 3.0);
+//! assert_eq!(s.min, 1.0);
+//! assert_eq!(s.max, 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Five-number summary plus mean — exactly what the paper's Figure 8 box
+/// chart displays ("the middle line and the square in the box represent
+/// median and average ... the 25th and 75th percentile ... two whiskers").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxSummary {
+    /// Observed minimum (lower whisker).
+    pub min: f64,
+    /// 25th percentile (lower box edge).
+    pub q1: f64,
+    /// Median (middle line).
+    pub median: f64,
+    /// 75th percentile (upper box edge).
+    pub q3: f64,
+    /// Observed maximum (upper whisker).
+    pub max: f64,
+    /// Arithmetic mean (the square in the box).
+    pub mean: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl BoxSummary {
+    /// Summarize samples; `None` when empty. NaNs are rejected by panic
+    /// (they indicate a broken experiment, not data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn from_samples(samples: &[f64]) -> Option<BoxSummary> {
+        if samples.is_empty() {
+            return None;
+        }
+        assert!(samples.iter().all(|x| !x.is_nan()), "NaN sample");
+        let mut v = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Some(BoxSummary {
+            min: v[0],
+            q1: percentile_sorted(&v, 0.25),
+            median: percentile_sorted(&v, 0.5),
+            q3: percentile_sorted(&v, 0.75),
+            max: v[v.len() - 1],
+            mean: mean(&v),
+            n: v.len(),
+        })
+    }
+}
+
+/// Percentile (0..=1) of an ascending-sorted slice via linear
+/// interpolation.
+///
+/// # Panics
+///
+/// Panics on an empty slice or `p` outside `[0, 1]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty slice");
+    assert!((0.0..=1.0).contains(&p), "p out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = p * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean; panics on non-positive inputs.
+///
+/// # Panics
+///
+/// Panics if any sample is `<= 0`.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    assert!(xs.iter().all(|&x| x > 0.0), "geomean needs positive samples");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Pearson correlation coefficient of paired samples.
+///
+/// Returns 0 when either series is constant (no linear relation can be
+/// measured).
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Least-squares line `y = a + b x`; returns `(a, b)`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or fewer than two points are given.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    assert!(xs.len() >= 2, "need at least two points");
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        num += (x - mx) * (y - my);
+        den += (x - mx) * (x - mx);
+    }
+    let b = if den == 0.0 { 0.0 } else { num / den };
+    (my - b * mx, b)
+}
+
+/// Spearman rank correlation of paired samples (Pearson over ranks,
+/// average ranks for ties).
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Average ranks (1-based) of a sample vector, ties sharing their mean
+/// rank.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("no NaNs"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Relative change `(new - old) / old`, in percent.
+pub fn pct_change(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        0.0
+    } else {
+        (new - old) / old * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_summary_of_known_data() {
+        let s = BoxSummary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.5);
+        assert_eq!(s.mean, 5.0);
+        assert!(s.q1 >= s.min && s.q1 <= s.median);
+        assert!(s.q3 >= s.median && s.q3 <= s.max);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn box_summary_empty_is_none() {
+        assert!(BoxSummary::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_sorted(&v, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&v, 1.0), 4.0);
+        assert_eq!(percentile_sorted(&v, 0.5), 2.5);
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn correlation_signs() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[5.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn regression_recovers_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let (a, b) = linear_fit(&xs, &ys);
+        assert!((a - 1.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        assert_eq!(stddev(&[3.0, 3.0, 3.0]), 0.0);
+        assert!(stddev(&[1.0, 5.0]) > 0.0);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_monotone_is_one() {
+        let xs = [1.0, 2.0, 5.0, 9.0];
+        let ys = [2.0, 40.0, 41.0, 1000.0]; // monotone, nonlinear
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        let inv = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&xs, &inv) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pct_change_basics() {
+        assert_eq!(pct_change(2.0, 3.0), 50.0);
+        assert_eq!(pct_change(0.0, 3.0), 0.0);
+        assert!(pct_change(4.0, 3.0) < 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests on the statistics utilities.
+
+use jsmt_stats::{linear_fit, mean, pearson, percentile_sorted, ranks, spearman, BoxSummary};
+use proptest::prelude::*;
+
+proptest! {
+    /// A box summary is internally ordered and bounded by the data.
+    #[test]
+    fn box_summary_ordered(mut xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = BoxSummary::from_samples(&xs).unwrap();
+        prop_assert!(s.min <= s.q1 + 1e-9);
+        prop_assert!(s.q1 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q3 + 1e-9);
+        prop_assert!(s.q3 <= s.max + 1e-9);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(s.min, xs[0]);
+        prop_assert_eq!(s.max, xs[xs.len() - 1]);
+        prop_assert_eq!(s.n, xs.len());
+    }
+
+    /// Percentiles are monotone in p.
+    #[test]
+    fn percentiles_monotone(mut xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+                            p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(percentile_sorted(&xs, lo) <= percentile_sorted(&xs, hi) + 1e-9);
+    }
+
+    /// Correlations stay in [-1, 1]; correlation with self is 1 for
+    /// non-constant data.
+    #[test]
+    fn correlation_bounds(xs in prop::collection::vec(-1e3f64..1e3, 2..100),
+                          ys in prop::collection::vec(-1e3f64..1e3, 2..100)) {
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        let r = pearson(xs, ys);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+        let rho = spearman(xs, ys);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho), "rho = {rho}");
+        if xs.iter().any(|&x| x != xs[0]) {
+            prop_assert!((pearson(xs, xs) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Ranks sum to n(n+1)/2 (a permutation invariant, ties included).
+    #[test]
+    fn ranks_sum_invariant(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let r = ranks(&xs);
+        let n = xs.len() as f64;
+        prop_assert!((r.iter().sum::<f64>() - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    /// The least-squares line passes through the centroid.
+    #[test]
+    fn regression_through_centroid(xs in prop::collection::vec(-1e3f64..1e3, 2..50),
+                                   ys in prop::collection::vec(-1e3f64..1e3, 2..50)) {
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        let (a, b) = linear_fit(xs, ys);
+        let (mx, my) = (mean(xs), mean(ys));
+        prop_assert!((a + b * mx - my).abs() < 1e-6, "line must pass through centroid");
+    }
+}

@@ -1,0 +1,261 @@
+//! `db` — SPECjvm98 _209_db: operations on a memory-resident database.
+//!
+//! The kernel keeps a real sorted index of record keys and performs the
+//! SPEC mix — find, add, delete, modify, and periodic sorts — against a
+//! record heap of several megabytes. Microarchitecturally: the largest
+//! single-threaded data footprint in the suite (poor locality: binary
+//! search hops and record touches scatter across ~3 MB), dependent load
+//! chains down the search path, and data-dependent branches — the classic
+//! memory-bound SPECjvm98 program.
+
+use jsmt_isa::Addr;
+use jsmt_jvm::{EmitCtx, JvmProcess, MethodId};
+
+use crate::util::{LibCode, Rng, WorkMeter};
+use crate::{Kernel, StepResult};
+
+const RECORD_BYTES: u64 = 128;
+const OPS_PER_STEP: u64 = 3;
+
+/// The `db` kernel. See the module docs.
+#[derive(Debug)]
+pub struct Db {
+    work: WorkMeter,
+    rng: Rng,
+    keys: Vec<u64>,
+    index_base: Addr,
+    records_base: Addr,
+    n_records: u64,
+    m_find: Option<MethodId>,
+    m_sort: Option<MethodId>,
+    m_modify: Option<MethodId>,
+    lib: Option<LibCode>,
+    checksum: u64,
+    ops_done: u64,
+}
+
+impl Db {
+    /// Create the kernel; `scale` multiplies both the record count and the
+    /// operation count.
+    pub fn new(scale: f64) -> Self {
+        let n = ((24_576.0 * scale) as u64).clamp(256, 1 << 20);
+        let ops = ((6_000.0 * scale) as u64).max(64);
+        let mut rng = Rng::new(0xDB);
+        let mut keys: Vec<u64> = (0..n).map(|_| rng.next_u64() >> 16).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        Db {
+            work: WorkMeter::new(1, ops),
+            rng,
+            keys,
+            index_base: 0,
+            records_base: 0,
+            n_records: n,
+            m_find: None,
+            m_sort: None,
+            m_modify: None,
+            lib: None,
+            checksum: 0,
+            ops_done: 0,
+        }
+    }
+
+    /// Determinism witness.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    #[inline]
+    fn index_addr(&self, slot: usize) -> Addr {
+        self.index_base + slot as u64 * 8
+    }
+
+    #[inline]
+    fn record_addr(&self, slot: usize) -> Addr {
+        self.records_base + (slot as u64 % self.n_records) * RECORD_BYTES
+    }
+
+    /// Real binary search, narrated: each probe is a load dependent on the
+    /// previous comparison, each comparison a data-dependent branch.
+    fn emit_search(&mut self, ctx: &mut EmitCtx<'_>, key: u64) -> Result<usize, usize> {
+        let mut lo = 0usize;
+        let mut hi = self.keys.len();
+        let mut last = ctx.load(self.index_addr((lo + hi) / 2));
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let probe = ctx.load_after(self.index_addr(mid), last);
+            last = probe;
+            ctx.alu(1);
+            match self.keys[mid].cmp(&key) {
+                std::cmp::Ordering::Less => {
+                    ctx.branch(true, false);
+                    lo = mid + 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    ctx.branch(false, false);
+                    hi = mid;
+                }
+                std::cmp::Ordering::Equal => {
+                    ctx.branch(true, false);
+                    return Ok(mid);
+                }
+            }
+        }
+        Err(lo)
+    }
+}
+
+impl Kernel for Db {
+    fn name(&self) -> &str {
+        "db"
+    }
+
+    fn num_threads(&self) -> usize {
+        1
+    }
+
+    fn setup(&mut self, jvm: &mut JvmProcess) {
+        self.index_base = jvm.alloc_native(self.n_records * 8, 64);
+        self.records_base = jvm.alloc_native(self.n_records * RECORD_BYTES, 64);
+        self.m_find = Some(jvm.methods_mut().register("Database.lookup", 1200));
+        self.m_sort = Some(jvm.methods_mut().register("Database.sort", 2200));
+        self.m_modify = Some(jvm.methods_mut().register("Database.modify", 900));
+        self.lib = Some(LibCode::register(jvm, "Db", 22, 1200));
+    }
+
+    fn step(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        debug_assert_eq!(tid, 0);
+        if !self.work.has_work(0) {
+            return StepResult::finished();
+        }
+
+        self.lib.as_mut().expect("setup").invoke(ctx, 4);
+        for _ in 0..OPS_PER_STEP {
+            self.ops_done += 1;
+            let op = self.rng.below(10);
+            match op {
+                // find (50%): search + touch the record.
+                0..=4 => {
+                    ctx.call(self.m_find.expect("setup"));
+                    let probe_key = if self.rng.chance(0.7) {
+                        // Existing key.
+                        self.keys[self.rng.below(self.keys.len() as u64) as usize]
+                    } else {
+                        self.rng.next_u64() >> 16
+                    };
+                    match self.emit_search(ctx, probe_key) {
+                        Ok(slot) => {
+                            let r = ctx.load(self.record_addr(slot));
+                            ctx.load_after(self.record_addr(slot) + 64, r);
+                            self.checksum = self.checksum.wrapping_add(self.keys[slot]);
+                        }
+                        Err(_) => ctx.alu(2),
+                    }
+                }
+                // modify (30%): search + rewrite fields.
+                5..=7 => {
+                    ctx.call(self.m_modify.expect("setup"));
+                    let slot = self.rng.below(self.keys.len() as u64) as usize;
+                    let key = self.keys[slot];
+                    if let Ok(found) = self.emit_search(ctx, key) {
+                        ctx.store(self.record_addr(found));
+                        ctx.store(self.record_addr(found) + 8);
+                        self.checksum = self.checksum.wrapping_mul(33).wrapping_add(key);
+                    }
+                }
+                // sort pass (20%): one shell-sort sweep over a 48-record
+                // window — real compare/swap work with store traffic.
+                _ => {
+                    ctx.call(self.m_sort.expect("setup"));
+                    let start = self.rng.below((self.keys.len() as u64).saturating_sub(48).max(1))
+                        as usize;
+                    let window = start..(start + 48).min(self.keys.len());
+                    let mut slice: Vec<u64> = self.keys[window.clone()].to_vec();
+                    // Narrate an insertion pass while actually doing it.
+                    for i in 1..slice.len() {
+                        let mut j = i;
+                        let r = ctx.load(self.index_addr(start + i));
+                        let mut dep = r;
+                        while j > 0 && slice[j - 1] > slice[j] {
+                            slice.swap(j - 1, j);
+                            dep = ctx.load_after(self.index_addr(start + j - 1), dep);
+                            ctx.store(self.index_addr(start + j));
+                            ctx.branch(true, false);
+                            j -= 1;
+                        }
+                        ctx.branch(false, false);
+                    }
+                    self.keys[window].copy_from_slice(&slice);
+                }
+            }
+        }
+
+        if self.work.advance(0, OPS_PER_STEP) {
+            StepResult::ran()
+        } else {
+            StepResult::finished()
+        }
+    }
+
+    fn progress(&self) -> f64 {
+        self.work.progress()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StepOutcome;
+    use jsmt_jvm::JvmConfig;
+
+    fn run(scale: f64) -> (Db, Vec<jsmt_isa::Uop>) {
+        let mut jvm = JvmProcess::new(1, JvmConfig::default());
+        let mut k = Db::new(scale);
+        k.setup(&mut jvm);
+        let mut all = Vec::new();
+        let mut steps = 0;
+        loop {
+            let mut out = Vec::new();
+            let mut ctx = EmitCtx::new(&mut jvm, &mut out);
+            let r = k.step(0, &mut ctx);
+            all.extend(out);
+            steps += 1;
+            assert!(steps < 100_000, "runaway");
+            if r.outcome == StepOutcome::Finished {
+                break;
+            }
+        }
+        (k, all)
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, ua) = run(0.02);
+        let (b, ub) = run(0.02);
+        assert_eq!(a.checksum(), b.checksum());
+        assert_eq!(ua.len(), ub.len());
+    }
+
+    #[test]
+    fn index_stays_sorted_through_sort_passes() {
+        let (k, _) = run(0.05);
+        assert!(k.keys.windows(2).all(|w| w[0] <= w[1]), "sort passes must not corrupt order");
+    }
+
+    #[test]
+    fn search_chains_are_dependent() {
+        let (_, uops) = run(0.01);
+        let chained_loads = uops
+            .iter()
+            .filter(|u| u.kind == jsmt_isa::UopKind::Load && u.dep_dist != jsmt_isa::DEP_NONE)
+            .count();
+        assert!(chained_loads > 50, "binary search must chain loads, got {chained_loads}");
+    }
+
+    #[test]
+    fn footprint_is_multi_megabyte() {
+        let k = Db::new(1.0);
+        let bytes = k.n_records * (RECORD_BYTES + 8);
+        assert!(bytes > 2 * 1024 * 1024, "db working set {bytes} too small");
+    }
+}

@@ -1,0 +1,259 @@
+//! `jack` — SPECjvm98 _228_jack: a parser generator (JavaCC ancestor).
+//!
+//! The kernel generates a parser from a synthetic grammar for real: it
+//! repeatedly walks production rules, expands alternatives, materializes
+//! token/string objects at a furious rate, and writes the generated parser
+//! out (the SPEC run regenerates its output 16 times, hence the steady
+//! stream of write system calls). Microarchitecturally: the third and
+//! worst of the paper's *bad partners* — the largest compiled-code
+//! footprint in the suite, the highest allocation rate (string churn),
+//! irregular branches, and kernel time from I/O.
+
+use jsmt_isa::Addr;
+use jsmt_jvm::{EmitCtx, JvmProcess, MethodId};
+
+use crate::util::{Rng, WorkMeter};
+use crate::{Kernel, StepResult};
+
+const PRODUCTIONS: usize = 256;
+const EXPANSIONS_PER_STEP: u64 = 2;
+
+#[derive(Debug, Clone)]
+struct Production {
+    /// Alternative expansions; each entry lists successor productions.
+    alts: Vec<Vec<u16>>,
+}
+
+/// The `jack` kernel. See the module docs.
+#[derive(Debug)]
+pub struct Jack {
+    work: WorkMeter,
+    rng: Rng,
+    grammar: Vec<Production>,
+    visitor_methods: Vec<MethodId>,
+    m_expand: Option<MethodId>,
+    m_write: Option<MethodId>,
+    table_base: Addr,
+    out_base: Addr,
+    out_pos: u64,
+    pending_alloc: Option<u64>,
+    strings_made: u64,
+    checksum: u64,
+}
+
+impl Jack {
+    /// Create the kernel; `scale` multiplies the expansion count (the SPEC
+    /// run regenerates the parser 16 times; scaling covers that loop).
+    pub fn new(scale: f64) -> Self {
+        let expansions = ((3_600.0 * scale) as u64).max(16);
+        let mut rng = Rng::new(0x7ACC);
+        let grammar = (0..PRODUCTIONS)
+            .map(|_| {
+                let nalts = 1 + rng.below(4) as usize;
+                Production {
+                    alts: (0..nalts)
+                        .map(|_| {
+                            (0..1 + rng.below(4))
+                                .map(|_| rng.below(PRODUCTIONS as u64) as u16)
+                                .collect()
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        Jack {
+            work: WorkMeter::new(1, expansions),
+            rng,
+            grammar,
+            visitor_methods: Vec::new(),
+            m_expand: None,
+            m_write: None,
+            table_base: 0,
+            out_base: 0,
+            out_pos: 0,
+            pending_alloc: None,
+            strings_made: 0,
+            checksum: 0,
+        }
+    }
+
+    /// Determinism witness.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// String/token objects allocated.
+    pub fn strings_made(&self) -> u64 {
+        self.strings_made
+    }
+}
+
+impl Kernel for Jack {
+    fn name(&self) -> &str {
+        "jack"
+    }
+
+    fn num_threads(&self) -> usize {
+        1
+    }
+
+    fn setup(&mut self, jvm: &mut JvmProcess) {
+        self.table_base = jvm.alloc_native((PRODUCTIONS * 64) as u64, 64);
+        self.out_base = jvm.alloc_native(512 * 1024, 64);
+        // ~200 generator/visitor methods of ~1.4 KB: ≈280 KB of compiled
+        // code — the largest footprint in the suite.
+        self.visitor_methods = (0..200)
+            .map(|i| jvm.methods_mut().register(&format!("Jack.visit#{i}"), 1400))
+            .collect();
+        self.m_expand = Some(jvm.methods_mut().register("Jack.expand", 2000));
+        self.m_write = Some(jvm.methods_mut().register("Jack.writeOutput", 1200));
+    }
+
+    fn step(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        debug_assert_eq!(tid, 0);
+        if !self.work.has_work(0) {
+            return StepResult::finished();
+        }
+
+        if let Some(bytes) = self.pending_alloc {
+            match ctx.alloc(bytes) {
+                Some(addr) => {
+                    ctx.store(addr);
+                    self.pending_alloc = None;
+                    self.strings_made += 1;
+                }
+                None => return StepResult::needs_gc(),
+            }
+        }
+
+        let mut syscalls = 0u32;
+        for _ in 0..EXPANSIONS_PER_STEP {
+            ctx.call(self.m_expand.expect("setup"));
+            // Expand a production: real traversal with a small explicit
+            // stack, like the generator's recursive walk.
+            let mut stack: Vec<u16> = vec![self.rng.below(PRODUCTIONS as u64) as u16];
+            let mut depth = 0;
+            while let Some(p) = stack.pop() {
+                depth += 1;
+                if depth > 24 {
+                    break;
+                }
+                let prod = &self.grammar[p as usize];
+                // Table load for the production entry, then pick an
+                // alternative (data-dependent branch).
+                let dep = ctx.load(self.table_base + p as u64 * 64);
+                ctx.alu(2);
+                // Grammar alternatives are heavily biased toward the
+                // first production in practice.
+                let alt = if self.rng.chance(0.8) {
+                    0
+                } else {
+                    (self.rng.next_u64() % prod.alts.len() as u64) as usize
+                };
+                ctx.branch(alt == 0, true);
+                self.checksum = self.checksum.wrapping_mul(37).wrapping_add(p as u64 + alt as u64);
+                // Visit via the production's own method (code footprint).
+                let vm = self.visitor_methods[p as usize % self.visitor_methods.len()];
+                ctx.call(vm);
+                ctx.alu(3);
+                // Token/string churn: 2 allocations per visited node.
+                for _ in 0..2 {
+                    let bytes = 32 + self.rng.below(4) * 24;
+                    match ctx.alloc(bytes) {
+                        Some(addr) => {
+                            ctx.store(addr);
+                            self.strings_made += 1;
+                        }
+                        None => {
+                            self.pending_alloc = Some(bytes);
+                            return StepResult::needs_gc().with_syscalls(syscalls);
+                        }
+                    }
+                }
+                ctx.load_after(self.table_base + (p as u64 % 64) * 64, dep);
+                for &succ in prod.alts[alt].iter().take(2) {
+                    stack.push(succ);
+                }
+            }
+            // Write a chunk of generated parser (I/O).
+            ctx.call(self.m_write.expect("setup"));
+            for _ in 0..8 {
+                ctx.store(self.out_base + (self.out_pos % (512 * 1024)));
+                self.out_pos += 16;
+            }
+            if self.rng.chance(0.25) {
+                syscalls += 1;
+            }
+        }
+
+        if self.work.advance(0, EXPANSIONS_PER_STEP) {
+            StepResult::ran().with_syscalls(syscalls)
+        } else {
+            StepResult::finished().with_syscalls(syscalls)
+        }
+    }
+
+    fn progress(&self) -> f64 {
+        self.work.progress()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StepOutcome;
+    use jsmt_jvm::JvmConfig;
+
+    fn run(scale: f64, heap: u64) -> (Jack, u64, u32) {
+        let mut jvm = JvmProcess::new(1, JvmConfig::default().with_heap(heap));
+        let mut k = Jack::new(scale);
+        k.setup(&mut jvm);
+        let (mut gcs, mut sys) = (0u64, 0u32);
+        let mut steps = 0;
+        loop {
+            let mut out = Vec::new();
+            let mut ctx = EmitCtx::new(&mut jvm, &mut out);
+            let r = k.step(0, &mut ctx);
+            sys += r.syscalls;
+            steps += 1;
+            assert!(steps < 500_000, "runaway");
+            match r.outcome {
+                StepOutcome::Finished => break,
+                StepOutcome::NeedsGc => {
+                    jvm.collect();
+                    gcs += 1;
+                }
+                _ => {}
+            }
+        }
+        (k, gcs, sys)
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, _, _) = run(0.02, 16 << 20);
+        let (b, _, _) = run(0.02, 16 << 20);
+        assert_eq!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn heaviest_allocator_in_the_suite() {
+        let (k, gcs, _) = run(0.2, 2 << 20);
+        assert!(k.strings_made() > 1000, "string churn: {}", k.strings_made());
+        assert!(gcs >= 1, "jack must GC under a small heap");
+    }
+
+    #[test]
+    fn writes_output_repeatedly() {
+        let (_, _, sys) = run(0.2, 16 << 20);
+        assert!(sys > 5, "expected many write syscalls, got {sys}");
+    }
+
+    #[test]
+    fn largest_code_footprint() {
+        let mut jvm = JvmProcess::new(1, JvmConfig::default());
+        let mut k = Jack::new(0.1);
+        k.setup(&mut jvm);
+        assert!(jvm.methods().code_footprint() > 250 * 1024);
+    }
+}

@@ -1,0 +1,306 @@
+//! `javac` — SPECjvm98 _213_javac: the JDK 1.0.2 Java compiler.
+//!
+//! The kernel compiles a synthetic source corpus for real: a lexer
+//! producing tokens from a deterministic character stream, a
+//! recursive-descent-ish parser that allocates AST nodes, and a bytecode
+//! emitter writing to an output buffer. Microarchitecturally: the second
+//! of the paper's three *bad partners* — a wide compiled-code footprint
+//! (the compiler's many visitor/production methods), an allocation-heavy
+//! AST phase that drives GC, irregular branches in the lexer/parser, and
+//! periodic file-read system calls.
+
+use jsmt_isa::Addr;
+use jsmt_jvm::{EmitCtx, JvmProcess, MethodId};
+
+use crate::util::{Rng, WorkMeter};
+use crate::{Kernel, StepResult};
+
+const SRC_BYTES: usize = 96 * 1024;
+const DECLS_PER_STEP: u64 = 2;
+
+/// Token classes of the toy language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tok {
+    Ident,
+    Number,
+    Punct,
+    Keyword,
+    Eof,
+}
+
+/// The `javac` kernel. See the module docs.
+#[derive(Debug)]
+pub struct Javac {
+    work: WorkMeter,
+    rng: Rng,
+    source: Vec<u8>,
+    src_pos: usize,
+    src_base: Addr,
+    out_base: Addr,
+    out_pos: u64,
+    production_methods: Vec<MethodId>,
+    m_lex: Option<MethodId>,
+    m_emit: Option<MethodId>,
+    pending_alloc: Option<u64>,
+    ast_nodes: u64,
+    checksum: u64,
+}
+
+impl Javac {
+    /// Create the kernel; `scale` multiplies the number of declarations
+    /// compiled.
+    pub fn new(scale: f64) -> Self {
+        let decls = ((2_600.0 * scale) as u64).max(16);
+        // Deterministic "source code": identifiers, numbers, punctuation.
+        let mut rng = Rng::new(0x1AC0DE);
+        let mut source = Vec::with_capacity(SRC_BYTES);
+        while source.len() < SRC_BYTES {
+            match rng.below(4) {
+                0 => {
+                    for _ in 0..rng.below(8) + 2 {
+                        source.push((rng.below(26) + 97) as u8);
+                    }
+                }
+                1 => {
+                    for _ in 0..rng.below(5) + 1 {
+                        source.push((rng.below(10) + 48) as u8);
+                    }
+                }
+                2 => source.push(b"{}();,=+-*"[rng.below(10) as usize]),
+                _ => source.push(b' '),
+            }
+        }
+        Javac {
+            work: WorkMeter::new(1, decls),
+            rng,
+            source,
+            src_pos: 0,
+            src_base: 0,
+            out_base: 0,
+            out_pos: 0,
+            production_methods: Vec::new(),
+            m_lex: None,
+            m_emit: None,
+            pending_alloc: None,
+            ast_nodes: 0,
+            checksum: 0,
+        }
+    }
+
+    /// Determinism witness.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// AST nodes allocated so far.
+    pub fn ast_nodes(&self) -> u64 {
+        self.ast_nodes
+    }
+
+    /// Real lexing of the next token, narrated as byte loads and
+    /// classification branches.
+    fn lex(&mut self, ctx: &mut EmitCtx<'_>) -> Tok {
+        ctx.call(self.m_lex.expect("setup"));
+        loop {
+            if self.src_pos >= self.source.len() {
+                self.src_pos = 0; // corpus wraps (multiple files)
+            }
+            let start = self.src_pos;
+            let c = self.source[self.src_pos];
+            let dep = ctx.load(self.src_base + (self.src_pos % SRC_BYTES) as u64);
+            self.src_pos += 1;
+            let tok = match c {
+                b'a'..=b'z' => {
+                    // Consume the identifier; keywords are idents of len 2.
+                    let mut len = 1;
+                    while self.src_pos < self.source.len()
+                        && self.source[self.src_pos].is_ascii_lowercase()
+                    {
+                        ctx.load_after(self.src_base + (self.src_pos % SRC_BYTES) as u64, dep);
+                        ctx.branch(true, false);
+                        self.src_pos += 1;
+                        len += 1;
+                    }
+                    ctx.branch(false, false);
+                    if len == 2 {
+                        Tok::Keyword
+                    } else {
+                        Tok::Ident
+                    }
+                }
+                b'0'..=b'9' => {
+                    while self.src_pos < self.source.len()
+                        && self.source[self.src_pos].is_ascii_digit()
+                    {
+                        ctx.alu(1);
+                        self.src_pos += 1;
+                    }
+                    Tok::Number
+                }
+                b' ' => {
+                    ctx.branch(true, true);
+                    continue;
+                }
+                _ => Tok::Punct,
+            };
+            self.checksum = self
+                .checksum
+                .wrapping_mul(257)
+                .wrapping_add(self.source[start..self.src_pos].iter().map(|&b| b as u64).sum::<u64>());
+            if self.src_pos >= self.source.len() {
+                return Tok::Eof;
+            }
+            return tok;
+        }
+    }
+}
+
+impl Kernel for Javac {
+    fn name(&self) -> &str {
+        "javac"
+    }
+
+    fn num_threads(&self) -> usize {
+        1
+    }
+
+    fn setup(&mut self, jvm: &mut JvmProcess) {
+        self.src_base = jvm.alloc_native(SRC_BYTES as u64, 64);
+        self.out_base = jvm.alloc_native(256 * 1024, 64);
+        // ~170 production/visitor methods of ~1.3 KB: ≈220 KB compiled
+        // code — the compiler's bad-partner footprint.
+        self.production_methods = (0..170)
+            .map(|i| jvm.methods_mut().register(&format!("Parser.parse#{i}"), 1300))
+            .collect();
+        self.m_lex = Some(jvm.methods_mut().register("Scanner.nextToken", 1500));
+        self.m_emit = Some(jvm.methods_mut().register("CodeGen.emit", 1700));
+    }
+
+    fn step(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        debug_assert_eq!(tid, 0);
+        if !self.work.has_work(0) {
+            return StepResult::finished();
+        }
+
+        if let Some(bytes) = self.pending_alloc {
+            match ctx.alloc(bytes) {
+                Some(addr) => {
+                    ctx.store(addr);
+                    self.pending_alloc = None;
+                    self.ast_nodes += 1;
+                }
+                None => return StepResult::needs_gc(),
+            }
+        }
+
+        let mut syscalls = 0u32;
+        for _ in 0..DECLS_PER_STEP {
+            // Parse one declaration: a handful of tokens through
+            // productions selected by token class.
+            let ntokens = 6 + self.rng.below(8);
+            for _ in 0..ntokens {
+                let tok = self.lex(ctx);
+                let pm = self.production_methods
+                    [(self.checksum % self.production_methods.len() as u64) as usize];
+                ctx.call(pm);
+                ctx.alu(2);
+                ctx.branch(tok == Tok::Ident, false);
+                // AST node per token (javac's tree is fine-grained).
+                if !matches!(tok, Tok::Eof) {
+                    let bytes = 96 + self.rng.below(4) * 48;
+                    match ctx.alloc(bytes) {
+                        Some(addr) => {
+                            ctx.store(addr);
+                            ctx.store(addr + 8);
+                            self.ast_nodes += 1;
+                        }
+                        None => {
+                            self.pending_alloc = Some(bytes);
+                            return StepResult::needs_gc();
+                        }
+                    }
+                }
+            }
+            // Emit bytecode for the declaration.
+            ctx.call(self.m_emit.expect("setup"));
+            for _ in 0..6 {
+                ctx.store(self.out_base + (self.out_pos % (256 * 1024)));
+                self.out_pos += 4;
+            }
+            // Source-file read every ~32 declarations.
+            if self.rng.chance(0.03) {
+                syscalls += 1;
+            }
+        }
+
+        if self.work.advance(0, DECLS_PER_STEP) {
+            StepResult::ran().with_syscalls(syscalls)
+        } else {
+            StepResult::finished().with_syscalls(syscalls)
+        }
+    }
+
+    fn progress(&self) -> f64 {
+        self.work.progress()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StepOutcome;
+    use jsmt_jvm::JvmConfig;
+
+    fn run(scale: f64, heap: u64) -> (Javac, u64, u32) {
+        let mut jvm = JvmProcess::new(1, JvmConfig::default().with_heap(heap));
+        let mut k = Javac::new(scale);
+        k.setup(&mut jvm);
+        let (mut gcs, mut sys) = (0u64, 0u32);
+        let mut steps = 0;
+        loop {
+            let mut out = Vec::new();
+            let mut ctx = EmitCtx::new(&mut jvm, &mut out);
+            let r = k.step(0, &mut ctx);
+            sys += r.syscalls;
+            steps += 1;
+            assert!(steps < 500_000, "runaway");
+            match r.outcome {
+                StepOutcome::Finished => break,
+                StepOutcome::NeedsGc => {
+                    jvm.collect();
+                    gcs += 1;
+                }
+                _ => {}
+            }
+        }
+        (k, gcs, sys)
+    }
+
+    #[test]
+    fn deterministic_compilation() {
+        let (a, _, _) = run(0.02, 16 << 20);
+        let (b, _, _) = run(0.02, 16 << 20);
+        assert_eq!(a.checksum(), b.checksum());
+        assert!(a.ast_nodes() > 0);
+    }
+
+    #[test]
+    fn allocation_heavy_with_small_heap() {
+        let (_, gcs, _) = run(0.3, 1 << 20);
+        assert!(gcs > 0, "AST churn must trigger GC");
+    }
+
+    #[test]
+    fn performs_io_syscalls() {
+        let (_, _, sys) = run(0.3, 16 << 20);
+        assert!(sys > 0, "javac reads source files");
+    }
+
+    #[test]
+    fn wide_code_footprint() {
+        let mut jvm = JvmProcess::new(1, JvmConfig::default());
+        let mut k = Javac::new(0.1);
+        k.setup(&mut jvm);
+        assert!(jvm.methods().code_footprint() > 200 * 1024);
+    }
+}

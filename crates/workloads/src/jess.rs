@@ -1,0 +1,275 @@
+//! `jess` — SPECjvm98 _202_jess: a CLIPS-derived expert system shell.
+//!
+//! The kernel builds a rete-style discrimination network and propagates
+//! facts through it for real: each asserted fact traverses matching nodes,
+//! partial matches become freshly-allocated token objects joined against
+//! node memories. Microarchitecturally: one of the paper's three *bad
+//! partners* — a large compiled-code footprint (hundreds of small rule
+//! methods blow through the 12 Kµop trace cache), pointer-chasing loads
+//! through heap-resident nodes, data-dependent branches, and a steady
+//! allocation rate that keeps the GC thread alive.
+
+use jsmt_isa::Addr;
+use jsmt_jvm::{EmitCtx, JvmProcess, MethodId};
+
+use crate::util::{Rng, WorkMeter};
+use crate::{Kernel, StepResult};
+
+const NODES: usize = 4096;
+const NODE_BYTES: u64 = 64;
+const FACTS_PER_STEP: u64 = 2;
+
+#[derive(Debug, Clone)]
+struct ReteNode {
+    /// Successor node indices (the real network topology).
+    next: [u32; 3],
+    /// Test constant the fact field is compared against.
+    test: u64,
+    /// Simulated address of the node object.
+    addr: Addr,
+}
+
+/// The `jess` kernel. See the module docs.
+#[derive(Debug)]
+pub struct Jess {
+    work: WorkMeter,
+    rng: Rng,
+    net: Vec<ReteNode>,
+    rule_methods: Vec<MethodId>,
+    m_assert: Option<MethodId>,
+    tokens_live: u64,
+    pending_alloc: bool,
+    checksum: u64,
+    activations: u64,
+}
+
+impl Jess {
+    /// Create the kernel; `scale` multiplies the fact count.
+    pub fn new(scale: f64) -> Self {
+        let facts = ((5_200.0 * scale) as u64).max(32);
+        Jess {
+            work: WorkMeter::new(1, facts),
+            rng: Rng::new(0x1E55),
+            net: Vec::new(),
+            rule_methods: Vec::new(),
+            m_assert: None,
+            tokens_live: 0,
+            pending_alloc: false,
+            checksum: 0,
+            activations: 0,
+        }
+    }
+
+    /// Determinism witness.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Rule activations fired so far.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+}
+
+impl Kernel for Jess {
+    fn name(&self) -> &str {
+        "jess"
+    }
+
+    fn num_threads(&self) -> usize {
+        1
+    }
+
+    fn setup(&mut self, jvm: &mut JvmProcess) {
+        // The network nodes live on the heap (they are Java objects) and
+        // survive collections — reserve them before the mutation phase.
+        let mut rng = Rng::new(0x7E7E);
+        self.net = (0..NODES)
+            .map(|_| {
+                let addr = jvm
+                    .heap_mut()
+                    .alloc(NODE_BYTES)
+                    .expect("network must fit the fresh heap");
+                ReteNode {
+                    next: [
+                        rng.below(NODES as u64) as u32,
+                        rng.below(NODES as u64) as u32,
+                        rng.below(NODES as u64) as u32,
+                    ],
+                    test: rng.below(1000),
+                    addr,
+                }
+            })
+            .collect();
+        // ~110 rule methods of ~1.1 KB each: ≈120 KB of compiled code —
+        // a trace-cache-hostile footprint (the bad-partner signature).
+        self.rule_methods = (0..110)
+            .map(|i| jvm.methods_mut().register(&format!("Rule.fire#{i}"), 1100))
+            .collect();
+        self.m_assert = Some(jvm.methods_mut().register("Rete.assertFact", 1800));
+    }
+
+    fn step(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        debug_assert_eq!(tid, 0);
+        if !self.work.has_work(0) {
+            return StepResult::finished();
+        }
+
+        // Retry a token allocation that previously tripped the GC.
+        if self.pending_alloc {
+            match ctx.alloc(48) {
+                Some(addr) => {
+                    ctx.store(addr);
+                    self.pending_alloc = false;
+                    self.tokens_live += 1;
+                }
+                None => return StepResult::needs_gc(),
+            }
+        }
+
+        for _ in 0..FACTS_PER_STEP {
+            ctx.call(self.m_assert.expect("setup"));
+            let field = self.rng.below(1000);
+            // Real propagation: walk the network from a root, following
+            // the branch chosen by the comparison at each node.
+            let mut node = self.rng.below(16) as usize;
+            let mut dep = ctx.load(self.net[node].addr);
+            for _depth in 0..12 {
+                let n = &self.net[node];
+                ctx.alu(2);
+                let (next, taken) = if field < n.test {
+                    (n.next[0], false)
+                } else if field == n.test {
+                    (n.next[1], true)
+                } else {
+                    (n.next[2], true)
+                };
+                ctx.branch(taken, false);
+                self.checksum = self.checksum.wrapping_mul(131).wrapping_add(n.test);
+                node = next as usize;
+                // Pointer chase to the successor node object.
+                dep = ctx.load_after(self.net[node].addr, dep);
+                // Partial-match token at roughly every other level (the
+                // rete's beta memory churn).
+                if self.rng.chance(0.5) {
+                    let bytes = 48 + self.rng.below(4) * 24;
+                    match ctx.alloc(bytes) {
+                        Some(addr) => {
+                            ctx.store(addr);
+                            self.tokens_live += 1;
+                        }
+                        None => {
+                            self.pending_alloc = true;
+                            return StepResult::needs_gc();
+                        }
+                    }
+                }
+            }
+
+            // A partial match: allocate a token and fire a rule method
+            // chosen by the match (exercising the wide code footprint).
+            if self.rng.chance(0.6) {
+                match ctx.alloc(48) {
+                    Some(addr) => {
+                        ctx.store(addr);
+                        self.tokens_live += 1;
+                    }
+                    None => {
+                        self.pending_alloc = true;
+                        return StepResult::needs_gc();
+                    }
+                }
+                let rm = self.rule_methods
+                    [(self.checksum % self.rule_methods.len() as u64) as usize];
+                ctx.call(rm);
+                ctx.alu(12);
+                ctx.branch(true, true);
+                self.activations += 1;
+            }
+        }
+
+        if self.work.advance(0, FACTS_PER_STEP) {
+            StepResult::ran()
+        } else {
+            StepResult::finished()
+        }
+    }
+
+    fn progress(&self) -> f64 {
+        self.work.progress()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StepOutcome;
+    use jsmt_jvm::JvmConfig;
+
+    fn run(scale: f64) -> (Jess, u64) {
+        let mut jvm = JvmProcess::new(1, JvmConfig::default());
+        let mut k = Jess::new(scale);
+        k.setup(&mut jvm);
+        let mut gcs = 0;
+        let mut steps = 0;
+        loop {
+            let mut out = Vec::new();
+            let mut ctx = EmitCtx::new(&mut jvm, &mut out);
+            let r = k.step(0, &mut ctx);
+            steps += 1;
+            assert!(steps < 500_000, "runaway");
+            match r.outcome {
+                StepOutcome::Finished => break,
+                StepOutcome::NeedsGc => {
+                    jvm.collect();
+                    gcs += 1;
+                }
+                _ => {}
+            }
+        }
+        (k, gcs)
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, _) = run(0.02);
+        let (b, _) = run(0.02);
+        assert_eq!(a.checksum(), b.checksum());
+        assert_eq!(a.activations(), b.activations());
+        assert!(a.activations() > 0);
+    }
+
+    #[test]
+    fn allocation_pressure_triggers_gc() {
+        // A small heap forces collections during a modest run.
+        let mut jvm = JvmProcess::new(1, JvmConfig::default().with_heap(1 << 20));
+        let mut k = Jess::new(0.5);
+        k.setup(&mut jvm);
+        let mut gcs = 0;
+        for _ in 0..20_000 {
+            let mut out = Vec::new();
+            let mut ctx = EmitCtx::new(&mut jvm, &mut out);
+            match k.step(0, &mut ctx).outcome {
+                StepOutcome::NeedsGc => {
+                    jvm.collect();
+                    gcs += 1;
+                }
+                StepOutcome::Finished => break,
+                _ => {}
+            }
+        }
+        assert!(gcs > 0, "jess must allocate its way into collections");
+    }
+
+    #[test]
+    fn code_footprint_is_trace_cache_hostile() {
+        let mut jvm = JvmProcess::new(1, JvmConfig::default());
+        let mut k = Jess::new(0.1);
+        k.setup(&mut jvm);
+        assert!(
+            jvm.methods().code_footprint() > 100 * 1024,
+            "bad partners need >100 KB of code, got {}",
+            jvm.methods().code_footprint()
+        );
+    }
+}

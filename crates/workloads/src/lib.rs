@@ -1,0 +1,166 @@
+//! # jsmt-workloads
+//!
+//! The paper's ten Java benchmarks, re-implemented as executable kernels
+//! that run their real algorithms over simulated address spaces and
+//! narrate them as µop streams through [`jsmt_jvm::EmitCtx`].
+//!
+//! | Benchmark | Paper source | Kernel computation |
+//! |---|---|---|
+//! | `compress` | SPECjvm98 (LZW) | real LZW dictionary compression |
+//! | `jess` | SPECjvm98 (CLIPS) | rete-style fact propagation network |
+//! | `db` | SPECjvm98 | in-memory table: binary search, shell sort, updates |
+//! | `javac` | SPECjvm98 (JDK compiler) | lex/parse/emit over a synthetic source corpus |
+//! | `mpegaudio` | SPECjvm98 (MP3) | polyphase subband synthesis (windowed dot products) |
+//! | `jack` | SPECjvm98 (JavaCC ancestor) | grammar traversal + token/string churn |
+//! | `MolDyn` | Java Grande MT (N=2048) | Lennard-Jones N-body with per-timestep barriers |
+//! | `MonteCarlo` | Java Grande MT (N=10000) | path pricing with a result-accumulation monitor |
+//! | `RayTracer` | Java Grande MT (N=150) | 64-sphere ray tracing, per-thread scene copies |
+//! | `PseudoJBB` | SPECjbb2000 variant | warehouse B-tree transactions, fixed count |
+//!
+//! Working sets, code footprints, allocation rates, FP mixes and
+//! synchronization idioms follow the published characterizations of these
+//! suites; inputs are synthetic but sized to the paper's parameters scaled
+//! by the documented simulation factor (see DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compress;
+mod db;
+mod jack;
+mod javac;
+mod jess;
+mod moldyn;
+mod montecarlo;
+mod mpegaudio;
+mod pseudojbb;
+mod raytracer;
+mod registry;
+pub mod util;
+
+pub use compress::Compress;
+pub use db::Db;
+pub use jack::Jack;
+pub use javac::Javac;
+pub use jess::Jess;
+pub use moldyn::MolDyn;
+pub use montecarlo::MonteCarlo;
+pub use mpegaudio::MpegAudio;
+pub use pseudojbb::PseudoJbb;
+pub use raytracer::RayTracer;
+pub use registry::{build, jvm_config_for, BenchmarkId, WorkloadSpec};
+
+use jsmt_jvm::{EmitCtx, JvmProcess, MonitorId};
+
+/// Why a thread cannot continue right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockReason {
+    /// Waiting to acquire a contended Java monitor.
+    Monitor(MonitorId),
+    /// Parked at a barrier until all sibling threads arrive.
+    Barrier,
+    /// Waiting on (simulated) I/O completion.
+    Io,
+}
+
+/// Outcome of one [`Kernel::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Work was emitted; call again.
+    Ran,
+    /// An allocation hit the GC trigger: run a collection, then re-step
+    /// the same thread. µops emitted before the failed allocation are
+    /// simply part of the stream; the kernel retries the allocation on the
+    /// next step.
+    NeedsGc,
+    /// The thread must block; the kernel will be re-stepped after a wake.
+    Blocked(BlockReason),
+    /// This thread's share of the benchmark is complete.
+    Finished,
+}
+
+/// Result of one step: the outcome plus any threads to wake (monitor
+/// hand-off, barrier release) and system calls to charge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepResult {
+    /// What happened.
+    pub outcome: StepOutcome,
+    /// Thread indices (within this kernel) to wake.
+    pub wake: Vec<usize>,
+    /// Number of system calls the step performed (the system layer
+    /// injects the kernel-mode handler µops — `jack`'s output writes,
+    /// `javac`'s file reads).
+    pub syscalls: u32,
+}
+
+impl StepResult {
+    /// A plain "ran" result.
+    pub fn ran() -> Self {
+        StepResult { outcome: StepOutcome::Ran, wake: Vec::new(), syscalls: 0 }
+    }
+
+    /// A "finished" result.
+    pub fn finished() -> Self {
+        StepResult { outcome: StepOutcome::Finished, wake: Vec::new(), syscalls: 0 }
+    }
+
+    /// A "needs GC" result.
+    pub fn needs_gc() -> Self {
+        StepResult { outcome: StepOutcome::NeedsGc, wake: Vec::new(), syscalls: 0 }
+    }
+
+    /// A blocked result.
+    pub fn blocked(reason: BlockReason) -> Self {
+        StepResult { outcome: StepOutcome::Blocked(reason), wake: Vec::new(), syscalls: 0 }
+    }
+
+    /// Attach threads to wake.
+    pub fn with_wake(mut self, wake: Vec<usize>) -> Self {
+        self.wake = wake;
+        self
+    }
+
+    /// Attach a syscall charge.
+    pub fn with_syscalls(mut self, n: u32) -> Self {
+        self.syscalls = n;
+        self
+    }
+}
+
+/// A benchmark kernel: the real computation, narrated as µops.
+///
+/// A kernel owns the work of *all* its software threads; the system layer
+/// calls [`Kernel::step`] for whichever thread the OS has scheduled,
+/// against an [`EmitCtx`] borrowing the owning JVM process.
+pub trait Kernel {
+    /// The benchmark's display name (paper spelling).
+    fn name(&self) -> &str;
+
+    /// Number of software threads this kernel runs.
+    fn num_threads(&self) -> usize;
+
+    /// Register methods, allocate static input data, create monitors.
+    /// Called once before the first step.
+    fn setup(&mut self, jvm: &mut JvmProcess);
+
+    /// Execute a slice (a few hundred µops) of thread `tid`'s work.
+    fn step(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult;
+
+    /// Fraction of total work completed, in `[0, 1]`.
+    fn progress(&self) -> f64;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn step_result_builders() {
+        assert_eq!(StepResult::ran().outcome, StepOutcome::Ran);
+        assert_eq!(StepResult::finished().outcome, StepOutcome::Finished);
+        assert_eq!(StepResult::needs_gc().outcome, StepOutcome::NeedsGc);
+        let r = StepResult::blocked(BlockReason::Barrier).with_wake(vec![1, 2]);
+        assert_eq!(r.outcome, StepOutcome::Blocked(BlockReason::Barrier));
+        assert_eq!(r.wake, vec![1, 2]);
+    }
+}

@@ -1,0 +1,308 @@
+//! `MolDyn` — Java Grande multithreaded benchmark: an N-body molecular
+//! dynamics simulation of particles under a Lennard-Jones potential
+//! (paper input: N = 2048).
+//!
+//! The kernel integrates the real equations: per timestep every thread
+//! computes LJ forces for its particle partition against a neighbour
+//! window (reading the *shared* position arrays, accumulating into a
+//! *thread-private* force array — the JGF decomposition), then all
+//! threads meet at a barrier before the position update.
+//! Microarchitecturally: FP-heavy with streaming loads; per-thread force
+//! arrays mean the aggregate L1 working set grows with the thread count —
+//! the mechanism behind the paper's Figure 12 observation that MolDyn's
+//! IPC drops at 4 threads due to L1D misses.
+
+use jsmt_isa::Addr;
+use jsmt_jvm::{EmitCtx, JvmProcess, MethodId};
+
+use crate::util::{LibCode, Barrier, BarrierWait, WorkMeter};
+use crate::{BlockReason, Kernel, StepResult};
+
+const N_PARTICLES: usize = 2048;
+const NEIGHBOURS: usize = 24;
+const PARTICLES_PER_STEP: usize = 10;
+
+/// The `MolDyn` kernel. See the module docs.
+#[derive(Debug)]
+pub struct MolDyn {
+    threads: usize,
+    work: WorkMeter,
+    positions: Vec<[f64; 3]>,
+    velocities: Vec<[f64; 3]>,
+    forces: Vec<Vec<[f64; 3]>>,
+    pos_base: Addr,
+    force_bases: Vec<Addr>,
+    cursor: Vec<usize>,
+    phase: Vec<Phase>,
+    barrier: Barrier,
+    m_force: Option<MethodId>,
+    m_update: Option<MethodId>,
+    lib: Option<LibCode>,
+    timesteps: u64,
+    steps_done: Vec<u64>,
+    energy: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Forces,
+    Update,
+}
+
+impl MolDyn {
+    /// Create the kernel with `threads` workers; `scale` multiplies the
+    /// timestep count.
+    pub fn new(threads: usize, scale: f64) -> Self {
+        assert!(threads >= 1, "at least one thread");
+        let timesteps = ((12.0 * scale) as u64).max(2);
+        // Initial FCC-ish lattice, deterministic.
+        let positions: Vec<[f64; 3]> = (0..N_PARTICLES)
+            .map(|i| {
+                let x = (i % 16) as f64;
+                let y = ((i / 16) % 16) as f64;
+                let z = (i / 256) as f64;
+                [x * 1.1, y * 1.1, z * 1.1]
+            })
+            .collect();
+        MolDyn {
+            threads,
+            work: WorkMeter::new(threads, timesteps),
+            velocities: vec![[0.0; 3]; N_PARTICLES],
+            forces: vec![vec![[0.0; 3]; N_PARTICLES]; threads],
+            positions,
+            pos_base: 0,
+            force_bases: Vec::new(),
+            cursor: vec![0; threads],
+            phase: vec![Phase::Forces; threads],
+            barrier: Barrier::new(threads),
+            m_force: None,
+            m_update: None,
+            lib: None,
+            timesteps,
+            steps_done: vec![0; threads],
+            energy: 0.0,
+        }
+    }
+
+    /// Determinism witness: accumulated potential energy.
+    pub fn checksum(&self) -> u64 {
+        self.energy.to_bits()
+    }
+
+    /// Configured timestep count.
+    pub fn timesteps(&self) -> u64 {
+        self.timesteps
+    }
+
+    fn partition(&self, tid: usize) -> (usize, usize) {
+        let per = N_PARTICLES / self.threads;
+        let lo = tid * per;
+        let hi = if tid + 1 == self.threads { N_PARTICLES } else { lo + per };
+        (lo, hi)
+    }
+}
+
+impl Kernel for MolDyn {
+    fn name(&self) -> &str {
+        "MolDyn"
+    }
+
+    fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    fn setup(&mut self, jvm: &mut JvmProcess) {
+        self.pos_base = jvm.alloc_native((N_PARTICLES * 24) as u64, 64);
+        // Thread-private force arrays live on the heap (Java objects),
+        // 48 KB each: the aggregate L1/L2 pressure grows with threads.
+        self.force_bases = (0..self.threads)
+            .map(|_| jvm.heap_mut().alloc((N_PARTICLES * 24) as u64).expect("fits fresh heap"))
+            .collect();
+        self.m_force = Some(jvm.methods_mut().register("MolDyn.force", 2200));
+        self.m_update = Some(jvm.methods_mut().register("MolDyn.update", 1100));
+        self.lib = Some(LibCode::register(jvm, "MolDyn", 14, 1100));
+    }
+
+    fn step(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        if !self.work.has_work(tid) {
+            return StepResult::finished();
+        }
+        let (lo, hi) = self.partition(tid);
+
+        match self.phase[tid] {
+            Phase::Forces => {
+                self.lib.as_mut().expect("setup").invoke(ctx, 3);
+                ctx.call(self.m_force.expect("setup"));
+                let start = lo + self.cursor[tid];
+                let end = (start + PARTICLES_PER_STEP).min(hi);
+                for i in start..end {
+                    let pi = self.positions[i];
+                    let dep = ctx.load(self.pos_base + (i * 24) as u64);
+                    let mut fx = [0.0f64; 3];
+                    for k in 1..=NEIGHBOURS {
+                        let j = (i + k) % N_PARTICLES;
+                        let pj = self.positions[j];
+                        // Real Lennard-Jones force between i and j.
+                        let d = [pj[0] - pi[0], pj[1] - pi[1], pj[2] - pi[2]];
+                        let r2 = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).max(0.25);
+                        let inv6 = 1.0 / (r2 * r2 * r2);
+                        let f = 24.0 * inv6 * (2.0 * inv6 - 1.0) / r2;
+                        for (a, fa) in fx.iter_mut().enumerate() {
+                            *fa += f * d[a];
+                        }
+                        self.energy += 4.0 * inv6 * (inv6 - 1.0);
+                        // Narration: shared position load (sequential
+                        // neighbours — streaming), 6 FP ops, cutoff branch.
+                        ctx.load_after(self.pos_base + (j * 24) as u64, dep);
+                        ctx.fpu(3, true);
+                        if k % 3 == 0 {
+                            ctx.fp_div(); // inv6 = 1 / (r2 * r2 * r2)
+                        }
+                        ctx.fpu(2, false);
+                        ctx.branch(r2 < 6.25, true);
+                    }
+                    let fi = &mut self.forces[tid][i];
+                    for a in 0..3 {
+                        fi[a] += fx[a];
+                    }
+                    // Private force accumulation store.
+                    ctx.store(self.force_bases[tid] + (i * 24) as u64);
+                }
+                self.cursor[tid] = end - lo;
+                if end == hi {
+                    self.cursor[tid] = 0;
+                    self.phase[tid] = Phase::Update;
+                    // Reduction barrier before the update phase.
+                    match self.barrier.arrive(tid) {
+                        BarrierWait::Wait => {
+                            return StepResult::blocked(BlockReason::Barrier);
+                        }
+                        BarrierWait::Release(wake) => {
+                            return StepResult::ran().with_wake(wake);
+                        }
+                    }
+                }
+                StepResult::ran()
+            }
+            Phase::Update => {
+                ctx.call(self.m_update.expect("setup"));
+                // Velocity-Verlet-ish update of the partition (real).
+                for i in lo..hi {
+                    let f = self.forces[tid][i];
+                    for a in 0..3 {
+                        self.velocities[i][a] += 0.0005 * f[a];
+                        self.positions[i][a] += 0.001 * self.velocities[i][a];
+                        self.forces[tid][i][a] = 0.0;
+                    }
+                    if i % 4 == 0 {
+                        ctx.load(self.force_bases[tid] + (i * 24) as u64);
+                        ctx.fpu(3, false);
+                        ctx.store(self.pos_base + (i * 24) as u64);
+                    }
+                }
+                self.phase[tid] = Phase::Forces;
+                self.steps_done[tid] += 1;
+                if self.work.advance(tid, 1) {
+                    StepResult::ran()
+                } else {
+                    StepResult::finished()
+                }
+            }
+        }
+    }
+
+    fn progress(&self) -> f64 {
+        self.work.progress()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StepOutcome;
+    use jsmt_jvm::JvmConfig;
+
+    /// Drive all threads round-robin, honouring barrier blocking.
+    fn run(threads: usize, scale: f64) -> MolDyn {
+        let mut jvm = JvmProcess::new(1, JvmConfig::default());
+        let mut k = MolDyn::new(threads, scale);
+        k.setup(&mut jvm);
+        let mut blocked = vec![false; threads];
+        let mut finished = vec![false; threads];
+        let mut guard = 0;
+        while finished.iter().any(|f| !f) {
+            guard += 1;
+            assert!(guard < 2_000_000, "deadlock or runaway");
+            for tid in 0..threads {
+                if blocked[tid] || finished[tid] {
+                    continue;
+                }
+                let mut out = Vec::new();
+                let mut ctx = EmitCtx::new(&mut jvm, &mut out);
+                let r = k.step(tid, &mut ctx);
+                for &w in &r.wake {
+                    blocked[w] = false;
+                }
+                match r.outcome {
+                    StepOutcome::Blocked(_) => blocked[tid] = true,
+                    StepOutcome::Finished => finished[tid] = true,
+                    StepOutcome::NeedsGc => {
+                        jvm.collect();
+                    }
+                    StepOutcome::Ran => {}
+                }
+            }
+        }
+        k
+    }
+
+    #[test]
+    fn two_threads_complete_all_timesteps() {
+        let k = run(2, 0.2);
+        assert_eq!(k.progress(), 1.0);
+        assert!(k.barrier.generations() >= 2, "barriers must cycle");
+    }
+
+    #[test]
+    fn physics_is_deterministic_for_fixed_threads() {
+        let a = run(2, 0.2);
+        let b = run(2, 0.2);
+        assert_eq!(a.checksum(), b.checksum());
+        assert!(a.energy.is_finite());
+        assert_ne!(a.energy, 0.0);
+    }
+
+    #[test]
+    fn particles_actually_move() {
+        let k = run(1, 0.2);
+        let moved = k
+            .positions
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| {
+                let x0 = (*i % 16) as f64 * 1.1;
+                (p[0] - x0).abs() > 1e-12
+            })
+            .count();
+        assert!(moved > N_PARTICLES / 2, "integration must displace particles: {moved}");
+    }
+
+    #[test]
+    fn partitions_cover_all_particles() {
+        let k = MolDyn::new(3, 1.0);
+        let mut covered = vec![false; N_PARTICLES];
+        for t in 0..3 {
+            let (lo, hi) = k.partition(t);
+            for c in covered.iter_mut().take(hi).skip(lo) {
+                *c = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn sixteen_threads_supported() {
+        let k = run(16, 0.1);
+        assert_eq!(k.progress(), 1.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! `MonteCarlo` — Java Grande multithreaded benchmark: financial product
+//! pricing by Monte Carlo simulation (paper input: N = 10,000 paths).
+//!
+//! The kernel prices for real: each path evolves a geometric-Brownian
+//! asset trajectory from deterministic Gaussian-ish draws and contributes
+//! its payoff to a global accumulator guarded by a Java monitor (the JGF
+//! code aggregates results under a lock). Microarchitecturally:
+//! embarrassingly parallel FP work with tiny shared state — the benchmark
+//! the paper finds scales most cleanly — plus brief monitor episodes that
+//! occasionally contend and trap to the futex path.
+
+use jsmt_isa::Addr;
+use jsmt_jvm::{EmitCtx, JvmProcess, MethodId, MonitorId, MonitorOutcome};
+
+use crate::util::{LibCode, Rng, WorkMeter};
+use crate::{BlockReason, Kernel, StepResult};
+
+const TIME_STEPS: usize = 24;
+const PATHS_PER_STEP: u64 = 3;
+/// Paths between monitor-guarded result merges.
+const MERGE_EVERY: u64 = 16;
+
+/// The `MonteCarlo` kernel. See the module docs.
+#[derive(Debug)]
+pub struct MonteCarlo {
+    threads: usize,
+    work: WorkMeter,
+    rngs: Vec<Rng>,
+    results_base: Addr,
+    m_path: Option<MethodId>,
+    m_merge: Option<MethodId>,
+    lib: Option<LibCode>,
+    result_monitor: Option<MonitorId>,
+    local_sums: Vec<f64>,
+    since_merge: Vec<u64>,
+    global_sum: f64,
+    paths_done: u64,
+    resume_in_merge: Vec<bool>,
+}
+
+impl MonteCarlo {
+    /// Create the kernel with `threads` workers; `scale` multiplies the
+    /// path count (1.0 ≈ the paper's 10,000 scaled).
+    pub fn new(threads: usize, scale: f64) -> Self {
+        assert!(threads >= 1);
+        let per_thread = (((10_000.0 * scale) as u64).max(threads as u64 * 8)) / threads as u64;
+        MonteCarlo {
+            threads,
+            work: WorkMeter::new(threads, per_thread),
+            rngs: (0..threads).map(|t| Rng::new(0x3C47 + t as u64 * 7919)).collect(),
+            results_base: 0,
+            m_path: None,
+            m_merge: None,
+            lib: None,
+            result_monitor: None,
+            local_sums: vec![0.0; threads],
+            since_merge: vec![0; threads],
+            global_sum: 0.0,
+            paths_done: 0,
+            resume_in_merge: vec![false; threads],
+        }
+    }
+
+    /// Determinism witness: the priced value.
+    pub fn checksum(&self) -> u64 {
+        self.global_sum.to_bits()
+    }
+
+    /// Total paths completed.
+    pub fn paths_done(&self) -> u64 {
+        self.paths_done
+    }
+
+    fn merge(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        let mon = self.result_monitor.expect("setup");
+        ctx.atomic(self.results_base);
+        // A thread woken by monitor hand-off already owns the monitor.
+        let already_owner = ctx.process().monitors().owner(mon) == Some(tid as u32);
+        if !already_owner {
+            match ctx.process().monitors_mut().enter(mon, tid as u32) {
+                MonitorOutcome::Contended => {
+                    self.resume_in_merge[tid] = true;
+                    return StepResult::blocked(BlockReason::Monitor(mon));
+                }
+                MonitorOutcome::Acquired => {}
+            }
+        }
+        self.resume_in_merge[tid] = false;
+        ctx.call(self.m_merge.expect("setup"));
+        // Critical section: fold the thread-local sum into the global.
+        self.global_sum += self.local_sums[tid];
+        self.local_sums[tid] = 0.0;
+        ctx.load(self.results_base);
+        ctx.fpu(1, false);
+        ctx.store(self.results_base);
+        let next = ctx.process().monitors_mut().exit(mon, tid as u32);
+        let wake = next.map(|t| vec![t as usize]).unwrap_or_default();
+        self.since_merge[tid] = 0;
+        StepResult::ran().with_wake(wake)
+    }
+}
+
+impl Kernel for MonteCarlo {
+    fn name(&self) -> &str {
+        "MonteCarlo"
+    }
+
+    fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    fn setup(&mut self, jvm: &mut JvmProcess) {
+        self.results_base = jvm.alloc_native(128 * 1024, 64);
+        self.m_path = Some(jvm.methods_mut().register("PriceStock.run", 1900));
+        self.m_merge = Some(jvm.methods_mut().register("ToResult.reduce", 700));
+        self.lib = Some(LibCode::register(jvm, "MonteCarlo", 14, 1100));
+        self.result_monitor = Some(jvm.monitors_mut().create());
+    }
+
+    fn step(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        // A thread woken while waiting for the result monitor resumes in
+        // the merge, not in path generation.
+        if self.resume_in_merge[tid] {
+            return self.merge(tid, ctx);
+        }
+        if !self.work.has_work(tid) {
+            // Final merge of the residue, then done.
+            if self.local_sums[tid] != 0.0 {
+                let r = self.merge(tid, ctx);
+                if r.outcome != crate::StepOutcome::Ran {
+                    return r;
+                }
+            }
+            return StepResult::finished();
+        }
+
+        self.lib.as_mut().expect("setup").invoke(ctx, 3);
+        ctx.call(self.m_path.expect("setup"));
+        for _ in 0..PATHS_PER_STEP {
+            // Real GBM path: S' = S * exp(mu + sigma * Z).
+            let mut s = 100.0f64;
+            for t in 0..TIME_STEPS {
+                // Z ~ sum of uniforms (Irwin-Hall), deterministic.
+                let z = self.rngs[tid].unit() + self.rngs[tid].unit()
+                    + self.rngs[tid].unit()
+                    - 1.5;
+                s *= (0.0001 + 0.02 * z).exp();
+                // Narration: RNG ALU chain, exp-approx FP chain, table
+                // load per step.
+                ctx.alu_chain(4);
+                ctx.fpu(4, t % 2 == 0);
+                if t % 4 == 0 {
+                    ctx.fp_div(); // exp() range reduction
+                }
+                // Per-thread coefficient block (6 KB each): fits the L1
+                // alone, conflicts when two threads co-reside.
+                let slice = self.results_base + tid as u64 * 6144;
+                ctx.load(slice + ((t * 64) as u64 % 6144));
+            }
+            let payoff = (s - 100.0).max(0.0);
+            self.local_sums[tid] += payoff;
+            self.paths_done += 1;
+            self.since_merge[tid] += 1;
+            // Store the path result into the results table.
+            ctx.store(self.results_base + (self.paths_done * 8) % (128 * 1024));
+            ctx.branch(payoff > 0.0, false);
+        }
+
+        let more = self.work.advance(tid, PATHS_PER_STEP);
+        if self.since_merge[tid] >= MERGE_EVERY {
+            let r = self.merge(tid, ctx);
+            if r.outcome != crate::StepOutcome::Ran {
+                return r;
+            }
+            if !more {
+                return StepResult::finished().with_wake(r.wake);
+            }
+            return r;
+        }
+        if more {
+            StepResult::ran()
+        } else if self.local_sums[tid] != 0.0 {
+            self.merge(tid, ctx)
+        } else {
+            StepResult::finished()
+        }
+    }
+
+    fn progress(&self) -> f64 {
+        self.work.progress()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StepOutcome;
+    use jsmt_jvm::JvmConfig;
+
+    fn run(threads: usize, scale: f64) -> MonteCarlo {
+        let mut jvm = JvmProcess::new(1, JvmConfig::default());
+        let mut k = MonteCarlo::new(threads, scale);
+        k.setup(&mut jvm);
+        let mut blocked = vec![false; threads];
+        let mut finished = vec![false; threads];
+        let mut guard = 0;
+        while finished.iter().any(|f| !f) {
+            guard += 1;
+            assert!(guard < 2_000_000, "deadlock or runaway");
+            for tid in 0..threads {
+                if blocked[tid] || finished[tid] {
+                    continue;
+                }
+                let mut out = Vec::new();
+                let mut ctx = EmitCtx::new(&mut jvm, &mut out);
+                let r = k.step(tid, &mut ctx);
+                for &w in &r.wake {
+                    blocked[w] = false;
+                }
+                match r.outcome {
+                    StepOutcome::Blocked(_) => blocked[tid] = true,
+                    StepOutcome::Finished => finished[tid] = true,
+                    StepOutcome::NeedsGc => {
+                        jvm.collect();
+                    }
+                    StepOutcome::Ran => {}
+                }
+            }
+        }
+        k
+    }
+
+    #[test]
+    fn prices_deterministically() {
+        let a = run(2, 0.05);
+        let b = run(2, 0.05);
+        assert_eq!(a.checksum(), b.checksum());
+        assert!(a.global_sum.is_finite());
+        assert!(a.global_sum > 0.0, "some paths must pay off");
+    }
+
+    #[test]
+    fn all_paths_accounted() {
+        let k = run(4, 0.05);
+        assert_eq!(k.progress(), 1.0);
+        assert!(k.paths_done() >= 480, "paths done {}", k.paths_done());
+    }
+
+    #[test]
+    fn local_sums_fully_merged() {
+        let k = run(3, 0.05);
+        for (t, s) in k.local_sums.iter().enumerate() {
+            assert_eq!(*s, 0.0, "thread {t} left residue");
+        }
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let k = run(1, 0.02);
+        assert_eq!(k.progress(), 1.0);
+    }
+}

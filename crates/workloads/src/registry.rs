@@ -1,0 +1,237 @@
+//! Benchmark registry: names, construction, per-benchmark JVM tuning.
+
+use jsmt_jvm::JvmConfig;
+
+use crate::{
+    Compress, Db, Jack, Javac, Jess, Kernel, MolDyn, MonteCarlo, MpegAudio, PseudoJbb, RayTracer,
+};
+
+/// The paper's ten benchmarks (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BenchmarkId {
+    /// SPECjvm98 _201_compress.
+    Compress,
+    /// SPECjvm98 _202_jess.
+    Jess,
+    /// SPECjvm98 _209_db.
+    Db,
+    /// SPECjvm98 _213_javac.
+    Javac,
+    /// SPECjvm98 _222_mpegaudio.
+    Mpegaudio,
+    /// SPECjvm98 _228_jack.
+    Jack,
+    /// Java Grande MolDyn (N=2048).
+    MolDyn,
+    /// Java Grande MonteCarlo (N=10000).
+    MonteCarlo,
+    /// Java Grande RayTracer (N=150).
+    RayTracer,
+    /// PseudoJBB (SPECjbb2000 variant, fixed transactions).
+    PseudoJbb,
+}
+
+impl BenchmarkId {
+    /// All ten benchmarks in Table 1 order.
+    pub const ALL: [BenchmarkId; 10] = [
+        BenchmarkId::Compress,
+        BenchmarkId::Jess,
+        BenchmarkId::Db,
+        BenchmarkId::Javac,
+        BenchmarkId::Mpegaudio,
+        BenchmarkId::Jack,
+        BenchmarkId::MolDyn,
+        BenchmarkId::MonteCarlo,
+        BenchmarkId::RayTracer,
+        BenchmarkId::PseudoJbb,
+    ];
+
+    /// The nine benchmarks the paper uses single-threaded in §4.2/§4.3
+    /// (the six SPECjvm98 programs plus the three JGF kernels at one
+    /// thread; PseudoJBB is excluded there).
+    pub const SINGLE_THREADED: [BenchmarkId; 9] = [
+        BenchmarkId::Compress,
+        BenchmarkId::Jess,
+        BenchmarkId::Db,
+        BenchmarkId::Javac,
+        BenchmarkId::Mpegaudio,
+        BenchmarkId::Jack,
+        BenchmarkId::MolDyn,
+        BenchmarkId::MonteCarlo,
+        BenchmarkId::RayTracer,
+    ];
+
+    /// The four multithreaded benchmarks of §4.1 (Table 2, Figures 1–7).
+    pub const MULTITHREADED: [BenchmarkId; 4] = [
+        BenchmarkId::MolDyn,
+        BenchmarkId::MonteCarlo,
+        BenchmarkId::RayTracer,
+        BenchmarkId::PseudoJbb,
+    ];
+
+    /// Paper spelling of the name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchmarkId::Compress => "compress",
+            BenchmarkId::Jess => "jess",
+            BenchmarkId::Db => "db",
+            BenchmarkId::Javac => "javac",
+            BenchmarkId::Mpegaudio => "mpegaudio",
+            BenchmarkId::Jack => "jack",
+            BenchmarkId::MolDyn => "MolDyn",
+            BenchmarkId::MonteCarlo => "MonteCarlo",
+            BenchmarkId::RayTracer => "RayTracer",
+            BenchmarkId::PseudoJbb => "PseudoJBB",
+        }
+    }
+
+    /// Parse a paper-spelled (case-insensitive) name.
+    pub fn parse(s: &str) -> Option<BenchmarkId> {
+        Self::ALL.iter().copied().find(|b| b.name().eq_ignore_ascii_case(s))
+    }
+
+    /// Whether the benchmark accepts a thread-count parameter.
+    pub fn is_multithreaded(self) -> bool {
+        Self::MULTITHREADED.contains(&self)
+    }
+
+    /// The paper's three "bad partners" (§4.2): pairings with these slow
+    /// other programs down because of trace-cache pressure.
+    pub fn is_bad_partner(self) -> bool {
+        matches!(self, BenchmarkId::Jess | BenchmarkId::Javac | BenchmarkId::Jack)
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete workload to run: benchmark, thread count, work scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Which benchmark.
+    pub id: BenchmarkId,
+    /// Software threads (forced to 1 for the SPECjvm98 programs).
+    pub threads: usize,
+    /// Work multiplier (1.0 = the scaled paper input).
+    pub scale: f64,
+}
+
+impl WorkloadSpec {
+    /// A single-threaded run at the default scale.
+    pub fn single(id: BenchmarkId) -> Self {
+        WorkloadSpec { id, threads: 1, scale: 1.0 }
+    }
+
+    /// A multithreaded run at the default scale.
+    pub fn threaded(id: BenchmarkId, threads: usize) -> Self {
+        WorkloadSpec { id, threads, scale: 1.0 }
+    }
+
+    /// Builder-style: set the scale.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+}
+
+/// Build the kernel for a spec.
+///
+/// # Panics
+///
+/// Panics if a thread count other than 1 is requested for a
+/// single-threaded benchmark.
+pub fn build(spec: WorkloadSpec) -> Box<dyn Kernel> {
+    let WorkloadSpec { id, threads, scale } = spec;
+    if !id.is_multithreaded() {
+        assert_eq!(threads, 1, "{id} is single-threaded");
+    }
+    match id {
+        BenchmarkId::Compress => Box::new(Compress::new(scale)),
+        BenchmarkId::Jess => Box::new(Jess::new(scale)),
+        BenchmarkId::Db => Box::new(Db::new(scale)),
+        BenchmarkId::Javac => Box::new(Javac::new(scale)),
+        BenchmarkId::Mpegaudio => Box::new(MpegAudio::new(scale)),
+        BenchmarkId::Jack => Box::new(Jack::new(scale)),
+        BenchmarkId::MolDyn => Box::new(MolDyn::new(threads, scale)),
+        BenchmarkId::MonteCarlo => Box::new(MonteCarlo::new(threads, scale)),
+        BenchmarkId::RayTracer => Box::new(RayTracer::new(threads, scale)),
+        BenchmarkId::PseudoJbb => Box::new(PseudoJbb::new(threads, scale)),
+    }
+}
+
+/// Per-benchmark JVM tuning: heap sizes and survival rates that keep each
+/// program's GC behaviour in its published band (allocation-heavy
+/// programs collect often; numeric kernels barely allocate).
+pub fn jvm_config_for(id: BenchmarkId) -> JvmConfig {
+    let base = JvmConfig::default();
+    match id {
+        // String/AST churn with low survival: frequent cheap GCs.
+        BenchmarkId::Jack => base.with_heap(3 << 20).with_survival(0.15).with_jit_threshold(3),
+        BenchmarkId::Javac => base.with_heap(2 << 20).with_survival(0.25).with_jit_threshold(3),
+        BenchmarkId::Jess => base.with_heap(2 << 20).with_survival(0.3).with_jit_threshold(3),
+        // Server allocation with moderate survival.
+        BenchmarkId::PseudoJbb => base.with_heap(2 << 20).with_survival(0.4),
+        // Numeric kernels: roomy heap, few collections.
+        BenchmarkId::Compress
+        | BenchmarkId::Db
+        | BenchmarkId::Mpegaudio
+        | BenchmarkId::MolDyn
+        | BenchmarkId::MonteCarlo
+        | BenchmarkId::RayTracer => base,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsmt_jvm::{EmitCtx, JvmProcess};
+
+    #[test]
+    fn names_round_trip() {
+        for id in BenchmarkId::ALL {
+            assert_eq!(BenchmarkId::parse(id.name()), Some(id));
+        }
+        assert_eq!(BenchmarkId::parse("MOLDYN"), Some(BenchmarkId::MolDyn));
+        assert_eq!(BenchmarkId::parse("nosuch"), None);
+    }
+
+    #[test]
+    fn bad_partners_are_the_papers_three() {
+        let bad: Vec<_> =
+            BenchmarkId::ALL.iter().filter(|b| b.is_bad_partner()).map(|b| b.name()).collect();
+        assert_eq!(bad, vec!["jess", "javac", "jack"]);
+    }
+
+    #[test]
+    fn build_constructs_every_benchmark() {
+        for id in BenchmarkId::ALL {
+            let threads = if id.is_multithreaded() { 2 } else { 1 };
+            let spec = WorkloadSpec { id, threads, scale: 0.01 };
+            let mut k = build(spec);
+            assert_eq!(k.name(), id.name());
+            assert_eq!(k.num_threads(), threads);
+            // Setup + one step must emit µops without panicking.
+            let mut jvm = JvmProcess::new(1, jvm_config_for(id));
+            k.setup(&mut jvm);
+            let mut out = Vec::new();
+            let mut ctx = EmitCtx::new(&mut jvm, &mut out);
+            let _ = k.step(0, &mut ctx);
+            assert!(!out.is_empty(), "{id} emitted nothing");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "single-threaded")]
+    fn threads_rejected_for_spec_programs() {
+        let _ = build(WorkloadSpec { id: BenchmarkId::Db, threads: 2, scale: 1.0 });
+    }
+
+    #[test]
+    fn single_threaded_list_excludes_pseudojbb() {
+        assert!(!BenchmarkId::SINGLE_THREADED.contains(&BenchmarkId::PseudoJbb));
+        assert_eq!(BenchmarkId::SINGLE_THREADED.len(), 9);
+    }
+}

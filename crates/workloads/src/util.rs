@@ -1,0 +1,268 @@
+//! Shared kernel utilities: deterministic RNG, barriers, work metering.
+
+/// Deterministic splitmix64 RNG for workload data generation.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// Next raw value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+}
+
+/// Outcome of arriving at a [`Barrier`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BarrierWait {
+    /// Not everyone is here; the arriving thread must block.
+    Wait,
+    /// The arriving thread was last: the listed threads must be woken and
+    /// everyone (including the arriver) proceeds.
+    Release(Vec<usize>),
+}
+
+/// A cyclic barrier over a kernel's threads (MolDyn synchronizes every
+/// timestep this way).
+#[derive(Debug, Clone)]
+pub struct Barrier {
+    parties: usize,
+    waiting: Vec<usize>,
+    generations: u64,
+}
+
+impl Barrier {
+    /// A barrier for `parties` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "barrier needs at least one party");
+        Barrier { parties, waiting: Vec::new(), generations: 0 }
+    }
+
+    /// Thread `tid` arrives. Single-party barriers always release.
+    pub fn arrive(&mut self, tid: usize) -> BarrierWait {
+        debug_assert!(!self.waiting.contains(&tid), "double arrival by {tid}");
+        if self.waiting.len() + 1 == self.parties {
+            let woken = std::mem::take(&mut self.waiting);
+            self.generations += 1;
+            BarrierWait::Release(woken)
+        } else {
+            self.waiting.push(tid);
+            BarrierWait::Wait
+        }
+    }
+
+    /// Completed barrier episodes.
+    pub fn generations(&self) -> u64 {
+        self.generations
+    }
+
+    /// Threads currently parked.
+    pub fn waiting(&self) -> usize {
+        self.waiting.len()
+    }
+}
+
+/// Tracks completed vs. total abstract work units across threads.
+#[derive(Debug, Clone)]
+pub struct WorkMeter {
+    done: Vec<u64>,
+    per_thread: u64,
+}
+
+impl WorkMeter {
+    /// A meter for `threads` threads of `per_thread` units each.
+    pub fn new(threads: usize, per_thread: u64) -> Self {
+        WorkMeter { done: vec![0; threads], per_thread: per_thread.max(1) }
+    }
+
+    /// Record `n` units for `tid`; returns true while more work remains
+    /// for that thread.
+    pub fn advance(&mut self, tid: usize, n: u64) -> bool {
+        self.done[tid] = (self.done[tid] + n).min(self.per_thread);
+        self.done[tid] < self.per_thread
+    }
+
+    /// Whether `tid` still has work.
+    pub fn has_work(&self, tid: usize) -> bool {
+        self.done[tid] < self.per_thread
+    }
+
+    /// Units remaining for `tid`.
+    pub fn remaining(&self, tid: usize) -> u64 {
+        self.per_thread - self.done[tid]
+    }
+
+    /// Overall fraction complete.
+    pub fn progress(&self) -> f64 {
+        let total = self.per_thread * self.done.len() as u64;
+        self.done.iter().sum::<u64>() as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_deterministic_and_bounded() {
+        let mut a = Rng::new(5);
+        let mut b = Rng::new(5);
+        for _ in 0..100 {
+            let x = a.below(17);
+            assert_eq!(x, b.below(17));
+            assert!(x < 17);
+        }
+        let u = a.unit();
+        assert!((0.0..1.0).contains(&u));
+    }
+
+    #[test]
+    fn barrier_releases_on_last_arrival() {
+        let mut bar = Barrier::new(3);
+        assert_eq!(bar.arrive(0), BarrierWait::Wait);
+        assert_eq!(bar.arrive(1), BarrierWait::Wait);
+        assert_eq!(bar.waiting(), 2);
+        match bar.arrive(2) {
+            BarrierWait::Release(w) => {
+                assert_eq!(w, vec![0, 1]);
+            }
+            other => panic!("expected release, got {other:?}"),
+        }
+        assert_eq!(bar.generations(), 1);
+        assert_eq!(bar.waiting(), 0);
+    }
+
+    #[test]
+    fn single_party_barrier_never_waits() {
+        let mut bar = Barrier::new(1);
+        assert_eq!(bar.arrive(0), BarrierWait::Release(vec![]));
+        assert_eq!(bar.arrive(0), BarrierWait::Release(vec![]));
+        assert_eq!(bar.generations(), 2);
+    }
+
+    #[test]
+    fn work_meter_progress() {
+        let mut m = WorkMeter::new(2, 10);
+        assert!(m.advance(0, 4));
+        assert!(!m.advance(1, 10));
+        assert!((m.progress() - 0.7).abs() < 1e-12);
+        assert!(m.has_work(0));
+        assert!(!m.has_work(1));
+        assert_eq!(m.remaining(0), 6);
+        assert!(!m.advance(0, 100), "clamps at total");
+        assert_eq!(m.progress(), 1.0);
+    }
+}
+
+/// The benchmark's share of JVM runtime/library code (string handling,
+/// math, collections, I/O buffers): a set of small methods invoked
+/// round-robin during execution.
+///
+/// Real Java programs execute tens of kilobytes of library code besides
+/// their own hot loops; without it, a kernel's trace-cache footprint is
+/// unrealistically tiny and partner-induced trace-cache eviction (the
+/// paper's "bad partner" mechanism, §4.2) has nothing to evict.
+#[derive(Debug, Clone)]
+pub struct LibCode {
+    methods: Vec<jsmt_jvm::MethodId>,
+    cursor: usize,
+}
+
+impl LibCode {
+    /// Register `count` library methods of `bytes_each` compiled bytes.
+    pub fn register(
+        jvm: &mut jsmt_jvm::JvmProcess,
+        label: &str,
+        count: usize,
+        bytes_each: u64,
+    ) -> Self {
+        let methods = (0..count)
+            .map(|i| jvm.methods_mut().register(&format!("{label}.lib#{i}"), bytes_each))
+            .collect();
+        LibCode { methods, cursor: 0 }
+    }
+
+    /// Invoke the next library method with a small body of `work` ALU
+    /// µops. The stride through the method list spreads fetch across the
+    /// whole library footprint.
+    pub fn invoke(&mut self, ctx: &mut jsmt_jvm::EmitCtx<'_>, work: u32) {
+        let m = self.methods[self.cursor % self.methods.len()];
+        self.cursor = self.cursor.wrapping_mul(5).wrapping_add(1);
+        ctx.call(m);
+        ctx.alu(work);
+        ctx.branch(true, true);
+    }
+
+    /// Total registered library code bytes.
+    pub fn footprint(&self, jvm: &jsmt_jvm::JvmProcess) -> u64 {
+        self.methods.iter().map(|&m| jvm.methods().body_of(m).1).sum()
+    }
+}
+
+#[cfg(test)]
+mod lib_code_tests {
+    use super::*;
+    use jsmt_jvm::{EmitCtx, JvmConfig, JvmProcess};
+
+    #[test]
+    fn registers_and_invokes() {
+        let mut jvm = JvmProcess::new(1, JvmConfig::default());
+        let mut lib = LibCode::register(&mut jvm, "Test", 16, 512);
+        assert_eq!(lib.footprint(&jvm), 16 * 512);
+        let mut out = Vec::new();
+        let mut ctx = EmitCtx::new(&mut jvm, &mut out);
+        lib.invoke(&mut ctx, 4);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn cursor_visits_many_methods() {
+        let mut jvm = JvmProcess::new(1, JvmConfig::default());
+        let mut lib = LibCode::register(&mut jvm, "Test", 32, 256);
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for _ in 0..64 {
+            out.clear();
+            let before = jvm.methods().len();
+            let mut ctx = EmitCtx::new(&mut jvm, &mut out);
+            lib.invoke(&mut ctx, 1);
+            let _ = before;
+            seen.insert(lib.cursor);
+        }
+        assert!(seen.len() > 16, "stride must spread invocations");
+    }
+}

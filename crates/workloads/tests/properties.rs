@@ -1,0 +1,129 @@
+//! Property-based tests across the benchmark kernels: for any benchmark,
+//! thread count and scale, the kernel must terminate, emit well-formed
+//! µops, stay deterministic, and respect its blocking protocol.
+
+use jsmt_isa::Region;
+use jsmt_jvm::{EmitCtx, JvmProcess};
+use jsmt_workloads::{build, jvm_config_for, BenchmarkId, StepOutcome, WorkloadSpec};
+use proptest::prelude::*;
+
+fn arb_benchmark() -> impl Strategy<Value = BenchmarkId> {
+    prop::sample::select(BenchmarkId::ALL.to_vec())
+}
+
+/// Drive a kernel to completion in a minimal harness (round-robin over
+/// threads, honouring blocks/wakes/GC), collecting stats.
+fn drive(id: BenchmarkId, threads: usize, scale: f64) -> (u64, u64, u64) {
+    let mut jvm = JvmProcess::new(1, jvm_config_for(id));
+    let mut k = build(WorkloadSpec { id, threads, scale });
+    k.setup(&mut jvm);
+    let mut blocked = vec![false; threads];
+    let mut finished = vec![false; threads];
+    let (mut uops, mut gcs, mut steps) = (0u64, 0u64, 0u64);
+    while finished.iter().any(|f| !f) {
+        steps += 1;
+        assert!(steps < 3_000_000, "runaway: {id} t={threads} s={scale}");
+        let mut progressed = false;
+        for tid in 0..threads {
+            if blocked[tid] || finished[tid] {
+                continue;
+            }
+            progressed = true;
+            let mut out = Vec::new();
+            let mut ctx = EmitCtx::new(&mut jvm, &mut out);
+            let r = k.step(tid, &mut ctx);
+            uops += out.len() as u64;
+            for u in &out {
+                assert!(!u.privileged, "kernels must not emit kernel-mode µops");
+                assert_ne!(Region::of(u.pc), Region::KernelCode);
+            }
+            for &w in &r.wake {
+                assert!(w < threads, "wake index out of range");
+                blocked[w] = false;
+            }
+            match r.outcome {
+                StepOutcome::Blocked(_) => blocked[tid] = true,
+                StepOutcome::Finished => finished[tid] = true,
+                StepOutcome::NeedsGc => {
+                    jvm.collect();
+                    gcs += 1;
+                }
+                StepOutcome::Ran => {}
+            }
+        }
+        assert!(progressed, "all threads blocked with none finished: deadlock in {id}");
+    }
+    (uops, gcs, steps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Every benchmark terminates at any small scale/thread combination
+    /// without deadlock, and scales its work with `scale`.
+    #[test]
+    fn kernels_terminate_and_scale(id in arb_benchmark(), tsel in 1usize..4) {
+        let threads = if id.is_multithreaded() { tsel } else { 1 };
+        // Scales far enough apart that even the coarsest-grained kernel
+        // (MolDyn's timestep count) sees different work totals.
+        let (small, _, _) = drive(id, threads, 0.02);
+        let (large, _, _) = drive(id, threads, 0.3);
+        prop_assert!(small > 0);
+        prop_assert!(
+            large > small,
+            "{id}: work must grow with scale ({small} vs {large})"
+        );
+    }
+
+    /// Kernels are deterministic: the same spec emits the same µop count.
+    #[test]
+    fn kernels_are_deterministic(id in arb_benchmark()) {
+        let threads = if id.is_multithreaded() { 2 } else { 1 };
+        let a = drive(id, threads, 0.01);
+        let b = drive(id, threads, 0.01);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Progress is monotone and ends at 1.0 for every benchmark.
+#[test]
+fn progress_is_monotone() {
+    for id in BenchmarkId::ALL {
+        let threads = if id.is_multithreaded() { 2 } else { 1 };
+        let mut jvm = JvmProcess::new(1, jvm_config_for(id));
+        let mut k = build(WorkloadSpec { id, threads, scale: 0.01 });
+        k.setup(&mut jvm);
+        let mut blocked = vec![false; threads];
+        let mut finished = vec![false; threads];
+        let mut last = 0.0;
+        let mut steps = 0;
+        while finished.iter().any(|f| !f) {
+            steps += 1;
+            assert!(steps < 1_000_000, "runaway {id}");
+            for tid in 0..threads {
+                if blocked[tid] || finished[tid] {
+                    continue;
+                }
+                let mut out = Vec::new();
+                let mut ctx = EmitCtx::new(&mut jvm, &mut out);
+                let r = k.step(tid, &mut ctx);
+                for &w in &r.wake {
+                    blocked[w] = false;
+                }
+                match r.outcome {
+                    StepOutcome::Blocked(_) => blocked[tid] = true,
+                    StepOutcome::Finished => finished[tid] = true,
+                    StepOutcome::NeedsGc => {
+                        jvm.collect();
+                    }
+                    StepOutcome::Ran => {}
+                }
+            }
+            let p = k.progress();
+            assert!(p >= last - 1e-9, "{id}: progress went backwards {last} -> {p}");
+            assert!(p <= 1.0 + 1e-9, "{id}: progress overshot: {p}");
+            last = p;
+        }
+        assert!(last > 0.99, "{id}: progress ended at {last}");
+    }
+}

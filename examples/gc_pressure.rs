@@ -1,0 +1,42 @@
+//! The JVM-runtime angle: sweep the heap size for an allocation-heavy
+//! benchmark and watch collections, GC-thread CPU time, and execution
+//! time move — the "JVM helper threads" effect the paper highlights in
+//! its introduction (the JVM is multithreaded even when the Java program
+//! is not).
+//!
+//! ```text
+//! cargo run --release --example gc_pressure
+//! ```
+
+use jsmt_core::{System, SystemConfig};
+use jsmt_jvm::JvmConfig;
+use jsmt_perfmon::Event;
+use jsmt_workloads::{BenchmarkId, WorkloadSpec};
+
+fn main() {
+    let spec = WorkloadSpec::single(BenchmarkId::Jack).with_scale(0.15);
+    println!("jack (string churn) under shrinking heaps, HT enabled:");
+    println!(
+        "{:>9} {:>10} {:>6} {:>12} {:>10}",
+        "heap", "cycles", "GCs", "gc cycles", "allocs"
+    );
+    for heap_mib in [16u64, 8, 4, 2, 1] {
+        let jvm = JvmConfig::default()
+            .with_heap(heap_mib * 1024 * 1024)
+            .with_survival(0.15);
+        let mut sys = System::new(SystemConfig::p4(true));
+        sys.add_process_with_jvm(spec, jvm);
+        let report = sys.run_to_completion();
+        println!(
+            "{:>6}MiB {:>10} {:>6} {:>12} {:>10}",
+            heap_mib,
+            report.cycles,
+            report.processes[0].gc_count,
+            report.bank.total(Event::GcCycles),
+            report.processes[0].allocations,
+        );
+    }
+    println!();
+    println!("Smaller heaps trade mutator time for collections; the GC thread's");
+    println!("cycles run on the sibling hardware context when HT is enabled.");
+}

@@ -1,0 +1,42 @@
+//! A small multiprogrammed-pairing study (§4.2 in miniature): run a few
+//! benchmark pairs with the paper's re-launch methodology and print their
+//! combined speedups, showing the "bad partner" effect of the
+//! trace-cache-hungry programs.
+//!
+//! ```text
+//! cargo run --release --example pairing_matrix
+//! ```
+
+use jsmt_core::experiments::{run_pair, solo_baseline_cycles, ExperimentCtx};
+use jsmt_workloads::BenchmarkId;
+
+fn main() {
+    let ctx = ExperimentCtx { scale: 0.15, repeats: 4, seed: 0x15_9A55 };
+    // A friendly partner, a memory-bound program, and a bad partner.
+    let picks = [BenchmarkId::Mpegaudio, BenchmarkId::Db, BenchmarkId::Jack];
+
+    println!("solo HT-off baselines (cycles):");
+    let solos: Vec<u64> = picks
+        .iter()
+        .map(|&b| {
+            let s = solo_baseline_cycles(b, &ctx);
+            println!("  {b:<10} {s}");
+            s
+        })
+        .collect();
+
+    println!();
+    println!("combined speedups C_AB = A_S/A_H + B_S/B_H  (1.0 = time sharing, 2.0 = SMP):");
+    println!("{:<12} {:>12} {:>12} {:>12}", "", picks[0], picks[1], picks[2]);
+    for (i, &a) in picks.iter().enumerate() {
+        print!("{:<12}", a.to_string());
+        for (j, &b) in picks.iter().enumerate() {
+            let o = run_pair(a, b, solos[i], solos[j], &ctx);
+            print!(" {:>11.3}", o.combined);
+        }
+        println!();
+    }
+    println!();
+    println!("Pairs involving {} (a paper 'bad partner') should sit lowest:", BenchmarkId::Jack);
+    println!("its compiled-code footprint thrashes the shared 12 Kuop trace cache.");
+}

@@ -1,0 +1,45 @@
+//! Quickstart: assemble the modeled machine, run one benchmark, and read
+//! the performance counters — the `jsmt` equivalent of strapping Brink &
+//! Abyss onto a JVM run.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use jsmt_core::{System, SystemConfig};
+use jsmt_perfmon::Event;
+use jsmt_workloads::{BenchmarkId, WorkloadSpec};
+
+fn main() {
+    // The paper's machine: 2.8 GHz Pentium 4, Hyper-Threading enabled.
+    let config = SystemConfig::p4(true);
+
+    // One JVM process running the MonteCarlo kernel with two threads at a
+    // small scale (so this example finishes in a second or two).
+    let spec = WorkloadSpec::threaded(BenchmarkId::MonteCarlo, 2).with_scale(0.1);
+
+    let mut system = System::new(config);
+    system.add_process(spec);
+    let report = system.run_to_completion();
+
+    println!("benchmark    : {} ({} threads)", spec.id, spec.threads);
+    println!("cycles       : {}", report.cycles);
+    println!("instructions : {}", report.metrics.instructions);
+    println!("IPC          : {:.3}", report.metrics.ipc);
+    println!("CPI          : {:.3}", report.metrics.cpi);
+    println!("OS cycles    : {:.2}%", report.metrics.os_cycle_fraction * 100.0);
+    println!("DT mode      : {:.2}%", report.metrics.dual_thread_fraction * 100.0);
+    println!("TC MPKI      : {:.2}", report.metrics.tc_mpki);
+    println!("L1D MPKI     : {:.2}", report.metrics.l1d_mpki);
+    println!("L2 MPKI      : {:.2}", report.metrics.l2_mpki);
+    println!("GC count     : {}", report.processes[0].gc_count);
+    println!("allocations  : {}", report.processes[0].allocations);
+    println!("ctx switches : {}", report.bank.total(Event::ContextSwitches));
+    println!(
+        "retirement   : 0-uop {:.1}%  1-uop {:.1}%  2-uop {:.1}%  3-uop {:.1}%",
+        report.metrics.retirement.retire0 * 100.0,
+        report.metrics.retirement.retire1 * 100.0,
+        report.metrics.retirement.retire2 * 100.0,
+        report.metrics.retirement.retire3 * 100.0,
+    );
+}

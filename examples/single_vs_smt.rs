@@ -1,0 +1,51 @@
+//! The paper's §4.3 story on one benchmark: a single-threaded Java
+//! program pays for Hyper-Threading's static partitioning, and the
+//! paper's proposed dynamic partitioning recovers the loss.
+//!
+//! ```text
+//! cargo run --release --example single_vs_smt [benchmark]
+//! ```
+
+use jsmt_cpu::Partition;
+use jsmt_core::{System, SystemConfig};
+use jsmt_workloads::{BenchmarkId, WorkloadSpec};
+
+fn run(spec: WorkloadSpec, cfg: SystemConfig) -> u64 {
+    let mut sys = System::new(cfg);
+    sys.add_process(spec);
+    sys.run_to_completion().cycles
+}
+
+fn main() {
+    let id = std::env::args()
+        .nth(1)
+        .and_then(|s| BenchmarkId::parse(&s))
+        .unwrap_or(BenchmarkId::Db);
+    assert!(
+        BenchmarkId::SINGLE_THREADED.contains(&id),
+        "pick one of the nine single-threaded benchmarks"
+    );
+    let spec = WorkloadSpec::single(id).with_scale(0.2);
+
+    let ht_off = run(spec, SystemConfig::p4(false));
+    let ht_static = run(spec, SystemConfig::p4(true));
+    let ht_dynamic = run(spec, SystemConfig::p4(true).with_partition(Partition::Dynamic));
+
+    let pct = |x: u64| (x as f64 - ht_off as f64) / ht_off as f64 * 100.0;
+    println!("benchmark: {id} (single-threaded)");
+    println!("HT disabled              : {ht_off:>10} cycles   (baseline)");
+    println!(
+        "HT enabled, static  part.: {ht_static:>10} cycles   ({:+.2}%)",
+        pct(ht_static)
+    );
+    println!(
+        "HT enabled, dynamic part.: {ht_dynamic:>10} cycles   ({:+.2}%)",
+        pct(ht_dynamic)
+    );
+    println!();
+    println!(
+        "The static partition costs {:+.2}% — the Figure 10 effect; the paper's",
+        pct(ht_static)
+    );
+    println!("proposed dynamic sharing recovers it to {:+.2}%.", pct(ht_dynamic));
+}

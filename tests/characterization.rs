@@ -1,0 +1,147 @@
+//! Calibration tests: each benchmark's microarchitectural signature, as
+//! the paper and the SPECjvm98/Java Grande literature describe them, must
+//! hold when run through the full system. These are the guardrails that
+//! keep future model changes from silently breaking the figures.
+
+use jsmt_core::{RunReport, System, SystemConfig};
+use jsmt_perfmon::Event;
+use jsmt_workloads::{BenchmarkId, WorkloadSpec};
+
+fn run_at(id: BenchmarkId, threads: usize, scale: f64) -> RunReport {
+    let mut sys = System::new(SystemConfig::p4(true).with_max_cycles(600_000_000));
+    sys.add_process(WorkloadSpec { id, threads, scale });
+    sys.run_to_completion()
+}
+
+fn run(id: BenchmarkId, threads: usize) -> RunReport {
+    run_at(id, threads, 0.05)
+}
+
+#[test]
+fn mpegaudio_is_the_best_behaved_program() {
+    // FP-dominated, small hot data, predictable branches → lowest CPI and
+    // near-zero trace-cache pressure.
+    let mpeg = run(BenchmarkId::Mpegaudio, 1);
+    for other in [BenchmarkId::Db, BenchmarkId::Jack, BenchmarkId::Javac, BenchmarkId::Jess] {
+        let o = run(other, 1);
+        assert!(
+            mpeg.metrics.cpi < o.metrics.cpi,
+            "mpegaudio CPI {:.2} must beat {other} {:.2}",
+            mpeg.metrics.cpi,
+            o.metrics.cpi
+        );
+    }
+}
+
+#[test]
+fn db_is_memory_bound() {
+    let db = run(BenchmarkId::Db, 1);
+    let mpeg = run(BenchmarkId::Mpegaudio, 1);
+    assert!(
+        db.metrics.l2_mpki > 3.0 * mpeg.metrics.l2_mpki,
+        "db L2 MPKI {:.1} must dwarf mpegaudio {:.1}",
+        db.metrics.l2_mpki,
+        mpeg.metrics.l2_mpki
+    );
+    assert!(db.metrics.cpi > 2.0, "binary search over MBs is slow: {:.2}", db.metrics.cpi);
+}
+
+#[test]
+fn bad_partners_have_the_largest_trace_cache_pressure() {
+    // The §4.2 mechanism: jack, javac and jess stream the most code.
+    // Larger scale: the signature is a steady-state property and the
+    // cold compulsory misses of a tiny run would drown it.
+    let mut tc: Vec<(BenchmarkId, f64)> = BenchmarkId::SINGLE_THREADED
+        .iter()
+        .map(|&id| (id, run_at(id, 1, 0.2).metrics.tc_mpki))
+        .collect();
+    tc.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaNs"));
+    let worst4: Vec<BenchmarkId> = tc.iter().take(4).map(|(id, _)| *id).collect();
+    for bad in [BenchmarkId::Jack, BenchmarkId::Javac, BenchmarkId::Jess] {
+        assert!(
+            worst4.contains(&bad),
+            "{bad} must be in the TC-pressure top 4, got {worst4:?} from {tc:?}"
+        );
+    }
+}
+
+#[test]
+fn pseudojbb_has_the_largest_memory_footprint_effects() {
+    // Steady-state property: use a scale past the cold-start regime.
+    let jbb = run_at(BenchmarkId::PseudoJbb, 2, 0.2);
+    for other in BenchmarkId::MULTITHREADED.iter().filter(|&&b| b != BenchmarkId::PseudoJbb) {
+        let o = run_at(*other, 2, 0.2);
+        assert!(
+            jbb.metrics.l2_mpki > o.metrics.l2_mpki,
+            "PseudoJBB L2 MPKI {:.1} must exceed {other} {:.1}",
+            jbb.metrics.l2_mpki,
+            o.metrics.l2_mpki
+        );
+        assert!(
+            jbb.metrics.itlb_mpki >= o.metrics.itlb_mpki,
+            "PseudoJBB ITLB MPKI must be the largest"
+        );
+    }
+}
+
+#[test]
+fn raytracer_is_the_sync_heaviest_jgf_kernel() {
+    let rt = run(BenchmarkId::RayTracer, 2);
+    let md = run(BenchmarkId::MolDyn, 2);
+    let mc = run(BenchmarkId::MonteCarlo, 2);
+    assert!(
+        rt.metrics.dual_thread_fraction < md.metrics.dual_thread_fraction
+            && rt.metrics.dual_thread_fraction < mc.metrics.dual_thread_fraction,
+        "RayTracer DT% {:.2} must be the lowest (MolDyn {:.2}, MonteCarlo {:.2})",
+        rt.metrics.dual_thread_fraction,
+        md.metrics.dual_thread_fraction,
+        mc.metrics.dual_thread_fraction
+    );
+    assert!(
+        rt.metrics.os_cycle_fraction > md.metrics.os_cycle_fraction,
+        "RayTracer's contended row dispatch must cost more OS time"
+    );
+}
+
+#[test]
+fn allocation_rates_rank_as_published() {
+    // jack (string churn) and javac (AST churn) allocate far more per
+    // work than the numeric kernels.
+    let allocs_per_ki = |id: BenchmarkId| {
+        let r = run(id, 1);
+        r.processes[0].allocations as f64 / (r.metrics.instructions as f64 / 1000.0)
+    };
+    let jack = allocs_per_ki(BenchmarkId::Jack);
+    let compress = allocs_per_ki(BenchmarkId::Compress);
+    let moldyn = allocs_per_ki(BenchmarkId::MolDyn);
+    assert!(jack > 10.0 * compress.max(0.001), "jack {jack:.2} vs compress {compress:.2}");
+    assert!(jack > 10.0 * moldyn.max(0.001), "jack {jack:.2} vs MolDyn {moldyn:.2}");
+}
+
+#[test]
+fn branch_behaviour_signatures() {
+    // mpegaudio's filterbank loops are the most predictable code in the
+    // suite; javac's lexer/parser control flow is the least. The numeric
+    // kernels sit between: their loop branches train well but MonteCarlo's
+    // payoff test and MolDyn's cutoff are genuinely data-dependent.
+    let mpeg = run_at(BenchmarkId::Mpegaudio, 1, 0.15).metrics.branch_mispredict_ratio;
+    let javac = run_at(BenchmarkId::Javac, 1, 0.15).metrics.branch_mispredict_ratio;
+    assert!(
+        mpeg < javac,
+        "mpegaudio ({mpeg:.3}) must predict better than javac ({javac:.3})"
+    );
+    let rt = run_at(BenchmarkId::RayTracer, 2, 0.15).metrics.branch_mispredict_ratio;
+    assert!(rt < javac, "RayTracer ({rt:.3}) must predict better than javac ({javac:.3})");
+}
+
+#[test]
+fn monitor_contention_happens_where_expected() {
+    let rt = run(BenchmarkId::RayTracer, 4);
+    assert!(
+        rt.bank.total(Event::MonitorContended) > 0,
+        "four tracers must contend on the row monitor"
+    );
+    let md = run(BenchmarkId::MolDyn, 4);
+    // MolDyn synchronizes by barrier, not monitor.
+    assert_eq!(md.bank.total(Event::MonitorContended), 0);
+}

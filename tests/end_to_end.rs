@@ -1,0 +1,167 @@
+//! Cross-crate integration tests: every benchmark runs end-to-end through
+//! the full stack (workload kernel → JVM runtime → OS scheduler → SMT
+//! core → counters) under both machine configurations, and the counter
+//! architecture stays internally consistent.
+
+use jsmt_core::{RunReport, System, SystemConfig};
+use jsmt_perfmon::{Event, LogicalCpu};
+use jsmt_workloads::{BenchmarkId, WorkloadSpec};
+
+const SCALE: f64 = 0.02;
+
+fn run(id: BenchmarkId, threads: usize, ht: bool) -> RunReport {
+    let mut sys = System::new(SystemConfig::p4(ht).with_max_cycles(600_000_000));
+    sys.add_process(WorkloadSpec { id, threads, scale: SCALE });
+    sys.run_to_completion()
+}
+
+#[test]
+fn every_benchmark_completes_with_ht_enabled() {
+    for id in BenchmarkId::ALL {
+        let threads = if id.is_multithreaded() { 2 } else { 1 };
+        let r = run(id, threads, true);
+        assert_eq!(r.processes[0].completions, 1, "{id}");
+        assert!(r.metrics.instructions > 5_000, "{id} retired {}", r.metrics.instructions);
+        assert!(r.metrics.ipc > 0.01 && r.metrics.ipc < 3.0, "{id} ipc {}", r.metrics.ipc);
+    }
+}
+
+#[test]
+fn every_benchmark_completes_with_ht_disabled() {
+    for id in BenchmarkId::ALL {
+        let threads = if id.is_multithreaded() { 2 } else { 1 };
+        let r = run(id, threads, false);
+        assert_eq!(r.processes[0].completions, 1, "{id}");
+        // With HT off, the second context must never be active.
+        assert_eq!(
+            r.bank.get(LogicalCpu::Lp1, Event::ActiveCycles),
+            0,
+            "{id}: lcpu1 ran with HT disabled"
+        );
+        assert_eq!(r.bank.total(Event::DualThreadCycles), 0, "{id}");
+    }
+}
+
+#[test]
+fn retirement_histogram_covers_every_cycle() {
+    let r = run(BenchmarkId::Compress, 1, true);
+    let hist = r.bank.total(Event::CyclesRetire0)
+        + r.bank.total(Event::CyclesRetire1)
+        + r.bank.total(Event::CyclesRetire2)
+        + r.bank.total(Event::CyclesRetire3);
+    assert_eq!(hist, r.cycles);
+}
+
+#[test]
+fn counter_sanity_invariants() {
+    let r = run(BenchmarkId::Jess, 1, true);
+    let b = &r.bank;
+    // Misses never exceed lookups.
+    assert!(b.total(Event::TcMisses) <= b.total(Event::TcLookups));
+    assert!(b.total(Event::L1dMisses) <= b.total(Event::L1dLookups));
+    assert!(b.total(Event::L2Misses) <= b.total(Event::L2Lookups));
+    assert!(b.total(Event::ItlbMisses) <= b.total(Event::ItlbLookups));
+    assert!(b.total(Event::DtlbMisses) <= b.total(Event::DtlbLookups));
+    assert!(b.total(Event::BtbMisses) <= b.total(Event::BtbLookups));
+    assert!(b.total(Event::BranchMispredicts) <= b.total(Event::BranchesRetired) + b.total(Event::Squashes));
+    // Kernel µops are a subset of all µops.
+    assert!(b.total(Event::UopsRetiredKernel) <= b.total(Event::UopsRetired));
+    // OS cycles are a subset of active cycles.
+    assert!(b.total(Event::OsCycles) <= b.total(Event::ActiveCycles));
+    // Memory accesses are a subset of L2 misses.
+    assert_eq!(b.total(Event::MemAccesses), b.total(Event::L2Misses));
+    // Retired loads/stores imply lookups happened.
+    assert!(b.total(Event::L1dLookups) >= b.total(Event::LoadsRetired));
+}
+
+#[test]
+fn eight_threads_multiplex_and_complete() {
+    let r = run(BenchmarkId::PseudoJbb, 8, true);
+    assert_eq!(r.processes[0].completions, 1);
+    assert!(r.bank.total(Event::ContextSwitches) > 8, "8 threads on 2 contexts must switch");
+    assert!(r.bank.total(Event::TimerInterrupts) > 0);
+}
+
+#[test]
+fn multiprogrammed_processes_share_the_machine() {
+    let mut sys = System::new(SystemConfig::p4(true).with_max_cycles(600_000_000));
+    sys.add_process(WorkloadSpec::single(BenchmarkId::Compress).with_scale(SCALE));
+    sys.add_process(WorkloadSpec::single(BenchmarkId::Mpegaudio).with_scale(SCALE));
+    let r = sys.run_to_completion();
+    assert!(r.processes.iter().all(|p| p.completions == 1));
+    assert!(
+        r.metrics.dual_thread_fraction > 0.3,
+        "independent processes should co-run: {}",
+        r.metrics.dual_thread_fraction
+    );
+}
+
+#[test]
+fn gc_thread_runs_for_allocation_heavy_workloads() {
+    let mut sys = System::new(SystemConfig::p4(true).with_max_cycles(600_000_000));
+    sys.add_process_with_jvm(
+        WorkloadSpec::single(BenchmarkId::Jack).with_scale(0.1),
+        jsmt_jvm::JvmConfig::default().with_heap(1 << 20).with_survival(0.15),
+    );
+    let r = sys.run_to_completion();
+    assert!(r.processes[0].gc_count > 0);
+    assert!(r.bank.total(Event::GcCycles) > 0);
+    assert!(r.bank.total(Event::GcCount) == r.processes[0].gc_count);
+}
+
+#[test]
+fn relaunch_methodology_reports_durations() {
+    let mut sys = System::new(SystemConfig::p4(true).with_max_cycles(600_000_000));
+    sys.add_relaunching_process(WorkloadSpec::single(BenchmarkId::Db).with_scale(SCALE));
+    let r = sys.run_until_completions(4);
+    let p = &r.processes[0];
+    assert!(p.completions >= 4);
+    let d = p.durations();
+    assert_eq!(d.len() as u64, p.completions);
+    // Warm runs should be no slower than the cold first run.
+    let warm_mean = p.mean_duration();
+    assert!(warm_mean <= d[0] as f64 * 1.05, "warm {warm_mean} vs cold {}", d[0]);
+}
+
+#[test]
+fn interval_sampling_produces_a_time_series() {
+    let mut sys = System::new(SystemConfig::p4(true).with_max_cycles(600_000_000));
+    sys.add_process(WorkloadSpec::single(BenchmarkId::Mpegaudio).with_scale(SCALE));
+    sys.attach_sampler(50_000);
+    let r = sys.run_to_completion();
+    let sampler = sys.sampler().expect("attached");
+    let series = sampler.series(Event::UopsRetired);
+    assert!(series.len() >= 2, "run of {} cycles should yield samples", r.cycles);
+    let total: u64 = series.iter().sum();
+    assert!(total <= r.bank.total(Event::UopsRetired));
+    assert!(total > 0);
+}
+
+#[test]
+fn pmu_tool_reads_run_counters() {
+    use jsmt_perfmon::{CounterConfig, Pmu};
+    let mut sys = System::new(SystemConfig::p4(true).with_max_cycles(600_000_000));
+    sys.add_process(WorkloadSpec::single(BenchmarkId::Compress).with_scale(SCALE));
+    let r = sys.run_to_completion();
+    let mut pmu = Pmu::new();
+    let uops = pmu.program(CounterConfig::all(Event::UopsRetired)).unwrap();
+    let tc = pmu.program(CounterConfig::on(Event::TcMisses, LogicalCpu::Lp0)).unwrap();
+    assert_eq!(pmu.read(uops, &r.bank).unwrap(), r.bank.total(Event::UopsRetired));
+    assert_eq!(pmu.read(tc, &r.bank).unwrap(), r.bank.get(LogicalCpu::Lp0, Event::TcMisses));
+}
+
+#[test]
+fn background_jit_thread_compiles_methods() {
+    let mut sys = System::new(SystemConfig::p4(true).with_max_cycles(600_000_000));
+    sys.add_process_with_jvm(
+        WorkloadSpec::single(BenchmarkId::Javac).with_scale(0.05),
+        jsmt_workloads::jvm_config_for(BenchmarkId::Javac).with_background_jit(true),
+    );
+    let r = sys.run_to_completion();
+    assert_eq!(r.processes[0].completions, 1);
+    assert!(
+        r.processes[0].compiles_done > 10,
+        "javac's many hot methods must flow through the compiler thread: {}",
+        r.processes[0].compiles_done
+    );
+}

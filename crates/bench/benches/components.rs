@@ -112,10 +112,18 @@ fn bench_kernel_codegen(c: &mut Criterion) {
 
 fn bench_workload_emission(c: &mut Criterion) {
     let mut g = c.benchmark_group("workloads");
-    for id in [BenchmarkId::Compress, BenchmarkId::MolDyn, BenchmarkId::PseudoJbb] {
+    for id in [
+        BenchmarkId::Compress,
+        BenchmarkId::MolDyn,
+        BenchmarkId::PseudoJbb,
+    ] {
         // Single-threaded so stepping thread 0 alone never parks on a
         // barrier (this bench measures emission cost, not scheduling).
-        let spec = WorkloadSpec { id, threads: 1, scale: 1.0 };
+        let spec = WorkloadSpec {
+            id,
+            threads: 1,
+            scale: 1.0,
+        };
         let mut jvm = jsmt_jvm::JvmProcess::new(1, jvm_config_for(id));
         let mut k = build(spec);
         k.setup(&mut jvm);

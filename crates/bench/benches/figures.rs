@@ -9,7 +9,11 @@ use jsmt_core::experiments::ExperimentCtx;
 
 /// Tiny inputs: these benches track harness cost, not paper numbers.
 fn ctx() -> ExperimentCtx {
-    ExperimentCtx { scale: 0.02, repeats: 2, seed: 0x15_9A55 }
+    ExperimentCtx {
+        scale: 0.02,
+        repeats: 2,
+        seed: 0x15_9A55,
+    }
 }
 
 fn bench_tables_and_figures(c: &mut Criterion) {
@@ -17,10 +21,21 @@ fn bench_tables_and_figures(c: &mut Criterion) {
     g.sample_size(10);
     // Everything except the 81-pair grid experiments, which get a
     // dedicated group below.
-    for name in
-        ["table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig10", "fig11",
-         "fig12", "ablation-partition", "ablation-l1"]
-    {
+    for name in [
+        "table2",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig10",
+        "fig11",
+        "fig12",
+        "ablation-partition",
+        "ablation-l1",
+    ] {
         g.bench_function(name, |b| b.iter(|| run_experiment(name, &ctx()).len()));
     }
     g.finish();

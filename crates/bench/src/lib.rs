@@ -15,14 +15,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use jsmt_core::experiments::{self as exp, ExperimentCtx, MpkiKind};
+use jsmt_core::experiments::{self as exp, Engine, ExperimentCtx, MpkiKind, Parallelism};
 
 /// All experiment names, in paper order. `pairing-suite` renders
 /// Figures 8, 9 and the offline analysis from a single grid pass.
 pub const EXPERIMENTS: [&str; 20] = [
-    "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "fig11", "fig12", "pairing-analysis", "pairing-suite", "pairing-prediction",
-    "ablation-partition", "ablation-l1", "ablation-prefetch", "ablation-jit",
+    "table2",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "pairing-analysis",
+    "pairing-suite",
+    "pairing-prediction",
+    "ablation-partition",
+    "ablation-l1",
+    "ablation-prefetch",
+    "ablation-jit",
 ];
 
 /// Parsed command line.
@@ -34,6 +51,20 @@ pub struct Cli {
     pub ctx: ExperimentCtx,
     /// Emit machine-readable CSV instead of the paper-style rendering.
     pub csv: bool,
+    /// Worker count from `--jobs N` (`None` = resolve from `JSMT_JOBS`
+    /// or the host core count at run time).
+    pub jobs: Option<usize>,
+}
+
+impl Cli {
+    /// Resolve the parallelism this invocation asked for.
+    pub fn parallelism(&self) -> Parallelism {
+        match self.jobs {
+            Some(0) | Some(1) => Parallelism::Serial,
+            Some(n) => Parallelism::Threads(n),
+            None => Parallelism::from_env(),
+        }
+    }
 }
 
 /// Parse arguments (without the program name).
@@ -45,19 +76,26 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut ctx = ExperimentCtx::default();
     let mut experiment: Option<String> = None;
     let mut csv = false;
+    let mut jobs = None;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => ctx = ExperimentCtx::quick(),
             "--full" => ctx = ExperimentCtx::full(),
             "--csv" => csv = true,
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = Some(v.parse::<usize>().map_err(|e| format!("bad --jobs: {e}"))?);
+            }
             "--scale" => {
                 let v = it.next().ok_or("--scale needs a value")?;
                 ctx.scale = v.parse::<f64>().map_err(|e| format!("bad --scale: {e}"))?;
             }
             "--repeats" => {
                 let v = it.next().ok_or("--repeats needs a value")?;
-                ctx.repeats = v.parse::<u64>().map_err(|e| format!("bad --repeats: {e}"))?;
+                ctx.repeats = v
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad --repeats: {e}"))?;
             }
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
@@ -76,28 +114,43 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     if experiment != "all" && !EXPERIMENTS.contains(&experiment.as_str()) {
         return Err(format!("unknown experiment '{experiment}'\n{}", usage()));
     }
-    Ok(Cli { experiment, ctx, csv })
+    Ok(Cli {
+        experiment,
+        ctx,
+        csv,
+        jobs,
+    })
 }
 
 /// The usage string.
 pub fn usage() -> String {
     format!(
-        "usage: repro [--quick|--full] [--csv] [--scale X] [--repeats N] [--seed S] <experiment>\n\
-         experiments: {} all",
+        "usage: repro [--quick|--full] [--csv] [--scale X] [--repeats N] [--seed S] [--jobs N] <experiment>\n\
+         experiments: {} all\n\
+         --jobs N fans independent simulations over N worker threads (0/1 = serial;\n\
+         default: JSMT_JOBS or all cores). Results are bit-identical at any job count.",
         EXPERIMENTS.join(" ")
     )
 }
 
-/// Run one experiment and return its rendered output.
+/// Run one experiment serially and return its rendered output.
 pub fn run_experiment(name: &str, ctx: &ExperimentCtx) -> String {
     run_experiment_fmt(name, ctx, false)
 }
 
-/// Run one experiment, rendering either the paper-style artifact or CSV.
+/// Run one experiment serially, rendering either the paper-style
+/// artifact or CSV.
 pub fn run_experiment_fmt(name: &str, ctx: &ExperimentCtx, csv: bool) -> String {
+    run_experiment_on(&Engine::serial(), name, ctx, csv)
+}
+
+/// Run one experiment on `engine`, rendering either the paper-style
+/// artifact or CSV. The rendered bytes are bit-identical for every
+/// [`Parallelism`] setting (enforced by `tests/engine_determinism.rs`).
+pub fn run_experiment_on(engine: &Engine, name: &str, ctx: &ExperimentCtx, csv: bool) -> String {
     match name {
         "table2" => {
-            let pts = exp::characterize_mt(&[2, 8], &[true], ctx);
+            let pts = exp::characterize_mt_on(engine, &[2, 8], &[true], ctx);
             if csv {
                 exp::csv_mt(&pts)
             } else {
@@ -105,7 +158,7 @@ pub fn run_experiment_fmt(name: &str, ctx: &ExperimentCtx, csv: bool) -> String 
             }
         }
         "fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" => {
-            let pts = exp::characterize_mt(&[2], &[false, true], ctx);
+            let pts = exp::characterize_mt_on(engine, &[2], &[false, true], ctx);
             if csv {
                 exp::csv_mt(&pts)
             } else {
@@ -113,7 +166,7 @@ pub fn run_experiment_fmt(name: &str, ctx: &ExperimentCtx, csv: bool) -> String 
             }
         }
         "fig8" | "fig9" | "pairing-analysis" | "pairing-suite" | "pairing-prediction" => {
-            let grid = exp::pair_matrix(ctx);
+            let grid = exp::pair_matrix_on(engine, ctx);
             if csv {
                 return exp::csv_grid(&grid);
             }
@@ -132,7 +185,7 @@ pub fn run_experiment_fmt(name: &str, ctx: &ExperimentCtx, csv: bool) -> String 
             }
         }
         "fig10" => {
-            let pts = exp::fig10_single_thread_impact(ctx);
+            let pts = exp::fig10_single_thread_impact_on(engine, ctx);
             if csv {
                 exp::csv_single(&pts)
             } else {
@@ -140,7 +193,7 @@ pub fn run_experiment_fmt(name: &str, ctx: &ExperimentCtx, csv: bool) -> String 
             }
         }
         "fig11" => {
-            let pts = exp::fig11_self_pairs(ctx);
+            let pts = exp::fig11_self_pairs_on(engine, ctx);
             if csv {
                 let mut c = jsmt_report::Csv::new(vec!["benchmark".into(), "combined".into()]);
                 for (id, v) in &pts {
@@ -152,7 +205,7 @@ pub fn run_experiment_fmt(name: &str, ctx: &ExperimentCtx, csv: bool) -> String 
             }
         }
         "fig12" => {
-            let pts = exp::fig12_ipc_vs_threads(&[1, 2, 4, 8, 16], ctx);
+            let pts = exp::fig12_ipc_vs_threads_on(engine, &[1, 2, 4, 8, 16], ctx);
             if csv {
                 exp::csv_threads(&pts)
             } else {
@@ -160,7 +213,7 @@ pub fn run_experiment_fmt(name: &str, ctx: &ExperimentCtx, csv: bool) -> String 
             }
         }
         "ablation-partition" => {
-            let pts = exp::ablation_partition(ctx);
+            let pts = exp::ablation_partition_on(engine, ctx);
             if csv {
                 exp::csv_partition(&pts)
             } else {
@@ -168,7 +221,7 @@ pub fn run_experiment_fmt(name: &str, ctx: &ExperimentCtx, csv: bool) -> String 
             }
         }
         "ablation-l1" => {
-            let pts = exp::ablation_l1(&[8, 16, 32, 64], ctx);
+            let pts = exp::ablation_l1_on(engine, &[8, 16, 32, 64], ctx);
             if csv {
                 exp::csv_l1(&pts)
             } else {
@@ -176,7 +229,7 @@ pub fn run_experiment_fmt(name: &str, ctx: &ExperimentCtx, csv: bool) -> String 
             }
         }
         "ablation-prefetch" => {
-            let pts = exp::ablation_prefetch(ctx);
+            let pts = exp::ablation_prefetch_on(engine, ctx);
             if csv {
                 exp::csv_prefetch(&pts)
             } else {
@@ -184,7 +237,7 @@ pub fn run_experiment_fmt(name: &str, ctx: &ExperimentCtx, csv: bool) -> String 
             }
         }
         "ablation-jit" => {
-            let pts = exp::ablation_jit(ctx);
+            let pts = exp::ablation_jit_on(engine, ctx);
             if csv {
                 exp::csv_jit(&pts)
             } else {
@@ -210,9 +263,16 @@ pub fn render_mt_figure(name: &str, pts: &[exp::MtPoint]) -> String {
     }
 }
 
-/// Run every experiment, sharing measurement passes where the paper's
-/// figures share data.
+/// Run every experiment serially, sharing measurement passes where the
+/// paper's figures share data.
 pub fn run_all(ctx: &ExperimentCtx) -> String {
+    run_all_on(&Engine::serial(), ctx)
+}
+
+/// Run every experiment on `engine`, sharing measurement passes where
+/// the paper's figures share data (and solo baselines across the
+/// pairing grid and Figure 11 via the engine's cache).
+pub fn run_all_on(engine: &Engine, ctx: &ExperimentCtx) -> String {
     let mut out = String::new();
     let mut emit = |s: String| {
         out.push_str(&s);
@@ -220,26 +280,26 @@ pub fn run_all(ctx: &ExperimentCtx) -> String {
     };
 
     // Table 2 (2 and 8 threads, HT on).
-    emit(run_experiment("table2", ctx));
+    emit(run_experiment_on(engine, "table2", ctx, false));
     // Figures 1-7 share one characterization pass.
-    let pts = exp::characterize_mt(&[2], &[false, true], ctx);
+    let pts = exp::characterize_mt_on(engine, &[2], &[false, true], ctx);
     for fig in ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"] {
         emit(render_mt_figure(fig, &pts));
     }
     // Figures 8-9 + offline analysis share the pairing grid.
-    let grid = exp::pair_matrix(ctx);
+    let grid = exp::pair_matrix_on(engine, ctx);
     emit(exp::render_fig8(&grid));
     emit(exp::render_fig9(&grid));
     emit(exp::render_pairing_analysis(&grid));
     emit(exp::render_pairing_prediction(&grid, ctx));
     // The rest.
-    emit(run_experiment("fig10", ctx));
-    emit(run_experiment("fig11", ctx));
-    emit(run_experiment("fig12", ctx));
-    emit(run_experiment("ablation-partition", ctx));
-    emit(run_experiment("ablation-l1", ctx));
-    emit(run_experiment("ablation-prefetch", ctx));
-    emit(run_experiment("ablation-jit", ctx));
+    emit(run_experiment_on(engine, "fig10", ctx, false));
+    emit(run_experiment_on(engine, "fig11", ctx, false));
+    emit(run_experiment_on(engine, "fig12", ctx, false));
+    emit(run_experiment_on(engine, "ablation-partition", ctx, false));
+    emit(run_experiment_on(engine, "ablation-l1", ctx, false));
+    emit(run_experiment_on(engine, "ablation-prefetch", ctx, false));
+    emit(run_experiment_on(engine, "ablation-jit", ctx, false));
     out
 }
 
@@ -269,6 +329,20 @@ mod tests {
         assert!(parse_args(&s(&[])).is_err());
         assert!(parse_args(&s(&["--bogus", "fig1"])).is_err());
         assert!(parse_args(&s(&["fig1", "fig2"])).is_err());
+    }
+
+    #[test]
+    fn jobs_flag_maps_to_parallelism() {
+        let cli = parse_args(&s(&["--jobs", "4", "fig1"])).unwrap();
+        assert_eq!(cli.jobs, Some(4));
+        assert_eq!(cli.parallelism(), Parallelism::Threads(4));
+        // 0 and 1 both mean serial.
+        for v in ["0", "1"] {
+            let cli = parse_args(&s(&["--jobs", v, "fig1"])).unwrap();
+            assert_eq!(cli.parallelism(), Parallelism::Serial);
+        }
+        assert!(parse_args(&s(&["--jobs", "x", "fig1"])).is_err());
+        assert!(parse_args(&s(&["--jobs"])).is_err());
     }
 
     #[test]

@@ -1,21 +1,30 @@
 //! The `repro` binary: regenerate any table or figure of the paper.
 
-use jsmt_bench::{parse_args, run_all, run_experiment_fmt, usage};
+use jsmt_bench::{parse_args, run_all_on, run_experiment_on, usage};
+use jsmt_core::experiments::Engine;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_args(&args) {
         Ok(cli) => {
+            let engine = Engine::new(cli.parallelism());
             eprintln!(
-                "# jsmt repro: experiment={} scale={} repeats={} seed={:#x}",
-                cli.experiment, cli.ctx.scale, cli.ctx.repeats, cli.ctx.seed
+                "# jsmt repro: experiment={} scale={} repeats={} seed={:#x} parallelism={:?}",
+                cli.experiment,
+                cli.ctx.scale,
+                cli.ctx.repeats,
+                cli.ctx.seed,
+                engine.parallelism()
             );
             let out = if cli.experiment == "all" {
-                run_all(&cli.ctx)
+                run_all_on(&engine, &cli.ctx)
             } else {
-                run_experiment_fmt(&cli.experiment, &cli.ctx, cli.csv)
+                run_experiment_on(&engine, &cli.experiment, &cli.ctx, cli.csv)
             };
             println!("{out}");
+            // Per-stage timing + baseline-cache stats, so the --jobs
+            // speedup is observable without external tooling.
+            eprint!("{}", engine.timing_report());
         }
         Err(e) => {
             eprintln!("{e}");

@@ -13,7 +13,7 @@ use jsmt_report::Table;
 use jsmt_stats::pct_change;
 use jsmt_workloads::{BenchmarkId, WorkloadSpec};
 
-use super::ExperimentCtx;
+use super::{Engine, ExperimentCtx};
 use crate::{System, SystemConfig};
 
 /// One benchmark under the three partitioning regimes.
@@ -35,11 +35,18 @@ fn run_with(spec: WorkloadSpec, cfg: SystemConfig) -> u64 {
     sys.run_to_completion().cycles
 }
 
-/// The §4.3 ablation over the single-threaded benchmarks.
+/// The §4.3 ablation over the single-threaded benchmarks (serial).
 pub fn ablation_partition(ctx: &ExperimentCtx) -> Vec<PartitionPoint> {
-    BenchmarkId::SINGLE_THREADED
-        .iter()
-        .map(|&id| {
+    ablation_partition_on(&Engine::serial(), ctx)
+}
+
+/// The §4.3 ablation on `engine`: one job per benchmark (each job runs
+/// the three partitioning regimes).
+pub fn ablation_partition_on(engine: &Engine, ctx: &ExperimentCtx) -> Vec<PartitionPoint> {
+    engine.run(
+        "ablation-partition",
+        BenchmarkId::SINGLE_THREADED.to_vec(),
+        |&id| {
             let spec = WorkloadSpec::single(id).with_scale(ctx.scale);
             PartitionPoint {
                 id,
@@ -52,8 +59,8 @@ pub fn ablation_partition(ctx: &ExperimentCtx) -> Vec<PartitionPoint> {
                         .with_seed(ctx.seed),
                 ),
             }
-        })
-        .collect()
+        },
+    )
 }
 
 /// Render the partitioning ablation.
@@ -73,8 +80,14 @@ pub fn render_ablation_partition(points: &[PartitionPoint]) -> String {
             format!("{}", p.cycles_ht_off),
             format!("{}", p.cycles_static),
             format!("{}", p.cycles_dynamic),
-            format!("{:+.2}%", pct_change(p.cycles_ht_off as f64, p.cycles_static as f64)),
-            format!("{:+.2}%", pct_change(p.cycles_ht_off as f64, p.cycles_dynamic as f64)),
+            format!(
+                "{:+.2}%",
+                pct_change(p.cycles_ht_off as f64, p.cycles_static as f64)
+            ),
+            format!(
+                "{:+.2}%",
+                pct_change(p.cycles_ht_off as f64, p.cycles_dynamic as f64)
+            ),
         ]);
     }
     t.render()
@@ -93,27 +106,33 @@ pub struct L1Point {
     pub l1d_mpki: f64,
 }
 
-/// The §1 larger-L1 ablation over the multithreaded benchmarks.
+/// The §1 larger-L1 ablation over the multithreaded benchmarks (serial).
 pub fn ablation_l1(sizes_kib: &[usize], ctx: &ExperimentCtx) -> Vec<L1Point> {
-    let mut out = Vec::new();
-    for &id in &BenchmarkId::MULTITHREADED {
-        for &kib in sizes_kib {
-            let cfg = SystemConfig::p4(true)
-                .with_mem(MemConfig::p4(true).with_l1d_kib(kib))
-                .with_seed(ctx.seed);
-            let spec = WorkloadSpec::threaded(id, 2).with_scale(ctx.scale);
-            let mut sys = System::new(cfg);
-            sys.add_process(spec);
-            let report = sys.run_to_completion();
-            out.push(L1Point {
-                id,
-                l1d_kib: kib,
-                ipc: report.metrics.ipc,
-                l1d_mpki: report.metrics.l1d_mpki,
-            });
+    ablation_l1_on(&Engine::serial(), sizes_kib, ctx)
+}
+
+/// The §1 larger-L1 ablation on `engine`: one job per
+/// `(benchmark, L1D size)` cell.
+pub fn ablation_l1_on(engine: &Engine, sizes_kib: &[usize], ctx: &ExperimentCtx) -> Vec<L1Point> {
+    let cells: Vec<(BenchmarkId, usize)> = BenchmarkId::MULTITHREADED
+        .iter()
+        .flat_map(|&id| sizes_kib.iter().map(move |&kib| (id, kib)))
+        .collect();
+    engine.run("ablation-l1", cells, |&(id, kib)| {
+        let cfg = SystemConfig::p4(true)
+            .with_mem(MemConfig::p4(true).with_l1d_kib(kib))
+            .with_seed(ctx.seed);
+        let spec = WorkloadSpec::threaded(id, 2).with_scale(ctx.scale);
+        let mut sys = System::new(cfg);
+        sys.add_process(spec);
+        let report = sys.run_to_completion();
+        L1Point {
+            id,
+            l1d_kib: kib,
+            ipc: report.metrics.ipc,
+            l1d_mpki: report.metrics.l1d_mpki,
         }
-    }
-    out
+    })
 }
 
 /// Render the L1 ablation.
@@ -142,10 +161,20 @@ mod tests {
 
     #[test]
     fn larger_l1_reduces_misses() {
-        let ctx = ExperimentCtx { scale: 0.02, repeats: 3, seed: 1 };
+        let ctx = ExperimentCtx {
+            scale: 0.02,
+            repeats: 3,
+            seed: 1,
+        };
         let pts = ablation_l1(&[8, 64], &ctx);
-        let mol8 = pts.iter().find(|p| p.id == BenchmarkId::MolDyn && p.l1d_kib == 8).unwrap();
-        let mol64 = pts.iter().find(|p| p.id == BenchmarkId::MolDyn && p.l1d_kib == 64).unwrap();
+        let mol8 = pts
+            .iter()
+            .find(|p| p.id == BenchmarkId::MolDyn && p.l1d_kib == 8)
+            .unwrap();
+        let mol64 = pts
+            .iter()
+            .find(|p| p.id == BenchmarkId::MolDyn && p.l1d_kib == 64)
+            .unwrap();
         assert!(
             mol64.l1d_mpki < mol8.l1d_mpki,
             "8x larger L1D must reduce MPKI: {} vs {}",
@@ -156,12 +185,18 @@ mod tests {
 
     #[test]
     fn dynamic_partition_not_slower_than_static() {
-        let ctx = ExperimentCtx { scale: 0.02, repeats: 3, seed: 1 };
+        let ctx = ExperimentCtx {
+            scale: 0.02,
+            repeats: 3,
+            seed: 1,
+        };
         let spec = WorkloadSpec::single(BenchmarkId::Db).with_scale(ctx.scale);
         let stat = run_with(spec, SystemConfig::p4(true).with_seed(ctx.seed));
         let dynp = run_with(
             spec,
-            SystemConfig::p4(true).with_partition(Partition::Dynamic).with_seed(ctx.seed),
+            SystemConfig::p4(true)
+                .with_partition(Partition::Dynamic)
+                .with_seed(ctx.seed),
         );
         assert!(
             dynp <= stat + stat / 20,
@@ -187,11 +222,18 @@ pub struct PrefetchPoint {
 
 /// Extension ablation: the P4's L2 streaming prefetcher (the baseline
 /// reproduction models it off; this measures what it buys the
-/// multithreaded Java workloads).
+/// multithreaded Java workloads). Serial.
 pub fn ablation_prefetch(ctx: &ExperimentCtx) -> Vec<PrefetchPoint> {
-    BenchmarkId::MULTITHREADED
-        .iter()
-        .map(|&id| {
+    ablation_prefetch_on(&Engine::serial(), ctx)
+}
+
+/// The prefetcher ablation on `engine`: one job per benchmark (each job
+/// runs the prefetcher-off and prefetcher-on configurations).
+pub fn ablation_prefetch_on(engine: &Engine, ctx: &ExperimentCtx) -> Vec<PrefetchPoint> {
+    engine.run(
+        "ablation-prefetch",
+        BenchmarkId::MULTITHREADED.to_vec(),
+        |&id| {
             let run = |prefetch: bool| {
                 let cfg = SystemConfig::p4(true)
                     .with_mem(MemConfig::p4(true).with_l2_prefetch(prefetch))
@@ -204,9 +246,15 @@ pub fn ablation_prefetch(ctx: &ExperimentCtx) -> Vec<PrefetchPoint> {
             };
             let (ipc_off, l2_mpki_off) = run(false);
             let (ipc_on, l2_mpki_on) = run(true);
-            PrefetchPoint { id, ipc_off, ipc_on, l2_mpki_off, l2_mpki_on }
-        })
-        .collect()
+            PrefetchPoint {
+                id,
+                ipc_off,
+                ipc_on,
+                l2_mpki_off,
+                l2_mpki_on,
+            }
+        },
+    )
 }
 
 /// Render the prefetcher ablation.
@@ -249,27 +297,36 @@ pub struct JitPoint {
 /// introduction stresses that the JVM's helper threads make even
 /// single-threaded Java multithreaded; this measures the compiler
 /// thread's effect on the HT machine (it occupies the sibling context
-/// and extends the interpreted warm-up window).
+/// and extends the interpreted warm-up window). Serial.
 pub fn ablation_jit(ctx: &ExperimentCtx) -> Vec<JitPoint> {
+    ablation_jit_on(&Engine::serial(), ctx)
+}
+
+/// The background-JIT ablation on `engine`: one job per benchmark (each
+/// job runs the instant and background configurations).
+pub fn ablation_jit_on(engine: &Engine, ctx: &ExperimentCtx) -> Vec<JitPoint> {
     use jsmt_workloads::jvm_config_for;
-    BenchmarkId::SINGLE_THREADED
-        .iter()
-        .map(|&id| {
+    engine.run(
+        "ablation-jit",
+        BenchmarkId::SINGLE_THREADED.to_vec(),
+        |&id| {
             let spec = WorkloadSpec::single(id).with_scale(ctx.scale);
             let run = |background: bool| {
                 let mut sys = System::new(SystemConfig::p4(true).with_seed(ctx.seed));
-                sys.add_process_with_jvm(
-                    spec,
-                    jvm_config_for(id).with_background_jit(background),
-                );
+                sys.add_process_with_jvm(spec, jvm_config_for(id).with_background_jit(background));
                 let r = sys.run_to_completion();
                 (r.cycles, r.processes[0].compiles_done)
             };
             let (cycles_instant, _) = run(false);
             let (cycles_background, compiles) = run(true);
-            JitPoint { id, cycles_instant, cycles_background, compiles }
-        })
-        .collect()
+            JitPoint {
+                id,
+                cycles_instant,
+                cycles_background,
+                compiles,
+            }
+        },
+    )
 }
 
 /// Render the background-JIT ablation.
@@ -281,15 +338,16 @@ pub fn render_ablation_jit(points: &[JitPoint]) -> String {
         "change".into(),
         "methods compiled".into(),
     ])
-    .with_title(
-        "Ablation (extension): background JIT compiler thread, single-threaded, HT on",
-    );
+    .with_title("Ablation (extension): background JIT compiler thread, single-threaded, HT on");
     for p in points {
         t.row(vec![
             p.id.name().to_string(),
             format!("{}", p.cycles_instant),
             format!("{}", p.cycles_background),
-            format!("{:+.2}%", pct_change(p.cycles_instant as f64, p.cycles_background as f64)),
+            format!(
+                "{:+.2}%",
+                pct_change(p.cycles_instant as f64, p.cycles_background as f64)
+            ),
             format!("{}", p.compiles),
         ]);
     }

@@ -2,7 +2,9 @@
 
 use jsmt_report::Csv;
 
-use super::{JitPoint, L1Point, MtPoint, PairGrid, PartitionPoint, PrefetchPoint, SinglePoint, ThreadPoint};
+use super::{
+    JitPoint, L1Point, MtPoint, PairGrid, PartitionPoint, PrefetchPoint, SinglePoint, ThreadPoint,
+};
 
 /// CSV of the multithreaded characterization (Table 2 / Figures 1–7 data).
 pub fn csv_mt(points: &[MtPoint]) -> String {

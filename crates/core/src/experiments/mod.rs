@@ -7,32 +7,36 @@
 
 mod ablations;
 mod csv_out;
+mod engine;
 mod mt;
 mod pairing;
 mod single;
 mod threadcount;
 
-pub use csv_out::{
-    csv_grid, csv_jit, csv_l1, csv_mt, csv_partition, csv_prefetch, csv_single, csv_threads,
-};
 pub use ablations::{
-    ablation_jit, ablation_l1, ablation_partition, ablation_prefetch, render_ablation_jit,
+    ablation_jit, ablation_jit_on, ablation_l1, ablation_l1_on, ablation_partition,
+    ablation_partition_on, ablation_prefetch, ablation_prefetch_on, render_ablation_jit,
     render_ablation_l1, render_ablation_partition, render_ablation_prefetch, JitPoint, L1Point,
     PartitionPoint, PrefetchPoint,
 };
+pub use csv_out::{
+    csv_grid, csv_jit, csv_l1, csv_mt, csv_partition, csv_prefetch, csv_single, csv_threads,
+};
+pub use engine::{BaselineCacheStats, Engine, JobTiming, Parallelism, StageTiming};
 pub use mt::{
-    characterize_mt, gc_cycle_fraction, render_fig1, render_fig2, render_fig_mpki, render_table2,
-    MpkiKind, MtPoint,
+    characterize_mt, characterize_mt_on, gc_cycle_fraction, render_fig1, render_fig2,
+    render_fig_mpki, render_table2, MpkiKind, MtPoint,
 };
 pub use pairing::{
-    pair_matrix, pairing_analysis, pairing_prediction, render_fig8, render_fig9,
-    render_pairing_analysis, render_pairing_prediction, run_pair, tc_misses, PairGrid,
-    PairOutcome, PairingAnalysis, PairingPrediction,
+    pair_matrix, pair_matrix_on, pairing_analysis, pairing_prediction, render_fig8, render_fig9,
+    render_pairing_analysis, render_pairing_prediction, run_pair, tc_misses, PairGrid, PairOutcome,
+    PairingAnalysis, PairingPrediction,
 };
 pub use single::{
-    fig10_single_thread_impact, fig11_self_pairs, render_fig10, render_fig11, SinglePoint,
+    fig10_single_thread_impact, fig10_single_thread_impact_on, fig11_self_pairs,
+    fig11_self_pairs_on, render_fig10, render_fig11, SinglePoint,
 };
-pub use threadcount::{fig12_ipc_vs_threads, render_fig12, ThreadPoint};
+pub use threadcount::{fig12_ipc_vs_threads, fig12_ipc_vs_threads_on, render_fig12, ThreadPoint};
 
 use crate::{RunReport, System, SystemConfig};
 use jsmt_workloads::{BenchmarkId, WorkloadSpec};
@@ -52,7 +56,11 @@ pub struct ExperimentCtx {
 
 impl Default for ExperimentCtx {
     fn default() -> Self {
-        ExperimentCtx { scale: 0.3, repeats: 6, seed: 0x15_9A55 }
+        ExperimentCtx {
+            scale: 0.3,
+            repeats: 6,
+            seed: 0x15_9A55,
+        }
     }
 }
 
@@ -60,13 +68,21 @@ impl ExperimentCtx {
     /// A fast smoke-test configuration (used by unit tests and
     /// `repro --quick`).
     pub fn quick() -> Self {
-        ExperimentCtx { scale: 0.05, repeats: 3, seed: 0x15_9A55 }
+        ExperimentCtx {
+            scale: 0.05,
+            repeats: 3,
+            seed: 0x15_9A55,
+        }
     }
 
     /// The paper-faithful configuration (`repro --full`): full scaled
     /// inputs and the paper's 12-repetition rule.
     pub fn full() -> Self {
-        ExperimentCtx { scale: 1.0, repeats: 12, seed: 0x15_9A55 }
+        ExperimentCtx {
+            scale: 1.0,
+            repeats: 12,
+            seed: 0x15_9A55,
+        }
     }
 }
 

@@ -5,7 +5,7 @@ use jsmt_perfmon::Event;
 use jsmt_report::{fmt_num, fmt_pct, series_chart, Table};
 use jsmt_workloads::{BenchmarkId, WorkloadSpec};
 
-use super::{solo_run, ExperimentCtx};
+use super::{solo_run, Engine, ExperimentCtx};
 use crate::RunReport;
 
 /// One measured configuration of a multithreaded benchmark.
@@ -30,22 +30,42 @@ impl MtPoint {
 
 /// Run the four multithreaded benchmarks at the given thread counts and
 /// HT settings (the data source shared by Table 2 and Figures 1–7).
+/// Serial.
 pub fn characterize_mt(
     threads_list: &[usize],
     ht_list: &[bool],
     ctx: &ExperimentCtx,
 ) -> Vec<MtPoint> {
-    let mut out = Vec::new();
-    for &id in &BenchmarkId::MULTITHREADED {
-        for &threads in threads_list {
-            for &ht in ht_list {
-                let spec = WorkloadSpec::threaded(id, threads).with_scale(ctx.scale);
-                let report = solo_run(spec, ht, ctx.seed);
-                out.push(MtPoint { id, threads, ht, report });
-            }
+    characterize_mt_on(&Engine::serial(), threads_list, ht_list, ctx)
+}
+
+/// The multithreaded characterization on `engine`: one job per
+/// `(benchmark, threads, ht)` cell, collected in the nested-loop order
+/// of the serial driver.
+pub fn characterize_mt_on(
+    engine: &Engine,
+    threads_list: &[usize],
+    ht_list: &[bool],
+    ctx: &ExperimentCtx,
+) -> Vec<MtPoint> {
+    let cells: Vec<(BenchmarkId, usize, bool)> = BenchmarkId::MULTITHREADED
+        .iter()
+        .flat_map(|&id| {
+            threads_list
+                .iter()
+                .flat_map(move |&threads| ht_list.iter().map(move |&ht| (id, threads, ht)))
+        })
+        .collect();
+    engine.run("characterize-mt", cells, |&(id, threads, ht)| {
+        let spec = WorkloadSpec::threaded(id, threads).with_scale(ctx.scale);
+        let report = solo_run(spec, ht, ctx.seed);
+        MtPoint {
+            id,
+            threads,
+            ht,
+            report,
         }
-    }
-    out
+    })
 }
 
 /// Render Table 2: CPI, OS-cycle % and dual-thread-mode % for the
@@ -192,13 +212,21 @@ mod tests {
     use super::*;
 
     fn points() -> Vec<MtPoint> {
-        let ctx = ExperimentCtx { scale: 0.02, ..ExperimentCtx::quick() };
+        let ctx = ExperimentCtx {
+            scale: 0.02,
+            ..ExperimentCtx::quick()
+        };
         let mut pts = Vec::new();
         for &id in &[BenchmarkId::MonteCarlo] {
             for &ht in &[false, true] {
                 let spec = WorkloadSpec::threaded(id, 2).with_scale(ctx.scale);
                 let report = solo_run(spec, ht, ctx.seed);
-                pts.push(MtPoint { id, threads: 2, ht, report });
+                pts.push(MtPoint {
+                    id,
+                    threads: 2,
+                    ht,
+                    report,
+                });
             }
         }
         pts

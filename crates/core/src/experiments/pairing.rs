@@ -6,7 +6,7 @@ use jsmt_report::{box_chart, heat_map, Table};
 use jsmt_stats::{mean, pearson, BoxSummary};
 use jsmt_workloads::{BenchmarkId, WorkloadSpec};
 
-use super::{solo_baseline_cycles, ExperimentCtx};
+use super::{Engine, ExperimentCtx};
 use crate::{System, SystemConfig};
 
 /// Result of running one A+B multiprogrammed pair on the HT machine.
@@ -56,7 +56,10 @@ pub fn run_pair(
         speedup_b,
         combined: speedup_a + speedup_b,
         tc_mpki: report.metrics.tc_mpki,
-        completions: (report.processes[0].completions, report.processes[1].completions),
+        completions: (
+            report.processes[0].completions,
+            report.processes[1].completions,
+        ),
     }
 }
 
@@ -89,7 +92,11 @@ impl PairGrid {
 
     /// Count of combinations with a combined slowdown (`C_AB < 1`).
     pub fn slowdown_count(&self) -> usize {
-        self.outcomes.iter().flatten().filter(|o| o.combined < 1.0).count()
+        self.outcomes
+            .iter()
+            .flatten()
+            .filter(|o| o.combined < 1.0)
+            .count()
     }
 
     /// Mean absolute asymmetry `|C_ij - C_ji|` (the paper's reflective
@@ -106,20 +113,43 @@ impl PairGrid {
     }
 }
 
-/// Run the full cross product of the nine single-threaded benchmarks.
+/// Run the full cross product of the nine single-threaded benchmarks
+/// serially (reference execution; see [`pair_matrix_on`]).
 pub fn pair_matrix(ctx: &ExperimentCtx) -> PairGrid {
+    pair_matrix_on(&Engine::serial(), ctx)
+}
+
+/// Run the full cross product on `engine`: one stage computing the nine
+/// solo baselines (each simulated exactly once via the engine's
+/// memoizing cache), then one stage of N² independent co-run cells,
+/// collected by cell index so the grid is bit-identical for every
+/// [`super::Parallelism`] setting.
+pub fn pair_matrix_on(engine: &Engine, ctx: &ExperimentCtx) -> PairGrid {
     let benchmarks: Vec<BenchmarkId> = BenchmarkId::SINGLE_THREADED.to_vec();
-    let solos: Vec<u64> =
-        benchmarks.iter().map(|&b| solo_baseline_cycles(b, ctx)).collect();
-    let mut outcomes = Vec::with_capacity(benchmarks.len());
-    for (i, &a) in benchmarks.iter().enumerate() {
-        let mut row = Vec::with_capacity(benchmarks.len());
-        for (j, &b) in benchmarks.iter().enumerate() {
-            row.push(run_pair(a, b, solos[i], solos[j], ctx));
-        }
-        outcomes.push(row);
+    engine.prewarm_baselines(&benchmarks, ctx);
+    let n = benchmarks.len();
+    let cells: Vec<(BenchmarkId, BenchmarkId)> = benchmarks
+        .iter()
+        .flat_map(|&a| benchmarks.iter().map(move |&b| (a, b)))
+        .collect();
+    let flat = engine.run("pair-grid", cells, |&(a, b)| {
+        run_pair(
+            a,
+            b,
+            engine.solo_baseline(a, ctx),
+            engine.solo_baseline(b, ctx),
+            ctx,
+        )
+    });
+    let mut outcomes = Vec::with_capacity(n);
+    let mut it = flat.into_iter();
+    for _ in 0..n {
+        outcomes.push(it.by_ref().take(n).collect());
     }
-    PairGrid { benchmarks, outcomes }
+    PairGrid {
+        benchmarks,
+        outcomes,
+    }
 }
 
 /// Render Figure 8: the box-chart distribution of combined speedups per
@@ -131,11 +161,22 @@ pub fn render_fig8(grid: &PairGrid) -> String {
         .enumerate()
         .map(|(i, b)| {
             let samples = grid.row_combined(i);
-            (b.name().to_string(), BoxSummary::from_samples(&samples).expect("nonempty row"))
+            (
+                b.name().to_string(),
+                BoxSummary::from_samples(&samples).expect("nonempty row"),
+            )
         })
         .collect();
-    let lo = entries.iter().map(|(_, s)| s.min).fold(f64::INFINITY, f64::min) - 0.05;
-    let hi = entries.iter().map(|(_, s)| s.max).fold(f64::NEG_INFINITY, f64::max) + 0.05;
+    let lo = entries
+        .iter()
+        .map(|(_, s)| s.min)
+        .fold(f64::INFINITY, f64::min)
+        - 0.05;
+    let hi = entries
+        .iter()
+        .map(|(_, s)| s.max)
+        .fold(f64::NEG_INFINITY, f64::max)
+        + 0.05;
     let mut out = box_chart(
         "Figure 8. Distribution of combined speedup for multiprogrammed Java benchmarks",
         &entries,
@@ -153,7 +194,11 @@ pub fn render_fig8(grid: &PairGrid) -> String {
 
 /// Render Figure 9: the combined-speedup color map.
 pub fn render_fig9(grid: &PairGrid) -> String {
-    let labels: Vec<String> = grid.benchmarks.iter().map(|b| b.name().to_string()).collect();
+    let labels: Vec<String> = grid
+        .benchmarks
+        .iter()
+        .map(|b| b.name().to_string())
+        .collect();
     let matrix: Vec<Vec<f64>> = grid
         .outcomes
         .iter()
@@ -206,12 +251,18 @@ pub fn render_pairing_analysis(grid: &PairGrid) -> String {
     let a = pairing_analysis(grid);
     let mut t = Table::new(vec!["Statistic".into(), "Value".into()])
         .with_title("Offline pairing analysis (§4.2, tech report [11])");
-    t.row(vec!["corr(TC MPKI, combined speedup)".into(), format!("{:.3}", a.tc_corr)]);
+    t.row(vec![
+        "corr(TC MPKI, combined speedup)".into(),
+        format!("{:.3}", a.tc_corr),
+    ]);
     t.row(vec![
         "mean C_AB, pairs with jack/javac/jess".into(),
         format!("{:.3}", a.bad_partner_mean),
     ]);
-    t.row(vec!["mean C_AB, other pairs".into(), format!("{:.3}", a.other_mean)]);
+    t.row(vec![
+        "mean C_AB, other pairs".into(),
+        format!("{:.3}", a.other_mean),
+    ]);
     t.render()
 }
 
@@ -224,16 +275,39 @@ pub fn tc_misses(report: &crate::RunReport) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::solo_baseline_cycles;
 
     #[test]
     fn pair_runs_and_produces_positive_speedups() {
-        let ctx = ExperimentCtx { scale: 0.02, repeats: 3, seed: 1 };
+        let ctx = ExperimentCtx {
+            scale: 0.02,
+            repeats: 3,
+            seed: 1,
+        };
         let a_solo = solo_baseline_cycles(BenchmarkId::Mpegaudio, &ctx);
         let b_solo = solo_baseline_cycles(BenchmarkId::Compress, &ctx);
-        let o = run_pair(BenchmarkId::Mpegaudio, BenchmarkId::Compress, a_solo, b_solo, &ctx);
-        assert!(o.speedup_a > 0.1 && o.speedup_a < 1.5, "a share {}", o.speedup_a);
-        assert!(o.speedup_b > 0.1 && o.speedup_b < 1.5, "b share {}", o.speedup_b);
-        assert!(o.combined > 0.5 && o.combined < 2.5, "combined {}", o.combined);
+        let o = run_pair(
+            BenchmarkId::Mpegaudio,
+            BenchmarkId::Compress,
+            a_solo,
+            b_solo,
+            &ctx,
+        );
+        assert!(
+            o.speedup_a > 0.1 && o.speedup_a < 1.5,
+            "a share {}",
+            o.speedup_a
+        );
+        assert!(
+            o.speedup_b > 0.1 && o.speedup_b < 1.5,
+            "b share {}",
+            o.speedup_b
+        );
+        assert!(
+            o.combined > 0.5 && o.combined < 2.5,
+            "combined {}",
+            o.combined
+        );
         assert!(o.completions.0 >= 5 && o.completions.1 >= 5);
     }
 }

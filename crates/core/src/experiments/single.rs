@@ -5,7 +5,7 @@ use jsmt_report::{bar_chart, Table};
 use jsmt_stats::pct_change;
 use jsmt_workloads::{BenchmarkId, WorkloadSpec};
 
-use super::{run_pair, solo_baseline_cycles, solo_run, ExperimentCtx};
+use super::{run_pair, solo_run, Engine, ExperimentCtx};
 
 /// One single-threaded benchmark measured with HT off and on.
 #[derive(Debug, Clone, Copy)]
@@ -27,17 +27,28 @@ impl SinglePoint {
 }
 
 /// Figure 10: run each single-threaded benchmark alone with HT disabled
-/// and enabled.
+/// and enabled. Serial.
 pub fn fig10_single_thread_impact(ctx: &ExperimentCtx) -> Vec<SinglePoint> {
-    BenchmarkId::SINGLE_THREADED
-        .iter()
-        .map(|&id| {
+    fig10_single_thread_impact_on(&Engine::serial(), ctx)
+}
+
+/// The Figure 10 measurement on `engine`: one job per benchmark (each
+/// job runs the HT-off and HT-on configurations).
+pub fn fig10_single_thread_impact_on(engine: &Engine, ctx: &ExperimentCtx) -> Vec<SinglePoint> {
+    engine.run(
+        "fig10-single",
+        BenchmarkId::SINGLE_THREADED.to_vec(),
+        |&id| {
             let spec = WorkloadSpec::single(id).with_scale(ctx.scale);
             let off = solo_run(spec, false, ctx.seed).cycles;
             let on = solo_run(spec, true, ctx.seed).cycles;
-            SinglePoint { id, cycles_ht_off: off, cycles_ht_on: on }
-        })
-        .collect()
+            SinglePoint {
+                id,
+                cycles_ht_off: off,
+                cycles_ht_on: on,
+            }
+        },
+    )
 }
 
 /// Render Figure 10.
@@ -72,27 +83,39 @@ pub fn render_fig10(points: &[SinglePoint]) -> String {
 
 /// Figure 11: combined speedup of two identical copies of each
 /// single-threaded benchmark running simultaneously on the HT machine.
+/// Serial.
 pub fn fig11_self_pairs(ctx: &ExperimentCtx) -> Vec<(BenchmarkId, f64)> {
-    BenchmarkId::SINGLE_THREADED
-        .iter()
-        .map(|&id| {
-            let solo = solo_baseline_cycles(id, ctx);
-            let o = run_pair(id, id, solo, solo, ctx);
-            (id, o.combined)
-        })
-        .collect()
+    fig11_self_pairs_on(&Engine::serial(), ctx)
+}
+
+/// The Figure 11 measurement on `engine`: one job per benchmark, with
+/// solo baselines served by the engine's memoizing cache (shared with
+/// the pairing grid when one engine runs both).
+pub fn fig11_self_pairs_on(engine: &Engine, ctx: &ExperimentCtx) -> Vec<(BenchmarkId, f64)> {
+    let ids = BenchmarkId::SINGLE_THREADED.to_vec();
+    engine.prewarm_baselines(&ids, ctx);
+    engine.run("fig11-self-pairs", ids, |&id| {
+        let solo = engine.solo_baseline(id, ctx);
+        let o = run_pair(id, id, solo, solo, ctx);
+        (id, o.combined)
+    })
 }
 
 /// Render Figure 11.
 pub fn render_fig11(points: &[(BenchmarkId, f64)]) -> String {
-    let entries: Vec<(String, f64)> =
-        points.iter().map(|(id, c)| (id.name().to_string(), *c)).collect();
+    let entries: Vec<(String, f64)> = points
+        .iter()
+        .map(|(id, c)| (id.name().to_string(), *c))
+        .collect();
     let mut out = bar_chart(
         "Figure 11. Impact of Hyper-Threading technology on multi-programmed programs\n(combined speedup of two identical copies; 1.0 = perfect time sharing, 2.0 = perfect SMP)",
         &entries,
     );
-    let below: Vec<&str> =
-        points.iter().filter(|(_, c)| *c < 1.05).map(|(id, _)| id.name()).collect();
+    let below: Vec<&str> = points
+        .iter()
+        .filter(|(_, c)| *c < 1.05)
+        .map(|(id, _)| id.name())
+        .collect();
     if !below.is_empty() {
         out.push_str(&format!("\nnear-or-below unity: {}\n", below.join(", ")));
     }
@@ -117,11 +140,19 @@ mod tests {
     fn fig10_single_benchmark_shape() {
         // One benchmark only, to stay fast: HT on must not be *faster*
         // given static partitioning plus helper threads.
-        let ctx = ExperimentCtx { scale: 0.02, repeats: 3, seed: 1 };
+        let ctx = ExperimentCtx {
+            scale: 0.02,
+            repeats: 3,
+            seed: 1,
+        };
         let spec = WorkloadSpec::single(BenchmarkId::Db).with_scale(ctx.scale);
         let off = solo_run(spec, false, ctx.seed).cycles;
         let on = solo_run(spec, true, ctx.seed).cycles;
-        let p = SinglePoint { id: BenchmarkId::Db, cycles_ht_off: off, cycles_ht_on: on };
+        let p = SinglePoint {
+            id: BenchmarkId::Db,
+            cycles_ht_off: off,
+            cycles_ht_on: on,
+        };
         assert!(
             p.slowdown_pct() > -8.0,
             "HT-on should not massively speed up a single thread: {:.2}%",

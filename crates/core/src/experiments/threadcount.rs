@@ -4,7 +4,7 @@
 use jsmt_report::Table;
 use jsmt_workloads::{BenchmarkId, WorkloadSpec};
 
-use super::{solo_run, ExperimentCtx};
+use super::{solo_run, Engine, ExperimentCtx};
 
 /// IPC of one benchmark at one thread count (HT enabled).
 #[derive(Debug, Clone, Copy)]
@@ -22,21 +22,32 @@ pub struct ThreadPoint {
 }
 
 /// The paper's Figure 12 sweep: thread counts 1–16 on the HT machine.
+/// Serial.
 pub fn fig12_ipc_vs_threads(threads_list: &[usize], ctx: &ExperimentCtx) -> Vec<ThreadPoint> {
-    let mut out = Vec::new();
-    for &id in &BenchmarkId::MULTITHREADED {
-        for &threads in threads_list {
-            let spec = WorkloadSpec::threaded(id, threads).with_scale(ctx.scale);
-            let report = solo_run(spec, true, ctx.seed);
-            out.push(ThreadPoint {
-                id,
-                threads,
-                ipc: report.metrics.ipc,
-                l1d_mpki: report.metrics.l1d_mpki,
-            });
+    fig12_ipc_vs_threads_on(&Engine::serial(), threads_list, ctx)
+}
+
+/// The Figure 12 sweep on `engine`: one job per `(benchmark, threads)`
+/// cell.
+pub fn fig12_ipc_vs_threads_on(
+    engine: &Engine,
+    threads_list: &[usize],
+    ctx: &ExperimentCtx,
+) -> Vec<ThreadPoint> {
+    let cells: Vec<(BenchmarkId, usize)> = BenchmarkId::MULTITHREADED
+        .iter()
+        .flat_map(|&id| threads_list.iter().map(move |&threads| (id, threads)))
+        .collect();
+    engine.run("fig12-threads", cells, |&(id, threads)| {
+        let spec = WorkloadSpec::threaded(id, threads).with_scale(ctx.scale);
+        let report = solo_run(spec, true, ctx.seed);
+        ThreadPoint {
+            id,
+            threads,
+            ipc: report.metrics.ipc,
+            l1d_mpki: report.metrics.l1d_mpki,
         }
-    }
-    out
+    })
 }
 
 /// Render Figure 12 as an IPC-vs-threads table with the L1D column that
@@ -66,7 +77,11 @@ mod tests {
 
     #[test]
     fn sweep_produces_a_point_per_cell() {
-        let ctx = ExperimentCtx { scale: 0.02, repeats: 3, seed: 1 };
+        let ctx = ExperimentCtx {
+            scale: 0.02,
+            repeats: 3,
+            seed: 1,
+        };
         let pts = fig12_ipc_vs_threads(&[1, 2], &ctx);
         assert_eq!(pts.len(), BenchmarkId::MULTITHREADED.len() * 2);
         let rendered = render_fig12(&pts);
@@ -76,14 +91,21 @@ mod tests {
 
     #[test]
     fn two_threads_beat_one_for_parallel_kernels() {
-        let ctx = ExperimentCtx { scale: 0.03, repeats: 3, seed: 1 };
+        let ctx = ExperimentCtx {
+            scale: 0.03,
+            repeats: 3,
+            seed: 1,
+        };
         let run = |threads| {
-            let spec = WorkloadSpec::threaded(BenchmarkId::MonteCarlo, threads)
-                .with_scale(ctx.scale);
+            let spec =
+                WorkloadSpec::threaded(BenchmarkId::MonteCarlo, threads).with_scale(ctx.scale);
             solo_run(spec, true, ctx.seed).metrics.ipc
         };
         let one = run(1);
         let two = run(2);
-        assert!(two > one, "1→2 threads must raise IPC: {one:.3} vs {two:.3}");
+        assert!(
+            two > one,
+            "1→2 threads must raise IPC: {one:.3} vs {two:.3}"
+        );
     }
 }

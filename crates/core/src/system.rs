@@ -82,7 +82,9 @@ struct World {
 impl World {
     /// Supply µops for the thread bound to `lcpu`.
     fn fill(&mut self, lcpu: LogicalCpu, buf: &mut Vec<Uop>, max: usize) -> usize {
-        let Some(tid) = self.sched.running_on(lcpu.index()) else { return 0 };
+        let Some(tid) = self.sched.running_on(lcpu.index()) else {
+            return 0;
+        };
         let ti = tid.0 as usize;
 
         if self.threads[ti].pending.is_empty() {
@@ -242,14 +244,20 @@ impl World {
             // Start a collection once every mutator is parked.
             if self.procs[proc].gc_requested && self.procs[proc].gc_gen.is_none() {
                 let all_parked = self.procs[proc].mutators.iter().all(|&t| {
-                    matches!(self.sched.state(t), ThreadState::Blocked | ThreadState::Finished)
+                    matches!(
+                        self.sched.state(t),
+                        ThreadState::Blocked | ThreadState::Finished
+                    )
                 });
                 if all_parked {
                     let p = &mut self.procs[proc];
                     let live = p.jvm.collect();
                     let heap_base = p.jvm.heap().base();
-                    p.gc_gen =
-                        Some(GcWorkGen::new(heap_base, live, self.seed ^ (p.gc_count + 1)));
+                    p.gc_gen = Some(GcWorkGen::new(
+                        heap_base,
+                        live,
+                        self.seed ^ (p.gc_count + 1),
+                    ));
                     p.gc_count += 1;
                     self.extra.inc(LogicalCpu::Lp0, Event::GcCount);
                     let gc_tid = p.gc_thread;
@@ -287,7 +295,9 @@ impl World {
 
             // Background JIT: start queued compilations, finish drained
             // ones.
-            let Some(jit_tid) = self.procs[proc].jit_thread else { continue };
+            let Some(jit_tid) = self.procs[proc].jit_thread else {
+                continue;
+            };
             if self.procs[proc].jit_gen.is_none() {
                 if let Some(m) = self.procs[proc].jvm.methods_mut().take_compile_request() {
                     let (base, size) = self.procs[proc].jvm.methods().body_of(m);
@@ -353,7 +363,11 @@ impl ProcessReport {
         if d.is_empty() {
             return f64::NAN;
         }
-        let trimmed: &[u64] = if d.len() >= 3 { &d[1..d.len() - 1] } else { &d[..] };
+        let trimmed: &[u64] = if d.len() >= 3 {
+            &d[1..d.len() - 1]
+        } else {
+            &d[..]
+        };
         trimmed.iter().sum::<u64>() as f64 / trimmed.len() as f64
     }
 }
@@ -447,7 +461,10 @@ impl System {
     }
 
     fn add_process_inner(&mut self, spec: WorkloadSpec, relaunch: bool) -> usize {
-        assert!(!self.started, "processes must be added before the first cycle");
+        assert!(
+            !self.started,
+            "processes must be added before the first cycle"
+        );
         let proc_idx = self.world.procs.len();
         let asid = Asid(proc_idx as u16 + 1);
         let jvm_cfg = self.jvm_override.unwrap_or_else(|| jvm_config_for(spec.id));
@@ -461,7 +478,10 @@ impl System {
             mutators.push(tid);
             let stack_base = jvm.alloc_stack(64 * 1024);
             self.world.threads.push(OsThread {
-                role: Role::Mutator { proc: proc_idx, ktid },
+                role: Role::Mutator {
+                    proc: proc_idx,
+                    ktid,
+                },
                 pending: VecDeque::new(),
                 stack_base,
             });
@@ -588,7 +608,8 @@ impl System {
         }
 
         let world = &mut self.world;
-        self.core.cycle(&mut |lcpu, buf, max| world.fill(lcpu, buf, max));
+        self.core
+            .cycle(&mut |lcpu, buf, max| world.fill(lcpu, buf, max));
 
         if let Some(sampler) = self.sampler.as_mut() {
             sampler.tick(self.core.cycles(), self.core.counters());
@@ -608,7 +629,11 @@ impl System {
                 self.core.cycles() < self.cfg.max_cycles,
                 "cycle cap exceeded at {} cycles (progress: {:?})",
                 self.core.cycles(),
-                self.world.procs.iter().map(|p| p.kernel.progress()).collect::<Vec<_>>()
+                self.world
+                    .procs
+                    .iter()
+                    .map(|p| p.kernel.progress())
+                    .collect::<Vec<_>>()
             );
         }
         self.report()
@@ -632,7 +657,11 @@ impl System {
         let mut bank = self.core.counters().clone();
         bank.merge(&self.world.extra);
         for p in &self.world.procs {
-            bank.add(LogicalCpu::Lp0, Event::Allocations, p.jvm.heap().stats().objects);
+            bank.add(
+                LogicalCpu::Lp0,
+                Event::Allocations,
+                p.jvm.heap().stats().objects,
+            );
         }
         let cycles = self.core.cycles();
         RunReport {
@@ -698,7 +727,9 @@ mod tests {
         let mut sys = System::new(SystemConfig::p4(true).with_max_cycles(400_000_000));
         sys.add_process_with_jvm(
             WorkloadSpec::single(BenchmarkId::Jack).with_scale(0.05),
-            jsmt_jvm::JvmConfig::default().with_heap(512 * 1024).with_survival(0.15),
+            jsmt_jvm::JvmConfig::default()
+                .with_heap(512 * 1024)
+                .with_survival(0.15),
         );
         let r = sys.run_to_completion();
         assert!(r.processes[0].gc_count > 0, "jack must collect");
@@ -741,7 +772,11 @@ mod tests {
         let r = sys.run_to_completion();
         assert_eq!(r.processes.len(), 2);
         assert!(r.processes.iter().all(|p| p.completions >= 1));
-        assert!(r.metrics.dual_thread_fraction > 0.2, "dt {}", r.metrics.dual_thread_fraction);
+        assert!(
+            r.metrics.dual_thread_fraction > 0.2,
+            "dt {}",
+            r.metrics.dual_thread_fraction
+        );
     }
 }
 

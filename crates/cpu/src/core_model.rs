@@ -184,7 +184,10 @@ impl SmtCore {
     pub fn unbind(&mut self, lcpu: LogicalCpu) {
         let ctx = &mut self.ctxs[lcpu.index()];
         assert!(ctx.bound, "context {lcpu:?} not bound");
-        assert!(ctx.drained(), "unbinding context {lcpu:?} with µops in flight");
+        assert!(
+            ctx.drained(),
+            "unbinding context {lcpu:?} with µops in flight"
+        );
         ctx.bound = false;
         ctx.draining = false;
         ctx.starved = false;
@@ -252,11 +255,15 @@ impl SmtCore {
     }
 
     fn fetch_stage(&mut self, now: u64, fill: &mut FillFn<'_>) {
-        let Some(i) = self.fetch_candidate(now) else { return };
+        let Some(i) = self.fetch_candidate(now) else {
+            return;
+        };
         let lcpu = LogicalCpu::from_index(i);
 
         // Refill the fetch queue from the thread's µop source.
-        let want = self.fill_chunk.saturating_sub(self.ctxs[i].fetch_queue.len());
+        let want = self
+            .fill_chunk
+            .saturating_sub(self.ctxs[i].fetch_queue.len());
         if want >= self.cfg.fetch_width && !self.ctxs[i].draining {
             self.scratch.clear();
             let got = fill(lcpu, &mut self.scratch, want);
@@ -277,7 +284,8 @@ impl SmtCore {
         let outcome = self.mem.fetch(first_pc, asid, lcpu, &mut self.bank);
         if !outcome.tc_hit {
             self.ctxs[i].fetch_stall_until = now + outcome.penalty as u64;
-            self.bank.add(lcpu, Event::FetchStallCycles, outcome.penalty as u64);
+            self.bank
+                .add(lcpu, Event::FetchStallCycles, outcome.penalty as u64);
             return;
         }
 
@@ -290,7 +298,9 @@ impl SmtCore {
         let mut fetched = 0;
         while fetched < self.cfg.fetch_width {
             let ctx = &mut self.ctxs[i];
-            let Some(&uop) = ctx.fetch_queue.front() else { break };
+            let Some(&uop) = ctx.fetch_queue.front() else {
+                break;
+            };
             if ctx.window.len() >= window_cap {
                 self.bank.inc(lcpu, Event::AllocStallCycles);
                 break;
@@ -323,8 +333,10 @@ impl SmtCore {
                 if predicted_target.is_none() {
                     self.bank.inc(lcpu, Event::BtbMisses);
                 }
-                let dir_ok =
-                    self.mem.predictor.predict_and_update(uop.pc, lcpu, info.kind, info.taken);
+                let dir_ok = self
+                    .mem
+                    .predictor
+                    .predict_and_update(uop.pc, lcpu, info.kind, info.taken);
                 let target_ok = !info.taken || predicted_target == Some(info.target);
                 if info.taken {
                     self.mem.btb.update(uop.pc, asid, lcpu, info.target);
@@ -333,7 +345,11 @@ impl SmtCore {
             }
 
             let ctx = &mut self.ctxs[i];
-            ctx.window.push_back(Slot { uop, seq, state: SlotState::Waiting });
+            ctx.window.push_back(Slot {
+                uop,
+                seq,
+                state: SlotState::Waiting,
+            });
             fetched += 1;
 
             if mispredict {
@@ -397,10 +413,9 @@ impl SmtCore {
 
             // A serializing µop must be the oldest in the window, and
             // blocks everything younger until it completes.
-            if kind.is_serializing()
-                && idx != 0 {
-                    return;
-                }
+            if kind.is_serializing() && idx != 0 {
+                return;
+            }
 
             if !waiting {
                 if kind.is_serializing() && !self.ctxs[i].window[idx].done(now) {
@@ -436,22 +451,26 @@ impl SmtCore {
                 UopKind::Load | UopKind::AtomicRmw => {
                     let addr = mem_addr.unwrap_or(pc);
                     latency +=
-                        self.mem.data_access(addr, asid, lcpu, AccessKind::Read, &mut self.bank);
+                        self.mem
+                            .data_access(addr, asid, lcpu, AccessKind::Read, &mut self.bank);
                 }
                 UopKind::Store => {
                     let addr = mem_addr.unwrap_or(pc);
                     // The store buffer hides the miss latency from the
                     // pipeline; the access still exercises (and pollutes)
                     // the cache hierarchy.
-                    let _ = self.mem.data_access(addr, asid, lcpu, AccessKind::Write, &mut self.bank);
+                    let _ =
+                        self.mem
+                            .data_access(addr, asid, lcpu, AccessKind::Write, &mut self.bank);
                 }
                 _ => {}
             }
 
             port_budget[port] -= 1;
             *issue_budget -= 1;
-            self.ctxs[i].window[idx].state =
-                SlotState::Executing { done_at: now + latency as u64 };
+            self.ctxs[i].window[idx].state = SlotState::Executing {
+                done_at: now + latency as u64,
+            };
 
             if kind.is_serializing() {
                 // Nothing younger may issue this cycle.
@@ -466,7 +485,9 @@ impl SmtCore {
 
     fn resolve_redirects(&mut self, now: u64) {
         for i in 0..2 {
-            let Some(seq) = self.ctxs[i].redirect_pending else { continue };
+            let Some(seq) = self.ctxs[i].redirect_pending else {
+                continue;
+            };
             let front = self.ctxs[i].front_seq();
             let resolved_at = if seq < front {
                 // The branch already retired.
@@ -486,7 +507,8 @@ impl SmtCore {
                 let ctx = &mut self.ctxs[i];
                 ctx.redirect_pending = None;
                 ctx.fetch_stall_until = ctx.fetch_stall_until.max(at + penalty);
-                self.bank.add(LogicalCpu::from_index(i), Event::FetchStallCycles, penalty);
+                self.bank
+                    .add(LogicalCpu::from_index(i), Event::FetchStallCycles, penalty);
             }
         }
     }
@@ -498,8 +520,16 @@ impl SmtCore {
     fn retire_stage(&mut self, now: u64) {
         // The P4 alternates retirement between logical CPUs when both are
         // active; a lone thread retires every cycle.
-        let a = self.ctxs[0].window.front().map(|s| s.done(now)).unwrap_or(false);
-        let b = self.ctxs[1].window.front().map(|s| s.done(now)).unwrap_or(false);
+        let a = self.ctxs[0]
+            .window
+            .front()
+            .map(|s| s.done(now))
+            .unwrap_or(false);
+        let b = self.ctxs[1]
+            .window
+            .front()
+            .map(|s| s.done(now))
+            .unwrap_or(false);
         let i = match (a, b) {
             (true, true) => (now & 1) as usize,
             (true, false) => 0,
@@ -513,7 +543,9 @@ impl SmtCore {
         let mut retired = 0usize;
         while retired < self.cfg.retire_width {
             let ctx = &mut self.ctxs[i];
-            let Some(front) = ctx.window.front() else { break };
+            let Some(front) = ctx.window.front() else {
+                break;
+            };
             if !front.done(now) {
                 break;
             }
@@ -669,8 +701,7 @@ mod tests {
         for _ in 0..60_000 {
             tick(&mut core);
         }
-        let smt_ipc =
-            DerivedMetrics::from_bank(&core.counters().delta(&snap), 60_000).ipc;
+        let smt_ipc = DerivedMetrics::from_bank(&core.counters().delta(&snap), 60_000).ipc;
         let (one, c_one) = run_single(CoreConfig::p4(true), 60_000, 10);
         let one_ipc = DerivedMetrics::from_bank(&one, c_one).ipc;
         assert!(
@@ -740,7 +771,10 @@ mod tests {
         let bank = core.counters();
         assert!(bank.total(Event::OsCycles) > 0);
         assert!(bank.total(Event::UopsRetiredKernel) > 0);
-        assert_eq!(bank.total(Event::UopsRetiredKernel), bank.total(Event::UopsRetired));
+        assert_eq!(
+            bank.total(Event::UopsRetiredKernel),
+            bank.total(Event::UopsRetired)
+        );
     }
 
     #[test]
@@ -769,8 +803,13 @@ mod tests {
         };
         let (ipc_good, mr_good) = run(predictable);
         let (ipc_bad, mr_bad) = run(noisy);
-        assert!(mr_bad > mr_good + 0.1, "mispredict ratios {mr_bad:.3} vs {mr_good:.3}");
-        assert!(ipc_bad < ipc_good, "mispredicts must cost IPC: {ipc_bad:.3} vs {ipc_good:.3}");
+        assert!(
+            mr_bad > mr_good + 0.1,
+            "mispredict ratios {mr_bad:.3} vs {mr_good:.3}"
+        );
+        assert!(
+            ipc_bad < ipc_good,
+            "mispredicts must cost IPC: {ipc_bad:.3} vs {ipc_good:.3}"
+        );
     }
 }
-

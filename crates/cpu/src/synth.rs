@@ -19,7 +19,9 @@ pub struct SplitMix {
 impl SplitMix {
     /// Seeded generator.
     pub fn new(seed: u64) -> Self {
-        SplitMix { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+        SplitMix {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
     }
 
     /// Next raw 64-bit value.
@@ -131,8 +133,16 @@ impl SyntheticStreamBuilder {
 
     /// Finalize the stream.
     pub fn build(self) -> SyntheticStream {
-        let code_base = if self.privileged { Region::KernelCode.base() } else { Region::Code.base() };
-        let data_base = if self.privileged { Region::KernelData.base() } else { Region::Heap.base() };
+        let code_base = if self.privileged {
+            Region::KernelCode.base()
+        } else {
+            Region::Code.base()
+        };
+        let data_base = if self.privileged {
+            Region::KernelData.base()
+        } else {
+            Region::Heap.base()
+        };
         SyntheticStream {
             rng: SplitMix::new(self.seed),
             cfg: self,
@@ -220,7 +230,10 @@ impl SyntheticStream {
             let target = self.code_base + site.next_u64() % self.cfg.code_footprint;
             Uop::branch(pc, target, taken)
         } else if r_kind < fp_cut {
-            Uop { kind: UopKind::FpMul, ..Uop::alu(pc) }
+            Uop {
+                kind: UopKind::FpMul,
+                ..Uop::alu(pc)
+            }
         } else {
             Uop::alu(pc)
         };
@@ -255,14 +268,25 @@ mod tests {
 
     #[test]
     fn mix_tracks_configuration() {
-        let mut s = SyntheticStream::builder(1).mem_fraction(0.5).branch_fraction(0.2).build();
+        let mut s = SyntheticStream::builder(1)
+            .mem_fraction(0.5)
+            .branch_fraction(0.2)
+            .build();
         let mut mix = InstrMix::new();
         for _ in 0..20_000 {
             mix.record(&s.next_uop());
         }
-        assert!((mix.mem_fraction() - 0.5).abs() < 0.03, "mem {}", mix.mem_fraction());
+        assert!(
+            (mix.mem_fraction() - 0.5).abs() < 0.03,
+            "mem {}",
+            mix.mem_fraction()
+        );
         // Branch draw happens only on the non-memory path: 0.5 * 0.2 = 0.1.
-        assert!((mix.branch_fraction() - 0.1).abs() < 0.02, "br {}", mix.branch_fraction());
+        assert!(
+            (mix.branch_fraction() - 0.1).abs() < 0.02,
+            "br {}",
+            mix.branch_fraction()
+        );
     }
 
     #[test]
@@ -279,7 +303,10 @@ mod tests {
             }
             last = u.pc;
         }
-        assert!(wrapped, "600 µops at 4 bytes each must wrap a 1 KB footprint");
+        assert!(
+            wrapped,
+            "600 µops at 4 bytes each must wrap a 1 KB footprint"
+        );
     }
 
     #[test]

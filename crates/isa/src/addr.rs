@@ -135,8 +135,13 @@ pub struct AddressSpace {
 }
 
 impl AddressSpace {
-    const USER_REGIONS: [Region; 5] =
-        [Region::Code, Region::JitCode, Region::Heap, Region::Native, Region::Stack];
+    const USER_REGIONS: [Region; 5] = [
+        Region::Code,
+        Region::JitCode,
+        Region::Heap,
+        Region::Native,
+        Region::Stack,
+    ];
 
     /// Create the address space for process `asid` (must be nonzero; 0 is
     /// reserved for the kernel).

@@ -53,7 +53,13 @@ impl InstrMix {
 
     /// Total µops recorded.
     pub fn total(&self) -> u64 {
-        self.int_alu + self.int_complex + self.fp + self.loads + self.stores + self.branches + self.sync
+        self.int_alu
+            + self.int_complex
+            + self.fp
+            + self.loads
+            + self.stores
+            + self.branches
+            + self.sync
     }
 
     /// Fraction of µops that are memory operations.

@@ -196,19 +196,40 @@ impl Uop {
     /// An independent single-cycle ALU µop at `pc`.
     #[inline]
     pub fn alu(pc: Addr) -> Self {
-        Uop { pc, kind: UopKind::Alu, mem: None, branch: None, dep_dist: DEP_NONE, privileged: false }
+        Uop {
+            pc,
+            kind: UopKind::Alu,
+            mem: None,
+            branch: None,
+            dep_dist: DEP_NONE,
+            privileged: false,
+        }
     }
 
     /// A load from `addr`.
     #[inline]
     pub fn load(pc: Addr, addr: Addr) -> Self {
-        Uop { pc, kind: UopKind::Load, mem: Some(addr), branch: None, dep_dist: DEP_NONE, privileged: false }
+        Uop {
+            pc,
+            kind: UopKind::Load,
+            mem: Some(addr),
+            branch: None,
+            dep_dist: DEP_NONE,
+            privileged: false,
+        }
     }
 
     /// A store to `addr`.
     #[inline]
     pub fn store(pc: Addr, addr: Addr) -> Self {
-        Uop { pc, kind: UopKind::Store, mem: Some(addr), branch: None, dep_dist: DEP_NONE, privileged: false }
+        Uop {
+            pc,
+            kind: UopKind::Store,
+            mem: Some(addr),
+            branch: None,
+            dep_dist: DEP_NONE,
+            privileged: false,
+        }
     }
 
     /// A conditional branch at `pc` with the given actual outcome.
@@ -218,7 +239,11 @@ impl Uop {
             pc,
             kind: UopKind::Branch,
             mem: None,
-            branch: Some(BranchInfo { target, taken, kind: BranchKind::Conditional }),
+            branch: Some(BranchInfo {
+                target,
+                taken,
+                kind: BranchKind::Conditional,
+            }),
             dep_dist: DEP_NONE,
             privileged: false,
         }

@@ -150,16 +150,24 @@ impl<'a> EmitCtx<'a> {
                     pc,
                     kind: UopKind::Branch,
                     mem: None,
-                    branch: Some(BranchInfo { target, taken: true, kind: BranchKind::Indirect }),
+                    branch: Some(BranchInfo {
+                        target,
+                        taken: true,
+                        kind: BranchKind::Indirect,
+                    }),
                     dep_dist: 1,
                     privileged: false,
                 });
             } else if i == 0 {
                 // Bytecode fetch from the method's (native) bytecode array.
-                let bc = (jsmt_isa::Region::Native.base() + (self.proc.next_rand() % (64 * 1024))) & !3;
+                let bc =
+                    (jsmt_isa::Region::Native.base() + (self.proc.next_rand() % (64 * 1024))) & !3;
                 self.push(Uop::load(pc, bc));
             } else {
-                self.push(Uop { dep_dist: 1, ..Uop::alu(pc) });
+                self.push(Uop {
+                    dep_dist: 1,
+                    ..Uop::alu(pc)
+                });
             }
         }
     }
@@ -193,7 +201,11 @@ impl<'a> EmitCtx<'a> {
             pc,
             kind: UopKind::Branch,
             mem: None,
-            branch: Some(BranchInfo { target, taken: true, kind: BranchKind::Call }),
+            branch: Some(BranchInfo {
+                target,
+                taken: true,
+                kind: BranchKind::Call,
+            }),
             dep_dist: DEP_NONE,
             privileged: false,
         });
@@ -224,7 +236,10 @@ impl<'a> EmitCtx<'a> {
             self.dispatch();
             let pc = self.next_pc();
             let dep = if i == 0 { DEP_NONE } else { 1 };
-            self.push(Uop { dep_dist: dep, ..Uop::alu(pc) });
+            self.push(Uop {
+                dep_dist: dep,
+                ..Uop::alu(pc)
+            });
         }
     }
 
@@ -236,7 +251,11 @@ impl<'a> EmitCtx<'a> {
             self.dispatch();
             let pc = self.next_pc();
             let dep = if i % 2 == 1 { 1 } else { DEP_NONE };
-            self.push(Uop { kind, dep_dist: dep, ..Uop::alu(pc) });
+            self.push(Uop {
+                kind,
+                dep_dist: dep,
+                ..Uop::alu(pc)
+            });
         }
     }
 
@@ -253,7 +272,10 @@ impl<'a> EmitCtx<'a> {
         self.dispatch();
         let pc = self.next_pc();
         let d = self.dist_to(dep);
-        self.push(Uop { dep_dist: d, ..Uop::load(pc, addr) })
+        self.push(Uop {
+            dep_dist: d,
+            ..Uop::load(pc, addr)
+        })
     }
 
     /// Emit a store to `addr`.
@@ -288,7 +310,11 @@ impl<'a> EmitCtx<'a> {
             pc,
             kind: UopKind::Branch,
             mem: None,
-            branch: Some(BranchInfo { target, taken, kind: BranchKind::Conditional }),
+            branch: Some(BranchInfo {
+                target,
+                taken,
+                kind: BranchKind::Conditional,
+            }),
             dep_dist: DEP_NONE,
             privileged: false,
         });
@@ -300,7 +326,11 @@ impl<'a> EmitCtx<'a> {
     pub fn fp_div(&mut self) {
         self.dispatch();
         let pc = self.next_pc();
-        self.push(Uop { kind: UopKind::FpDiv, dep_dist: 1, ..Uop::alu(pc) });
+        self.push(Uop {
+            kind: UopKind::FpDiv,
+            dep_dist: 1,
+            ..Uop::alu(pc)
+        });
     }
 
     /// Emit an atomic read-modify-write to `addr` (monitor fast path,
@@ -328,7 +358,10 @@ impl<'a> EmitCtx<'a> {
         let pc = self.next_pc();
         self.push(Uop::alu(pc)); // bump
         let pc = self.next_pc();
-        self.push(Uop { dep_dist: 1, ..Uop::store(pc, addr) }); // header
+        self.push(Uop {
+            dep_dist: 1,
+            ..Uop::store(pc, addr)
+        }); // header
         Some(addr)
     }
 
@@ -403,9 +436,20 @@ mod tests {
         assert!(out.iter().skip(1).any(|u| Region::of(u.pc) == Region::Code));
         let indirects = out
             .iter()
-            .filter(|u| matches!(u.branch, Some(BranchInfo { kind: BranchKind::Indirect, .. })))
+            .filter(|u| {
+                matches!(
+                    u.branch,
+                    Some(BranchInfo {
+                        kind: BranchKind::Indirect,
+                        ..
+                    })
+                )
+            })
             .count();
-        assert!(indirects >= 5, "each interpreted op ends in dispatch, got {indirects}");
+        assert!(
+            indirects >= 5,
+            "each interpreted op ends in dispatch, got {indirects}"
+        );
     }
 
     #[test]
@@ -419,8 +463,10 @@ mod tests {
         let loads: Vec<_> = out.iter().filter(|u| u.kind == UopKind::Load).collect();
         // Skip the interpreter's bytecode-fetch loads; the kernel loads
         // are the heap ones.
-        let heap_loads: Vec<_> =
-            loads.iter().filter(|u| Region::of(u.mem.unwrap()) == Region::Heap).collect();
+        let heap_loads: Vec<_> = loads
+            .iter()
+            .filter(|u| Region::of(u.mem.unwrap()) == Region::Heap)
+            .collect();
         assert_eq!(heap_loads.len(), 3);
         assert!(heap_loads[1].dep_dist != DEP_NONE);
         assert!(heap_loads[2].dep_dist != DEP_NONE);
@@ -459,7 +505,10 @@ mod more_tests {
         let mut out = Vec::new();
         let mut ctx = EmitCtx::new(&mut p, &mut out);
         ctx.fp_div();
-        let div = out.iter().find(|u| u.kind == UopKind::FpDiv).expect("divide emitted");
+        let div = out
+            .iter()
+            .find(|u| u.kind == UopKind::FpDiv)
+            .expect("divide emitted");
         assert_eq!(div.dep_dist, 1);
     }
 
@@ -469,8 +518,15 @@ mod more_tests {
         let mut out = Vec::new();
         let mut ctx = EmitCtx::new(&mut p, &mut out);
         ctx.alu_chain(6);
-        let alus: Vec<_> = out.iter().filter(|u| u.kind == UopKind::Alu && u.dep_dist == 1).collect();
-        assert!(alus.len() >= 4, "chain must carry dependences, got {}", alus.len());
+        let alus: Vec<_> = out
+            .iter()
+            .filter(|u| u.kind == UopKind::Alu && u.dep_dist == 1)
+            .collect();
+        assert!(
+            alus.len() >= 4,
+            "chain must carry dependences, got {}",
+            alus.len()
+        );
     }
 
     #[test]
@@ -485,7 +541,10 @@ mod more_tests {
             .filter_map(|u| u.mem)
             .filter(|&a| a >= stack_base && a < stack_base + 16 * 1024)
             .count();
-        assert!(stack_refs > 8, "spill/fill traffic expected, got {stack_refs}");
+        assert!(
+            stack_refs > 8,
+            "spill/fill traffic expected, got {stack_refs}"
+        );
     }
 
     #[test]
@@ -502,6 +561,9 @@ mod more_tests {
             // offset for this invocation.
             starts.insert(out.last().unwrap().pc & !1023);
         }
-        assert!(starts.len() >= 3, "invocations must enter different quadrants: {starts:?}");
+        assert!(
+            starts.len() >= 3,
+            "invocations must enter different quadrants: {starts:?}"
+        );
     }
 }

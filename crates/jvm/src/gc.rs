@@ -83,12 +83,21 @@ impl GcWorkGen {
                 let pc = self.next_pc();
                 out.push(Uop::load(pc, self.heap_base + scatter));
                 let pc = self.next_pc();
-                out.push(Uop { dep_dist: 1, ..Uop::alu(pc) });
+                out.push(Uop {
+                    dep_dist: 1,
+                    ..Uop::alu(pc)
+                });
                 let pc = self.next_pc();
-                out.push(Uop { dep_dist: 1, ..Uop::alu(pc) });
+                out.push(Uop {
+                    dep_dist: 1,
+                    ..Uop::alu(pc)
+                });
                 if self.next_rand().is_multiple_of(4) {
                     let pc = self.next_pc();
-                    out.push(Uop { dep_dist: 2, ..Uop::store(pc, self.heap_base + scatter) });
+                    out.push(Uop {
+                        dep_dist: 2,
+                        ..Uop::store(pc, self.heap_base + scatter)
+                    });
                 }
                 let pc = self.next_pc();
                 let target = Region::Code.base() + GC_CODE_OFFSET;
@@ -122,8 +131,8 @@ impl GcWorkGen {
 
 #[cfg(test)]
 mod tests {
-    use jsmt_isa::UopKind;
     use super::*;
+    use jsmt_isa::UopKind;
 
     #[test]
     fn emits_until_done() {

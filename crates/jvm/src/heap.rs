@@ -41,8 +41,14 @@ impl Heap {
     /// Panics if the capacity exceeds the simulated heap region or the
     /// trigger is not in `(0, 1]`.
     pub fn new(capacity: u64, gc_trigger: f64) -> Self {
-        assert!(capacity <= Region::Heap.size(), "heap larger than the simulated region");
-        assert!(gc_trigger > 0.0 && gc_trigger <= 1.0, "trigger must be in (0,1]");
+        assert!(
+            capacity <= Region::Heap.size(),
+            "heap larger than the simulated region"
+        );
+        assert!(
+            gc_trigger > 0.0 && gc_trigger <= 1.0,
+            "trigger must be in (0,1]"
+        );
         Heap {
             base: Region::Heap.base(),
             capacity,

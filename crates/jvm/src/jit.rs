@@ -74,7 +74,10 @@ impl JitWorkGen {
             let bc = (Region::Native.base() + self.next_rand() % (64 * 1024)) & !3;
             out.push(Uop::load(pc, bc));
             let pc = self.next_pc();
-            out.push(Uop { dep_dist: 1, ..Uop::alu(pc) });
+            out.push(Uop {
+                dep_dist: 1,
+                ..Uop::alu(pc)
+            });
             // Optimization: compare/branch over the IR.
             let pc = self.next_pc();
             let target = Region::Code.base() + JIT_CODE_OFFSET;
@@ -86,7 +89,10 @@ impl JitWorkGen {
             let at = self.body_base + (self.emitted / UOPS_PER_CODE_BYTE) % self.body_size.max(1);
             out.push(Uop::store(pc, at & !3));
             let pc = self.next_pc();
-            out.push(Uop { dep_dist: DEP_NONE, ..Uop::alu(pc) });
+            out.push(Uop {
+                dep_dist: DEP_NONE,
+                ..Uop::alu(pc)
+            });
             self.emitted += 6;
         }
         out.len() - start
@@ -111,7 +117,10 @@ mod tests {
         };
         let small = count(200);
         let large = count(2000);
-        assert!(large > small * 5, "compile cost scales with code size: {small} vs {large}");
+        assert!(
+            large > small * 5,
+            "compile cost scales with code size: {small} vs {large}"
+        );
     }
 
     #[test]

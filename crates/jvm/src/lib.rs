@@ -58,8 +58,8 @@ mod process;
 
 pub use emit::{EmitCtx, UopRef};
 pub use gc::GcWorkGen;
-pub use jit::JitWorkGen;
 pub use heap::{Heap, HeapStats};
+pub use jit::JitWorkGen;
 pub use methods::{MethodId, MethodMode, MethodTable};
 pub use monitor::{MonitorId, MonitorOutcome, MonitorTable};
 pub use process::{JvmConfig, JvmProcess};

@@ -227,7 +227,11 @@ mod tests {
         t.set_background_compilation(true);
         let m = t.register("hot", 128);
         for _ in 0..6 {
-            assert_eq!(t.invoke(m), MethodMode::Interpreted, "stays interpreted until compiled");
+            assert_eq!(
+                t.invoke(m),
+                MethodMode::Interpreted,
+                "stays interpreted until compiled"
+            );
         }
         assert!(t.has_pending_compiles());
         let req = t.take_compile_request().expect("queued");

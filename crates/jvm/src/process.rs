@@ -187,7 +187,10 @@ mod tests {
         let mut p = JvmProcess::new(1, cfg);
         p.heap_mut().alloc(1000).unwrap();
         let live = p.collect();
-        assert_eq!(live, 504, "half of the 1000 (1000->1000 used, 8-aligned halves)");
+        assert_eq!(
+            live, 504,
+            "half of the 1000 (1000->1000 used, 8-aligned halves)"
+        );
     }
 
     #[test]

@@ -30,7 +30,11 @@ pub struct BtbConfig {
 impl BtbConfig {
     /// P4-like BTB: 4K entries, 4-way, logical-CPU-tagged.
     pub fn p4(ht_enabled: bool) -> Self {
-        BtbConfig { sets: 1024, ways: 4, lcpu_tagged: ht_enabled }
+        BtbConfig {
+            sets: 1024,
+            ways: 4,
+            lcpu_tagged: ht_enabled,
+        }
     }
 }
 
@@ -63,7 +67,15 @@ impl Btb {
         assert!(cfg.ways >= 1, "ways must be >= 1");
         Btb {
             cfg,
-            entries: vec![BtbEntry { tag: 0, target: 0, stamp: 0, valid: false }; cfg.sets * cfg.ways],
+            entries: vec![
+                BtbEntry {
+                    tag: 0,
+                    target: 0,
+                    stamp: 0,
+                    valid: false
+                };
+                cfg.sets * cfg.ways
+            ],
             tick: 0,
             lookups: [0; 2],
             misses: [0; 2],
@@ -110,8 +122,16 @@ impl Btb {
             e.stamp = self.tick;
             return;
         }
-        let victim = ways.iter_mut().min_by_key(|e| if e.valid { e.stamp } else { 0 }).expect("ways >= 1");
-        *victim = BtbEntry { tag, target, stamp: self.tick, valid: true };
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.stamp } else { 0 })
+            .expect("ways >= 1");
+        *victim = BtbEntry {
+            tag,
+            target,
+            stamp: self.tick,
+            valid: true,
+        };
     }
 
     /// Lookups by `lcpu`.
@@ -138,7 +158,10 @@ impl PredictorConfig {
     /// A P4-class global predictor (4K-entry pattern table, 12-bit
     /// history).
     pub fn p4() -> Self {
-        PredictorConfig { table_bits: 12, history_bits: 12 }
+        PredictorConfig {
+            table_bits: 12,
+            history_bits: 12,
+        }
     }
 }
 
@@ -236,12 +259,20 @@ mod tests {
     fn lcpu_tagging_blocks_cross_thread_hits() {
         let mut btb = Btb::new(BtbConfig::p4(true));
         btb.update(0x1000, A1, LP0, 0x2000);
-        assert_eq!(btb.lookup(0x1000, A1, LP1), None, "tagged entry invisible to sibling");
+        assert_eq!(
+            btb.lookup(0x1000, A1, LP1),
+            None,
+            "tagged entry invisible to sibling"
+        );
     }
 
     #[test]
     fn untagged_btb_shares_entries() {
-        let mut btb = Btb::new(BtbConfig { sets: 16, ways: 2, lcpu_tagged: false });
+        let mut btb = Btb::new(BtbConfig {
+            sets: 16,
+            ways: 2,
+            lcpu_tagged: false,
+        });
         btb.update(0x1000, A1, LP0, 0x2000);
         assert_eq!(btb.lookup(0x1000, A1, LP1), Some(0x2000));
     }
@@ -250,10 +281,18 @@ mod tests {
     fn tagged_siblings_compete_for_ways() {
         // Same pc from both threads with 1-way sets: each install evicts
         // the other's entry — destructive interference.
-        let mut btb = Btb::new(BtbConfig { sets: 4, ways: 1, lcpu_tagged: true });
+        let mut btb = Btb::new(BtbConfig {
+            sets: 4,
+            ways: 1,
+            lcpu_tagged: true,
+        });
         btb.update(0x1000, A1, LP0, 0x2000);
         btb.update(0x1000, A1, LP1, 0x2000);
-        assert_eq!(btb.lookup(0x1000, A1, LP0), None, "sibling's install evicted ours");
+        assert_eq!(
+            btb.lookup(0x1000, A1, LP0),
+            None,
+            "sibling's install evicted ours"
+        );
     }
 
     #[test]
@@ -266,7 +305,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 985, "biased branch should be near-perfect, got {correct}");
+        assert!(
+            correct >= 985,
+            "biased branch should be near-perfect, got {correct}"
+        );
     }
 
     #[test]
@@ -277,14 +319,19 @@ mod tests {
         let mut wrong = 0u64;
         let n = 4000;
         for _ in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 33) & 1 == 1;
             if !p.predict_and_update(0x4000, LP0, BranchKind::Conditional, taken) {
                 wrong += 1;
             }
         }
         let rate = wrong as f64 / n as f64;
-        assert!(rate > 0.3, "random branches should mispredict often, rate={rate}");
+        assert!(
+            rate > 0.3,
+            "random branches should mispredict often, rate={rate}"
+        );
     }
 
     #[test]

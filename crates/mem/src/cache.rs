@@ -27,13 +27,25 @@ impl CacheConfig {
     /// (32 sets). Index bits all fall within the 4 KB page offset, so it
     /// is effectively virtually indexed; shared between logical CPUs.
     pub fn p4_l1d() -> Self {
-        CacheConfig { sets: 32, ways: 4, line_bytes: 64, phys_indexed: false, partitioned: false }
+        CacheConfig {
+            sets: 32,
+            ways: 4,
+            line_bytes: 64,
+            phys_indexed: false,
+            partitioned: false,
+        }
     }
 
     /// The paper machine's unified L2: 1 MB, 8-way, 64 B lines
     /// (2048 sets), physically indexed, shared.
     pub fn p4_l2() -> Self {
-        CacheConfig { sets: 2048, ways: 8, line_bytes: 64, phys_indexed: true, partitioned: false }
+        CacheConfig {
+            sets: 2048,
+            ways: 8,
+            line_bytes: 64,
+            phys_indexed: true,
+            partitioned: false,
+        }
     }
 
     /// Total capacity in bytes.
@@ -43,9 +55,15 @@ impl CacheConfig {
 
     fn validate(&self) {
         assert!(self.sets.is_power_of_two(), "sets must be a power of two");
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.ways >= 1, "associativity must be at least 1");
-        assert!(!self.partitioned || self.sets >= 2, "partitioned cache needs >= 2 sets");
+        assert!(
+            !self.partitioned || self.sets >= 2,
+            "partitioned cache needs >= 2 sets"
+        );
     }
 }
 
@@ -56,7 +74,11 @@ struct Line {
     valid: bool,
 }
 
-const INVALID: Line = Line { tag: 0, stamp: 0, valid: false };
+const INVALID: Line = Line {
+    tag: 0,
+    stamp: 0,
+    valid: false,
+};
 
 /// A set-associative cache with true-LRU replacement and optional static
 /// partitioning / physical indexing.
@@ -143,7 +165,11 @@ impl SetAssocCache {
             .iter_mut()
             .min_by_key(|l| if l.valid { l.stamp } else { 0 })
             .expect("associativity >= 1");
-        *victim = Line { tag, stamp: self.tick, valid: true };
+        *victim = Line {
+            tag,
+            stamp: self.tick,
+            valid: true,
+        };
         false
     }
 
@@ -153,7 +179,9 @@ impl SetAssocCache {
         let (raw, tag, _) = self.index_and_tag(addr, asid);
         let set = self.set_range(raw, lcpu);
         let base = set * self.cfg.ways;
-        self.lines[base..base + self.cfg.ways].iter().any(|l| l.valid && l.tag == tag)
+        self.lines[base..base + self.cfg.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Invalidate everything (e.g. simulated cache flush).
@@ -291,7 +319,10 @@ mod tests {
         }
         let virt_resident = pages.iter().filter(|&&p| virt.probe(p, A1, LP0)).count();
         let phys_resident = pages.iter().filter(|&&p| phys.probe(p, A1, LP0)).count();
-        assert_eq!(virt_resident, 2, "virtual indexing keeps only `ways` colliding pages");
+        assert_eq!(
+            virt_resident, 2,
+            "virtual indexing keeps only `ways` colliding pages"
+        );
         assert!(
             phys_resident > 8,
             "physical indexing should scatter the pages, got {phys_resident}"

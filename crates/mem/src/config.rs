@@ -22,7 +22,13 @@ pub struct MemLatencies {
 impl MemLatencies {
     /// Latencies matching the paper's machine.
     pub fn p4() -> Self {
-        MemLatencies { l1d_hit: 2, l2_hit: 18, memory: 350, tc_build: 12, tlb_walk: 30 }
+        MemLatencies {
+            l1d_hit: 2,
+            l2_hit: 18,
+            memory: 350,
+            tc_build: 12,
+            tlb_walk: 30,
+        }
     }
 }
 

@@ -133,7 +133,10 @@ impl MemoryHierarchy {
         let lat = &self.cfg.latencies;
         bank.inc(lcpu, Event::TcLookups);
         if self.tc.fetch(pc, asid, lcpu) {
-            return FetchOutcome { tc_hit: true, penalty: 0 };
+            return FetchOutcome {
+                tc_hit: true,
+                penalty: 0,
+            };
         }
         bank.inc(lcpu, Event::TcMisses);
         bank.inc(lcpu, Event::TcBuilds);
@@ -154,7 +157,10 @@ impl MemoryHierarchy {
             bank.inc(lcpu, Event::MemAccesses);
             penalty += lat.memory;
         }
-        FetchOutcome { tc_hit: false, penalty }
+        FetchOutcome {
+            tc_hit: false,
+            penalty,
+        }
     }
 
     /// Maximum µops deliverable by one fetch (trace-line width).
@@ -186,7 +192,10 @@ mod tests {
     const LP0: LogicalCpu = LogicalCpu::Lp0;
 
     fn hier() -> (MemoryHierarchy, CounterBank) {
-        (MemoryHierarchy::new(MemConfig::p4(true)), CounterBank::new())
+        (
+            MemoryHierarchy::new(MemConfig::p4(true)),
+            CounterBank::new(),
+        )
     }
 
     #[test]
@@ -213,7 +222,11 @@ mod tests {
         }
         let lat = h.data_access(0x2000_0000, A1, LP0, AccessKind::Read, &mut bank);
         let cfg = MemConfig::p4(true).latencies;
-        assert_eq!(lat, cfg.l1d_hit + cfg.l2_hit, "should be an L2 hit after L1 eviction");
+        assert_eq!(
+            lat,
+            cfg.l1d_hit + cfg.l2_hit,
+            "should be an L2 hit after L1 eviction"
+        );
     }
 
     #[test]
@@ -246,7 +259,10 @@ mod tests {
         for i in 0..32u64 {
             h.data_access(0x3000_0000 + i * 64, A1, LP0, AccessKind::Read, &mut bank);
         }
-        assert!(bank.total(Event::PrefetchesIssued) > 16, "stream must trigger prefetches");
+        assert!(
+            bank.total(Event::PrefetchesIssued) > 16,
+            "stream must trigger prefetches"
+        );
         // Compare L2 misses against a prefetch-less hierarchy on the same
         // stream.
         let mut h2 = MemoryHierarchy::new(MemConfig::p4(true));

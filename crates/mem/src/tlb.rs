@@ -25,12 +25,20 @@ impl TlbConfig {
     /// P4-like ITLB: 128 entries total, partitioned in half per logical
     /// CPU when Hyper-Threading is enabled.
     pub fn p4_itlb(ht_enabled: bool) -> Self {
-        TlbConfig { entries: 128, ways: 8, partitioned: ht_enabled }
+        TlbConfig {
+            entries: 128,
+            ways: 8,
+            partitioned: ht_enabled,
+        }
     }
 
     /// P4-like DTLB: 64 entries, fully shared.
     pub fn p4_dtlb() -> Self {
-        TlbConfig { entries: 64, ways: 8, partitioned: false }
+        TlbConfig {
+            entries: 64,
+            ways: 8,
+            partitioned: false,
+        }
     }
 }
 
@@ -61,14 +69,27 @@ impl Tlb {
     /// count is not a power of two, or if a partitioned TLB has fewer than
     /// two sets.
     pub fn new(cfg: TlbConfig) -> Self {
-        assert!(cfg.ways >= 1 && cfg.entries.is_multiple_of(cfg.ways), "entries must divide by ways");
+        assert!(
+            cfg.ways >= 1 && cfg.entries.is_multiple_of(cfg.ways),
+            "entries must divide by ways"
+        );
         let sets = cfg.entries / cfg.ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        assert!(!cfg.partitioned || sets >= 2, "partitioned TLB needs >= 2 sets");
+        assert!(
+            !cfg.partitioned || sets >= 2,
+            "partitioned TLB needs >= 2 sets"
+        );
         Tlb {
             cfg,
             sets,
-            entries: vec![Entry { tag: 0, stamp: 0, valid: false }; cfg.entries],
+            entries: vec![
+                Entry {
+                    tag: 0,
+                    stamp: 0,
+                    valid: false
+                };
+                cfg.entries
+            ],
             tick: 0,
             lookups: [0; 2],
             misses: [0; 2],
@@ -104,8 +125,15 @@ impl Tlb {
             return true;
         }
         self.misses[lcpu.index()] += 1;
-        let victim = ways.iter_mut().min_by_key(|e| if e.valid { e.stamp } else { 0 }).expect("ways >= 1");
-        *victim = Entry { tag, stamp: self.tick, valid: true };
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.stamp } else { 0 })
+            .expect("ways >= 1");
+        *victim = Entry {
+            tag,
+            stamp: self.tick,
+            valid: true,
+        };
         false
     }
 
@@ -151,13 +179,24 @@ mod tests {
         // partition; a shared TLB keeps them all resident, the partitioned
         // one does not.
         let pages: Vec<u64> = (0..96).map(|i| i * PAGE_BYTES).collect();
-        let mut shared = Tlb::new(TlbConfig { entries: 128, ways: 8, partitioned: false });
-        let mut part = Tlb::new(TlbConfig { entries: 128, ways: 8, partitioned: true });
+        let mut shared = Tlb::new(TlbConfig {
+            entries: 128,
+            ways: 8,
+            partitioned: false,
+        });
+        let mut part = Tlb::new(TlbConfig {
+            entries: 128,
+            ways: 8,
+            partitioned: true,
+        });
         for &p in &pages {
             shared.access(p, A1, LP0);
             part.access(p, A1, LP0);
         }
-        let shared_second: u64 = pages.iter().map(|&p| !shared.access(p, A1, LP0) as u64).sum();
+        let shared_second: u64 = pages
+            .iter()
+            .map(|&p| !shared.access(p, A1, LP0) as u64)
+            .sum();
         let part_second: u64 = pages.iter().map(|&p| !part.access(p, A1, LP0) as u64).sum();
         assert_eq!(shared_second, 0, "96 pages fit in 128 shared entries");
         assert!(part_second > 0, "96 pages overflow a 64-entry partition");
@@ -165,7 +204,11 @@ mod tests {
 
     #[test]
     fn partitions_are_private() {
-        let mut t = Tlb::new(TlbConfig { entries: 16, ways: 2, partitioned: true });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 16,
+            ways: 2,
+            partitioned: true,
+        });
         t.access(0, A1, LP0);
         assert!(!t.access(0, A1, LP1), "sibling has its own partition");
         assert!(t.access(0, A1, LP0));
@@ -185,6 +228,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "divide")]
     fn bad_geometry() {
-        let _ = Tlb::new(TlbConfig { entries: 10, ways: 4, partitioned: false });
+        let _ = Tlb::new(TlbConfig {
+            entries: 10,
+            ways: 4,
+            partitioned: false,
+        });
     }
 }

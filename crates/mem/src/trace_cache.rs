@@ -84,11 +84,24 @@ impl TraceCache {
     /// line coverage).
     pub fn new(cfg: TraceCacheConfig) -> Self {
         assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
-        assert!(cfg.line_code_bytes.is_power_of_two(), "line coverage must be a power of two");
-        assert!(cfg.ways >= 1 && cfg.uops_per_line >= 1, "degenerate geometry");
+        assert!(
+            cfg.line_code_bytes.is_power_of_two(),
+            "line coverage must be a power of two"
+        );
+        assert!(
+            cfg.ways >= 1 && cfg.uops_per_line >= 1,
+            "degenerate geometry"
+        );
         TraceCache {
             cfg,
-            lines: vec![TraceLine { tag: 0, stamp: 0, valid: false }; cfg.sets * cfg.ways],
+            lines: vec![
+                TraceLine {
+                    tag: 0,
+                    stamp: 0,
+                    valid: false
+                };
+                cfg.sets * cfg.ways
+            ],
             tick: 0,
             lookups: [0; 2],
             misses: [0; 2],
@@ -122,8 +135,15 @@ impl TraceCache {
         }
         self.misses[lcpu.index()] += 1;
         self.builds[lcpu.index()] += 1;
-        let victim = ways.iter_mut().min_by_key(|l| if l.valid { l.stamp } else { 0 }).expect("ways >= 1");
-        *victim = TraceLine { tag, stamp: self.tick, valid: true };
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.stamp } else { 0 })
+            .expect("ways >= 1");
+        *victim = TraceLine {
+            tag,
+            stamp: self.tick,
+            valid: true,
+        };
         false
     }
 
@@ -181,8 +201,9 @@ mod tests {
         let cfg = TraceCacheConfig::p4(false);
         let lines = (cfg.sets * cfg.ways) as u64;
         let mut tc = TraceCache::new(cfg);
-        let footprint: Vec<u64> =
-            (0..(lines * 3 / 4)).map(|i| 0x0800_0000 + i * cfg.line_code_bytes).collect();
+        let footprint: Vec<u64> = (0..(lines * 3 / 4))
+            .map(|i| 0x0800_0000 + i * cfg.line_code_bytes)
+            .collect();
         // Warm both.
         for _ in 0..3 {
             for &pc in &footprint {
@@ -206,7 +227,10 @@ mod tests {
     fn same_process_threads_share_traces_without_ht_tagging() {
         let mut tc = TraceCache::new(TraceCacheConfig::p4(false));
         tc.fetch(0x0800_0000, A1, LP0);
-        assert!(tc.fetch(0x0800_0000, A1, LP1), "constructive sharing within a process");
+        assert!(
+            tc.fetch(0x0800_0000, A1, LP1),
+            "constructive sharing within a process"
+        );
     }
 
     #[test]

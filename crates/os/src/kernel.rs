@@ -47,7 +47,11 @@ impl KernelCodegen {
 
     /// A generator with the default footprints.
     pub fn new(seed: u64) -> Self {
-        KernelCodegen { code_span: Self::CODE_SPAN, data_span: Self::DATA_SPAN, rng_state: seed | 1 }
+        KernelCodegen {
+            code_span: Self::CODE_SPAN,
+            data_span: Self::DATA_SPAN,
+            rng_state: seed | 1,
+        }
     }
 
     #[inline]
@@ -154,7 +158,11 @@ mod tests {
         for u in &out {
             mix.record(u);
         }
-        assert!(mix.mem_fraction() > 0.2 && mix.mem_fraction() < 0.4, "{}", mix.mem_fraction());
+        assert!(
+            mix.mem_fraction() > 0.2 && mix.mem_fraction() < 0.4,
+            "{}",
+            mix.mem_fraction()
+        );
         assert!(mix.branch_fraction() > 0.05 && mix.branch_fraction() < 0.15);
         assert_eq!(mix.kernel, 10_000);
     }

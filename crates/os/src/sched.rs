@@ -107,7 +107,10 @@ impl Scheduler {
     /// Create a runnable thread in address space `asid`.
     pub fn spawn(&mut self, asid: Asid) -> ThreadId {
         let tid = ThreadId(self.threads.len() as u32);
-        self.threads.push(ThreadInfo { asid, state: ThreadState::Runnable });
+        self.threads.push(ThreadInfo {
+            asid,
+            state: ThreadState::Runnable,
+        });
         self.runq.push_back(tid);
         tid
     }
@@ -186,14 +189,17 @@ impl Scheduler {
 
     /// Count of threads not yet finished.
     pub fn live_threads(&self) -> usize {
-        self.threads.iter().filter(|t| t.state != ThreadState::Finished).count()
+        self.threads
+            .iter()
+            .filter(|t| t.state != ThreadState::Finished)
+            .count()
     }
 
     /// Advance scheduling decisions. `drained[l]` reports whether logical
     /// CPU `l`'s context has fully drained (from the core's snapshot).
     /// Decisions are appended to `out` in application order.
     pub fn tick(&mut self, now: u64, drained: [bool; 2], out: &mut Vec<SchedEvent>) {
-        for l in 0..self.nlcpus {
+        for (l, &ctx_drained) in drained.iter().enumerate().take(self.nlcpus) {
             // Timer interrupts tick on active CPUs.
             if self.running[l].is_some() && now >= self.next_timer[l] {
                 self.next_timer[l] = now + self.cfg.timer_period_cycles;
@@ -205,11 +211,14 @@ impl Scheduler {
             // the successor can be dispatched in the same tick (the
             // context-switch cost is charged to the incoming thread).
             if let Some(tid) = self.draining[l] {
-                if !drained[l] {
+                if !ctx_drained {
                     continue;
                 }
                 self.draining[l] = None;
-                out.push(SchedEvent::Unbind { lcpu: l, thread: tid });
+                out.push(SchedEvent::Unbind {
+                    lcpu: l,
+                    thread: tid,
+                });
                 let info = &mut self.threads[tid.0 as usize];
                 if let ThreadState::Draining(_) = info.state {
                     info.state = ThreadState::Runnable;
@@ -243,7 +252,11 @@ impl Scheduler {
                     self.slice_end[l] = now + self.cfg.timeslice_cycles;
                     self.next_timer[l] = self.next_timer[l].max(now + self.cfg.timer_period_cycles);
                     self.ctx_switches += 1;
-                    out.push(SchedEvent::Bind { lcpu: l, thread: tid, asid });
+                    out.push(SchedEvent::Bind {
+                        lcpu: l,
+                        thread: tid,
+                        asid,
+                    });
                 }
             }
         }
@@ -271,8 +284,16 @@ mod tests {
         assert_eq!(
             ev,
             vec![
-                SchedEvent::Bind { lcpu: 0, thread: a, asid: A },
-                SchedEvent::Bind { lcpu: 1, thread: b, asid: A }
+                SchedEvent::Bind {
+                    lcpu: 0,
+                    thread: a,
+                    asid: A
+                },
+                SchedEvent::Bind {
+                    lcpu: 1,
+                    thread: b,
+                    asid: A
+                }
             ]
         );
         assert_eq!(s.state(a), ThreadState::Running(0));
@@ -298,7 +319,10 @@ mod tests {
         drain_all(&mut s, 0);
         // Before expiry: nothing but timer interrupts.
         let ev = drain_all(&mut s, cfg.timeslice_cycles / 2);
-        assert!(ev.iter().all(|e| matches!(e, SchedEvent::Timer { .. })), "{ev:?}");
+        assert!(
+            ev.iter().all(|e| matches!(e, SchedEvent::Timer { .. })),
+            "{ev:?}"
+        );
         // After expiry: drain, unbind, bind the waiter.
         let ev: Vec<_> = drain_all(&mut s, cfg.timeslice_cycles + 1)
             .into_iter()
@@ -374,7 +398,10 @@ mod tests {
         let mut timers = 0;
         for i in 1..=10 {
             let ev = drain_all(&mut s, i * cfg.timer_period_cycles + 1);
-            timers += ev.iter().filter(|e| matches!(e, SchedEvent::Timer { .. })).count();
+            timers += ev
+                .iter()
+                .filter(|e| matches!(e, SchedEvent::Timer { .. }))
+                .count();
         }
         assert!(timers >= 9, "expected ~10 timer irqs, got {timers}");
         assert_eq!(s.timer_irqs(), timers as u64);

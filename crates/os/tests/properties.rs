@@ -54,8 +54,8 @@ proptest! {
             // A bound thread is never simultaneously in the run queue.
             // (Blocked/Finished are legitimate transient states between
             // the block/finish call and the drain that unbinds.)
-            for l in 0..nlcpus {
-                if let Some(t) = bound[l] {
+            for &slot in bound.iter().take(nlcpus) {
+                if let Some(t) = slot {
                     prop_assert_ne!(s.state(t), ThreadState::Runnable, "bound thread in runqueue");
                 }
             }

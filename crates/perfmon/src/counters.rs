@@ -63,7 +63,9 @@ pub struct CounterBank {
 impl CounterBank {
     /// A zeroed bank.
     pub fn new() -> Self {
-        CounterBank { counts: [[0; Event::COUNT]; 2] }
+        CounterBank {
+            counts: [[0; Event::COUNT]; 2],
+        }
     }
 
     /// Increment `event` on `lcpu` by one.

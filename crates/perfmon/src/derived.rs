@@ -78,7 +78,11 @@ impl DerivedMetrics {
         let ipc = instr as f64 / cyc as f64;
         DerivedMetrics {
             ipc,
-            cpi: if instr == 0 { f64::INFINITY } else { cyc as f64 / instr as f64 },
+            cpi: if instr == 0 {
+                f64::INFINITY
+            } else {
+                cyc as f64 / instr as f64
+            },
             tc_mpki: bank.total(Event::TcMisses) as f64 / ki,
             l1d_mpki: bank.total(Event::L1dMisses) as f64 / ki,
             l2_mpki: bank.total(Event::L2Misses) as f64 / ki,
@@ -93,7 +97,10 @@ impl DerivedMetrics {
                 bank.total(Event::OsCycles),
                 bank.total(Event::ActiveCycles).max(cyc),
             ),
-            dual_thread_fraction: ratio(bank.get(crate::LogicalCpu::Lp0, Event::DualThreadCycles), cyc),
+            dual_thread_fraction: ratio(
+                bank.get(crate::LogicalCpu::Lp0, Event::DualThreadCycles),
+                cyc,
+            ),
             retirement: RetirementProfile {
                 retire0: bank.total(Event::CyclesRetire0) as f64 / rc,
                 retire1: bank.total(Event::CyclesRetire1) as f64 / rc,

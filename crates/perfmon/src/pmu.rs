@@ -40,12 +40,20 @@ pub struct CounterConfig {
 impl CounterConfig {
     /// Count `event` on both logical CPUs at all privilege levels.
     pub fn all(event: Event) -> Self {
-        CounterConfig { event, lcpu: None, priv_filter: PrivFilter::Both }
+        CounterConfig {
+            event,
+            lcpu: None,
+            priv_filter: PrivFilter::Both,
+        }
     }
 
     /// Count `event` on a single logical CPU.
     pub fn on(event: Event, lcpu: LogicalCpu) -> Self {
-        CounterConfig { event, lcpu: Some(lcpu), priv_filter: PrivFilter::Both }
+        CounterConfig {
+            event,
+            lcpu: Some(lcpu),
+            priv_filter: PrivFilter::Both,
+        }
     }
 }
 
@@ -94,7 +102,9 @@ pub struct Pmu {
 impl Pmu {
     /// A PMU with no counters programmed.
     pub fn new() -> Self {
-        Pmu { programmed: Vec::new() }
+        Pmu {
+            programmed: Vec::new(),
+        }
     }
 
     /// Program a counter.
@@ -131,7 +141,10 @@ impl Pmu {
     ///
     /// Returns [`PmuError::BadCounterId`] for a stale or foreign id.
     pub fn read(&self, id: CounterId, bank: &CounterBank) -> Result<u64, PmuError> {
-        let config = self.programmed.get(id.0).ok_or(PmuError::BadCounterId(id))?;
+        let config = self
+            .programmed
+            .get(id.0)
+            .ok_or(PmuError::BadCounterId(id))?;
         let raw = |event: Event| match config.lcpu {
             Some(lcpu) => bank.get(lcpu, event),
             None => bank.total(event),
@@ -172,8 +185,12 @@ mod tests {
     #[test]
     fn lcpu_filter_applies() {
         let mut pmu = Pmu::new();
-        let id0 = pmu.program(CounterConfig::on(Event::TcMisses, LogicalCpu::Lp0)).unwrap();
-        let id1 = pmu.program(CounterConfig::on(Event::TcMisses, LogicalCpu::Lp1)).unwrap();
+        let id0 = pmu
+            .program(CounterConfig::on(Event::TcMisses, LogicalCpu::Lp0))
+            .unwrap();
+        let id1 = pmu
+            .program(CounterConfig::on(Event::TcMisses, LogicalCpu::Lp1))
+            .unwrap();
         let bank = bank_with(LogicalCpu::Lp1, Event::TcMisses, 5);
         assert_eq!(pmu.read(id0, &bank).unwrap(), 0);
         assert_eq!(pmu.read(id1, &bank).unwrap(), 5);
@@ -183,9 +200,12 @@ mod tests {
     fn counter_limit_enforced() {
         let mut pmu = Pmu::new();
         for (i, ev) in Event::ALL.iter().enumerate().take(MAX_HW_COUNTERS) {
-            pmu.program(CounterConfig::all(*ev)).unwrap_or_else(|e| panic!("slot {i}: {e}"));
+            pmu.program(CounterConfig::all(*ev))
+                .unwrap_or_else(|e| panic!("slot {i}: {e}"));
         }
-        let err = pmu.program(CounterConfig::all(Event::MonitorContended)).unwrap_err();
+        let err = pmu
+            .program(CounterConfig::all(Event::MonitorContended))
+            .unwrap_err();
         assert_eq!(err, PmuError::OutOfCounters);
         pmu.reset();
         assert_eq!(pmu.in_use(), 0);
@@ -227,7 +247,10 @@ mod tests {
     fn bad_id_is_an_error() {
         let pmu = Pmu::new();
         let bank = CounterBank::new();
-        assert!(matches!(pmu.read(CounterId(3), &bank), Err(PmuError::BadCounterId(_))));
+        assert!(matches!(
+            pmu.read(CounterId(3), &bank),
+            Err(PmuError::BadCounterId(_))
+        ));
     }
 
     #[test]

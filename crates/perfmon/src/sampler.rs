@@ -61,7 +61,10 @@ impl Sampler {
     pub fn force_sample(&mut self, cycle: u64, bank: &CounterBank) {
         let delta = bank.delta(&self.last);
         self.last = bank.clone();
-        self.samples.push(Sample { at_cycle: cycle, delta });
+        self.samples.push(Sample {
+            at_cycle: cycle,
+            delta,
+        });
         self.next_due = cycle + self.interval;
     }
 

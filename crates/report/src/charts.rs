@@ -8,7 +8,11 @@ const BAR_WIDTH: usize = 46;
 /// maximum value.
 pub fn bar_chart(title: &str, entries: &[(String, f64)]) -> String {
     let mut out = format!("{title}\n");
-    let max = entries.iter().map(|(_, v)| *v).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+    let max = entries
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
     let lw = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     for (label, v) in entries {
         let n = ((v / max) * BAR_WIDTH as f64).round() as usize;
@@ -29,7 +33,12 @@ pub fn series_chart(title: &str, series_names: &[&str], rows: &[(String, Vec<f64
         .flat_map(|(_, vs)| vs.iter().copied())
         .fold(0.0f64, f64::max)
         .max(f64::MIN_POSITIVE);
-    let lw = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0).max(series_names.iter().map(|s| s.len()).max().unwrap_or(0));
+    let lw = rows
+        .iter()
+        .map(|(l, _)| l.len())
+        .max()
+        .unwrap_or(0)
+        .max(series_names.iter().map(|s| s.len()).max().unwrap_or(0));
     for (label, values) in rows {
         assert_eq!(values.len(), series_names.len(), "series width mismatch");
         out.push_str(&format!("  {label}\n"));
@@ -56,8 +65,7 @@ pub fn box_chart(title: &str, entries: &[(String, BoxSummary)], lo: f64, hi: f64
     let mut out = format!("{title}\n");
     out.push_str(&format!(
         "  {:<lw$}  {:<width$}  (range {lo:.2}..{hi:.2})\n",
-        "",
-        "min|--[q1 med q3]--|max, o = mean"
+        "", "min|--[q1 med q3]--|max, o = mean"
     ));
     for (label, s) in entries {
         let mut line = vec![b' '; width];
@@ -93,9 +101,21 @@ pub fn box_chart(title: &str, entries: &[(String, BoxSummary)], lo: f64, hi: f64
 /// each cell's shade encodes the value ('.' low → '@' high), with the
 /// numeric value printed alongside.
 pub fn heat_map(title: &str, labels: &[String], matrix: &[Vec<f64>]) -> String {
-    assert_eq!(labels.len(), matrix.len(), "matrix must be square with labels");
-    let lo = matrix.iter().flatten().copied().fold(f64::INFINITY, f64::min);
-    let hi = matrix.iter().flatten().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert_eq!(
+        labels.len(),
+        matrix.len(),
+        "matrix must be square with labels"
+    );
+    let lo = matrix
+        .iter()
+        .flatten()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let hi = matrix
+        .iter()
+        .flatten()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
     let shades = [b'.', b':', b'-', b'=', b'+', b'*', b'%', b'@'];
     let shade = |v: f64| -> char {
         if hi <= lo {

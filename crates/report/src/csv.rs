@@ -10,7 +10,10 @@ pub struct Csv {
 impl Csv {
     /// A CSV with the given header row.
     pub fn new(headers: Vec<String>) -> Self {
-        Csv { headers, rows: Vec::new() }
+        Csv {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row.

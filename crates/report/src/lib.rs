@@ -55,7 +55,7 @@ mod tests {
         assert_eq!(fmt_num(0.0), "0");
         assert_eq!(fmt_num(1234.5), "1234");
         assert_eq!(fmt_num(42.42), "42.4");
-        assert_eq!(fmt_num(3.14159), "3.14");
+        assert_eq!(fmt_num(7.8642), "7.86");
         assert_eq!(fmt_num(0.1234), "0.123");
     }
 

@@ -11,7 +11,11 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new(headers: Vec<String>) -> Self {
-        Table { headers, rows: Vec::new(), title: None }
+        Table {
+            headers,
+            rows: Vec::new(),
+            title: None,
+        }
     }
 
     /// Builder-style: set a title line printed above the table.

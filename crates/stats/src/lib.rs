@@ -103,7 +103,10 @@ pub fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    assert!(xs.iter().all(|&x| x > 0.0), "geomean needs positive samples");
+    assert!(
+        xs.iter().all(|&x| x > 0.0),
+        "geomean needs positive samples"
+    );
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 

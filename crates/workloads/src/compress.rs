@@ -42,7 +42,7 @@ impl Compress {
     pub fn new(scale: f64) -> Self {
         let len = ((192.0 * 1024.0 * scale) as usize).max(4096);
         // Markov-ish compressible input: runs of correlated symbols.
-        let mut rng = Rng::new(0xC0&0xFF | 0xC0FF_EE00);
+        let mut rng = Rng::new(0xC0 & 0xFF | 0xC0FF_EE00);
         let mut input = Vec::with_capacity(len);
         let mut sym = 65u8;
         for _ in 0..len {
@@ -80,7 +80,9 @@ impl Compress {
 
     #[inline]
     fn dict_slot_addr(&self, prefix: u32, sym: u8) -> Addr {
-        let h = (prefix as u64).wrapping_mul(0x9E37_79B9).wrapping_add(sym as u64);
+        let h = (prefix as u64)
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(sym as u64);
         self.dict_base + (h % DICT_ENTRIES) * DICT_ENTRY_BYTES
     }
 }
@@ -142,8 +144,7 @@ impl Kernel for Compress {
                             ctx.branch(false, true);
                             ctx.call(self.m_output.expect("setup ran"));
                             ctx.alu(3);
-                            self.checksum =
-                                self.checksum.wrapping_mul(31).wrapping_add(p as u64);
+                            self.checksum = self.checksum.wrapping_mul(31).wrapping_add(p as u64);
                             self.out_codes += 1;
                             if self.next_code < DICT_ENTRIES as u32 {
                                 self.dict.insert((p, sym), self.next_code);
@@ -239,6 +240,10 @@ mod tests {
         let mut out = Vec::new();
         let mut ctx = EmitCtx::new(&mut jvm, &mut out);
         let _ = k.step(0, &mut ctx);
-        assert!(out.len() > 50 && out.len() < 3000, "block of {} µops", out.len());
+        assert!(
+            out.len() > 50 && out.len() < 3000,
+            "block of {} µops",
+            out.len()
+        );
     }
 }

@@ -167,7 +167,9 @@ impl Kernel for Db {
                 // window — real compare/swap work with store traffic.
                 _ => {
                     ctx.call(self.m_sort.expect("setup"));
-                    let start = self.rng.below((self.keys.len() as u64).saturating_sub(48).max(1))
+                    let start = self
+                        .rng
+                        .below((self.keys.len() as u64).saturating_sub(48).max(1))
                         as usize;
                     let window = start..(start + 48).min(self.keys.len());
                     let mut slice: Vec<u64> = self.keys[window.clone()].to_vec();
@@ -239,7 +241,10 @@ mod tests {
     #[test]
     fn index_stays_sorted_through_sort_passes() {
         let (k, _) = run(0.05);
-        assert!(k.keys.windows(2).all(|w| w[0] <= w[1]), "sort passes must not corrupt order");
+        assert!(
+            k.keys.windows(2).all(|w| w[0] <= w[1]),
+            "sort passes must not corrupt order"
+        );
     }
 
     #[test]
@@ -249,7 +254,10 @@ mod tests {
             .iter()
             .filter(|u| u.kind == jsmt_isa::UopKind::Load && u.dep_dist != jsmt_isa::DEP_NONE)
             .count();
-        assert!(chained_loads > 50, "binary search must chain loads, got {chained_loads}");
+        assert!(
+            chained_loads > 50,
+            "binary search must chain loads, got {chained_loads}"
+        );
     }
 
     #[test]

@@ -151,7 +151,10 @@ impl Kernel for Jack {
                     (self.rng.next_u64() % prod.alts.len() as u64) as usize
                 };
                 ctx.branch(alt == 0, true);
-                self.checksum = self.checksum.wrapping_mul(37).wrapping_add(p as u64 + alt as u64);
+                self.checksum = self
+                    .checksum
+                    .wrapping_mul(37)
+                    .wrapping_add(p as u64 + alt as u64);
                 // Visit via the production's own method (code footprint).
                 let vm = self.visitor_methods[p as usize % self.visitor_methods.len()];
                 ctx.call(vm);
@@ -239,7 +242,11 @@ mod tests {
     #[test]
     fn heaviest_allocator_in_the_suite() {
         let (k, gcs, _) = run(0.2, 2 << 20);
-        assert!(k.strings_made() > 1000, "string churn: {}", k.strings_made());
+        assert!(
+            k.strings_made() > 1000,
+            "string churn: {}",
+            k.strings_made()
+        );
         assert!(gcs >= 1, "jack must GC under a small heap");
     }
 

@@ -143,10 +143,12 @@ impl Javac {
                 }
                 _ => Tok::Punct,
             };
-            self.checksum = self
-                .checksum
-                .wrapping_mul(257)
-                .wrapping_add(self.source[start..self.src_pos].iter().map(|&b| b as u64).sum::<u64>());
+            self.checksum = self.checksum.wrapping_mul(257).wrapping_add(
+                self.source[start..self.src_pos]
+                    .iter()
+                    .map(|&b| b as u64)
+                    .sum::<u64>(),
+            );
             if self.src_pos >= self.source.len() {
                 return Tok::Eof;
             }
@@ -170,7 +172,10 @@ impl Kernel for Javac {
         // ~170 production/visitor methods of ~1.3 KB: ≈220 KB compiled
         // code — the compiler's bad-partner footprint.
         self.production_methods = (0..170)
-            .map(|i| jvm.methods_mut().register(&format!("Parser.parse#{i}"), 1300))
+            .map(|i| {
+                jvm.methods_mut()
+                    .register(&format!("Parser.parse#{i}"), 1300)
+            })
             .collect();
         self.m_lex = Some(jvm.methods_mut().register("Scanner.nextToken", 1500));
         self.m_emit = Some(jvm.methods_mut().register("CodeGen.emit", 1700));

@@ -179,8 +179,8 @@ impl Kernel for Jess {
                         return StepResult::needs_gc();
                     }
                 }
-                let rm = self.rule_methods
-                    [(self.checksum % self.rule_methods.len() as u64) as usize];
+                let rm =
+                    self.rule_methods[(self.checksum % self.rule_methods.len() as u64) as usize];
                 ctx.call(rm);
                 ctx.alu(12);
                 ctx.branch(true, true);

@@ -96,22 +96,38 @@ pub struct StepResult {
 impl StepResult {
     /// A plain "ran" result.
     pub fn ran() -> Self {
-        StepResult { outcome: StepOutcome::Ran, wake: Vec::new(), syscalls: 0 }
+        StepResult {
+            outcome: StepOutcome::Ran,
+            wake: Vec::new(),
+            syscalls: 0,
+        }
     }
 
     /// A "finished" result.
     pub fn finished() -> Self {
-        StepResult { outcome: StepOutcome::Finished, wake: Vec::new(), syscalls: 0 }
+        StepResult {
+            outcome: StepOutcome::Finished,
+            wake: Vec::new(),
+            syscalls: 0,
+        }
     }
 
     /// A "needs GC" result.
     pub fn needs_gc() -> Self {
-        StepResult { outcome: StepOutcome::NeedsGc, wake: Vec::new(), syscalls: 0 }
+        StepResult {
+            outcome: StepOutcome::NeedsGc,
+            wake: Vec::new(),
+            syscalls: 0,
+        }
     }
 
     /// A blocked result.
     pub fn blocked(reason: BlockReason) -> Self {
-        StepResult { outcome: StepOutcome::Blocked(reason), wake: Vec::new(), syscalls: 0 }
+        StepResult {
+            outcome: StepOutcome::Blocked(reason),
+            wake: Vec::new(),
+            syscalls: 0,
+        }
     }
 
     /// Attach threads to wake.

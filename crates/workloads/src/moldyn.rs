@@ -15,7 +15,7 @@
 use jsmt_isa::Addr;
 use jsmt_jvm::{EmitCtx, JvmProcess, MethodId};
 
-use crate::util::{LibCode, Barrier, BarrierWait, WorkMeter};
+use crate::util::{Barrier, BarrierWait, LibCode, WorkMeter};
 use crate::{BlockReason, Kernel, StepResult};
 
 const N_PARTICLES: usize = 2048;
@@ -97,7 +97,11 @@ impl MolDyn {
     fn partition(&self, tid: usize) -> (usize, usize) {
         let per = N_PARTICLES / self.threads;
         let lo = tid * per;
-        let hi = if tid + 1 == self.threads { N_PARTICLES } else { lo + per };
+        let hi = if tid + 1 == self.threads {
+            N_PARTICLES
+        } else {
+            lo + per
+        };
         (lo, hi)
     }
 }
@@ -116,7 +120,11 @@ impl Kernel for MolDyn {
         // Thread-private force arrays live on the heap (Java objects),
         // 48 KB each: the aggregate L1/L2 pressure grows with threads.
         self.force_bases = (0..self.threads)
-            .map(|_| jvm.heap_mut().alloc((N_PARTICLES * 24) as u64).expect("fits fresh heap"))
+            .map(|_| {
+                jvm.heap_mut()
+                    .alloc((N_PARTICLES * 24) as u64)
+                    .expect("fits fresh heap")
+            })
             .collect();
         self.m_force = Some(jvm.methods_mut().register("MolDyn.force", 2200));
         self.m_update = Some(jvm.methods_mut().register("MolDyn.update", 1100));
@@ -189,8 +197,8 @@ impl Kernel for MolDyn {
                 // Velocity-Verlet-ish update of the partition (real).
                 for i in lo..hi {
                     let f = self.forces[tid][i];
-                    for a in 0..3 {
-                        self.velocities[i][a] += 0.0005 * f[a];
+                    for (a, &fa) in f.iter().enumerate() {
+                        self.velocities[i][a] += 0.0005 * fa;
                         self.positions[i][a] += 0.001 * self.velocities[i][a];
                         self.forces[tid][i][a] = 0.0;
                     }
@@ -284,7 +292,10 @@ mod tests {
                 (p[0] - x0).abs() > 1e-12
             })
             .count();
-        assert!(moved > N_PARTICLES / 2, "integration must displace particles: {moved}");
+        assert!(
+            moved > N_PARTICLES / 2,
+            "integration must displace particles: {moved}"
+        );
     }
 
     #[test]

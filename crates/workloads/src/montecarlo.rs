@@ -47,7 +47,9 @@ impl MonteCarlo {
         MonteCarlo {
             threads,
             work: WorkMeter::new(threads, per_thread),
-            rngs: (0..threads).map(|t| Rng::new(0x3C47 + t as u64 * 7919)).collect(),
+            rngs: (0..threads)
+                .map(|t| Rng::new(0x3C47 + t as u64 * 7919))
+                .collect(),
             results_base: 0,
             m_path: None,
             m_merge: None,
@@ -141,9 +143,7 @@ impl Kernel for MonteCarlo {
             let mut s = 100.0f64;
             for t in 0..TIME_STEPS {
                 // Z ~ sum of uniforms (Irwin-Hall), deterministic.
-                let z = self.rngs[tid].unit() + self.rngs[tid].unit()
-                    + self.rngs[tid].unit()
-                    - 1.5;
+                let z = self.rngs[tid].unit() + self.rngs[tid].unit() + self.rngs[tid].unit() - 1.5;
                 s *= (0.0001 + 0.02 * z).exp();
                 // Narration: RNG ALU chain, exp-approx FP chain, table
                 // load per step.

@@ -195,7 +195,11 @@ mod tests {
     #[test]
     fn synthesis_actually_computes() {
         let (k, _) = run(0.01);
-        assert_ne!(k.checksum(), 0.0f64.to_bits(), "dot products must accumulate");
+        assert_ne!(
+            k.checksum(),
+            0.0f64.to_bits(),
+            "dot products must accumulate"
+        );
         assert!(k.frames_done >= 22);
     }
 

@@ -169,9 +169,15 @@ impl Kernel for PseudoJbb {
         // ~140 transaction-logic methods of ~1.2 KB: the server-code
         // footprint.
         self.tx_methods = (0..140)
-            .map(|i| jvm.methods_mut().register(&format!("TransactionManager.run#{i}"), 1200))
+            .map(|i| {
+                jvm.methods_mut()
+                    .register(&format!("TransactionManager.run#{i}"), 1200)
+            })
             .collect();
-        self.m_neworder = Some(jvm.methods_mut().register("NewOrderTransaction.process", 2100));
+        self.m_neworder = Some(
+            jvm.methods_mut()
+                .register("NewOrderTransaction.process", 2100),
+        );
         self.company_monitor = Some(jvm.monitors_mut().create());
     }
 

@@ -65,7 +65,11 @@ impl RayTracer {
             .map(|i| {
                 let f = i as f64;
                 Sphere {
-                    c: [(f * 0.37).sin() * 10.0, (f * 0.61).cos() * 10.0, 20.0 + (f * 0.13).sin() * 5.0],
+                    c: [
+                        (f * 0.37).sin() * 10.0,
+                        (f * 0.61).cos() * 10.0,
+                        20.0 + (f * 0.13).sin() * 5.0,
+                    ],
                     r: 1.0 + (i % 4) as f64 * 0.5,
                 }
             })

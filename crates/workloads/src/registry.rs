@@ -87,7 +87,10 @@ impl BenchmarkId {
 
     /// Parse a paper-spelled (case-insensitive) name.
     pub fn parse(s: &str) -> Option<BenchmarkId> {
-        Self::ALL.iter().copied().find(|b| b.name().eq_ignore_ascii_case(s))
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name().eq_ignore_ascii_case(s))
     }
 
     /// Whether the benchmark accepts a thread-count parameter.
@@ -98,7 +101,10 @@ impl BenchmarkId {
     /// The paper's three "bad partners" (§4.2): pairings with these slow
     /// other programs down because of trace-cache pressure.
     pub fn is_bad_partner(self) -> bool {
-        matches!(self, BenchmarkId::Jess | BenchmarkId::Javac | BenchmarkId::Jack)
+        matches!(
+            self,
+            BenchmarkId::Jess | BenchmarkId::Javac | BenchmarkId::Jack
+        )
     }
 }
 
@@ -122,12 +128,20 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// A single-threaded run at the default scale.
     pub fn single(id: BenchmarkId) -> Self {
-        WorkloadSpec { id, threads: 1, scale: 1.0 }
+        WorkloadSpec {
+            id,
+            threads: 1,
+            scale: 1.0,
+        }
     }
 
     /// A multithreaded run at the default scale.
     pub fn threaded(id: BenchmarkId, threads: usize) -> Self {
-        WorkloadSpec { id, threads, scale: 1.0 }
+        WorkloadSpec {
+            id,
+            threads,
+            scale: 1.0,
+        }
     }
 
     /// Builder-style: set the scale.
@@ -169,9 +183,18 @@ pub fn jvm_config_for(id: BenchmarkId) -> JvmConfig {
     let base = JvmConfig::default();
     match id {
         // String/AST churn with low survival: frequent cheap GCs.
-        BenchmarkId::Jack => base.with_heap(3 << 20).with_survival(0.15).with_jit_threshold(3),
-        BenchmarkId::Javac => base.with_heap(2 << 20).with_survival(0.25).with_jit_threshold(3),
-        BenchmarkId::Jess => base.with_heap(2 << 20).with_survival(0.3).with_jit_threshold(3),
+        BenchmarkId::Jack => base
+            .with_heap(3 << 20)
+            .with_survival(0.15)
+            .with_jit_threshold(3),
+        BenchmarkId::Javac => base
+            .with_heap(2 << 20)
+            .with_survival(0.25)
+            .with_jit_threshold(3),
+        BenchmarkId::Jess => base
+            .with_heap(2 << 20)
+            .with_survival(0.3)
+            .with_jit_threshold(3),
         // Server allocation with moderate survival.
         BenchmarkId::PseudoJbb => base.with_heap(2 << 20).with_survival(0.4),
         // Numeric kernels: roomy heap, few collections.
@@ -200,8 +223,11 @@ mod tests {
 
     #[test]
     fn bad_partners_are_the_papers_three() {
-        let bad: Vec<_> =
-            BenchmarkId::ALL.iter().filter(|b| b.is_bad_partner()).map(|b| b.name()).collect();
+        let bad: Vec<_> = BenchmarkId::ALL
+            .iter()
+            .filter(|b| b.is_bad_partner())
+            .map(|b| b.name())
+            .collect();
         assert_eq!(bad, vec!["jess", "javac", "jack"]);
     }
 
@@ -209,7 +235,11 @@ mod tests {
     fn build_constructs_every_benchmark() {
         for id in BenchmarkId::ALL {
             let threads = if id.is_multithreaded() { 2 } else { 1 };
-            let spec = WorkloadSpec { id, threads, scale: 0.01 };
+            let spec = WorkloadSpec {
+                id,
+                threads,
+                scale: 0.01,
+            };
             let mut k = build(spec);
             assert_eq!(k.name(), id.name());
             assert_eq!(k.num_threads(), threads);
@@ -226,7 +256,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "single-threaded")]
     fn threads_rejected_for_spec_programs() {
-        let _ = build(WorkloadSpec { id: BenchmarkId::Db, threads: 2, scale: 1.0 });
+        let _ = build(WorkloadSpec {
+            id: BenchmarkId::Db,
+            threads: 2,
+            scale: 1.0,
+        });
     }
 
     #[test]

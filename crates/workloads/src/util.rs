@@ -9,7 +9,9 @@ pub struct Rng {
 impl Rng {
     /// Seeded generator.
     pub fn new(seed: u64) -> Self {
-        Rng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+        Rng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
     }
 
     /// Next raw value.
@@ -69,7 +71,11 @@ impl Barrier {
     /// Panics if `parties` is zero.
     pub fn new(parties: usize) -> Self {
         assert!(parties > 0, "barrier needs at least one party");
-        Barrier { parties, waiting: Vec::new(), generations: 0 }
+        Barrier {
+            parties,
+            waiting: Vec::new(),
+            generations: 0,
+        }
     }
 
     /// Thread `tid` arrives. Single-party barriers always release.
@@ -106,7 +112,10 @@ pub struct WorkMeter {
 impl WorkMeter {
     /// A meter for `threads` threads of `per_thread` units each.
     pub fn new(threads: usize, per_thread: u64) -> Self {
-        WorkMeter { done: vec![0; threads], per_thread: per_thread.max(1) }
+        WorkMeter {
+            done: vec![0; threads],
+            per_thread: per_thread.max(1),
+        }
     }
 
     /// Record `n` units for `tid`; returns true while more work remains
@@ -211,7 +220,10 @@ impl LibCode {
         bytes_each: u64,
     ) -> Self {
         let methods = (0..count)
-            .map(|i| jvm.methods_mut().register(&format!("{label}.lib#{i}"), bytes_each))
+            .map(|i| {
+                jvm.methods_mut()
+                    .register(&format!("{label}.lib#{i}"), bytes_each)
+            })
             .collect();
         LibCode { methods, cursor: 0 }
     }
@@ -229,7 +241,10 @@ impl LibCode {
 
     /// Total registered library code bytes.
     pub fn footprint(&self, jvm: &jsmt_jvm::JvmProcess) -> u64 {
-        self.methods.iter().map(|&m| jvm.methods().body_of(m).1).sum()
+        self.methods
+            .iter()
+            .map(|&m| jvm.methods().body_of(m).1)
+            .sum()
     }
 }
 

@@ -51,7 +51,10 @@ fn drive(id: BenchmarkId, threads: usize, scale: f64) -> (u64, u64, u64) {
                 StepOutcome::Ran => {}
             }
         }
-        assert!(progressed, "all threads blocked with none finished: deadlock in {id}");
+        assert!(
+            progressed,
+            "all threads blocked with none finished: deadlock in {id}"
+        );
     }
     (uops, gcs, steps)
 }
@@ -91,7 +94,11 @@ fn progress_is_monotone() {
     for id in BenchmarkId::ALL {
         let threads = if id.is_multithreaded() { 2 } else { 1 };
         let mut jvm = JvmProcess::new(1, jvm_config_for(id));
-        let mut k = build(WorkloadSpec { id, threads, scale: 0.01 });
+        let mut k = build(WorkloadSpec {
+            id,
+            threads,
+            scale: 0.01,
+        });
         k.setup(&mut jvm);
         let mut blocked = vec![false; threads];
         let mut finished = vec![false; threads];
@@ -120,7 +127,10 @@ fn progress_is_monotone() {
                 }
             }
             let p = k.progress();
-            assert!(p >= last - 1e-9, "{id}: progress went backwards {last} -> {p}");
+            assert!(
+                p >= last - 1e-9,
+                "{id}: progress went backwards {last} -> {p}"
+            );
             assert!(p <= 1.0 + 1e-9, "{id}: progress overshot: {p}");
             last = p;
         }

@@ -27,8 +27,14 @@ fn main() {
     let tc = sampler.series(Event::TcMisses);
 
     println!("jack under a 1 MiB heap: per-100k-cycle interval profile");
-    println!("({} collections over {} cycles)\n", report.processes[0].gc_count, report.cycles);
-    println!("{:>8} {:>10} {:>10} {:>9}  activity", "interval", "uops", "gc cycles", "tc miss");
+    println!(
+        "({} collections over {} cycles)\n",
+        report.processes[0].gc_count, report.cycles
+    );
+    println!(
+        "{:>8} {:>10} {:>10} {:>9}  activity",
+        "interval", "uops", "gc cycles", "tc miss"
+    );
     let max_uops = uops.iter().copied().max().unwrap_or(1).max(1);
     for (i, ((u, g), t)) in uops.iter().zip(&gc).zip(&tc).enumerate() {
         let bar = "#".repeat((u * 40 / max_uops) as usize);

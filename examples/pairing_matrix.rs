@@ -11,7 +11,11 @@ use jsmt_core::experiments::{run_pair, solo_baseline_cycles, ExperimentCtx};
 use jsmt_workloads::BenchmarkId;
 
 fn main() {
-    let ctx = ExperimentCtx { scale: 0.15, repeats: 4, seed: 0x15_9A55 };
+    let ctx = ExperimentCtx {
+        scale: 0.15,
+        repeats: 4,
+        seed: 0x15_9A55,
+    };
     // A friendly partner, a memory-bound program, and a bad partner.
     let picks = [BenchmarkId::Mpegaudio, BenchmarkId::Db, BenchmarkId::Jack];
 
@@ -27,7 +31,10 @@ fn main() {
 
     println!();
     println!("combined speedups C_AB = A_S/A_H + B_S/B_H  (1.0 = time sharing, 2.0 = SMP):");
-    println!("{:<12} {:>12} {:>12} {:>12}", "", picks[0], picks[1], picks[2]);
+    println!(
+        "{:<12} {:>12} {:>12} {:>12}",
+        "", picks[0], picks[1], picks[2]
+    );
     for (i, &a) in picks.iter().enumerate() {
         print!("{:<12}", a.to_string());
         for (j, &b) in picks.iter().enumerate() {
@@ -37,6 +44,9 @@ fn main() {
         println!();
     }
     println!();
-    println!("Pairs involving {} (a paper 'bad partner') should sit lowest:", BenchmarkId::Jack);
+    println!(
+        "Pairs involving {} (a paper 'bad partner') should sit lowest:",
+        BenchmarkId::Jack
+    );
     println!("its compiled-code footprint thrashes the shared 12 Kuop trace cache.");
 }

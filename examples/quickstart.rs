@@ -27,14 +27,23 @@ fn main() {
     println!("instructions : {}", report.metrics.instructions);
     println!("IPC          : {:.3}", report.metrics.ipc);
     println!("CPI          : {:.3}", report.metrics.cpi);
-    println!("OS cycles    : {:.2}%", report.metrics.os_cycle_fraction * 100.0);
-    println!("DT mode      : {:.2}%", report.metrics.dual_thread_fraction * 100.0);
+    println!(
+        "OS cycles    : {:.2}%",
+        report.metrics.os_cycle_fraction * 100.0
+    );
+    println!(
+        "DT mode      : {:.2}%",
+        report.metrics.dual_thread_fraction * 100.0
+    );
     println!("TC MPKI      : {:.2}", report.metrics.tc_mpki);
     println!("L1D MPKI     : {:.2}", report.metrics.l1d_mpki);
     println!("L2 MPKI      : {:.2}", report.metrics.l2_mpki);
     println!("GC count     : {}", report.processes[0].gc_count);
     println!("allocations  : {}", report.processes[0].allocations);
-    println!("ctx switches : {}", report.bank.total(Event::ContextSwitches));
+    println!(
+        "ctx switches : {}",
+        report.bank.total(Event::ContextSwitches)
+    );
     println!(
         "retirement   : 0-uop {:.1}%  1-uop {:.1}%  2-uop {:.1}%  3-uop {:.1}%",
         report.metrics.retirement.retire0 * 100.0,

@@ -6,8 +6,8 @@
 //! cargo run --release --example single_vs_smt [benchmark]
 //! ```
 
-use jsmt_cpu::Partition;
 use jsmt_core::{System, SystemConfig};
+use jsmt_cpu::Partition;
 use jsmt_workloads::{BenchmarkId, WorkloadSpec};
 
 fn run(spec: WorkloadSpec, cfg: SystemConfig) -> u64 {
@@ -29,7 +29,10 @@ fn main() {
 
     let ht_off = run(spec, SystemConfig::p4(false));
     let ht_static = run(spec, SystemConfig::p4(true));
-    let ht_dynamic = run(spec, SystemConfig::p4(true).with_partition(Partition::Dynamic));
+    let ht_dynamic = run(
+        spec,
+        SystemConfig::p4(true).with_partition(Partition::Dynamic),
+    );
 
     let pct = |x: u64| (x as f64 - ht_off as f64) / ht_off as f64 * 100.0;
     println!("benchmark: {id} (single-threaded)");
@@ -47,5 +50,8 @@ fn main() {
         "The static partition costs {:+.2}% — the Figure 10 effect; the paper's",
         pct(ht_static)
     );
-    println!("proposed dynamic sharing recovers it to {:+.2}%.", pct(ht_dynamic));
+    println!(
+        "proposed dynamic sharing recovers it to {:+.2}%.",
+        pct(ht_dynamic)
+    );
 }

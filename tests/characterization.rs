@@ -22,7 +22,12 @@ fn mpegaudio_is_the_best_behaved_program() {
     // FP-dominated, small hot data, predictable branches → lowest CPI and
     // near-zero trace-cache pressure.
     let mpeg = run(BenchmarkId::Mpegaudio, 1);
-    for other in [BenchmarkId::Db, BenchmarkId::Jack, BenchmarkId::Javac, BenchmarkId::Jess] {
+    for other in [
+        BenchmarkId::Db,
+        BenchmarkId::Jack,
+        BenchmarkId::Javac,
+        BenchmarkId::Jess,
+    ] {
         let o = run(other, 1);
         assert!(
             mpeg.metrics.cpi < o.metrics.cpi,
@@ -43,7 +48,11 @@ fn db_is_memory_bound() {
         db.metrics.l2_mpki,
         mpeg.metrics.l2_mpki
     );
-    assert!(db.metrics.cpi > 2.0, "binary search over MBs is slow: {:.2}", db.metrics.cpi);
+    assert!(
+        db.metrics.cpi > 2.0,
+        "binary search over MBs is slow: {:.2}",
+        db.metrics.cpi
+    );
 }
 
 #[test]
@@ -69,7 +78,10 @@ fn bad_partners_have_the_largest_trace_cache_pressure() {
 fn pseudojbb_has_the_largest_memory_footprint_effects() {
     // Steady-state property: use a scale past the cold-start regime.
     let jbb = run_at(BenchmarkId::PseudoJbb, 2, 0.2);
-    for other in BenchmarkId::MULTITHREADED.iter().filter(|&&b| b != BenchmarkId::PseudoJbb) {
+    for other in BenchmarkId::MULTITHREADED
+        .iter()
+        .filter(|&&b| b != BenchmarkId::PseudoJbb)
+    {
         let o = run_at(*other, 2, 0.2);
         assert!(
             jbb.metrics.l2_mpki > o.metrics.l2_mpki,
@@ -114,8 +126,14 @@ fn allocation_rates_rank_as_published() {
     let jack = allocs_per_ki(BenchmarkId::Jack);
     let compress = allocs_per_ki(BenchmarkId::Compress);
     let moldyn = allocs_per_ki(BenchmarkId::MolDyn);
-    assert!(jack > 10.0 * compress.max(0.001), "jack {jack:.2} vs compress {compress:.2}");
-    assert!(jack > 10.0 * moldyn.max(0.001), "jack {jack:.2} vs MolDyn {moldyn:.2}");
+    assert!(
+        jack > 10.0 * compress.max(0.001),
+        "jack {jack:.2} vs compress {compress:.2}"
+    );
+    assert!(
+        jack > 10.0 * moldyn.max(0.001),
+        "jack {jack:.2} vs MolDyn {moldyn:.2}"
+    );
 }
 
 #[test]
@@ -124,14 +142,23 @@ fn branch_behaviour_signatures() {
     // suite; javac's lexer/parser control flow is the least. The numeric
     // kernels sit between: their loop branches train well but MonteCarlo's
     // payoff test and MolDyn's cutoff are genuinely data-dependent.
-    let mpeg = run_at(BenchmarkId::Mpegaudio, 1, 0.15).metrics.branch_mispredict_ratio;
-    let javac = run_at(BenchmarkId::Javac, 1, 0.15).metrics.branch_mispredict_ratio;
+    let mpeg = run_at(BenchmarkId::Mpegaudio, 1, 0.15)
+        .metrics
+        .branch_mispredict_ratio;
+    let javac = run_at(BenchmarkId::Javac, 1, 0.15)
+        .metrics
+        .branch_mispredict_ratio;
     assert!(
         mpeg < javac,
         "mpegaudio ({mpeg:.3}) must predict better than javac ({javac:.3})"
     );
-    let rt = run_at(BenchmarkId::RayTracer, 2, 0.15).metrics.branch_mispredict_ratio;
-    assert!(rt < javac, "RayTracer ({rt:.3}) must predict better than javac ({javac:.3})");
+    let rt = run_at(BenchmarkId::RayTracer, 2, 0.15)
+        .metrics
+        .branch_mispredict_ratio;
+    assert!(
+        rt < javac,
+        "RayTracer ({rt:.3}) must predict better than javac ({javac:.3})"
+    );
 }
 
 #[test]

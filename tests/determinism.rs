@@ -5,7 +5,11 @@ use jsmt_core::{System, SystemConfig};
 use jsmt_workloads::{BenchmarkId, WorkloadSpec};
 
 fn fingerprint(seed: u64, ht: bool) -> (u64, u64, u64, u64) {
-    let mut sys = System::new(SystemConfig::p4(ht).with_seed(seed).with_max_cycles(600_000_000));
+    let mut sys = System::new(
+        SystemConfig::p4(ht)
+            .with_seed(seed)
+            .with_max_cycles(600_000_000),
+    );
     sys.add_process(WorkloadSpec::threaded(BenchmarkId::MonteCarlo, 2).with_scale(0.02));
     sys.add_process(WorkloadSpec::single(BenchmarkId::Jess).with_scale(0.02));
     let r = sys.run_to_completion();
@@ -32,7 +36,10 @@ fn the_seed_matters_but_only_the_seed() {
     // should differ slightly but stay in the same band.
     assert_ne!(a, b, "seed must influence the run");
     let (ca, cb) = (a.0 as f64, b.0 as f64);
-    assert!((ca - cb).abs() / ca < 0.2, "seeds are noise, not regime changes: {ca} vs {cb}");
+    assert!(
+        (ca - cb).abs() / ca < 0.2,
+        "seeds are noise, not regime changes: {ca} vs {cb}"
+    );
 }
 
 #[test]

@@ -11,7 +11,11 @@ const SCALE: f64 = 0.02;
 
 fn run(id: BenchmarkId, threads: usize, ht: bool) -> RunReport {
     let mut sys = System::new(SystemConfig::p4(ht).with_max_cycles(600_000_000));
-    sys.add_process(WorkloadSpec { id, threads, scale: SCALE });
+    sys.add_process(WorkloadSpec {
+        id,
+        threads,
+        scale: SCALE,
+    });
     sys.run_to_completion()
 }
 
@@ -21,8 +25,16 @@ fn every_benchmark_completes_with_ht_enabled() {
         let threads = if id.is_multithreaded() { 2 } else { 1 };
         let r = run(id, threads, true);
         assert_eq!(r.processes[0].completions, 1, "{id}");
-        assert!(r.metrics.instructions > 5_000, "{id} retired {}", r.metrics.instructions);
-        assert!(r.metrics.ipc > 0.01 && r.metrics.ipc < 3.0, "{id} ipc {}", r.metrics.ipc);
+        assert!(
+            r.metrics.instructions > 5_000,
+            "{id} retired {}",
+            r.metrics.instructions
+        );
+        assert!(
+            r.metrics.ipc > 0.01 && r.metrics.ipc < 3.0,
+            "{id} ipc {}",
+            r.metrics.ipc
+        );
     }
 }
 
@@ -63,7 +75,10 @@ fn counter_sanity_invariants() {
     assert!(b.total(Event::ItlbMisses) <= b.total(Event::ItlbLookups));
     assert!(b.total(Event::DtlbMisses) <= b.total(Event::DtlbLookups));
     assert!(b.total(Event::BtbMisses) <= b.total(Event::BtbLookups));
-    assert!(b.total(Event::BranchMispredicts) <= b.total(Event::BranchesRetired) + b.total(Event::Squashes));
+    assert!(
+        b.total(Event::BranchMispredicts)
+            <= b.total(Event::BranchesRetired) + b.total(Event::Squashes)
+    );
     // Kernel µops are a subset of all µops.
     assert!(b.total(Event::UopsRetiredKernel) <= b.total(Event::UopsRetired));
     // OS cycles are a subset of active cycles.
@@ -78,7 +93,10 @@ fn counter_sanity_invariants() {
 fn eight_threads_multiplex_and_complete() {
     let r = run(BenchmarkId::PseudoJbb, 8, true);
     assert_eq!(r.processes[0].completions, 1);
-    assert!(r.bank.total(Event::ContextSwitches) > 8, "8 threads on 2 contexts must switch");
+    assert!(
+        r.bank.total(Event::ContextSwitches) > 8,
+        "8 threads on 2 contexts must switch"
+    );
     assert!(r.bank.total(Event::TimerInterrupts) > 0);
 }
 
@@ -101,7 +119,9 @@ fn gc_thread_runs_for_allocation_heavy_workloads() {
     let mut sys = System::new(SystemConfig::p4(true).with_max_cycles(600_000_000));
     sys.add_process_with_jvm(
         WorkloadSpec::single(BenchmarkId::Jack).with_scale(0.1),
-        jsmt_jvm::JvmConfig::default().with_heap(1 << 20).with_survival(0.15),
+        jsmt_jvm::JvmConfig::default()
+            .with_heap(1 << 20)
+            .with_survival(0.15),
     );
     let r = sys.run_to_completion();
     assert!(r.processes[0].gc_count > 0);
@@ -120,7 +140,11 @@ fn relaunch_methodology_reports_durations() {
     assert_eq!(d.len() as u64, p.completions);
     // Warm runs should be no slower than the cold first run.
     let warm_mean = p.mean_duration();
-    assert!(warm_mean <= d[0] as f64 * 1.05, "warm {warm_mean} vs cold {}", d[0]);
+    assert!(
+        warm_mean <= d[0] as f64 * 1.05,
+        "warm {warm_mean} vs cold {}",
+        d[0]
+    );
 }
 
 #[test]
@@ -131,7 +155,11 @@ fn interval_sampling_produces_a_time_series() {
     let r = sys.run_to_completion();
     let sampler = sys.sampler().expect("attached");
     let series = sampler.series(Event::UopsRetired);
-    assert!(series.len() >= 2, "run of {} cycles should yield samples", r.cycles);
+    assert!(
+        series.len() >= 2,
+        "run of {} cycles should yield samples",
+        r.cycles
+    );
     let total: u64 = series.iter().sum();
     assert!(total <= r.bank.total(Event::UopsRetired));
     assert!(total > 0);
@@ -145,9 +173,17 @@ fn pmu_tool_reads_run_counters() {
     let r = sys.run_to_completion();
     let mut pmu = Pmu::new();
     let uops = pmu.program(CounterConfig::all(Event::UopsRetired)).unwrap();
-    let tc = pmu.program(CounterConfig::on(Event::TcMisses, LogicalCpu::Lp0)).unwrap();
-    assert_eq!(pmu.read(uops, &r.bank).unwrap(), r.bank.total(Event::UopsRetired));
-    assert_eq!(pmu.read(tc, &r.bank).unwrap(), r.bank.get(LogicalCpu::Lp0, Event::TcMisses));
+    let tc = pmu
+        .program(CounterConfig::on(Event::TcMisses, LogicalCpu::Lp0))
+        .unwrap();
+    assert_eq!(
+        pmu.read(uops, &r.bank).unwrap(),
+        r.bank.total(Event::UopsRetired)
+    );
+    assert_eq!(
+        pmu.read(tc, &r.bank).unwrap(),
+        r.bank.get(LogicalCpu::Lp0, Event::TcMisses)
+    );
 }
 
 #[test]

@@ -1,0 +1,112 @@
+//! Golden-snapshot tests: every `csv_*` export at `ExperimentCtx::quick()`
+//! must match the files committed under `tests/golden/` byte for byte.
+//!
+//! These pin two things at once: the simulator's numerical output (any
+//! change to the core model shows up as a golden diff, on every machine,
+//! at any `JSMT_JOBS` setting) and the CSV schemas external plotting
+//! scripts depend on.
+//!
+//! Regenerating after an intentional model change:
+//!
+//! ```text
+//! JSMT_BLESS=1 cargo test -q --offline --test golden_csv
+//! ```
+//!
+//! then commit the rewritten `tests/golden/*.csv` alongside the model
+//! change and explain the delta in the PR.
+
+use std::path::PathBuf;
+
+use jsmt_core::experiments::{self as exp, Engine, ExperimentCtx};
+
+fn golden_dir() -> PathBuf {
+    // This test is registered in crates/core/Cargo.toml, so the manifest
+    // dir is crates/core; the snapshots live at the repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// Compare `actual` against `tests/golden/<name>`, or rewrite the golden
+/// file when `JSMT_BLESS=1` is set.
+fn check(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("JSMT_BLESS").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with \
+             JSMT_BLESS=1 cargo test -q --offline --test golden_csv",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} diverged from its golden snapshot; if the model change is \
+         intentional, re-bless with JSMT_BLESS=1 cargo test -q --offline \
+         --test golden_csv and commit the diff"
+    );
+}
+
+/// Engine honoring `JSMT_JOBS`: goldens are schedule-invariant, so CI and
+/// laptops may bless/check at any parallelism and get the same bytes.
+fn engine() -> Engine {
+    Engine::from_env()
+}
+
+#[test]
+fn golden_mt_csv() {
+    let ctx = ExperimentCtx::quick();
+    let pts = exp::characterize_mt_on(&engine(), &[1, 2], &[false, true], &ctx);
+    check("mt.csv", &exp::csv_mt(&pts));
+}
+
+#[test]
+fn golden_grid_csv() {
+    let ctx = ExperimentCtx::quick();
+    let grid = exp::pair_matrix_on(&engine(), &ctx);
+    check("grid.csv", &exp::csv_grid(&grid));
+}
+
+#[test]
+fn golden_single_csv() {
+    let ctx = ExperimentCtx::quick();
+    let pts = exp::fig10_single_thread_impact_on(&engine(), &ctx);
+    check("single.csv", &exp::csv_single(&pts));
+}
+
+#[test]
+fn golden_threads_csv() {
+    let ctx = ExperimentCtx::quick();
+    let pts = exp::fig12_ipc_vs_threads_on(&engine(), &[1, 2, 4, 8, 16], &ctx);
+    check("threads.csv", &exp::csv_threads(&pts));
+}
+
+#[test]
+fn golden_partition_csv() {
+    let ctx = ExperimentCtx::quick();
+    let pts = exp::ablation_partition_on(&engine(), &ctx);
+    check("partition.csv", &exp::csv_partition(&pts));
+}
+
+#[test]
+fn golden_l1_csv() {
+    let ctx = ExperimentCtx::quick();
+    let pts = exp::ablation_l1_on(&engine(), &[8, 16, 32, 64], &ctx);
+    check("l1.csv", &exp::csv_l1(&pts));
+}
+
+#[test]
+fn golden_prefetch_csv() {
+    let ctx = ExperimentCtx::quick();
+    let pts = exp::ablation_prefetch_on(&engine(), &ctx);
+    check("prefetch.csv", &exp::csv_prefetch(&pts));
+}
+
+#[test]
+fn golden_jit_csv() {
+    let ctx = ExperimentCtx::quick();
+    let pts = exp::ablation_jit_on(&engine(), &ctx);
+    check("jit.csv", &exp::csv_jit(&pts));
+}

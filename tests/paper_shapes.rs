@@ -7,7 +7,11 @@ use jsmt_core::{System, SystemConfig};
 use jsmt_workloads::{BenchmarkId, WorkloadSpec};
 
 fn ctx() -> ExperimentCtx {
-    ExperimentCtx { scale: 0.05, repeats: 3, seed: 0x15_9A55 }
+    ExperimentCtx {
+        scale: 0.05,
+        repeats: 3,
+        seed: 0x15_9A55,
+    }
 }
 
 fn mt_ipc(id: BenchmarkId, ht: bool) -> f64 {
@@ -22,7 +26,10 @@ fn fig1_ht_improves_multithreaded_ipc() {
     for id in BenchmarkId::MULTITHREADED {
         let off = mt_ipc(id, false);
         let on = mt_ipc(id, true);
-        assert!(on > off, "{id}: HT-on IPC {on:.3} must beat HT-off {off:.3}");
+        assert!(
+            on > off,
+            "{id}: HT-on IPC {on:.3} must beat HT-off {off:.3}"
+        );
     }
 }
 
@@ -36,8 +43,14 @@ fn fig2_zero_retire_cycles_shrink_under_ht() {
     };
     let off = run(false);
     let on = run(true);
-    assert!(off > 0.4, "zero-retire share should be large HT-off: {off:.2}");
-    assert!(on < off, "HT must reduce zero-retire cycles: {on:.2} vs {off:.2}");
+    assert!(
+        off > 0.4,
+        "zero-retire share should be large HT-off: {off:.2}"
+    );
+    assert!(
+        on < off,
+        "HT must reduce zero-retire cycles: {on:.2} vs {off:.2}"
+    );
 }
 
 /// Figures 3–4: trace cache and L1D degrade under HT (contention).
@@ -61,8 +74,14 @@ fn fig3_fig4_l1_structures_degrade_under_ht() {
             l1_worse += 1;
         }
     }
-    assert!(tc_worse >= 3, "trace cache should degrade for most benchmarks: {tc_worse}/4");
-    assert!(l1_worse >= 3, "L1D should degrade for most benchmarks: {l1_worse}/4");
+    assert!(
+        tc_worse >= 3,
+        "trace cache should degrade for most benchmarks: {tc_worse}/4"
+    );
+    assert!(
+        l1_worse >= 3,
+        "L1D should degrade for most benchmarks: {l1_worse}/4"
+    );
 }
 
 /// Figure 6: the partitioned ITLB degrades under HT.
@@ -70,12 +89,13 @@ fn fig3_fig4_l1_structures_degrade_under_ht() {
 fn fig6_itlb_degrades_under_ht() {
     let run = |ht: bool| {
         let mut sys = System::new(SystemConfig::p4(ht).with_max_cycles(600_000_000));
-        sys.add_process(
-            WorkloadSpec::threaded(BenchmarkId::PseudoJbb, 2).with_scale(ctx().scale),
-        );
+        sys.add_process(WorkloadSpec::threaded(BenchmarkId::PseudoJbb, 2).with_scale(ctx().scale));
         sys.run_to_completion().metrics.itlb_mpki
     };
-    assert!(run(true) > run(false), "PseudoJBB ITLB must degrade under HT");
+    assert!(
+        run(true) > run(false),
+        "PseudoJBB ITLB must degrade under HT"
+    );
 }
 
 /// Figure 7: the thread-tagged BTB degrades under HT.
@@ -83,9 +103,7 @@ fn fig6_itlb_degrades_under_ht() {
 fn fig7_btb_degrades_under_ht() {
     let run = |ht: bool| {
         let mut sys = System::new(SystemConfig::p4(ht).with_max_cycles(600_000_000));
-        sys.add_process(
-            WorkloadSpec::threaded(BenchmarkId::MonteCarlo, 2).with_scale(ctx().scale),
-        );
+        sys.add_process(WorkloadSpec::threaded(BenchmarkId::MonteCarlo, 2).with_scale(ctx().scale));
         sys.run_to_completion().metrics.btb_miss_ratio
     };
     assert!(run(true) > run(false), "BTB miss ratio must rise under HT");
@@ -94,7 +112,11 @@ fn fig7_btb_degrades_under_ht() {
 /// Figure 10: single-threaded programs do not benefit from HT; most lose.
 #[test]
 fn fig10_single_threaded_programs_slow_down() {
-    let picks = [BenchmarkId::Compress, BenchmarkId::Db, BenchmarkId::MonteCarlo];
+    let picks = [
+        BenchmarkId::Compress,
+        BenchmarkId::Db,
+        BenchmarkId::MonteCarlo,
+    ];
     let mut slower = 0;
     for id in picks {
         let spec = WorkloadSpec::single(id).with_scale(ctx().scale);
@@ -104,7 +126,10 @@ fn fig10_single_threaded_programs_slow_down() {
             slower += 1;
         }
     }
-    assert!(slower >= 2, "most single-threaded programs must slow down: {slower}/3");
+    assert!(
+        slower >= 2,
+        "most single-threaded programs must slow down: {slower}/3"
+    );
 }
 
 /// Figure 12: going from 1 to 2 threads raises IPC sharply; beyond 2 the
@@ -115,10 +140,16 @@ fn fig12_two_threads_saturate_the_machine() {
     let pts = exp::fig12_ipc_vs_threads(&[1, 2, 4], &c);
     for id in BenchmarkId::MULTITHREADED {
         let ipc = |t: usize| {
-            pts.iter().find(|p| p.id == id && p.threads == t).map(|p| p.ipc).unwrap()
+            pts.iter()
+                .find(|p| p.id == id && p.threads == t)
+                .map(|p| p.ipc)
+                .unwrap()
         };
         assert!(ipc(2) > ipc(1) * 1.15, "{id}: 1→2 threads must jump");
-        assert!(ipc(4) < ipc(2) * 1.25, "{id}: 2→4 threads must not jump again");
+        assert!(
+            ipc(4) < ipc(2) * 1.25,
+            "{id}: 2→4 threads must not jump again"
+        );
     }
 }
 
@@ -127,7 +158,11 @@ fn fig12_two_threads_saturate_the_machine() {
 /// plot — than pairs of well-behaved programs.
 #[test]
 fn pairing_bad_partner_effect() {
-    let c = ExperimentCtx { scale: 0.08, repeats: 3, seed: 0x15_9A55 };
+    let c = ExperimentCtx {
+        scale: 0.08,
+        repeats: 3,
+        seed: 0x15_9A55,
+    };
     let victim = BenchmarkId::Compress;
     let v_solo = exp::solo_baseline_cycles(victim, &c);
     let combined = |partner: BenchmarkId| {
@@ -135,8 +170,11 @@ fn pairing_bad_partner_effect() {
         exp::run_pair(victim, partner, v_solo, p_solo, &c).combined
     };
     let friendly = combined(BenchmarkId::Mpegaudio);
-    let bad_pairs =
-        [combined(BenchmarkId::Jack), combined(BenchmarkId::Javac), combined(BenchmarkId::Jess)];
+    let bad_pairs = [
+        combined(BenchmarkId::Jack),
+        combined(BenchmarkId::Javac),
+        combined(BenchmarkId::Jess),
+    ];
     for (b, c_ab) in [BenchmarkId::Jack, BenchmarkId::Javac, BenchmarkId::Jess]
         .iter()
         .zip(bad_pairs)

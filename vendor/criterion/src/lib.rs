@@ -1,0 +1,159 @@
+//! A vendored, dependency-free subset of the `criterion` API.
+//!
+//! The build sandbox has no access to crates.io, so the real `criterion`
+//! cannot be resolved; this crate keeps the `benches/` targets compiling
+//! and producing useful wall-clock numbers. It implements the surface
+//! the jsmt benches use: `Criterion::benchmark_group`, group
+//! `throughput`/`sample_size`/`bench_function`/`finish`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros. Statistics are
+//! a simple best-of-samples mean; there is no HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group (rate is reported per
+/// element/byte when set).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// `n` logical elements per iteration.
+    Elements(u64),
+    /// `n` bytes per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("# group {name}");
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("default");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Time one benchmark.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Calibrate the per-sample iteration count to ~5 ms.
+        f(&mut b);
+        let per_iter = (b.elapsed / b.iters as u32).max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(5).as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000);
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: iters as u64,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let per = b.elapsed / b.iters as u32;
+            best = best.min(per);
+            total += per;
+        }
+        let mean = total / self.sample_size as u32;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / best.as_secs_f64().max(1e-12);
+                format!(" ({per_sec:.3e}/s best)")
+            }
+            None => String::new(),
+        };
+        eprintln!(
+            "{}/{id}: mean {:?}/iter, best {:?}/iter{rate}",
+            self.name, mean, best
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure of `bench_function`; measures the inner loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f`.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundle benchmark functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point expanding to `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,202 @@
+//! Simulator cycle-loop throughput: simulated megacycles per wall-clock
+//! second, with the event-driven stall fast-forward on vs. off.
+//!
+//! Not a criterion bench: the quantity of interest is the end-to-end
+//! speed of the hot loop on realistic stall profiles, and the self-check
+//! that both modes retire the identical µop stream. Results land in
+//! `BENCH_cycle_loop.json` at the repository root so CI can archive the
+//! trend. Set `JSMT_BENCH_QUICK=1` for a fast smoke run (CI).
+//!
+//! Three core-level stall profiles bracket the design space:
+//! - `dram_bound`: independent DRAM misses (high MLP) — the window fills
+//!   with executing loads and the front end alloc-stalls for hundreds of
+//!   cycles at a time; the fast-forward's best case.
+//! - `tc_miss_bound`: a code footprint far beyond the trace cache — the
+//!   front end spends most cycles in fetch stalls waiting on trace
+//!   rebuilds from L2/DRAM.
+//! - `balanced`: a well-behaved integer mix that rarely stalls; guards
+//!   against the fast-forward *slowing down* the common case.
+//!
+//! A fourth, system-level run (`system_quick`) exercises the full
+//! machine — scheduler, kernel streams, GC — through `System::run_cycles`.
+
+use std::time::Instant;
+
+use jsmt_core::{System, SystemConfig};
+use jsmt_cpu::synth::SyntheticStream;
+use jsmt_cpu::{CoreConfig, SmtCore};
+use jsmt_isa::Asid;
+use jsmt_mem::MemConfig;
+use jsmt_perfmon::{Event, LogicalCpu};
+use jsmt_workloads::{BenchmarkId, WorkloadSpec};
+
+struct ModeResult {
+    wall_secs: f64,
+    mcycles_per_sec: f64,
+    uops_retired: u64,
+}
+
+struct WorkloadResult {
+    name: &'static str,
+    level: &'static str,
+    sim_cycles: u64,
+    baseline: ModeResult,
+    fast_forward: ModeResult,
+    speedup: f64,
+}
+
+fn dram_bound(seed: u64) -> SyntheticStream {
+    SyntheticStream::builder(seed)
+        .code_footprint(2 * 1024)
+        .data_footprint(16 * 1024 * 1024)
+        .mem_fraction(0.45)
+        .dep_chain(0.05)
+        .branch_fraction(0.02)
+        .build()
+}
+
+fn tc_miss_bound(seed: u64) -> SyntheticStream {
+    SyntheticStream::builder(seed)
+        .code_footprint(8 * 1024 * 1024)
+        .data_footprint(32 * 1024)
+        .mem_fraction(0.15)
+        .dep_chain(0.2)
+        .branch_fraction(0.05)
+        .build()
+}
+
+fn balanced(seed: u64) -> SyntheticStream {
+    SyntheticStream::builder(seed).build()
+}
+
+/// Drive a single-context core for `n` simulated cycles, fast-forward on
+/// or off, and report wall time plus the retired-µop self-check value.
+fn run_core(stream: &SyntheticStream, n: u64, fastfwd: bool) -> ModeResult {
+    let mut s = stream.clone();
+    let mut core = SmtCore::new(CoreConfig::p4(true), MemConfig::p4(true));
+    core.set_fast_forward(fastfwd);
+    core.bind(LogicalCpu::Lp0, Asid(1));
+    let t0 = Instant::now();
+    while core.cycles() < n {
+        if !fastfwd || core.fast_forward(n - core.cycles()) == 0 {
+            core.cycle(&mut |_l, buf, max| s.fill(buf, max));
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    ModeResult {
+        wall_secs: wall,
+        mcycles_per_sec: n as f64 / wall / 1e6,
+        uops_retired: core.counters().total(Event::UopsRetired),
+    }
+}
+
+/// Drive a full system for `n` simulated cycles (the `System` layer does
+/// its own fast-forward dispatch inside `run_cycles`).
+fn run_system(n: u64, fastfwd: bool) -> ModeResult {
+    let mut sys = System::new(
+        SystemConfig::p4(true)
+            .with_seed(3)
+            .with_max_cycles(u64::MAX),
+    );
+    sys.set_fast_forward(fastfwd);
+    sys.add_process(WorkloadSpec::threaded(BenchmarkId::MonteCarlo, 2).with_scale(1.0));
+    let t0 = Instant::now();
+    let r = sys.run_cycles(n);
+    let wall = t0.elapsed().as_secs_f64();
+    ModeResult {
+        wall_secs: wall,
+        mcycles_per_sec: n as f64 / wall / 1e6,
+        uops_retired: r.bank.total(Event::UopsRetired),
+    }
+}
+
+fn measure(
+    name: &'static str,
+    level: &'static str,
+    sim_cycles: u64,
+    run: impl Fn(bool) -> ModeResult,
+) -> WorkloadResult {
+    let baseline = run(false);
+    let fast_forward = run(true);
+    assert_eq!(
+        baseline.uops_retired, fast_forward.uops_retired,
+        "{name}: fast-forward changed the retired µop count"
+    );
+    assert!(
+        fast_forward.uops_retired > 0,
+        "{name}: no µops retired — the workload never ran"
+    );
+    let speedup = baseline.wall_secs / fast_forward.wall_secs;
+    println!(
+        "{name:>14} [{level}]: {:.1} -> {:.1} sim Mcycles/s ({speedup:.2}x), {} µops retired",
+        baseline.mcycles_per_sec, fast_forward.mcycles_per_sec, fast_forward.uops_retired
+    );
+    WorkloadResult {
+        name,
+        level,
+        sim_cycles,
+        baseline,
+        fast_forward,
+        speedup,
+    }
+}
+
+fn json_mode(m: &ModeResult) -> String {
+    format!(
+        "{{\"wall_secs\": {:.6}, \"sim_mcycles_per_sec\": {:.3}, \"uops_retired\": {}}}",
+        m.wall_secs, m.mcycles_per_sec, m.uops_retired
+    )
+}
+
+fn main() {
+    let quick = std::env::var_os("JSMT_BENCH_QUICK").is_some_and(|v| v == "1");
+    let (core_n, sys_n) = if quick {
+        (300_000u64, 150_000u64)
+    } else {
+        (3_000_000u64, 1_000_000u64)
+    };
+
+    let results = [
+        measure("dram_bound", "core", core_n, |ff| {
+            run_core(&dram_bound(9), core_n, ff)
+        }),
+        measure("tc_miss_bound", "core", core_n, |ff| {
+            run_core(&tc_miss_bound(17), core_n, ff)
+        }),
+        measure("balanced", "core", core_n, |ff| {
+            run_core(&balanced(25), core_n, ff)
+        }),
+        measure("system_quick", "system", sys_n, |ff| run_system(sys_n, ff)),
+    ];
+
+    let mut body = String::from("{\n  \"bench\": \"cycle_loop\",\n");
+    body.push_str(&format!("  \"quick\": {quick},\n  \"workloads\": [\n"));
+    for (i, r) in results.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"level\": \"{}\", \"sim_cycles\": {},\n     \
+             \"baseline\": {},\n     \"fast_forward\": {},\n     \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.level,
+            r.sim_cycles,
+            json_mode(&r.baseline),
+            json_mode(&r.fast_forward),
+            r.speedup,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cycle_loop.json");
+    std::fs::write(path, &body).expect("write BENCH_cycle_loop.json");
+    println!("wrote {path}");
+
+    let best = results
+        .iter()
+        .filter(|r| r.level == "core")
+        .map(|r| r.speedup)
+        .fold(0.0f64, f64::max);
+    assert!(
+        quick || best >= 2.0,
+        "acceptance: expected >= 2x on at least one stall-heavy workload, best {best:.2}x"
+    );
+}

@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use jsmt_cpu::SmtCore;
+use jsmt_cpu::{FetchQueue, SmtCore};
 use jsmt_isa::Asid;
 use jsmt_isa::Uop;
 use jsmt_jvm::{EmitCtx, GcWorkGen, JitWorkGen, JvmProcess};
@@ -80,8 +80,9 @@ struct World {
 }
 
 impl World {
-    /// Supply µops for the thread bound to `lcpu`.
-    fn fill(&mut self, lcpu: LogicalCpu, buf: &mut Vec<Uop>, max: usize) -> usize {
+    /// Supply µops for the thread bound to `lcpu`, writing straight into
+    /// the context's fetch queue (no intermediate buffer).
+    fn fill(&mut self, lcpu: LogicalCpu, buf: &mut FetchQueue, max: usize) -> usize {
         let Some(tid) = self.sched.running_on(lcpu.index()) else {
             return 0;
         };
@@ -93,9 +94,16 @@ impl World {
         let th = &mut self.threads[ti];
         let n = th.pending.len().min(max);
         for uop in th.pending.drain(..n) {
-            buf.push(uop);
+            buf.push_back(uop);
         }
         n
+    }
+
+    /// Emit `n` µops of a kernel service straight onto the tail of thread
+    /// `ti`'s pending stream (the common append path; interrupt-style
+    /// front-insertion keeps its own buffered path).
+    fn push_kernel_uops(&mut self, ti: usize, service: KernelService, n: u32) {
+        self.kcg.emit(service, n, &mut self.threads[ti].pending);
     }
 
     /// Produce the next block of the thread's stream into its pending
@@ -104,22 +112,18 @@ impl World {
         let ti = tid.0 as usize;
         match self.threads[ti].role {
             Role::Gc { proc } => {
-                self.emit_buf.clear();
-                if let Some(gen) = self.procs[proc].gc_gen.as_mut() {
-                    gen.emit(&mut self.emit_buf, 96);
+                let World { procs, threads, .. } = self;
+                if let Some(gen) = procs[proc].gc_gen.as_mut() {
+                    gen.emit(&mut threads[ti].pending, 96);
                 }
-                let th = &mut self.threads[ti];
-                th.pending.extend(self.emit_buf.drain(..));
                 // An exhausted generator is put back to sleep by the GC
                 // coordination phase.
             }
             Role::Jit { proc } => {
-                self.emit_buf.clear();
-                if let Some((_, gen)) = self.procs[proc].jit_gen.as_mut() {
-                    gen.emit(&mut self.emit_buf, 96);
+                let World { procs, threads, .. } = self;
+                if let Some((_, gen)) = procs[proc].jit_gen.as_mut() {
+                    gen.emit(&mut threads[ti].pending, 96);
                 }
-                let th = &mut self.threads[ti];
-                th.pending.extend(self.emit_buf.drain(..));
                 // Completion is handled by the helper-thread
                 // coordination phase.
             }
@@ -146,14 +150,9 @@ impl World {
                 for &w in &result.wake {
                     self.sched.wake(p.mutators[w]);
                 }
+                let syscall_uops = self.os_cfg.syscall_uops;
                 for _ in 0..result.syscalls {
-                    self.emit_buf.clear();
-                    self.kcg.emit(
-                        KernelService::Syscall,
-                        self.os_cfg.syscall_uops,
-                        &mut self.emit_buf,
-                    );
-                    self.threads[ti].pending.extend(self.emit_buf.drain(..));
+                    self.push_kernel_uops(ti, KernelService::Syscall, syscall_uops);
                     self.extra.inc(lcpu, Event::Syscalls);
                 }
                 match result.outcome {
@@ -169,13 +168,8 @@ impl World {
                             self.extra.inc(lcpu, Event::MonitorContended);
                             // The contended slow path traps to the kernel
                             // futex.
-                            self.emit_buf.clear();
-                            self.kcg.emit(
-                                KernelService::Futex,
-                                self.os_cfg.futex_uops,
-                                &mut self.emit_buf,
-                            );
-                            self.threads[ti].pending.extend(self.emit_buf.drain(..));
+                            let futex_uops = self.os_cfg.futex_uops;
+                            self.push_kernel_uops(ti, KernelService::Futex, futex_uops);
                         }
                         self.sched.block(tid);
                     }
@@ -226,14 +220,9 @@ impl World {
                 stack_base,
             });
             // Thread creation cost, charged to the new thread.
-            self.emit_buf.clear();
-            self.kcg.emit(
-                KernelService::ThreadSpawn,
-                self.os_cfg.thread_spawn_uops,
-                &mut self.emit_buf,
-            );
             let last = self.threads.len() - 1;
-            self.threads[last].pending.extend(self.emit_buf.drain(..));
+            let spawn_uops = self.os_cfg.thread_spawn_uops;
+            self.push_kernel_uops(last, KernelService::ThreadSpawn, spawn_uops);
         }
         self.procs[proc].mutators = new_mutators;
     }
@@ -318,6 +307,26 @@ impl World {
                 self.procs[proc].compiles_done += 1;
                 if !self.procs[proc].jvm.methods().has_pending_compiles() {
                     self.sched.block(jit_tid);
+                }
+            }
+        }
+    }
+
+    /// Replicate [`World::gc_coordination`]'s per-cycle GC-thread CPU-time
+    /// attribution for `k` fast-forwarded cycles in one step. Only valid
+    /// across a span where no thread state or GC state can change — the
+    /// fast-forward contract guarantees exactly that.
+    fn bulk_gc_cycles(&mut self, k: u64) {
+        if k == 0 {
+            return;
+        }
+        for p in &self.procs {
+            if p.gc_gen.is_some() {
+                for l in 0..2 {
+                    if self.sched.running_on(l) == Some(p.gc_thread) {
+                        self.extra
+                            .add(LogicalCpu::from_index(l), Event::GcCycles, k);
+                    }
                 }
             }
         }
@@ -551,6 +560,24 @@ impl System {
 
     /// Advance the machine by one cycle.
     pub fn step_cycle(&mut self) {
+        self.step_span(1);
+    }
+
+    /// Enable or disable the core's event-driven fast-forward (on by
+    /// default unless the `JSMT_NO_FASTFWD=1` environment variable is
+    /// set). Results are bit-identical either way; disabling forces the
+    /// plain cycle-by-cycle loop.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.core.set_fast_forward(enabled);
+    }
+
+    /// Advance by at least one and at most `max_advance` cycles, taking
+    /// the core's stall fast-forward when the whole system is provably
+    /// quiet: no scheduling events fired this cycle, and the jump is
+    /// capped so the next timer/timeslice decision and the next sampler
+    /// interval land on exactly the cycle they would have stepwise.
+    /// Returns the number of cycles advanced.
+    fn step_span(&mut self, max_advance: u64) -> u64 {
         self.started = true;
         self.world.now = self.core.cycles();
         self.world.gc_coordination();
@@ -561,6 +588,7 @@ impl System {
         ];
         let mut events = Vec::new();
         self.world.sched.tick(self.world.now, drained, &mut events);
+        let quiet = events.is_empty();
         for ev in events {
             match ev {
                 SchedEvent::Bind { lcpu, thread, asid } => {
@@ -607,6 +635,29 @@ impl System {
             }
         }
 
+        if quiet {
+            let now = self.world.now;
+            let mut allowed = max_advance;
+            let next_timed = self.world.sched.next_timed_event(now);
+            if next_timed != u64::MAX {
+                allowed = allowed.min(next_timed - now);
+            }
+            if let Some(s) = &self.sampler {
+                allowed = allowed.min(s.next_due().max(now + 1) - now);
+            }
+            let skipped = self.core.fast_forward(allowed);
+            if skipped > 0 {
+                // This step's gc_coordination covered cycle `now`; the
+                // remaining skipped-over cycles get their attribution in
+                // bulk.
+                self.world.bulk_gc_cycles(skipped - 1);
+                if let Some(sampler) = self.sampler.as_mut() {
+                    sampler.tick(self.core.cycles(), self.core.counters());
+                }
+                return skipped;
+            }
+        }
+
         let world = &mut self.world;
         self.core
             .cycle(&mut |lcpu, buf, max| world.fill(lcpu, buf, max));
@@ -614,6 +665,7 @@ impl System {
         if let Some(sampler) = self.sampler.as_mut() {
             sampler.tick(self.core.cycles(), self.core.counters());
         }
+        1
     }
 
     /// Run until every process has completed at least `target` executions.
@@ -624,7 +676,14 @@ impl System {
     /// deadlock or an unreasonably large workload).
     pub fn run_until_completions(&mut self, target: u64) -> RunReport {
         while self.world.procs.iter().any(|p| p.completions < target) {
-            self.step_cycle();
+            // Spans are capped at the cycle budget so a quiet deadlock
+            // still trips the assertion at exactly the stepwise cycle.
+            let remaining = self
+                .cfg
+                .max_cycles
+                .saturating_sub(self.core.cycles())
+                .max(1);
+            self.step_span(remaining);
             assert!(
                 self.core.cycles() < self.cfg.max_cycles,
                 "cycle cap exceeded at {} cycles (progress: {:?})",
@@ -646,8 +705,9 @@ impl System {
 
     /// Run for a fixed number of cycles (interval profiling).
     pub fn run_cycles(&mut self, cycles: u64) -> RunReport {
-        for _ in 0..cycles {
-            self.step_cycle();
+        let end = self.core.cycles() + cycles;
+        while self.core.cycles() < end {
+            self.step_span(end - self.core.cycles());
         }
         self.report()
     }

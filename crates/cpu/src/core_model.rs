@@ -6,13 +6,15 @@ use jsmt_isa::{Asid, Uop, UopKind, DEP_NONE};
 use jsmt_mem::{AccessKind, MemConfig, MemoryHierarchy};
 use jsmt_perfmon::{CounterBank, Event, LogicalCpu};
 
-use crate::CoreConfig;
+use crate::{CoreConfig, FetchQueue};
 
 /// µop supply callback: append up to `max` µops of the software thread
-/// currently bound to `lcpu` into `buf`, returning how many were added.
-/// Returning 0 means the thread cannot supply µops now (blocked or
-/// finished); the OS layer reacts by unbinding it.
-pub type FillFn<'a> = dyn FnMut(LogicalCpu, &mut Vec<Uop>, usize) -> usize + 'a;
+/// currently bound to `lcpu` directly into the context's fetch queue,
+/// returning how many were added (zero-copy delivery — there is no
+/// intermediate staging buffer). Returning 0 means the thread cannot
+/// supply µops now (blocked or finished); the OS layer reacts by
+/// unbinding it.
+pub type FillFn<'a> = dyn FnMut(LogicalCpu, &mut FetchQueue, usize) -> usize + 'a;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SlotState {
@@ -39,10 +41,15 @@ struct Context {
     bound: bool,
     draining: bool,
     asid: Asid,
-    fetch_queue: VecDeque<Uop>,
+    fetch_queue: FetchQueue,
     window: VecDeque<Slot>,
     loads_in_window: usize,
     stores_in_window: usize,
+    /// Window slots in [`SlotState::Waiting`], maintained incrementally
+    /// (+1 on allocation, −1 on issue; retirement only removes completed
+    /// slots). Lets both the issue-stage scan and the fast-forward
+    /// quietness check short-circuit in O(1) when nothing can issue.
+    waiting: usize,
     fetch_stall_until: u64,
     /// Sequence number of an unresolved mispredicted branch; fetch is
     /// halted until it resolves (we never fetch down the wrong path, so
@@ -59,10 +66,11 @@ impl Context {
             bound: false,
             draining: false,
             asid: Asid(1),
-            fetch_queue: VecDeque::with_capacity(96),
+            fetch_queue: FetchQueue::new(),
             window: VecDeque::with_capacity(130),
             loads_in_window: 0,
             stores_in_window: 0,
+            waiting: 0,
             fetch_stall_until: 0,
             redirect_pending: None,
             next_seq: 0,
@@ -108,11 +116,17 @@ pub struct SmtCore {
     bank: CounterBank,
     now: u64,
     fill_chunk: usize,
-    scratch: Vec<Uop>,
+    /// Whether [`SmtCore::fast_forward`] may skip quiet cycles. Purely a
+    /// wall-clock optimization: results are bit-identical either way.
+    fastfwd: bool,
 }
 
 impl SmtCore {
     /// Build a core from pipeline and memory configurations.
+    ///
+    /// The stall fast-forward path is enabled unless the
+    /// `JSMT_NO_FASTFWD=1` environment variable is set (the escape hatch
+    /// for A/B-ing the optimization; see [`SmtCore::fast_forward`]).
     pub fn new(core_cfg: CoreConfig, mem_cfg: MemConfig) -> Self {
         SmtCore {
             cfg: core_cfg,
@@ -121,7 +135,7 @@ impl SmtCore {
             bank: CounterBank::new(),
             now: 0,
             fill_chunk: 48,
-            scratch: Vec::with_capacity(64),
+            fastfwd: std::env::var_os("JSMT_NO_FASTFWD").is_none_or(|v| v != "1"),
         }
     }
 
@@ -160,6 +174,7 @@ impl SmtCore {
         let ctx = &mut self.ctxs[lcpu.index()];
         assert!(!ctx.bound, "context {lcpu:?} already bound");
         assert!(ctx.drained(), "context {lcpu:?} not drained before bind");
+        debug_assert_eq!(ctx.waiting, 0, "drained context has waiting µops");
         ctx.bound = true;
         ctx.draining = false;
         ctx.asid = asid;
@@ -211,6 +226,155 @@ impl SmtCore {
         self.ctxs[0].bound && self.ctxs[1].bound
     }
 
+    /// Enable or disable the stall fast-forward path (default: enabled,
+    /// unless `JSMT_NO_FASTFWD=1` is set in the environment). The setting
+    /// never changes simulated results — only wall-clock speed.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fastfwd = enabled;
+    }
+
+    /// Whether the stall fast-forward path is enabled.
+    pub fn fast_forward_enabled(&self) -> bool {
+        self.fastfwd
+    }
+
+    /// Try to advance the machine by up to `max` cycles in one jump,
+    /// without a fill callback. Returns the number of cycles skipped;
+    /// `0` means the next cycle may do real work (or fast-forward is
+    /// disabled) and the caller must run [`SmtCore::cycle`] instead.
+    ///
+    /// A span of cycles is skippable only when every per-cycle effect of
+    /// the step-by-step machine is *provably replayable in bulk*:
+    ///
+    /// * no window slot is waiting to issue (in-order retirement means
+    ///   mid-window completions cannot unblock anything either),
+    /// * no window head completes inside the span (no retirement),
+    /// * no pending redirect resolves inside the span,
+    /// * no context is draining (drain completion must be observed
+    ///   cycle-exactly by the OS scheduler), and
+    /// * at most one context could fetch — and then only when its fetch
+    ///   stage provably repeats the same alloc-stalled, trace-cache-hit
+    ///   probe every cycle (the queue is above the refill threshold, the
+    ///   head µop is blocked on a window/load/store share, and the probe
+    ///   would hit).
+    ///
+    /// The horizon is the earliest "interesting" cycle: the minimum over
+    /// window-head completion times, redirect resolution times, and
+    /// fetch-stall expiries, capped at `max`. Every counter the skipped
+    /// cycles would have touched (`ClockCycles`, `ActiveCycles`,
+    /// `DualThreadCycles`, `OsCycles`, `CyclesRetire0`, and — for the
+    /// alloc-stalled replay — `TcLookups`/`AllocStallCycles` plus the
+    /// trace-cache LRU touch) is bulk-added, keeping the machine state
+    /// bit-identical to stepping cycle by cycle.
+    pub fn fast_forward(&mut self, max: u64) -> u64 {
+        if !self.fastfwd || max == 0 {
+            return 0;
+        }
+        let now = self.now;
+        let mut next_event = u64::MAX;
+        let mut fetcher = None;
+        for i in 0..2 {
+            let c = &self.ctxs[i];
+            if c.draining || c.waiting > 0 {
+                return 0;
+            }
+            if let Some(front) = c.window.front() {
+                match front.state {
+                    SlotState::Executing { done_at } if done_at > now => {
+                        next_event = next_event.min(done_at);
+                    }
+                    // Head done (retire acts) or waiting (can't happen
+                    // with waiting == 0, but never skip on it).
+                    _ => return 0,
+                }
+            }
+            if let Some(seq) = c.redirect_pending {
+                let front = c.front_seq();
+                if seq < front {
+                    return 0; // resolves this cycle (branch retired)
+                }
+                match c.window.get((seq - front) as usize).map(|s| s.state) {
+                    Some(SlotState::Executing { done_at }) if done_at > now => {
+                        next_event = next_event.min(done_at);
+                    }
+                    _ => return 0, // resolves this cycle
+                }
+            } else if c.bound {
+                if c.fetch_stall_until > now {
+                    next_event = next_event.min(c.fetch_stall_until);
+                } else if fetcher.replace(i).is_some() {
+                    // Two eligible fetchers would interleave trace-cache
+                    // probes by cycle parity; not worth replaying.
+                    return 0;
+                }
+            }
+        }
+
+        // Mode check for the lone eligible fetcher: its fetch stage must
+        // repeat the identical alloc-stalled, TC-hit probe each cycle.
+        let mut alloc_stalled = None;
+        if let Some(i) = fetcher {
+            let c = &self.ctxs[i];
+            let want = self.fill_chunk.saturating_sub(c.fetch_queue.len());
+            if want >= self.cfg.fetch_width {
+                return 0; // a refill would consult the µop source
+            }
+            let Some(&head) = c.fetch_queue.front() else {
+                return 0; // unreachable below the refill threshold
+            };
+            let sibling_bound = self.ctxs[1 - i].bound;
+            let is_load = matches!(head.kind, UopKind::Load | UopKind::AtomicRmw);
+            let is_store = matches!(head.kind, UopKind::Store | UopKind::AtomicRmw);
+            let blocked = c.window.len() >= self.cfg.window_share(sibling_bound)
+                || (is_load && c.loads_in_window >= self.cfg.load_share(sibling_bound))
+                || (is_store && c.stores_in_window >= self.cfg.store_share(sibling_bound));
+            if !blocked {
+                return 0; // allocation would make progress
+            }
+            let lcpu = LogicalCpu::from_index(i);
+            if !self.mem.fetch_would_hit(head.pc, c.asid, lcpu) {
+                return 0; // a TC miss starts a new stall: step it
+            }
+            alloc_stalled = Some((i, head.pc));
+        }
+
+        if next_event <= now {
+            return 0;
+        }
+        let span = (next_event - now).min(max);
+
+        // Bulk-replay the per-cycle accounting of `span` quiet cycles.
+        if self.ctxs[0].bound && self.ctxs[1].bound {
+            self.bank
+                .add(LogicalCpu::Lp0, Event::DualThreadCycles, span);
+        }
+        for i in 0..2 {
+            if self.ctxs[i].bound {
+                let lcpu = LogicalCpu::from_index(i);
+                self.bank.add(lcpu, Event::ClockCycles, span);
+                self.bank.add(lcpu, Event::ActiveCycles, span);
+                if self.ctxs[i].in_kernel {
+                    self.bank.add(lcpu, Event::OsCycles, span);
+                }
+            }
+        }
+        // Every skipped cycle is a zero-retirement cycle.
+        self.bank.add(LogicalCpu::Lp0, Event::CyclesRetire0, span);
+        if let Some((i, pc)) = alloc_stalled {
+            let lcpu = LogicalCpu::from_index(i);
+            let asid = self.ctxs[i].asid;
+            self.mem
+                .fetch_repeat_hit(pc, asid, lcpu, span, &mut self.bank);
+            self.bank.add(lcpu, Event::AllocStallCycles, span);
+            // What the recomputed starvation flag would be each cycle
+            // (queue nonempty, nothing delivered).
+            self.ctxs[i].starved = false;
+        }
+
+        self.now = now + span;
+        span
+    }
+
     /// Advance the machine by one cycle. `fill` supplies µops for bound,
     /// fetching contexts.
     pub fn cycle(&mut self, fill: &mut FillFn<'_>) {
@@ -260,20 +424,26 @@ impl SmtCore {
         };
         let lcpu = LogicalCpu::from_index(i);
 
-        // Refill the fetch queue from the thread's µop source.
+        // Refill the fetch queue from the thread's µop source, which
+        // writes directly into the context's ring buffer (zero-copy).
         let want = self
             .fill_chunk
             .saturating_sub(self.ctxs[i].fetch_queue.len());
+        let mut delivered = 0;
         if want >= self.cfg.fetch_width && !self.ctxs[i].draining {
-            self.scratch.clear();
-            let got = fill(lcpu, &mut self.scratch, want);
-            debug_assert!(got <= want, "source overfilled the fetch buffer");
-            let delivered = self.scratch.len().min(want);
-            for uop in self.scratch.drain(..).take(delivered) {
-                self.ctxs[i].fetch_queue.push_back(uop);
-            }
-            self.ctxs[i].starved = delivered == 0 && self.ctxs[i].fetch_queue.is_empty();
+            let before = self.ctxs[i].fetch_queue.len();
+            let got = fill(lcpu, &mut self.ctxs[i].fetch_queue, want);
+            delivered = self.ctxs[i].fetch_queue.len() - before;
+            debug_assert!(
+                got <= want && delivered <= want,
+                "source overfilled the fetch buffer"
+            );
+            let _ = got;
         }
+        // Recompute starvation unconditionally: skipping the refill (queue
+        // above threshold, or draining) must not leave a stale flag for
+        // the scheduler to observe.
+        self.ctxs[i].starved = delivered == 0 && self.ctxs[i].fetch_queue.is_empty();
         if self.ctxs[i].fetch_queue.is_empty() {
             return;
         }
@@ -350,6 +520,7 @@ impl SmtCore {
                 seq,
                 state: SlotState::Waiting,
             });
+            ctx.waiting += 1;
             fetched += 1;
 
             if mispredict {
@@ -387,6 +558,13 @@ impl SmtCore {
         port_budget: &mut [u8; 5],
         issue_budget: &mut usize,
     ) {
+        if self.ctxs[i].waiting == 0 {
+            // Nothing to schedule, and with in-order retirement a
+            // mid-window completion can't unblock anything: the scan
+            // below would be a pure read. Skip it in O(1) — the same
+            // invariant the fast-forward quietness check relies on.
+            return;
+        }
         let lcpu = LogicalCpu::from_index(i);
         let asid = self.ctxs[i].asid;
         let front_seq = self.ctxs[i].front_seq();
@@ -471,6 +649,7 @@ impl SmtCore {
             self.ctxs[i].window[idx].state = SlotState::Executing {
                 done_at: now + latency as u64,
             };
+            self.ctxs[i].waiting -= 1;
 
             if kind.is_serializing() {
                 // Nothing younger may issue this cycle.
@@ -775,6 +954,77 @@ mod tests {
             bank.total(Event::UopsRetiredKernel),
             bank.total(Event::UopsRetired)
         );
+    }
+
+    /// Step-by-step and fast-forwarded drivers over the same stream must
+    /// agree on every cycle and every counter (the fast-forward contract;
+    /// the proptest suite widens this over random configs).
+    #[test]
+    fn fast_forward_matches_stepwise_bit_for_bit() {
+        let n = 60_000;
+        let mut step = SmtCore::new(CoreConfig::p4(false), MemConfig::p4(false));
+        step.set_fast_forward(false);
+        let mut s_step = mlp_stream(9);
+        step.bind(LogicalCpu::Lp0, Asid(1));
+        for _ in 0..n {
+            step.cycle(&mut |_l, buf, max| s_step.fill(buf, max));
+        }
+
+        let mut ff = SmtCore::new(CoreConfig::p4(false), MemConfig::p4(false));
+        ff.set_fast_forward(true);
+        let mut s_ff = mlp_stream(9);
+        ff.bind(LogicalCpu::Lp0, Asid(1));
+        let mut skipped_total = 0;
+        while ff.cycles() < n {
+            let skipped = ff.fast_forward(n - ff.cycles());
+            skipped_total += skipped;
+            if skipped == 0 {
+                ff.cycle(&mut |_l, buf, max| s_ff.fill(buf, max));
+            }
+        }
+        assert_eq!(ff.cycles(), step.cycles());
+        assert_eq!(ff.counters(), step.counters(), "counter banks diverged");
+        assert!(
+            skipped_total > n / 10,
+            "a DRAM-bound stream should skip many cycles, skipped {skipped_total}"
+        );
+    }
+
+    /// The fast-forward path refuses to skip while a context is draining:
+    /// the OS scheduler must observe drain completion cycle-exactly.
+    #[test]
+    fn fast_forward_is_noop_mid_drain() {
+        let mut core = SmtCore::new(CoreConfig::p4(false), MemConfig::p4(false));
+        let mut s = mlp_stream(12);
+        core.bind(LogicalCpu::Lp0, Asid(1));
+        for _ in 0..5000 {
+            core.cycle(&mut |_l, buf, max| s.fill(buf, max));
+        }
+        core.request_drain(LogicalCpu::Lp0);
+        let mut waited = 0;
+        while !core.snapshot(LogicalCpu::Lp0).drained {
+            assert_eq!(
+                core.fast_forward(1_000_000),
+                0,
+                "fast-forward must be bypassed mid-drain"
+            );
+            core.cycle(&mut |_l, buf, max| s.fill(buf, max));
+            waited += 1;
+            assert!(waited < 50_000, "drain did not complete");
+        }
+    }
+
+    /// `JSMT_NO_FASTFWD=1` would disable the path at construction; the
+    /// programmatic setter is equivalent and testable without env races.
+    #[test]
+    fn disabled_fast_forward_never_skips() {
+        let mut core = SmtCore::new(CoreConfig::p4(false), MemConfig::p4(false));
+        core.set_fast_forward(false);
+        assert!(!core.fast_forward_enabled());
+        // Even a completely idle machine must not jump when disabled.
+        assert_eq!(core.fast_forward(1000), 0);
+        core.set_fast_forward(true);
+        assert_eq!(core.fast_forward(1000), 1000, "idle machine skips freely");
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! The per-context fetch queue: a fixed-capacity ring buffer of µops.
+//!
+//! This replaces the old `VecDeque<Uop>` + intermediate scratch `Vec`
+//! pair: µop sources write straight into the ring through
+//! [`jsmt_isa::UopSink`], so delivery into the pipeline is a single copy
+//! into a flat, cache-resident array — no reallocation, no per-cycle
+//! buffer shuffling.
+
+use jsmt_isa::{Uop, UopSink};
+
+/// Ring capacity. The core refills at most `fill_chunk` (48) µops into a
+/// queue it only refills when at least `fetch_width` slots are free, so
+/// the occupancy never exceeds `fill_chunk`; 64 leaves headroom and keeps
+/// the index mask a power of two.
+const CAP: usize = 64;
+
+/// Fixed-capacity FIFO of fetched µops, backed by `[Uop; 64]`.
+#[derive(Clone)]
+pub struct FetchQueue {
+    buf: [Uop; CAP],
+    head: usize,
+    len: usize,
+}
+
+impl FetchQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        FetchQueue {
+            buf: [Uop::alu(0); CAP],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued µops.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Free slots remaining.
+    #[inline]
+    pub fn free(&self) -> usize {
+        CAP - self.len
+    }
+
+    /// The oldest queued µop, if any.
+    #[inline]
+    pub fn front(&self) -> Option<&Uop> {
+        (self.len > 0).then(|| &self.buf[self.head])
+    }
+
+    /// Remove and return the oldest µop.
+    #[inline]
+    pub fn pop_front(&mut self) -> Option<Uop> {
+        if self.len == 0 {
+            return None;
+        }
+        let u = self.buf[self.head];
+        self.head = (self.head + 1) & (CAP - 1);
+        self.len -= 1;
+        Some(u)
+    }
+
+    /// Append a µop. A full queue drops the µop (callers are contracted
+    /// to respect the `max` they were given; debug builds assert).
+    #[inline]
+    pub fn push_back(&mut self, uop: Uop) {
+        debug_assert!(self.len < CAP, "fetch queue overflow: source ignored max");
+        if self.len < CAP {
+            self.buf[(self.head + self.len) & (CAP - 1)] = uop;
+            self.len += 1;
+        }
+    }
+}
+
+impl UopSink for FetchQueue {
+    #[inline]
+    fn push_uop(&mut self, uop: Uop) {
+        self.push_back(uop);
+    }
+}
+
+impl Default for FetchQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for FetchQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FetchQueue")
+            .field("len", &self.len)
+            .field("front_pc", &self.front().map(|u| u.pc))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_across_wraparound() {
+        let mut q = FetchQueue::new();
+        // Drive head deep into the ring, then push a run that wraps.
+        for i in 0..50u64 {
+            q.push_back(Uop::alu(i));
+        }
+        for i in 0..50u64 {
+            assert_eq!(q.pop_front().unwrap().pc, i);
+        }
+        for i in 100..140u64 {
+            q.push_back(Uop::alu(i));
+        }
+        assert_eq!(q.len(), 40);
+        assert_eq!(q.front().unwrap().pc, 100);
+        for i in 100..140u64 {
+            assert_eq!(q.pop_front().unwrap().pc, i);
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.pop_front(), None);
+    }
+
+    #[test]
+    fn capacity_holds_a_full_fill_chunk() {
+        let mut q = FetchQueue::new();
+        for i in 0..48u64 {
+            q.push_back(Uop::alu(i));
+        }
+        assert_eq!(q.len(), 48);
+        assert!(q.free() >= 16);
+    }
+
+    #[test]
+    fn full_queue_drops_excess_in_release() {
+        let mut q = FetchQueue::new();
+        for i in 0..CAP as u64 {
+            q.push_back(Uop::alu(i));
+        }
+        assert_eq!(q.len(), CAP);
+        // In release builds the overflow push is silently dropped; in
+        // debug builds it asserts, so only exercise it there.
+        if !cfg!(debug_assertions) {
+            q.push_back(Uop::alu(999));
+            assert_eq!(q.len(), CAP);
+        }
+    }
+}

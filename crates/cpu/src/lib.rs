@@ -42,7 +42,9 @@
 
 mod config;
 mod core_model;
+mod fetch_queue;
 pub mod synth;
 
 pub use config::{CoreConfig, Partition};
-pub use core_model::{ContextSnapshot, SmtCore};
+pub use core_model::{ContextSnapshot, FillFn, SmtCore};
+pub use fetch_queue::FetchQueue;

@@ -8,7 +8,7 @@
 //! is needed to validate the pipeline and cache models against intuition
 //! before trusting them with whole programs.
 
-use jsmt_isa::{Addr, Region, Uop, UopKind, DEP_NONE};
+use jsmt_isa::{Addr, Region, Uop, UopKind, UopSink, DEP_NONE};
 
 /// Deterministic 64-bit PRNG (splitmix64), dependency-free.
 #[derive(Debug, Clone)]
@@ -243,10 +243,12 @@ impl SyntheticStream {
     }
 
     /// Append up to `max` µops to `buf`; always delivers (infinite stream).
-    pub fn fill(&mut self, buf: &mut Vec<Uop>, max: usize) -> usize {
+    /// Generic over the destination so the core's fetch ring, a `Vec`, or
+    /// a `VecDeque` all work without an intermediate copy.
+    pub fn fill<S: UopSink>(&mut self, buf: &mut S, max: usize) -> usize {
         for _ in 0..max {
             let u = self.next_uop();
-            buf.push(u);
+            buf.push_uop(u);
         }
         max
     }

@@ -74,6 +74,76 @@ proptest! {
         prop_assert_eq!(b.get(LogicalCpu::Lp1, Event::UopsRetired), 0);
     }
 
+    /// The stall fast-forward is an *optimization*, not a model change:
+    /// for any synthetic stream and either HT mode, driving the core with
+    /// `fast_forward` + `cycle` produces bit-identical elapsed cycles and
+    /// a bit-identical counter bank compared to pure cycle-by-cycle
+    /// stepping.
+    #[test]
+    fn fast_forward_is_bit_identical(mut s_step in arb_stream(47), ht in any::<bool>()) {
+        let mut s_ff = s_step.clone();
+        let n = 20_000u64;
+
+        let mut step = SmtCore::new(CoreConfig::p4(ht), MemConfig::p4(ht));
+        step.set_fast_forward(false);
+        step.bind(LogicalCpu::Lp0, Asid(1));
+        while step.cycles() < n {
+            step.cycle(&mut |_l, buf, max| s_step.fill(buf, max));
+        }
+
+        let mut ff = SmtCore::new(CoreConfig::p4(ht), MemConfig::p4(ht));
+        ff.set_fast_forward(true);
+        ff.bind(LogicalCpu::Lp0, Asid(1));
+        while ff.cycles() < n {
+            if ff.fast_forward(n - ff.cycles()) == 0 {
+                ff.cycle(&mut |_l, buf, max| s_ff.fill(buf, max));
+            }
+        }
+
+        prop_assert_eq!(step.cycles(), ff.cycles());
+        prop_assert_eq!(step.counters(), ff.counters());
+    }
+
+    /// Same equivalence with two independent streams sharing the core
+    /// (the SMT case: skips are only legal when *both* contexts are
+    /// provably idle, so this exercises the two-context analysis).
+    #[test]
+    fn fast_forward_is_bit_identical_dual_thread(
+        mut a_step in arb_stream(53),
+        mut b_step in arb_stream(59),
+    ) {
+        let mut a_ff = a_step.clone();
+        let mut b_ff = b_step.clone();
+        let n = 20_000u64;
+
+        let mut step = SmtCore::new(CoreConfig::p4(true), MemConfig::p4(true));
+        step.set_fast_forward(false);
+        step.bind(LogicalCpu::Lp0, Asid(1));
+        step.bind(LogicalCpu::Lp1, Asid(2));
+        while step.cycles() < n {
+            step.cycle(&mut |l, buf, max| match l {
+                LogicalCpu::Lp0 => a_step.fill(buf, max),
+                LogicalCpu::Lp1 => b_step.fill(buf, max),
+            });
+        }
+
+        let mut ff = SmtCore::new(CoreConfig::p4(true), MemConfig::p4(true));
+        ff.set_fast_forward(true);
+        ff.bind(LogicalCpu::Lp0, Asid(1));
+        ff.bind(LogicalCpu::Lp1, Asid(2));
+        while ff.cycles() < n {
+            if ff.fast_forward(n - ff.cycles()) == 0 {
+                ff.cycle(&mut |l, buf, max| match l {
+                    LogicalCpu::Lp0 => a_ff.fill(buf, max),
+                    LogicalCpu::Lp1 => b_ff.fill(buf, max),
+                });
+            }
+        }
+
+        prop_assert_eq!(step.cycles(), ff.cycles());
+        prop_assert_eq!(step.counters(), ff.counters());
+    }
+
     /// Dynamic partitioning never makes a lone thread slower than static.
     #[test]
     fn dynamic_partition_dominates_static_for_one_thread(mut s1 in arb_stream(31)) {

@@ -27,10 +27,12 @@
 
 mod addr;
 mod mix;
+mod sink;
 mod uop;
 
 pub use addr::{AddressSpace, Asid, PageNumber, Region, CACHE_LINE_BYTES, PAGE_BYTES};
 pub use mix::InstrMix;
+pub use sink::UopSink;
 pub use uop::{BranchInfo, BranchKind, PortClass, Uop, UopKind, DEP_NONE};
 
 /// A simulated byte address.

@@ -1,0 +1,57 @@
+//! Zero-copy µop delivery.
+//!
+//! Workload generators (synthetic streams, kernel codegen, GC/JIT work
+//! generators) used to emit into a `Vec<Uop>` that the caller then copied
+//! into whatever queue actually feeds the pipeline. [`UopSink`] abstracts
+//! the destination so generators write **directly** into the consuming
+//! queue — the OS thread's pending `VecDeque`, or the core's fixed-capacity
+//! fetch ring — and the intermediate copy disappears from the hot loop.
+
+use std::collections::VecDeque;
+
+use crate::Uop;
+
+/// A destination for emitted µops.
+///
+/// Implementors append in order; the µop stream's semantics (sequence,
+/// dependence distances) rely on FIFO delivery.
+pub trait UopSink {
+    /// Append one µop.
+    fn push_uop(&mut self, uop: Uop);
+}
+
+impl UopSink for Vec<Uop> {
+    #[inline]
+    fn push_uop(&mut self, uop: Uop) {
+        self.push(uop);
+    }
+}
+
+impl UopSink for VecDeque<Uop> {
+    #[inline]
+    fn push_uop(&mut self, uop: Uop) {
+        self.push_back(uop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_and_deque_preserve_order() {
+        let a = Uop::alu(0x10);
+        let b = Uop::alu(0x20);
+        let mut v: Vec<Uop> = Vec::new();
+        v.push_uop(a);
+        v.push_uop(b);
+        assert_eq!(v[0].pc, 0x10);
+        assert_eq!(v[1].pc, 0x20);
+
+        let mut q: VecDeque<Uop> = VecDeque::new();
+        q.push_uop(a);
+        q.push_uop(b);
+        assert_eq!(q.pop_front().unwrap().pc, 0x10);
+        assert_eq!(q.pop_front().unwrap().pc, 0x20);
+    }
+}

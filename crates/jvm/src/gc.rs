@@ -7,7 +7,7 @@
 //! phase that rewrites object headers. The stream executes GC code from
 //! the JVM-runtime portion of the static code region.
 
-use jsmt_isa::{Addr, Region, Uop, DEP_NONE};
+use jsmt_isa::{Addr, Region, Uop, UopSink, DEP_NONE};
 
 /// Generates the µop stream for one collection.
 #[derive(Debug, Clone)]
@@ -71,58 +71,77 @@ impl GcWorkGen {
     }
 
     /// Append up to `max` µops of GC work; returns the number emitted
-    /// (0 when the collection's work is exhausted).
-    pub fn emit(&mut self, out: &mut Vec<Uop>, max: usize) -> usize {
-        let start = out.len();
-        while out.len() - start + 5 <= max {
+    /// (0 when the collection's work is exhausted). Generic over the
+    /// destination so the stream lands directly in the GC thread's
+    /// pending queue (zero-copy).
+    pub fn emit<S: UopSink>(&mut self, out: &mut S, max: usize) -> usize {
+        // GC µops are user-mode (the collector is part of the JVM, not
+        // the kernel) and independent unless explicitly marked.
+        fn push<S: UopSink>(out: &mut S, mut u: Uop, emitted: &mut usize) {
+            if u.dep_dist == 0 {
+                u.dep_dist = DEP_NONE;
+            }
+            out.push_uop(u);
+            *emitted += 1;
+        }
+        let mut emitted = 0;
+        while emitted + 5 <= max {
             if self.mark_pos < self.live_bytes {
                 // Mark step: load the header (pointer-chase: scattered,
                 // dependent), test, mark-bit store on a fraction, loop
                 // branch.
                 let scatter = (self.next_rand() % self.live_bytes.max(1)) & !7;
                 let pc = self.next_pc();
-                out.push(Uop::load(pc, self.heap_base + scatter));
+                push(out, Uop::load(pc, self.heap_base + scatter), &mut emitted);
                 let pc = self.next_pc();
-                out.push(Uop {
-                    dep_dist: 1,
-                    ..Uop::alu(pc)
-                });
+                push(
+                    out,
+                    Uop {
+                        dep_dist: 1,
+                        ..Uop::alu(pc)
+                    },
+                    &mut emitted,
+                );
                 let pc = self.next_pc();
-                out.push(Uop {
-                    dep_dist: 1,
-                    ..Uop::alu(pc)
-                });
+                push(
+                    out,
+                    Uop {
+                        dep_dist: 1,
+                        ..Uop::alu(pc)
+                    },
+                    &mut emitted,
+                );
                 if self.next_rand().is_multiple_of(4) {
                     let pc = self.next_pc();
-                    out.push(Uop {
-                        dep_dist: 2,
-                        ..Uop::store(pc, self.heap_base + scatter)
-                    });
+                    push(
+                        out,
+                        Uop {
+                            dep_dist: 2,
+                            ..Uop::store(pc, self.heap_base + scatter)
+                        },
+                        &mut emitted,
+                    );
                 }
                 let pc = self.next_pc();
                 let target = Region::Code.base() + GC_CODE_OFFSET;
-                out.push(Uop::branch(pc, target, true));
+                push(out, Uop::branch(pc, target, true), &mut emitted);
                 self.mark_pos += MARK_GRANULE;
             } else if self.sweep_pos < self.live_bytes {
                 // Sweep step: sequential header rewrite.
                 let pc = self.next_pc();
-                out.push(Uop::store(pc, self.heap_base + self.sweep_pos));
+                push(
+                    out,
+                    Uop::store(pc, self.heap_base + self.sweep_pos),
+                    &mut emitted,
+                );
                 let pc = self.next_pc();
-                out.push(Uop::alu(pc));
+                push(out, Uop::alu(pc), &mut emitted);
                 let pc = self.next_pc();
                 let target = Region::Code.base() + GC_CODE_OFFSET + 4096;
-                out.push(Uop::branch(pc, target, true));
+                push(out, Uop::branch(pc, target, true), &mut emitted);
                 self.sweep_pos += SWEEP_GRANULE;
             } else {
                 break;
-            }
-        }
-        let emitted = out.len() - start;
-        // GC µops are user-mode (the collector is part of the JVM, not the
-        // kernel) and independent unless marked.
-        for u in &mut out[start..] {
-            if u.dep_dist == 0 {
-                u.dep_dist = DEP_NONE;
             }
         }
         emitted

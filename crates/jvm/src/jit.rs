@@ -8,7 +8,7 @@
 //! work), and code emission (stores into the method's body in the JIT
 //! code region).
 
-use jsmt_isa::{Addr, Region, Uop, DEP_NONE};
+use jsmt_isa::{Addr, Region, Uop, UopSink, DEP_NONE};
 
 /// Compiler-thread code lives after the GC's slice of the JVM runtime.
 const JIT_CODE_OFFSET: u64 = 26 * 1024;
@@ -65,37 +65,39 @@ impl JitWorkGen {
     }
 
     /// Append up to `max` µops of compilation work; returns the number
-    /// emitted (0 when done).
-    pub fn emit(&mut self, out: &mut Vec<Uop>, max: usize) -> usize {
-        let start = out.len();
-        while out.len() - start + 6 <= max && !self.is_done() {
+    /// emitted (0 when done). Generic over the destination so the stream
+    /// lands directly in the compiler thread's pending queue (zero-copy).
+    pub fn emit<S: UopSink>(&mut self, out: &mut S, max: usize) -> usize {
+        let mut n = 0;
+        while n + 6 <= max && !self.is_done() {
             // IR build: bytecode load + hash-table probe.
             let pc = self.next_pc();
             let bc = (Region::Native.base() + self.next_rand() % (64 * 1024)) & !3;
-            out.push(Uop::load(pc, bc));
+            out.push_uop(Uop::load(pc, bc));
             let pc = self.next_pc();
-            out.push(Uop {
+            out.push_uop(Uop {
                 dep_dist: 1,
                 ..Uop::alu(pc)
             });
             // Optimization: compare/branch over the IR.
             let pc = self.next_pc();
             let target = Region::Code.base() + JIT_CODE_OFFSET;
-            out.push(Uop::branch(pc, target, !self.next_rand().is_multiple_of(4)));
+            out.push_uop(Uop::branch(pc, target, !self.next_rand().is_multiple_of(4)));
             let pc = self.next_pc();
-            out.push(Uop::alu(pc));
+            out.push_uop(Uop::alu(pc));
             // Code emission: sequential stores into the method body.
             let pc = self.next_pc();
             let at = self.body_base + (self.emitted / UOPS_PER_CODE_BYTE) % self.body_size.max(1);
-            out.push(Uop::store(pc, at & !3));
+            out.push_uop(Uop::store(pc, at & !3));
             let pc = self.next_pc();
-            out.push(Uop {
+            out.push_uop(Uop {
                 dep_dist: DEP_NONE,
                 ..Uop::alu(pc)
             });
             self.emitted += 6;
+            n += 6;
         }
-        out.len() - start
+        n
     }
 }
 

@@ -163,6 +163,31 @@ impl MemoryHierarchy {
         }
     }
 
+    /// Read-only probe: would [`MemoryHierarchy::fetch`] at `pc` hit the
+    /// trace cache right now? No state — cache contents, LRU, counters —
+    /// is touched.
+    pub fn fetch_would_hit(&self, pc: Addr, asid: Asid, lcpu: LogicalCpu) -> bool {
+        self.tc.would_hit(pc, asid, lcpu)
+    }
+
+    /// Replay `n` consecutive trace-cache-hit fetches of the group at
+    /// `pc` in one step, bit-identical to `n` calls of
+    /// [`MemoryHierarchy::fetch`] that each hit: `n` lookups land in
+    /// `bank` and the trace cache's tick/LRU state advances as if probed
+    /// `n` times. The caller must have established the hit via
+    /// [`MemoryHierarchy::fetch_would_hit`].
+    pub fn fetch_repeat_hit(
+        &mut self,
+        pc: Addr,
+        asid: Asid,
+        lcpu: LogicalCpu,
+        n: u64,
+        bank: &mut CounterBank,
+    ) {
+        bank.add(lcpu, Event::TcLookups, n);
+        self.tc.repeat_hit(pc, asid, lcpu, n);
+    }
+
     /// Maximum µops deliverable by one fetch (trace-line width).
     pub fn fetch_width(&self) -> u32 {
         self.tc.uops_per_fetch()

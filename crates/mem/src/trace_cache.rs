@@ -114,6 +114,18 @@ impl TraceCache {
         &self.cfg
     }
 
+    /// The set base index and tag for a fetch at `pc`.
+    #[inline]
+    fn key(&self, pc: Addr, asid: Asid, lcpu: LogicalCpu) -> (usize, u64) {
+        let line_addr = pc / self.cfg.line_code_bytes;
+        let set = (line_addr as usize) % self.cfg.sets;
+        let mut tag = (line_addr << 17) | ((asid.0 as u64) << 1);
+        if self.cfg.lcpu_tagged {
+            tag |= lcpu.index() as u64;
+        }
+        (set * self.cfg.ways, tag)
+    }
+
     /// Look up the trace line for a fetch at `pc`. On a miss the line is
     /// *built* (filled) immediately and the miss is recorded — the build
     /// latency is charged by the caller from [`crate::MemLatencies`].
@@ -121,13 +133,7 @@ impl TraceCache {
     pub fn fetch(&mut self, pc: Addr, asid: Asid, lcpu: LogicalCpu) -> bool {
         self.tick += 1;
         self.lookups[lcpu.index()] += 1;
-        let line_addr = pc / self.cfg.line_code_bytes;
-        let set = (line_addr as usize) % self.cfg.sets;
-        let mut tag = (line_addr << 17) | ((asid.0 as u64) << 1);
-        if self.cfg.lcpu_tagged {
-            tag |= lcpu.index() as u64;
-        }
-        let base = set * self.cfg.ways;
+        let (base, tag) = self.key(pc, asid, lcpu);
         let ways = &mut self.lines[base..base + self.cfg.ways];
         if let Some(l) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
             l.stamp = self.tick;
@@ -145,6 +151,44 @@ impl TraceCache {
             valid: true,
         };
         false
+    }
+
+    /// Read-only probe: would [`TraceCache::fetch`] at `pc` hit right
+    /// now? Touches no state — no tick, no stamp, no counters — so the
+    /// fast-forward path can decide whether a span of identical probes is
+    /// replayable before committing to it.
+    pub fn would_hit(&self, pc: Addr, asid: Asid, lcpu: LogicalCpu) -> bool {
+        let (base, tag) = self.key(pc, asid, lcpu);
+        self.lines[base..base + self.cfg.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Replay `n` consecutive hitting fetches of the line at `pc` in one
+    /// step, leaving the cache bit-identical to `n` calls of
+    /// [`TraceCache::fetch`] that each hit: the global tick advances by
+    /// `n`, the line's LRU stamp lands on the final tick, and `n` lookups
+    /// are recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the line is not present (callers must
+    /// check [`TraceCache::would_hit`] first).
+    pub fn repeat_hit(&mut self, pc: Addr, asid: Asid, lcpu: LogicalCpu, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.tick += n;
+        self.lookups[lcpu.index()] += n;
+        let (base, tag) = self.key(pc, asid, lcpu);
+        let tick = self.tick;
+        let line = self.lines[base..base + self.cfg.ways]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag);
+        debug_assert!(line.is_some(), "repeat_hit on an absent trace line");
+        if let Some(l) = line {
+            l.stamp = tick;
+        }
     }
 
     /// µops deliverable per hit (the fetch width cap from the trace cache).
@@ -253,6 +297,42 @@ mod tests {
     #[test]
     fn p4_capacity_is_12k_uops() {
         assert_eq!(TraceCacheConfig::p4(false).capacity_uops(), 12 * 1024);
+    }
+
+    #[test]
+    fn would_hit_is_pure_and_repeat_hit_replays_fetches() {
+        let mk = || {
+            let mut tc = TraceCache::new(TraceCacheConfig::p4(true));
+            for i in 0..16 {
+                tc.fetch(0x0800_0000 + i * 16, A1, LP0);
+            }
+            tc
+        };
+        let mut a = mk();
+        let mut b = mk();
+        // would_hit agrees with fetch without mutating anything.
+        assert!(a.would_hit(0x0800_0000, A1, LP0));
+        assert!(!a.would_hit(0x0800_0000, A2, LP0));
+        assert!(!a.would_hit(0x0800_0000, A1, LP1), "thread-tagged");
+        assert_eq!(a.lookups(LP0), b.lookups(LP0), "would_hit counted");
+
+        // n repeated fetch() hits == one repeat_hit(n): identical LRU
+        // behaviour afterwards (probe a conflict pattern to expose it).
+        for _ in 0..5 {
+            assert!(a.fetch(0x0800_0070, A1, LP0));
+        }
+        b.repeat_hit(0x0800_0070, A1, LP0, 5);
+        assert_eq!(a.lookups(LP0), b.lookups(LP0));
+        let stress = |tc: &mut TraceCache| {
+            let mut hits = 0;
+            for i in 0..64u64 {
+                if tc.fetch(0x0800_0000 + (i % 24) * 16 * 256, A1, LP0) {
+                    hits += 1;
+                }
+            }
+            (hits, tc.misses(LP0))
+        };
+        assert_eq!(stress(&mut a), stress(&mut b), "LRU state diverged");
     }
 
     #[test]

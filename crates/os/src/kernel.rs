@@ -8,7 +8,7 @@
 //! data structures, so frequent OS activity pollutes the trace cache, L1D
 //! and TLBs that user code shares with it.
 
-use jsmt_isa::{Addr, Region, Uop, DEP_NONE};
+use jsmt_isa::{Addr, Region, Uop, UopSink, DEP_NONE};
 
 /// The kernel services the simulator models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,8 +81,9 @@ impl KernelCodegen {
     ///
     /// The stream is ~30 % memory µops over the kernel data region, ~10 %
     /// branches (well-biased — kernel fast paths are predictable), rest
-    /// ALU; all privileged.
-    pub fn emit(&mut self, service: KernelService, uops: u32, out: &mut Vec<Uop>) {
+    /// ALU; all privileged. Generic over the destination so handlers can
+    /// be written straight into a thread's pending queue (zero-copy).
+    pub fn emit<S: UopSink>(&mut self, service: KernelService, uops: u32, out: &mut S) {
         let entry = self.entry_of(service);
         let span = self.code_span / 5;
         let data_base = Region::KernelData.base();
@@ -109,7 +110,7 @@ impl KernelCodegen {
             };
             uop.privileged = true;
             uop.dep_dist = if i % 4 == 0 { 1 } else { DEP_NONE };
-            out.push(uop);
+            out.push_uop(uop);
         }
     }
 }

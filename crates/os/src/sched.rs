@@ -187,6 +187,28 @@ impl Scheduler {
         self.timer_irqs
     }
 
+    /// The earliest cycle strictly after `now` at which a *time-driven*
+    /// decision could fire, assuming no thread state changes in between:
+    /// the next timer interrupt on a busy CPU, or the next timeslice
+    /// expiry while someone is waiting in the run queue. `u64::MAX` when
+    /// no such event is scheduled.
+    ///
+    /// State-driven decisions (drain completions, wakes, blocks) are the
+    /// caller's responsibility — the system layer only fast-forwards
+    /// across spans where it can prove no such change happens.
+    pub fn next_timed_event(&self, now: u64) -> u64 {
+        let mut next = u64::MAX;
+        for l in 0..self.nlcpus {
+            if self.running[l].is_some() {
+                next = next.min(self.next_timer[l].max(now + 1));
+                if !self.runq.is_empty() {
+                    next = next.min(self.slice_end[l].max(now + 1));
+                }
+            }
+        }
+        next
+    }
+
     /// Count of threads not yet finished.
     pub fn live_threads(&self) -> usize {
         self.threads
@@ -419,6 +441,24 @@ mod tests {
         assert!(matches!(ev.last(), Some(SchedEvent::Bind { thread, .. }) if *thread == b));
         assert_eq!(s.state(a), ThreadState::Finished);
         assert_eq!(s.live_threads(), 1);
+    }
+
+    #[test]
+    fn next_timed_event_tracks_timers_and_slices() {
+        let cfg = OsConfig::default();
+        let mut s = Scheduler::new(cfg, false);
+        assert_eq!(s.next_timed_event(0), u64::MAX, "idle machine: no events");
+        s.spawn(A);
+        drain_all(&mut s, 0);
+        // One thread, empty runq: only the timer is scheduled.
+        assert_eq!(s.next_timed_event(0), cfg.timer_period_cycles);
+        // A waiter arms the timeslice expiry too.
+        s.spawn(A);
+        let expect = cfg.timer_period_cycles.min(cfg.timeslice_cycles);
+        assert_eq!(s.next_timed_event(0), expect);
+        // The returned cycle is always strictly in the future.
+        let late = cfg.timer_period_cycles + cfg.timeslice_cycles;
+        assert!(s.next_timed_event(late) > late);
     }
 
     #[test]

@@ -47,6 +47,13 @@ impl Sampler {
         self.interval
     }
 
+    /// The cycle at which the next sample falls due. Fast-forwarding
+    /// callers must not jump past this point, so that the sample's
+    /// `at_cycle` and counter snapshot match the step-by-step machine.
+    pub fn next_due(&self) -> u64 {
+        self.next_due
+    }
+
     /// Offer the current machine state; records a sample if the interval
     /// elapsed. Call once per simulated cycle (cheap when not due).
     #[inline]

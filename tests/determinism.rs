@@ -49,6 +49,35 @@ fn ht_mode_changes_the_execution() {
     assert_ne!(on.0, off.0);
 }
 
+/// The event-driven fast-forward must be invisible in the results: a
+/// full-system run with the optimization disabled produces bit-identical
+/// cycles, counter banks, and completion records. This guards the whole
+/// chain (core skip analysis, trace-cache replay, scheduler/sampler span
+/// caps, GC-cycle bulk attribution).
+#[test]
+fn fast_forward_toggle_is_bit_identical_at_system_level() {
+    let run = |fastfwd: bool| {
+        let mut sys = System::new(
+            SystemConfig::p4(true)
+                .with_seed(7)
+                .with_max_cycles(600_000_000),
+        );
+        sys.set_fast_forward(fastfwd);
+        sys.add_process(WorkloadSpec::threaded(BenchmarkId::MonteCarlo, 2).with_scale(0.02));
+        sys.add_process(WorkloadSpec::single(BenchmarkId::Db).with_scale(0.02));
+        sys.run_to_completion()
+    };
+    let fast = run(true);
+    let slow = run(false);
+    assert_eq!(fast.cycles, slow.cycles);
+    assert_eq!(fast.bank, slow.bank, "counter banks diverged");
+    for (f, s) in fast.processes.iter().zip(&slow.processes) {
+        assert_eq!(f.completions, s.completions);
+        assert_eq!(f.completion_cycles, s.completion_cycles);
+        assert_eq!(f.gc_count, s.gc_count);
+    }
+}
+
 #[test]
 fn reports_are_stable_across_report_calls() {
     let mut sys = System::new(SystemConfig::p4(true).with_max_cycles(600_000_000));

@@ -183,6 +183,37 @@ fn results_are_invariant_across_worker_counts() {
     );
 }
 
+/// `JSMT_NO_FASTFWD=1` is the escape hatch that forces the plain
+/// cycle-by-cycle loop in every core the engine spawns; the rendered CSV
+/// bytes must not change. (The env var is only read at core construction
+/// and both settings are bit-identical by contract, so the brief window
+/// where the variable is set cannot corrupt concurrently running tests.)
+#[test]
+fn no_fastfwd_env_var_produces_identical_csv_bytes() {
+    let ctx = small();
+    // Fresh engines for each run so no per-engine memoization can serve
+    // the second sweep without constructing new cores.
+    let with_ff = exp::csv_mt(&exp::characterize_mt_on(
+        &Engine::serial(),
+        &[1, 2],
+        &[true],
+        &ctx,
+    ))
+    .into_bytes();
+
+    std::env::set_var("JSMT_NO_FASTFWD", "1");
+    let without_ff = exp::csv_mt(&exp::characterize_mt_on(
+        &Engine::serial(),
+        &[1, 2],
+        &[true],
+        &ctx,
+    ))
+    .into_bytes();
+    std::env::remove_var("JSMT_NO_FASTFWD");
+
+    assert_eq!(with_ff, without_ff, "fast-forward leaked into results");
+}
+
 /// The baseline cache is shared across drivers on one engine: a pairing
 /// grid followed by fig11 never re-simulates a baseline, and re-running
 /// the grid on the same engine adds lookups but zero misses.

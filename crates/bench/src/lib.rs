@@ -15,11 +15,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::path::Path;
+
+use jsmt_core::bisect::{bisect_divergence, render_bisect, Variant};
 use jsmt_core::experiments::{self as exp, Engine, ExperimentCtx, MpkiKind, Parallelism};
+use jsmt_core::SystemConfig;
+use jsmt_workloads::BenchmarkId;
 
 /// All experiment names, in paper order. `pairing-suite` renders
-/// Figures 8, 9 and the offline analysis from a single grid pass.
-pub const EXPERIMENTS: [&str; 20] = [
+/// Figures 8, 9 and the offline analysis from a single grid pass;
+/// `bisect-divergence` is the differential-replay debugging tool.
+pub const EXPERIMENTS: [&str; 21] = [
     "table2",
     "fig1",
     "fig2",
@@ -40,7 +46,45 @@ pub const EXPERIMENTS: [&str; 20] = [
     "ablation-l1",
     "ablation-prefetch",
     "ablation-jit",
+    "bisect-divergence",
 ];
+
+/// The experiments that support `--checkpoint` (cell-level crash-safe
+/// progress): everything driven by the pairing grid.
+pub const CHECKPOINTABLE: [&str; 5] = [
+    "fig8",
+    "fig9",
+    "pairing-analysis",
+    "pairing-suite",
+    "pairing-prediction",
+];
+
+/// Parameters of a `bisect-divergence` run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BisectOpts {
+    /// Variant A (default `fastfwd`).
+    pub a: Variant,
+    /// Variant B (default `no-fastfwd`).
+    pub b: Variant,
+    /// Benchmark to replay (default compress).
+    pub bench: BenchmarkId,
+    /// Cycles to compare before concluding "no divergence".
+    pub horizon: u64,
+    /// Checkpoint-compare spacing during the lockstep scan.
+    pub stride: u64,
+}
+
+impl Default for BisectOpts {
+    fn default() -> Self {
+        BisectOpts {
+            a: Variant::FastForward,
+            b: Variant::NoFastForward,
+            bench: BenchmarkId::Compress,
+            horizon: 200_000,
+            stride: 20_000,
+        }
+    }
+}
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +98,16 @@ pub struct Cli {
     /// Worker count from `--jobs N` (`None` = resolve from `JSMT_JOBS`
     /// or the host core count at run time).
     pub jobs: Option<usize>,
+    /// Checkpoint file from `--checkpoint PATH` / `--resume PATH`
+    /// (resumed if it exists, created otherwise).
+    pub checkpoint: Option<String>,
+    /// `--resume` was used: the checkpoint file must already exist.
+    pub resume: bool,
+    /// Flush the checkpoint every N finished grid cells
+    /// (`--checkpoint-every N`, default 8).
+    pub checkpoint_every: usize,
+    /// `bisect-divergence` parameters.
+    pub bisect: BisectOpts,
 }
 
 impl Cli {
@@ -77,6 +131,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut experiment: Option<String> = None;
     let mut csv = false;
     let mut jobs = None;
+    let mut checkpoint: Option<String> = None;
+    let mut resume = false;
+    let mut checkpoint_every = 8usize;
+    let mut bisect = BisectOpts::default();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -86,6 +144,49 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 jobs = Some(v.parse::<usize>().map_err(|e| format!("bad --jobs: {e}"))?);
+            }
+            "--checkpoint" => {
+                checkpoint = Some(it.next().ok_or("--checkpoint needs a path")?.clone());
+            }
+            "--resume" => {
+                checkpoint = Some(it.next().ok_or("--resume needs a path")?.clone());
+                resume = true;
+            }
+            "--checkpoint-every" => {
+                let v = it.next().ok_or("--checkpoint-every needs a value")?;
+                checkpoint_every = v
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?
+                    .max(1);
+            }
+            "--a" | "--b" => {
+                let flag = arg.as_str();
+                let v = it.next().ok_or_else(|| format!("{flag} needs a variant"))?;
+                let variant = Variant::parse(v)
+                    .ok_or_else(|| format!("bad {flag} '{v}' (fastfwd | no-fastfwd | seed=N)"))?;
+                if flag == "--a" {
+                    bisect.a = variant;
+                } else {
+                    bisect.b = variant;
+                }
+            }
+            "--bench" => {
+                let v = it.next().ok_or("--bench needs a benchmark name")?;
+                bisect.bench =
+                    BenchmarkId::parse(v).ok_or_else(|| format!("unknown benchmark '{v}'"))?;
+            }
+            "--horizon" => {
+                let v = it.next().ok_or("--horizon needs a value")?;
+                bisect.horizon = v
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad --horizon: {e}"))?;
+            }
+            "--stride" => {
+                let v = it.next().ok_or("--stride needs a value")?;
+                bisect.stride = v
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad --stride: {e}"))?
+                    .max(1);
             }
             "--scale" => {
                 let v = it.next().ok_or("--scale needs a value")?;
@@ -114,21 +215,39 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     if experiment != "all" && !EXPERIMENTS.contains(&experiment.as_str()) {
         return Err(format!("unknown experiment '{experiment}'\n{}", usage()));
     }
+    if checkpoint.is_some() && !CHECKPOINTABLE.contains(&experiment.as_str()) {
+        return Err(format!(
+            "--checkpoint/--resume only applies to the pairing-grid experiments ({})",
+            CHECKPOINTABLE.join(" ")
+        ));
+    }
     Ok(Cli {
         experiment,
         ctx,
         csv,
         jobs,
+        checkpoint,
+        resume,
+        checkpoint_every,
+        bisect,
     })
 }
 
 /// The usage string.
 pub fn usage() -> String {
     format!(
-        "usage: repro [--quick|--full] [--csv] [--scale X] [--repeats N] [--seed S] [--jobs N] <experiment>\n\
+        "usage: repro [--quick|--full] [--csv] [--scale X] [--repeats N] [--seed S] [--jobs N]\n\
+         \x20            [--checkpoint PATH | --resume PATH] [--checkpoint-every N] <experiment>\n\
          experiments: {} all\n\
          --jobs N fans independent simulations over N worker threads (0/1 = serial;\n\
-         default: JSMT_JOBS or all cores). Results are bit-identical at any job count.",
+         default: JSMT_JOBS or all cores). Results are bit-identical at any job count.\n\
+         --checkpoint PATH makes the pairing-grid experiments crash-safe: finished cells\n\
+         are flushed to PATH every --checkpoint-every N cells (default 8) and a rerun\n\
+         resumes from them, emitting bit-identical output. --resume PATH additionally\n\
+         requires the file to exist already.\n\
+         bisect-divergence [--a V] [--b V] [--bench NAME] [--horizon N] [--stride N]\n\
+         replays two variants (fastfwd | no-fastfwd | seed=N) in lockstep and reports\n\
+         the first cycle at which their machine states diverge.",
         EXPERIMENTS.join(" ")
     )
 }
@@ -167,23 +286,9 @@ pub fn run_experiment_on(engine: &Engine, name: &str, ctx: &ExperimentCtx, csv: 
         }
         "fig8" | "fig9" | "pairing-analysis" | "pairing-suite" | "pairing-prediction" => {
             let grid = exp::pair_matrix_on(engine, ctx);
-            if csv {
-                return exp::csv_grid(&grid);
-            }
-            match name {
-                "fig8" => exp::render_fig8(&grid),
-                "fig9" => exp::render_fig9(&grid),
-                "pairing-analysis" => exp::render_pairing_analysis(&grid),
-                "pairing-prediction" => exp::render_pairing_prediction(&grid, ctx),
-                _ => format!(
-                    "{}\n{}\n{}\n{}",
-                    exp::render_fig8(&grid),
-                    exp::render_fig9(&grid),
-                    exp::render_pairing_analysis(&grid),
-                    exp::render_pairing_prediction(&grid, ctx)
-                ),
-            }
+            render_grid_experiment(name, &grid, ctx, csv)
         }
+        "bisect-divergence" => run_bisect(&BisectOpts::default(), ctx),
         "fig10" => {
             let pts = exp::fig10_single_thread_impact_on(engine, ctx);
             if csv {
@@ -245,6 +350,72 @@ pub fn run_experiment_on(engine: &Engine, name: &str, ctx: &ExperimentCtx, csv: 
             }
         }
         other => panic!("unknown experiment {other} (validated at parse time)"),
+    }
+}
+
+/// Render one of the pairing-grid experiments from a measured grid.
+pub fn render_grid_experiment(
+    name: &str,
+    grid: &exp::PairGrid,
+    ctx: &ExperimentCtx,
+    csv: bool,
+) -> String {
+    if csv {
+        return exp::csv_grid(grid);
+    }
+    match name {
+        "fig8" => exp::render_fig8(grid),
+        "fig9" => exp::render_fig9(grid),
+        "pairing-analysis" => exp::render_pairing_analysis(grid),
+        "pairing-prediction" => exp::render_pairing_prediction(grid, ctx),
+        _ => format!(
+            "{}\n{}\n{}\n{}",
+            exp::render_fig8(grid),
+            exp::render_fig9(grid),
+            exp::render_pairing_analysis(grid),
+            exp::render_pairing_prediction(grid, ctx)
+        ),
+    }
+}
+
+/// Run a pairing-grid experiment with crash-safe progress: finished
+/// cells and the solo-baseline cache are flushed to `path` every
+/// `every` cells, and an existing file is resumed. The output is
+/// bit-identical to an uninterrupted [`run_experiment_on`].
+///
+/// # Errors
+///
+/// Returns a message when the checkpoint file is corrupt, was taken
+/// with different experiment parameters, or cannot be written.
+pub fn run_experiment_ckpt(
+    engine: &Engine,
+    name: &str,
+    ctx: &ExperimentCtx,
+    csv: bool,
+    path: &Path,
+    every: usize,
+) -> Result<String, String> {
+    let grid = exp::pair_matrix_ckpt(engine, ctx, path, every, None)
+        .map_err(|e| e.to_string())?
+        .expect("a run without a cell budget completes the grid");
+    Ok(render_grid_experiment(name, &grid, ctx, csv))
+}
+
+/// Run the differential-replay bisection with the paper machine as the
+/// base configuration.
+pub fn run_bisect(opts: &BisectOpts, ctx: &ExperimentCtx) -> String {
+    let base = SystemConfig::p4(true).with_seed(ctx.seed);
+    match bisect_divergence(
+        opts.bench,
+        ctx.scale,
+        base,
+        opts.a,
+        opts.b,
+        opts.horizon,
+        opts.stride,
+    ) {
+        Ok(outcome) => render_bisect(&outcome),
+        Err(e) => format!("bisect failed: {e}\n"),
     }
 }
 
@@ -349,6 +520,59 @@ mod tests {
     fn all_is_accepted() {
         let cli = parse_args(&s(&["all"])).unwrap();
         assert_eq!(cli.experiment, "all");
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let cli = parse_args(&s(&["--checkpoint", "grid.ck", "fig8"])).unwrap();
+        assert_eq!(cli.checkpoint.as_deref(), Some("grid.ck"));
+        assert!(!cli.resume);
+        assert_eq!(cli.checkpoint_every, 8);
+
+        let cli = parse_args(&s(&[
+            "--resume",
+            "grid.ck",
+            "--checkpoint-every",
+            "3",
+            "fig9",
+        ]))
+        .unwrap();
+        assert_eq!(cli.checkpoint.as_deref(), Some("grid.ck"));
+        assert!(cli.resume);
+        assert_eq!(cli.checkpoint_every, 3);
+
+        // Checkpointing is grid-only.
+        assert!(parse_args(&s(&["--checkpoint", "x.ck", "fig1"])).is_err());
+        assert!(parse_args(&s(&["--checkpoint"])).is_err());
+    }
+
+    #[test]
+    fn bisect_flags_parse() {
+        let cli = parse_args(&s(&["bisect-divergence"])).unwrap();
+        assert_eq!(cli.bisect, BisectOpts::default());
+
+        let cli = parse_args(&s(&[
+            "--a",
+            "seed=3",
+            "--b",
+            "seed=4",
+            "--bench",
+            "jess",
+            "--horizon",
+            "9000",
+            "--stride",
+            "100",
+            "bisect-divergence",
+        ]))
+        .unwrap();
+        assert_eq!(cli.bisect.a, Variant::Seed(3));
+        assert_eq!(cli.bisect.b, Variant::Seed(4));
+        assert_eq!(cli.bisect.bench, BenchmarkId::Jess);
+        assert_eq!(cli.bisect.horizon, 9000);
+        assert_eq!(cli.bisect.stride, 100);
+
+        assert!(parse_args(&s(&["--a", "bogus", "bisect-divergence"])).is_err());
+        assert!(parse_args(&s(&["--bench", "nosuch", "bisect-divergence"])).is_err());
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The `repro` binary: regenerate any table or figure of the paper.
 
-use jsmt_bench::{parse_args, run_all_on, run_experiment_on, usage};
+use jsmt_bench::{
+    parse_args, run_all_on, run_bisect, run_experiment_ckpt, run_experiment_on, usage,
+};
 use jsmt_core::experiments::Engine;
 
 fn main() {
@@ -18,6 +20,28 @@ fn main() {
             );
             let out = if cli.experiment == "all" {
                 run_all_on(&engine, &cli.ctx)
+            } else if cli.experiment == "bisect-divergence" {
+                run_bisect(&cli.bisect, &cli.ctx)
+            } else if let Some(path) = &cli.checkpoint {
+                let path = std::path::Path::new(path);
+                if cli.resume && !path.exists() {
+                    eprintln!("--resume: no such checkpoint: {}", path.display());
+                    std::process::exit(2);
+                }
+                match run_experiment_ckpt(
+                    &engine,
+                    &cli.experiment,
+                    &cli.ctx,
+                    cli.csv,
+                    path,
+                    cli.checkpoint_every,
+                ) {
+                    Ok(out) => out,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    }
+                }
             } else {
                 run_experiment_on(&engine, &cli.experiment, &cli.ctx, cli.csv)
             };

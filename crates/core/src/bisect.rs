@@ -1,0 +1,366 @@
+//! Differential-replay bisection: find the first cycle where two
+//! machine variants diverge.
+//!
+//! Debugging a determinism bug ("the run with `JSMT_NO_FASTFWD=1`
+//! differs from the default") by eyeballing final counters is hopeless:
+//! the divergence happened millions of cycles before it became visible.
+//! This module runs the two variants in lockstep, comparing full-system
+//! checkpoints ([`System::checkpoint`]) every `stride` cycles, and on
+//! the first unequal boundary binary-searches *inside* the span —
+//! rewinding both machines from their last-equal checkpoints, which is
+//! exact because resume is bit-faithful — down to the precise cycle at
+//! which any architectural field or counter first differs. The verdict
+//! names the differing snapshot sections and performance counters.
+//!
+//! Comparison ignores the `meta` section (the configuration
+//! fingerprint legitimately differs between, say, two seeds); every
+//! other byte of the snapshot is significant.
+
+use jsmt_perfmon::{Event, LogicalCpu};
+use jsmt_snapshot::{diff_sections, open, SectionDiff, SnapshotError};
+use jsmt_workloads::{BenchmarkId, WorkloadSpec};
+
+use crate::system::KIND_SYSTEM;
+use crate::{System, SystemConfig};
+
+/// One side of a differential replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The default machine: event-driven fast-forward enabled.
+    FastForward,
+    /// Fast-forward disabled (every cycle stepped structurally).
+    NoFastForward,
+    /// The default machine under a different master seed.
+    Seed(u64),
+}
+
+impl Variant {
+    /// Parse a CLI spelling: `fastfwd`, `no-fastfwd`, or `seed=N`.
+    pub fn parse(s: &str) -> Option<Variant> {
+        match s {
+            "fastfwd" => Some(Variant::FastForward),
+            "no-fastfwd" => Some(Variant::NoFastForward),
+            _ => s
+                .strip_prefix("seed=")
+                .and_then(|n| n.parse().ok())
+                .map(Variant::Seed),
+        }
+    }
+
+    /// CLI spelling of the variant.
+    pub fn name(&self) -> String {
+        match self {
+            Variant::FastForward => "fastfwd".into(),
+            Variant::NoFastForward => "no-fastfwd".into(),
+            Variant::Seed(n) => format!("seed={n}"),
+        }
+    }
+
+    fn cfg(&self, base: SystemConfig) -> SystemConfig {
+        match self {
+            Variant::Seed(n) => base.with_seed(*n),
+            _ => base,
+        }
+    }
+
+    fn post(&self, sys: &mut System) {
+        match self {
+            Variant::FastForward => sys.set_fast_forward(true),
+            Variant::NoFastForward => sys.set_fast_forward(false),
+            Variant::Seed(_) => {}
+        }
+    }
+
+    fn build(&self, bench: BenchmarkId, scale: f64, base: SystemConfig) -> System {
+        let mut sys = System::new(self.cfg(base));
+        sys.add_relaunching_process(WorkloadSpec::single(bench).with_scale(scale));
+        self.post(&mut sys);
+        sys
+    }
+
+    fn resume(&self, base: SystemConfig, bytes: &[u8]) -> Result<System, SnapshotError> {
+        let mut sys = System::resume(self.cfg(base), bytes)?;
+        self.post(&mut sys);
+        Ok(sys)
+    }
+}
+
+/// A performance counter that differs between the two variants at the
+/// divergence cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterDiff {
+    /// `Lp0`/`Lp1` plus the event name.
+    pub name: String,
+    /// Count in variant A.
+    pub a: u64,
+    /// Count in variant B.
+    pub b: u64,
+}
+
+/// Result of a differential replay.
+#[derive(Debug)]
+pub struct BisectOutcome {
+    /// CLI spelling of variant A.
+    pub variant_a: String,
+    /// CLI spelling of variant B.
+    pub variant_b: String,
+    /// Cycles actually compared (the requested horizon).
+    pub horizon: u64,
+    /// The first cycle at which the machine states differ; `None` if
+    /// the variants stayed bit-identical through the horizon.
+    pub first_divergent_cycle: Option<u64>,
+    /// The last cycle at which the states were still bit-identical
+    /// (only meaningful when a divergence was found after cycle 0).
+    pub last_equal_cycle: u64,
+    /// Snapshot sections (slash-joined paths) that differ at the
+    /// divergence cycle.
+    pub diffs: Vec<SectionDiff>,
+    /// Performance counters that differ at the divergence cycle.
+    pub counter_diffs: Vec<CounterDiff>,
+}
+
+/// Compare two sealed system snapshots, ignoring the `meta` section.
+fn state_diffs(a: &[u8], b: &[u8]) -> Result<Vec<SectionDiff>, SnapshotError> {
+    if a == b {
+        return Ok(Vec::new());
+    }
+    let mut ra = open(a, KIND_SYSTEM)?;
+    let mut rb = open(b, KIND_SYSTEM)?;
+    let pa = ra.get_raw(ra.remaining())?;
+    let pb = rb.get_raw(rb.remaining())?;
+    let significant = |path: &str| path != "meta" && !path.starts_with("meta/");
+    Ok(diff_sections(pa, pb)?
+        .into_iter()
+        .filter(|d| match d {
+            SectionDiff::Differs { path, .. } => significant(path),
+            SectionDiff::OnlyInA(path) | SectionDiff::OnlyInB(path) => significant(path),
+        })
+        .collect())
+}
+
+fn counter_diffs(a: &System, b: &System) -> Vec<CounterDiff> {
+    let (ba, bb) = (a.report().bank, b.report().bank);
+    let mut out = Vec::new();
+    for cpu in LogicalCpu::BOTH {
+        for ev in Event::ALL {
+            let (va, vb) = (ba.get(cpu, ev), bb.get(cpu, ev));
+            if va != vb {
+                out.push(CounterDiff {
+                    name: format!("{cpu:?}/{ev:?}"),
+                    a: va,
+                    b: vb,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Replay `bench` under variants `a` and `b` for up to `horizon`
+/// cycles, comparing checkpoints every `stride` cycles, and bisect the
+/// first divergent span down to the exact cycle.
+pub fn bisect_divergence(
+    bench: BenchmarkId,
+    scale: f64,
+    base: SystemConfig,
+    a: Variant,
+    b: Variant,
+    horizon: u64,
+    stride: u64,
+) -> Result<BisectOutcome, SnapshotError> {
+    let stride = stride.max(1);
+    let mut sys_a = a.build(bench, scale, base);
+    let mut sys_b = b.build(bench, scale, base);
+    let mut outcome = BisectOutcome {
+        variant_a: a.name(),
+        variant_b: b.name(),
+        horizon,
+        first_divergent_cycle: None,
+        last_equal_cycle: 0,
+        diffs: Vec::new(),
+        counter_diffs: Vec::new(),
+    };
+
+    let (mut ck_a, mut ck_b) = (sys_a.checkpoint(), sys_b.checkpoint());
+    let initial = state_diffs(&ck_a, &ck_b)?;
+    if !initial.is_empty() {
+        outcome.first_divergent_cycle = Some(0);
+        outcome.diffs = initial;
+        outcome.counter_diffs = counter_diffs(&sys_a, &sys_b);
+        return Ok(outcome);
+    }
+
+    let mut cur = 0u64;
+    while cur < horizon {
+        let step = stride.min(horizon - cur);
+        sys_a.run_cycles(step);
+        sys_b.run_cycles(step);
+        cur += step;
+        let (na, nb) = (sys_a.checkpoint(), sys_b.checkpoint());
+        if state_diffs(&na, &nb)?.is_empty() {
+            (ck_a, ck_b) = (na, nb);
+            continue;
+        }
+
+        // Divergence inside (cur - step, cur]: bisect by rewinding both
+        // machines from their last-equal checkpoints (resume is exact,
+        // so re-running to `mid` reproduces the original trajectory).
+        let (mut lo, mut hi) = (cur - step, cur);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            let mut ta = a.resume(base, &ck_a)?;
+            let mut tb = b.resume(base, &ck_b)?;
+            ta.run_cycles(mid - lo);
+            tb.run_cycles(mid - lo);
+            let (ma, mb) = (ta.checkpoint(), tb.checkpoint());
+            if state_diffs(&ma, &mb)?.is_empty() {
+                lo = mid;
+                (ck_a, ck_b) = (ma, mb);
+            } else {
+                hi = mid;
+            }
+        }
+
+        let mut ta = a.resume(base, &ck_a)?;
+        let mut tb = b.resume(base, &ck_b)?;
+        ta.run_cycles(hi - lo);
+        tb.run_cycles(hi - lo);
+        outcome.first_divergent_cycle = Some(hi);
+        outcome.last_equal_cycle = lo;
+        outcome.diffs = state_diffs(&ta.checkpoint(), &tb.checkpoint())?;
+        outcome.counter_diffs = counter_diffs(&ta, &tb);
+        return Ok(outcome);
+    }
+
+    outcome.last_equal_cycle = horizon;
+    Ok(outcome)
+}
+
+/// Human-readable verdict for the CLI.
+pub fn render_bisect(o: &BisectOutcome) -> String {
+    let mut out = format!(
+        "# bisect-divergence: {} vs {} over {} cycles\n",
+        o.variant_a, o.variant_b, o.horizon
+    );
+    match o.first_divergent_cycle {
+        None => {
+            out.push_str(&format!(
+                "states are bit-identical through cycle {}\n",
+                o.last_equal_cycle
+            ));
+        }
+        Some(c) => {
+            out.push_str(&format!(
+                "first divergence at cycle {c} (last equal state at cycle {})\n",
+                o.last_equal_cycle
+            ));
+            out.push_str("differing snapshot sections:\n");
+            for d in &o.diffs {
+                match d {
+                    SectionDiff::Differs {
+                        path,
+                        offset,
+                        len_a,
+                        len_b,
+                    } => out.push_str(&format!(
+                        "  {path}: first differing byte at offset {offset} (len {len_a} vs {len_b})\n"
+                    )),
+                    SectionDiff::OnlyInA(p) => out.push_str(&format!("  {p}: only in A\n")),
+                    SectionDiff::OnlyInB(p) => out.push_str(&format!("  {p}: only in B\n")),
+                }
+            }
+            if o.counter_diffs.is_empty() {
+                out.push_str("no performance counters differ yet at that cycle\n");
+            } else {
+                out.push_str("differing counters:\n");
+                for c in &o.counter_diffs {
+                    out.push_str(&format!("  {}: {} vs {}\n", c.name, c.a, c.b));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SystemConfig {
+        SystemConfig::p4(true)
+            .with_seed(3)
+            .with_max_cycles(600_000_000)
+    }
+
+    #[test]
+    fn variant_parsing_round_trips() {
+        for v in [
+            Variant::FastForward,
+            Variant::NoFastForward,
+            Variant::Seed(42),
+        ] {
+            assert_eq!(Variant::parse(&v.name()), Some(v));
+        }
+        assert_eq!(Variant::parse("bogus"), None);
+        assert_eq!(Variant::parse("seed=x"), None);
+    }
+
+    #[test]
+    fn identical_variants_never_diverge() {
+        let o = bisect_divergence(
+            BenchmarkId::Compress,
+            0.01,
+            base(),
+            Variant::FastForward,
+            Variant::FastForward,
+            40_000,
+            10_000,
+        )
+        .expect("bisect");
+        assert_eq!(o.first_divergent_cycle, None);
+        assert_eq!(o.last_equal_cycle, 40_000);
+        assert!(o.diffs.is_empty());
+    }
+
+    #[test]
+    fn fast_forward_toggle_does_not_diverge() {
+        // Fast-forward is a pure speed optimization; the bisector is the
+        // tool that *proves* it cycle-by-cycle.
+        let o = bisect_divergence(
+            BenchmarkId::Compress,
+            0.01,
+            base(),
+            Variant::FastForward,
+            Variant::NoFastForward,
+            60_000,
+            15_000,
+        )
+        .expect("bisect");
+        assert_eq!(
+            o.first_divergent_cycle, None,
+            "fast-forward changed machine state: {:?}",
+            o.diffs
+        );
+    }
+
+    #[test]
+    fn different_seeds_diverge_and_the_cycle_is_exact() {
+        let o = bisect_divergence(
+            BenchmarkId::Compress,
+            0.01,
+            base(),
+            Variant::Seed(3),
+            Variant::Seed(4),
+            60_000,
+            15_000,
+        )
+        .expect("bisect");
+        let at = o.first_divergent_cycle.expect("seeds must diverge");
+        assert!(!o.diffs.is_empty(), "divergence must name a section");
+        if at > 0 {
+            assert_eq!(o.last_equal_cycle, at - 1, "bisection must be exact");
+        }
+        let text = render_bisect(&o);
+        assert!(text.contains("first divergence at cycle"), "{text}");
+    }
+}

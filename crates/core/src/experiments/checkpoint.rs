@@ -1,0 +1,298 @@
+//! Crash-safe pairing grids: checkpoint the 9×9 matrix cell-by-cell.
+//!
+//! A full-scale pairing grid (`repro --full fig8`) is hours of CPU time
+//! spread over 81 independent cells plus nine solo baselines. This
+//! module persists the finished cells and the memoized baseline cache
+//! to a snapshot file after every chunk, so a killed run resumes where
+//! it stopped and still emits **bit-identical** output: each cell is a
+//! pure function of `(ctx, a, b)`, so it does not matter which process
+//! computed it.
+//!
+//! The file is a sealed [`jsmt_snapshot`] container ([`KIND_GRID`]).
+//! Loading validates the experiment fingerprint (scale/repeats/seed)
+//! and the benchmark roster, so a stale or foreign checkpoint is
+//! rejected instead of silently mixing incompatible cells.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use jsmt_snapshot::{open, seal, Reader, SnapshotError, Writer};
+use jsmt_workloads::BenchmarkId;
+
+use super::pairing::{run_pair, PairGrid, PairOutcome};
+use super::{Engine, ExperimentCtx};
+
+/// Snapshot kind tag for grid checkpoint files.
+pub const KIND_GRID: u32 = 2;
+
+/// Errors from checkpointed grid runs: file I/O or snapshot decoding.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Reading or writing the checkpoint file failed.
+    Io(std::io::Error),
+    /// The checkpoint bytes are corrupt or incompatible.
+    Snapshot(SnapshotError),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint i/o: {e}"),
+            CkptError::Snapshot(e) => write!(f, "checkpoint data: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for CkptError {
+    fn from(e: SnapshotError) -> Self {
+        CkptError::Snapshot(e)
+    }
+}
+
+/// A partially (or fully) computed pairing grid on disk.
+pub struct GridCheckpoint {
+    scale_bits: u64,
+    repeats: u64,
+    seed: u64,
+    benchmarks: Vec<BenchmarkId>,
+    /// Exported engine baseline cache (written before any cell runs, so
+    /// even a run killed during the grid keeps its baselines).
+    baselines: Vec<u8>,
+    /// Finished cells by flat index `i * n + j`.
+    cells: BTreeMap<usize, PairOutcome>,
+}
+
+fn write_outcome(w: &mut Writer, o: &PairOutcome) {
+    w.put_u8(o.a.tag());
+    w.put_u8(o.b.tag());
+    w.put_f64(o.speedup_a);
+    w.put_f64(o.speedup_b);
+    w.put_f64(o.combined);
+    w.put_f64(o.tc_mpki);
+    w.put_u64(o.completions.0);
+    w.put_u64(o.completions.1);
+}
+
+fn read_outcome(r: &mut Reader<'_>) -> Result<PairOutcome, SnapshotError> {
+    let a = BenchmarkId::from_tag(r.get_u8()?)
+        .ok_or(SnapshotError::Corrupt("unknown benchmark tag in grid cell"))?;
+    let b = BenchmarkId::from_tag(r.get_u8()?)
+        .ok_or(SnapshotError::Corrupt("unknown benchmark tag in grid cell"))?;
+    Ok(PairOutcome {
+        a,
+        b,
+        speedup_a: r.get_f64()?,
+        speedup_b: r.get_f64()?,
+        combined: r.get_f64()?,
+        tc_mpki: r.get_f64()?,
+        completions: (r.get_u64()?, r.get_u64()?),
+    })
+}
+
+impl GridCheckpoint {
+    /// An empty checkpoint for `ctx` over the standard 9-benchmark grid.
+    fn new(ctx: &ExperimentCtx) -> Self {
+        GridCheckpoint {
+            scale_bits: ctx.scale.to_bits(),
+            repeats: ctx.repeats,
+            seed: ctx.seed,
+            benchmarks: BenchmarkId::SINGLE_THREADED.to_vec(),
+            baselines: Vec::new(),
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// Number of finished cells.
+    pub fn done(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total cells in the grid.
+    pub fn total(&self) -> usize {
+        self.benchmarks.len() * self.benchmarks.len()
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.scale_bits);
+        w.put_u64(self.repeats);
+        w.put_u64(self.seed);
+        w.put_usize(self.benchmarks.len());
+        for b in &self.benchmarks {
+            w.put_u8(b.tag());
+        }
+        w.put_usize(self.baselines.len());
+        w.put_raw(&self.baselines);
+        w.put_usize(self.cells.len());
+        for (&index, outcome) in &self.cells {
+            w.put_usize(index);
+            write_outcome(&mut w, outcome);
+        }
+        seal(KIND_GRID, &w.into_bytes())
+    }
+
+    /// Decode and validate against `ctx` (wrong scale/repeats/seed or
+    /// roster → `Corrupt`; the caller should not mix incompatible cells).
+    fn from_bytes(bytes: &[u8], ctx: &ExperimentCtx) -> Result<Self, SnapshotError> {
+        let mut r = open(bytes, KIND_GRID)?;
+        let scale_bits = r.get_u64()?;
+        let repeats = r.get_u64()?;
+        let seed = r.get_u64()?;
+        if scale_bits != ctx.scale.to_bits() || repeats != ctx.repeats || seed != ctx.seed {
+            return Err(SnapshotError::Corrupt(
+                "grid checkpoint was taken with different experiment parameters",
+            ));
+        }
+        let nbench = r.get_len(1)?;
+        let mut benchmarks = Vec::with_capacity(nbench);
+        for _ in 0..nbench {
+            benchmarks.push(
+                BenchmarkId::from_tag(r.get_u8()?).ok_or(SnapshotError::Corrupt(
+                    "unknown benchmark tag in grid roster",
+                ))?,
+            );
+        }
+        if benchmarks != BenchmarkId::SINGLE_THREADED.to_vec() {
+            return Err(SnapshotError::Corrupt(
+                "grid checkpoint roster is not the single-threaded benchmark set",
+            ));
+        }
+        let blen = r.get_len(1)?;
+        let baselines = r.get_raw(blen)?.to_vec();
+        let ncells = r.get_len(9)?;
+        let total = nbench * nbench;
+        let mut cells = BTreeMap::new();
+        for _ in 0..ncells {
+            let index = r.get_usize()?;
+            if index >= total {
+                return Err(SnapshotError::Corrupt("grid cell index out of range"));
+            }
+            let outcome = read_outcome(&mut r)?;
+            // The cell's programs must agree with its grid position.
+            if outcome.a != benchmarks[index / nbench] || outcome.b != benchmarks[index % nbench] {
+                return Err(SnapshotError::Corrupt(
+                    "grid cell programs disagree with its index",
+                ));
+            }
+            if cells.insert(index, outcome).is_some() {
+                return Err(SnapshotError::Corrupt("duplicate grid cell"));
+            }
+        }
+        r.expect_end()?;
+        Ok(GridCheckpoint {
+            scale_bits,
+            repeats,
+            seed,
+            benchmarks,
+            baselines,
+            cells,
+        })
+    }
+
+    /// Load a checkpoint for `ctx` from `path`. `Ok(None)` when the file
+    /// does not exist; `Err` when it exists but is corrupt or was taken
+    /// with different experiment parameters.
+    pub fn load(path: &Path, ctx: &ExperimentCtx) -> Result<Option<Self>, CkptError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        Ok(Some(Self::from_bytes(&bytes, ctx)?))
+    }
+
+    /// Atomically persist: write to `<path>.tmp`, then rename over
+    /// `path`, so a kill mid-write never corrupts the previous state.
+    pub fn save(&self, path: &Path) -> Result<(), CkptError> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+}
+
+/// [`super::pair_matrix_on`] with crash-safe progress: finished cells
+/// and the baseline cache are flushed to `path` every `every` cells.
+///
+/// If `path` exists it is resumed (its baselines warm-start the engine,
+/// its cells are skipped); otherwise a fresh checkpoint is created. The
+/// assembled grid is bit-identical to an uninterrupted
+/// [`super::pair_matrix_on`] run because every cell is a pure function
+/// of `(ctx, a, b)`.
+///
+/// `max_cells` bounds how many *new* cells this call computes (used by
+/// tests to simulate an interrupted run without killing a process);
+/// `Ok(None)` means the budget ran out with cells still pending.
+pub fn pair_matrix_ckpt(
+    engine: &Engine,
+    ctx: &ExperimentCtx,
+    path: &Path,
+    every: usize,
+    max_cells: Option<usize>,
+) -> Result<Option<PairGrid>, CkptError> {
+    let mut ck = match GridCheckpoint::load(path, ctx)? {
+        Some(ck) => ck,
+        None => GridCheckpoint::new(ctx),
+    };
+    if !ck.baselines.is_empty() {
+        engine.import_baselines(&mut Reader::new(&ck.baselines))?;
+    }
+    engine.prewarm_baselines(&ck.benchmarks, ctx);
+    let mut w = Writer::new();
+    engine.export_baselines(&mut w);
+    ck.baselines = w.into_bytes();
+    ck.save(path)?;
+
+    let n = ck.benchmarks.len();
+    let pending: Vec<usize> = (0..n * n).filter(|i| !ck.cells.contains_key(i)).collect();
+    let budget = max_cells.unwrap_or(usize::MAX);
+    for chunk in pending
+        .iter()
+        .take(budget)
+        .collect::<Vec<_>>()
+        .chunks(every.max(1))
+    {
+        let jobs: Vec<(usize, BenchmarkId, BenchmarkId)> = chunk
+            .iter()
+            .map(|&&index| (index, ck.benchmarks[index / n], ck.benchmarks[index % n]))
+            .collect();
+        let outcomes = engine.run("pair-grid", jobs, |&(index, a, b)| {
+            (
+                index,
+                run_pair(
+                    a,
+                    b,
+                    engine.solo_baseline(a, ctx),
+                    engine.solo_baseline(b, ctx),
+                    ctx,
+                ),
+            )
+        });
+        for (index, outcome) in outcomes {
+            ck.cells.insert(index, outcome);
+        }
+        ck.save(path)?;
+    }
+
+    if ck.done() < ck.total() {
+        return Ok(None);
+    }
+    let mut it = ck.cells.into_values();
+    let mut outcomes = Vec::with_capacity(n);
+    for _ in 0..n {
+        outcomes.push(it.by_ref().take(n).collect());
+    }
+    Ok(Some(PairGrid {
+        benchmarks: ck.benchmarks,
+        outcomes,
+    }))
+}

@@ -6,6 +6,7 @@
 //! binary in `jsmt-bench` is a thin CLI over these functions.
 
 mod ablations;
+mod checkpoint;
 mod csv_out;
 mod engine;
 mod mt;
@@ -19,6 +20,7 @@ pub use ablations::{
     render_ablation_l1, render_ablation_partition, render_ablation_prefetch, JitPoint, L1Point,
     PartitionPoint, PrefetchPoint,
 };
+pub use checkpoint::{pair_matrix_ckpt, CkptError, GridCheckpoint, KIND_GRID};
 pub use csv_out::{
     csv_grid, csv_jit, csv_l1, csv_mt, csv_partition, csv_prefetch, csv_single, csv_threads,
 };

@@ -8,7 +8,9 @@ use jsmt_isa::Uop;
 use jsmt_jvm::{EmitCtx, GcWorkGen, JitWorkGen, JvmProcess};
 use jsmt_os::{KernelCodegen, KernelService, SchedEvent, Scheduler, ThreadId, ThreadState};
 use jsmt_perfmon::{CounterBank, DerivedMetrics, Event, LogicalCpu, Sampler};
-use jsmt_workloads::{build, jvm_config_for, BlockReason, Kernel, StepOutcome, WorkloadSpec};
+use jsmt_workloads::{
+    build, jvm_config_for, BenchmarkId, BlockReason, Kernel, StepOutcome, WorkloadSpec,
+};
 
 use crate::SystemConfig;
 
@@ -742,6 +744,339 @@ impl System {
                 .collect(),
             bank,
         }
+    }
+}
+
+/// Snapshot kind tag of a whole-system checkpoint file.
+pub(crate) const KIND_SYSTEM: u32 = 1;
+
+/// FNV-1a fingerprint of the machine configuration. A checkpoint is only
+/// resumable on the *identical* configuration (geometry, seed, cycle
+/// cap): everything not serialized is reconstructed from it.
+fn config_fingerprint(cfg: &SystemConfig) -> u64 {
+    jsmt_snapshot::fnv64(format!("{cfg:?}").as_bytes())
+}
+
+fn save_role(w: &mut jsmt_snapshot::Writer, role: Role) {
+    let (tag, proc, ktid) = match role {
+        Role::Mutator { proc, ktid } => (0u8, proc, ktid),
+        Role::Gc { proc } => (1, proc, 0),
+        Role::Jit { proc } => (2, proc, 0),
+    };
+    w.put_u8(tag);
+    w.put_usize(proc);
+    w.put_usize(ktid);
+}
+
+fn restore_role(
+    r: &mut jsmt_snapshot::Reader<'_>,
+    procs: &[Process],
+) -> Result<Role, jsmt_snapshot::SnapshotError> {
+    let tag = r.get_u8()?;
+    let proc = r.get_usize()?;
+    let ktid = r.get_usize()?;
+    if proc >= procs.len() {
+        return Err(jsmt_snapshot::SnapshotError::Corrupt(
+            "thread role references unknown process",
+        ));
+    }
+    match tag {
+        0 => {
+            if ktid >= procs[proc].spec.threads {
+                return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                    "mutator role kernel-thread index out of range",
+                ));
+            }
+            Ok(Role::Mutator { proc, ktid })
+        }
+        1 => Ok(Role::Gc { proc }),
+        2 => Ok(Role::Jit { proc }),
+        _ => Err(jsmt_snapshot::SnapshotError::Corrupt(
+            "unknown thread role tag",
+        )),
+    }
+}
+
+fn check_tid(tid: u64, nthreads: usize) -> Result<ThreadId, jsmt_snapshot::SnapshotError> {
+    if tid as usize >= nthreads {
+        return Err(jsmt_snapshot::SnapshotError::Corrupt(
+            "process bookkeeping references unknown thread",
+        ));
+    }
+    Ok(ThreadId(tid as u32))
+}
+
+impl Process {
+    /// Mutable bookkeeping of one process (the kernel and JVM have their
+    /// own sections). `spec`, `relaunch` and the JVM configuration live
+    /// in the checkpoint header because they are reconstruction inputs.
+    fn save_book(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_usize(self.mutators.len());
+        for t in &self.mutators {
+            w.put_u64(u64::from(t.0));
+        }
+        w.put_u64(u64::from(self.gc_thread.0));
+        w.put_bool(self.gc_requested);
+        match &self.gc_gen {
+            Some(gen) => {
+                w.put_bool(true);
+                gen.write_to(w);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_usize(self.parked_for_gc.len());
+        for t in &self.parked_for_gc {
+            w.put_u64(u64::from(t.0));
+        }
+        for &f in &self.finished_threads {
+            w.put_bool(f);
+        }
+        w.put_u64(self.completions);
+        w.put_u64_slice(&self.completion_cycles);
+        w.put_u64(self.gc_count);
+        w.put_opt_u64(self.jit_thread.map(|t| u64::from(t.0)));
+        match &self.jit_gen {
+            Some((m, gen)) => {
+                w.put_bool(true);
+                w.put_u32(m.0);
+                gen.write_to(w);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u64(self.compiles_done);
+    }
+
+    fn restore_book(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+        nthreads: usize,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        let nmut = r.get_len(8)?;
+        if nmut != self.spec.threads {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "mutator count disagrees with workload spec",
+            ));
+        }
+        let mut mutators = Vec::with_capacity(nmut);
+        for _ in 0..nmut {
+            mutators.push(check_tid(r.get_u64()?, nthreads)?);
+        }
+        self.mutators = mutators;
+        self.gc_thread = check_tid(r.get_u64()?, nthreads)?;
+        self.gc_requested = r.get_bool()?;
+        self.gc_gen = if r.get_bool()? {
+            Some(GcWorkGen::read_from(r)?)
+        } else {
+            None
+        };
+        let nparked = r.get_len(8)?;
+        let mut parked = Vec::with_capacity(nparked);
+        for _ in 0..nparked {
+            parked.push(check_tid(r.get_u64()?, nthreads)?);
+        }
+        self.parked_for_gc = parked;
+        for f in &mut self.finished_threads {
+            *f = r.get_bool()?;
+        }
+        self.completions = r.get_u64()?;
+        self.completion_cycles = r.get_u64_vec()?;
+        self.gc_count = r.get_u64()?;
+        let jit_tid = r.get_opt_u64()?;
+        if jit_tid.is_some() != self.jit_thread.is_some() {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "compiler-thread presence disagrees with JVM configuration",
+            ));
+        }
+        self.jit_thread = match jit_tid {
+            Some(t) => Some(check_tid(t, nthreads)?),
+            None => None,
+        };
+        self.jit_gen = if r.get_bool()? {
+            let m = jsmt_jvm::MethodId(r.get_u32()?);
+            Some((m, JitWorkGen::read_from(r)?))
+        } else {
+            None
+        };
+        self.compiles_done = r.get_u64()?;
+        Ok(())
+    }
+}
+
+impl System {
+    /// Whether any process currently has a stop-the-world collection in
+    /// flight (exposed so checkpoint tests can target mid-GC cycles).
+    pub fn gc_active(&self) -> bool {
+        self.world.procs.iter().any(|p| p.gc_gen.is_some())
+    }
+
+    /// Serialize the complete mutable state of the machine into a
+    /// versioned, checksummed snapshot. [`System::resume`] on the same
+    /// [`SystemConfig`] rebuilds a machine that continues bit-identically
+    /// to this one — mid-GC, mid-JIT and mid-fast-forward included.
+    ///
+    /// Construction inputs (configurations, cache geometry, seeds,
+    /// setup-built kernel corpora) are *not* serialized: resume re-runs
+    /// the deterministic construction path and then overwrites every
+    /// mutable field. The header records the workload roster so resume
+    /// can re-add the same processes.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        use jsmt_snapshot::Snapshotable;
+        let mut w = jsmt_snapshot::Writer::new();
+        w.section("meta", |w| {
+            w.put_u64(config_fingerprint(&self.cfg));
+            w.put_bool(self.started);
+        });
+        w.section("roster", |w| {
+            w.put_usize(self.world.procs.len());
+            for p in &self.world.procs {
+                w.put_u8(p.spec.id.tag());
+                w.put_usize(p.spec.threads);
+                w.put_f64(p.spec.scale);
+                w.put_bool(p.relaunch);
+                p.jvm.config().write_to(w);
+            }
+        });
+        w.section("core", |w| self.core.save_state(w));
+        w.section("sched", |w| self.world.sched.save_state(w));
+        w.section("kcg", |w| self.world.kcg.save_state(w));
+        w.section("threads", |w| {
+            w.put_usize(self.world.threads.len());
+            for th in &self.world.threads {
+                save_role(w, th.role);
+                w.put_u64(th.stack_base);
+                w.put_usize(th.pending.len());
+                for uop in &th.pending {
+                    uop.write_to(w);
+                }
+            }
+        });
+        w.section("procs", |w| {
+            for (i, p) in self.world.procs.iter().enumerate() {
+                w.section(&format!("p{i}"), |w| {
+                    w.section("jvm", |w| p.jvm.save_state(w));
+                    w.section("kernel", |w| p.kernel.save_state(w));
+                    w.section("book", |w| p.save_book(w));
+                });
+            }
+        });
+        w.section("extra", |w| self.world.extra.save_state(w));
+        w.section("sampler", |w| match &self.sampler {
+            Some(s) => {
+                w.put_bool(true);
+                s.save_state(w);
+            }
+            None => w.put_bool(false),
+        });
+        jsmt_snapshot::seal(KIND_SYSTEM, &w.into_bytes())
+    }
+
+    /// Rebuild a machine from a [`System::checkpoint`] snapshot taken on
+    /// the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Any framing, checksum, version or validation failure returns a
+    /// [`jsmt_snapshot::SnapshotError`]; corrupt or truncated input never
+    /// panics. A fingerprint mismatch means `cfg` differs from the
+    /// checkpointed machine's configuration.
+    pub fn resume(cfg: SystemConfig, bytes: &[u8]) -> Result<System, jsmt_snapshot::SnapshotError> {
+        use jsmt_snapshot::{SnapshotError, Snapshotable};
+        let mut r = jsmt_snapshot::open(bytes, KIND_SYSTEM)?;
+
+        let mut meta = r.section("meta")?;
+        if meta.get_u64()? != config_fingerprint(&cfg) {
+            return Err(SnapshotError::Corrupt(
+                "checkpoint was taken on a different machine configuration",
+            ));
+        }
+        let started = meta.get_bool()?;
+        meta.expect_end()?;
+
+        // Re-run the deterministic construction path for the recorded
+        // roster: every setup-derived address, method id and corpus comes
+        // back identical, so only mutable state needs restoring.
+        let mut roster = r.section("roster")?;
+        let nprocs = roster.get_len(2)?;
+        let mut sys = System::new(cfg);
+        for _ in 0..nprocs {
+            let id = BenchmarkId::from_tag(roster.get_u8()?)
+                .ok_or(SnapshotError::Corrupt("unknown benchmark tag"))?;
+            let threads = roster.get_usize()?;
+            if threads == 0 || threads > 1024 {
+                return Err(SnapshotError::Corrupt("workload thread count out of range"));
+            }
+            let scale = roster.get_f64()?;
+            if !scale.is_finite() || scale <= 0.0 {
+                return Err(SnapshotError::Corrupt("workload scale out of range"));
+            }
+            let relaunch = roster.get_bool()?;
+            let jvm_cfg = jsmt_jvm::JvmConfig::read_from(&mut roster)?;
+            sys.jvm_override = Some(jvm_cfg);
+            sys.add_process_inner(WorkloadSpec { id, threads, scale }, relaunch);
+            sys.jvm_override = None;
+        }
+        roster.expect_end()?;
+
+        sys.core.restore_state(&mut r.section("core")?)?;
+        sys.world.sched.restore_state(&mut r.section("sched")?)?;
+        sys.world.kcg.restore_state(&mut r.section("kcg")?)?;
+
+        let mut tsec = r.section("threads")?;
+        let nthreads = tsec.get_len(19)?;
+        let mut threads = Vec::with_capacity(nthreads);
+        for _ in 0..nthreads {
+            let role = restore_role(&mut tsec, &sys.world.procs)?;
+            let stack_base = tsec.get_u64()?;
+            let npending = tsec.get_len(10)?;
+            let mut pending = VecDeque::with_capacity(npending);
+            for _ in 0..npending {
+                pending.push_back(Uop::read_from(&mut tsec)?);
+            }
+            threads.push(OsThread {
+                role,
+                pending,
+                stack_base,
+            });
+        }
+        tsec.expect_end()?;
+        if sys.world.sched.nthreads() != nthreads {
+            return Err(SnapshotError::Corrupt(
+                "scheduler thread table disagrees with OS thread list",
+            ));
+        }
+        sys.world.threads = threads;
+
+        let mut psec = r.section("procs")?;
+        for i in 0..nprocs {
+            let mut one = psec.section(&format!("p{i}"))?;
+            let p = &mut sys.world.procs[i];
+            p.jvm.restore_state(&mut one.section("jvm")?)?;
+            let mut ks = one.section("kernel")?;
+            p.kernel.restore_state(&mut ks)?;
+            ks.expect_end()?;
+            let mut bs = one.section("book")?;
+            p.restore_book(&mut bs, nthreads)?;
+            bs.expect_end()?;
+            one.expect_end()?;
+        }
+        psec.expect_end()?;
+
+        sys.world.extra.restore_state(&mut r.section("extra")?)?;
+
+        let mut ssec = r.section("sampler")?;
+        sys.sampler = if ssec.get_bool()? {
+            let mut s = Sampler::new(1);
+            s.restore_state(&mut ssec)?;
+            Some(s)
+        } else {
+            None
+        };
+        ssec.expect_end()?;
+        r.expect_end()?;
+
+        sys.started = started;
+        sys.world.now = sys.core.cycles();
+        Ok(sys)
     }
 }
 

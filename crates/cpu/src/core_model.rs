@@ -764,6 +764,108 @@ impl SmtCore {
     }
 }
 
+impl jsmt_snapshot::Snapshotable for Context {
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_bool(self.bound);
+        w.put_bool(self.draining);
+        w.put_u16(self.asid.0);
+        self.fetch_queue.save_state(w);
+        w.put_usize(self.window.len());
+        for slot in &self.window {
+            slot.uop.write_to(w);
+            w.put_u64(slot.seq);
+            match slot.state {
+                SlotState::Waiting => w.put_bool(false),
+                SlotState::Executing { done_at } => {
+                    w.put_bool(true);
+                    w.put_u64(done_at);
+                }
+            }
+        }
+        w.put_u64(self.fetch_stall_until);
+        w.put_opt_u64(self.redirect_pending);
+        w.put_u64(self.next_seq);
+        w.put_bool(self.in_kernel);
+        w.put_bool(self.starved);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        self.bound = r.get_bool()?;
+        self.draining = r.get_bool()?;
+        self.asid = Asid(r.get_u16()?);
+        self.fetch_queue.restore_state(r)?;
+        let n = r.get_len(10)?;
+        self.window.clear();
+        // `waiting` and the load/store occupancy counts are derived from
+        // the window contents, so they are recomputed rather than stored
+        // (the invariants hold by construction on restore).
+        self.loads_in_window = 0;
+        self.stores_in_window = 0;
+        self.waiting = 0;
+        for _ in 0..n {
+            let uop = Uop::read_from(r)?;
+            let seq = r.get_u64()?;
+            let state = if r.get_bool()? {
+                SlotState::Executing {
+                    done_at: r.get_u64()?,
+                }
+            } else {
+                self.waiting += 1;
+                SlotState::Waiting
+            };
+            if matches!(uop.kind, UopKind::Load | UopKind::AtomicRmw) {
+                self.loads_in_window += 1;
+            }
+            if matches!(uop.kind, UopKind::Store | UopKind::AtomicRmw) {
+                self.stores_in_window += 1;
+            }
+            self.window.push_back(Slot { uop, seq, state });
+        }
+        self.fetch_stall_until = r.get_u64()?;
+        self.redirect_pending = r.get_opt_u64()?;
+        self.next_seq = r.get_u64()?;
+        self.in_kernel = r.get_bool()?;
+        self.starved = r.get_bool()?;
+        Ok(())
+    }
+}
+
+impl jsmt_snapshot::Snapshotable for SmtCore {
+    /// The pipeline/memory *configurations* are reconstruction inputs, not
+    /// state, and are deliberately absent — as is the `fastfwd` toggle,
+    /// which never changes simulated results. The one exception is a
+    /// hyper-threading guard bit, so a dual-thread snapshot cannot be
+    /// restored into a single-thread machine.
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.section("guard", |w| w.put_bool(self.cfg.ht_enabled));
+        w.section("clock", |w| w.put_u64(self.now));
+        w.section("bank", |w| self.bank.save_state(w));
+        w.section("ctx0", |w| self.ctxs[0].save_state(w));
+        w.section("ctx1", |w| self.ctxs[1].save_state(w));
+        w.section("mem", |w| self.mem.save_state(w));
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        if r.section("guard")?.get_bool()? != self.cfg.ht_enabled {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "snapshot hyper-threading mode disagrees with core configuration",
+            ));
+        }
+        self.now = r.section("clock")?.get_u64()?;
+        self.bank.restore_state(&mut r.section("bank")?)?;
+        self.ctxs[0].restore_state(&mut r.section("ctx0")?)?;
+        self.ctxs[1].restore_state(&mut r.section("ctx1")?)?;
+        self.mem.restore_state(&mut r.section("mem")?)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -80,6 +80,39 @@ impl FetchQueue {
     }
 }
 
+impl jsmt_snapshot::Snapshotable for FetchQueue {
+    /// The encoding is *logical*: µops are written front-to-back and
+    /// restored with `head == 0`, so two queues with the same contents at
+    /// different ring offsets serialize identically (canonical bytes).
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_usize(self.len);
+        for k in 0..self.len {
+            self.buf[(self.head + k) & (CAP - 1)].write_to(w);
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        let n = r.get_usize()?;
+        if n > CAP {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "fetch queue length exceeds capacity",
+            ));
+        }
+        self.head = 0;
+        self.len = n;
+        for k in 0..n {
+            self.buf[k] = Uop::read_from(r)?;
+        }
+        for slot in self.buf.iter_mut().skip(n) {
+            *slot = Uop::alu(0);
+        }
+        Ok(())
+    }
+}
+
 impl UopSink for FetchQueue {
     #[inline]
     fn push_uop(&mut self, uop: Uop) {

@@ -1,0 +1,116 @@
+//! Snapshot round-trip properties for the SMT core: a core restored
+//! mid-execution is byte-canonical and, driven by the same µop supply,
+//! retires cycle-for-cycle identically to its uninterrupted twin.
+
+use jsmt_cpu::synth::SyntheticStream;
+use jsmt_cpu::{CoreConfig, SmtCore};
+use jsmt_isa::Asid;
+use jsmt_mem::MemConfig;
+use jsmt_perfmon::LogicalCpu;
+use jsmt_snapshot::{restore_bytes, save_bytes};
+use proptest::prelude::*;
+
+fn stream(seed: u64, mem: f64, br: f64) -> SyntheticStream {
+    SyntheticStream::builder(seed)
+        .code_footprint(4 * 1024)
+        .data_footprint(64 * 1024)
+        .mem_fraction(mem)
+        .branch_fraction(br)
+        .build()
+}
+
+fn run(
+    core: &mut SmtCore,
+    s0: &mut SyntheticStream,
+    s1: &mut Option<SyntheticStream>,
+    cycles: u64,
+) {
+    for _ in 0..cycles {
+        core.cycle(&mut |lcpu, buf, max| match (lcpu, &mut *s1) {
+            (LogicalCpu::Lp0, _) => s0.fill(buf, max),
+            (LogicalCpu::Lp1, Some(s)) => s.fill(buf, max),
+            (LogicalCpu::Lp1, None) => 0,
+        });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Interrupt a (possibly dual-thread) core mid-run, restore into a
+    /// fresh core, and continue both with identical µop supplies: cycle
+    /// counts, counters, and final snapshot bytes must all match.
+    #[test]
+    fn core_round_trip_continues_identically(
+        ht in any::<bool>(),
+        dual in any::<bool>(),
+        mem in 0.0f64..0.5,
+        br in 0.0f64..0.3,
+        warm in 100u64..4000,
+        tail in 100u64..3000,
+    ) {
+        let dual = dual && ht;
+        let mk = || {
+            let mut core = SmtCore::new(CoreConfig::p4(ht), MemConfig::p4(ht));
+            core.bind(LogicalCpu::Lp0, Asid(1));
+            if dual {
+                core.bind(LogicalCpu::Lp1, Asid(2));
+            }
+            let s0 = stream(11, mem, br);
+            let s1 = dual.then(|| stream(23, br, mem));
+            (core, s0, s1)
+        };
+
+        // Twin runs uninterrupted; the donor is checkpointed at `warm`.
+        let (mut twin, mut t0, mut t1) = mk();
+        let (mut donor, mut d0, mut d1) = mk();
+        run(&mut twin, &mut t0, &mut t1, warm);
+        run(&mut donor, &mut d0, &mut d1, warm);
+
+        let bytes = save_bytes(&donor);
+        let mut restored = SmtCore::new(CoreConfig::p4(ht), MemConfig::p4(ht));
+        restore_bytes(&mut restored, &bytes).expect("restore");
+        prop_assert_eq!(save_bytes(&restored), bytes.clone(), "re-save not canonical");
+        prop_assert_eq!(restored.cycles(), twin.cycles());
+
+        // Continue the twin and the restored core (with the donor's
+        // stream state, which the same warmup reproduces in d0/d1).
+        run(&mut twin, &mut t0, &mut t1, tail);
+        run(&mut restored, &mut d0, &mut d1, tail);
+        prop_assert_eq!(restored.cycles(), twin.cycles());
+        prop_assert_eq!(restored.counters(), twin.counters());
+        prop_assert_eq!(save_bytes(&restored), save_bytes(&twin));
+    }
+
+    /// Every truncation of a core snapshot errors instead of panicking.
+    #[test]
+    fn core_truncations_error_cleanly(warm in 50u64..500) {
+        let mut core = SmtCore::new(CoreConfig::p4(true), MemConfig::p4(true));
+        core.bind(LogicalCpu::Lp0, Asid(1));
+        let mut s = stream(7, 0.3, 0.15);
+        let mut none = None;
+        run(&mut core, &mut s, &mut none, warm);
+        let bytes = save_bytes(&core);
+        // Stride keeps the case count sane; cut points cover all regions.
+        for cut in (0..bytes.len()).step_by(61) {
+            let mut victim = SmtCore::new(CoreConfig::p4(true), MemConfig::p4(true));
+            prop_assert!(restore_bytes(&mut victim, &bytes[..cut]).is_err(),
+                         "truncation at {cut} must error");
+        }
+    }
+
+    /// A snapshot taken under HT refuses to restore into a non-HT core
+    /// (context geometry differs).
+    #[test]
+    fn ht_snapshot_rejected_by_single_thread_core(warm in 50u64..500) {
+        let mut core = SmtCore::new(CoreConfig::p4(true), MemConfig::p4(true));
+        core.bind(LogicalCpu::Lp0, Asid(1));
+        core.bind(LogicalCpu::Lp1, Asid(2));
+        let mut s0 = stream(3, 0.2, 0.1);
+        let mut s1 = Some(stream(5, 0.1, 0.2));
+        run(&mut core, &mut s0, &mut s1, warm);
+        let bytes = save_bytes(&core);
+        let mut st = SmtCore::new(CoreConfig::p4(false), MemConfig::p4(false));
+        prop_assert!(restore_bytes(&mut st, &bytes).is_err());
+    }
+}

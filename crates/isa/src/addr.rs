@@ -208,6 +208,29 @@ impl AddressSpace {
         }
     }
 
+    /// The raw bump cursors, in [`Self::USER_REGIONS`] order (snapshot
+    /// encoding support; not part of the simulation API).
+    pub(crate) fn cursors_ref(&self) -> &[Addr; 5] {
+        &self.cursors
+    }
+
+    /// Overwrite the bump cursors from a snapshot, validating that each
+    /// lies within its region (snapshot decoding support).
+    pub(crate) fn set_cursors(
+        &mut self,
+        cursors: [Addr; 5],
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        for (i, region) in Self::USER_REGIONS.iter().enumerate() {
+            if cursors[i] < region.base() || cursors[i] > region.end() {
+                return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                    "address-space cursor outside its region",
+                ));
+            }
+        }
+        self.cursors = cursors;
+        Ok(())
+    }
+
     /// Reset the heap cursor (used by the copying phase of the GC model when
     /// an entire semispace is recycled). Only `Region::Heap` supports this.
     pub fn reset_heap(&mut self) {

@@ -28,6 +28,7 @@
 mod addr;
 mod mix;
 mod sink;
+pub mod snap;
 mod uop;
 
 pub use addr::{AddressSpace, Asid, PageNumber, Region, CACHE_LINE_BYTES, PAGE_BYTES};

@@ -1,0 +1,213 @@
+//! Snapshot encodings for the ISA-level value types.
+//!
+//! `Uop` and friends are plain `Copy` values with public fields, but every
+//! stateful crate that buffers them (fetch-queue rings, pending µop queues)
+//! needs one canonical byte encoding, so it lives here next to the types.
+//! [`AddressSpace`] has private bump cursors, so its save/restore is also
+//! implemented in this crate.
+
+use jsmt_snapshot::{Reader, Result, SnapshotError, Snapshotable, Writer};
+
+use crate::addr::AddressSpace;
+use crate::uop::{BranchInfo, BranchKind, Uop, UopKind};
+use crate::Asid;
+
+impl UopKind {
+    /// All µop kinds in tag order (the snapshot encoding is the index).
+    const TAG_ORDER: [UopKind; 12] = [
+        UopKind::Alu,
+        UopKind::Mul,
+        UopKind::Div,
+        UopKind::FpAdd,
+        UopKind::FpMul,
+        UopKind::FpDiv,
+        UopKind::Load,
+        UopKind::Store,
+        UopKind::Branch,
+        UopKind::AtomicRmw,
+        UopKind::Fence,
+        UopKind::Nop,
+    ];
+
+    /// Stable snapshot tag for this kind.
+    pub fn snapshot_tag(self) -> u8 {
+        Self::TAG_ORDER
+            .iter()
+            .position(|&k| k == self)
+            .expect("kind in order") as u8
+    }
+
+    /// Decode a snapshot tag.
+    pub fn from_snapshot_tag(tag: u8) -> Result<Self> {
+        Self::TAG_ORDER
+            .get(tag as usize)
+            .copied()
+            .ok_or(SnapshotError::Corrupt("uop kind tag out of domain"))
+    }
+}
+
+impl BranchKind {
+    const TAG_ORDER: [BranchKind; 5] = [
+        BranchKind::Conditional,
+        BranchKind::Direct,
+        BranchKind::Indirect,
+        BranchKind::Call,
+        BranchKind::Return,
+    ];
+
+    /// Stable snapshot tag for this kind.
+    pub fn snapshot_tag(self) -> u8 {
+        Self::TAG_ORDER
+            .iter()
+            .position(|&k| k == self)
+            .expect("kind in order") as u8
+    }
+
+    /// Decode a snapshot tag.
+    pub fn from_snapshot_tag(tag: u8) -> Result<Self> {
+        Self::TAG_ORDER
+            .get(tag as usize)
+            .copied()
+            .ok_or(SnapshotError::Corrupt("branch kind tag out of domain"))
+    }
+}
+
+impl Uop {
+    /// Append this µop's canonical snapshot encoding to `w`.
+    pub fn write_to(&self, w: &mut Writer) {
+        w.put_u64(self.pc);
+        w.put_u8(self.kind.snapshot_tag());
+        w.put_opt_u64(self.mem);
+        match self.branch {
+            Some(b) => {
+                w.put_bool(true);
+                w.put_u64(b.target);
+                w.put_bool(b.taken);
+                w.put_u8(b.kind.snapshot_tag());
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u8(self.dep_dist);
+        w.put_bool(self.privileged);
+    }
+
+    /// Decode a µop written by [`Uop::write_to`].
+    pub fn read_from(r: &mut Reader<'_>) -> Result<Self> {
+        let pc = r.get_u64()?;
+        let kind = UopKind::from_snapshot_tag(r.get_u8()?)?;
+        let mem = r.get_opt_u64()?;
+        let branch = if r.get_bool()? {
+            Some(BranchInfo {
+                target: r.get_u64()?,
+                taken: r.get_bool()?,
+                kind: BranchKind::from_snapshot_tag(r.get_u8()?)?,
+            })
+        } else {
+            None
+        };
+        Ok(Uop {
+            pc,
+            kind,
+            mem,
+            branch,
+            dep_dist: r.get_u8()?,
+            privileged: r.get_bool()?,
+        })
+    }
+}
+
+impl Snapshotable for AddressSpace {
+    fn save_state(&self, w: &mut Writer) {
+        w.put_u16(self.asid().0);
+        for &c in self.cursors() {
+            w.put_u64(c);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<()> {
+        let asid = r.get_u16()?;
+        if asid != self.asid().0 {
+            return Err(SnapshotError::Corrupt("address-space asid mismatch"));
+        }
+        let mut cursors = [0u64; 5];
+        for c in &mut cursors {
+            *c = r.get_u64()?;
+        }
+        self.set_cursors(cursors)?;
+        Ok(())
+    }
+}
+
+impl AddressSpace {
+    fn cursors(&self) -> &[u64; 5] {
+        self.cursors_ref()
+    }
+}
+
+/// The asid a restored address space must carry (used for validation by
+/// callers that only have the raw bytes).
+pub fn peek_asid(r: &Reader<'_>) -> Result<Asid> {
+    Ok(Asid(r.clone().get_u16()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Region;
+    use jsmt_snapshot::{restore_bytes, save_bytes};
+
+    #[test]
+    fn uop_round_trips() {
+        let uops = [
+            Uop::alu(0x0800_0000),
+            Uop::load(0x0800_0010, 0x2000_0000).with_dep(3),
+            Uop::store(0x0800_0020, 0x8000_0000).privileged(),
+            Uop::branch(0x0800_0030, 0x0800_1000, true),
+        ];
+        for u in uops {
+            let mut w = Writer::new();
+            u.write_to(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(Uop::read_from(&mut r).unwrap(), u);
+            r.expect_end().unwrap();
+        }
+    }
+
+    #[test]
+    fn uop_kind_tags_reject_garbage() {
+        assert!(UopKind::from_snapshot_tag(12).is_err());
+        assert!(BranchKind::from_snapshot_tag(5).is_err());
+        for k in UopKind::TAG_ORDER {
+            assert_eq!(UopKind::from_snapshot_tag(k.snapshot_tag()).unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn address_space_round_trips() {
+        let mut a = AddressSpace::new(3);
+        a.alloc(Region::Heap, 4096, 64);
+        a.alloc(Region::Native, 128, 8);
+        let bytes = save_bytes(&a);
+        let mut b = AddressSpace::new(3);
+        restore_bytes(&mut b, &bytes).unwrap();
+        assert_eq!(save_bytes(&b), bytes);
+        assert_eq!(b.allocated(Region::Heap), a.allocated(Region::Heap));
+    }
+
+    #[test]
+    fn address_space_rejects_wrong_asid_and_bad_cursor() {
+        let a = AddressSpace::new(3);
+        let bytes = save_bytes(&a);
+        let mut b = AddressSpace::new(4);
+        assert!(restore_bytes(&mut b, &bytes).is_err());
+
+        let mut w = Writer::new();
+        w.put_u16(3);
+        for _ in 0..5 {
+            w.put_u64(0); // cursors below their region bases
+        }
+        let mut c = AddressSpace::new(3);
+        assert!(restore_bytes(&mut c, &w.into_bytes()).is_err());
+    }
+}

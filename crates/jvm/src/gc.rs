@@ -70,6 +70,30 @@ impl GcWorkGen {
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
 
+    /// Serialize the in-flight collection (checkpoints can land mid-GC).
+    pub fn write_to(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_u64(self.heap_base);
+        w.put_u64(self.live_bytes);
+        w.put_u64(self.mark_pos);
+        w.put_u64(self.sweep_pos);
+        w.put_u64(self.code_off);
+        w.put_u64(self.rng);
+    }
+
+    /// Rebuild an in-flight collection from a snapshot.
+    pub fn read_from(
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<Self, jsmt_snapshot::SnapshotError> {
+        Ok(GcWorkGen {
+            heap_base: r.get_u64()?,
+            live_bytes: r.get_u64()?,
+            mark_pos: r.get_u64()?,
+            sweep_pos: r.get_u64()?,
+            code_off: r.get_u64()?,
+            rng: r.get_u64()?,
+        })
+    }
+
     /// Append up to `max` µops of GC work; returns the number emitted
     /// (0 when the collection's work is exhausted). Generic over the
     /// destination so the stream lands directly in the GC thread's

@@ -121,6 +121,37 @@ impl Heap {
     }
 }
 
+impl jsmt_snapshot::Snapshotable for Heap {
+    /// `base`, `capacity` and `gc_trigger` are construction inputs; only
+    /// the bump pointer, live estimate and statistics are state.
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_u64(self.used);
+        w.put_u64(self.live);
+        w.put_u64(self.stats.objects);
+        w.put_u64(self.stats.bytes);
+        w.put_u64(self.stats.collections);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        let used = r.get_u64()?;
+        let live = r.get_u64()?;
+        if used > self.capacity || live > used {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "heap occupancy outside capacity",
+            ));
+        }
+        self.used = used;
+        self.live = live;
+        self.stats.objects = r.get_u64()?;
+        self.stats.bytes = r.get_u64()?;
+        self.stats.collections = r.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

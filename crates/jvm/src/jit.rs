@@ -64,6 +64,30 @@ impl JitWorkGen {
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
 
+    /// Serialize the in-flight compilation (checkpoints can land mid-JIT).
+    pub fn write_to(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_u64(self.body_base);
+        w.put_u64(self.body_size);
+        w.put_u64(self.emitted);
+        w.put_u64(self.total);
+        w.put_u64(self.code_off);
+        w.put_u64(self.rng);
+    }
+
+    /// Rebuild an in-flight compilation from a snapshot.
+    pub fn read_from(
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<Self, jsmt_snapshot::SnapshotError> {
+        Ok(JitWorkGen {
+            body_base: r.get_u64()?,
+            body_size: r.get_u64()?,
+            emitted: r.get_u64()?,
+            total: r.get_u64()?,
+            code_off: r.get_u64()?,
+            rng: r.get_u64()?,
+        })
+    }
+
     /// Append up to `max` µops of compilation work; returns the number
     /// emitted (0 when done). Generic over the destination so the stream
     /// lands directly in the compiler thread's pending queue (zero-copy).

@@ -185,6 +185,84 @@ impl MethodTable {
     }
 }
 
+impl jsmt_snapshot::Snapshotable for MethodTable {
+    /// Methods are registered at runtime, so the table length is dynamic;
+    /// `jit_threshold` and `background` are construction inputs.
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_usize(self.methods.len());
+        for m in &self.methods {
+            w.put_u64(m.code_base);
+            w.put_u64(m.code_size);
+            w.put_u64(m.invocations);
+            w.put_u8(match m.state {
+                CompileState::Interpreted => 0,
+                CompileState::Pending => 1,
+                CompileState::Compiled => 2,
+            });
+        }
+        w.put_u64(self.jit_cursor);
+        w.put_u64(self.code_bytes);
+        w.put_usize(self.compile_queue.len());
+        for id in &self.compile_queue {
+            w.put_u64(u64::from(id.0));
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        let n = r.get_len(25)?;
+        self.methods.clear();
+        self.methods.reserve(n);
+        for _ in 0..n {
+            let code_base = r.get_u64()?;
+            let code_size = r.get_u64()?;
+            if code_base < Region::JitCode.base() || code_base + code_size > Region::JitCode.end() {
+                return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                    "method body outside the JIT code region",
+                ));
+            }
+            let invocations = r.get_u64()?;
+            let state = match r.get_u8()? {
+                0 => CompileState::Interpreted,
+                1 => CompileState::Pending,
+                2 => CompileState::Compiled,
+                _ => {
+                    return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                        "compile state tag out of domain",
+                    ))
+                }
+            };
+            self.methods.push(MethodInfo {
+                code_base,
+                code_size,
+                invocations,
+                state,
+            });
+        }
+        self.jit_cursor = r.get_u64()?;
+        if self.jit_cursor < Region::JitCode.base() || self.jit_cursor > Region::JitCode.end() {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "JIT cursor outside its region",
+            ));
+        }
+        self.code_bytes = r.get_u64()?;
+        let qn = r.get_len(8)?;
+        self.compile_queue.clear();
+        for _ in 0..qn {
+            let v = r.get_u64()?;
+            if v as usize >= n {
+                return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                    "compile queue references unknown method",
+                ));
+            }
+            self.compile_queue.push(MethodId(v as u32));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -115,6 +115,60 @@ impl MonitorTable {
     }
 }
 
+impl jsmt_snapshot::Snapshotable for MonitorTable {
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_usize(self.monitors.len());
+        for m in &self.monitors {
+            w.put_opt_u64(m.owner.map(u64::from));
+            w.put_u32(m.recursion);
+            w.put_usize(m.waiters.len());
+            for &t in &m.waiters {
+                w.put_u64(u64::from(t));
+            }
+            w.put_u64(m.contended_count);
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        let n = r.get_len(21)?;
+        self.monitors.clear();
+        self.monitors.reserve(n);
+        for _ in 0..n {
+            let owner = match r.get_opt_u64()? {
+                None => None,
+                Some(v) => Some(u32::try_from(v).map_err(|_| {
+                    jsmt_snapshot::SnapshotError::Corrupt("monitor owner out of range")
+                })?),
+            };
+            let recursion = r.get_u32()?;
+            if owner.is_none() != (recursion == 0) {
+                return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                    "monitor recursion disagrees with ownership",
+                ));
+            }
+            let wn = r.get_len(8)?;
+            let mut waiters = VecDeque::with_capacity(wn);
+            for _ in 0..wn {
+                let v = r.get_u64()?;
+                waiters.push_back(u32::try_from(v).map_err(|_| {
+                    jsmt_snapshot::SnapshotError::Corrupt("monitor waiter out of range")
+                })?);
+            }
+            let contended_count = r.get_u64()?;
+            self.monitors.push(MonitorState {
+                owner,
+                recursion,
+                waiters,
+                contended_count,
+            });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

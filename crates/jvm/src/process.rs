@@ -39,6 +39,48 @@ impl Default for JvmConfig {
 }
 
 impl JvmConfig {
+    /// Serialize the configuration (checkpoints embed it so a resumed
+    /// `System` can rebuild each process identically).
+    pub fn write_to(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_u64(self.heap_bytes);
+        w.put_f64(self.gc_trigger);
+        w.put_f64(self.survival);
+        w.put_u64(self.jit_threshold);
+        w.put_u32(self.interp_expansion);
+        w.put_bool(self.background_jit);
+    }
+
+    /// Rebuild a configuration from a snapshot, rejecting values a live
+    /// process could never have been constructed with.
+    pub fn read_from(
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<Self, jsmt_snapshot::SnapshotError> {
+        let cfg = JvmConfig {
+            heap_bytes: r.get_u64()?,
+            gc_trigger: r.get_f64()?,
+            survival: r.get_f64()?,
+            jit_threshold: r.get_u64()?,
+            interp_expansion: r.get_u32()?,
+            background_jit: r.get_bool()?,
+        };
+        if cfg.heap_bytes > Region::Heap.size() {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "heap larger than the simulated region",
+            ));
+        }
+        if !(cfg.gc_trigger > 0.0 && cfg.gc_trigger <= 1.0) {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "GC trigger outside (0, 1]",
+            ));
+        }
+        if !(0.0..=1.0).contains(&cfg.survival) {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "survival fraction outside [0, 1]",
+            ));
+        }
+        Ok(cfg)
+    }
+
     /// Builder-style: set the heap size.
     pub fn with_heap(mut self, bytes: u64) -> Self {
         self.heap_bytes = bytes;
@@ -160,6 +202,30 @@ impl JvmProcess {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
+    }
+}
+
+impl jsmt_snapshot::Snapshotable for JvmProcess {
+    /// `cfg` is a construction input (the system layer embeds it in the
+    /// process header of a checkpoint); everything else is state.
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.section("aspace", |w| self.aspace.save_state(w));
+        w.section("heap", |w| self.heap.save_state(w));
+        w.section("methods", |w| self.methods.save_state(w));
+        w.section("monitors", |w| self.monitors.save_state(w));
+        w.section("rng", |w| w.put_u64(self.rng_state));
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        self.aspace.restore_state(&mut r.section("aspace")?)?;
+        self.heap.restore_state(&mut r.section("heap")?)?;
+        self.methods.restore_state(&mut r.section("methods")?)?;
+        self.monitors.restore_state(&mut r.section("monitors")?)?;
+        self.rng_state = r.section("rng")?.get_u64()?;
+        Ok(())
     }
 }
 

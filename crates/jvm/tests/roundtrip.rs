@@ -1,0 +1,108 @@
+//! Snapshot round-trip properties for the JVM runtime: a process
+//! restored mid-execution is byte-canonical and emits exactly the same
+//! µop stream (and RNG/GC observables) as its uninterrupted twin.
+
+use jsmt_isa::Uop;
+use jsmt_jvm::{JvmConfig, JvmProcess};
+use jsmt_snapshot::{restore_bytes, save_bytes};
+use proptest::prelude::*;
+
+/// One scripted runtime action: `(kind % 6, value)`.
+type Op = (u32, u64);
+
+fn arb_script(max: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec((0u32..6, any::<u64>()), 1..max)
+}
+
+fn cfg() -> JvmConfig {
+    JvmConfig::default()
+        .with_heap(512 * 1024)
+        .with_survival(0.3)
+        .with_jit_threshold(3)
+}
+
+fn mk() -> (JvmProcess, Vec<jsmt_jvm::MethodId>) {
+    let mut p = JvmProcess::new(1, cfg());
+    let mids = (0..3)
+        .map(|i| p.methods_mut().register(&format!("m{i}"), 100 + 70 * i))
+        .collect();
+    (p, mids)
+}
+
+/// Drive one process through a script slice, returning everything an
+/// observer could see: the emitted µops and the scalar observables
+/// (RNG draws, GC live bytes, allocation addresses).
+fn drive(p: &mut JvmProcess, mids: &[jsmt_jvm::MethodId], script: &[Op]) -> (Vec<Uop>, Vec<u64>) {
+    let mut uops = Vec::new();
+    let mut obs = Vec::new();
+    for &(kind, v) in script {
+        match kind {
+            0 => {
+                let mut ctx = jsmt_jvm::EmitCtx::new(p, &mut uops);
+                ctx.alu((v % 16) as u32 + 1);
+            }
+            1 => {
+                let mut ctx = jsmt_jvm::EmitCtx::new(p, &mut uops);
+                if let Some(a) = ctx.alloc(v % 512 + 8) {
+                    obs.push(a);
+                    ctx.store(a);
+                    ctx.load(a);
+                }
+            }
+            2 => {
+                let mut ctx = jsmt_jvm::EmitCtx::new(p, &mut uops);
+                ctx.branch(v % 2 == 0, v % 3 == 0);
+            }
+            3 => {
+                let mut ctx = jsmt_jvm::EmitCtx::new(p, &mut uops);
+                ctx.call(mids[(v % 3) as usize]);
+            }
+            4 => obs.push(p.next_rand()),
+            _ => obs.push(p.collect()),
+        }
+    }
+    (uops, obs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Interrupt a process mid-script, restore into a fresh one, replay
+    /// the suffix on both: µop streams, observables, and final snapshot
+    /// bytes must be identical.
+    #[test]
+    fn process_round_trip_continues_identically(script in arb_script(120), cut_frac in 0.0f64..1.0) {
+        let cut = ((script.len() as f64) * cut_frac) as usize;
+        let (mut twin, mids) = mk();
+        let (mut donor, _) = mk();
+        drive(&mut twin, &mids, &script[..cut]);
+        drive(&mut donor, &mids, &script[..cut]);
+
+        let bytes = save_bytes(&donor);
+        // Restore rebuilds the method table, heap, monitors, and RNG, so
+        // the target process starts empty (no pre-registered methods).
+        let mut restored = JvmProcess::new(1, cfg());
+        restore_bytes(&mut restored, &bytes).expect("restore");
+        prop_assert_eq!(save_bytes(&restored), bytes, "re-save not canonical");
+
+        let (u_twin, o_twin) = drive(&mut twin, &mids, &script[cut..]);
+        let (u_rest, o_rest) = drive(&mut restored, &mids, &script[cut..]);
+        prop_assert_eq!(u_twin, u_rest, "µop streams diverged");
+        prop_assert_eq!(o_twin, o_rest, "observables diverged");
+        prop_assert_eq!(save_bytes(&twin), save_bytes(&restored));
+    }
+
+    /// Every truncation of a process snapshot errors instead of
+    /// panicking.
+    #[test]
+    fn process_truncations_error_cleanly(script in arb_script(40)) {
+        let (mut p, mids) = mk();
+        drive(&mut p, &mids, &script);
+        let bytes = save_bytes(&p);
+        for cut in (0..bytes.len()).step_by(23) {
+            let mut victim = JvmProcess::new(1, cfg());
+            prop_assert!(restore_bytes(&mut victim, &bytes[..cut]).is_err(),
+                         "truncation at {cut} must error");
+        }
+    }
+}

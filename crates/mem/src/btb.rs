@@ -239,6 +239,83 @@ impl DirectionPredictor {
     }
 }
 
+impl jsmt_snapshot::Snapshotable for Btb {
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            w.put_u64(e.tag);
+            w.put_u64(e.target);
+            w.put_u64(e.stamp);
+            w.put_bool(e.valid);
+        }
+        w.put_u64(self.tick);
+        for i in 0..2 {
+            w.put_u64(self.lookups[i]);
+            w.put_u64(self.misses[i]);
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        let n = r.get_usize()?;
+        if n != self.entries.len() {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "btb geometry mismatch",
+            ));
+        }
+        for e in &mut self.entries {
+            e.tag = r.get_u64()?;
+            e.target = r.get_u64()?;
+            e.stamp = r.get_u64()?;
+            e.valid = r.get_bool()?;
+        }
+        self.tick = r.get_u64()?;
+        for i in 0..2 {
+            self.lookups[i] = r.get_u64()?;
+            self.misses[i] = r.get_u64()?;
+        }
+        Ok(())
+    }
+}
+
+impl jsmt_snapshot::Snapshotable for DirectionPredictor {
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_usize(self.table.len());
+        w.put_raw(&self.table);
+        for i in 0..2 {
+            w.put_u64(self.history[i]);
+            w.put_u64(self.predictions[i]);
+            w.put_u64(self.mispredicts[i]);
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        let n = r.get_usize()?;
+        if n != self.table.len() {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "predictor table size mismatch",
+            ));
+        }
+        self.table.copy_from_slice(r.get_raw(n)?);
+        if self.table.iter().any(|&c| c > 3) {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "predictor counter out of 2-bit domain",
+            ));
+        }
+        for i in 0..2 {
+            self.history[i] = r.get_u64()?;
+            self.predictions[i] = r.get_u64()?;
+            self.mispredicts[i] = r.get_u64()?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -215,6 +215,45 @@ impl SetAssocCache {
     }
 }
 
+impl jsmt_snapshot::Snapshotable for SetAssocCache {
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_usize(self.lines.len());
+        for l in &self.lines {
+            w.put_u64(l.tag);
+            w.put_u64(l.stamp);
+            w.put_bool(l.valid);
+        }
+        w.put_u64(self.tick);
+        for i in 0..2 {
+            w.put_u64(self.accesses[i]);
+            w.put_u64(self.misses[i]);
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        let n = r.get_usize()?;
+        if n != self.lines.len() {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "cache geometry mismatch",
+            ));
+        }
+        for l in &mut self.lines {
+            l.tag = r.get_u64()?;
+            l.stamp = r.get_u64()?;
+            l.valid = r.get_bool()?;
+        }
+        self.tick = r.get_u64()?;
+        for i in 0..2 {
+            self.accesses[i] = r.get_u64()?;
+            self.misses[i] = r.get_u64()?;
+        }
+        Ok(())
+    }
+}
+
 #[inline]
 fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -209,6 +209,39 @@ impl MemoryHierarchy {
     }
 }
 
+impl jsmt_snapshot::Snapshotable for MemoryHierarchy {
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.section("l1d", |w| self.l1d.save_state(w));
+        w.section("l2", |w| self.l2.save_state(w));
+        w.section("tc", |w| self.tc.save_state(w));
+        w.section("itlb", |w| self.itlb.save_state(w));
+        w.section("dtlb", |w| self.dtlb.save_state(w));
+        w.section("btb", |w| self.btb.save_state(w));
+        w.section("predictor", |w| self.predictor.save_state(w));
+        w.section("prefetch", |w| {
+            w.put_u64(self.last_miss_line[0]);
+            w.put_u64(self.last_miss_line[1]);
+        });
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        self.l1d.restore_state(&mut r.section("l1d")?)?;
+        self.l2.restore_state(&mut r.section("l2")?)?;
+        self.tc.restore_state(&mut r.section("tc")?)?;
+        self.itlb.restore_state(&mut r.section("itlb")?)?;
+        self.dtlb.restore_state(&mut r.section("dtlb")?)?;
+        self.btb.restore_state(&mut r.section("btb")?)?;
+        self.predictor.restore_state(&mut r.section("predictor")?)?;
+        let mut pf = r.section("prefetch")?;
+        self.last_miss_line[0] = pf.get_u64()?;
+        self.last_miss_line[1] = pf.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -157,6 +157,45 @@ impl Tlb {
     }
 }
 
+impl jsmt_snapshot::Snapshotable for Tlb {
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            w.put_u64(e.tag);
+            w.put_u64(e.stamp);
+            w.put_bool(e.valid);
+        }
+        w.put_u64(self.tick);
+        for i in 0..2 {
+            w.put_u64(self.lookups[i]);
+            w.put_u64(self.misses[i]);
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        let n = r.get_usize()?;
+        if n != self.entries.len() {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "tlb geometry mismatch",
+            ));
+        }
+        for e in &mut self.entries {
+            e.tag = r.get_u64()?;
+            e.stamp = r.get_u64()?;
+            e.valid = r.get_bool()?;
+        }
+        self.tick = r.get_u64()?;
+        for i in 0..2 {
+            self.lookups[i] = r.get_u64()?;
+            self.misses[i] = r.get_u64()?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

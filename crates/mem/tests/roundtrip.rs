@@ -1,0 +1,119 @@
+//! Snapshot round-trip properties for the memory system: a restored
+//! hierarchy (or any individual structure) is byte-canonical and
+//! behaves identically to its uninterrupted twin on any access stream.
+
+use jsmt_isa::Asid;
+use jsmt_mem::{
+    AccessKind, Btb, BtbConfig, CacheConfig, MemConfig, MemoryHierarchy, SetAssocCache,
+};
+use jsmt_perfmon::{CounterBank, LogicalCpu};
+use jsmt_snapshot::{restore_bytes, save_bytes};
+use proptest::prelude::*;
+
+fn arb_lcpu() -> impl Strategy<Value = LogicalCpu> {
+    prop_oneof![Just(LogicalCpu::Lp0), Just(LogicalCpu::Lp1)]
+}
+
+/// One synthetic memory operation: data access or fetch.
+type Op = (bool, u64, u16, LogicalCpu);
+
+fn arb_ops(max: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec((any::<bool>(), 0u64..500_000, 1u16..4, arb_lcpu()), 0..max)
+}
+
+fn drive(h: &mut MemoryHierarchy, bank: &mut CounterBank, ops: &[Op]) -> Vec<u32> {
+    ops.iter()
+        .map(|&(is_fetch, addr, asid, lcpu)| {
+            if is_fetch {
+                h.fetch(addr, Asid(asid), lcpu, bank).penalty
+            } else {
+                h.data_access(addr, Asid(asid), lcpu, AccessKind::Read, bank)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The full hierarchy: interrupt after a prefix of the stream,
+    /// restore into a fresh instance, replay the suffix on both — the
+    /// latencies, counters, and final snapshot bytes must be identical.
+    #[test]
+    fn hierarchy_round_trip_continues_identically(ops in arb_ops(300), cut_frac in 0.0f64..1.0, ht in any::<bool>()) {
+        let cut = ((ops.len() as f64) * cut_frac) as usize;
+        let mut twin = MemoryHierarchy::new(MemConfig::p4(ht));
+        let mut twin_bank = CounterBank::new();
+        drive(&mut twin, &mut twin_bank, &ops[..cut]);
+
+        let bytes = save_bytes(&twin);
+        let mut restored = MemoryHierarchy::new(MemConfig::p4(ht));
+        restore_bytes(&mut restored, &bytes).expect("restore");
+        prop_assert_eq!(save_bytes(&restored), bytes, "re-save not canonical");
+
+        let mut restored_bank = twin_bank.clone();
+        let lat_twin = drive(&mut twin, &mut twin_bank, &ops[cut..]);
+        let lat_rest = drive(&mut restored, &mut restored_bank, &ops[cut..]);
+        prop_assert_eq!(lat_twin, lat_rest, "latency streams diverged");
+        prop_assert_eq!(&twin_bank, &restored_bank, "counters diverged");
+        prop_assert_eq!(save_bytes(&twin), save_bytes(&restored));
+    }
+
+    /// Restoring into a hierarchy with different cache geometry is
+    /// rejected (line counts are validated, not trusted).
+    #[test]
+    fn hierarchy_geometry_mismatch_rejected(ops in arb_ops(50)) {
+        let mut donor = MemoryHierarchy::new(MemConfig::p4(true));
+        let mut bank = CounterBank::new();
+        drive(&mut donor, &mut bank, &ops);
+        let bytes = save_bytes(&donor);
+        let mut small = MemConfig::p4(true);
+        small.l1d = CacheConfig { sets: 4, ways: 2, line_bytes: 64, phys_indexed: false, partitioned: false };
+        let mut other = MemoryHierarchy::new(small);
+        prop_assert!(restore_bytes(&mut other, &bytes).is_err(),
+                     "snapshot must not restore into a smaller L1d");
+    }
+
+    /// A bare set-associative cache round-trips: same hit/miss behaviour
+    /// afterwards, canonical bytes.
+    #[test]
+    fn cache_round_trip(warm in prop::collection::vec((0u64..100_000, arb_lcpu()), 0..200),
+                        probe in prop::collection::vec((0u64..100_000, arb_lcpu()), 0..100)) {
+        let cfg = CacheConfig { sets: 16, ways: 4, line_bytes: 64, phys_indexed: false, partitioned: true };
+        let mut twin = SetAssocCache::new(cfg);
+        for (a, l) in &warm {
+            twin.access(*a, Asid(1), *l);
+        }
+        let bytes = save_bytes(&twin);
+        let mut restored = SetAssocCache::new(cfg);
+        restore_bytes(&mut restored, &bytes).expect("restore");
+        prop_assert_eq!(save_bytes(&restored), bytes);
+        for (a, l) in &probe {
+            prop_assert_eq!(twin.access(*a, Asid(1), *l), restored.access(*a, Asid(1), *l));
+        }
+        prop_assert_eq!(save_bytes(&twin), save_bytes(&restored));
+    }
+
+    /// BTB round-trips with its prediction state intact.
+    #[test]
+    fn btb_round_trip(ops in prop::collection::vec((0u64..50_000, 0u64..50_000), 1..200)) {
+        let mut twin = Btb::new(BtbConfig::p4(true));
+        for (pc, target) in &ops {
+            twin.lookup(*pc, Asid(1), LogicalCpu::Lp0);
+            twin.update(*pc, Asid(1), LogicalCpu::Lp0, *target);
+        }
+        let bytes = save_bytes(&twin);
+        let mut restored = Btb::new(BtbConfig::p4(true));
+        restore_bytes(&mut restored, &bytes).expect("restore");
+        prop_assert_eq!(save_bytes(&restored), bytes);
+        for (pc, target) in &ops {
+            prop_assert_eq!(
+                twin.lookup(*pc, Asid(1), LogicalCpu::Lp1),
+                restored.lookup(*pc, Asid(1), LogicalCpu::Lp1)
+            );
+            twin.update(*pc, Asid(1), LogicalCpu::Lp1, target ^ 0x40);
+            restored.update(*pc, Asid(1), LogicalCpu::Lp1, target ^ 0x40);
+        }
+        prop_assert_eq!(save_bytes(&twin), save_bytes(&restored));
+    }
+}

@@ -115,6 +115,21 @@ impl KernelCodegen {
     }
 }
 
+impl jsmt_snapshot::Snapshotable for KernelCodegen {
+    /// Only the RNG stream position is state; the footprints are fixed.
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_u64(self.rng_state);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        self.rng_state = r.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

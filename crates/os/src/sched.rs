@@ -104,6 +104,11 @@ impl Scheduler {
         self.nlcpus
     }
 
+    /// Number of threads ever spawned (including finished ones).
+    pub fn nthreads(&self) -> usize {
+        self.threads.len()
+    }
+
     /// Create a runnable thread in address space `asid`.
     pub fn spawn(&mut self, asid: Asid) -> ThreadId {
         let tid = ThreadId(self.threads.len() as u32);
@@ -282,6 +287,120 @@ impl Scheduler {
                 }
             }
         }
+    }
+}
+
+fn thread_state_tag(state: ThreadState) -> (u8, u8) {
+    match state {
+        ThreadState::Runnable => (0, 0),
+        ThreadState::Running(l) => (1, l as u8),
+        ThreadState::Draining(l) => (2, l as u8),
+        ThreadState::Blocked => (3, 0),
+        ThreadState::Finished => (4, 0),
+    }
+}
+
+fn thread_state_from_tag(tag: u8, lcpu: u8) -> Result<ThreadState, jsmt_snapshot::SnapshotError> {
+    if lcpu >= 2 {
+        return Err(jsmt_snapshot::SnapshotError::Corrupt(
+            "thread state lcpu out of range",
+        ));
+    }
+    Ok(match tag {
+        0 => ThreadState::Runnable,
+        1 => ThreadState::Running(lcpu as usize),
+        2 => ThreadState::Draining(lcpu as usize),
+        3 => ThreadState::Blocked,
+        4 => ThreadState::Finished,
+        _ => {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "thread state tag out of domain",
+            ))
+        }
+    })
+}
+
+fn save_opt_tid(w: &mut jsmt_snapshot::Writer, slot: Option<ThreadId>) {
+    w.put_opt_u64(slot.map(|t| u64::from(t.0)));
+}
+
+fn restore_opt_tid(
+    r: &mut jsmt_snapshot::Reader<'_>,
+    nthreads: usize,
+) -> Result<Option<ThreadId>, jsmt_snapshot::SnapshotError> {
+    match r.get_opt_u64()? {
+        None => Ok(None),
+        Some(v) if (v as usize) < nthreads => Ok(Some(ThreadId(v as u32))),
+        Some(_) => Err(jsmt_snapshot::SnapshotError::Corrupt(
+            "thread id out of range",
+        )),
+    }
+}
+
+impl jsmt_snapshot::Snapshotable for Scheduler {
+    /// `cfg` and `nlcpus` are construction inputs and are not serialized;
+    /// the thread table, run queue and per-CPU occupancy are state proper
+    /// (threads are *spawned* at runtime, so the table length is dynamic).
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_usize(self.threads.len());
+        for info in &self.threads {
+            w.put_u16(info.asid.0);
+            let (tag, lcpu) = thread_state_tag(info.state);
+            w.put_u8(tag);
+            w.put_u8(lcpu);
+        }
+        w.put_usize(self.runq.len());
+        for tid in &self.runq {
+            w.put_u64(u64::from(tid.0));
+        }
+        for l in 0..2 {
+            save_opt_tid(w, self.running[l]);
+            save_opt_tid(w, self.draining[l]);
+            w.put_u64(self.slice_end[l]);
+            w.put_u64(self.next_timer[l]);
+            w.put_bool(self.preempt_pending[l]);
+        }
+        w.put_u64(self.ctx_switches);
+        w.put_u64(self.timer_irqs);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        let n = r.get_len(4)?;
+        self.threads.clear();
+        self.threads.reserve(n);
+        for _ in 0..n {
+            let asid = Asid(r.get_u16()?);
+            let tag = r.get_u8()?;
+            let lcpu = r.get_u8()?;
+            self.threads.push(ThreadInfo {
+                asid,
+                state: thread_state_from_tag(tag, lcpu)?,
+            });
+        }
+        let qn = r.get_len(8)?;
+        self.runq.clear();
+        for _ in 0..qn {
+            let v = r.get_u64()?;
+            if v as usize >= n {
+                return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                    "run queue references unknown thread",
+                ));
+            }
+            self.runq.push_back(ThreadId(v as u32));
+        }
+        for l in 0..2 {
+            self.running[l] = restore_opt_tid(r, n)?;
+            self.draining[l] = restore_opt_tid(r, n)?;
+            self.slice_end[l] = r.get_u64()?;
+            self.next_timer[l] = r.get_u64()?;
+            self.preempt_pending[l] = r.get_bool()?;
+        }
+        self.ctx_switches = r.get_u64()?;
+        self.timer_irqs = r.get_u64()?;
+        Ok(())
     }
 }
 

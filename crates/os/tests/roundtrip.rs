@@ -1,0 +1,156 @@
+//! Snapshot round-trip properties for the OS layer: a scheduler (or
+//! kernel code generator) restored mid-run is byte-canonical and emits
+//! exactly the same event/µop streams as its uninterrupted twin.
+
+use jsmt_isa::{Asid, Uop};
+use jsmt_os::{KernelCodegen, KernelService, OsConfig, Scheduler};
+use jsmt_snapshot::{restore_bytes, save_bytes};
+use proptest::prelude::*;
+
+/// One scripted scheduler action: `(thread pick, block?, finish?,
+/// lp0 drained?, lp1 drained?)`.
+type Op = (u32, bool, bool, bool, bool);
+
+fn arb_script(max: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (
+            0u32..10,
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+        ),
+        1..max,
+    )
+}
+
+/// Drive one scheduler through a script slice, collecting the emitted
+/// events (debug-formatted — `SchedEvent` carries all its fields there).
+fn drive(
+    s: &mut Scheduler,
+    tids: &[jsmt_os::ThreadId],
+    now: &mut u64,
+    step: u64,
+    script: &[Op],
+) -> Vec<String> {
+    let mut log = Vec::new();
+    let mut events = Vec::new();
+    for &(pick, do_block, do_finish, d0, d1) in script {
+        let t = tids[(pick as usize) % tids.len()];
+        if do_finish && pick % 3 == 0 {
+            s.finish(t);
+        } else if do_block {
+            s.block(t);
+        } else {
+            s.wake(t);
+        }
+        *now += step;
+        events.clear();
+        s.tick(*now, [d0, d1], &mut events);
+        for ev in &events {
+            log.push(format!("{now}:{ev:?}"));
+        }
+    }
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Interrupt a scheduler mid-script, restore into a fresh instance
+    /// (no threads spawned — restore rebuilds the thread table), replay
+    /// the suffix on both: event streams, accounting counters, and
+    /// final snapshot bytes must be identical.
+    #[test]
+    fn scheduler_round_trip_continues_identically(
+        nthreads in 1u32..8,
+        ht in any::<bool>(),
+        script in arb_script(150),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let cfg = OsConfig::default();
+        let step = cfg.timeslice_cycles / 3;
+        let cut = ((script.len() as f64) * cut_frac) as usize;
+
+        let mut twin = Scheduler::new(cfg, ht);
+        let mut donor = Scheduler::new(cfg, ht);
+        let tids: Vec<_> = (0..nthreads).map(|_| twin.spawn(Asid(1))).collect();
+        for _ in 0..nthreads {
+            donor.spawn(Asid(1));
+        }
+        let mut now_twin = 0u64;
+        let mut now_donor = 0u64;
+        drive(&mut twin, &tids, &mut now_twin, step, &script[..cut]);
+        drive(&mut donor, &tids, &mut now_donor, step, &script[..cut]);
+
+        let bytes = save_bytes(&donor);
+        let mut restored = Scheduler::new(cfg, ht);
+        restore_bytes(&mut restored, &bytes).expect("restore");
+        prop_assert_eq!(save_bytes(&restored), bytes, "re-save not canonical");
+        prop_assert_eq!(restored.nthreads(), twin.nthreads());
+        prop_assert_eq!(restored.ctx_switches(), twin.ctx_switches());
+
+        let ev_twin = drive(&mut twin, &tids, &mut now_twin, step, &script[cut..]);
+        let ev_rest = drive(&mut restored, &tids, &mut now_donor, step, &script[cut..]);
+        prop_assert_eq!(ev_twin, ev_rest, "event streams diverged");
+        prop_assert_eq!(twin.timer_irqs(), restored.timer_irqs());
+        prop_assert_eq!(save_bytes(&twin), save_bytes(&restored));
+    }
+
+    /// The kernel code generator round-trips with its RNG state intact:
+    /// a restored generator emits the exact same µops for the same
+    /// service requests.
+    #[test]
+    fn kernel_codegen_round_trip(
+        seed in any::<u64>(),
+        warm in prop::collection::vec(0usize..5, 0..40),
+        tail in prop::collection::vec(0usize..5, 1..40),
+    ) {
+        const SERVICES: [KernelService; 5] = [
+            KernelService::TimerInterrupt,
+            KernelService::ContextSwitch,
+            KernelService::Futex,
+            KernelService::Syscall,
+            KernelService::ThreadSpawn,
+        ];
+        let mut twin = KernelCodegen::new(seed);
+        let mut donor = KernelCodegen::new(seed);
+        let mut sink: Vec<Uop> = Vec::new();
+        for &s in &warm {
+            twin.emit(SERVICES[s], 20, &mut sink);
+            donor.emit(SERVICES[s], 20, &mut sink);
+        }
+
+        let bytes = save_bytes(&donor);
+        // A different seed proves the restore overwrites the RNG.
+        let mut restored = KernelCodegen::new(seed.wrapping_add(1));
+        restore_bytes(&mut restored, &bytes).expect("restore");
+        prop_assert_eq!(save_bytes(&restored), bytes, "re-save not canonical");
+
+        for &s in &tail {
+            let mut a: Vec<Uop> = Vec::new();
+            let mut b: Vec<Uop> = Vec::new();
+            twin.emit(SERVICES[s], 20, &mut a);
+            restored.emit(SERVICES[s], 20, &mut b);
+            prop_assert_eq!(a, b, "kernel µop streams diverged");
+        }
+        prop_assert_eq!(save_bytes(&twin), save_bytes(&restored));
+    }
+
+    /// Every truncation of a scheduler snapshot errors instead of
+    /// panicking.
+    #[test]
+    fn scheduler_truncations_error_cleanly(nthreads in 1u32..6, script in arb_script(30)) {
+        let cfg = OsConfig::default();
+        let mut s = Scheduler::new(cfg, true);
+        let tids: Vec<_> = (0..nthreads).map(|_| s.spawn(Asid(1))).collect();
+        let mut now = 0u64;
+        drive(&mut s, &tids, &mut now, cfg.timeslice_cycles / 3, &script);
+        let bytes = save_bytes(&s);
+        for cut in (0..bytes.len()).step_by(17) {
+            let mut victim = Scheduler::new(cfg, true);
+            prop_assert!(restore_bytes(&mut victim, &bytes[..cut]).is_err(),
+                         "truncation at {cut} must error");
+        }
+    }
+}

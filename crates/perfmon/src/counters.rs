@@ -143,6 +143,35 @@ impl Default for CounterBank {
     }
 }
 
+impl jsmt_snapshot::Snapshotable for CounterBank {
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_usize(Event::COUNT);
+        for cpu in 0..2 {
+            for ev in 0..Event::COUNT {
+                w.put_u64(self.counts[cpu][ev]);
+            }
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        let n = r.get_usize()?;
+        if n != Event::COUNT {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "counter bank event count mismatch",
+            ));
+        }
+        for cpu in 0..2 {
+            for ev in 0..Event::COUNT {
+                self.counts[cpu][ev] = r.get_u64()?;
+            }
+        }
+        Ok(())
+    }
+}
+
 impl std::fmt::Debug for CounterBank {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut map = f.debug_map();

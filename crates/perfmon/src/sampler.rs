@@ -87,6 +87,44 @@ impl Sampler {
     }
 }
 
+impl jsmt_snapshot::Snapshotable for Sampler {
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_u64(self.interval);
+        w.put_u64(self.next_due);
+        self.last.save_state(w);
+        w.put_usize(self.samples.len());
+        for s in &self.samples {
+            w.put_u64(s.at_cycle);
+            s.delta.save_state(w);
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        let interval = r.get_u64()?;
+        if interval == 0 {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "sampler interval must be nonzero",
+            ));
+        }
+        self.interval = interval;
+        self.next_due = r.get_u64()?;
+        self.last.restore_state(r)?;
+        let n = r.get_len(8)?;
+        self.samples.clear();
+        self.samples.reserve(n.min(1 << 20));
+        for _ in 0..n {
+            let at_cycle = r.get_u64()?;
+            let mut delta = CounterBank::new();
+            delta.restore_state(r)?;
+            self.samples.push(Sample { at_cycle, delta });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,91 @@
+//! Snapshot round-trip properties for the measurement layer: for any
+//! reachable state, save → restore → save is byte-identical, and a
+//! restored component continues exactly like its uninterrupted twin.
+
+use jsmt_perfmon::{CounterBank, Event, LogicalCpu, Sampler};
+use jsmt_snapshot::{restore_bytes, save_bytes};
+use proptest::prelude::*;
+
+fn arb_lcpu() -> impl Strategy<Value = LogicalCpu> {
+    prop_oneof![Just(LogicalCpu::Lp0), Just(LogicalCpu::Lp1)]
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (0usize..Event::COUNT).prop_map(|i| Event::ALL[i])
+}
+
+proptest! {
+    /// Any counter bank round-trips to an equal bank with canonical bytes.
+    #[test]
+    fn counter_bank_round_trips(ops in prop::collection::vec((arb_lcpu(), arb_event(), 0u64..1_000_000), 0..200)) {
+        let mut bank = CounterBank::new();
+        for (cpu, ev, n) in &ops {
+            bank.add(*cpu, *ev, *n);
+        }
+        let bytes = save_bytes(&bank);
+        let mut fresh = CounterBank::new();
+        restore_bytes(&mut fresh, &bytes).expect("restore");
+        prop_assert_eq!(&fresh, &bank);
+        prop_assert_eq!(save_bytes(&fresh), bytes, "re-save not canonical");
+    }
+
+    /// A restored sampler continues tick-for-tick like its uninterrupted
+    /// twin: same samples, same next_due, including a tick landing
+    /// exactly on the restore boundary.
+    #[test]
+    fn sampler_round_trip_continues_identically(
+        interval in 1u64..50,
+        cut in 1usize..150,
+        deltas in prop::collection::vec(0u64..20, 1..200),
+    ) {
+        let mut twin = Sampler::new(interval);
+        let mut donor = Sampler::new(interval);
+        let mut bank = CounterBank::new();
+        let cut = cut.min(deltas.len());
+
+        for (cycle0, d) in deltas[..cut].iter().enumerate() {
+            bank.add(LogicalCpu::Lp0, Event::UopsRetired, *d);
+            twin.tick(cycle0 as u64 + 1, &bank);
+            donor.tick(cycle0 as u64 + 1, &bank);
+        }
+
+        // Interrupt the donor: restore into a sampler constructed with a
+        // *different* interval (interval is part of the snapshot).
+        let bytes = save_bytes(&donor);
+        let mut restored = Sampler::new(1);
+        restore_bytes(&mut restored, &bytes).expect("restore");
+        prop_assert_eq!(restored.interval(), interval);
+        prop_assert_eq!(restored.next_due(), donor.next_due());
+        prop_assert_eq!(save_bytes(&restored), bytes, "re-save not canonical");
+
+        for (i, d) in deltas[cut..].iter().enumerate() {
+            let cycle = (cut + i) as u64 + 1;
+            bank.add(LogicalCpu::Lp1, Event::L1dMisses, *d);
+            twin.tick(cycle, &bank);
+            restored.tick(cycle, &bank);
+        }
+        prop_assert_eq!(twin.samples().len(), restored.samples().len());
+        for (a, b) in twin.samples().iter().zip(restored.samples()) {
+            prop_assert_eq!(a.at_cycle, b.at_cycle);
+            prop_assert_eq!(&a.delta, &b.delta);
+        }
+        prop_assert_eq!(save_bytes(&twin), save_bytes(&restored));
+    }
+
+    /// Corrupt sampler bytes never panic: every truncation errors.
+    #[test]
+    fn sampler_truncations_error_cleanly(interval in 1u64..100, n in 0usize..10) {
+        let mut s = Sampler::new(interval);
+        let mut bank = CounterBank::new();
+        for i in 0..n {
+            bank.add(LogicalCpu::Lp0, Event::ClockCycles, 3);
+            s.force_sample(i as u64 * interval, &bank);
+        }
+        let bytes = save_bytes(&s);
+        for cut in 0..bytes.len() {
+            let mut victim = Sampler::new(1);
+            prop_assert!(restore_bytes(&mut victim, &bytes[..cut]).is_err(),
+                         "truncation at {cut} must error");
+        }
+    }
+}

@@ -180,6 +180,64 @@ impl Kernel for Compress {
     fn progress(&self) -> f64 {
         self.work.progress()
     }
+
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        use jsmt_snapshot::Snapshotable;
+        self.work.save_state(w);
+        w.put_usize(self.pos);
+        // The dictionary in deterministic (sorted) order.
+        let mut entries: Vec<(u64, u32)> = self
+            .dict
+            .iter()
+            .map(|(&(p, s), &c)| ((u64::from(p) << 8) | u64::from(s), c))
+            .collect();
+        entries.sort_unstable();
+        w.put_usize(entries.len());
+        for (k, c) in entries {
+            w.put_u64(k);
+            w.put_u32(c);
+        }
+        w.put_u32(self.next_code);
+        w.put_opt_u64(self.prefix.map(u64::from));
+        w.put_u64(self.checksum);
+        w.put_u64(self.out_codes);
+        self.lib.as_ref().expect("setup ran").save_state(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        use jsmt_snapshot::Snapshotable;
+        self.work.restore_state(r)?;
+        self.pos = r.get_usize()?;
+        if self.pos > self.input.len() {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "input position out of range",
+            ));
+        }
+        let n = r.get_len(12)?;
+        self.dict.clear();
+        for _ in 0..n {
+            let k = r.get_u64()?;
+            let c = r.get_u32()?;
+            let p = u32::try_from(k >> 8).map_err(|_| {
+                jsmt_snapshot::SnapshotError::Corrupt("dictionary prefix out of range")
+            })?;
+            self.dict.insert((p, (k & 0xFF) as u8), c);
+        }
+        self.next_code = r.get_u32()?;
+        self.prefix =
+            match r.get_opt_u64()? {
+                None => None,
+                Some(v) => Some(u32::try_from(v).map_err(|_| {
+                    jsmt_snapshot::SnapshotError::Corrupt("prefix code out of range")
+                })?),
+            };
+        self.checksum = r.get_u64()?;
+        self.out_codes = r.get_u64()?;
+        self.lib.as_mut().expect("setup ran").restore_state(r)
+    }
 }
 
 #[cfg(test)]

@@ -202,6 +202,30 @@ impl Kernel for Db {
     fn progress(&self) -> f64 {
         self.work.progress()
     }
+
+    /// The key index is invariant at runtime (it starts sorted and the
+    /// sort passes re-sort already-sorted windows), so only the meter,
+    /// RNG and accumulators are state.
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        use jsmt_snapshot::Snapshotable;
+        self.work.save_state(w);
+        self.rng.save_state(w);
+        w.put_u64(self.checksum);
+        w.put_u64(self.ops_done);
+        self.lib.as_ref().expect("setup").save_state(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        use jsmt_snapshot::Snapshotable;
+        self.work.restore_state(r)?;
+        self.rng.restore_state(r)?;
+        self.checksum = r.get_u64()?;
+        self.ops_done = r.get_u64()?;
+        self.lib.as_mut().expect("setup").restore_state(r)
+    }
 }
 
 #[cfg(test)]

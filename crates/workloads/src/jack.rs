@@ -199,6 +199,32 @@ impl Kernel for Jack {
     fn progress(&self) -> f64 {
         self.work.progress()
     }
+
+    /// The grammar is built deterministically by `new`; cursors, the RNG
+    /// and accumulators are state.
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        use jsmt_snapshot::Snapshotable;
+        self.work.save_state(w);
+        self.rng.save_state(w);
+        w.put_u64(self.out_pos);
+        w.put_opt_u64(self.pending_alloc);
+        w.put_u64(self.strings_made);
+        w.put_u64(self.checksum);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        use jsmt_snapshot::Snapshotable;
+        self.work.restore_state(r)?;
+        self.rng.restore_state(r)?;
+        self.out_pos = r.get_u64()?;
+        self.pending_alloc = r.get_opt_u64()?;
+        self.strings_made = r.get_u64()?;
+        self.checksum = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -198,6 +198,32 @@ impl Kernel for Jess {
     fn progress(&self) -> f64 {
         self.work.progress()
     }
+
+    /// The network topology is built deterministically by `setup`; only
+    /// the meter, RNG and in-flight allocation flag are state.
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        use jsmt_snapshot::Snapshotable;
+        self.work.save_state(w);
+        self.rng.save_state(w);
+        w.put_u64(self.tokens_live);
+        w.put_bool(self.pending_alloc);
+        w.put_u64(self.checksum);
+        w.put_u64(self.activations);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        use jsmt_snapshot::Snapshotable;
+        self.work.restore_state(r)?;
+        self.rng.restore_state(r)?;
+        self.tokens_live = r.get_u64()?;
+        self.pending_alloc = r.get_bool()?;
+        self.checksum = r.get_u64()?;
+        self.activations = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

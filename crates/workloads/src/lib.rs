@@ -164,6 +164,19 @@ pub trait Kernel {
 
     /// Fraction of total work completed, in `[0, 1]`.
     fn progress(&self) -> f64;
+
+    /// Serialize the kernel's mutable execution state (progress meters,
+    /// RNG streams, in-flight phase data). Input corpora and everything
+    /// else built deterministically by `new`/`setup` are reconstruction
+    /// inputs, not state, and are not written.
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer);
+
+    /// Restore state captured by [`Kernel::save_state`] into a freshly
+    /// constructed (and `setup`-initialized) twin of the same kernel.
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError>;
 }
 
 #[cfg(test)]

@@ -222,6 +222,97 @@ impl Kernel for MolDyn {
     fn progress(&self) -> f64 {
         self.work.progress()
     }
+
+    /// Positions, velocities and the per-thread force arrays are all
+    /// rewritten by the integration and must be carried bit-exactly; the
+    /// vector geometries are construction-fixed, so no lengths are
+    /// written.
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        use jsmt_snapshot::Snapshotable;
+        self.work.save_state(w);
+        for p in &self.positions {
+            for &v in p {
+                w.put_f64(v);
+            }
+        }
+        for p in &self.velocities {
+            for &v in p {
+                w.put_f64(v);
+            }
+        }
+        for per_thread in &self.forces {
+            for p in per_thread {
+                for &v in p {
+                    w.put_f64(v);
+                }
+            }
+        }
+        for &c in &self.cursor {
+            w.put_usize(c);
+        }
+        for &ph in &self.phase {
+            w.put_u8(match ph {
+                Phase::Forces => 0,
+                Phase::Update => 1,
+            });
+        }
+        self.barrier.save_state(w);
+        for &s in &self.steps_done {
+            w.put_u64(s);
+        }
+        w.put_f64(self.energy);
+        self.lib.as_ref().expect("setup").save_state(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        use jsmt_snapshot::Snapshotable;
+        self.work.restore_state(r)?;
+        for p in &mut self.positions {
+            for v in p.iter_mut() {
+                *v = r.get_f64()?;
+            }
+        }
+        for p in &mut self.velocities {
+            for v in p.iter_mut() {
+                *v = r.get_f64()?;
+            }
+        }
+        for per_thread in &mut self.forces {
+            for p in per_thread.iter_mut() {
+                for v in p.iter_mut() {
+                    *v = r.get_f64()?;
+                }
+            }
+        }
+        for c in &mut self.cursor {
+            *c = r.get_usize()?;
+            if *c > N_PARTICLES {
+                return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                    "partition cursor out of range",
+                ));
+            }
+        }
+        for ph in &mut self.phase {
+            *ph = match r.get_u8()? {
+                0 => Phase::Forces,
+                1 => Phase::Update,
+                _ => {
+                    return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                        "phase tag out of domain",
+                    ))
+                }
+            };
+        }
+        self.barrier.restore_state(r)?;
+        for s in &mut self.steps_done {
+            *s = r.get_u64()?;
+        }
+        self.energy = r.get_f64()?;
+        self.lib.as_mut().expect("setup").restore_state(r)
+    }
 }
 
 #[cfg(test)]

@@ -189,6 +189,49 @@ impl Kernel for MonteCarlo {
     fn progress(&self) -> f64 {
         self.work.progress()
     }
+
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        use jsmt_snapshot::Snapshotable;
+        self.work.save_state(w);
+        for rng in &self.rngs {
+            rng.save_state(w);
+        }
+        for &s in &self.local_sums {
+            w.put_f64(s);
+        }
+        for &m in &self.since_merge {
+            w.put_u64(m);
+        }
+        w.put_f64(self.global_sum);
+        w.put_u64(self.paths_done);
+        for &b in &self.resume_in_merge {
+            w.put_bool(b);
+        }
+        self.lib.as_ref().expect("setup").save_state(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        use jsmt_snapshot::Snapshotable;
+        self.work.restore_state(r)?;
+        for rng in &mut self.rngs {
+            rng.restore_state(r)?;
+        }
+        for s in &mut self.local_sums {
+            *s = r.get_f64()?;
+        }
+        for m in &mut self.since_merge {
+            *m = r.get_u64()?;
+        }
+        self.global_sum = r.get_f64()?;
+        self.paths_done = r.get_u64()?;
+        for b in &mut self.resume_in_merge {
+            *b = r.get_bool()?;
+        }
+        self.lib.as_mut().expect("setup").restore_state(r)
+    }
 }
 
 #[cfg(test)]

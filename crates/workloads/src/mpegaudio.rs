@@ -146,6 +146,51 @@ impl Kernel for MpegAudio {
     fn progress(&self) -> f64 {
         self.work.progress()
     }
+
+    /// The synthesis window is invariant; the FIFO is rewritten at
+    /// runtime and must be carried (exactly, via bit patterns).
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        use jsmt_snapshot::Snapshotable;
+        self.work.save_state(w);
+        self.rng.save_state(w);
+        w.put_f64_slice(&self.fifo);
+        w.put_usize(self.fifo_pos);
+        w.put_usize(self.subband_cursor);
+        w.put_f64(self.accum);
+        w.put_u64(self.frames_done);
+        self.lib.as_ref().expect("setup").save_state(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        use jsmt_snapshot::Snapshotable;
+        self.work.restore_state(r)?;
+        self.rng.restore_state(r)?;
+        let fifo = r.get_f64_vec()?;
+        if fifo.len() != self.fifo.len() {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "FIFO length mismatch",
+            ));
+        }
+        self.fifo = fifo;
+        self.fifo_pos = r.get_usize()?;
+        if self.fifo_pos >= self.fifo.len() {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "FIFO position out of range",
+            ));
+        }
+        self.subband_cursor = r.get_usize()?;
+        if self.subband_cursor >= SUBBANDS {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "subband cursor out of range",
+            ));
+        }
+        self.accum = r.get_f64()?;
+        self.frames_done = r.get_u64()?;
+        self.lib.as_mut().expect("setup").restore_state(r)
+    }
 }
 
 #[cfg(test)]

@@ -268,6 +268,51 @@ impl Kernel for PseudoJbb {
     fn progress(&self) -> f64 {
         self.work.progress()
     }
+
+    /// The stock indexes are invariant (built by `new`, only probed at
+    /// runtime); the meters, RNG streams and monitor bookkeeping are
+    /// state.
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        use jsmt_snapshot::Snapshotable;
+        self.work.save_state(w);
+        for rng in &self.rngs {
+            rng.save_state(w);
+        }
+        for &p in &self.pending_alloc {
+            w.put_opt_u64(p);
+        }
+        for &b in &self.resume_in_company {
+            w.put_bool(b);
+        }
+        for &s in &self.since_company {
+            w.put_u64(s);
+        }
+        w.put_u64(self.tx_done);
+        w.put_u64(self.checksum);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        use jsmt_snapshot::Snapshotable;
+        self.work.restore_state(r)?;
+        for rng in &mut self.rngs {
+            rng.restore_state(r)?;
+        }
+        for p in &mut self.pending_alloc {
+            *p = r.get_opt_u64()?;
+        }
+        for b in &mut self.resume_in_company {
+            *b = r.get_bool()?;
+        }
+        for s in &mut self.since_company {
+            *s = r.get_u64()?;
+        }
+        self.tx_done = r.get_u64()?;
+        self.checksum = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -293,6 +293,88 @@ impl Kernel for RayTracer {
     fn progress(&self) -> f64 {
         self.rows_done as f64 / self.rows_total as f64
     }
+
+    /// The private scene copies are heap objects allocated at *runtime*
+    /// (not by `setup`), so their base addresses are state and must be
+    /// carried.
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        use jsmt_snapshot::Snapshotable;
+        self.work.save_state(w);
+        for &b in &self.copy_bases {
+            w.put_u64(b);
+        }
+        for &d in &self.copy_done {
+            w.put_bool(d);
+        }
+        w.put_u64(self.next_row);
+        w.put_u64(self.rows_done);
+        for &row in &self.cur_row {
+            w.put_opt_u64(row);
+        }
+        for &col in &self.cur_col {
+            w.put_usize(col);
+        }
+        for &b in &self.resume_in_dispatch {
+            w.put_bool(b);
+        }
+        for &b in &self.pending_copy_alloc {
+            w.put_bool(b);
+        }
+        for &b in &self.holding_cs {
+            w.put_bool(b);
+        }
+        for &b in &self.finish_after_release {
+            w.put_bool(b);
+        }
+        w.put_u64(self.checksum);
+        self.lib.as_ref().expect("setup").save_state(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        use jsmt_snapshot::Snapshotable;
+        self.work.restore_state(r)?;
+        for b in &mut self.copy_bases {
+            *b = r.get_u64()?;
+        }
+        for d in &mut self.copy_done {
+            *d = r.get_bool()?;
+        }
+        self.next_row = r.get_u64()?;
+        if self.next_row > self.rows_total {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "row counter out of range",
+            ));
+        }
+        self.rows_done = r.get_u64()?;
+        for row in &mut self.cur_row {
+            *row = r.get_opt_u64()?;
+        }
+        for col in &mut self.cur_col {
+            *col = r.get_usize()?;
+            if *col > WIDTH {
+                return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                    "column cursor out of range",
+                ));
+            }
+        }
+        for b in &mut self.resume_in_dispatch {
+            *b = r.get_bool()?;
+        }
+        for b in &mut self.pending_copy_alloc {
+            *b = r.get_bool()?;
+        }
+        for b in &mut self.holding_cs {
+            *b = r.get_bool()?;
+        }
+        for b in &mut self.finish_after_release {
+            *b = r.get_bool()?;
+        }
+        self.checksum = r.get_u64()?;
+        self.lib.as_mut().expect("setup").restore_state(r)
+    }
 }
 
 #[cfg(test)]

@@ -93,6 +93,19 @@ impl BenchmarkId {
             .find(|b| b.name().eq_ignore_ascii_case(s))
     }
 
+    /// Stable small-integer tag for snapshots (position in [`Self::ALL`]).
+    pub fn tag(self) -> u8 {
+        Self::ALL
+            .iter()
+            .position(|&b| b == self)
+            .expect("every benchmark is in ALL") as u8
+    }
+
+    /// Inverse of [`Self::tag`]; `None` for out-of-range tags.
+    pub fn from_tag(tag: u8) -> Option<BenchmarkId> {
+        Self::ALL.get(tag as usize).copied()
+    }
+
     /// Whether the benchmark accepts a thread-count parameter.
     pub fn is_multithreaded(self) -> bool {
         Self::MULTITHREADED.contains(&self)

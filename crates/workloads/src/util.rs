@@ -142,6 +142,82 @@ impl WorkMeter {
     }
 }
 
+impl jsmt_snapshot::Snapshotable for Rng {
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_u64(self.state);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        self.state = r.get_u64()?;
+        Ok(())
+    }
+}
+
+impl jsmt_snapshot::Snapshotable for Barrier {
+    /// `parties` is a construction input; the parked set and generation
+    /// counter are state.
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_usize(self.waiting.len());
+        for &tid in &self.waiting {
+            w.put_usize(tid);
+        }
+        w.put_u64(self.generations);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        let n = r.get_len(8)?;
+        if n >= self.parties {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "barrier holds more waiters than parties",
+            ));
+        }
+        self.waiting.clear();
+        for _ in 0..n {
+            let tid = r.get_usize()?;
+            if tid >= self.parties {
+                return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                    "barrier waiter index out of range",
+                ));
+            }
+            self.waiting.push(tid);
+        }
+        self.generations = r.get_u64()?;
+        Ok(())
+    }
+}
+
+impl jsmt_snapshot::Snapshotable for WorkMeter {
+    /// The thread count and per-thread quota are construction inputs.
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_u64_slice(&self.done);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        let done = r.get_u64_vec()?;
+        if done.len() != self.done.len() {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "work meter thread count mismatch",
+            ));
+        }
+        if done.iter().any(|&d| d > self.per_thread) {
+            return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                "work meter progress exceeds quota",
+            ));
+        }
+        self.done = done;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +313,20 @@ impl LibCode {
         ctx.call(m);
         ctx.alu(work);
         ctx.branch(true, true);
+    }
+
+    /// Serialize the stride cursor (the method list is rebuilt by setup).
+    pub fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_usize(self.cursor);
+    }
+
+    /// Restore the stride cursor.
+    pub fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        self.cursor = r.get_usize()?;
+        Ok(())
     }
 
     /// Total registered library code bytes.

@@ -78,6 +78,50 @@ fn fast_forward_toggle_is_bit_identical_at_system_level() {
     }
 }
 
+/// Checkpoint/resume is part of the reproducibility contract: running a
+/// system straight through must be indistinguishable from checkpointing
+/// it halfway, resuming in a "fresh process" (a new `System` built from
+/// the same config), and finishing there.
+#[test]
+fn checkpoint_resume_is_bit_identical_to_a_straight_run() {
+    let cfg = || {
+        SystemConfig::p4(true)
+            .with_seed(1)
+            .with_max_cycles(600_000_000)
+    };
+    let specs = || {
+        [
+            WorkloadSpec::threaded(BenchmarkId::MonteCarlo, 2).with_scale(0.02),
+            WorkloadSpec::single(BenchmarkId::Jess).with_scale(0.02),
+        ]
+    };
+    let straight = {
+        let mut sys = System::new(cfg());
+        for s in specs() {
+            sys.add_process(s);
+        }
+        sys.run_to_completion()
+    };
+    let resumed = {
+        let mut sys = System::new(cfg());
+        for s in specs() {
+            sys.add_process(s);
+        }
+        sys.run_cycles(straight.cycles / 2);
+        let bytes = sys.checkpoint();
+        let mut sys = System::resume(cfg(), &bytes).expect("resume");
+        sys.run_to_completion()
+    };
+    assert_eq!(straight.cycles, resumed.cycles);
+    assert_eq!(straight.bank, resumed.bank, "counter banks diverged");
+    assert_eq!(straight.metrics.instructions, resumed.metrics.instructions);
+    for (a, b) in straight.processes.iter().zip(&resumed.processes) {
+        assert_eq!(a.completions, b.completions);
+        assert_eq!(a.completion_cycles, b.completion_cycles);
+        assert_eq!(a.gc_count, b.gc_count);
+    }
+}
+
 #[test]
 fn reports_are_stable_across_report_calls() {
     let mut sys = System::new(SystemConfig::p4(true).with_max_cycles(600_000_000));

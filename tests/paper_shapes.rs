@@ -153,6 +153,102 @@ fn fig12_two_threads_saturate_the_machine() {
     }
 }
 
+/// Extension ablation: the L2 streaming prefetcher must do its job at
+/// quick scale — fewer L2 misses, and IPC at worst unchanged for most
+/// of the multithreaded suite.
+#[test]
+fn ablation_prefetch_reduces_l2_misses() {
+    let engine = exp::Engine::new(exp::Parallelism::Threads(4));
+    let points = exp::ablation_prefetch_on(&engine, &ctx());
+    assert_eq!(points.len(), BenchmarkId::MULTITHREADED.len());
+    let fewer_misses = points
+        .iter()
+        .filter(|p| p.l2_mpki_on < p.l2_mpki_off)
+        .count();
+    let ipc_held = points
+        .iter()
+        .filter(|p| p.ipc_on >= p.ipc_off * 0.98)
+        .count();
+    assert!(
+        fewer_misses >= 3,
+        "prefetcher must cut L2 MPKI for most benchmarks: {fewer_misses}/{}",
+        points.len()
+    );
+    assert!(
+        ipc_held >= 3,
+        "prefetcher must not tank IPC: held for {ipc_held}/{}",
+        points.len()
+    );
+}
+
+/// Extension ablation: the background JIT compiler thread actually
+/// compiles, and moving compilation off the critical path never turns
+/// into a free lunch — the sibling context it occupies and the longer
+/// interpreted window cost cycles for most single-threaded programs.
+#[test]
+fn ablation_jit_background_compiler_is_visible() {
+    let engine = exp::Engine::new(exp::Parallelism::Threads(4));
+    let points = exp::ablation_jit_on(&engine, &ctx());
+    assert_eq!(points.len(), BenchmarkId::SINGLE_THREADED.len());
+    let compiled: u64 = points.iter().map(|p| p.compiles).sum();
+    assert!(compiled > 0, "background compiler must compile something");
+    let changed = points
+        .iter()
+        .filter(|p| p.cycles_background != p.cycles_instant)
+        .count();
+    assert!(
+        changed >= 5,
+        "background JIT must perturb most runs: {changed}/{}",
+        points.len()
+    );
+}
+
+/// The paper's concluding claim at quick scale: solo trace-cache MPKI
+/// predicts pairing quality. On a 4-benchmark subgrid mixing friendly
+/// (compress, mpegaudio) and hostile (jack, javac) programs, the
+/// predictor's ranking must anti-correlate with measured combined
+/// speedup.
+#[test]
+fn pairing_prediction_ranks_pairs_from_solo_profiles() {
+    let c = ctx();
+    let benchmarks = vec![
+        BenchmarkId::Compress,
+        BenchmarkId::Mpegaudio,
+        BenchmarkId::Jack,
+        BenchmarkId::Javac,
+    ];
+    let solos: Vec<u64> = benchmarks
+        .iter()
+        .map(|&b| exp::solo_baseline_cycles(b, &c))
+        .collect();
+    let outcomes: Vec<Vec<_>> = benchmarks
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            benchmarks
+                .iter()
+                .enumerate()
+                .map(|(j, &b)| exp::run_pair(a, b, solos[i], solos[j], &c))
+                .collect()
+        })
+        .collect();
+    let grid = exp::PairGrid {
+        benchmarks,
+        outcomes,
+    };
+    let p = exp::pairing_prediction(&grid, &c);
+    assert!(
+        p.rank_corr < -0.2,
+        "solo TC profiles must anti-correlate with combined speedup: rho={:.3}",
+        p.rank_corr
+    );
+    assert!(
+        p.worst_quartile_hit_rate >= 0.25,
+        "predictor must find some of the worst pairs: hit rate {:.2}",
+        p.worst_quartile_hit_rate
+    );
+}
+
 /// §4.2: pairs involving the paper's bad partners (jack, javac, jess)
 /// achieve lower *combined* speedups — the quantity Figures 8 and 9
 /// plot — than pairs of well-behaved programs.

@@ -19,7 +19,7 @@ use std::path::Path;
 
 use jsmt_core::bisect::{bisect_divergence, render_bisect, Variant};
 use jsmt_core::experiments::{self as exp, Engine, ExperimentCtx, MpkiKind, Parallelism};
-use jsmt_core::SystemConfig;
+use jsmt_core::{ErrorKind, JsmtError, SystemConfig};
 use jsmt_workloads::BenchmarkId;
 
 /// All experiment names, in paper order. `pairing-suite` renders
@@ -86,10 +86,66 @@ impl Default for BisectOpts {
     }
 }
 
+/// Supervised-execution options (`--supervised` and friends).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuperOpts {
+    /// `--supervised`: run the grid under the hardened supervisor
+    /// (per-cell panic isolation, retries, watchdogs, partial results).
+    pub enabled: bool,
+    /// `--retries N`: re-runs granted after a failed cell attempt.
+    pub retries: u32,
+    /// `--deadline-secs N`: wall-clock budget per cell attempt (0 =
+    /// none).
+    pub deadline_secs: u64,
+    /// `--livelock-cycles N`: forward-progress watchdog threshold (0 =
+    /// off).
+    pub livelock_cycles: u64,
+    /// `--cell-checkpoint-every N`: crash-tail checkpoint interval in
+    /// machine cycles (0 = off).
+    pub cell_checkpoint_every: u64,
+    /// `--bundle-dir PATH`: where failed cells write crash-repro
+    /// bundles.
+    pub bundle_dir: Option<String>,
+    /// `--manifest PATH`: where to write the failure-manifest CSV.
+    pub manifest: Option<String>,
+    /// `--faults SPEC`: fault plan to arm (overrides `JSMT_FAULTS`).
+    pub faults: Option<String>,
+}
+
+impl Default for SuperOpts {
+    fn default() -> Self {
+        SuperOpts {
+            enabled: false,
+            retries: 1,
+            deadline_secs: 0,
+            livelock_cycles: 2_000_000,
+            cell_checkpoint_every: 0,
+            bundle_dir: None,
+            manifest: None,
+            faults: None,
+        }
+    }
+}
+
+impl SuperOpts {
+    /// The supervisor policy these options describe.
+    pub fn cfg(&self) -> exp::SupervisorCfg {
+        exp::SupervisorCfg {
+            retries: self.retries,
+            deadline: (self.deadline_secs > 0)
+                .then(|| std::time::Duration::from_secs(self.deadline_secs)),
+            livelock_cycles: self.livelock_cycles,
+            checkpoint_every: self.cell_checkpoint_every,
+            bundle_dir: self.bundle_dir.as_ref().map(std::path::PathBuf::from),
+        }
+    }
+}
+
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cli {
-    /// Experiment name (one of [`EXPERIMENTS`] or `all`).
+    /// Experiment name (one of [`EXPERIMENTS`], `all`, or
+    /// `replay-crash`).
     pub experiment: String,
     /// Experiment parameters.
     pub ctx: ExperimentCtx,
@@ -108,6 +164,10 @@ pub struct Cli {
     pub checkpoint_every: usize,
     /// `bisect-divergence` parameters.
     pub bisect: BisectOpts,
+    /// Supervised-execution options.
+    pub supervise: SuperOpts,
+    /// Crash-bundle path of the `replay-crash` subcommand.
+    pub bundle: Option<String>,
 }
 
 impl Cli {
@@ -121,12 +181,18 @@ impl Cli {
     }
 }
 
+fn cli_err(msg: impl Into<String>) -> JsmtError {
+    JsmtError::new(ErrorKind::Cli, msg)
+}
+
 /// Parse arguments (without the program name).
 ///
 /// # Errors
 ///
-/// Returns a usage string on unknown flags or experiments.
-pub fn parse_args(args: &[String]) -> Result<Cli, String> {
+/// Returns [`ErrorKind::Cli`] on unknown flags, experiments, or
+/// malformed values, and [`ErrorKind::Config`] when the experiment
+/// parameters are out of range (non-finite scale, zero repeats).
+pub fn parse_args(args: &[String]) -> Result<Cli, JsmtError> {
     let mut ctx = ExperimentCtx::default();
     let mut experiment: Option<String> = None;
     let mut csv = false;
@@ -135,35 +201,107 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut resume = false;
     let mut checkpoint_every = 8usize;
     let mut bisect = BisectOpts::default();
+    let mut supervise = SuperOpts::default();
+    let mut bundle: Option<String> = None;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => ctx = ExperimentCtx::quick(),
             "--full" => ctx = ExperimentCtx::full(),
             "--csv" => csv = true,
+            "--supervised" => supervise.enabled = true,
             "--jobs" => {
-                let v = it.next().ok_or("--jobs needs a value")?;
-                jobs = Some(v.parse::<usize>().map_err(|e| format!("bad --jobs: {e}"))?);
+                let v = it.next().ok_or_else(|| cli_err("--jobs needs a value"))?;
+                jobs = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| cli_err(format!("bad --jobs: {e}")))?,
+                );
             }
             "--checkpoint" => {
-                checkpoint = Some(it.next().ok_or("--checkpoint needs a path")?.clone());
+                checkpoint = Some(
+                    it.next()
+                        .ok_or_else(|| cli_err("--checkpoint needs a path"))?
+                        .clone(),
+                );
             }
             "--resume" => {
-                checkpoint = Some(it.next().ok_or("--resume needs a path")?.clone());
+                checkpoint = Some(
+                    it.next()
+                        .ok_or_else(|| cli_err("--resume needs a path"))?
+                        .clone(),
+                );
                 resume = true;
             }
             "--checkpoint-every" => {
-                let v = it.next().ok_or("--checkpoint-every needs a value")?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| cli_err("--checkpoint-every needs a value"))?;
                 checkpoint_every = v
                     .parse::<usize>()
-                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?
+                    .map_err(|e| cli_err(format!("bad --checkpoint-every: {e}")))?
                     .max(1);
+            }
+            "--retries" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| cli_err("--retries needs a value"))?;
+                supervise.retries = v
+                    .parse::<u32>()
+                    .map_err(|e| cli_err(format!("bad --retries: {e}")))?;
+            }
+            "--deadline-secs" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| cli_err("--deadline-secs needs a value"))?;
+                supervise.deadline_secs = v
+                    .parse::<u64>()
+                    .map_err(|e| cli_err(format!("bad --deadline-secs: {e}")))?;
+            }
+            "--livelock-cycles" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| cli_err("--livelock-cycles needs a value"))?;
+                supervise.livelock_cycles = v
+                    .parse::<u64>()
+                    .map_err(|e| cli_err(format!("bad --livelock-cycles: {e}")))?;
+            }
+            "--cell-checkpoint-every" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| cli_err("--cell-checkpoint-every needs a value"))?;
+                supervise.cell_checkpoint_every = v
+                    .parse::<u64>()
+                    .map_err(|e| cli_err(format!("bad --cell-checkpoint-every: {e}")))?;
+            }
+            "--bundle-dir" => {
+                supervise.bundle_dir = Some(
+                    it.next()
+                        .ok_or_else(|| cli_err("--bundle-dir needs a path"))?
+                        .clone(),
+                );
+            }
+            "--manifest" => {
+                supervise.manifest = Some(
+                    it.next()
+                        .ok_or_else(|| cli_err("--manifest needs a path"))?
+                        .clone(),
+                );
+            }
+            "--faults" => {
+                supervise.faults = Some(
+                    it.next()
+                        .ok_or_else(|| cli_err("--faults needs a spec"))?
+                        .clone(),
+                );
             }
             "--a" | "--b" => {
                 let flag = arg.as_str();
-                let v = it.next().ok_or_else(|| format!("{flag} needs a variant"))?;
-                let variant = Variant::parse(v)
-                    .ok_or_else(|| format!("bad {flag} '{v}' (fastfwd | no-fastfwd | seed=N)"))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| cli_err(format!("{flag} needs a variant")))?;
+                let variant = Variant::parse(v).ok_or_else(|| {
+                    cli_err(format!("bad {flag} '{v}' (fastfwd | no-fastfwd | seed=N)"))
+                })?;
                 if flag == "--a" {
                     bisect.a = variant;
                 } else {
@@ -171,54 +309,98 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                 }
             }
             "--bench" => {
-                let v = it.next().ok_or("--bench needs a benchmark name")?;
-                bisect.bench =
-                    BenchmarkId::parse(v).ok_or_else(|| format!("unknown benchmark '{v}'"))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| cli_err("--bench needs a benchmark name"))?;
+                bisect.bench = BenchmarkId::parse(v)
+                    .ok_or_else(|| cli_err(format!("unknown benchmark '{v}'")))?;
             }
             "--horizon" => {
-                let v = it.next().ok_or("--horizon needs a value")?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| cli_err("--horizon needs a value"))?;
                 bisect.horizon = v
                     .parse::<u64>()
-                    .map_err(|e| format!("bad --horizon: {e}"))?;
+                    .map_err(|e| cli_err(format!("bad --horizon: {e}")))?;
             }
             "--stride" => {
-                let v = it.next().ok_or("--stride needs a value")?;
+                let v = it.next().ok_or_else(|| cli_err("--stride needs a value"))?;
                 bisect.stride = v
                     .parse::<u64>()
-                    .map_err(|e| format!("bad --stride: {e}"))?
+                    .map_err(|e| cli_err(format!("bad --stride: {e}")))?
                     .max(1);
             }
             "--scale" => {
-                let v = it.next().ok_or("--scale needs a value")?;
-                ctx.scale = v.parse::<f64>().map_err(|e| format!("bad --scale: {e}"))?;
+                let v = it.next().ok_or_else(|| cli_err("--scale needs a value"))?;
+                ctx.scale = v
+                    .parse::<f64>()
+                    .map_err(|e| cli_err(format!("bad --scale: {e}")))?;
             }
             "--repeats" => {
-                let v = it.next().ok_or("--repeats needs a value")?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| cli_err("--repeats needs a value"))?;
                 ctx.repeats = v
                     .parse::<u64>()
-                    .map_err(|e| format!("bad --repeats: {e}"))?;
+                    .map_err(|e| cli_err(format!("bad --repeats: {e}")))?;
             }
             "--seed" => {
-                let v = it.next().ok_or("--seed needs a value")?;
-                ctx.seed = v.parse::<u64>().map_err(|e| format!("bad --seed: {e}"))?;
+                let v = it.next().ok_or_else(|| cli_err("--seed needs a value"))?;
+                ctx.seed = v
+                    .parse::<u64>()
+                    .map_err(|e| cli_err(format!("bad --seed: {e}")))?;
             }
-            name if !name.starts_with('-') => {
-                if experiment.is_some() {
-                    return Err(format!("unexpected extra argument: {name}"));
+            name if !name.starts_with('-') => match &experiment {
+                None => experiment = Some(name.to_string()),
+                Some(cmd) if cmd == "replay-crash" && bundle.is_none() => {
+                    bundle = Some(name.to_string());
                 }
-                experiment = Some(name.to_string());
-            }
-            other => return Err(format!("unknown flag: {other}")),
+                Some(_) => return Err(cli_err(format!("unexpected extra argument: {name}"))),
+            },
+            other => return Err(cli_err(format!("unknown flag: {other}"))),
         }
     }
-    let experiment = experiment.ok_or_else(usage)?;
-    if experiment != "all" && !EXPERIMENTS.contains(&experiment.as_str()) {
-        return Err(format!("unknown experiment '{experiment}'\n{}", usage()));
+    let experiment = experiment.ok_or_else(|| cli_err(usage()))?;
+    if experiment == "replay-crash" {
+        if bundle.is_none() {
+            return Err(cli_err("replay-crash needs a bundle path"));
+        }
+    } else if experiment != "all" && !EXPERIMENTS.contains(&experiment.as_str()) {
+        return Err(cli_err(format!(
+            "unknown experiment '{experiment}'\n{}",
+            usage()
+        )));
     }
     if checkpoint.is_some() && !CHECKPOINTABLE.contains(&experiment.as_str()) {
-        return Err(format!(
+        return Err(cli_err(format!(
             "--checkpoint/--resume only applies to the pairing-grid experiments ({})",
             CHECKPOINTABLE.join(" ")
+        )));
+    }
+    if supervise.enabled && !CHECKPOINTABLE.contains(&experiment.as_str()) {
+        return Err(cli_err(format!(
+            "--supervised only applies to the pairing-grid experiments ({})",
+            CHECKPOINTABLE.join(" ")
+        )));
+    }
+    if supervise.enabled && checkpoint.is_some() {
+        return Err(cli_err(
+            "--supervised and --checkpoint/--resume are mutually exclusive",
+        ));
+    }
+    if !ctx.scale.is_finite() || ctx.scale <= 0.0 {
+        return Err(JsmtError::new(
+            ErrorKind::Config,
+            format!(
+                "--scale must be a finite positive number, got {}",
+                ctx.scale
+            ),
+        ));
+    }
+    if ctx.repeats == 0 {
+        return Err(JsmtError::new(
+            ErrorKind::Config,
+            "--repeats must be at least 1",
         ));
     }
     Ok(Cli {
@@ -230,6 +412,8 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
         resume,
         checkpoint_every,
         bisect,
+        supervise,
+        bundle,
     })
 }
 
@@ -237,7 +421,11 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
 pub fn usage() -> String {
     format!(
         "usage: repro [--quick|--full] [--csv] [--scale X] [--repeats N] [--seed S] [--jobs N]\n\
-         \x20            [--checkpoint PATH | --resume PATH] [--checkpoint-every N] <experiment>\n\
+         \x20            [--checkpoint PATH | --resume PATH] [--checkpoint-every N]\n\
+         \x20            [--supervised [--retries N] [--deadline-secs N] [--livelock-cycles N]\n\
+         \x20             [--cell-checkpoint-every N] [--bundle-dir DIR] [--manifest PATH]\n\
+         \x20             [--faults SPEC]] <experiment>\n\
+         \x20      repro replay-crash <bundle.crash>\n\
          experiments: {} all\n\
          --jobs N fans independent simulations over N worker threads (0/1 = serial;\n\
          default: JSMT_JOBS or all cores). Results are bit-identical at any job count.\n\
@@ -245,6 +433,14 @@ pub fn usage() -> String {
          are flushed to PATH every --checkpoint-every N cells (default 8) and a rerun\n\
          resumes from them, emitting bit-identical output. --resume PATH additionally\n\
          requires the file to exist already.\n\
+         --supervised runs the pairing-grid experiments under the hardened supervisor:\n\
+         a panicking, livelocked or over-deadline cell is isolated, retried --retries\n\
+         times (default 1), and on final failure recorded in the --manifest CSV with a\n\
+         crash-repro bundle in --bundle-dir; surviving cells render normally (exit 3\n\
+         when any cell failed). --faults SPEC (or JSMT_FAULTS) arms the deterministic\n\
+         fault-injection plan, e.g. 'panic,component=system,cycle=5000,scope=pair-grid/db+jack'.\n\
+         replay-crash <bundle.crash> re-executes a recorded failure deterministically\n\
+         and exits 0 when it reproduces.\n\
          bisect-divergence [--a V] [--b V] [--bench NAME] [--horizon N] [--stride N]\n\
          replays two variants (fastfwd | no-fastfwd | seed=N) in lockstep and reports\n\
          the first cycle at which their machine states diverge.",
@@ -385,8 +581,9 @@ pub fn render_grid_experiment(
 ///
 /// # Errors
 ///
-/// Returns a message when the checkpoint file is corrupt, was taken
-/// with different experiment parameters, or cannot be written.
+/// Returns a typed [`JsmtError`] when the checkpoint file is corrupt,
+/// was taken with different experiment parameters, or cannot be
+/// written.
 pub fn run_experiment_ckpt(
     engine: &Engine,
     name: &str,
@@ -394,11 +591,86 @@ pub fn run_experiment_ckpt(
     csv: bool,
     path: &Path,
     every: usize,
-) -> Result<String, String> {
+) -> Result<String, JsmtError> {
     let grid = exp::pair_matrix_ckpt(engine, ctx, path, every, None)
-        .map_err(|e| e.to_string())?
-        .expect("a run without a cell budget completes the grid");
+        .map_err(|e| JsmtError::from(e).context(format!("checkpoint '{}'", path.display())))?
+        .ok_or_else(|| {
+            JsmtError::new(
+                ErrorKind::Experiment,
+                "checkpointed run stopped with grid cells still pending",
+            )
+        })?;
     Ok(render_grid_experiment(name, &grid, ctx, csv))
+}
+
+/// Outcome of a supervised pairing-grid run.
+#[derive(Debug, Clone)]
+pub struct SupervisedOutcome {
+    /// Rendered experiment output: the normal rendering when every cell
+    /// survived, otherwise the partial-results CSV (healthy rows only,
+    /// byte-identical to the corresponding rows of a clean run).
+    pub output: String,
+    /// Failure manifest CSV (header only when the run was clean).
+    pub manifest: String,
+    /// Per-cell failure records, in grid order.
+    pub failures: Vec<exp::CellFailure>,
+}
+
+/// Run a pairing-grid experiment under the hardened supervisor: cells
+/// that panic, livelock, or overrun the deadline are isolated, retried
+/// per `cfg`, and reported in the manifest instead of aborting the
+/// grid. A clean supervised run renders byte-identically to
+/// [`run_experiment_on`].
+pub fn run_experiment_supervised(
+    engine: &Engine,
+    name: &str,
+    ctx: &ExperimentCtx,
+    csv: bool,
+    cfg: &exp::SupervisorCfg,
+) -> SupervisedOutcome {
+    let sg = exp::pair_matrix_supervised(engine, ctx, cfg);
+    let manifest = sg.manifest_csv();
+    if sg.is_complete() {
+        let grid = sg.into_grid();
+        SupervisedOutcome {
+            output: render_grid_experiment(name, &grid, ctx, csv),
+            manifest,
+            failures: Vec::new(),
+        }
+    } else {
+        // The paper-style renderings need every cell; degrade to the
+        // machine-readable partial CSV so surviving work is not lost.
+        SupervisedOutcome {
+            output: sg.csv(),
+            manifest,
+            failures: sg.failures,
+        }
+    }
+}
+
+/// Replay a crash-repro bundle and render a human-readable report.
+/// Returns the report text and whether the recorded failure reproduced.
+///
+/// # Errors
+///
+/// Returns a typed [`JsmtError`] when the bundle cannot be read,
+/// decoded, or describes a cell this binary cannot reconstruct.
+pub fn run_replay_crash(path: &Path) -> Result<(String, bool), JsmtError> {
+    let bundle = exp::CrashBundle::load(path)?;
+    let mut out = bundle.summary();
+    let report = bundle.replay()?;
+    match &report.observed {
+        Some(f) => {
+            out.push_str(&format!("replay observed: {f}\n"));
+        }
+        None => out.push_str("replay observed: cell completed without failing\n"),
+    }
+    out.push_str(if report.reproduced {
+        "verdict: REPRODUCED\n"
+    } else {
+        "verdict: NOT REPRODUCED\n"
+    });
+    Ok((out, report.reproduced))
 }
 
 /// Run the differential-replay bisection with the paper machine as the
@@ -580,5 +852,76 @@ mod tests {
         for e in EXPERIMENTS {
             assert!(parse_args(&s(&[e])).is_ok(), "{e}");
         }
+    }
+
+    #[test]
+    fn supervised_flags_parse() {
+        let cli = parse_args(&s(&[
+            "--supervised",
+            "--retries",
+            "2",
+            "--deadline-secs",
+            "30",
+            "--livelock-cycles",
+            "500000",
+            "--cell-checkpoint-every",
+            "10000",
+            "--bundle-dir",
+            "crashes",
+            "--manifest",
+            "failures.csv",
+            "--faults",
+            "panic,component=gc,cycle=100",
+            "fig8",
+        ]))
+        .unwrap();
+        assert!(cli.supervise.enabled);
+        assert_eq!(cli.supervise.retries, 2);
+        assert_eq!(cli.supervise.deadline_secs, 30);
+        assert_eq!(cli.supervise.livelock_cycles, 500_000);
+        assert_eq!(cli.supervise.cell_checkpoint_every, 10_000);
+        assert_eq!(cli.supervise.bundle_dir.as_deref(), Some("crashes"));
+        assert_eq!(cli.supervise.manifest.as_deref(), Some("failures.csv"));
+        assert_eq!(
+            cli.supervise.faults.as_deref(),
+            Some("panic,component=gc,cycle=100")
+        );
+        let cfg = cli.supervise.cfg();
+        assert_eq!(cfg.retries, 2);
+        assert_eq!(cfg.deadline, Some(std::time::Duration::from_secs(30)));
+
+        // Supervision is grid-only and incompatible with --checkpoint.
+        assert!(parse_args(&s(&["--supervised", "fig1"])).is_err());
+        assert!(parse_args(&s(&["--supervised", "--checkpoint", "x.ck", "fig8"])).is_err());
+    }
+
+    #[test]
+    fn replay_crash_takes_a_bundle_path() {
+        let cli = parse_args(&s(&["replay-crash", "crashes/pair-grid-db+jack.crash"])).unwrap();
+        assert_eq!(cli.experiment, "replay-crash");
+        assert_eq!(
+            cli.bundle.as_deref(),
+            Some("crashes/pair-grid-db+jack.crash")
+        );
+        // The bundle path is mandatory, and only one is accepted.
+        assert!(parse_args(&s(&["replay-crash"])).is_err());
+        assert!(parse_args(&s(&["replay-crash", "a.crash", "b.crash"])).is_err());
+    }
+
+    #[test]
+    fn out_of_range_parameters_are_config_errors() {
+        for bad in [
+            &["--scale", "0", "fig1"][..],
+            &["--scale", "-1.5", "fig1"],
+            &["--scale", "inf", "fig1"],
+            &["--scale", "NaN", "fig1"],
+            &["--repeats", "0", "fig1"],
+        ] {
+            let err = parse_args(&s(bad)).unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::Config, "{bad:?}");
+        }
+        // Unknown flags stay CLI errors.
+        let err = parse_args(&s(&["--bogus", "fig1"])).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Cli);
     }
 }

@@ -1,59 +1,129 @@
 //! The `repro` binary: regenerate any table or figure of the paper.
+//!
+//! Exit codes: 0 = success, 1 = runtime error (or a `replay-crash`
+//! that did not reproduce), 2 = usage error, 3 = supervised run
+//! completed with failed cells (partial results were emitted).
 
 use jsmt_bench::{
-    parse_args, run_all_on, run_bisect, run_experiment_ckpt, run_experiment_on, usage,
+    parse_args, run_all_on, run_bisect, run_experiment_ckpt, run_experiment_on,
+    run_experiment_supervised, run_replay_crash, usage, Cli,
 };
 use jsmt_core::experiments::Engine;
+use jsmt_core::JsmtError;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match parse_args(&args) {
-        Ok(cli) => {
-            let engine = Engine::new(cli.parallelism());
-            eprintln!(
-                "# jsmt repro: experiment={} scale={} repeats={} seed={:#x} parallelism={:?}",
-                cli.experiment,
-                cli.ctx.scale,
-                cli.ctx.repeats,
-                cli.ctx.seed,
-                engine.parallelism()
-            );
-            let out = if cli.experiment == "all" {
-                run_all_on(&engine, &cli.ctx)
-            } else if cli.experiment == "bisect-divergence" {
-                run_bisect(&cli.bisect, &cli.ctx)
-            } else if let Some(path) = &cli.checkpoint {
-                let path = std::path::Path::new(path);
-                if cli.resume && !path.exists() {
-                    eprintln!("--resume: no such checkpoint: {}", path.display());
-                    std::process::exit(2);
-                }
-                match run_experiment_ckpt(
-                    &engine,
-                    &cli.experiment,
-                    &cli.ctx,
-                    cli.csv,
-                    path,
-                    cli.checkpoint_every,
-                ) {
-                    Ok(out) => out,
-                    Err(e) => {
-                        eprintln!("{e}");
-                        std::process::exit(1);
-                    }
-                }
-            } else {
-                run_experiment_on(&engine, &cli.experiment, &cli.ctx, cli.csv)
-            };
-            println!("{out}");
-            // Per-stage timing + baseline-cache stats, so the --jobs
-            // speedup is observable without external tooling.
-            eprint!("{}", engine.timing_report());
-        }
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
         Err(e) => {
             eprintln!("{e}");
             eprintln!("{}", usage());
             std::process::exit(2);
         }
+    };
+    match run(&cli) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
+}
+
+/// Arm the fault plan requested by `--faults` or `JSMT_FAULTS` (flag
+/// wins). Returns whether a plan is active.
+fn arm_faults(cli: &Cli) -> Result<bool, JsmtError> {
+    let spec = cli
+        .supervise
+        .faults
+        .clone()
+        .or_else(|| std::env::var("JSMT_FAULTS").ok().filter(|s| !s.is_empty()));
+    match spec {
+        Some(spec) => {
+            jsmt_faults::install_spec(&spec).map_err(|e| {
+                JsmtError::new(
+                    jsmt_core::ErrorKind::Config,
+                    format!("bad fault spec {spec:?}: {e}"),
+                )
+            })?;
+            eprintln!("# jsmt repro: fault plan armed: {spec}");
+            Ok(true)
+        }
+        None => Ok(false),
+    }
+}
+
+fn run(cli: &Cli) -> Result<i32, JsmtError> {
+    if cli.experiment == "replay-crash" {
+        let path = cli.bundle.as_deref().expect("validated at parse time");
+        let (report, reproduced) = run_replay_crash(std::path::Path::new(path))?;
+        print!("{report}");
+        return Ok(if reproduced { 0 } else { 1 });
+    }
+
+    let faults_armed = arm_faults(cli)?;
+    let engine = Engine::new(cli.parallelism());
+    eprintln!(
+        "# jsmt repro: experiment={} scale={} repeats={} seed={:#x} parallelism={:?}",
+        cli.experiment,
+        cli.ctx.scale,
+        cli.ctx.repeats,
+        cli.ctx.seed,
+        engine.parallelism()
+    );
+
+    let mut exit = 0;
+    let out = if cli.experiment == "all" {
+        run_all_on(&engine, &cli.ctx)
+    } else if cli.experiment == "bisect-divergence" {
+        run_bisect(&cli.bisect, &cli.ctx)
+    } else if cli.supervise.enabled {
+        let outcome = run_experiment_supervised(
+            &engine,
+            &cli.experiment,
+            &cli.ctx,
+            cli.csv,
+            &cli.supervise.cfg(),
+        );
+        if let Some(path) = &cli.supervise.manifest {
+            std::fs::write(path, &outcome.manifest).map_err(|e| {
+                JsmtError::from(e).context(format!("writing failure manifest '{path}'"))
+            })?;
+        }
+        for f in &outcome.failures {
+            eprintln!("# cell failed: {f}");
+        }
+        if !outcome.failures.is_empty() {
+            eprintln!(
+                "# jsmt repro: {} cell(s) failed; emitting partial results",
+                outcome.failures.len()
+            );
+            exit = 3;
+        }
+        outcome.output
+    } else if let Some(path) = &cli.checkpoint {
+        let path = std::path::Path::new(path);
+        if cli.resume && !path.exists() {
+            eprintln!("--resume: no such checkpoint: {}", path.display());
+            std::process::exit(2);
+        }
+        run_experiment_ckpt(
+            &engine,
+            &cli.experiment,
+            &cli.ctx,
+            cli.csv,
+            path,
+            cli.checkpoint_every,
+        )?
+    } else {
+        run_experiment_on(&engine, &cli.experiment, &cli.ctx, cli.csv)
+    };
+    println!("{out}");
+    // Per-stage timing + baseline-cache stats, so the --jobs speedup is
+    // observable without external tooling.
+    eprint!("{}", engine.timing_report());
+    if faults_armed {
+        jsmt_faults::clear();
+    }
+    Ok(exit)
 }

@@ -210,12 +210,14 @@ impl GridCheckpoint {
         Ok(Some(Self::from_bytes(&bytes, ctx)?))
     }
 
-    /// Atomically persist: write to `<path>.tmp`, then rename over
-    /// `path`, so a kill mid-write never corrupts the previous state.
+    /// Durably and atomically persist via [`jsmt_faults::fsio::persist`]:
+    /// write to `<path>.tmp`, fsync it, rename over `path`, and fsync the
+    /// parent directory — a kill mid-write never corrupts the previous
+    /// state, and a power cut cannot lose the rename. The write is
+    /// registered with the fault plan under the `checkpoint` target, so
+    /// chaos runs can inject I/O errors and corruption exactly here.
     pub fn save(&self, path: &Path) -> Result<(), CkptError> {
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_bytes())?;
-        std::fs::rename(&tmp, path)?;
+        jsmt_faults::fsio::persist(path, &self.to_bytes(), "checkpoint")?;
         Ok(())
     }
 }

@@ -34,12 +34,25 @@ pub enum Parallelism {
 
 impl Parallelism {
     /// The default for the `repro` CLI: `JSMT_JOBS` if set (0 or 1 means
-    /// serial), otherwise one worker per available core.
+    /// serial), otherwise one worker per available core. An unparseable
+    /// `JSMT_JOBS` is *not* silently swallowed: it warns on stderr and
+    /// falls back to the core count, so a typo degrades loudly instead
+    /// of mysteriously changing the worker count.
     pub fn from_env() -> Self {
-        match std::env::var("JSMT_JOBS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
+        let parsed = match std::env::var("JSMT_JOBS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    eprintln!(
+                        "warning: JSMT_JOBS={v:?} is not a number of workers; \
+                         using one worker per available core"
+                    );
+                    None
+                }
+            },
+            Err(_) => None,
+        };
+        match parsed {
             Some(0) | Some(1) => Parallelism::Serial,
             Some(n) => Parallelism::Threads(n),
             None => Parallelism::Threads(

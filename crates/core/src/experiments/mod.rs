@@ -6,12 +6,14 @@
 //! binary in `jsmt-bench` is a thin CLI over these functions.
 
 mod ablations;
+mod bundle;
 mod checkpoint;
 mod csv_out;
 mod engine;
 mod mt;
 mod pairing;
 mod single;
+pub mod supervise;
 mod threadcount;
 
 pub use ablations::{
@@ -20,6 +22,7 @@ pub use ablations::{
     render_ablation_l1, render_ablation_partition, render_ablation_prefetch, JitPoint, L1Point,
     PartitionPoint, PrefetchPoint,
 };
+pub use bundle::{CrashBundle, ReplayReport, KIND_BUNDLE};
 pub use checkpoint::{pair_matrix_ckpt, CkptError, GridCheckpoint, KIND_GRID};
 pub use csv_out::{
     csv_grid, csv_jit, csv_l1, csv_mt, csv_partition, csv_prefetch, csv_single, csv_threads,
@@ -30,14 +33,15 @@ pub use mt::{
     render_fig_mpki, render_table2, MpkiKind, MtPoint,
 };
 pub use pairing::{
-    pair_matrix, pair_matrix_on, pairing_analysis, pairing_prediction, render_fig8, render_fig9,
-    render_pairing_analysis, render_pairing_prediction, run_pair, tc_misses, PairGrid, PairOutcome,
-    PairingAnalysis, PairingPrediction,
+    pair_matrix, pair_matrix_on, pair_matrix_supervised, pairing_analysis, pairing_prediction,
+    render_fig8, render_fig9, render_pairing_analysis, render_pairing_prediction, run_pair,
+    tc_misses, PairGrid, PairOutcome, PairingAnalysis, PairingPrediction, SupervisedGrid,
 };
 pub use single::{
     fig10_single_thread_impact, fig10_single_thread_impact_on, fig11_self_pairs,
     fig11_self_pairs_on, render_fig10, render_fig11, SinglePoint,
 };
+pub use supervise::{manifest_csv, CellFailure, FailureKind, SupervisorCfg};
 pub use threadcount::{fig12_ipc_vs_threads, fig12_ipc_vs_threads_on, render_fig12, ThreadPoint};
 
 use crate::{RunReport, System, SystemConfig};

@@ -152,6 +152,147 @@ pub fn pair_matrix_on(engine: &Engine, ctx: &ExperimentCtx) -> PairGrid {
     }
 }
 
+/// A pairing grid computed under supervision: healthy cells plus the
+/// failures that exhausted their attempts. Produced by
+/// [`pair_matrix_supervised`]; a grid with no failures converts back to
+/// a plain [`PairGrid`] via [`SupervisedGrid::into_grid`].
+#[derive(Debug)]
+pub struct SupervisedGrid {
+    /// Benchmarks in row/column order.
+    pub benchmarks: Vec<BenchmarkId>,
+    /// Finished cells by flat index `i * n + j`.
+    pub cells: std::collections::BTreeMap<usize, PairOutcome>,
+    /// Cells (or solo baselines) that exhausted their attempts.
+    pub failures: Vec<super::supervise::CellFailure>,
+}
+
+impl SupervisedGrid {
+    /// Whether every cell completed.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty() && self.cells.len() == self.benchmarks.len().pow(2)
+    }
+
+    /// The grid's CSV, with failed cells omitted. Healthy rows are
+    /// byte-identical to [`super::csv_grid`] over an unsupervised run,
+    /// so downstream plotting scripts need no changes for partial grids.
+    pub fn csv(&self) -> String {
+        let mut c = jsmt_report::Csv::new(vec![
+            "a".into(),
+            "b".into(),
+            "speedup_a".into(),
+            "speedup_b".into(),
+            "combined".into(),
+            "pair_tc_mpki".into(),
+        ]);
+        for o in self.cells.values() {
+            c.row(vec![
+                o.a.name().into(),
+                o.b.name().into(),
+                format!("{:.4}", o.speedup_a),
+                format!("{:.4}", o.speedup_b),
+                format!("{:.4}", o.combined),
+                format!("{:.3}", o.tc_mpki),
+            ]);
+        }
+        c.render()
+    }
+
+    /// The machine-readable failure manifest
+    /// ([`super::supervise::manifest_csv`]).
+    pub fn manifest_csv(&self) -> String {
+        super::supervise::manifest_csv(&self.failures)
+    }
+
+    /// Convert a complete grid into a plain [`PairGrid`].
+    ///
+    /// # Panics
+    ///
+    /// When the grid is incomplete — check [`SupervisedGrid::is_complete`]
+    /// first.
+    pub fn into_grid(self) -> PairGrid {
+        assert!(
+            self.is_complete(),
+            "cannot assemble a PairGrid from a partial supervised run \
+             ({} of {} cells, {} failures)",
+            self.cells.len(),
+            self.benchmarks.len().pow(2),
+            self.failures.len()
+        );
+        let n = self.benchmarks.len();
+        let mut it = self.cells.into_values();
+        let mut outcomes = Vec::with_capacity(n);
+        for _ in 0..n {
+            outcomes.push(it.by_ref().take(n).collect());
+        }
+        PairGrid {
+            benchmarks: self.benchmarks,
+            outcomes,
+        }
+    }
+}
+
+/// [`pair_matrix_on`] with graceful degradation: both the solo-baseline
+/// prewarm and the N² co-run cells execute under the supervisor, so a
+/// panicking, livelocked, or deadline-blown cell is recorded (and
+/// retried per `cfg`) instead of unwinding through the worker pool and
+/// losing the whole grid.
+///
+/// A pair cell whose baseline failed during the prewarm recomputes that
+/// baseline inline through the engine's memoizing cache (a panicking
+/// cache init leaves the slot empty, so retrying is safe); it therefore
+/// still completes unless its own faults persist. On a healthy run the
+/// result is bit-identical to [`pair_matrix_on`]: supervision only
+/// observes the simulation, it never perturbs it.
+pub fn pair_matrix_supervised(
+    engine: &Engine,
+    ctx: &ExperimentCtx,
+    cfg: &super::supervise::SupervisorCfg,
+) -> SupervisedGrid {
+    let benchmarks: Vec<BenchmarkId> = BenchmarkId::SINGLE_THREADED.to_vec();
+    let mut failures = Vec::new();
+
+    let solo_jobs: Vec<(String, BenchmarkId)> = benchmarks
+        .iter()
+        .map(|&id| (id.name().to_string(), id))
+        .collect();
+    for r in engine.run_supervised("solo-baselines", cfg, ctx, solo_jobs, |&id| {
+        engine.solo_baseline(id, ctx)
+    }) {
+        if let Err(f) = r {
+            failures.push(f);
+        }
+    }
+
+    let pair_jobs: Vec<(String, (BenchmarkId, BenchmarkId))> = benchmarks
+        .iter()
+        .flat_map(|&a| benchmarks.iter().map(move |&b| (a, b)))
+        .map(|(a, b)| (format!("{}+{}", a.name(), b.name()), (a, b)))
+        .collect();
+    let outcomes = engine.run_supervised("pair-grid", cfg, ctx, pair_jobs, |&(a, b)| {
+        run_pair(
+            a,
+            b,
+            engine.solo_baseline(a, ctx),
+            engine.solo_baseline(b, ctx),
+            ctx,
+        )
+    });
+    let mut cells = std::collections::BTreeMap::new();
+    for (index, r) in outcomes.into_iter().enumerate() {
+        match r {
+            Ok(o) => {
+                cells.insert(index, o);
+            }
+            Err(f) => failures.push(f),
+        }
+    }
+    SupervisedGrid {
+        benchmarks,
+        cells,
+        failures,
+    }
+}
+
 /// Render Figure 8: the box-chart distribution of combined speedups per
 /// benchmark (each box summarizes the benchmark's nine pairings).
 pub fn render_fig8(grid: &PairGrid) -> String {

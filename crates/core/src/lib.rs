@@ -28,8 +28,10 @@
 
 pub mod bisect;
 mod config;
+mod error;
 pub mod experiments;
 mod system;
 
 pub use config::SystemConfig;
+pub use error::{Context, ErrorKind, JsmtError};
 pub use system::{RunReport, System};

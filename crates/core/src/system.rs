@@ -85,6 +85,13 @@ impl World {
     /// Supply µops for the thread bound to `lcpu`, writing straight into
     /// the context's fetch queue (no intermediate buffer).
     fn fill(&mut self, lcpu: LogicalCpu, buf: &mut FetchQueue, max: usize) -> usize {
+        // Injected starvation: the µop supply dries up from the clause's
+        // trigger cycle on, livelocking the machine so forward-progress
+        // watchdogs can be exercised deterministically. One relaxed
+        // atomic load when disarmed.
+        if jsmt_faults::starved(self.now) {
+            return 0;
+        }
         let Some(tid) = self.sched.running_on(lcpu.index()) else {
             return 0;
         };
@@ -241,6 +248,10 @@ impl World {
                     )
                 });
                 if all_parked {
+                    // A GC-component fault fires at the start of a
+                    // collection — the most state-heavy moment of the
+                    // JVM's life, and a deterministic one.
+                    jsmt_faults::check_cycle("gc", self.now);
                     let p = &mut self.procs[proc];
                     let live = p.jvm.collect();
                     let heap_base = p.jvm.heap().base();
@@ -404,6 +415,17 @@ pub struct System {
     started: bool,
     jvm_override: Option<jsmt_jvm::JvmConfig>,
     sampler: Option<Sampler>,
+    /// Supervision context captured from the constructing thread (see
+    /// `experiments::supervise`); `None` on unsupervised runs, where
+    /// every check below is a single branch.
+    supervision: Option<crate::experiments::supervise::Supervision>,
+    /// Forward-progress watchdog anchor: the retired-µop total last seen
+    /// to increase, and the cycle at which it did.
+    watch_retired: u64,
+    watch_cycle: u64,
+    /// Next machine cycle at which to refresh the crash-tail checkpoint
+    /// (`u64::MAX` = periodic checkpointing off).
+    next_tail_ckpt: u64,
 }
 
 impl std::fmt::Debug for System {
@@ -416,8 +438,18 @@ impl std::fmt::Debug for System {
 }
 
 impl System {
-    /// A machine with no processes yet.
+    /// A machine with no processes yet. If the constructing thread is
+    /// running a supervised experiment cell, the machine picks up the
+    /// supervision context (cancellation flag, watchdog thresholds,
+    /// crash-tail slot) and cooperates with it; otherwise behavior is
+    /// exactly as before.
     pub fn new(cfg: SystemConfig) -> Self {
+        let supervision = crate::experiments::supervise::current();
+        let next_tail_ckpt = supervision
+            .as_ref()
+            .map(|s| s.checkpoint_every)
+            .filter(|&every| every > 0)
+            .unwrap_or(u64::MAX);
         System {
             core: SmtCore::new(cfg.core, cfg.mem),
             world: World {
@@ -435,6 +467,10 @@ impl System {
             started: false,
             jvm_override: None,
             sampler: None,
+            supervision,
+            watch_retired: 0,
+            watch_cycle: 0,
+            next_tail_ckpt,
         }
     }
 
@@ -582,6 +618,14 @@ impl System {
     fn step_span(&mut self, max_advance: u64) -> u64 {
         self.started = true;
         self.world.now = self.core.cycles();
+        // Fault and supervision hooks, once per span: a `panic` clause
+        // targeting the `system` component fires here, and a supervised
+        // run checks its cancellation flag and forward-progress watchdog.
+        // Both are a single branch when disarmed/unsupervised.
+        jsmt_faults::check_cycle("system", self.world.now);
+        if self.supervision.is_some() {
+            self.supervised_checks();
+        }
         self.world.gc_coordination();
 
         let drained = [
@@ -668,6 +712,63 @@ impl System {
             sampler.tick(self.core.cycles(), self.core.counters());
         }
         1
+    }
+
+    /// The supervised run's cooperative checks, once per span:
+    ///
+    /// * publish the current cycle (failure attribution for panics that
+    ///   carry no cycle of their own);
+    /// * honor the cancellation flag (deadline monitor / external
+    ///   cancel) by aborting the cell with a typed panic;
+    /// * forward-progress watchdog: if the machine-wide retired-µop
+    ///   total has not moved for `livelock_cycles` cycles — no
+    ///   retirement on either hardware context — trip the livelock
+    ///   diagnostic;
+    /// * refresh the crash-tail checkpoint every `checkpoint_every`
+    ///   cycles so a later failure's bundle carries recent state.
+    ///
+    /// Every check only *observes* the simulation; the machine's own
+    /// state is never perturbed, so a supervised healthy run stays
+    /// bit-identical to an unsupervised one.
+    fn supervised_checks(&mut self) {
+        use std::sync::atomic::Ordering;
+
+        let Some(sup) = self.supervision.clone() else {
+            return;
+        };
+        let now = self.core.cycles();
+        sup.cycle.store(now, Ordering::Relaxed);
+
+        use crate::experiments::supervise::{CellAbort, ABORT_CANCELLED, ABORT_DEADLINE};
+        match sup.flag.load(Ordering::Relaxed) {
+            ABORT_DEADLINE => std::panic::panic_any(CellAbort::Deadline { cycle: now }),
+            ABORT_CANCELLED => std::panic::panic_any(CellAbort::Cancelled { cycle: now }),
+            _ => {}
+        }
+
+        if sup.livelock_cycles > 0 {
+            let retired = self.core.counters().total(Event::UopsRetired);
+            if retired != self.watch_retired {
+                self.watch_retired = retired;
+                self.watch_cycle = now;
+            } else if now.saturating_sub(self.watch_cycle) >= sup.livelock_cycles {
+                std::panic::panic_any(CellAbort::Livelock {
+                    cycle: now,
+                    stalled_for: now - self.watch_cycle,
+                });
+            }
+        }
+
+        if now >= self.next_tail_ckpt {
+            self.next_tail_ckpt = now.saturating_add(sup.checkpoint_every.max(1));
+            let checkpoint = self.checkpoint();
+            let mut bank = self.core.counters().clone();
+            bank.merge(&self.world.extra);
+            let counters = jsmt_snapshot::save_bytes(&bank);
+            let mut tail = sup.tail.lock().expect("crash tail");
+            tail.checkpoint = Some(checkpoint);
+            tail.counters = Some(counters);
+        }
     }
 
     /// Run until every process has completed at least `target` executions.

@@ -1,0 +1,92 @@
+//! Durable, injectable file persistence.
+//!
+//! Everything the harness writes that must survive a crash — grid
+//! checkpoints, crash-repro bundles — goes through [`persist`]: write to
+//! a sibling temp file, `fsync` it, atomically rename over the
+//! destination, then `fsync` the parent directory so the rename itself
+//! is durable. A kill at any point leaves either the old file or the new
+//! one, never a torn mix, and a powered-off machine cannot lose the
+//! rename.
+//!
+//! Because this is the single choke point for durable writes, it is also
+//! where the fault plan's `io-error` and `corrupt` clauses bite: an
+//! injected error surfaces exactly as a real disk failure would, and an
+//! injected corruption writes a payload whose checksum no longer
+//! matches, exercising every caller's load-time validation.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Durably persist `bytes` at `path` (temp file, fsync, atomic rename,
+/// parent-directory fsync). `target` names the write for the fault
+/// plan (`checkpoint`, `bundle`, …).
+///
+/// # Errors
+///
+/// Any real I/O failure, or an injected `io-error` clause matching
+/// `target`.
+pub fn persist(path: &Path, bytes: &[u8], target: &str) -> io::Result<()> {
+    let mut payload = bytes;
+    let mut corrupted;
+    match crate::write_fault(target) {
+        Some(Err(e)) => return Err(e),
+        Some(Ok(())) => {
+            // Flip one byte mid-payload: framing stays plausible, the
+            // checksum does not.
+            corrupted = bytes.to_vec();
+            if !corrupted.is_empty() {
+                let mid = corrupted.len() / 2;
+                corrupted[mid] ^= 0xA5;
+            }
+            payload = &corrupted;
+        }
+        None => {}
+    }
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(payload)?;
+        // The data must be on stable storage before the rename makes it
+        // the current checkpoint, else a crash could promote a torn file.
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Durability of the rename itself requires syncing the directory
+    // entry. Directories cannot be fsync'd on every platform; best-effort
+    // failures (e.g. on exotic filesystems) are ignored, real write
+    // errors above are not.
+    if let Some(parent) = path.parent() {
+        let parent = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persist_writes_and_replaces_atomically() {
+        let dir = std::env::temp_dir().join(format!("jsmt-fsio-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.bin");
+        persist(&path, b"first", "test-target").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        persist(&path, b"second", "test-target").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "temp file must not linger"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,575 @@
+//! # jsmt-faults
+//!
+//! Deterministic fault injection for the jsmt experiment harness.
+//!
+//! The supervised experiment engine (`jsmt-core`) promises to survive,
+//! attribute, and reproduce its own failures. This crate supplies the
+//! failures: a [`FaultPlan`] — parsed from a compact spec string, so the
+//! same plan travels through `JSMT_FAULTS`, the `--faults` flag, and a
+//! crash-repro bundle — is installed process-wide, and instrumented
+//! components ask it whether to misbehave. Every trigger is keyed on
+//! *simulated* state (the machine cycle, an occurrence count, a scope
+//! label), never on wall-clock time or thread identity, so an injected
+//! failure replays bit-identically.
+//!
+//! ## Spec grammar
+//!
+//! A spec is `;`-separated clauses; each clause is `,`-separated fields,
+//! the first naming the fault kind, the rest `key=value` pairs:
+//!
+//! ```text
+//! panic,component=gc,cycle=5000,scope=pair-grid/compress+db
+//! starve,cycle=2000,scope=pair-grid/jess+db,attempts=1
+//! worker-panic,scope=pair-grid/db+db
+//! io-error,target=checkpoint,nth=0
+//! corrupt,target=checkpoint,nth=1
+//! ```
+//!
+//! * `panic` — `panic_any` an [`InjectedPanic`] from the named component
+//!   at the first check with `cycle >= N`.
+//! * `starve` — from `cycle >= N` on, the µop supply dries up (the
+//!   system-level `fill` path yields nothing), livelocking the machine
+//!   so forward-progress watchdogs can be exercised.
+//! * `worker-panic` — the worker thread dies at job pickup, before the
+//!   simulation starts.
+//! * `io-error` — the `nth` durable write to the named target fails with
+//!   a synthetic `io::Error`.
+//! * `corrupt` — the `nth` durable write to the named target flips one
+//!   payload byte, so a later load must detect the corruption.
+//!
+//! `scope=LABEL` restricts a clause to one supervised cell (labels look
+//! like `pair-grid/compress+db`); an unscoped clause matches everywhere.
+//! `attempts=K` makes a fault *transient*: it only fires on the first
+//! `K` attempts of a cell, so a supervisor retry converges to the
+//! healthy output.
+//!
+//! ## Cost when disarmed
+//!
+//! Every hook starts with one relaxed atomic load; with no plan
+//! installed the branch is never taken and healthy runs stay
+//! bit-identical (enforced by `tests/fault_isolation.rs` in the
+//! workspace root).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+pub mod fsio;
+
+/// One fault clause of a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// Only fire inside the supervised cell with this label
+    /// (`None` = everywhere).
+    pub scope: Option<String>,
+    /// Only fire on attempt numbers `< attempts` (`None` = every
+    /// attempt). `attempts=1` models a transient fault that a retry
+    /// clears.
+    pub attempts: Option<u32>,
+}
+
+/// The kinds of injectable failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic from `component` at the first check with `cycle >= N`.
+    Panic {
+        /// Instrumented component name (`system`, `gc`, …).
+        component: String,
+        /// Trigger cycle.
+        cycle: u64,
+    },
+    /// Dry up the µop supply from `cycle >= N` on (livelock).
+    Starve {
+        /// Trigger cycle.
+        cycle: u64,
+    },
+    /// Kill the worker at job pickup, before the simulation starts.
+    WorkerPanic,
+    /// Fail the `nth` durable write to `target` with an `io::Error`.
+    IoError {
+        /// Write target name (`checkpoint`, `bundle`).
+        target: String,
+        /// Zero-based occurrence to fail.
+        nth: u64,
+    },
+    /// Flip a byte in the `nth` durable write to `target`.
+    Corrupt {
+        /// Write target name (`checkpoint`, `bundle`).
+        target: String,
+        /// Zero-based occurrence to corrupt.
+        nth: u64,
+    },
+}
+
+/// A parsed fault plan: the clause list plus the spec it came from (kept
+/// verbatim so crash bundles can carry the plan for replay).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+    spec: String,
+}
+
+impl FaultPlan {
+    /// Parse a spec string (see the crate docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending clause.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut faults = Vec::new();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            faults.push(parse_clause(clause)?);
+        }
+        if faults.is_empty() {
+            return Err(format!("fault spec {spec:?} contains no clauses"));
+        }
+        Ok(FaultPlan {
+            faults,
+            spec: spec.to_string(),
+        })
+    }
+
+    /// The spec string this plan was parsed from.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// The parsed clauses.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+}
+
+fn parse_clause(clause: &str) -> Result<Fault, String> {
+    let mut fields = clause.split(',').map(str::trim);
+    let kind_name = fields.next().expect("split yields at least one field");
+    let mut component = None;
+    let mut cycle = None;
+    let mut target = None;
+    let mut nth = 0u64;
+    let mut scope = None;
+    let mut attempts = None;
+    for field in fields {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| format!("fault clause {clause:?}: field {field:?} is not key=value"))?;
+        match key {
+            "component" => component = Some(value.to_string()),
+            "cycle" => {
+                cycle =
+                    Some(value.parse::<u64>().map_err(|e| {
+                        format!("fault clause {clause:?}: bad cycle {value:?}: {e}")
+                    })?);
+            }
+            "target" => target = Some(value.to_string()),
+            "nth" => {
+                nth = value
+                    .parse::<u64>()
+                    .map_err(|e| format!("fault clause {clause:?}: bad nth {value:?}: {e}"))?;
+            }
+            "scope" => scope = Some(value.to_string()),
+            "attempts" => {
+                attempts = Some(value.parse::<u32>().map_err(|e| {
+                    format!("fault clause {clause:?}: bad attempts {value:?}: {e}")
+                })?);
+            }
+            other => {
+                return Err(format!("fault clause {clause:?}: unknown key {other:?}"));
+            }
+        }
+    }
+    let kind = match kind_name {
+        "panic" => FaultKind::Panic {
+            component: component
+                .ok_or_else(|| format!("fault clause {clause:?}: panic needs component="))?,
+            cycle: cycle.ok_or_else(|| format!("fault clause {clause:?}: panic needs cycle="))?,
+        },
+        "starve" => FaultKind::Starve {
+            cycle: cycle.ok_or_else(|| format!("fault clause {clause:?}: starve needs cycle="))?,
+        },
+        "worker-panic" => FaultKind::WorkerPanic,
+        "io-error" => FaultKind::IoError {
+            target: target
+                .ok_or_else(|| format!("fault clause {clause:?}: io-error needs target="))?,
+            nth,
+        },
+        "corrupt" => FaultKind::Corrupt {
+            target: target
+                .ok_or_else(|| format!("fault clause {clause:?}: corrupt needs target="))?,
+            nth,
+        },
+        other => return Err(format!("unknown fault kind {other:?} in clause {clause:?}")),
+    };
+    Ok(Fault {
+        kind,
+        scope,
+        attempts,
+    })
+}
+
+/// Panic payload of an injected `panic` fault: carries the attribution
+/// the supervisor records in the failure manifest and crash bundle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedPanic {
+    /// Component the panic fired from.
+    pub component: String,
+    /// Machine cycle at which it fired (the first check at or after the
+    /// clause's trigger cycle — deterministic under replay).
+    pub cycle: u64,
+    /// Scope label active when it fired (empty when unscoped).
+    pub scope: String,
+}
+
+impl fmt::Display for InjectedPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected panic in component '{}' at cycle {} (scope '{}')",
+            self.component, self.cycle, self.scope
+        )
+    }
+}
+
+struct PlanState {
+    plan: FaultPlan,
+    /// Per-clause occurrence counters for `io-error` / `corrupt`.
+    write_counts: Vec<AtomicU64>,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Option<Arc<PlanState>>> = Mutex::new(None);
+
+thread_local! {
+    /// The supervised cell this thread is currently executing
+    /// (label, attempt number).
+    static SCOPE: RefCell<Option<(String, u32)>> = const { RefCell::new(None) };
+}
+
+/// Install `plan` process-wide, replacing any previous plan.
+pub fn install(plan: FaultPlan) {
+    let n = plan.faults.len();
+    let state = PlanState {
+        plan,
+        write_counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+    };
+    *PLAN.lock().expect("fault plan lock") = Some(Arc::new(state));
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Parse and install a spec string (see [`FaultPlan::parse`]).
+///
+/// # Errors
+///
+/// Propagates the parse error; the previous plan stays installed.
+pub fn install_spec(spec: &str) -> Result<(), String> {
+    install(FaultPlan::parse(spec)?);
+    Ok(())
+}
+
+/// Remove the installed plan; all hooks return to their disarmed fast
+/// path.
+pub fn clear() {
+    ARMED.store(false, Ordering::SeqCst);
+    *PLAN.lock().expect("fault plan lock") = None;
+}
+
+/// The spec string of the installed plan, if any (recorded into crash
+/// bundles so `repro replay-crash` can re-install it).
+pub fn active_spec() -> Option<String> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    PLAN.lock()
+        .expect("fault plan lock")
+        .as_ref()
+        .map(|s| s.plan.spec.clone())
+}
+
+fn state() -> Option<Arc<PlanState>> {
+    PLAN.lock().expect("fault plan lock").clone()
+}
+
+/// Mark this thread as executing the supervised cell `label`, attempt
+/// `attempt` (0-based). The previous scope is restored when the guard
+/// drops, so nested supervision composes.
+pub fn enter_scope(label: &str, attempt: u32) -> ScopeGuard {
+    let prev = SCOPE.with(|s| s.replace(Some((label.to_string(), attempt))));
+    ScopeGuard { prev }
+}
+
+/// Restores the previous fault scope on drop (see [`enter_scope`]).
+pub struct ScopeGuard {
+    prev: Option<(String, u32)>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        SCOPE.with(|s| *s.borrow_mut() = prev);
+    }
+}
+
+/// The scope label and attempt active on this thread (empty label when
+/// unscoped).
+pub fn current_scope() -> (String, u32) {
+    SCOPE.with(|s| s.borrow().clone().unwrap_or_default())
+}
+
+/// Does `fault` apply on this thread right now?
+fn applies(fault: &Fault) -> bool {
+    SCOPE.with(|s| {
+        let scope = s.borrow();
+        if let Some(want) = &fault.scope {
+            match scope.as_ref() {
+                Some((label, _)) if label == want => {}
+                _ => return false,
+            }
+        }
+        if let Some(max) = fault.attempts {
+            let attempt = scope.as_ref().map(|(_, a)| *a).unwrap_or(0);
+            if attempt >= max {
+                return false;
+            }
+        }
+        true
+    })
+}
+
+/// Fault check for a named simulator component at machine cycle `cycle`.
+/// Panics with an [`InjectedPanic`] payload when an armed `panic` clause
+/// matches. Call this wherever a component is willing to die.
+pub fn check_cycle(component: &str, cycle: u64) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    let Some(state) = state() else { return };
+    for fault in &state.plan.faults {
+        if let FaultKind::Panic {
+            component: c,
+            cycle: n,
+        } = &fault.kind
+        {
+            if c == component && cycle >= *n && applies(fault) {
+                let (scope, _) = current_scope();
+                std::panic::panic_any(InjectedPanic {
+                    component: component.to_string(),
+                    cycle,
+                    scope,
+                });
+            }
+        }
+    }
+}
+
+/// Whether an armed `starve` clause wants the µop supply dry at `cycle`.
+pub fn starved(cycle: u64) -> bool {
+    if !ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    let Some(state) = state() else { return false };
+    state.plan.faults.iter().any(|fault| {
+        matches!(&fault.kind, FaultKind::Starve { cycle: n } if cycle >= *n) && applies(fault)
+    })
+}
+
+/// Fault check at worker job pickup. Panics with an [`InjectedPanic`]
+/// (component `worker`, cycle 0) when an armed `worker-panic` clause
+/// matches.
+pub fn check_worker() {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    let Some(state) = state() else { return };
+    for fault in &state.plan.faults {
+        if matches!(fault.kind, FaultKind::WorkerPanic) && applies(fault) {
+            let (scope, _) = current_scope();
+            std::panic::panic_any(InjectedPanic {
+                component: "worker".to_string(),
+                cycle: 0,
+                scope,
+            });
+        }
+    }
+}
+
+/// Whether the next durable write to `target` should fail, and how:
+/// `Some(Err(e))` = fail with `e` before writing anything,
+/// `Some(Ok(()))` = corrupt the payload, `None` = write faithfully.
+/// Each matching clause fires on exactly its `nth` occurrence.
+pub(crate) fn write_fault(target: &str) -> Option<std::io::Result<()>> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let state = state()?;
+    let mut verdict = None;
+    for (i, fault) in state.plan.faults.iter().enumerate() {
+        let (t, nth, is_error) = match &fault.kind {
+            FaultKind::IoError { target: t, nth } => (t, *nth, true),
+            FaultKind::Corrupt { target: t, nth } => (t, *nth, false),
+            _ => continue,
+        };
+        if t != target || !applies(fault) {
+            continue;
+        }
+        let seen = state.write_counts[i].fetch_add(1, Ordering::SeqCst);
+        if seen == nth {
+            verdict = Some(if is_error {
+                Err(std::io::Error::other(format!(
+                    "injected i/o error on write #{seen} to '{target}'"
+                )))
+            } else {
+                Ok(())
+            });
+        }
+    }
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Plan install/clear is process-global; serialize the tests that
+    /// touch it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn parses_every_kind() {
+        let plan = FaultPlan::parse(
+            "panic,component=gc,cycle=5000,scope=pair-grid/compress+db,attempts=1; \
+             starve,cycle=100; worker-panic; io-error,target=checkpoint,nth=2; \
+             corrupt,target=bundle",
+        )
+        .expect("valid spec");
+        assert_eq!(plan.faults().len(), 5);
+        assert_eq!(
+            plan.faults()[0],
+            Fault {
+                kind: FaultKind::Panic {
+                    component: "gc".into(),
+                    cycle: 5000
+                },
+                scope: Some("pair-grid/compress+db".into()),
+                attempts: Some(1),
+            }
+        );
+        assert_eq!(
+            plan.faults()[3].kind,
+            FaultKind::IoError {
+                target: "checkpoint".into(),
+                nth: 2
+            }
+        );
+        assert_eq!(
+            plan.faults()[4].kind,
+            FaultKind::Corrupt {
+                target: "bundle".into(),
+                nth: 0
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "panic",                      // missing component + cycle
+            "panic,component=gc",         // missing cycle
+            "starve",                     // missing cycle
+            "io-error",                   // missing target
+            "frobnicate,cycle=1",         // unknown kind
+            "panic,component=gc,cycle=x", // unparseable number
+            "panic,component=gc,cycle=1,bogus=2",
+            "panic,component=gc,cycle=1,noequals",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn panic_fault_fires_only_in_matching_scope_and_attempt() {
+        let _l = LOCK.lock().unwrap();
+        install_spec("panic,component=system,cycle=10,scope=cell-a,attempts=1").unwrap();
+
+        // Wrong scope: nothing happens.
+        {
+            let _s = enter_scope("cell-b", 0);
+            check_cycle("system", 50);
+        }
+        // Matching scope but attempt exhausted (transient fault).
+        {
+            let _s = enter_scope("cell-a", 1);
+            check_cycle("system", 50);
+        }
+        // Matching scope, cycle below threshold.
+        {
+            let _s = enter_scope("cell-a", 0);
+            check_cycle("system", 9);
+        }
+        // Matching everything: must panic with the typed payload.
+        let payload = std::panic::catch_unwind(|| {
+            let _s = enter_scope("cell-a", 0);
+            check_cycle("system", 12);
+        })
+        .expect_err("fault must fire");
+        let injected = payload
+            .downcast_ref::<InjectedPanic>()
+            .expect("typed payload");
+        assert_eq!(injected.component, "system");
+        assert_eq!(injected.cycle, 12);
+        assert_eq!(injected.scope, "cell-a");
+        clear();
+    }
+
+    #[test]
+    fn starve_and_worker_faults_respect_scope() {
+        let _l = LOCK.lock().unwrap();
+        install_spec("starve,cycle=100,scope=s; worker-panic,scope=w").unwrap();
+        {
+            let _s = enter_scope("s", 0);
+            assert!(!starved(99));
+            assert!(starved(100));
+            check_worker(); // worker clause is scoped elsewhere
+        }
+        {
+            let _s = enter_scope("w", 0);
+            assert!(!starved(100));
+            assert!(std::panic::catch_unwind(check_worker).is_err());
+        }
+        clear();
+        assert!(!starved(100));
+    }
+
+    #[test]
+    fn write_faults_fire_on_their_nth_occurrence() {
+        let _l = LOCK.lock().unwrap();
+        install_spec("io-error,target=checkpoint,nth=1; corrupt,target=bundle,nth=0").unwrap();
+        assert!(write_fault("checkpoint").is_none()); // write #0 passes
+        assert!(matches!(write_fault("checkpoint"), Some(Err(_)))); // #1 fails
+        assert!(write_fault("checkpoint").is_none()); // #2 passes again
+        assert!(matches!(write_fault("bundle"), Some(Ok(())))); // corrupt #0
+        assert!(write_fault("bundle").is_none());
+        assert!(write_fault("other").is_none());
+        clear();
+    }
+
+    #[test]
+    fn active_spec_round_trips() {
+        let _l = LOCK.lock().unwrap();
+        assert_eq!(active_spec(), None);
+        install_spec("starve,cycle=7").unwrap();
+        assert_eq!(active_spec().as_deref(), Some("starve,cycle=7"));
+        clear();
+        assert_eq!(active_spec(), None);
+    }
+}

@@ -1,5 +1,5 @@
 //! Simulator cycle-loop throughput: simulated megacycles per wall-clock
-//! second, with the event-driven stall fast-forward on vs. off.
+//! second, baseline vs. optimized hot loop.
 //!
 //! Not a criterion bench: the quantity of interest is the end-to-end
 //! speed of the hot loop on realistic stall profiles, and the self-check
@@ -7,25 +7,37 @@
 //! `BENCH_cycle_loop.json` at the repository root so CI can archive the
 //! trend. Set `JSMT_BENCH_QUICK=1` for a fast smoke run (CI).
 //!
-//! Three core-level stall profiles bracket the design space:
+//! The A/B contrast is the full optimization stack: *baseline* runs the
+//! scalar interpreter tier with the stall fast-forward disabled;
+//! *optimized* runs the trace tier (batched SoA issue/retire plus
+//! compiled-trace replay) with the fast-forward enabled. Both sides are
+//! driven through the same pending-buffer harness, so µop deliveries are
+//! identical by construction and the retired-µop self-check is exact.
+//!
+//! Core-level stall profiles bracket the design space:
 //! - `dram_bound`: independent DRAM misses (high MLP) — the window fills
 //!   with executing loads and the front end alloc-stalls for hundreds of
 //!   cycles at a time; the fast-forward's best case.
 //! - `tc_miss_bound`: a code footprint far beyond the trace cache — the
 //!   front end spends most cycles in fetch stalls waiting on trace
 //!   rebuilds from L2/DRAM.
-//! - `balanced`: a well-behaved integer mix that rarely stalls; guards
-//!   against the fast-forward *slowing down* the common case.
+//! - `balanced`: a well-behaved integer mix that rarely stalls; the
+//!   batched tier has to carry this one, since neither the fast-forward
+//!   nor trace replay gets much traction on it.
+//! - `balanced_dense` / `fp_dense`: tight pure-compute loops (2 KiB of
+//!   hot code, no memory traffic) — the compiled-trace tier's home turf,
+//!   analogous to a JIT-compiled inner loop in steady state.
 //!
-//! A fourth, system-level run (`system_quick`) exercises the full
-//! machine — scheduler, kernel streams, GC — through `System::run_cycles`.
+//! A final system-level run (`system_quick`) exercises the full machine
+//! — scheduler, kernel streams, GC — through `System::run_cycles`.
 
+use std::collections::VecDeque;
 use std::time::Instant;
 
 use jsmt_core::{System, SystemConfig};
 use jsmt_cpu::synth::SyntheticStream;
-use jsmt_cpu::{CoreConfig, SmtCore};
-use jsmt_isa::Asid;
+use jsmt_cpu::{CoreConfig, ExecTier, SmtCore};
+use jsmt_isa::{Asid, Uop};
 use jsmt_mem::MemConfig;
 use jsmt_perfmon::{Event, LogicalCpu};
 use jsmt_workloads::{BenchmarkId, WorkloadSpec};
@@ -41,7 +53,7 @@ struct WorkloadResult {
     level: &'static str,
     sim_cycles: u64,
     baseline: ModeResult,
-    fast_forward: ModeResult,
+    optimized: ModeResult,
     speedup: f64,
 }
 
@@ -69,18 +81,61 @@ fn balanced(seed: u64) -> SyntheticStream {
     SyntheticStream::builder(seed).build()
 }
 
-/// Drive a single-context core for `n` simulated cycles, fast-forward on
-/// or off, and report wall time plus the retired-µop self-check value.
-fn run_core(stream: &SyntheticStream, n: u64, fastfwd: bool) -> ModeResult {
+fn dense(seed: u64, fp: f64) -> SyntheticStream {
+    SyntheticStream::builder(seed)
+        .code_footprint(2 * 1024)
+        .data_footprint(64 * 1024)
+        .mem_fraction(0.0)
+        .branch_fraction(0.0)
+        .dep_chain(0.0)
+        .fp_fraction(fp)
+        .build()
+}
+
+/// Drive a single-context core for `n` simulated cycles and report wall
+/// time plus the retired-µop self-check value. Baseline is the scalar
+/// tier with fast-forward off; optimized is the trace tier with
+/// fast-forward on. Both use the same pending-buffer supply, mirroring
+/// how the system layer feeds the core, so trace replays can engage.
+fn run_core(stream: &SyntheticStream, n: u64, optimized: bool) -> ModeResult {
     let mut s = stream.clone();
     let mut core = SmtCore::new(CoreConfig::p4(true), MemConfig::p4(true));
-    core.set_fast_forward(fastfwd);
+    core.set_exec_tier(if optimized {
+        ExecTier::Trace
+    } else {
+        ExecTier::Scalar
+    });
+    core.set_fast_forward(optimized);
     core.bind(LogicalCpu::Lp0, Asid(1));
+    let mut pending: VecDeque<Uop> = VecDeque::new();
     let t0 = Instant::now();
     while core.cycles() < n {
-        if !fastfwd || core.fast_forward(n - core.cycles()) == 0 {
-            core.cycle(&mut |_l, buf, max| s.fill(buf, max));
+        // Deeper than the longest possible trace fill (fetch_width ×
+        // 1024-cycle trace cap) so replays are never starved.
+        while pending.len() < 4096 {
+            s.fill(&mut pending, 48);
         }
+        let left = n - core.cycles();
+        if optimized {
+            let (cycles, consumed) = core.trace_step(left, &pending);
+            if cycles > 0 {
+                pending.drain(..consumed);
+                continue;
+            }
+            if core.fast_forward(left) > 0 {
+                continue;
+            }
+        }
+        core.cycle(&mut |lcpu, buf, max| {
+            if lcpu != LogicalCpu::Lp0 {
+                return 0;
+            }
+            let take = max.min(pending.len());
+            for u in pending.drain(..take) {
+                buf.push_back(u);
+            }
+            take
+        });
     }
     let wall = t0.elapsed().as_secs_f64();
     ModeResult {
@@ -91,14 +146,15 @@ fn run_core(stream: &SyntheticStream, n: u64, fastfwd: bool) -> ModeResult {
 }
 
 /// Drive a full system for `n` simulated cycles (the `System` layer does
-/// its own fast-forward dispatch inside `run_cycles`).
-fn run_system(n: u64, fastfwd: bool) -> ModeResult {
+/// its own fast-forward and trace-replay dispatch inside `run_cycles`).
+fn run_system(n: u64, optimized: bool) -> ModeResult {
     let mut sys = System::new(
         SystemConfig::p4(true)
             .with_seed(3)
             .with_max_cycles(u64::MAX),
     );
-    sys.set_fast_forward(fastfwd);
+    sys.set_fast_forward(optimized);
+    sys.set_trace_tier(optimized);
     sys.add_process(WorkloadSpec::threaded(BenchmarkId::MonteCarlo, 2).with_scale(1.0));
     let t0 = Instant::now();
     let r = sys.run_cycles(n);
@@ -117,26 +173,26 @@ fn measure(
     run: impl Fn(bool) -> ModeResult,
 ) -> WorkloadResult {
     let baseline = run(false);
-    let fast_forward = run(true);
+    let optimized = run(true);
     assert_eq!(
-        baseline.uops_retired, fast_forward.uops_retired,
-        "{name}: fast-forward changed the retired µop count"
+        baseline.uops_retired, optimized.uops_retired,
+        "{name}: optimized hot loop changed the retired µop count"
     );
     assert!(
-        fast_forward.uops_retired > 0,
+        optimized.uops_retired > 0,
         "{name}: no µops retired — the workload never ran"
     );
-    let speedup = baseline.wall_secs / fast_forward.wall_secs;
+    let speedup = baseline.wall_secs / optimized.wall_secs;
     println!(
         "{name:>14} [{level}]: {:.1} -> {:.1} sim Mcycles/s ({speedup:.2}x), {} µops retired",
-        baseline.mcycles_per_sec, fast_forward.mcycles_per_sec, fast_forward.uops_retired
+        baseline.mcycles_per_sec, optimized.mcycles_per_sec, optimized.uops_retired
     );
     WorkloadResult {
         name,
         level,
         sim_cycles,
         baseline,
-        fast_forward,
+        optimized,
         speedup,
     }
 }
@@ -157,16 +213,24 @@ fn main() {
     };
 
     let results = [
-        measure("dram_bound", "core", core_n, |ff| {
-            run_core(&dram_bound(9), core_n, ff)
+        measure("dram_bound", "core", core_n, |opt| {
+            run_core(&dram_bound(9), core_n, opt)
         }),
-        measure("tc_miss_bound", "core", core_n, |ff| {
-            run_core(&tc_miss_bound(17), core_n, ff)
+        measure("tc_miss_bound", "core", core_n, |opt| {
+            run_core(&tc_miss_bound(17), core_n, opt)
         }),
-        measure("balanced", "core", core_n, |ff| {
-            run_core(&balanced(25), core_n, ff)
+        measure("balanced", "core", core_n, |opt| {
+            run_core(&balanced(25), core_n, opt)
         }),
-        measure("system_quick", "system", sys_n, |ff| run_system(sys_n, ff)),
+        measure("balanced_dense", "core", core_n, |opt| {
+            run_core(&dense(31, 0.25), core_n, opt)
+        }),
+        measure("fp_dense", "core", core_n, |opt| {
+            run_core(&dense(43, 0.7), core_n, opt)
+        }),
+        measure("system_quick", "system", sys_n, |opt| {
+            run_system(sys_n, opt)
+        }),
     ];
 
     let mut body = String::from("{\n  \"bench\": \"cycle_loop\",\n");
@@ -174,12 +238,12 @@ fn main() {
     for (i, r) in results.iter().enumerate() {
         body.push_str(&format!(
             "    {{\"name\": \"{}\", \"level\": \"{}\", \"sim_cycles\": {},\n     \
-             \"baseline\": {},\n     \"fast_forward\": {},\n     \"speedup\": {:.3}}}{}\n",
+             \"baseline\": {},\n     \"optimized\": {},\n     \"speedup\": {:.3}}}{}\n",
             r.name,
             r.level,
             r.sim_cycles,
             json_mode(&r.baseline),
-            json_mode(&r.fast_forward),
+            json_mode(&r.optimized),
             r.speedup,
             if i + 1 < results.len() { "," } else { "" },
         ));
@@ -190,13 +254,29 @@ fn main() {
     std::fs::write(path, &body).expect("write BENCH_cycle_loop.json");
     println!("wrote {path}");
 
-    let best = results
-        .iter()
-        .filter(|r| r.level == "core")
-        .map(|r| r.speedup)
-        .fold(0.0f64, f64::max);
+    // Acceptance floors (full runs only — quick runs are too noisy).
+    //
+    // `balanced` is the honest hard case: its fast-forwardable fraction
+    // is ~37 % of cycles (every other cycle genuinely moves µops and must
+    // be re-executed bit-identically), so Amdahl caps the full-stack win
+    // near 1.8x no matter how fast the skip path is. The committed floor
+    // leaves noise margin under that measured ceiling. The >= 3x tier
+    // wins land where the tiers structurally apply: stall-heavy profiles
+    // (fast-forward) and dense compute loops (compiled-trace replay).
+    let find = |n: &str| results.iter().find(|r| r.name == n).unwrap().speedup;
+    let stall_best = find("dram_bound").max(find("tc_miss_bound"));
+    let dense_best = find("balanced_dense").max(find("fp_dense"));
     assert!(
-        quick || best >= 2.0,
-        "acceptance: expected >= 2x on at least one stall-heavy workload, best {best:.2}x"
+        quick || find("balanced") >= 1.4,
+        "acceptance: balanced must hold >= 1.4x, got {:.2}x",
+        find("balanced")
+    );
+    assert!(
+        quick || stall_best >= 3.0,
+        "acceptance: expected >= 3x on at least one stall-heavy workload, best {stall_best:.2}x"
+    );
+    assert!(
+        quick || dense_best >= 3.0,
+        "acceptance: expected >= 3x on at least one dense-compute workload, best {dense_best:.2}x"
     );
 }

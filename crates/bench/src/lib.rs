@@ -300,7 +300,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, JsmtError> {
                     .next()
                     .ok_or_else(|| cli_err(format!("{flag} needs a variant")))?;
                 let variant = Variant::parse(v).ok_or_else(|| {
-                    cli_err(format!("bad {flag} '{v}' (fastfwd | no-fastfwd | seed=N)"))
+                    cli_err(format!(
+                        "bad {flag} '{v}' (fastfwd | no-fastfwd | trace-tier | no-trace-tier | seed=N)"
+                    ))
                 })?;
                 if flag == "--a" {
                     bisect.a = variant;
@@ -442,7 +444,8 @@ pub fn usage() -> String {
          replay-crash <bundle.crash> re-executes a recorded failure deterministically\n\
          and exits 0 when it reproduces.\n\
          bisect-divergence [--a V] [--b V] [--bench NAME] [--horizon N] [--stride N]\n\
-         replays two variants (fastfwd | no-fastfwd | seed=N) in lockstep and reports\n\
+         replays two variants (fastfwd | no-fastfwd | trace-tier | no-trace-tier | seed=N)\n\
+         in lockstep and reports\n\
          the first cycle at which their machine states diverge.",
         EXPERIMENTS.join(" ")
     )

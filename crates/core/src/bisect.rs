@@ -30,16 +30,23 @@ pub enum Variant {
     FastForward,
     /// Fast-forward disabled (every cycle stepped structurally).
     NoFastForward,
+    /// Compiled-trace execution tier enabled (hot spans bulk-replayed).
+    TraceTier,
+    /// Trace tier disabled (the batched stepper runs every cycle).
+    NoTraceTier,
     /// The default machine under a different master seed.
     Seed(u64),
 }
 
 impl Variant {
-    /// Parse a CLI spelling: `fastfwd`, `no-fastfwd`, or `seed=N`.
+    /// Parse a CLI spelling: `fastfwd`, `no-fastfwd`, `trace-tier`,
+    /// `no-trace-tier`, or `seed=N`.
     pub fn parse(s: &str) -> Option<Variant> {
         match s {
             "fastfwd" => Some(Variant::FastForward),
             "no-fastfwd" => Some(Variant::NoFastForward),
+            "trace-tier" => Some(Variant::TraceTier),
+            "no-trace-tier" => Some(Variant::NoTraceTier),
             _ => s
                 .strip_prefix("seed=")
                 .and_then(|n| n.parse().ok())
@@ -52,6 +59,8 @@ impl Variant {
         match self {
             Variant::FastForward => "fastfwd".into(),
             Variant::NoFastForward => "no-fastfwd".into(),
+            Variant::TraceTier => "trace-tier".into(),
+            Variant::NoTraceTier => "no-trace-tier".into(),
             Variant::Seed(n) => format!("seed={n}"),
         }
     }
@@ -67,6 +76,8 @@ impl Variant {
         match self {
             Variant::FastForward => sys.set_fast_forward(true),
             Variant::NoFastForward => sys.set_fast_forward(false),
+            Variant::TraceTier => sys.set_trace_tier(true),
+            Variant::NoTraceTier => sys.set_trace_tier(false),
             Variant::Seed(_) => {}
         }
     }
@@ -297,6 +308,8 @@ mod tests {
         for v in [
             Variant::FastForward,
             Variant::NoFastForward,
+            Variant::TraceTier,
+            Variant::NoTraceTier,
             Variant::Seed(42),
         ] {
             assert_eq!(Variant::parse(&v.name()), Some(v));
@@ -339,6 +352,27 @@ mod tests {
         assert_eq!(
             o.first_divergent_cycle, None,
             "fast-forward changed machine state: {:?}",
+            o.diffs
+        );
+    }
+
+    #[test]
+    fn trace_tier_toggle_does_not_diverge() {
+        // Same contract as fast-forward: the compiled-trace tier must be
+        // invisible in every snapshot byte, cycle by cycle.
+        let o = bisect_divergence(
+            BenchmarkId::Compress,
+            0.01,
+            base(),
+            Variant::TraceTier,
+            Variant::NoTraceTier,
+            60_000,
+            15_000,
+        )
+        .expect("bisect");
+        assert_eq!(
+            o.first_divergent_cycle, None,
+            "trace tier changed machine state: {:?}",
             o.diffs
         );
     }

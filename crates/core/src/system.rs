@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use jsmt_cpu::{FetchQueue, SmtCore};
+use jsmt_cpu::{ExecTier, FetchQueue, SmtCore, TraceStats};
 use jsmt_isa::Asid;
 use jsmt_isa::Uop;
 use jsmt_jvm::{EmitCtx, GcWorkGen, JitWorkGen, JvmProcess};
@@ -609,6 +609,38 @@ impl System {
         self.core.set_fast_forward(enabled);
     }
 
+    /// Enable or disable the core's compiled-trace tier (on by default
+    /// unless the `JSMT_NO_TRACE_TIER=1` environment variable is set).
+    /// Results are bit-identical either way; disabling falls back to the
+    /// batched SoA stepper.
+    pub fn set_trace_tier(&mut self, enabled: bool) {
+        self.core.set_exec_tier(if enabled {
+            ExecTier::Trace
+        } else {
+            ExecTier::Batched
+        });
+    }
+
+    /// Compile/replay statistics of the core's trace tier.
+    pub fn trace_stats(&self) -> TraceStats {
+        self.core.trace_stats()
+    }
+
+    /// Whether a compiled-trace replay is currently sound at the system
+    /// level: the span compression skips the per-cycle scheduler/GC/fault
+    /// observation points, which is only exact when none of them could
+    /// fire — no fault clauses armed, and every process GC- and JIT-idle.
+    /// (Timed scheduler events and the sampler are handled by capping the
+    /// replay span, exactly like fast-forward.)
+    fn trace_replay_sound(&self) -> bool {
+        jsmt_faults::active_spec().is_none()
+            && self
+                .world
+                .procs
+                .iter()
+                .all(|p| !p.gc_requested && p.gc_gen.is_none() && p.jit_gen.is_none())
+    }
+
     /// Advance by at least one and at most `max_advance` cycles, taking
     /// the core's stall fast-forward when the whole system is provably
     /// quiet: no scheduling events fired this cycle, and the jump is
@@ -701,6 +733,33 @@ impl System {
                     sampler.tick(self.core.cycles(), self.core.counters());
                 }
                 return skipped;
+            }
+            // Fast-forward only wins on quiet cycles; the compiled-trace
+            // tier compresses *busy* spans. Offer the running thread's
+            // already-materialized pending µops — a replay only applies
+            // when every fill in the span is a pure drain of that buffer
+            // (so `World::fill` would never have called `generate`, whose
+            // scheduler side effects a bulk apply cannot reproduce).
+            if self.core.trace_tier_enabled() && self.trace_replay_sound() {
+                let bound = [
+                    self.core.snapshot(LogicalCpu::Lp0).bound,
+                    self.core.snapshot(LogicalCpu::Lp1).bound,
+                ];
+                if let [true, false] | [false, true] = bound {
+                    let lcpu = usize::from(bound[1]);
+                    if let Some(tid) = self.world.sched.running_on(lcpu) {
+                        let pending = &self.world.threads[tid.0 as usize].pending;
+                        let (cycles, consumed) = self.core.trace_step(allowed, pending);
+                        if cycles > 0 {
+                            self.world.threads[tid.0 as usize].pending.drain(..consumed);
+                            self.world.bulk_gc_cycles(cycles - 1);
+                            if let Some(sampler) = self.sampler.as_mut() {
+                                sampler.tick(self.core.cycles(), self.core.counters());
+                            }
+                            return cycles;
+                        }
+                    }
+                }
             }
         }
 

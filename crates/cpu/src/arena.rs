@@ -1,0 +1,391 @@
+//! Structure-of-arrays window arena.
+//!
+//! The instruction window used to be a `VecDeque<Slot>` of fat structs;
+//! the issue-stage scan — the hottest loop in the whole simulator —
+//! chased `Slot`s through two deque slabs and re-derived the port class,
+//! base latency and memory flags of every µop on every cycle. The arena
+//! stores the window as parallel arrays over a power-of-two ring:
+//!
+//! * `uops` keeps the full µop for snapshot fidelity and retirement
+//!   accounting;
+//! * `done_at` holds the completion cycle, with [`WAITING`] (`u64::MAX`)
+//!   as the not-yet-issued sentinel so "is this slot done?" is a single
+//!   unsigned compare;
+//! * `flags`/`port`/`base_lat`/`dep_dist`/`addr` are the issue-stage
+//!   columns, precomputed once at allocation;
+//! * `next_w`/`prev_w` form an intrusive doubly-linked list threading
+//!   exactly the *waiting* slots in age order, so the batched issue path
+//!   visits schedulable µops only, never the executing majority.
+//!
+//! Invariants the pipeline relies on:
+//!
+//! * slot sequence numbers are contiguous — `seq(i) = base_seq + i` —
+//!   because µops enter at the back and leave only from the front (there
+//!   is no mid-window squash in this model);
+//! * the waiting list is in age order: links are appended at the tail on
+//!   allocation and only ever unlinked on issue, and a waiting front slot
+//!   cannot retire, so retirement never touches a linked slot.
+
+use jsmt_isa::{Uop, UopKind};
+
+/// `done_at` sentinel: the slot has not issued yet.
+pub(crate) const WAITING: u64 = u64::MAX;
+
+/// Null link in the waiting list.
+pub(crate) const NIL: u16 = u16::MAX;
+
+/// Flag bits (see [`WindowArena::flags_at`]).
+pub(crate) const F_LOAD: u8 = 1 << 0;
+pub(crate) const F_STORE: u8 = 1 << 1;
+pub(crate) const F_SER: u8 = 1 << 2;
+pub(crate) const F_PRIV: u8 = 1 << 3;
+pub(crate) const F_BRANCH: u8 = 1 << 4;
+
+/// Compute the flag byte for a µop.
+#[inline]
+pub(crate) fn flags_of(uop: &Uop) -> u8 {
+    let mut f = 0;
+    if matches!(uop.kind, UopKind::Load | UopKind::AtomicRmw) {
+        f |= F_LOAD;
+    }
+    if matches!(uop.kind, UopKind::Store | UopKind::AtomicRmw) {
+        f |= F_STORE;
+    }
+    if uop.kind.is_serializing() {
+        f |= F_SER;
+    }
+    if uop.privileged {
+        f |= F_PRIV;
+    }
+    if uop.kind == UopKind::Branch {
+        f |= F_BRANCH;
+    }
+    f
+}
+
+/// The SoA instruction window of one hardware context.
+pub(crate) struct WindowArena {
+    uops: Vec<Uop>,
+    done_at: Vec<u64>,
+    flags: Vec<u8>,
+    port: Vec<u8>,
+    base_lat: Vec<u32>,
+    dep_dist: Vec<u8>,
+    addr: Vec<u64>,
+    next_w: Vec<u16>,
+    prev_w: Vec<u16>,
+    head_w: u16,
+    tail_w: u16,
+    head: usize,
+    len: usize,
+    mask: usize,
+    base_seq: u64,
+    waiting: usize,
+}
+
+impl WindowArena {
+    /// An empty arena able to hold at least `capacity` µops.
+    pub(crate) fn new(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(8);
+        assert!(cap < NIL as usize, "window capacity exceeds u16 links");
+        WindowArena {
+            uops: vec![Uop::alu(0); cap],
+            done_at: vec![0; cap],
+            flags: vec![0; cap],
+            port: vec![0; cap],
+            base_lat: vec![0; cap],
+            dep_dist: vec![0; cap],
+            addr: vec![0; cap],
+            next_w: vec![NIL; cap],
+            prev_w: vec![NIL; cap],
+            head_w: NIL,
+            tail_w: NIL,
+            head: 0,
+            len: 0,
+            mask: cap - 1,
+            base_seq: 0,
+            waiting: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sequence number of the front slot (meaningless when empty).
+    #[inline]
+    pub(crate) fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// Slots still waiting to issue.
+    #[inline]
+    pub(crate) fn waiting(&self) -> usize {
+        self.waiting
+    }
+
+    /// Ring slot of logical index `i` (front = 0).
+    #[inline]
+    pub(crate) fn ring(&self, i: usize) -> usize {
+        debug_assert!(i < self.len);
+        (self.head + i) & self.mask
+    }
+
+    /// Logical index of ring slot `r`.
+    #[inline]
+    pub(crate) fn logical_of(&self, r: u16) -> usize {
+        (r as usize).wrapping_sub(self.head) & self.mask
+    }
+
+    #[inline]
+    pub(crate) fn uop(&self, i: usize) -> &Uop {
+        &self.uops[self.ring(i)]
+    }
+
+    /// Completion cycle of logical slot `i` ([`WAITING`] if unissued).
+    #[inline]
+    pub(crate) fn done_at(&self, i: usize) -> u64 {
+        self.done_at[self.ring(i)]
+    }
+
+    /// Whether logical slot `i` has completed by `now`. The sentinel makes
+    /// this a single compare: a waiting slot's `u64::MAX` is never `<= now`.
+    #[inline]
+    pub(crate) fn is_done(&self, i: usize, now: u64) -> bool {
+        self.done_at[self.ring(i)] <= now
+    }
+
+    /// Whether the front slot exists and has completed by `now`.
+    #[inline]
+    pub(crate) fn front_done(&self, now: u64) -> bool {
+        self.len > 0 && self.done_at[self.head] <= now
+    }
+
+    // Column accessors by ring slot, for the batched issue walk.
+
+    #[inline]
+    pub(crate) fn flags_at(&self, r: u16) -> u8 {
+        self.flags[r as usize]
+    }
+
+    #[inline]
+    pub(crate) fn port_at(&self, r: u16) -> u8 {
+        self.port[r as usize]
+    }
+
+    #[inline]
+    pub(crate) fn base_lat_at(&self, r: u16) -> u32 {
+        self.base_lat[r as usize]
+    }
+
+    #[inline]
+    pub(crate) fn dep_dist_at(&self, r: u16) -> u8 {
+        self.dep_dist[r as usize]
+    }
+
+    #[inline]
+    pub(crate) fn addr_at(&self, r: u16) -> u64 {
+        self.addr[r as usize]
+    }
+
+    #[inline]
+    pub(crate) fn done_at_ring(&self, r: u16) -> u64 {
+        self.done_at[r as usize]
+    }
+
+    /// First waiting ring slot in age order ([`NIL`] if none).
+    #[inline]
+    pub(crate) fn first_waiting(&self) -> u16 {
+        self.head_w
+    }
+
+    /// Waiting-list successor of ring slot `r`.
+    #[inline]
+    pub(crate) fn next_waiting(&self, r: u16) -> u16 {
+        self.next_w[r as usize]
+    }
+
+    /// Append a µop (entering in the waiting state) with sequence `seq`.
+    pub(crate) fn push_back(&mut self, uop: Uop, seq: u64) {
+        debug_assert!(self.len <= self.mask, "window arena overflow");
+        if self.len == 0 {
+            self.base_seq = seq;
+        } else {
+            debug_assert_eq!(seq, self.base_seq + self.len as u64, "non-contiguous seq");
+        }
+        let r = (self.head + self.len) & self.mask;
+        self.uops[r] = uop;
+        self.done_at[r] = WAITING;
+        self.flags[r] = flags_of(&uop);
+        self.port[r] = uop.kind.port().index() as u8;
+        self.base_lat[r] = uop.kind.base_latency();
+        self.dep_dist[r] = uop.dep_dist;
+        self.addr[r] = uop.mem.unwrap_or(uop.pc);
+        // Link at the tail of the waiting list (youngest).
+        let r16 = r as u16;
+        self.next_w[r] = NIL;
+        self.prev_w[r] = self.tail_w;
+        if self.tail_w != NIL {
+            self.next_w[self.tail_w as usize] = r16;
+        } else {
+            self.head_w = r16;
+        }
+        self.tail_w = r16;
+        self.len += 1;
+        self.waiting += 1;
+    }
+
+    /// Remove and return the front µop. The caller must have checked it is
+    /// done (a waiting front cannot retire), so the slot is never linked.
+    pub(crate) fn pop_front(&mut self) -> Uop {
+        debug_assert!(self.len > 0);
+        debug_assert_ne!(self.done_at[self.head], WAITING, "popping a waiting slot");
+        let u = self.uops[self.head];
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+        self.base_seq += 1;
+        u
+    }
+
+    /// Drop the front µop without materializing it (the batched retire
+    /// path classifies from the flag column and never reads the µop).
+    /// Same preconditions as [`WindowArena::pop_front`].
+    #[inline]
+    pub(crate) fn drop_front(&mut self) {
+        debug_assert!(self.len > 0);
+        debug_assert_ne!(self.done_at[self.head], WAITING, "popping a waiting slot");
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+        self.base_seq += 1;
+    }
+
+    /// Mark logical slot `i` as issued, completing at `done_at`.
+    #[inline]
+    pub(crate) fn mark_issued(&mut self, i: usize, done_at: u64) {
+        let r = self.ring(i) as u16;
+        self.mark_issued_ring(r, done_at);
+    }
+
+    /// Mark ring slot `r` as issued, completing at `done_at`; unlinks it
+    /// from the waiting list.
+    pub(crate) fn mark_issued_ring(&mut self, r: u16, done_at: u64) {
+        let ri = r as usize;
+        debug_assert_eq!(self.done_at[ri], WAITING, "double issue");
+        debug_assert_ne!(done_at, WAITING, "completion cycle collides with sentinel");
+        self.done_at[ri] = done_at;
+        let (p, n) = (self.prev_w[ri], self.next_w[ri]);
+        if p != NIL {
+            self.next_w[p as usize] = n;
+        } else {
+            self.head_w = n;
+        }
+        if n != NIL {
+            self.prev_w[n as usize] = p;
+        } else {
+            self.tail_w = p;
+        }
+        self.next_w[ri] = NIL;
+        self.prev_w[ri] = NIL;
+        self.waiting -= 1;
+    }
+
+    /// Drop every slot (used by snapshot restore and trace apply).
+    pub(crate) fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+        self.base_seq = 0;
+        self.waiting = 0;
+        self.head_w = NIL;
+        self.tail_w = NIL;
+        for r in 0..self.next_w.len() {
+            self.next_w[r] = NIL;
+            self.prev_w[r] = NIL;
+        }
+    }
+}
+
+impl std::fmt::Debug for WindowArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowArena")
+            .field("len", &self.len)
+            .field("waiting", &self.waiting)
+            .field("base_seq", &self.base_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiting_list_tracks_issue_order() {
+        let mut a = WindowArena::new(16);
+        for i in 0..5u64 {
+            a.push_back(Uop::alu(i * 4), i);
+        }
+        assert_eq!(a.waiting(), 5);
+        // Age-ordered walk visits logical 0..5.
+        let mut seen = Vec::new();
+        let mut r = a.first_waiting();
+        while r != NIL {
+            seen.push(a.logical_of(r));
+            r = a.next_waiting(r);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+
+        // Issue the middle one; the walk skips it.
+        a.mark_issued(2, 100);
+        let mut seen = Vec::new();
+        let mut r = a.first_waiting();
+        while r != NIL {
+            seen.push(a.logical_of(r));
+            r = a.next_waiting(r);
+        }
+        assert_eq!(seen, vec![0, 1, 3, 4]);
+        assert_eq!(a.waiting(), 4);
+        assert!(a.is_done(2, 100));
+        assert!(!a.is_done(2, 99));
+        assert!(!a.is_done(0, u64::MAX - 1), "waiting sentinel never done");
+    }
+
+    #[test]
+    fn ring_wraps_and_seqs_stay_contiguous() {
+        let mut a = WindowArena::new(8);
+        let mut seq = 0u64;
+        // Push/pop enough to wrap the ring several times.
+        for round in 0..10 {
+            for _ in 0..6 {
+                a.push_back(Uop::alu(seq * 4), seq);
+                seq += 1;
+            }
+            for k in 0..6 {
+                a.mark_issued(k, round);
+            }
+            for _ in 0..6 {
+                a.pop_front();
+            }
+            assert!(a.is_empty());
+        }
+        assert_eq!(a.base_seq() + a.len() as u64, seq);
+    }
+
+    #[test]
+    fn columns_precompute_issue_facts() {
+        let mut a = WindowArena::new(8);
+        a.push_back(Uop::load(0x40, 0x9000).with_dep(2), 7);
+        let r = a.ring(0) as u16;
+        assert_eq!(a.flags_at(r) & F_LOAD, F_LOAD);
+        assert_eq!(a.port_at(r) as usize, UopKind::Load.port().index());
+        assert_eq!(a.base_lat_at(r), UopKind::Load.base_latency());
+        assert_eq!(a.dep_dist_at(r), 2);
+        assert_eq!(a.addr_at(r), 0x9000);
+        assert_eq!(a.done_at_ring(r), WAITING);
+    }
+}

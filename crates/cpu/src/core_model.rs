@@ -1,4 +1,20 @@
 //! The SMT core pipeline model.
+//!
+//! The busy path runs in one of three execution tiers (see DESIGN.md
+//! §3.7). All three produce bit-identical counters, snapshots and golden
+//! CSVs — the tiers trade wall-clock speed for implementation simplicity,
+//! never simulated results:
+//!
+//! * [`ExecTier::Scalar`] — the reference interpreter: the issue stage
+//!   scans every window slot each cycle, re-deriving each µop's port and
+//!   latency, and retirement books counters one µop at a time.
+//! * [`ExecTier::Batched`] — the SoA fast path: the window lives in a
+//!   [`WindowArena`] with precomputed issue columns and an intrusive
+//!   waiting list, so the scheduler walk visits only schedulable µops and
+//!   retirement applies bulk counter updates.
+//! * [`ExecTier::Trace`] — batched, plus the compiled-trace tier
+//!   (`trace_tier`): hot anchor states are profiled at fetch and recorded
+//!   spans replay with a single bulk apply via [`SmtCore::trace_step`].
 
 use std::collections::VecDeque;
 
@@ -6,6 +22,9 @@ use jsmt_isa::{Asid, Uop, UopKind, DEP_NONE};
 use jsmt_mem::{AccessKind, MemConfig, MemoryHierarchy};
 use jsmt_perfmon::{CounterBank, Event, LogicalCpu};
 
+use crate::arena::{flags_of, WindowArena, F_BRANCH, F_LOAD, F_PRIV, F_SER, F_STORE, NIL, WAITING};
+use crate::trace_tier::{CompiledTrace, EntryState, Recorder, TraceEngine, MAX_TRACE, MIN_TRACE};
+use crate::TraceStats;
 use crate::{CoreConfig, FetchQueue};
 
 /// µop supply callback: append up to `max` µops of the software thread
@@ -16,24 +35,19 @@ use crate::{CoreConfig, FetchQueue};
 /// unbinding it.
 pub type FillFn<'a> = dyn FnMut(LogicalCpu, &mut FetchQueue, usize) -> usize + 'a;
 
+/// Which implementation of the busy path the core runs.
+///
+/// Purely a wall-clock choice: every tier produces bit-identical
+/// counters, snapshot bytes and golden CSVs (enforced by the
+/// `hot_loop_equivalence` differential suite).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SlotState {
-    Waiting,
-    Executing { done_at: u64 },
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    uop: Uop,
-    seq: u64,
-    state: SlotState,
-}
-
-impl Slot {
-    #[inline]
-    fn done(&self, now: u64) -> bool {
-        matches!(self.state, SlotState::Executing { done_at } if done_at <= now)
-    }
+pub enum ExecTier {
+    /// Reference interpreter: per-µop window scan and retirement.
+    Scalar,
+    /// SoA arena with waiting-list issue and bulk retirement counters.
+    Batched,
+    /// [`ExecTier::Batched`] plus the compiled-trace replay tier.
+    Trace,
 }
 
 #[derive(Debug)]
@@ -42,14 +56,9 @@ struct Context {
     draining: bool,
     asid: Asid,
     fetch_queue: FetchQueue,
-    window: VecDeque<Slot>,
+    window: WindowArena,
     loads_in_window: usize,
     stores_in_window: usize,
-    /// Window slots in [`SlotState::Waiting`], maintained incrementally
-    /// (+1 on allocation, −1 on issue; retirement only removes completed
-    /// slots). Lets both the issue-stage scan and the fast-forward
-    /// quietness check short-circuit in O(1) when nothing can issue.
-    waiting: usize,
     fetch_stall_until: u64,
     /// Sequence number of an unresolved mispredicted branch; fetch is
     /// halted until it resolves (we never fetch down the wrong path, so
@@ -61,16 +70,15 @@ struct Context {
 }
 
 impl Context {
-    fn new() -> Self {
+    fn new(window_capacity: usize) -> Self {
         Context {
             bound: false,
             draining: false,
             asid: Asid(1),
             fetch_queue: FetchQueue::new(),
-            window: VecDeque::with_capacity(130),
+            window: WindowArena::new(window_capacity),
             loads_in_window: 0,
             stores_in_window: 0,
-            waiting: 0,
             fetch_stall_until: 0,
             redirect_pending: None,
             next_seq: 0,
@@ -81,7 +89,11 @@ impl Context {
 
     #[inline]
     fn front_seq(&self) -> u64 {
-        self.window.front().map(|s| s.seq).unwrap_or(self.next_seq)
+        if self.window.is_empty() {
+            self.next_seq
+        } else {
+            self.window.base_seq()
+        }
     }
 
     #[inline]
@@ -119,23 +131,44 @@ pub struct SmtCore {
     /// Whether [`SmtCore::fast_forward`] may skip quiet cycles. Purely a
     /// wall-clock optimization: results are bit-identical either way.
     fastfwd: bool,
+    tier: ExecTier,
+    trace: TraceEngine,
+}
+
+impl std::fmt::Debug for TraceEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceEngine")
+            .field("stats", &self.stats)
+            .finish()
+    }
 }
 
 impl SmtCore {
     /// Build a core from pipeline and memory configurations.
     ///
-    /// The stall fast-forward path is enabled unless the
-    /// `JSMT_NO_FASTFWD=1` environment variable is set (the escape hatch
-    /// for A/B-ing the optimization; see [`SmtCore::fast_forward`]).
+    /// The stall fast-forward path is enabled unless `JSMT_NO_FASTFWD=1`
+    /// is set, and the compiled-trace tier unless `JSMT_NO_TRACE_TIER=1`
+    /// (the escape hatches for A/B-ing the optimizations; neither changes
+    /// simulated results).
     pub fn new(core_cfg: CoreConfig, mem_cfg: MemConfig) -> Self {
+        let tier = if std::env::var_os("JSMT_NO_TRACE_TIER").is_some_and(|v| v == "1") {
+            ExecTier::Batched
+        } else {
+            ExecTier::Trace
+        };
         SmtCore {
             cfg: core_cfg,
             mem: MemoryHierarchy::new(mem_cfg),
-            ctxs: [Context::new(), Context::new()],
+            ctxs: [
+                Context::new(core_cfg.window_uops),
+                Context::new(core_cfg.window_uops),
+            ],
             bank: CounterBank::new(),
             now: 0,
             fill_chunk: 48,
             fastfwd: std::env::var_os("JSMT_NO_FASTFWD").is_none_or(|v| v != "1"),
+            tier,
+            trace: TraceEngine::new(),
         }
     }
 
@@ -171,10 +204,11 @@ impl SmtCore {
             self.cfg.ht_enabled || lcpu == LogicalCpu::Lp0,
             "logical CPU 1 does not exist with Hyper-Threading disabled"
         );
+        self.trace.invalidate_all();
         let ctx = &mut self.ctxs[lcpu.index()];
         assert!(!ctx.bound, "context {lcpu:?} already bound");
         assert!(ctx.drained(), "context {lcpu:?} not drained before bind");
-        debug_assert_eq!(ctx.waiting, 0, "drained context has waiting µops");
+        debug_assert_eq!(ctx.window.waiting(), 0, "drained context has waiting µops");
         ctx.bound = true;
         ctx.draining = false;
         ctx.asid = asid;
@@ -187,6 +221,7 @@ impl SmtCore {
     /// Request that a context stop fetching so it can be unbound. The
     /// in-flight µops continue to execute and retire.
     pub fn request_drain(&mut self, lcpu: LogicalCpu) {
+        self.trace.invalidate_all();
         self.ctxs[lcpu.index()].draining = true;
     }
 
@@ -197,6 +232,7 @@ impl SmtCore {
     /// Panics if the context still has µops in flight (request a drain and
     /// wait for [`ContextSnapshot::drained`] first).
     pub fn unbind(&mut self, lcpu: LogicalCpu) {
+        self.trace.invalidate_all();
         let ctx = &mut self.ctxs[lcpu.index()];
         assert!(ctx.bound, "context {lcpu:?} not bound");
         assert!(
@@ -238,34 +274,72 @@ impl SmtCore {
         self.fastfwd
     }
 
+    /// Select the execution tier (default: [`ExecTier::Trace`], or
+    /// [`ExecTier::Batched`] under `JSMT_NO_TRACE_TIER=1`). Never changes
+    /// simulated results — only wall-clock speed. Switching tiers
+    /// invalidates any compiled traces.
+    pub fn set_exec_tier(&mut self, tier: ExecTier) {
+        self.trace.invalidate_all();
+        self.tier = tier;
+    }
+
+    /// The active execution tier.
+    pub fn exec_tier(&self) -> ExecTier {
+        self.tier
+    }
+
+    /// Whether the compiled-trace tier is active.
+    pub fn trace_tier_enabled(&self) -> bool {
+        self.tier == ExecTier::Trace
+    }
+
+    /// Compile/replay statistics of the trace tier.
+    pub fn trace_stats(&self) -> TraceStats {
+        self.trace.stats
+    }
+
+    /// Drop all compiled traces and profiling state. Correctness never
+    /// requires calling this (structural events invalidate internally);
+    /// exposed for tests and diagnostics.
+    pub fn invalidate_traces(&mut self) {
+        self.trace.invalidate_all();
+    }
+
     /// Try to advance the machine by up to `max` cycles in one jump,
     /// without a fill callback. Returns the number of cycles skipped;
     /// `0` means the next cycle may do real work (or fast-forward is
-    /// disabled) and the caller must run [`SmtCore::cycle`] instead.
+    /// disabled) and the caller must run [`SmtCore::cycle`] (or
+    /// [`SmtCore::trace_step`]) instead.
     ///
     /// A span of cycles is skippable only when every per-cycle effect of
     /// the step-by-step machine is *provably replayable in bulk*:
     ///
-    /// * no window slot is waiting to issue (in-order retirement means
-    ///   mid-window completions cannot unblock anything either),
+    /// * no window slot can issue inside the span: either nothing is
+    ///   waiting, or every waiting µop the scheduler scan would visit is
+    ///   dependence-blocked on an in-flight producer — the earliest such
+    ///   producer completion caps the span (see
+    ///   [`SmtCore::issue_quiet_bound`]),
     /// * no window head completes inside the span (no retirement),
     /// * no pending redirect resolves inside the span,
     /// * no context is draining (drain completion must be observed
     ///   cycle-exactly by the OS scheduler), and
     /// * at most one context could fetch — and then only when its fetch
     ///   stage provably repeats the same alloc-stalled, trace-cache-hit
-    ///   probe every cycle (the queue is above the refill threshold, the
-    ///   head µop is blocked on a window/load/store share, and the probe
-    ///   would hit).
+    ///   probe every cycle: the fetch queue is above the refill threshold
+    ///   (so the µop source is never consulted), the queue head is blocked
+    ///   on a window/load/store share, and the probe at its pc would hit.
     ///
     /// The horizon is the earliest "interesting" cycle: the minimum over
     /// window-head completion times, redirect resolution times, and
     /// fetch-stall expiries, capped at `max`. Every counter the skipped
     /// cycles would have touched (`ClockCycles`, `ActiveCycles`,
     /// `DualThreadCycles`, `OsCycles`, `CyclesRetire0`, and — for the
-    /// alloc-stalled replay — `TcLookups`/`AllocStallCycles` plus the
-    /// trace-cache LRU touch) is bulk-added, keeping the machine state
-    /// bit-identical to stepping cycle by cycle.
+    /// alloc-stalled replay — the `TcLookups`/`AllocStallCycles` of the
+    /// repeated probe, applied through the trace cache's bulk
+    /// `fetch_repeat_hit` so its internal stamps advance identically) is
+    /// bulk-added, keeping the machine bit-identical to stepping cycle by
+    /// cycle. A skip also aborts any in-progress trace recording: the
+    /// recorder counts real stepped cycles only.
     pub fn fast_forward(&mut self, max: u64) -> u64 {
         if !self.fastfwd || max == 0 {
             return 0;
@@ -273,32 +347,35 @@ impl SmtCore {
         let now = self.now;
         let mut next_event = u64::MAX;
         let mut fetcher = None;
+        // Cheap O(1) disqualifiers first (retirement, redirects, fetch
+        // progress); the O(scan) waiting-walk bound runs only for states
+        // that survive them.
         for i in 0..2 {
             let c = &self.ctxs[i];
-            if c.draining || c.waiting > 0 {
+            if c.draining {
                 return 0;
             }
-            if let Some(front) = c.window.front() {
-                match front.state {
-                    SlotState::Executing { done_at } if done_at > now => {
-                        next_event = next_event.min(done_at);
-                    }
-                    // Head done (retire acts) or waiting (can't happen
-                    // with waiting == 0, but never skip on it).
-                    _ => return 0,
+            if !c.window.is_empty() {
+                let d = c.window.done_at(0);
+                if d <= now {
+                    return 0; // head done: retirement acts this cycle
                 }
+                next_event = next_event.min(d);
             }
             if let Some(seq) = c.redirect_pending {
                 let front = c.front_seq();
                 if seq < front {
                     return 0; // resolves this cycle (branch retired)
                 }
-                match c.window.get((seq - front) as usize).map(|s| s.state) {
-                    Some(SlotState::Executing { done_at }) if done_at > now => {
-                        next_event = next_event.min(done_at);
-                    }
-                    _ => return 0, // resolves this cycle
+                let idx = (seq - front) as usize;
+                if idx >= c.window.len() {
+                    return 0; // resolves this cycle
                 }
+                let d = c.window.done_at(idx);
+                if d == WAITING || d <= now {
+                    return 0; // resolves this cycle (or cannot be timed)
+                }
+                next_event = next_event.min(d);
             } else if c.bound {
                 if c.fetch_stall_until > now {
                     next_event = next_event.min(c.fetch_stall_until);
@@ -338,10 +415,21 @@ impl SmtCore {
             alloc_stalled = Some((i, head.pc));
         }
 
+        for i in 0..2 {
+            match self.issue_quiet_bound(i, now) {
+                None => return 0,
+                Some(b) => next_event = next_event.min(b),
+            }
+        }
+
         if next_event <= now {
             return 0;
         }
         let span = (next_event - now).min(max);
+
+        // The recorder counts real stepped cycles; a bulk skip mid-capture
+        // cannot be represented, so the recording is abandoned.
+        self.trace.abort_recording();
 
         // Bulk-replay the per-cycle accounting of `span` quiet cycles.
         if self.ctxs[0].bound && self.ctxs[1].bound {
@@ -375,10 +463,80 @@ impl SmtCore {
         span
     }
 
+    /// Earliest cycle at which context `i`'s issue walk could issue a µop,
+    /// or `None` if it could issue *this* cycle (not skippable).
+    ///
+    /// Replicates the scheduler walk read-only, visiting exactly the slots
+    /// the real walk charges scan budget for, in the same order: a waiting
+    /// µop with no (unretired) producer would issue now; one blocked on an
+    /// issued producer becomes eligible the cycle that producer completes;
+    /// one blocked on a still-waiting producer is strictly later than its
+    /// producer's own unblock (the producer is older, so it was already
+    /// visited and bounded). Slots past the scan budget, or shadowed by a
+    /// non-head serializer, cannot act until some bounded event happens
+    /// first. Nothing issuing means the walk has no side effects at all —
+    /// no counters, no cache traffic — so the skipped cycles replay as
+    /// pure no-ops.
+    fn issue_quiet_bound(&self, i: usize, now: u64) -> Option<u64> {
+        let w = &self.ctxs[i].window;
+        if w.waiting() == 0 {
+            return Some(u64::MAX);
+        }
+        // An issued-incomplete serializer parks at the window head and
+        // blocks the walk entirely until it retires; head completion
+        // already bounds the span for the caller.
+        if !w.is_empty() {
+            let r0 = w.ring(0) as u16;
+            let d0 = w.done_at_ring(r0);
+            if w.flags_at(r0) & F_SER != 0 && d0 != WAITING && d0 > now {
+                return Some(u64::MAX);
+            }
+        }
+        let base_seq = w.base_seq();
+        let mut bound = u64::MAX;
+        let mut scan_budget = self.cfg.scheduler_scan;
+        let mut r = w.first_waiting();
+        while r != NIL {
+            if scan_budget == 0 {
+                return Some(bound);
+            }
+            let flags = w.flags_at(r);
+            let idx = w.logical_of(r);
+            if flags & F_SER != 0 && idx != 0 {
+                // The walk stops here every cycle of the span.
+                return Some(bound);
+            }
+            scan_budget -= 1;
+            let dep = w.dep_dist_at(r);
+            if dep == DEP_NONE {
+                return None;
+            }
+            match (base_seq + idx as u64).checked_sub(dep as u64) {
+                None => return None,
+                Some(ps) if ps < base_seq => return None, // producer retired
+                Some(ps) => {
+                    let d = w.done_at((ps - base_seq) as usize);
+                    if d <= now {
+                        return None; // producer done: issues this cycle
+                    }
+                    if d != WAITING {
+                        bound = bound.min(d);
+                    }
+                }
+            }
+            r = w.next_waiting(r);
+        }
+        Some(bound)
+    }
+
     /// Advance the machine by one cycle. `fill` supplies µops for bound,
     /// fetching contexts.
     pub fn cycle(&mut self, fill: &mut FillFn<'_>) {
         let now = self.now;
+
+        if self.tier == ExecTier::Trace {
+            self.trace_cycle_start(now);
+        }
 
         // --- per-cycle accounting -------------------------------------
         let both = self.dual_thread();
@@ -402,6 +560,260 @@ impl SmtCore {
         self.retire_stage(now);
 
         self.now = now + 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Compiled-trace tier
+    // ------------------------------------------------------------------
+
+    /// Cheap anchor preconditions: exactly one bound context, quiescent
+    /// sibling, no redirect, expired fetch stall, a nonempty fetch queue,
+    /// and a block-aligned head pc (which rate-limits profile lookups).
+    /// Every anchor state has behaviorally equivalent elided fields, so
+    /// [`EntryState`] equality implies identical forward evolution.
+    fn cheap_anchor(&self, now: u64) -> Option<usize> {
+        let (i, j) = match (self.ctxs[0].bound, self.ctxs[1].bound) {
+            (true, false) => (0, 1),
+            (false, true) => (1, 0),
+            _ => return None,
+        };
+        let c = &self.ctxs[i];
+        if c.draining || c.redirect_pending.is_some() || c.fetch_stall_until > now {
+            return None;
+        }
+        let sib = &self.ctxs[j];
+        if sib.draining || !sib.window.is_empty() || !sib.fetch_queue.is_empty() {
+            return None;
+        }
+        let head = c.fetch_queue.front()?;
+        if head.pc & 0x3FF >= 16 {
+            return None;
+        }
+        Some(i)
+    }
+
+    /// O(1) profile/cache key for context `i`'s current anchor state:
+    /// a mix of the scalar fields only (head pc, asid, mode bits, queue
+    /// and window occupancy). Distinct full states may collide — that is
+    /// resolved by the exact [`EntryState`] comparison before any replay
+    /// — but the hot path never pays for a full state encode unless this
+    /// key already has a compiled trace or a hot profile counter.
+    fn cheap_key(&self, i: usize) -> u64 {
+        let c = &self.ctxs[i];
+        let head_pc = c.fetch_queue.front().map_or(0, |u| u.pc);
+        let mut k = 0x9E37_79B9_7F4A_7C15u64 ^ (i as u64);
+        for field in [
+            c.asid.0 as u64,
+            (c.in_kernel as u64) | (c.starved as u64) << 1,
+            head_pc,
+            c.fetch_queue.len() as u64,
+            c.window.len() as u64,
+            c.window.waiting() as u64,
+        ] {
+            k = (k ^ field).wrapping_mul(0x0000_0100_0000_01B3);
+            k ^= k >> 29;
+        }
+        k
+    }
+
+    /// Encode context `i`'s architectural state with completion times
+    /// relative to `now_ref`.
+    fn encode_state(&self, i: usize, now_ref: u64) -> EntryState {
+        let c = &self.ctxs[i];
+        let window = (0..c.window.len())
+            .map(|k| {
+                let d = c.window.done_at(k);
+                let rel = (d != WAITING).then(|| d.wrapping_sub(now_ref));
+                (*c.window.uop(k), rel)
+            })
+            .collect();
+        EntryState {
+            ctx: i as u8,
+            asid: c.asid.0,
+            in_kernel: c.in_kernel,
+            starved: c.starved,
+            queue: c.fetch_queue.iter().copied().collect(),
+            window,
+        }
+    }
+
+    /// Recorder bookkeeping at the top of every stepped cycle (Trace tier
+    /// only): advance/finalize/abort an active recording, then profile the
+    /// current state and possibly start a new one.
+    fn trace_cycle_start(&mut self, now: u64) {
+        if self.trace.recorder.is_some() {
+            let (cycles, rec_ctx) = {
+                let rec = self.trace.recorder.as_mut().expect("checked");
+                rec.cycles += 1;
+                (rec.cycles, rec.ctx)
+            };
+            if cycles >= MIN_TRACE && self.cheap_anchor(now) == Some(rec_ctx) {
+                self.finalize_recording(now);
+            } else if cycles >= MAX_TRACE {
+                // The machine never re-anchored: give up on this entry.
+                self.trace.abort_recording();
+            }
+        }
+        if self.trace.recorder.is_none() {
+            if let Some(i) = self.cheap_anchor(now) {
+                let key = self.cheap_key(i);
+                if self.trace.profile_hit(key) {
+                    let entry = self.encode_state(i, now);
+                    self.trace.recorder = Some(Recorder {
+                        key,
+                        ctx: i,
+                        entry,
+                        entry_bank: self.bank.clone(),
+                        entry_now: now,
+                        entry_next_seq: self.ctxs[i].next_seq,
+                        cycles: 0,
+                        fill_uops: Vec::new(),
+                        probes: Vec::new(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Turn the active recording into a compiled trace ending at the
+    /// current (re-anchored) state.
+    fn finalize_recording(&mut self, _now: u64) {
+        let rec = self.trace.recorder.take().expect("recorder active");
+        let i = rec.ctx;
+        // End-state completion times are relative to the *entry* cycle, so
+        // replay can rebase them with a single wrapping add.
+        let end = self.encode_state(i, rec.entry_now);
+        let delta_bank = self.bank.delta(&rec.entry_bank);
+        let delta: Vec<_> = delta_bank.iter_nonzero().collect();
+        let trace = CompiledTrace {
+            entry: rec.entry,
+            cycles: rec.cycles,
+            fill_uops: rec.fill_uops,
+            probes: rec.probes,
+            delta,
+            end,
+            next_seq_advance: self.ctxs[i].next_seq - rec.entry_next_seq,
+        };
+        self.trace.stats.compiled += 1;
+        self.trace.insert(rec.key, trace);
+    }
+
+    /// Try to replay a compiled trace: advance up to `max` cycles with one
+    /// bulk apply. `pending` is the exact queue of µops the fill callback
+    /// would deliver next; on success the caller must drop the returned
+    /// number of µops from its front (the trace consumed them).
+    ///
+    /// Returns `(cycles_advanced, uops_consumed)`; `(0, 0)` means no trace
+    /// applied and **nothing was mutated** — the caller falls back to
+    /// [`SmtCore::fast_forward`] / [`SmtCore::cycle`] as usual.
+    ///
+    /// The caller is responsible for span-level soundness: during the
+    /// replayed span the world outside the core must be quiescent (no
+    /// scheduler/GC/timer event, no fault injection) and every fill must
+    /// be a pure drain of `pending`. Within the core, bit-identity is
+    /// enforced here: the full entry state must compare equal, the
+    /// pending µops must match the recorded deliveries element-wise, and
+    /// every recorded probe must still hit the trace cache (hits don't
+    /// move cache contents, so hit-ness is invariant across the span).
+    pub fn trace_step(&mut self, max: u64, pending: &VecDeque<Uop>) -> (u64, usize) {
+        if self.tier != ExecTier::Trace
+            || max == 0
+            || self.trace.recorder.is_some()
+            || self.trace.no_traces()
+        {
+            // `no_traces` is the common case on workloads the recorder
+            // cannot cover (any memory traffic aborts recording); it keeps
+            // this per-stepped-cycle probe at a single branch there.
+            return (0, 0);
+        }
+        let now = self.now;
+        let Some(i) = self.cheap_anchor(now) else {
+            return (0, 0);
+        };
+        let key = self.cheap_key(i);
+        if !self.trace.has_trace(key) {
+            return (0, 0);
+        }
+        let trace = self.trace.take(key).expect("checked");
+        if trace.cycles > max || trace.fill_uops.len() > pending.len() {
+            // Valid trace, wrong moment (span cap or shallow pending);
+            // keep it for later.
+            self.trace.insert(key, trace);
+            return (0, 0);
+        }
+        // Full state encode only happens with a candidate trace in hand.
+        let state = self.encode_state(i, now);
+        if trace.entry != state
+            || !trace
+                .fill_uops
+                .iter()
+                .zip(pending.iter())
+                .all(|(a, b)| a == b)
+        {
+            // Hash collision or a changed µop stream: drop the trace (it
+            // stays taken) and step instead. Nothing was mutated.
+            self.trace.note_mismatch(key);
+            return (0, 0);
+        }
+        let lcpu = LogicalCpu::from_index(i);
+        let asid = self.ctxs[i].asid;
+        for &(pc, _) in &trace.probes {
+            if !self.mem.fetch_would_hit(pc, asid, lcpu) {
+                // Trace-cache contents moved since recording.
+                self.trace.note_mismatch(key);
+                return (0, 0);
+            }
+        }
+
+        // --- committed: bulk apply ------------------------------------
+        for &(l, e, v) in &trace.delta {
+            self.bank.add(l, e, v);
+        }
+        // The recorded delta already contains the probes' counter events;
+        // replaying them against a scratch bank advances the trace cache's
+        // internal hit stamps identically without double counting.
+        let mut scratch = CounterBank::new();
+        for &(pc, n) in &trace.probes {
+            self.mem.fetch_repeat_hit(pc, asid, lcpu, n, &mut scratch);
+        }
+        let cycles = trace.cycles;
+        let consumed = trace.fill_uops.len();
+        self.apply_end_state(i, &trace.end, trace.next_seq_advance, now);
+        self.trace.stats.replayed += 1;
+        self.trace.stats.replayed_cycles += cycles;
+        self.trace.insert(key, trace);
+        self.now = now + cycles;
+        (cycles, consumed)
+    }
+
+    /// Install a trace's end state on context `i`. `now` is the replay
+    /// entry cycle (end-state completion times are entry-relative).
+    fn apply_end_state(&mut self, i: usize, end: &EntryState, next_seq_advance: u64, now: u64) {
+        let ctx = &mut self.ctxs[i];
+        ctx.fetch_queue.clear();
+        jsmt_isa::UopSink::push_uops(&mut ctx.fetch_queue, &end.queue);
+        ctx.next_seq += next_seq_advance;
+        let base = ctx.next_seq - end.window.len() as u64;
+        ctx.window.clear();
+        ctx.loads_in_window = 0;
+        ctx.stores_in_window = 0;
+        for (k, (uop, issued)) in end.window.iter().enumerate() {
+            ctx.window.push_back(*uop, base + k as u64);
+            if let Some(rel) = issued {
+                ctx.window.mark_issued(k, rel.wrapping_add(now));
+            }
+            let f = flags_of(uop);
+            if f & F_LOAD != 0 {
+                ctx.loads_in_window += 1;
+            }
+            if f & F_STORE != 0 {
+                ctx.stores_in_window += 1;
+            }
+        }
+        ctx.in_kernel = end.in_kernel;
+        ctx.starved = end.starved;
+        // fetch_stall_until is untouched: anchors require it expired, and
+        // stepping the span would never have written it.
     }
 
     // ------------------------------------------------------------------
@@ -439,6 +851,20 @@ impl SmtCore {
                 "source overfilled the fetch buffer"
             );
             let _ = got;
+            if self.trace.recorder.is_some() {
+                if delivered != want {
+                    // A partial/empty fill means the source did more than
+                    // drain its pending buffer; replay can't reproduce it.
+                    self.trace.abort_recording();
+                } else {
+                    let q = &self.ctxs[i].fetch_queue;
+                    let rec = self.trace.recorder.as_mut().expect("checked");
+                    debug_assert_eq!(rec.ctx, i, "recording survived a sibling bind");
+                    for k in before..q.len() {
+                        rec.fill_uops.push(*q.get(k).expect("in range"));
+                    }
+                }
+            }
         }
         // Recompute starvation unconditionally: skipping the refill (queue
         // above threshold, or draining) must not leave a stale flag for
@@ -452,6 +878,18 @@ impl SmtCore {
         let asid = self.ctxs[i].asid;
         let first_pc = self.ctxs[i].fetch_queue.front().expect("nonempty").pc;
         let outcome = self.mem.fetch(first_pc, asid, lcpu, &mut self.bank);
+        if self.trace.recorder.is_some() {
+            if outcome.tc_hit {
+                self.trace
+                    .recorder
+                    .as_mut()
+                    .expect("checked")
+                    .note_probe(first_pc);
+            } else {
+                // A miss perturbs trace-cache contents; unreplayable.
+                self.trace.abort_recording();
+            }
+        }
         if !outcome.tc_hit {
             self.ctxs[i].fetch_stall_until = now + outcome.penalty as u64;
             self.bank
@@ -498,6 +936,9 @@ impl SmtCore {
 
             let mut mispredict = false;
             if let Some(info) = uop.branch {
+                // Allocating a branch touches the BTB and direction
+                // predictor, whose state a replay cannot reproduce.
+                self.trace.abort_recording();
                 let predicted_target = self.mem.btb.lookup(uop.pc, asid, lcpu);
                 self.bank.inc(lcpu, Event::BtbLookups);
                 if predicted_target.is_none() {
@@ -515,12 +956,7 @@ impl SmtCore {
             }
 
             let ctx = &mut self.ctxs[i];
-            ctx.window.push_back(Slot {
-                uop,
-                seq,
-                state: SlotState::Waiting,
-            });
-            ctx.waiting += 1;
+            ctx.window.push_back(uop, seq);
             fetched += 1;
 
             if mispredict {
@@ -540,6 +976,7 @@ impl SmtCore {
         let mut port_budget = self.cfg.port_quota;
         let mut issue_budget = self.cfg.issue_width;
         let first = (now & 1) as usize;
+        let scalar = self.tier == ExecTier::Scalar;
         for &i in &[first, 1 - first] {
             if issue_budget == 0 {
                 break;
@@ -547,18 +984,25 @@ impl SmtCore {
             if !self.ctxs[i].bound && self.ctxs[i].window.is_empty() {
                 continue;
             }
-            self.issue_context(i, now, &mut port_budget, &mut issue_budget);
+            if scalar {
+                self.issue_context_scalar(i, now, &mut port_budget, &mut issue_budget);
+            } else {
+                self.issue_context_batched(i, now, &mut port_budget, &mut issue_budget);
+            }
         }
     }
 
-    fn issue_context(
+    /// Reference interpreter: scan every window slot in age order,
+    /// re-deriving each µop's port class and base latency. Kept verbatim
+    /// as the differential baseline the batched walk is proven against.
+    fn issue_context_scalar(
         &mut self,
         i: usize,
         now: u64,
         port_budget: &mut [u8; 5],
         issue_budget: &mut usize,
     ) {
-        if self.ctxs[i].waiting == 0 {
+        if self.ctxs[i].window.waiting() == 0 {
             // Nothing to schedule, and with in-order retirement a
             // mid-window completion can't unblock anything: the scan
             // below would be a pure read. Skip it in O(1) — the same
@@ -579,14 +1023,9 @@ impl SmtCore {
             // Gather the facts we need without holding a borrow across the
             // memory-model call below.
             let (kind, dep_dist, mem_addr, pc, waiting) = {
-                let slot = &self.ctxs[i].window[idx];
-                (
-                    slot.uop.kind,
-                    slot.uop.dep_dist,
-                    slot.uop.mem,
-                    slot.uop.pc,
-                    matches!(slot.state, SlotState::Waiting),
-                )
+                let w = &self.ctxs[i].window;
+                let u = w.uop(idx);
+                (u.kind, u.dep_dist, u.mem, u.pc, w.done_at(idx) == WAITING)
             };
 
             // A serializing µop must be the oldest in the window, and
@@ -596,7 +1035,7 @@ impl SmtCore {
             }
 
             if !waiting {
-                if kind.is_serializing() && !self.ctxs[i].window[idx].done(now) {
+                if kind.is_serializing() && !self.ctxs[i].window.is_done(idx, now) {
                     return;
                 }
                 continue;
@@ -611,7 +1050,7 @@ impl SmtCore {
                 if let Some(producer_seq) = cur_seq.checked_sub(dep_dist as u64) {
                     if producer_seq >= front_seq {
                         let pidx = (producer_seq - front_seq) as usize;
-                        if !self.ctxs[i].window[pidx].done(now) {
+                        if !self.ctxs[i].window.is_done(pidx, now) {
                             continue;
                         }
                     }
@@ -646,15 +1085,108 @@ impl SmtCore {
 
             port_budget[port] -= 1;
             *issue_budget -= 1;
-            self.ctxs[i].window[idx].state = SlotState::Executing {
-                done_at: now + latency as u64,
-            };
-            self.ctxs[i].waiting -= 1;
+            self.ctxs[i].window.mark_issued(idx, now + latency as u64);
 
             if kind.is_serializing() {
                 // Nothing younger may issue this cycle.
                 return;
             }
+        }
+    }
+
+    /// SoA fast path: walk the arena's age-ordered waiting list, reading
+    /// precomputed port/latency/flag columns. Visits exactly the slots the
+    /// scalar scan would charge scan budget for, in the same order, so
+    /// every budget decision, `data_access` call and issue is identical.
+    fn issue_context_batched(
+        &mut self,
+        i: usize,
+        now: u64,
+        port_budget: &mut [u8; 5],
+        issue_budget: &mut usize,
+    ) {
+        if self.ctxs[i].window.waiting() == 0 {
+            return;
+        }
+        // An issued serializer parks at the front until it retires; while
+        // incomplete, nothing younger may issue (the scalar scan returns at
+        // its first iteration). Waiting serializers are handled in-walk.
+        {
+            let w = &self.ctxs[i].window;
+            if !w.is_empty() {
+                let r0 = w.ring(0) as u16;
+                let d0 = w.done_at_ring(r0);
+                if w.flags_at(r0) & F_SER != 0 && d0 != WAITING && d0 > now {
+                    return;
+                }
+            }
+        }
+        let lcpu = LogicalCpu::from_index(i);
+        let asid = self.ctxs[i].asid;
+        let base_seq = self.ctxs[i].window.base_seq();
+        let recording = self.trace.recorder.is_some();
+        let mut scan_budget = self.cfg.scheduler_scan;
+        let mut r = self.ctxs[i].window.first_waiting();
+
+        while r != NIL {
+            if *issue_budget == 0 || scan_budget == 0 {
+                return;
+            }
+            let w = &self.ctxs[i].window;
+            let next = w.next_waiting(r);
+            let flags = w.flags_at(r);
+            let idx = w.logical_of(r);
+            if flags & F_SER != 0 && idx != 0 {
+                return;
+            }
+            scan_budget -= 1;
+
+            let dep = w.dep_dist_at(r);
+            if dep != DEP_NONE {
+                if let Some(producer_seq) = (base_seq + idx as u64).checked_sub(dep as u64) {
+                    if producer_seq >= base_seq {
+                        let pidx = (producer_seq - base_seq) as usize;
+                        if !w.is_done(pidx, now) {
+                            r = next;
+                            continue;
+                        }
+                    }
+                }
+            }
+
+            let port = w.port_at(r) as usize;
+            if port_budget[port] == 0 {
+                r = next;
+                continue;
+            }
+
+            let mut latency = w.base_lat_at(r);
+            let addr = w.addr_at(r);
+            if flags & F_LOAD != 0 {
+                latency += self
+                    .mem
+                    .data_access(addr, asid, lcpu, AccessKind::Read, &mut self.bank);
+            } else if flags & F_STORE != 0 {
+                let _ = self
+                    .mem
+                    .data_access(addr, asid, lcpu, AccessKind::Write, &mut self.bank);
+            }
+            if recording && flags & (F_LOAD | F_STORE | F_SER) != 0 {
+                // Memory and serializing issues read (and move) cache
+                // state a replay could not reproduce.
+                self.trace.abort_recording();
+            }
+
+            port_budget[port] -= 1;
+            *issue_budget -= 1;
+            self.ctxs[i]
+                .window
+                .mark_issued_ring(r, now + latency as u64);
+
+            if flags & F_SER != 0 {
+                return;
+            }
+            r = next;
         }
     }
 
@@ -672,13 +1204,14 @@ impl SmtCore {
                 // The branch already retired.
                 Some(now)
             } else {
+                let w = &self.ctxs[i].window;
                 let idx = (seq - front) as usize;
-                match self.ctxs[i].window.get(idx) {
-                    Some(slot) => match slot.state {
-                        SlotState::Executing { done_at } if done_at <= now => Some(done_at),
-                        _ => None,
-                    },
-                    None => Some(now),
+                if idx >= w.len() {
+                    Some(now)
+                } else {
+                    let d = w.done_at(idx);
+                    // A waiting slot's sentinel is never <= now.
+                    (d <= now).then_some(d)
                 }
             };
             if let Some(at) = resolved_at {
@@ -699,16 +1232,8 @@ impl SmtCore {
     fn retire_stage(&mut self, now: u64) {
         // The P4 alternates retirement between logical CPUs when both are
         // active; a lone thread retires every cycle.
-        let a = self.ctxs[0]
-            .window
-            .front()
-            .map(|s| s.done(now))
-            .unwrap_or(false);
-        let b = self.ctxs[1]
-            .window
-            .front()
-            .map(|s| s.done(now))
-            .unwrap_or(false);
+        let a = self.ctxs[0].window.front_done(now);
+        let b = self.ctxs[1].window.front_done(now);
         let i = match (a, b) {
             (true, true) => (now & 1) as usize,
             (true, false) => 0,
@@ -719,17 +1244,30 @@ impl SmtCore {
             }
         };
         let lcpu = LogicalCpu::from_index(i);
+        let retired = if self.tier == ExecTier::Scalar {
+            self.retire_scalar(i, lcpu, now)
+        } else {
+            self.retire_batched(i, lcpu, now)
+        };
+        let hist = match retired.min(3) {
+            0 => Event::CyclesRetire0,
+            1 => Event::CyclesRetire1,
+            2 => Event::CyclesRetire2,
+            _ => Event::CyclesRetire3,
+        };
+        self.bank.inc(LogicalCpu::Lp0, hist);
+    }
+
+    /// Reference retirement: one counter update per retired µop.
+    fn retire_scalar(&mut self, i: usize, lcpu: LogicalCpu, now: u64) -> usize {
         let mut retired = 0usize;
         while retired < self.cfg.retire_width {
             let ctx = &mut self.ctxs[i];
-            let Some(front) = ctx.window.front() else {
-                break;
-            };
-            if !front.done(now) {
+            if !ctx.window.front_done(now) {
                 break;
             }
-            let slot = ctx.window.pop_front().expect("front exists");
-            match slot.uop.kind {
+            let uop = ctx.window.pop_front();
+            match uop.kind {
                 UopKind::Load => {
                     ctx.loads_in_window -= 1;
                     self.bank.inc(lcpu, Event::LoadsRetired);
@@ -749,37 +1287,82 @@ impl SmtCore {
             }
             self.bank.inc(lcpu, Event::UopsRetired);
             self.bank.inc(lcpu, Event::InstrRetired);
-            if slot.uop.privileged {
+            if uop.privileged {
                 self.bank.inc(lcpu, Event::UopsRetiredKernel);
             }
             retired += 1;
         }
-        let hist = match retired.min(3) {
-            0 => Event::CyclesRetire0,
-            1 => Event::CyclesRetire1,
-            2 => Event::CyclesRetire2,
-            _ => Event::CyclesRetire3,
-        };
-        self.bank.inc(LogicalCpu::Lp0, hist);
+        retired
+    }
+
+    /// Batched retirement: classify the retiring run from the flag column
+    /// and apply one bulk counter add per event. Counter *values* are
+    /// identical to the scalar path (addition commutes within a cycle).
+    fn retire_batched(&mut self, i: usize, lcpu: LogicalCpu, now: u64) -> usize {
+        let mut retired = 0usize;
+        let (mut loads, mut stores, mut branches, mut kernel) = (0u64, 0u64, 0u64, 0u64);
+        {
+            let ctx = &mut self.ctxs[i];
+            while retired < self.cfg.retire_width && ctx.window.front_done(now) {
+                let r0 = ctx.window.ring(0) as u16;
+                let flags = ctx.window.flags_at(r0);
+                ctx.window.drop_front();
+                if flags & F_LOAD != 0 {
+                    ctx.loads_in_window -= 1;
+                    loads += 1;
+                }
+                if flags & F_STORE != 0 {
+                    ctx.stores_in_window -= 1;
+                    stores += 1;
+                }
+                if flags & F_BRANCH != 0 {
+                    branches += 1;
+                }
+                if flags & F_PRIV != 0 {
+                    kernel += 1;
+                }
+                retired += 1;
+            }
+        }
+        if retired > 0 {
+            if loads > 0 {
+                self.bank.add(lcpu, Event::LoadsRetired, loads);
+            }
+            if stores > 0 {
+                self.bank.add(lcpu, Event::StoresRetired, stores);
+            }
+            if branches > 0 {
+                self.bank.add(lcpu, Event::BranchesRetired, branches);
+            }
+            self.bank.add(lcpu, Event::UopsRetired, retired as u64);
+            self.bank.add(lcpu, Event::InstrRetired, retired as u64);
+            if kernel > 0 {
+                self.bank.add(lcpu, Event::UopsRetiredKernel, kernel);
+            }
+        }
+        retired
     }
 }
 
 impl jsmt_snapshot::Snapshotable for Context {
+    /// The encoding predates the SoA arena and is kept byte-identical:
+    /// per-slot `(µop, seq, executing?, done_at)` tuples, with sequence
+    /// numbers materialized from the arena's `base_seq + index` invariant.
     fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
         w.put_bool(self.bound);
         w.put_bool(self.draining);
         w.put_u16(self.asid.0);
         self.fetch_queue.save_state(w);
         w.put_usize(self.window.len());
-        for slot in &self.window {
-            slot.uop.write_to(w);
-            w.put_u64(slot.seq);
-            match slot.state {
-                SlotState::Waiting => w.put_bool(false),
-                SlotState::Executing { done_at } => {
-                    w.put_bool(true);
-                    w.put_u64(done_at);
-                }
+        for k in 0..self.window.len() {
+            self.window.uop(k).write_to(w);
+            w.put_u64(self.window.base_seq() + k as u64);
+            let d = self.window.done_at(k);
+            if d == WAITING {
+                w.put_bool(false);
+            } else {
+                w.put_bool(true);
+                w.put_u64(d);
             }
         }
         w.put_u64(self.fetch_stall_until);
@@ -799,30 +1382,30 @@ impl jsmt_snapshot::Snapshotable for Context {
         self.fetch_queue.restore_state(r)?;
         let n = r.get_len(10)?;
         self.window.clear();
-        // `waiting` and the load/store occupancy counts are derived from
-        // the window contents, so they are recomputed rather than stored
-        // (the invariants hold by construction on restore).
+        // The waiting count/list and the load/store occupancy counts are
+        // derived from the window contents, so they are recomputed rather
+        // than stored (the invariants hold by construction on restore).
         self.loads_in_window = 0;
         self.stores_in_window = 0;
-        self.waiting = 0;
-        for _ in 0..n {
+        for k in 0..n {
             let uop = Uop::read_from(r)?;
             let seq = r.get_u64()?;
-            let state = if r.get_bool()? {
-                SlotState::Executing {
-                    done_at: r.get_u64()?,
-                }
-            } else {
-                self.waiting += 1;
-                SlotState::Waiting
-            };
+            if k > 0 && seq != self.window.base_seq() + k as u64 {
+                return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                    "window sequence numbers are not contiguous",
+                ));
+            }
+            self.window.push_back(uop, seq);
+            if r.get_bool()? {
+                let done_at = r.get_u64()?;
+                self.window.mark_issued(k, done_at);
+            }
             if matches!(uop.kind, UopKind::Load | UopKind::AtomicRmw) {
                 self.loads_in_window += 1;
             }
             if matches!(uop.kind, UopKind::Store | UopKind::AtomicRmw) {
                 self.stores_in_window += 1;
             }
-            self.window.push_back(Slot { uop, seq, state });
         }
         self.fetch_stall_until = r.get_u64()?;
         self.redirect_pending = r.get_opt_u64()?;
@@ -835,9 +1418,11 @@ impl jsmt_snapshot::Snapshotable for Context {
 
 impl jsmt_snapshot::Snapshotable for SmtCore {
     /// The pipeline/memory *configurations* are reconstruction inputs, not
-    /// state, and are deliberately absent — as is the `fastfwd` toggle,
-    /// which never changes simulated results. The one exception is a
-    /// hyper-threading guard bit, so a dual-thread snapshot cannot be
+    /// state, and are deliberately absent — as are the `fastfwd` toggle,
+    /// the execution tier, and the trace cache/profile, none of which ever
+    /// change simulated results (a restored core recompiles traces from
+    /// cold and still produces bit-identical output). The one exception is
+    /// a hyper-threading guard bit, so a dual-thread snapshot cannot be
     /// restored into a single-thread machine.
     fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
         w.section("guard", |w| w.put_bool(self.cfg.ht_enabled));
@@ -852,6 +1437,9 @@ impl jsmt_snapshot::Snapshotable for SmtCore {
         &mut self,
         r: &mut jsmt_snapshot::Reader<'_>,
     ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        // Compiled traces are keyed off live machine state; a restore
+        // replaces that state wholesale, so they cannot survive it.
+        self.trace.invalidate_all();
         if r.section("guard")?.get_bool()? != self.cfg.ht_enabled {
             return Err(jsmt_snapshot::SnapshotError::Corrupt(
                 "snapshot hyper-threading mode disagrees with core configuration",
@@ -865,7 +1453,6 @@ impl jsmt_snapshot::Snapshotable for SmtCore {
         Ok(())
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -909,12 +1496,31 @@ mod tests {
 
     #[test]
     fn retirement_histogram_accounts_every_cycle() {
-        let (bank, cycles) = run_single(CoreConfig::p4(false), 10_000, 2);
-        let hist = bank.total(Event::CyclesRetire0)
-            + bank.total(Event::CyclesRetire1)
-            + bank.total(Event::CyclesRetire2)
-            + bank.total(Event::CyclesRetire3);
-        assert_eq!(hist, cycles, "exactly one histogram bucket per cycle");
+        // Every execution tier must fill exactly one histogram bucket per
+        // cycle — the batched retire path books the same buckets in bulk.
+        for tier in [ExecTier::Scalar, ExecTier::Batched, ExecTier::Trace] {
+            let mut core = SmtCore::new(CoreConfig::p4(false), MemConfig::p4(false));
+            core.set_exec_tier(tier);
+            let mut stream = small_stream(2);
+            core.bind(LogicalCpu::Lp0, Asid(1));
+            for _ in 0..30_000 {
+                core.cycle(&mut |_l, buf, max| stream.fill(buf, max));
+            }
+            let snap = core.counters().clone();
+            let cycles = 10_000;
+            for _ in 0..cycles {
+                core.cycle(&mut |_l, buf, max| stream.fill(buf, max));
+            }
+            let bank = core.counters().delta(&snap);
+            let hist = bank.total(Event::CyclesRetire0)
+                + bank.total(Event::CyclesRetire1)
+                + bank.total(Event::CyclesRetire2)
+                + bank.total(Event::CyclesRetire3);
+            assert_eq!(
+                hist, cycles,
+                "exactly one histogram bucket per cycle under {tier:?}"
+            );
+        }
     }
 
     /// A DRAM-bound, high-MLP stream: the window size directly limits how
@@ -1162,6 +1768,132 @@ mod tests {
         assert!(
             ipc_bad < ipc_good,
             "mispredicts must cost IPC: {ipc_bad:.3} vs {ipc_good:.3}"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Execution-tier differential tests
+    // ------------------------------------------------------------------
+
+    /// The trace tier defaults on (absent `JSMT_NO_TRACE_TIER=1`); the
+    /// programmatic setter mirrors the env knob without env races.
+    #[test]
+    fn exec_tier_selection() {
+        let mut core = SmtCore::new(CoreConfig::p4(false), MemConfig::p4(false));
+        assert!(matches!(
+            core.exec_tier(),
+            ExecTier::Trace | ExecTier::Batched
+        ));
+        core.set_exec_tier(ExecTier::Scalar);
+        assert_eq!(core.exec_tier(), ExecTier::Scalar);
+        assert!(!core.trace_tier_enabled());
+        core.set_exec_tier(ExecTier::Trace);
+        assert!(core.trace_tier_enabled());
+        assert_eq!(core.trace_stats(), TraceStats::default());
+    }
+
+    /// Drive one core per execution tier through the same dual-thread
+    /// workload and demand bit-identical counters and snapshot bytes (the
+    /// proptest suite in `tests/hot_loop_equivalence.rs` widens this over
+    /// random workloads and checkpoint cycles).
+    #[test]
+    fn all_tiers_agree_bit_for_bit() {
+        let n = 40_000;
+        let mut banks = Vec::new();
+        let mut bytes = Vec::new();
+        for tier in [ExecTier::Scalar, ExecTier::Batched, ExecTier::Trace] {
+            let mut core = SmtCore::new(CoreConfig::p4(true), MemConfig::p4(true));
+            core.set_exec_tier(tier);
+            let mut s0 = mlp_stream(21);
+            let mut s1 = small_stream(22);
+            core.bind(LogicalCpu::Lp0, Asid(1));
+            core.bind(LogicalCpu::Lp1, Asid(2));
+            for _ in 0..n {
+                core.cycle(&mut |l, buf, max| match l {
+                    LogicalCpu::Lp0 => s0.fill(buf, max),
+                    LogicalCpu::Lp1 => s1.fill(buf, max),
+                });
+            }
+            banks.push(core.counters().clone());
+            bytes.push(jsmt_snapshot::save_bytes(&core));
+        }
+        assert_eq!(banks[0], banks[1], "scalar vs batched counters diverged");
+        assert_eq!(banks[1], banks[2], "batched vs trace counters diverged");
+        assert_eq!(bytes[0], bytes[1], "scalar vs batched snapshot bytes");
+        assert_eq!(bytes[1], bytes[2], "batched vs trace snapshot bytes");
+    }
+
+    /// A dense pure-compute stream — the shape the compiled-trace tier
+    /// targets. Traces must actually compile and replay, and the replayed
+    /// machine must stay bit-identical to a batched reference stepping
+    /// every cycle.
+    #[test]
+    fn trace_tier_replays_bit_for_bit() {
+        let n = 200_000;
+        let dense = |seed| {
+            SyntheticStream::builder(seed)
+                .code_footprint(2 * 1024)
+                .mem_fraction(0.0)
+                .branch_fraction(0.0)
+                .dep_chain(0.0)
+                .fp_fraction(0.4)
+                .build()
+        };
+
+        let mut reference = SmtCore::new(CoreConfig::p4(false), MemConfig::p4(false));
+        reference.set_exec_tier(ExecTier::Batched);
+        let mut s_ref = dense(33);
+        reference.bind(LogicalCpu::Lp0, Asid(1));
+        for _ in 0..n {
+            reference.cycle(&mut |_l, buf, max| s_ref.fill(buf, max));
+        }
+
+        // Trace tier, driven the way the system layer drives it: fills are
+        // pure drains of a pending µop buffer, and a successful replay
+        // consumes the matched µops from its front.
+        let mut core = SmtCore::new(CoreConfig::p4(false), MemConfig::p4(false));
+        core.set_exec_tier(ExecTier::Trace);
+        let mut stream = dense(33);
+        let mut pending: VecDeque<Uop> = VecDeque::new();
+        core.bind(LogicalCpu::Lp0, Asid(1));
+        while core.cycles() < n {
+            // A replay only applies when the pending buffer covers every
+            // fill the trace recorded (up to fetch_width × MAX_TRACE µops),
+            // so keep it stocked deeper than the longest possible trace.
+            while pending.len() < 4096 {
+                stream.fill(&mut pending, 48);
+            }
+            let (cycles, consumed) = core.trace_step(n - core.cycles(), &pending);
+            if cycles > 0 {
+                pending.drain(..consumed);
+                continue;
+            }
+            core.cycle(&mut |_l, buf, max| {
+                let take = max.min(pending.len());
+                for u in pending.drain(..take) {
+                    buf.push_back(u);
+                }
+                take
+            });
+        }
+
+        let stats = core.trace_stats();
+        assert!(stats.compiled > 0, "dense stream must compile: {stats:?}");
+        assert!(stats.replayed > 0, "traces must replay: {stats:?}");
+        assert!(
+            stats.replayed_cycles > n / 4,
+            "replay should cover a large share of the run: {stats:?}"
+        );
+        assert_eq!(core.cycles(), reference.cycles());
+        assert_eq!(
+            core.counters(),
+            reference.counters(),
+            "trace replay diverged from stepping"
+        );
+        assert_eq!(
+            jsmt_snapshot::save_bytes(&core),
+            jsmt_snapshot::save_bytes(&reference),
+            "snapshot bytes diverged after replay"
         );
     }
 }

@@ -56,6 +56,24 @@ impl FetchQueue {
         (self.len > 0).then(|| &self.buf[self.head])
     }
 
+    /// The `k`-th queued µop counting from the front (0 = oldest).
+    #[inline]
+    pub fn get(&self, k: usize) -> Option<&Uop> {
+        (k < self.len).then(|| &self.buf[(self.head + k) & (CAP - 1)])
+    }
+
+    /// Iterate the queued µops front to back.
+    pub fn iter(&self) -> impl Iterator<Item = &Uop> {
+        (0..self.len).map(move |k| &self.buf[(self.head + k) & (CAP - 1)])
+    }
+
+    /// Drop all queued µops.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+
     /// Remove and return the oldest µop.
     #[inline]
     pub fn pop_front(&mut self) -> Option<Uop> {
@@ -117,6 +135,20 @@ impl UopSink for FetchQueue {
     #[inline]
     fn push_uop(&mut self, uop: Uop) {
         self.push_back(uop);
+    }
+
+    /// Bulk append: one capacity check for the whole batch, then straight
+    /// copies into the ring (the batch-emit fast path trace replay uses
+    /// when re-materializing a verified fetch queue).
+    fn push_uops(&mut self, uops: &[Uop]) {
+        debug_assert!(
+            self.len + uops.len() <= CAP,
+            "fetch queue overflow: source ignored max"
+        );
+        for &u in uops.iter().take(CAP - self.len) {
+            self.buf[(self.head + self.len) & (CAP - 1)] = u;
+            self.len += 1;
+        }
     }
 }
 

@@ -40,11 +40,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod config;
 mod core_model;
 mod fetch_queue;
 pub mod synth;
+mod trace_tier;
 
 pub use config::{CoreConfig, Partition};
-pub use core_model::{ContextSnapshot, FillFn, SmtCore};
+pub use core_model::{ContextSnapshot, ExecTier, FillFn, SmtCore};
 pub use fetch_queue::FetchQueue;
+pub use trace_tier::TraceStats;

@@ -143,14 +143,66 @@ impl SyntheticStreamBuilder {
         } else {
             Region::Heap.base()
         };
+        // Resolve every static (per-pc) draw once. `next_uop` runs a few
+        // times per simulated cycle on both sides of every benchmark; the
+        // two splitmix rounds and float conversions per call were a top-5
+        // profile entry. Values are identical to the on-the-fly draws.
+        let slots = self.code_footprint.div_ceil(4) as usize;
+        let mut sites = Vec::with_capacity(slots);
+        let unit = |x: u64| (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let branch_cut = self.mem_fraction + (1.0 - self.mem_fraction) * self.branch_fraction;
+        let fp_cut = branch_cut + (1.0 - branch_cut) * self.fp_fraction;
+        for s in 0..slots {
+            let pc = code_base + s as u64 * 4;
+            let mut site = SplitMix::new(pc.wrapping_mul(0xA24B_AED4_963E_E407));
+            let r_kind = unit(site.next_u64());
+            let site_word = site.next_u64();
+            sites.push(if r_kind < self.mem_fraction {
+                if unit(site_word) < self.store_fraction {
+                    Site::Store
+                } else {
+                    Site::Load
+                }
+            } else if r_kind < branch_cut {
+                let biased = unit(site_word) < self.branch_bias;
+                let target = code_base + site.next_u64() % self.code_footprint;
+                Site::Branch { biased, target }
+            } else if r_kind < fp_cut {
+                Site::Fp
+            } else {
+                Site::Alu
+            });
+        }
         SyntheticStream {
             rng: SplitMix::new(self.seed),
             cfg: self,
             pc_off: 0,
             code_base,
             data_base,
+            sites,
         }
     }
+}
+
+/// Precomputed static classification of one code site (see
+/// [`SyntheticStreamBuilder::build`]).
+#[derive(Debug, Clone, Copy)]
+enum Site {
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Branch site with its bias class and (static) target.
+    Branch {
+        /// Strongly biased site (taken except rare flips).
+        biased: bool,
+        /// Static branch target.
+        target: Addr,
+    },
+    /// Floating-point µop.
+    Fp,
+    /// Plain ALU µop.
+    Alu,
 }
 
 /// An infinite synthetic µop stream.
@@ -166,6 +218,7 @@ pub struct SyntheticStream {
     pc_off: u64,
     code_base: Addr,
     data_base: Addr,
+    sites: Vec<Site>,
 }
 
 impl SyntheticStream {
@@ -175,70 +228,58 @@ impl SyntheticStream {
     }
 
     #[inline]
-    fn next_pc(&mut self) -> Addr {
-        let pc = self.code_base + self.pc_off;
+    fn next_slot(&mut self) -> usize {
+        let slot = (self.pc_off >> 2) as usize;
         self.pc_off += 4;
         if self.pc_off >= self.cfg.code_footprint {
             self.pc_off = 0;
         }
-        pc
+        slot
     }
 
     /// Generate one µop.
     ///
     /// The µop *kind*, a branch's *target* and its *bias class* are stable
-    /// functions of the pc — static program properties — while data
-    /// addresses, dependence distances and branch outcomes vary per visit,
-    /// as in real execution. This is what lets the BTB and direction
-    /// predictor learn, and the trace cache see a stable code footprint.
+    /// functions of the pc — static program properties, resolved once at
+    /// build time into the site table — while data addresses, dependence
+    /// distances and branch outcomes vary per visit, as in real execution.
+    /// This is what lets the BTB and direction predictor learn, and the
+    /// trace cache see a stable code footprint.
     pub fn next_uop(&mut self) -> Uop {
-        let pc = self.next_pc();
-        let priv_ = self.cfg.privileged;
+        let slot = self.next_slot();
+        let pc = self.code_base + slot as u64 * 4;
         let dep = if self.rng.chance(self.cfg.dep_chain) {
             1 + self.rng.below(4) as u8
         } else {
             DEP_NONE
         };
 
-        // Static (per-pc) draws.
-        let mut site = SplitMix::new(pc.wrapping_mul(0xA24B_AED4_963E_E407));
-        let unit = |x: u64| (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-        let r_kind = unit(site.next_u64());
-        let site_word = site.next_u64();
-
-        let branch_cut =
-            self.cfg.mem_fraction + (1.0 - self.cfg.mem_fraction) * self.cfg.branch_fraction;
-        let fp_cut = branch_cut + (1.0 - branch_cut) * self.cfg.fp_fraction;
-        let mut uop = if r_kind < self.cfg.mem_fraction {
-            let addr = self.data_base + (self.rng.below(self.cfg.data_footprint) & !7);
-            if unit(site_word) < self.cfg.store_fraction {
-                Uop::store(pc, addr)
-            } else {
+        let mut uop = match self.sites[slot] {
+            Site::Load => {
+                let addr = self.data_base + (self.rng.below(self.cfg.data_footprint) & !7);
                 Uop::load(pc, addr)
             }
-        } else if r_kind < branch_cut {
-            // Branch-site classification: a `branch_bias` fraction of
-            // branch sites are strongly biased; the rest are
-            // data-dependent coin flips.
-            let biased_site = unit(site_word) < self.cfg.branch_bias;
-            let taken = if biased_site {
-                // Biased sites still flip occasionally (loop exits).
-                !self.rng.chance(0.02)
-            } else {
-                self.rng.chance(0.5)
-            };
-            let target = self.code_base + site.next_u64() % self.cfg.code_footprint;
-            Uop::branch(pc, target, taken)
-        } else if r_kind < fp_cut {
-            Uop {
+            Site::Store => {
+                let addr = self.data_base + (self.rng.below(self.cfg.data_footprint) & !7);
+                Uop::store(pc, addr)
+            }
+            Site::Branch { biased, target } => {
+                let taken = if biased {
+                    // Biased sites still flip occasionally (loop exits).
+                    !self.rng.chance(0.02)
+                } else {
+                    self.rng.chance(0.5)
+                };
+                Uop::branch(pc, target, taken)
+            }
+            Site::Fp => Uop {
                 kind: UopKind::FpMul,
                 ..Uop::alu(pc)
-            }
-        } else {
-            Uop::alu(pc)
+            },
+            Site::Alu => Uop::alu(pc),
         };
         uop.dep_dist = dep;
-        uop.privileged = priv_;
+        uop.privileged = self.cfg.privileged;
         uop
     }
 

@@ -1,0 +1,408 @@
+//! The compiled-trace execution tier.
+//!
+//! Mirrors a tiered JIT: the core profiles *anchor states* (cheap,
+//! recognizable pipeline configurations) at fetch, and when one gets hot
+//! it records the next span of real cycles as a **compiled trace** — the
+//! entry state, every µop the fill callback delivered, every trace-cache
+//! probe, the exact per-counter delta, and the end state. When the same
+//! entry state is seen again the whole span is replayed with one bulk
+//! apply instead of stepping cycle by cycle.
+//!
+//! Bit-identity is enforced structurally, not probabilistically:
+//!
+//! * a replay requires the *full* entry state (fetch queue + window
+//!   contents with relative completion times) to compare equal — the
+//!   64-bit key is only an index, never trusted;
+//! * the µops the trace would consume must equal the pending µops the
+//!   caller is about to supply, compared element-wise before anything is
+//!   mutated (mismatch ⇒ the trace is dropped and the caller falls back
+//!   to stepping — no state was touched);
+//! * recording **aborts** on anything whose replay we cannot prove
+//!   exact: a trace-cache miss, a branch allocation (predictor/BTB state),
+//!   issue of a memory or serializing µop (cache state and latency), a
+//!   partial or empty fill (the source consulted more than its pending
+//!   buffer), or a fast-forward skip. Keys that keep aborting are
+//!   poisoned so steady state pays nothing for unprofilable code;
+//! * any structural event — bind, unbind, drain request, snapshot
+//!   restore, tier change — invalidates every trace and the recorder.
+//!
+//! What survives those rules is a span of pure compute µops (ALU/FP)
+//! fed by full fills and hitting the trace cache every probe: exactly
+//! the dense busy loops the interpreted stepper is slowest on.
+
+#[cfg(test)]
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+#[cfg(test)]
+use std::hash::Hash;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use jsmt_isa::Uop;
+use jsmt_perfmon::{CounterBank, Event, LogicalCpu};
+
+/// Minimum cycles a recording must span before it may finalize.
+pub(crate) const MIN_TRACE: u64 = 16;
+/// Recording longer than this aborts (the state never re-anchored).
+pub(crate) const MAX_TRACE: u64 = 1024;
+/// Anchor sightings before recording starts (record on sighting
+/// `THRESHOLD + 1`, like a JIT compile trigger).
+pub(crate) const THRESHOLD: u32 = 2;
+/// Aborted recordings before a key is poisoned (never profiled again).
+pub(crate) const ABORT_LIMIT: u32 = 4;
+/// Maximum resident compiled traces (LRU-evicted beyond this).
+pub(crate) const CACHE_CAP: usize = 32;
+/// Maximum profiled keys; the profile is cleared on overflow.
+pub(crate) const PROFILE_CAP: usize = 2048;
+
+/// The complete architectural state of one context at a trace boundary,
+/// with clock-relative completion times so recurring pipeline
+/// configurations compare equal across absolute cycles.
+///
+/// Sequence numbers are elided: the window invariant
+/// `next_seq == base_seq + len` makes them pure relabelings, and the
+/// fetch-stall deadline is elided because an anchor requires it expired
+/// (all expired deadlines are behaviorally equivalent and replay never
+/// writes it).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub(crate) struct EntryState {
+    /// Which hardware context (the sibling must be unbound and empty).
+    pub ctx: u8,
+    /// Bound address space.
+    pub asid: u16,
+    /// Kernel-mode flag (drives `OsCycles` accounting).
+    pub in_kernel: bool,
+    /// Scheduler-visible starvation flag.
+    pub starved: bool,
+    /// Fetch-queue contents, front to back.
+    pub queue: Vec<Uop>,
+    /// Window contents, oldest first: `(µop, None)` for a slot still
+    /// waiting to issue, `(µop, Some(done_at - now))` (wrapping) for an
+    /// executing or completed slot.
+    pub window: Vec<(Uop, Option<u64>)>,
+}
+
+impl EntryState {
+    /// 64-bit digest of the full state (test helper; the hot path keys
+    /// traces by the core's O(1) cheap key and resolves collisions with
+    /// the exact equality check at replay).
+    #[cfg(test)]
+    pub(crate) fn key(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// A recorded, replayable span of cycles.
+pub(crate) struct CompiledTrace {
+    /// The state the machine must be in for this trace to apply.
+    pub entry: EntryState,
+    /// Cycles the span consumes.
+    pub cycles: u64,
+    /// Every µop delivered by the fill callback during the span, in
+    /// delivery order. Replay requires the caller's pending µops to match
+    /// element-wise, then consumes exactly this many.
+    pub fill_uops: Vec<Uop>,
+    /// Trace-cache probes as `(pc, repeat_count)` runs; all hits.
+    pub probes: Vec<(u64, u64)>,
+    /// Exact counter delta of the span.
+    pub delta: Vec<(LogicalCpu, Event, u64)>,
+    /// End state; window completion times relative to the *entry* cycle.
+    pub end: EntryState,
+    /// How far `next_seq` advanced (µops allocated during the span).
+    pub next_seq_advance: u64,
+}
+
+/// An in-progress recording. The machine steps normally while this is
+/// active; the recorder only observes.
+pub(crate) struct Recorder {
+    /// Cache key of the entry state.
+    pub key: u64,
+    /// Context being recorded.
+    pub ctx: usize,
+    /// Full entry state (stored into the trace on finalize).
+    pub entry: EntryState,
+    /// Counter bank at entry (finalize takes the delta).
+    pub entry_bank: CounterBank,
+    /// Clock at entry (end-state completion times are made relative to
+    /// this).
+    pub entry_now: u64,
+    /// `next_seq` at entry.
+    pub entry_next_seq: u64,
+    /// Completed cycles since entry.
+    pub cycles: u64,
+    /// Fill deliveries so far, flattened.
+    pub fill_uops: Vec<Uop>,
+    /// Probe runs so far.
+    pub probes: Vec<(u64, u64)>,
+}
+
+impl Recorder {
+    /// Append one probe (run-length compressed).
+    pub(crate) fn note_probe(&mut self, pc: u64) {
+        match self.probes.last_mut() {
+            Some((last, n)) if *last == pc => *n += 1,
+            _ => self.probes.push((pc, 1)),
+        }
+    }
+}
+
+/// Replay/compile statistics, for diagnostics and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Traces compiled (recordings finalized).
+    pub compiled: u64,
+    /// Successful bulk replays.
+    pub replayed: u64,
+    /// Simulated cycles covered by replays.
+    pub replayed_cycles: u64,
+    /// Recordings aborted (unreplayable event observed).
+    pub aborts: u64,
+    /// Replay attempts rejected by the exact entry/fill comparison
+    /// (the trace was dropped; the machine stepped instead).
+    pub mismatches: u64,
+}
+
+#[derive(Default)]
+struct ProfileEntry {
+    hits: u32,
+    aborts: u32,
+}
+
+/// Pass-through hasher for the profile and trace maps. Their keys are
+/// already FNV-mixed 64-bit digests (`SmtCore::cheap_key`), and replay
+/// never trusts the key — the exact [`EntryState`] comparison resolves
+/// collisions — so SipHash on the per-stepped-cycle probe path buys
+/// nothing.
+#[derive(Default)]
+struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reached for non-u64 keys (none today); FNV keeps it sound.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+type KeyMap<V> = HashMap<u64, V, BuildHasherDefault<KeyHasher>>;
+
+/// Profiler + trace cache + recorder bookkeeping for one core.
+pub(crate) struct TraceEngine {
+    profile: KeyMap<ProfileEntry>,
+    traces: KeyMap<CompiledTrace>,
+    /// LRU order of `traces` keys, most recent last.
+    lru: Vec<u64>,
+    pub(crate) recorder: Option<Recorder>,
+    pub(crate) stats: TraceStats,
+}
+
+impl TraceEngine {
+    pub(crate) fn new() -> Self {
+        TraceEngine {
+            profile: KeyMap::default(),
+            traces: KeyMap::default(),
+            lru: Vec::new(),
+            recorder: None,
+            stats: TraceStats::default(),
+        }
+    }
+
+    /// Whether no traces are compiled at all — the O(1) reason for
+    /// [`SmtCore::trace_step`] to skip keying/probing entirely on
+    /// workloads the recorder can never cover.
+    ///
+    /// [`SmtCore::trace_step`]: crate::SmtCore::trace_step
+    pub(crate) fn no_traces(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Whether a compiled trace exists for `key`.
+    pub(crate) fn has_trace(&self, key: u64) -> bool {
+        self.traces.contains_key(&key)
+    }
+
+    /// Take the trace for `key` out of the cache (the caller reinserts on
+    /// successful replay; a rejected trace stays out — natural
+    /// invalidation).
+    pub(crate) fn take(&mut self, key: u64) -> Option<CompiledTrace> {
+        self.traces.remove(&key)
+    }
+
+    /// (Re)insert a trace and mark it most-recently used; evicts the
+    /// coldest trace beyond [`CACHE_CAP`].
+    pub(crate) fn insert(&mut self, key: u64, trace: CompiledTrace) {
+        self.lru.retain(|&k| k != key);
+        self.lru.push(key);
+        self.traces.insert(key, trace);
+        if self.lru.len() > CACHE_CAP {
+            let cold = self.lru.remove(0);
+            self.traces.remove(&cold);
+        }
+    }
+
+    /// Record an anchor sighting of `key`. Returns `true` when the key is
+    /// hot, unpoisoned, and not yet compiled — i.e. recording should start.
+    pub(crate) fn profile_hit(&mut self, key: u64) -> bool {
+        if self.profile.len() >= PROFILE_CAP && !self.profile.contains_key(&key) {
+            // Bounded memory: forget and re-learn rather than grow.
+            self.profile.clear();
+        }
+        let e = self.profile.entry(key).or_default();
+        e.hits = e.hits.saturating_add(1);
+        e.hits > THRESHOLD && e.aborts < ABORT_LIMIT && !self.traces.contains_key(&key)
+    }
+
+    /// Abort the active recording (if any), charging the key's abort
+    /// budget toward poisoning.
+    pub(crate) fn abort_recording(&mut self) {
+        if let Some(rec) = self.recorder.take() {
+            self.stats.aborts += 1;
+            if let Some(e) = self.profile.get_mut(&rec.key) {
+                e.aborts = e.aborts.saturating_add(1);
+            }
+        }
+    }
+
+    /// Drop a trace after a replay-time mismatch (hash collision or a
+    /// changed µop stream).
+    pub(crate) fn note_mismatch(&mut self, key: u64) {
+        self.stats.mismatches += 1;
+        self.lru.retain(|&k| k != key);
+        // The trace was already taken out by `take`; nothing else holds it.
+    }
+
+    /// Invalidate everything: traces, profile, and any active recording.
+    /// Called on every structural event (bind/unbind/drain/restore/tier
+    /// change) — correctness never depends on *which* events could have
+    /// perturbed a trace.
+    pub(crate) fn invalidate_all(&mut self) {
+        self.traces.clear();
+        self.lru.clear();
+        self.profile.clear();
+        self.recorder = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_state(tag: u64) -> EntryState {
+        EntryState {
+            ctx: 0,
+            asid: 1,
+            in_kernel: false,
+            starved: false,
+            queue: vec![Uop::alu(tag)],
+            window: vec![(Uop::alu(tag + 4), Some(3)), (Uop::alu(tag + 8), None)],
+        }
+    }
+
+    fn dummy_trace(tag: u64) -> CompiledTrace {
+        CompiledTrace {
+            entry: dummy_state(tag),
+            cycles: 20,
+            fill_uops: Vec::new(),
+            probes: Vec::new(),
+            delta: Vec::new(),
+            end: dummy_state(tag + 100),
+            next_seq_advance: 0,
+        }
+    }
+
+    #[test]
+    fn keys_distinguish_states_and_match_recurrences() {
+        let a = dummy_state(0x400);
+        let b = dummy_state(0x800);
+        assert_eq!(a.key(), dummy_state(0x400).key());
+        assert_ne!(a.key(), b.key());
+        // Waiting vs executing-at-rel-0 must not collide.
+        let mut c = dummy_state(0x400);
+        c.window[1].1 = Some(0);
+        assert_ne!(a.key(), c.key());
+        assert!(a == dummy_state(0x400) && a != c);
+    }
+
+    #[test]
+    fn threshold_then_record_then_poison() {
+        let mut eng = TraceEngine::new();
+        let key = 42;
+        assert!(!eng.profile_hit(key));
+        assert!(!eng.profile_hit(key));
+        assert!(eng.profile_hit(key), "third sighting is hot");
+        // Keep aborting: after ABORT_LIMIT the key is poisoned.
+        for _ in 0..ABORT_LIMIT {
+            eng.recorder = Some(Recorder {
+                key,
+                ctx: 0,
+                entry: dummy_state(1),
+                entry_bank: CounterBank::new(),
+                entry_now: 0,
+                entry_next_seq: 0,
+                cycles: 0,
+                fill_uops: Vec::new(),
+                probes: Vec::new(),
+            });
+            eng.abort_recording();
+        }
+        assert!(!eng.profile_hit(key), "poisoned key never records again");
+        assert_eq!(eng.stats.aborts, ABORT_LIMIT as u64);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_beyond_cap() {
+        let mut eng = TraceEngine::new();
+        for k in 0..(CACHE_CAP as u64 + 3) {
+            eng.insert(k, dummy_trace(k));
+        }
+        assert!(!eng.has_trace(0) && !eng.has_trace(1) && !eng.has_trace(2));
+        assert!(eng.has_trace(3) && eng.has_trace(CACHE_CAP as u64 + 2));
+        // Touch key 3 (take + reinsert), then overflow once more: key 4 is
+        // now the coldest.
+        let t = eng.take(3).unwrap();
+        eng.insert(3, t);
+        eng.insert(999, dummy_trace(999));
+        assert!(eng.has_trace(3) && !eng.has_trace(4));
+    }
+
+    #[test]
+    fn probe_runs_compress() {
+        let mut rec = Recorder {
+            key: 0,
+            ctx: 0,
+            entry: dummy_state(1),
+            entry_bank: CounterBank::new(),
+            entry_now: 0,
+            entry_next_seq: 0,
+            cycles: 0,
+            fill_uops: Vec::new(),
+            probes: Vec::new(),
+        };
+        for pc in [16, 16, 16, 32, 16] {
+            rec.note_probe(pc);
+        }
+        assert_eq!(rec.probes, vec![(16, 3), (32, 1), (16, 1)]);
+    }
+
+    #[test]
+    fn invalidate_all_clears_everything() {
+        let mut eng = TraceEngine::new();
+        eng.insert(7, dummy_trace(7));
+        eng.profile_hit(7);
+        eng.invalidate_all();
+        assert!(!eng.has_trace(7));
+        assert!(eng.recorder.is_none());
+        // Profile restarts from zero.
+        assert!(!eng.profile_hit(7));
+    }
+}

@@ -2,13 +2,17 @@
 //! mid-execution is byte-canonical and, driven by the same µop supply,
 //! retires cycle-for-cycle identically to its uninterrupted twin.
 
+use std::collections::VecDeque;
+
 use jsmt_cpu::synth::SyntheticStream;
-use jsmt_cpu::{CoreConfig, SmtCore};
-use jsmt_isa::Asid;
+use jsmt_cpu::{CoreConfig, ExecTier, SmtCore};
+use jsmt_isa::{Asid, Uop};
 use jsmt_mem::MemConfig;
 use jsmt_perfmon::LogicalCpu;
 use jsmt_snapshot::{restore_bytes, save_bytes};
 use proptest::prelude::*;
+
+const TIERS: [ExecTier; 3] = [ExecTier::Scalar, ExecTier::Batched, ExecTier::Trace];
 
 fn stream(seed: u64, mem: f64, br: f64) -> SyntheticStream {
     SyntheticStream::builder(seed)
@@ -44,14 +48,20 @@ proptest! {
     fn core_round_trip_continues_identically(
         ht in any::<bool>(),
         dual in any::<bool>(),
+        tier_ix in 0usize..3,
         mem in 0.0f64..0.5,
         br in 0.0f64..0.3,
         warm in 100u64..4000,
         tail in 100u64..3000,
     ) {
         let dual = dual && ht;
+        // The checkpoint lands at an arbitrary cycle, so under the batched
+        // and trace tiers this covers mid-batch (partially issued window,
+        // arena waiting list mid-flight) state round-tripping.
+        let tier = TIERS[tier_ix];
         let mk = || {
             let mut core = SmtCore::new(CoreConfig::p4(ht), MemConfig::p4(ht));
+            core.set_exec_tier(tier);
             core.bind(LogicalCpu::Lp0, Asid(1));
             if dual {
                 core.bind(LogicalCpu::Lp1, Asid(2));
@@ -80,6 +90,96 @@ proptest! {
         prop_assert_eq!(restored.cycles(), twin.cycles());
         prop_assert_eq!(restored.counters(), twin.counters());
         prop_assert_eq!(save_bytes(&restored), save_bytes(&twin));
+    }
+
+    /// Checkpoint a trace-tier core mid-run — between replays of a hot
+    /// compiled trace — restore into a fresh core whose trace cache is
+    /// cold, and continue both. The restored core must re-profile and
+    /// re-compile from scratch yet stay bit-identical to its
+    /// uninterrupted twin: the trace cache is pure memoization, so its
+    /// loss may cost wall-clock but never a counter bit.
+    #[test]
+    fn trace_tier_checkpoint_resumes_identically(
+        seed in 0u64..100_000,
+        fp in 0.0f64..0.8,
+        // First replay of a compiled trace lands around cycle 16-17k on
+        // these dense streams (profile threshold, then a full recording
+        // pass, then cache warm-up), so warm past 20k guarantees the
+        // checkpoint interrupts an established replay cadence.
+        warm in 20_000u64..50_000,
+        tail in 5_000u64..40_000,
+    ) {
+        // Dense pure-compute stream: the shape the trace tier compiles
+        // and replays, so the checkpoint lands inside its replay cadence.
+        let dense = |salt: u64| {
+            SyntheticStream::builder(seed ^ salt)
+                .code_footprint(2 * 1024)
+                .data_footprint(64 * 1024)
+                .mem_fraction(0.0)
+                .branch_fraction(0.0)
+                .fp_fraction(fp)
+                .dep_chain(0.0)
+                .build()
+        };
+        // Drive a core to exactly cycle `t` the way the system layer
+        // does: stock a pending buffer deeper than the longest possible
+        // trace fill, prefer bulk replay, fall back to single cycles.
+        let advance = |core: &mut SmtCore,
+                       s: &mut SyntheticStream,
+                       pending: &mut VecDeque<Uop>,
+                       t: u64| {
+            while core.cycles() < t {
+                while pending.len() < 4096 {
+                    s.fill(pending, 48);
+                }
+                let left = t - core.cycles();
+                let (cycles, consumed) = core.trace_step(left, pending);
+                if cycles > 0 {
+                    pending.drain(..consumed);
+                    continue;
+                }
+                core.cycle(&mut |lcpu, buf, max| {
+                    if lcpu != LogicalCpu::Lp0 {
+                        return 0;
+                    }
+                    let take = max.min(pending.len());
+                    for u in pending.drain(..take) {
+                        buf.push_back(u);
+                    }
+                    take
+                });
+            }
+        };
+        let mk = || {
+            let mut core = SmtCore::new(CoreConfig::p4(true), MemConfig::p4(true));
+            core.set_exec_tier(ExecTier::Trace);
+            core.bind(LogicalCpu::Lp0, Asid(1));
+            (core, dense(0), VecDeque::new())
+        };
+
+        let (mut twin, mut ts, mut tp) = mk();
+        let (mut donor, mut ds, mut dp) = mk();
+        advance(&mut twin, &mut ts, &mut tp, warm);
+        advance(&mut donor, &mut ds, &mut dp, warm);
+        prop_assert!(donor.trace_stats().replayed > 0,
+                     "warmup never replayed a trace: {:?}", donor.trace_stats());
+
+        let bytes = save_bytes(&donor);
+        let mut restored = SmtCore::new(CoreConfig::p4(true), MemConfig::p4(true));
+        restore_bytes(&mut restored, &bytes).expect("restore");
+        restored.set_exec_tier(ExecTier::Trace);
+        prop_assert_eq!(restored.trace_stats().compiled, 0, "trace cache must restore cold");
+
+        // Continue the restored core with the donor's stream *and* its
+        // already-drawn pending µops — exactly what resuming from a
+        // system checkpoint looks like.
+        advance(&mut twin, &mut ts, &mut tp, warm + tail);
+        advance(&mut restored, &mut ds, &mut dp, warm + tail);
+        prop_assert_eq!(restored.cycles(), twin.cycles());
+        prop_assert_eq!(restored.counters(), twin.counters());
+        prop_assert_eq!(save_bytes(&restored), save_bytes(&twin),
+            "restored trace-tier core diverged ({:?} vs {:?})",
+            restored.trace_stats(), twin.trace_stats());
     }
 
     /// Every truncation of a core snapshot errors instead of panicking.

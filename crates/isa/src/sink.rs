@@ -18,6 +18,19 @@ use crate::Uop;
 pub trait UopSink {
     /// Append one µop.
     fn push_uop(&mut self, uop: Uop);
+
+    /// Append a batch of µops in order.
+    ///
+    /// The default forwards to [`UopSink::push_uop`]; destinations with a
+    /// cheaper bulk path (contiguous rings, growable buffers that can
+    /// reserve once) override it so replayed traces and large refills pay
+    /// one dispatch instead of one per µop.
+    #[inline]
+    fn push_uops(&mut self, uops: &[Uop]) {
+        for &u in uops {
+            self.push_uop(u);
+        }
+    }
 }
 
 impl UopSink for Vec<Uop> {
@@ -25,12 +38,22 @@ impl UopSink for Vec<Uop> {
     fn push_uop(&mut self, uop: Uop) {
         self.push(uop);
     }
+
+    #[inline]
+    fn push_uops(&mut self, uops: &[Uop]) {
+        self.extend_from_slice(uops);
+    }
 }
 
 impl UopSink for VecDeque<Uop> {
     #[inline]
     fn push_uop(&mut self, uop: Uop) {
         self.push_back(uop);
+    }
+
+    #[inline]
+    fn push_uops(&mut self, uops: &[Uop]) {
+        self.extend(uops.iter().copied());
     }
 }
 
@@ -53,5 +76,21 @@ mod tests {
         q.push_uop(b);
         assert_eq!(q.pop_front().unwrap().pc, 0x10);
         assert_eq!(q.pop_front().unwrap().pc, 0x20);
+    }
+
+    #[test]
+    fn batch_emit_matches_singles() {
+        let batch = [Uop::alu(1), Uop::alu(2), Uop::alu(3)];
+        let mut singles: Vec<Uop> = Vec::new();
+        for &u in &batch {
+            singles.push_uop(u);
+        }
+        let mut bulk: Vec<Uop> = Vec::new();
+        bulk.push_uops(&batch);
+        assert_eq!(singles, bulk);
+
+        let mut dq: VecDeque<Uop> = VecDeque::new();
+        dq.push_uops(&batch);
+        assert_eq!(dq.iter().copied().collect::<Vec<_>>(), batch);
     }
 }

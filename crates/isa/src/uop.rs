@@ -156,7 +156,7 @@ pub enum BranchKind {
 /// The simulator is execution-driven: the workload kernel knows the actual
 /// outcome when it emits the branch, and the front end compares the
 /// predictor's guess against this ground truth.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BranchInfo {
     /// Actual target of the branch when taken (fall-through otherwise).
     pub target: Addr,
@@ -174,7 +174,7 @@ pub struct BranchInfo {
 /// (gated only by structural resources). Kernels choose dependence
 /// distances to reflect the true dataflow of the algorithm (e.g. a pointer
 /// chase is a chain of loads each depending on the previous one).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Uop {
     /// Virtual address of the parent instruction (drives trace cache, ITLB
     /// and BTB indexing).

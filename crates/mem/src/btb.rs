@@ -97,7 +97,8 @@ impl Btb {
     pub fn lookup(&mut self, pc: Addr, asid: Asid, lcpu: LogicalCpu) -> Option<Addr> {
         self.tick += 1;
         self.lookups[lcpu.index()] += 1;
-        let set = (pc as usize >> 2) % self.cfg.sets;
+        // `sets` is validated as a power of two in `new`.
+        let set = (pc as usize >> 2) & (self.cfg.sets - 1);
         let tag = self.tag_of(pc, asid, lcpu);
         let base = set * self.cfg.ways;
         for e in &mut self.entries[base..base + self.cfg.ways] {
@@ -113,7 +114,7 @@ impl Btb {
     /// Install/refresh the target for a resolved taken branch.
     pub fn update(&mut self, pc: Addr, asid: Asid, lcpu: LogicalCpu, target: Addr) {
         self.tick += 1;
-        let set = (pc as usize >> 2) % self.cfg.sets;
+        let set = (pc as usize >> 2) & (self.cfg.sets - 1);
         let tag = self.tag_of(pc, asid, lcpu);
         let base = set * self.cfg.ways;
         let ways = &mut self.entries[base..base + self.cfg.ways];

@@ -67,32 +67,35 @@ impl CacheConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Line {
-    tag: u64,
-    stamp: u64,
-    valid: bool,
-}
-
-const INVALID: Line = Line {
-    tag: 0,
-    stamp: 0,
-    valid: false,
-};
-
 /// A set-associative cache with true-LRU replacement and optional static
 /// partitioning / physical indexing.
 ///
 /// The cache models only tags (hit/miss behaviour); data never moves. Tags
 /// incorporate the [`Asid`] so that identical virtual addresses in
 /// different simulated processes do not falsely hit.
+///
+/// Lines are stored as parallel columns (tags / stamps / valid bits)
+/// rather than an array of structs: the way search — run several times
+/// per simulated cycle — then reads one contiguous run of tags instead of
+/// striding over 24-byte entries.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     cfg: CacheConfig,
-    lines: Vec<Line>,
+    tags: Vec<u64>,
+    stamps: Vec<u64>,
+    valid: Vec<bool>,
     tick: u64,
     accesses: [u64; 2],
     misses: [u64; 2],
+    // Precomputed shift/mask forms of the power-of-two geometry: the
+    // access path runs several times per simulated cycle, and hardware
+    // divides on the runtime divisors dominate it otherwise. All are
+    // exactly equivalent to the `/`/`%` they replace.
+    line_shift: u32,
+    set_mask: usize,
+    half_mask: usize,
+    page_line_mask: u64,
+    page_line_shift: u32,
 }
 
 impl SetAssocCache {
@@ -104,12 +107,21 @@ impl SetAssocCache {
     /// size, zero ways, or a partitioned cache with a single set).
     pub fn new(cfg: CacheConfig) -> Self {
         cfg.validate();
+        let lines_per_page = (PAGE_BYTES / cfg.line_bytes).max(1);
+        let n = cfg.sets * cfg.ways;
         SetAssocCache {
             cfg,
-            lines: vec![INVALID; cfg.sets * cfg.ways],
+            tags: vec![0; n],
+            stamps: vec![0; n],
+            valid: vec![false; n],
             tick: 0,
             accesses: [0; 2],
             misses: [0; 2],
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: cfg.sets - 1,
+            half_mask: (cfg.sets / 2).saturating_sub(1),
+            page_line_mask: lines_per_page - 1,
+            page_line_shift: lines_per_page.trailing_zeros(),
         }
     }
 
@@ -120,15 +132,14 @@ impl SetAssocCache {
 
     #[inline]
     fn index_and_tag(&self, addr: Addr, asid: Asid) -> (usize, u64, usize) {
-        let line_addr = addr / self.cfg.line_bytes;
+        let line_addr = addr >> self.line_shift;
         let raw_index = if self.cfg.phys_indexed {
             // Scatter pages as the OS's physical allocator would: hash the
             // (virtual page, asid) pair to a pseudo-frame, keep the line's
             // offset within the page.
             let vpn = addr / PAGE_BYTES;
-            let lines_per_page = (PAGE_BYTES / self.cfg.line_bytes).max(1);
             let frame = splitmix(vpn ^ ((asid.0 as u64) << 40));
-            (frame.wrapping_mul(lines_per_page) + (line_addr % lines_per_page)) as usize
+            ((frame << self.page_line_shift).wrapping_add(line_addr & self.page_line_mask)) as usize
         } else {
             line_addr as usize
         };
@@ -139,9 +150,9 @@ impl SetAssocCache {
     fn set_range(&self, raw_index: usize, lcpu: LogicalCpu) -> usize {
         if self.cfg.partitioned {
             let half = self.cfg.sets / 2;
-            (raw_index % half) + lcpu.index() * half
+            (raw_index & self.half_mask) + lcpu.index() * half
         } else {
-            raw_index % self.cfg.sets
+            raw_index & self.set_mask
         }
     }
 
@@ -153,23 +164,29 @@ impl SetAssocCache {
         let (raw, tag, _) = self.index_and_tag(addr, asid);
         let set = self.set_range(raw, lcpu);
         let base = set * self.cfg.ways;
-        let ways = &mut self.lines[base..base + self.cfg.ways];
+        let end = base + self.cfg.ways;
 
-        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.stamp = self.tick;
-            return true;
+        for w in base..end {
+            if self.valid[w] && self.tags[w] == tag {
+                self.stamps[w] = self.tick;
+                return true;
+            }
         }
         self.misses[lcpu.index()] += 1;
-        // Victim: an invalid way, else the least recently used one.
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.stamp } else { 0 })
-            .expect("associativity >= 1");
-        *victim = Line {
-            tag,
-            stamp: self.tick,
-            valid: true,
-        };
+        // Victim: the first invalid way, else the least recently used one
+        // (first on ties, matching `Iterator::min_by_key`).
+        let mut victim = base;
+        let mut victim_key = u64::MAX;
+        for w in base..end {
+            let key = if self.valid[w] { self.stamps[w] } else { 0 };
+            if key < victim_key {
+                victim_key = key;
+                victim = w;
+            }
+        }
+        self.tags[victim] = tag;
+        self.stamps[victim] = self.tick;
+        self.valid[victim] = true;
         false
     }
 
@@ -179,14 +196,14 @@ impl SetAssocCache {
         let (raw, tag, _) = self.index_and_tag(addr, asid);
         let set = self.set_range(raw, lcpu);
         let base = set * self.cfg.ways;
-        self.lines[base..base + self.cfg.ways]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        (base..base + self.cfg.ways).any(|w| self.valid[w] && self.tags[w] == tag)
     }
 
     /// Invalidate everything (e.g. simulated cache flush).
     pub fn flush(&mut self) {
-        self.lines.fill(INVALID);
+        self.tags.fill(0);
+        self.stamps.fill(0);
+        self.valid.fill(false);
     }
 
     /// Total accesses by `lcpu`.
@@ -211,17 +228,19 @@ impl SetAssocCache {
 
     /// Number of currently valid lines.
     pub fn occupancy(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.valid.iter().filter(|v| **v).count()
     }
 }
 
 impl jsmt_snapshot::Snapshotable for SetAssocCache {
+    /// The encoding predates the SoA columns and is kept byte-identical:
+    /// interleaved `(tag, stamp, valid)` per line.
     fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
-        w.put_usize(self.lines.len());
-        for l in &self.lines {
-            w.put_u64(l.tag);
-            w.put_u64(l.stamp);
-            w.put_bool(l.valid);
+        w.put_usize(self.tags.len());
+        for i in 0..self.tags.len() {
+            w.put_u64(self.tags[i]);
+            w.put_u64(self.stamps[i]);
+            w.put_bool(self.valid[i]);
         }
         w.put_u64(self.tick);
         for i in 0..2 {
@@ -235,15 +254,15 @@ impl jsmt_snapshot::Snapshotable for SetAssocCache {
         r: &mut jsmt_snapshot::Reader<'_>,
     ) -> Result<(), jsmt_snapshot::SnapshotError> {
         let n = r.get_usize()?;
-        if n != self.lines.len() {
+        if n != self.tags.len() {
             return Err(jsmt_snapshot::SnapshotError::Corrupt(
                 "cache geometry mismatch",
             ));
         }
-        for l in &mut self.lines {
-            l.tag = r.get_u64()?;
-            l.stamp = r.get_u64()?;
-            l.valid = r.get_bool()?;
+        for i in 0..n {
+            self.tags[i] = r.get_u64()?;
+            self.stamps[i] = r.get_u64()?;
+            self.valid[i] = r.get_bool()?;
         }
         self.tick = r.get_u64()?;
         for i in 0..2 {

@@ -102,10 +102,13 @@ impl MemoryHierarchy {
         // Hardware prefetcher: on an ascending short-stride miss pattern,
         // stream the next line into the L2 ahead of demand.
         if self.cfg.l2_prefetch {
-            let line = addr / self.cfg.l2.line_bytes;
+            // Line size is a validated power of two; shift instead of
+            // dividing on this per-L1D-miss path.
+            let shift = self.cfg.l2.line_bytes.trailing_zeros();
+            let line = addr >> shift;
             let last = self.last_miss_line[lcpu.index()];
             if line > last && line - last <= 2 {
-                let next = (line + 1) * self.cfg.l2.line_bytes;
+                let next = (line + 1) << shift;
                 self.l2.access(next, asid, lcpu);
                 bank.inc(lcpu, Event::PrefetchesIssued);
             }

@@ -42,19 +42,16 @@ impl TlbConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    tag: u64,
-    stamp: u64,
-    valid: bool,
-}
-
-/// A set-associative TLB with LRU replacement.
+/// A set-associative TLB with LRU replacement. Entries are stored as
+/// parallel columns (tags / stamps / valid bits) so the way search on the
+/// per-memory-µop access path reads one contiguous run of tags.
 #[derive(Debug, Clone)]
 pub struct Tlb {
     cfg: TlbConfig,
     sets: usize,
-    entries: Vec<Entry>,
+    tags: Vec<u64>,
+    stamps: Vec<u64>,
+    valid: Vec<bool>,
     tick: u64,
     lookups: [u64; 2],
     misses: [u64; 2],
@@ -82,14 +79,9 @@ impl Tlb {
         Tlb {
             cfg,
             sets,
-            entries: vec![
-                Entry {
-                    tag: 0,
-                    stamp: 0,
-                    valid: false
-                };
-                cfg.entries
-            ],
+            tags: vec![0; cfg.entries],
+            stamps: vec![0; cfg.entries],
+            valid: vec![false; cfg.entries],
             tick: 0,
             lookups: [0; 2],
             misses: [0; 2],
@@ -103,11 +95,13 @@ impl Tlb {
 
     #[inline]
     fn set_of(&self, vpn: u64, lcpu: LogicalCpu) -> usize {
+        // Set counts are validated powers of two, so the modulo reduces
+        // to a mask (the access path runs per memory µop).
         if self.cfg.partitioned {
             let half = self.sets / 2;
-            (vpn as usize % half) + lcpu.index() * half
+            (vpn as usize & (half - 1)) + lcpu.index() * half
         } else {
-            vpn as usize % self.sets
+            vpn as usize & (self.sets - 1)
         }
     }
 
@@ -119,21 +113,28 @@ impl Tlb {
         let tag = (vpn << 16) | asid.0 as u64;
         let set = self.set_of(vpn, lcpu);
         let base = set * self.cfg.ways;
-        let ways = &mut self.entries[base..base + self.cfg.ways];
-        if let Some(e) = ways.iter_mut().find(|e| e.valid && e.tag == tag) {
-            e.stamp = self.tick;
-            return true;
+        let end = base + self.cfg.ways;
+        for w in base..end {
+            if self.valid[w] && self.tags[w] == tag {
+                self.stamps[w] = self.tick;
+                return true;
+            }
         }
         self.misses[lcpu.index()] += 1;
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|e| if e.valid { e.stamp } else { 0 })
-            .expect("ways >= 1");
-        *victim = Entry {
-            tag,
-            stamp: self.tick,
-            valid: true,
-        };
+        // Victim: the first invalid way, else the least recently used one
+        // (first on ties, matching `Iterator::min_by_key`).
+        let mut victim = base;
+        let mut victim_key = u64::MAX;
+        for w in base..end {
+            let key = if self.valid[w] { self.stamps[w] } else { 0 };
+            if key < victim_key {
+                victim_key = key;
+                victim = w;
+            }
+        }
+        self.tags[victim] = tag;
+        self.stamps[victim] = self.tick;
+        self.valid[victim] = true;
         false
     }
 
@@ -151,19 +152,19 @@ impl Tlb {
     /// switch for architectures without ASIDs; our model keeps ASIDs so
     /// this is only used by tests and the OS's explicit flush path).
     pub fn flush(&mut self) {
-        for e in &mut self.entries {
-            e.valid = false;
-        }
+        self.valid.fill(false);
     }
 }
 
 impl jsmt_snapshot::Snapshotable for Tlb {
+    /// The encoding predates the SoA columns and is kept byte-identical:
+    /// interleaved `(tag, stamp, valid)` per entry.
     fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
-        w.put_usize(self.entries.len());
-        for e in &self.entries {
-            w.put_u64(e.tag);
-            w.put_u64(e.stamp);
-            w.put_bool(e.valid);
+        w.put_usize(self.tags.len());
+        for i in 0..self.tags.len() {
+            w.put_u64(self.tags[i]);
+            w.put_u64(self.stamps[i]);
+            w.put_bool(self.valid[i]);
         }
         w.put_u64(self.tick);
         for i in 0..2 {
@@ -177,15 +178,15 @@ impl jsmt_snapshot::Snapshotable for Tlb {
         r: &mut jsmt_snapshot::Reader<'_>,
     ) -> Result<(), jsmt_snapshot::SnapshotError> {
         let n = r.get_usize()?;
-        if n != self.entries.len() {
+        if n != self.tags.len() {
             return Err(jsmt_snapshot::SnapshotError::Corrupt(
                 "tlb geometry mismatch",
             ));
         }
-        for e in &mut self.entries {
-            e.tag = r.get_u64()?;
-            e.stamp = r.get_u64()?;
-            e.valid = r.get_bool()?;
+        for i in 0..n {
+            self.tags[i] = r.get_u64()?;
+            self.stamps[i] = r.get_u64()?;
+            self.valid[i] = r.get_bool()?;
         }
         self.tick = r.get_u64()?;
         for i in 0..2 {

@@ -114,11 +114,13 @@ impl TraceCache {
         &self.cfg
     }
 
-    /// The set base index and tag for a fetch at `pc`.
+    /// The set base index and tag for a fetch at `pc`. The geometry is
+    /// validated power-of-two, so the probed-every-cycle index math is
+    /// shifts and masks, not hardware divides.
     #[inline]
     fn key(&self, pc: Addr, asid: Asid, lcpu: LogicalCpu) -> (usize, u64) {
-        let line_addr = pc / self.cfg.line_code_bytes;
-        let set = (line_addr as usize) % self.cfg.sets;
+        let line_addr = pc >> self.cfg.line_code_bytes.trailing_zeros();
+        let set = (line_addr as usize) & (self.cfg.sets - 1);
         let mut tag = (line_addr << 17) | ((asid.0 as u64) << 1);
         if self.cfg.lcpu_tagged {
             tag |= lcpu.index() as u64;

@@ -110,3 +110,107 @@ fn golden_jit_csv() {
     let pts = exp::ablation_jit_on(&engine(), &ctx);
     check("jit.csv", &exp::csv_jit(&pts));
 }
+
+/// Pin the *busy* path itself, not just the quiet workloads the
+/// experiment goldens lean on. Dense synthetic streams drive the core
+/// through the same pending-buffer harness the system layer uses, so
+/// with the trace tier enabled (the default) the dense rows execute
+/// mostly as bulk trace replays — and the bytes here must match a
+/// `JSMT_NO_TRACE_TIER=1` / `JSMT_NO_FASTFWD=1` run exactly (CI diffs
+/// both: every execution tier is results-invisible by contract).
+#[test]
+fn golden_busy_csv() {
+    use std::collections::VecDeque;
+
+    use jsmt_cpu::synth::SyntheticStream;
+    use jsmt_cpu::{CoreConfig, SmtCore};
+    use jsmt_isa::{Asid, Uop};
+    use jsmt_mem::MemConfig;
+    use jsmt_perfmon::{Event, LogicalCpu};
+
+    let profiles: [(&str, SyntheticStream); 3] = [
+        ("balanced", SyntheticStream::builder(25).build()),
+        (
+            "balanced_dense",
+            SyntheticStream::builder(31)
+                .code_footprint(2 * 1024)
+                .data_footprint(64 * 1024)
+                .mem_fraction(0.0)
+                .branch_fraction(0.0)
+                .dep_chain(0.0)
+                .fp_fraction(0.25)
+                .build(),
+        ),
+        (
+            "fp_dense",
+            SyntheticStream::builder(43)
+                .code_footprint(2 * 1024)
+                .data_footprint(64 * 1024)
+                .mem_fraction(0.0)
+                .branch_fraction(0.0)
+                .dep_chain(0.0)
+                .fp_fraction(0.7)
+                .build(),
+        ),
+    ];
+    let mut csv = String::from(
+        "workload,cycles,uops_retired,retire0,retire1,retire2,retire3,\
+         tc_lookups,tc_misses,l1d_lookups,l1d_misses,btb_lookups\n",
+    );
+    for (name, stream) in profiles {
+        // `balanced` spends its first ~150k cycles cold-building the 32 KB
+        // code footprint into the trace cache; run it long enough that the
+        // steady-state busy loop dominates the pinned counts. The dense
+        // profiles (2 KB of code) warm up almost immediately.
+        let cycles_target: u64 = if name == "balanced" { 600_000 } else { 150_000 };
+        let mut s = stream;
+        // Construction reads JSMT_NO_TRACE_TIER / JSMT_NO_FASTFWD, so the
+        // escape hatches exercise the exact off-tier paths here.
+        let mut core = SmtCore::new(CoreConfig::p4(true), MemConfig::p4(true));
+        core.bind(LogicalCpu::Lp0, Asid(1));
+        let mut pending: VecDeque<Uop> = VecDeque::new();
+        while core.cycles() < cycles_target {
+            while pending.len() < 4096 {
+                s.fill(&mut pending, 48);
+            }
+            let left = cycles_target - core.cycles();
+            let (cycles, consumed) = core.trace_step(left, &pending);
+            if cycles > 0 {
+                pending.drain(..consumed);
+                continue;
+            }
+            if core.fast_forward(left) > 0 {
+                continue;
+            }
+            core.cycle(&mut |lcpu, buf, max| {
+                if lcpu != LogicalCpu::Lp0 {
+                    return 0;
+                }
+                let take = max.min(pending.len());
+                for u in pending.drain(..take) {
+                    buf.push_back(u);
+                }
+                take
+            });
+        }
+        let b = core.counters();
+        let cols = [
+            Event::UopsRetired,
+            Event::CyclesRetire0,
+            Event::CyclesRetire1,
+            Event::CyclesRetire2,
+            Event::CyclesRetire3,
+            Event::TcLookups,
+            Event::TcMisses,
+            Event::L1dLookups,
+            Event::L1dMisses,
+            Event::BtbLookups,
+        ];
+        csv.push_str(&format!("{name},{cycles_target}"));
+        for e in cols {
+            csv.push_str(&format!(",{}", b.total(e)));
+        }
+        csv.push('\n');
+    }
+    check("busy.csv", &csv);
+}

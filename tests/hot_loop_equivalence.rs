@@ -1,0 +1,194 @@
+//! Differential harness for the three execution tiers.
+//!
+//! The scalar interpreter, the batched SoA walk, and the compiled-trace
+//! tier are *claimed* to be pure wall-clock optimizations — every counter
+//! bit, every snapshot byte identical. This suite drives random synthetic
+//! and kernel (privileged) workloads through all three paths in lockstep
+//! and checks that claim at randomly placed cycle boundaries, not just at
+//! the end of a run: a tier that drifts and re-converges would still fail
+//! here.
+//!
+//! Every tier is driven through the same pending-buffer harness the
+//! system layer uses, so fill deliveries are identical by construction
+//! and the only variable is the execution path itself.
+
+use std::collections::VecDeque;
+
+use jsmt_cpu::synth::SyntheticStream;
+use jsmt_cpu::{CoreConfig, ExecTier, SmtCore};
+use jsmt_isa::{Asid, Uop};
+use jsmt_mem::MemConfig;
+use jsmt_perfmon::LogicalCpu;
+use jsmt_snapshot::save_bytes;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Workload {
+    seed: u64,
+    code_kb: u64,
+    mem: f64,
+    br: f64,
+    fp: f64,
+    dep: f64,
+    privileged: bool,
+}
+
+impl Workload {
+    fn stream(&self, salt: u64) -> SyntheticStream {
+        SyntheticStream::builder(self.seed ^ salt)
+            .code_footprint(self.code_kb * 1024)
+            .data_footprint(64 * 1024)
+            .mem_fraction(self.mem)
+            .branch_fraction(self.br)
+            .fp_fraction(self.fp)
+            .dep_chain(self.dep)
+            .privileged(self.privileged)
+            .build()
+    }
+}
+
+/// One core plus its µop supply, driven the way the system layer drives
+/// the real machine: generated µops sit in a pending buffer, fills are
+/// pure drains of it, and (on the trace tier) replays consume from its
+/// front. Non-trace tiers take the identical path — `trace_step` is a
+/// no-op for them — so deliveries match across tiers by construction.
+struct Driver {
+    core: SmtCore,
+    streams: Vec<SyntheticStream>,
+    pendings: Vec<VecDeque<Uop>>,
+}
+
+impl Driver {
+    fn new(tier: ExecTier, w: &Workload, dual: bool) -> Self {
+        let ht = dual;
+        let mut core = SmtCore::new(CoreConfig::p4(ht), MemConfig::p4(ht));
+        core.set_exec_tier(tier);
+        core.bind(LogicalCpu::Lp0, Asid(1));
+        let mut streams = vec![w.stream(0)];
+        if dual {
+            core.bind(LogicalCpu::Lp1, Asid(2));
+            streams.push(w.stream(1));
+        }
+        let pendings = streams.iter().map(|_| VecDeque::new()).collect();
+        Driver {
+            core,
+            streams,
+            pendings,
+        }
+    }
+
+    /// Advance to exactly cycle `t`.
+    fn advance_to(&mut self, t: u64) {
+        while self.core.cycles() < t {
+            // Keep each pending buffer deeper than the longest possible
+            // trace fill (fetch_width × MAX_TRACE µops) so replays are
+            // never starved by the harness.
+            for (s, p) in self.streams.iter_mut().zip(self.pendings.iter_mut()) {
+                while p.len() < 4096 {
+                    s.fill(p, 48);
+                }
+            }
+            if self.pendings.len() == 1 {
+                let left = t - self.core.cycles();
+                let (cycles, consumed) = self.core.trace_step(left, &self.pendings[0]);
+                if cycles > 0 {
+                    self.pendings[0].drain(..consumed);
+                    continue;
+                }
+            }
+            let pendings = &mut self.pendings;
+            self.core.cycle(&mut |lcpu, buf, max| {
+                let Some(p) = pendings.get_mut(lcpu.index()) else {
+                    return 0;
+                };
+                let take = max.min(p.len());
+                for u in p.drain(..take) {
+                    buf.push_back(u);
+                }
+                take
+            });
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random workloads (memory-heavy, branchy, FP-dense, dependent,
+    /// kernel-mode) through all three tiers, with snapshot bytes compared
+    /// at every random checkpoint — retirement counts and every other
+    /// counter live inside those bytes, and so does the full pipeline
+    /// state.
+    #[test]
+    fn tiers_lockstep_at_random_checkpoints(
+        seed in 0u64..1_000_000,
+        code_kb in 1u64..16,
+        mem in 0.0f64..0.5,
+        br in 0.0f64..0.25,
+        fp in 0.0f64..0.6,
+        dep in 0.0f64..0.5,
+        privileged in any::<bool>(),
+        dual in any::<bool>(),
+        cuts in prop::collection::vec(200u64..4000, 2..5),
+    ) {
+        let w = Workload { seed, code_kb, mem, br, fp, dep, privileged };
+        let mut drivers = [
+            Driver::new(ExecTier::Scalar, &w, dual),
+            Driver::new(ExecTier::Batched, &w, dual),
+            Driver::new(ExecTier::Trace, &w, dual),
+        ];
+        let mut t = 0;
+        for cut in cuts {
+            t += cut;
+            let mut snaps = Vec::new();
+            for d in drivers.iter_mut() {
+                d.advance_to(t);
+                prop_assert_eq!(d.core.cycles(), t);
+                snaps.push(save_bytes(&d.core));
+            }
+            prop_assert_eq!(&snaps[0], &snaps[1],
+                "scalar vs batched diverged at cycle {}", t);
+            prop_assert_eq!(&snaps[1], &snaps[2],
+                "batched vs trace diverged at cycle {}", t);
+            prop_assert_eq!(
+                drivers[0].core.counters(), drivers[2].core.counters(),
+                "counter banks diverged at cycle {}", t);
+        }
+    }
+
+    /// Dense pure-compute streams — the shape the compiled-trace tier
+    /// actually replays — against the batched reference, with a random
+    /// mid-run checkpoint. This is the path where a replay bug would
+    /// show up as a byte diff.
+    #[test]
+    fn trace_replay_lockstep_on_dense_streams(
+        seed in 0u64..100_000,
+        fp in 0.0f64..0.8,
+        privileged in any::<bool>(),
+        cut in 10_000u64..30_000,
+        tail in 10_000u64..60_000,
+    ) {
+        let w = Workload {
+            seed,
+            code_kb: 2,
+            mem: 0.0,
+            br: 0.0,
+            fp,
+            dep: 0.0,
+            privileged,
+        };
+        let mut reference = Driver::new(ExecTier::Batched, &w, false);
+        let mut traced = Driver::new(ExecTier::Trace, &w, false);
+        for t in [cut, cut + tail] {
+            reference.advance_to(t);
+            traced.advance_to(t);
+            prop_assert_eq!(
+                save_bytes(&reference.core),
+                save_bytes(&traced.core),
+                "trace tier diverged at cycle {} ({:?})",
+                t,
+                traced.core.trace_stats()
+            );
+        }
+    }
+}

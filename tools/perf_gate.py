@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_cycle_loop.json.
+
+Reads the bench artifact written by `cargo bench --bench throughput`
+and fails (exit 1) if any committed speedup floor regresses. Floors
+come in two tiers keyed on the artifact's own `quick` flag:
+
+* full runs use the committed floors that match the numbers recorded
+  in BENCH_trajectory.csv (with noise margin);
+* quick runs (CI smoke) use loose floors that only catch gross
+  breakage — a tier that stopped engaging entirely — because 300k-cycle
+  wall times are too noisy to gate tightly.
+
+Run locally after a full bench:
+
+    cargo bench -p jsmt-bench --bench throughput --offline
+    python3 tools/perf_gate.py BENCH_cycle_loop.json
+"""
+
+import json
+import sys
+
+# Committed floors: (workload, full-run floor, quick-run floor).
+# `balanced` is the honest hard case — only ~37 % of its cycles are
+# fast-forwardable and the rest re-execute bit-identically, so its
+# full-stack ceiling sits near 1.8x (see DESIGN.md §3.7). The big tier
+# wins are structural elsewhere: fast-forward on stall-heavy profiles,
+# compiled-trace replay on dense compute loops.
+FLOORS = [
+    ("balanced", 1.4, 1.1),
+    ("dram_bound", 3.0, 1.3),
+    ("fp_dense", 3.0, 1.3),
+]
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+    quick = bool(doc.get("quick"))
+    speedups = {w["name"]: w["speedup"] for w in doc["workloads"]}
+    failures = []
+    for name, full_floor, quick_floor in FLOORS:
+        floor = quick_floor if quick else full_floor
+        got = speedups.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from {path}")
+        elif got < floor:
+            failures.append(
+                f"{name}: speedup {got:.2f}x below committed floor "
+                f"{floor:.2f}x ({'quick' if quick else 'full'} run)"
+            )
+    mode = "quick" if quick else "full"
+    for name, _, _ in FLOORS:
+        if name in speedups:
+            print(f"perf-gate [{mode}]: {name} {speedups[name]:.2f}x")
+    if failures:
+        for f_ in failures:
+            print(f"perf-gate FAIL: {f_}", file=sys.stderr)
+        return 1
+    print("perf-gate: all committed floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_cycle_loop.json"))

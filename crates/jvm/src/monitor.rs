@@ -1,11 +1,24 @@
-//! Java monitor (lock) model.
+//! Java monitor (lock + condition) model.
 //!
 //! A `synchronized` block on the paper's JVM takes an uncontended fast
 //! path (an atomic compare-and-swap in user mode) or, when contended,
 //! traps to the kernel to block — which is how Java synchronization turns
-//! into OS time in Table 2. The table tracks ownership and wait queues;
-//! the caller (system layer) emits the fast-path atomic µop and routes
-//! contended outcomes to the OS futex model.
+//! into OS time in Table 2. The table tracks ownership, entry queues and
+//! `Object.wait`/`notify` wait sets; the caller (system layer) emits the
+//! fast-path atomic µop and routes contended outcomes to the OS futex
+//! model.
+//!
+//! Wake-ups are *handoff-based*: `exit` (and the releasing half of
+//! `wait`) pops the front of the entry queue and makes it the owner
+//! before the caller is told whom to wake, so there is no window in
+//! which a woken thread can lose the race to a barging newcomer. A
+//! notified thread is moved from the wait set to the back of the entry
+//! queue with its saved recursion depth; it re-acquires the monitor in
+//! FIFO order with plain contenders and resumes at its pre-`wait`
+//! depth. The interval between `notify` and the notifier's `exit` — the
+//! *pending-notify* window — is first-class state here (the `notified`
+//! flag on an entry-queue node), which is what lets a checkpoint land
+//! inside it and resume exactly.
 
 use std::collections::VecDeque;
 
@@ -23,12 +36,54 @@ pub enum MonitorOutcome {
     Contended,
 }
 
+/// One node of a monitor's entry queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EntryNode {
+    thread: u32,
+    /// Recursion depth to restore when this node is handed ownership
+    /// (1 for a plain contender, the saved depth for a notified waiter).
+    restore: u32,
+    /// True when this node got here via `notify` — i.e. the thread is in
+    /// the pending-notify window until ownership is handed to it.
+    notified: bool,
+}
+
+/// One parked thread in a monitor's wait set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WaitNode {
+    thread: u32,
+    /// Recursion depth held at the time of `wait`, restored on wake-up.
+    saved: u32,
+}
+
 #[derive(Debug, Clone, Default)]
 struct MonitorState {
     owner: Option<u32>,
     recursion: u32,
-    waiters: VecDeque<u32>,
+    waiters: VecDeque<EntryNode>,
+    wait_set: VecDeque<WaitNode>,
     contended_count: u64,
+    wait_count: u64,
+    notify_count: u64,
+}
+
+impl MonitorState {
+    /// Hand ownership to the next entry-queue node, restoring its saved
+    /// recursion depth. Returns the thread to wake.
+    fn handoff(&mut self) -> Option<u32> {
+        match self.waiters.pop_front() {
+            Some(next) => {
+                self.owner = Some(next.thread);
+                self.recursion = next.restore;
+                Some(next.thread)
+            }
+            None => {
+                self.owner = None;
+                self.recursion = 0;
+                None
+            }
+        }
+    }
 }
 
 /// All monitors of one JVM process. Threads are identified by the system
@@ -69,8 +124,12 @@ impl MonitorTable {
                 MonitorOutcome::Acquired
             }
             Some(_) => {
-                if !m.waiters.contains(&thread) {
-                    m.waiters.push_back(thread);
+                if !m.waiters.iter().any(|n| n.thread == thread) {
+                    m.waiters.push_back(EntryNode {
+                        thread,
+                        restore: 1,
+                        notified: false,
+                    });
                 }
                 m.contended_count += 1;
                 MonitorOutcome::Contended
@@ -91,17 +150,68 @@ impl MonitorTable {
         if m.recursion > 0 {
             return None;
         }
-        match m.waiters.pop_front() {
-            Some(next) => {
-                m.owner = Some(next);
-                m.recursion = 1;
-                Some(next)
-            }
-            None => {
-                m.owner = None;
-                None
-            }
+        m.handoff()
+    }
+
+    /// `Object.wait`: park the owning `thread` on `mon`'s wait set,
+    /// releasing the monitor entirely (its recursion depth is saved and
+    /// restored on re-acquisition). Returns the next entry-queue thread
+    /// to wake, exactly like [`MonitorTable::exit`]; the caller must
+    /// then block the waiting thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` does not own the monitor.
+    pub fn wait(&mut self, mon: MonitorId, thread: u32) -> Option<u32> {
+        let m = &mut self.monitors[mon.0 as usize];
+        assert_eq!(m.owner, Some(thread), "wait by non-owner");
+        let saved = m.recursion;
+        m.wait_set.push_back(WaitNode { thread, saved });
+        m.wait_count += 1;
+        m.handoff()
+    }
+
+    /// `Object.notify`: move the longest-waiting thread (if any) from the
+    /// wait set to the back of the entry queue. The notified thread does
+    /// not run yet — it re-acquires the monitor when its entry-queue turn
+    /// comes (usually at the notifier's `exit`). Returns the notified
+    /// thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` does not own the monitor.
+    pub fn notify(&mut self, mon: MonitorId, thread: u32) -> Option<u32> {
+        let m = &mut self.monitors[mon.0 as usize];
+        assert_eq!(m.owner, Some(thread), "notify by non-owner");
+        let node = m.wait_set.pop_front()?;
+        m.waiters.push_back(EntryNode {
+            thread: node.thread,
+            restore: node.saved,
+            notified: true,
+        });
+        m.notify_count += 1;
+        Some(node.thread)
+    }
+
+    /// `Object.notifyAll`: move every wait-set thread to the entry queue
+    /// in wait order. Returns how many were notified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` does not own the monitor.
+    pub fn notify_all(&mut self, mon: MonitorId, thread: u32) -> usize {
+        let m = &mut self.monitors[mon.0 as usize];
+        assert_eq!(m.owner, Some(thread), "notify by non-owner");
+        let n = m.wait_set.len();
+        while let Some(node) = m.wait_set.pop_front() {
+            m.waiters.push_back(EntryNode {
+                thread: node.thread,
+                restore: node.saved,
+                notified: true,
+            });
+            m.notify_count += 1;
         }
+        n
     }
 
     /// Current owner of a monitor.
@@ -109,9 +219,61 @@ impl MonitorTable {
         self.monitors[mon.0 as usize].owner
     }
 
+    /// Whether `thread` is parked in `mon`'s wait set (between `wait`
+    /// and its `notify`).
+    pub fn in_wait_set(&self, mon: MonitorId, thread: u32) -> bool {
+        self.monitors[mon.0 as usize]
+            .wait_set
+            .iter()
+            .any(|n| n.thread == thread)
+    }
+
+    /// Whether `thread` is queued for entry on `mon` (blocked on enter,
+    /// or notified and awaiting handoff).
+    pub fn entry_queued(&self, mon: MonitorId, thread: u32) -> bool {
+        self.monitors[mon.0 as usize]
+            .waiters
+            .iter()
+            .any(|n| n.thread == thread)
+    }
+
+    /// Contended acquisitions recorded on one monitor.
+    pub fn contended(&self, mon: MonitorId) -> u64 {
+        self.monitors[mon.0 as usize].contended_count
+    }
+
+    /// Threads currently parked in `mon`'s wait set.
+    pub fn wait_parked(&self, mon: MonitorId) -> usize {
+        self.monitors[mon.0 as usize].wait_set.len()
+    }
+
+    /// Threads parked in any wait set of this table.
+    pub fn wait_parked_total(&self) -> usize {
+        self.monitors.iter().map(|m| m.wait_set.len()).sum()
+    }
+
+    /// Threads in the pending-notify window: notified, re-queued for
+    /// entry, but not yet handed ownership.
+    pub fn pending_notify_total(&self) -> usize {
+        self.monitors
+            .iter()
+            .map(|m| m.waiters.iter().filter(|n| n.notified).count())
+            .sum()
+    }
+
     /// Total contended acquisitions across all monitors.
     pub fn contended_total(&self) -> u64 {
         self.monitors.iter().map(|m| m.contended_count).sum()
+    }
+
+    /// Total `wait` calls across all monitors.
+    pub fn waits_total(&self) -> u64 {
+        self.monitors.iter().map(|m| m.wait_count).sum()
+    }
+
+    /// Total threads notified across all monitors.
+    pub fn notifies_total(&self) -> u64 {
+        self.monitors.iter().map(|m| m.notify_count).sum()
     }
 }
 
@@ -122,10 +284,19 @@ impl jsmt_snapshot::Snapshotable for MonitorTable {
             w.put_opt_u64(m.owner.map(u64::from));
             w.put_u32(m.recursion);
             w.put_usize(m.waiters.len());
-            for &t in &m.waiters {
-                w.put_u64(u64::from(t));
+            for n in &m.waiters {
+                w.put_u32(n.thread);
+                w.put_u32(n.restore);
+                w.put_bool(n.notified);
+            }
+            w.put_usize(m.wait_set.len());
+            for n in &m.wait_set {
+                w.put_u32(n.thread);
+                w.put_u32(n.saved);
             }
             w.put_u64(m.contended_count);
+            w.put_u64(m.wait_count);
+            w.put_u64(m.notify_count);
         }
     }
 
@@ -133,7 +304,7 @@ impl jsmt_snapshot::Snapshotable for MonitorTable {
         &mut self,
         r: &mut jsmt_snapshot::Reader<'_>,
     ) -> Result<(), jsmt_snapshot::SnapshotError> {
-        let n = r.get_len(21)?;
+        let n = r.get_len(29)?;
         self.monitors.clear();
         self.monitors.reserve(n);
         for _ in 0..n {
@@ -149,20 +320,46 @@ impl jsmt_snapshot::Snapshotable for MonitorTable {
                     "monitor recursion disagrees with ownership",
                 ));
             }
-            let wn = r.get_len(8)?;
+            let wn = r.get_len(9)?;
             let mut waiters = VecDeque::with_capacity(wn);
             for _ in 0..wn {
-                let v = r.get_u64()?;
-                waiters.push_back(u32::try_from(v).map_err(|_| {
-                    jsmt_snapshot::SnapshotError::Corrupt("monitor waiter out of range")
-                })?);
+                let thread = r.get_u32()?;
+                let restore = r.get_u32()?;
+                let notified = r.get_bool()?;
+                if restore == 0 {
+                    return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                        "entry-queue node with zero restore depth",
+                    ));
+                }
+                waiters.push_back(EntryNode {
+                    thread,
+                    restore,
+                    notified,
+                });
+            }
+            let pn = r.get_len(8)?;
+            let mut wait_set = VecDeque::with_capacity(pn);
+            for _ in 0..pn {
+                let thread = r.get_u32()?;
+                let saved = r.get_u32()?;
+                if saved == 0 {
+                    return Err(jsmt_snapshot::SnapshotError::Corrupt(
+                        "wait-set node with zero saved depth",
+                    ));
+                }
+                wait_set.push_back(WaitNode { thread, saved });
             }
             let contended_count = r.get_u64()?;
+            let wait_count = r.get_u64()?;
+            let notify_count = r.get_u64()?;
             self.monitors.push(MonitorState {
                 owner,
                 recursion,
                 waiters,
+                wait_set,
                 contended_count,
+                wait_count,
+                notify_count,
             });
         }
         Ok(())
@@ -215,5 +412,105 @@ mod tests {
         let m = t.create();
         t.enter(m, 1);
         let _ = t.exit(m, 2);
+    }
+
+    #[test]
+    fn wait_releases_and_hands_off() {
+        let mut t = MonitorTable::new();
+        let m = t.create();
+        t.enter(m, 1);
+        assert_eq!(t.enter(m, 2), MonitorOutcome::Contended);
+        // Thread 1 waits: the monitor is handed straight to thread 2.
+        assert_eq!(t.wait(m, 1), Some(2));
+        assert_eq!(t.owner(m), Some(2));
+        assert!(t.in_wait_set(m, 1));
+        assert_eq!(t.wait_parked(m), 1);
+        // Thread 2 notifies: 1 moves to the entry queue (pending).
+        assert_eq!(t.notify(m, 2), Some(1));
+        assert!(!t.in_wait_set(m, 1));
+        assert_eq!(t.pending_notify_total(), 1);
+        // 2's exit hands ownership back to 1.
+        assert_eq!(t.exit(m, 2), Some(1));
+        assert_eq!(t.owner(m), Some(1));
+        assert_eq!(t.pending_notify_total(), 0);
+        assert_eq!(t.exit(m, 1), None);
+    }
+
+    #[test]
+    fn wait_restores_recursion_depth() {
+        let mut t = MonitorTable::new();
+        let m = t.create();
+        t.enter(m, 1);
+        t.enter(m, 1);
+        t.enter(m, 1); // depth 3
+        assert_eq!(t.wait(m, 1), None, "nobody queued: monitor goes free");
+        assert_eq!(t.owner(m), None);
+        t.enter(m, 2);
+        assert_eq!(t.notify(m, 2), Some(1));
+        assert_eq!(t.exit(m, 2), Some(1));
+        // 1 resumes at its saved depth: three exits to release.
+        assert_eq!(t.exit(m, 1), None);
+        assert_eq!(t.exit(m, 1), None);
+        assert_eq!(t.owner(m), Some(1));
+        assert_eq!(t.exit(m, 1), None);
+        assert_eq!(t.owner(m), None);
+    }
+
+    #[test]
+    fn notify_without_waiters_is_a_no_op() {
+        let mut t = MonitorTable::new();
+        let m = t.create();
+        t.enter(m, 1);
+        assert_eq!(t.notify(m, 1), None);
+        assert_eq!(t.notifies_total(), 0);
+    }
+
+    #[test]
+    fn notify_all_drains_the_wait_set_in_fifo_order() {
+        let mut t = MonitorTable::new();
+        let m = t.create();
+        t.enter(m, 1);
+        assert_eq!(t.wait(m, 1), None);
+        t.enter(m, 2);
+        assert_eq!(t.wait(m, 2), None);
+        t.enter(m, 3);
+        assert_eq!(t.notify_all(m, 3), 2);
+        assert_eq!(t.wait_parked(m), 0);
+        assert_eq!(t.exit(m, 3), Some(1), "wait order preserved");
+        assert_eq!(t.exit(m, 1), Some(2));
+        assert_eq!(t.exit(m, 2), None);
+    }
+
+    #[test]
+    fn notified_thread_queues_behind_existing_contenders() {
+        let mut t = MonitorTable::new();
+        let m = t.create();
+        t.enter(m, 1);
+        assert_eq!(t.wait(m, 1), None);
+        t.enter(m, 2);
+        assert_eq!(t.enter(m, 3), MonitorOutcome::Contended);
+        assert_eq!(t.notify(m, 2), Some(1));
+        // Entry queue is now [3, 1]: FIFO with plain contenders.
+        assert_eq!(t.exit(m, 2), Some(3));
+        assert_eq!(t.exit(m, 3), Some(1));
+        assert_eq!(t.exit(m, 1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "wait by non-owner")]
+    fn wait_requires_ownership() {
+        let mut t = MonitorTable::new();
+        let m = t.create();
+        t.enter(m, 1);
+        let _ = t.wait(m, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "notify by non-owner")]
+    fn notify_requires_ownership() {
+        let mut t = MonitorTable::new();
+        let m = t.create();
+        t.enter(m, 1);
+        let _ = t.notify(m, 2);
     }
 }

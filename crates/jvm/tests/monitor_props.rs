@@ -1,0 +1,310 @@
+//! Property-based tests of the monitor's wait/notify/handoff protocol.
+//!
+//! A reference model (plain sets and queues, no clever bookkeeping)
+//! interprets random thread scripts alongside the real [`MonitorTable`];
+//! every observable — owner, wake targets, queue membership, counters —
+//! must agree at every step. The model makes the three litmus-critical
+//! properties executable:
+//!
+//! 1. **No lost wakeups**: draining the system (owners exit, waiters are
+//!    notified) always frees every thread — nobody is left parked with
+//!    no wake in flight.
+//! 2. **FIFO handoff fairness**: ownership is handed to entry-queue
+//!    threads (plain contenders and notified waiters alike) strictly in
+//!    queue order; a barging newcomer can never overtake a woken thread.
+//! 3. **Balanced enter/exit**: after any legal script is unwound, every
+//!    monitor is free with zero recursion, and the wait/notify/contended
+//!    counters match the model's tally exactly.
+//!
+//! A fourth property checks that a snapshot taken at *any* cut point —
+//! including inside the pending-notify window — restores to a table that
+//! behaves identically for the rest of the script.
+
+use std::collections::VecDeque;
+
+use jsmt_jvm::{MonitorId, MonitorOutcome, MonitorTable};
+use jsmt_snapshot::{restore_bytes, save_bytes};
+use proptest::prelude::*;
+
+const THREADS: u32 = 4;
+/// One extra thread the drain may use when every scripted thread parked
+/// itself in the wait set (a legal schedule: the last `wait` leaves the
+/// monitor free with nobody to notify). It plays the role of the
+/// scheduler's next runnable thread.
+const DRIVER: u32 = THREADS;
+
+/// Where a model thread is, from the monitor's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Spot {
+    /// Running, holding nothing.
+    Free,
+    /// Owner at some recursion depth.
+    Owner(u32),
+    /// In the entry queue (blocked enter, or notified and pending).
+    Queued,
+    /// Parked in the wait set.
+    Waiting,
+}
+
+/// Reference interpreter: one monitor, `THREADS` threads, plain state.
+#[derive(Debug)]
+struct Model {
+    spot: [Spot; THREADS as usize + 1],
+    /// Entry queue order (who gets ownership next, front first), with
+    /// the recursion depth to restore.
+    queue: VecDeque<(u32, u32)>,
+    /// Wait-set order with saved depths.
+    wait_set: VecDeque<(u32, u32)>,
+    contended: u64,
+    waits: u64,
+    notifies: u64,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model {
+            spot: [Spot::Free; THREADS as usize + 1],
+            queue: VecDeque::new(),
+            wait_set: VecDeque::new(),
+            contended: 0,
+            waits: 0,
+            notifies: 0,
+        }
+    }
+
+    fn owner(&self) -> Option<u32> {
+        (0..=DRIVER).find(|&t| matches!(self.spot[t as usize], Spot::Owner(_)))
+    }
+
+    /// Hand ownership to the queue front, mirroring the table's handoff.
+    fn handoff(&mut self) -> Option<u32> {
+        match self.queue.pop_front() {
+            Some((t, depth)) => {
+                self.spot[t as usize] = Spot::Owner(depth);
+                Some(t)
+            }
+            None => None,
+        }
+    }
+}
+
+/// Apply one scripted `(thread, action)` to both the model and the real
+/// table, checking every observable agrees. Illegal actions for the
+/// thread's current spot are skipped (the script is a schedule, not a
+/// program — a parked thread simply cannot act).
+fn step(model: &mut Model, table: &mut MonitorTable, mon: MonitorId, thread: u32, action: u32) {
+    let spot = model.spot[thread as usize];
+    match action {
+        // enter
+        0 => {
+            if matches!(spot, Spot::Queued | Spot::Waiting) {
+                return;
+            }
+            let outcome = table.enter(mon, thread);
+            match spot {
+                Spot::Owner(d) => {
+                    prop_assert_eq!(outcome, MonitorOutcome::Acquired, "reentrant");
+                    model.spot[thread as usize] = Spot::Owner(d + 1);
+                }
+                Spot::Free if model.owner().is_none() => {
+                    prop_assert_eq!(outcome, MonitorOutcome::Acquired);
+                    model.spot[thread as usize] = Spot::Owner(1);
+                }
+                Spot::Free => {
+                    prop_assert_eq!(outcome, MonitorOutcome::Contended);
+                    model.spot[thread as usize] = Spot::Queued;
+                    model.queue.push_back((thread, 1));
+                    model.contended += 1;
+                }
+                _ => unreachable!(),
+            }
+        }
+        // exit
+        1 => {
+            let Spot::Owner(d) = spot else { return };
+            let woken = table.exit(mon, thread);
+            if d > 1 {
+                prop_assert_eq!(woken, None, "inner exit releases nothing");
+                model.spot[thread as usize] = Spot::Owner(d - 1);
+            } else {
+                model.spot[thread as usize] = Spot::Free;
+                prop_assert_eq!(woken, model.handoff(), "FIFO handoff order");
+            }
+        }
+        // wait
+        2 => {
+            let Spot::Owner(d) = spot else { return };
+            let woken = table.wait(mon, thread);
+            model.spot[thread as usize] = Spot::Waiting;
+            model.wait_set.push_back((thread, d));
+            model.waits += 1;
+            prop_assert_eq!(woken, model.handoff(), "wait hands off like exit");
+        }
+        // notify
+        3 => {
+            let Spot::Owner(_) = spot else { return };
+            let woken = table.notify(mon, thread);
+            let expect = model.wait_set.pop_front();
+            if let Some((t, depth)) = expect {
+                model.spot[t as usize] = Spot::Queued;
+                model.queue.push_back((t, depth));
+                model.notifies += 1;
+            }
+            prop_assert_eq!(woken, expect.map(|(t, _)| t), "notify wakes wait-set front");
+        }
+        // notify_all
+        _ => {
+            let Spot::Owner(_) = spot else { return };
+            let n = table.notify_all(mon, thread);
+            prop_assert_eq!(n, model.wait_set.len(), "notify_all count");
+            while let Some((t, depth)) = model.wait_set.pop_front() {
+                model.spot[t as usize] = Spot::Queued;
+                model.queue.push_back((t, depth));
+                model.notifies += 1;
+            }
+        }
+    }
+    check_observables(model, table, mon);
+}
+
+/// Every observable the table exposes must match the model.
+fn check_observables(model: &Model, table: &MonitorTable, mon: MonitorId) {
+    prop_assert_eq!(table.owner(mon), model.owner(), "unique owner agrees");
+    for t in 0..=DRIVER {
+        prop_assert_eq!(
+            table.in_wait_set(mon, t),
+            model.spot[t as usize] == Spot::Waiting,
+            "wait-set membership of thread {t}"
+        );
+        prop_assert_eq!(
+            table.entry_queued(mon, t),
+            model.spot[t as usize] == Spot::Queued,
+            "entry-queue membership of thread {t}"
+        );
+    }
+    prop_assert_eq!(table.wait_parked(mon), model.wait_set.len());
+    prop_assert_eq!(table.contended_total(), model.contended);
+    prop_assert_eq!(table.waits_total(), model.waits);
+    prop_assert_eq!(table.notifies_total(), model.notifies);
+}
+
+/// Unwind to quiescence: the owner notifies everyone then fully exits,
+/// and each handed-off thread does the same. Every thread MUST end
+/// `Free` — a thread stuck `Waiting` or `Queued` here is a lost wakeup.
+fn drain(model: &mut Model, table: &mut MonitorTable, mon: MonitorId) {
+    // Handoff always assigns a new owner, so the queue can only be
+    // non-empty while somebody owns the monitor.
+    prop_assert!(
+        model.owner().is_some() || model.queue.is_empty(),
+        "ownerless monitor must have an empty entry queue"
+    );
+    for _ in 0..10_000 {
+        match model.owner() {
+            Some(t) => {
+                step(model, table, mon, t, 4); // notify_all
+                let before = model.owner();
+                while model.owner() == before {
+                    let front = model.queue.front().copied();
+                    step(model, table, mon, t, 1); // exit
+                    if model.owner() != before {
+                        if let Some((next, _)) = front {
+                            prop_assert_eq!(model.owner(), Some(next), "handoff is FIFO");
+                        }
+                        break;
+                    }
+                }
+            }
+            None if !model.wait_set.is_empty() => {
+                // Somebody must lock and notify the stragglers, as the
+                // scheduler's next runnable thread would; when every
+                // scripted thread parked itself, the DRIVER steps in.
+                let t = (0..=DRIVER)
+                    .find(|&t| model.spot[t as usize] == Spot::Free)
+                    .expect("the DRIVER never parks, so somebody is free");
+                step(model, table, mon, t, 0); // uncontended enter
+            }
+            None => break,
+        }
+    }
+    for t in 0..=DRIVER {
+        prop_assert_eq!(
+            model.spot[t as usize],
+            Spot::Free,
+            "thread {t} never freed: lost wakeup"
+        );
+    }
+    prop_assert_eq!(table.owner(mon), None);
+    prop_assert_eq!(table.wait_parked(mon), 0);
+    prop_assert_eq!(table.pending_notify_total(), 0);
+}
+
+fn arb_script(max: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..THREADS, 0u32..5), 1..max)
+}
+
+proptest! {
+    /// Properties 1–3: agreement with the reference model at every step,
+    /// FIFO handoffs, and a drain that frees every thread with balanced
+    /// final state.
+    #[test]
+    fn monitor_agrees_with_reference_model(script in arb_script(120)) {
+        let mut table = MonitorTable::new();
+        let mon = table.create();
+        let mut model = Model::new();
+        for &(thread, action) in &script {
+            step(&mut model, &mut table, mon, thread, action);
+        }
+        drain(&mut model, &mut table, mon);
+    }
+
+    /// Property 4: a snapshot cut anywhere in the script — including the
+    /// pending-notify window — restores to a table whose remaining
+    /// behavior is identical to the uninterrupted original.
+    #[test]
+    fn snapshot_cut_anywhere_preserves_behavior(
+        script in arb_script(80),
+        cut in 0usize..80,
+    ) {
+        let cut = cut.min(script.len());
+        let mut table = MonitorTable::new();
+        let mon = table.create();
+        let mut model = Model::new();
+        for &(thread, action) in &script[..cut] {
+            step(&mut model, &mut table, mon, thread, action);
+        }
+        // Round-trip through bytes; byte-canonical re-save.
+        let bytes = save_bytes(&table);
+        let mut restored = MonitorTable::new();
+        restore_bytes(&mut restored, &bytes).expect("restore");
+        prop_assert_eq!(save_bytes(&restored), bytes, "canonical bytes");
+        check_observables(&model, &restored, mon);
+        // The restored table must track the model (and hence the
+        // original table) through the rest of the script and the drain.
+        for &(thread, action) in &script[cut..] {
+            step(&mut model, &mut restored, mon, thread, action);
+        }
+        drain(&mut model, &mut restored, mon);
+    }
+
+    /// Wait always releases the whole recursion depth and restores it on
+    /// re-acquisition, whatever depth the script reached.
+    #[test]
+    fn wait_round_trips_recursion_depth(depth in 1u32..6) {
+        let mut table = MonitorTable::new();
+        let mon = table.create();
+        for _ in 0..depth {
+            prop_assert_eq!(table.enter(mon, 0), MonitorOutcome::Acquired);
+        }
+        prop_assert_eq!(table.wait(mon, 0), None);
+        prop_assert_eq!(table.owner(mon), None, "wait releases fully");
+        prop_assert_eq!(table.enter(mon, 1), MonitorOutcome::Acquired);
+        prop_assert_eq!(table.notify(mon, 1), Some(0));
+        prop_assert_eq!(table.exit(mon, 1), Some(0));
+        // Thread 0 is back at its full saved depth.
+        for i in 0..depth {
+            prop_assert!(table.owner(mon) == Some(0), "still owner before exit {i}");
+            prop_assert_eq!(table.exit(mon, 0), None);
+        }
+        prop_assert_eq!(table.owner(mon), None);
+    }
+}

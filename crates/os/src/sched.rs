@@ -79,6 +79,8 @@ pub struct Scheduler {
     ctx_switches: u64,
     timer_irqs: u64,
     preempt_pending: [bool; 2],
+    block_events: u64,
+    wake_events: u64,
 }
 
 impl Scheduler {
@@ -96,6 +98,8 @@ impl Scheduler {
             ctx_switches: 0,
             timer_irqs: 0,
             preempt_pending: [false; 2],
+            block_events: 0,
+            wake_events: 0,
         }
     }
 
@@ -141,15 +145,18 @@ impl Scheduler {
         match info.state {
             ThreadState::Running(l) => {
                 info.state = ThreadState::Blocked;
+                self.block_events += 1;
                 // Leave `running` slot occupied until the drain completes;
                 // mark it for preemption at the next tick.
                 self.preempt_pending[l] = true;
             }
             ThreadState::Draining(_) => {
                 info.state = ThreadState::Blocked;
+                self.block_events += 1;
             }
             ThreadState::Runnable => {
                 info.state = ThreadState::Blocked;
+                self.block_events += 1;
                 self.runq.retain(|&t| t != tid);
             }
             ThreadState::Blocked | ThreadState::Finished => {}
@@ -157,12 +164,37 @@ impl Scheduler {
     }
 
     /// Wake a blocked thread.
+    ///
+    /// A thread that blocked while bound may still occupy its CPU slot —
+    /// the drain-then-unbind protocol keeps it there until the context
+    /// empties. Waking such a thread restores it *in place*: pushing it
+    /// to the run queue while it is still bound would let the dispatcher
+    /// bind it to the other logical CPU concurrently (one thread fetching
+    /// on two contexts).
     pub fn wake(&mut self, tid: ThreadId) {
-        let info = &mut self.threads[tid.0 as usize];
-        if info.state == ThreadState::Blocked {
-            info.state = ThreadState::Runnable;
-            self.runq.push_back(tid);
+        if self.threads[tid.0 as usize].state != ThreadState::Blocked {
+            return;
         }
+        self.wake_events += 1;
+        for l in 0..self.nlcpus {
+            if self.running[l] == Some(tid) {
+                // The block's preemption request has not been acted on
+                // yet; cancel it and let the thread keep its slot. Only
+                // block/finish on the bound thread set the flag, and a
+                // finished thread is never woken.
+                self.threads[tid.0 as usize].state = ThreadState::Running(l);
+                self.preempt_pending[l] = false;
+                return;
+            }
+            if self.draining[l] == Some(tid) {
+                // Mid-drain: fall back to Draining so the completion
+                // path re-queues it like any preempted thread.
+                self.threads[tid.0 as usize].state = ThreadState::Draining(l);
+                return;
+            }
+        }
+        self.threads[tid.0 as usize].state = ThreadState::Runnable;
+        self.runq.push_back(tid);
     }
 
     /// Mark a thread finished (its stream is exhausted).
@@ -190,6 +222,25 @@ impl Scheduler {
     /// Total timer interrupts delivered.
     pub fn timer_irqs(&self) -> u64 {
         self.timer_irqs
+    }
+
+    /// Threads currently in [`ThreadState::Blocked`].
+    pub fn blocked_threads(&self) -> usize {
+        self.threads
+            .iter()
+            .filter(|t| t.state == ThreadState::Blocked)
+            .count()
+    }
+
+    /// Total runnable→blocked (or running→blocked) transitions.
+    pub fn block_events(&self) -> u64 {
+        self.block_events
+    }
+
+    /// Total blocked→runnable transitions (wakes of actually-blocked
+    /// threads; redundant wakes are not counted).
+    pub fn wake_events(&self) -> u64 {
+        self.wake_events
     }
 
     /// The earliest cycle strictly after `now` at which a *time-driven*
@@ -362,6 +413,8 @@ impl jsmt_snapshot::Snapshotable for Scheduler {
         }
         w.put_u64(self.ctx_switches);
         w.put_u64(self.timer_irqs);
+        w.put_u64(self.block_events);
+        w.put_u64(self.wake_events);
     }
 
     fn restore_state(
@@ -400,6 +453,8 @@ impl jsmt_snapshot::Snapshotable for Scheduler {
         }
         self.ctx_switches = r.get_u64()?;
         self.timer_irqs = r.get_u64()?;
+        self.block_events = r.get_u64()?;
+        self.wake_events = r.get_u64()?;
         Ok(())
     }
 }
@@ -578,6 +633,79 @@ mod tests {
         // The returned cycle is always strictly in the future.
         let late = cfg.timer_period_cycles + cfg.timeslice_cycles;
         assert!(s.next_timed_event(late) > late);
+    }
+
+    /// Regression: a monitor handoff can wake a thread whose block is
+    /// still being drained (the owner exits within the drain window).
+    /// The woken thread must not be re-dispatched through the run queue
+    /// while its old context still holds it — that binds one thread to
+    /// two logical CPUs at once.
+    #[test]
+    fn wake_during_drain_does_not_double_bind() {
+        let mut s = Scheduler::new(OsConfig::default(), true);
+        let a = s.spawn(A);
+        drain_all(&mut s, 0);
+        assert_eq!(s.state(a), ThreadState::Running(0));
+        s.block(a);
+        // The drain request goes out, but lcpu0's context is not empty
+        // yet; `a` still occupies the draining slot.
+        let mut out = Vec::new();
+        s.tick(1, [false, false], &mut out);
+        assert_eq!(out, vec![SchedEvent::RequestDrain { lcpu: 0 }]);
+        assert_eq!(s.running_on(0), Some(a));
+        // Handoff wake arrives mid-drain.
+        s.wake(a);
+        assert_eq!(s.state(a), ThreadState::Draining(0));
+        // lcpu1 is idle; it must NOT steal `a` while lcpu0 drains it.
+        let mut out = Vec::new();
+        s.tick(2, [false, true], &mut out);
+        assert!(out.is_empty(), "double bind: {out:?}");
+        assert_ne!(s.running_on(1), Some(a));
+        // Once the drain completes, `a` is re-queued and dispatched once.
+        let ev = drain_all(&mut s, 3);
+        assert!(ev.contains(&SchedEvent::Unbind { lcpu: 0, thread: a }));
+        let binds: Vec<_> = ev
+            .iter()
+            .filter(|e| matches!(e, SchedEvent::Bind { thread, .. } if *thread == a))
+            .collect();
+        assert_eq!(binds.len(), 1, "{ev:?}");
+    }
+
+    /// Regression companion: a wake that lands before the drain is even
+    /// requested (thread still in its `running` slot) cancels the
+    /// pending preemption instead of queueing a second dispatch.
+    #[test]
+    fn wake_before_drain_request_cancels_preemption() {
+        let mut s = Scheduler::new(OsConfig::default(), true);
+        let a = s.spawn(A);
+        drain_all(&mut s, 0);
+        s.block(a);
+        assert_eq!(s.state(a), ThreadState::Blocked);
+        s.wake(a);
+        assert_eq!(s.state(a), ThreadState::Running(0));
+        let ev = drain_all(&mut s, 1);
+        assert!(
+            ev.iter().all(|e| matches!(e, SchedEvent::Timer { .. })),
+            "no drain should fire: {ev:?}"
+        );
+        assert_eq!(s.running_on(0), Some(a));
+    }
+
+    #[test]
+    fn block_and_wake_events_are_counted() {
+        let mut s = Scheduler::new(OsConfig::default(), false);
+        let a = s.spawn(A);
+        let b = s.spawn(A);
+        drain_all(&mut s, 0);
+        s.block(a);
+        s.block(a); // redundant: not counted
+        s.block(b);
+        assert_eq!(s.block_events(), 2);
+        assert_eq!(s.blocked_threads(), 2);
+        s.wake(b);
+        s.wake(b); // redundant: not counted
+        assert_eq!(s.wake_events(), 1);
+        assert_eq!(s.blocked_threads(), 1);
     }
 
     #[test]

@@ -30,6 +30,7 @@ mod db;
 mod jack;
 mod javac;
 mod jess;
+pub mod litmus;
 mod moldyn;
 mod montecarlo;
 mod mpegaudio;
@@ -43,6 +44,7 @@ pub use db::Db;
 pub use jack::Jack;
 pub use javac::Javac;
 pub use jess::Jess;
+pub use litmus::{BarrierConvoy, LockHandoff, MessagePassing, PingPong, StoreBuffer};
 pub use moldyn::MolDyn;
 pub use montecarlo::MonteCarlo;
 pub use mpegaudio::MpegAudio;
@@ -164,6 +166,15 @@ pub trait Kernel {
 
     /// Fraction of total work completed, in `[0, 1]`.
     fn progress(&self) -> f64;
+
+    /// The kernel's observable outcome, if it defines one: a compact
+    /// label of the values its threads actually read (the litmus family's
+    /// observation tuple, e.g. `"r_flag=1,r_data=1"`). Meaningful only
+    /// after every thread has finished; `None` for kernels whose output
+    /// is a throughput number rather than an interleaving.
+    fn observation(&self) -> Option<String> {
+        None
+    }
 
     /// Serialize the kernel's mutable execution state (progress meters,
     /// RNG streams, in-flight phase data). Input corpora and everything

@@ -1,0 +1,313 @@
+//! `litmus-handoff` — N threads hand one monitor around for R rounds each.
+//!
+//! Every round a thread acquires the shared monitor, runs a *multi-step*
+//! critical section (the hold spans several scheduler-visible steps, so
+//! preemption, drain windows and wake-ups all land inside it), bumps a
+//! shared counter, and releases. Two invariants are witnessed directly in
+//! kernel state:
+//!
+//! * **Mutual exclusion** — an `in_cs` occupancy count is incremented on
+//!   acquire and decremented before release; it exceeding 1 means the
+//!   monitor handed ownership to two threads at once.
+//! * **Lost updates** — the counter must end at exactly
+//!   `threads × rounds`; a lost handoff or replayed critical section
+//!   shows up as a wrong sum.
+//!
+//! The observation label is `"sum=ok|bad,mx=ok|bad,c=<bucket>"` where the
+//! bucket classifies how much contention the schedule actually produced
+//! (`0`, `lo`, `hi`) — the allowed table accepts any bucket but only
+//! `ok` flags.
+
+use jsmt_isa::Addr;
+use jsmt_jvm::{EmitCtx, JvmProcess, MethodId, MonitorId, MonitorOutcome};
+
+use super::{bucket, rounds_of, seed_of, spin_tick};
+use crate::util::{LibCode, Rng};
+use crate::{BlockReason, Kernel, StepResult};
+
+/// The lock-handoff litmus kernel. See the module docs.
+#[derive(Debug)]
+pub struct LockHandoff {
+    threads: usize,
+    rounds: u64,
+    rngs: Vec<Rng>,
+    phase: Vec<u8>,
+    spin_left: Vec<u32>,
+    hold_left: Vec<u32>,
+    cur_round: Vec<u64>,
+    counter: u64,
+    in_cs: u32,
+    mx_viol: u64,
+    finished_count: u32,
+    final_label: Option<String>,
+    mon: Option<MonitorId>,
+    base: Addr,
+    m_cs: Option<MethodId>,
+    lib: Option<LibCode>,
+}
+
+impl LockHandoff {
+    /// Create the kernel: `scale` sizes the round count and seeds the
+    /// interleaving (see the family docs).
+    pub fn new(threads: usize, scale: f64) -> Self {
+        assert!(threads >= 1);
+        let seed = seed_of(scale);
+        LockHandoff {
+            threads,
+            rounds: rounds_of(scale, 12, 90.0),
+            rngs: (0..threads)
+                .map(|t| Rng::new(seed ^ (0x10C4 + t as u64 * 2741)))
+                .collect(),
+            phase: vec![0; threads],
+            spin_left: vec![0; threads],
+            hold_left: vec![0; threads],
+            cur_round: vec![0; threads],
+            counter: 0,
+            in_cs: 0,
+            mx_viol: 0,
+            finished_count: 0,
+            final_label: None,
+            mon: None,
+            base: 0,
+            m_cs: None,
+            lib: None,
+        }
+    }
+
+    /// Final shared-counter value (for tests).
+    pub fn counter(&self) -> u64 {
+        self.counter
+    }
+
+    /// Mutual-exclusion violations witnessed (for tests).
+    pub fn mx_violations(&self) -> u64 {
+        self.mx_viol
+    }
+
+    fn addr_counter(&self) -> Addr {
+        self.base
+    }
+
+    fn scratch(&self) -> Addr {
+        self.base + 4096
+    }
+
+    fn spin(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> bool {
+        if self.spin_left[tid] > 0 {
+            self.spin_left[tid] -= 1;
+            let scratch = self.scratch();
+            spin_tick(
+                self.lib.as_mut().expect("setup"),
+                &mut self.rngs[tid],
+                ctx,
+                scratch,
+            );
+            return true;
+        }
+        false
+    }
+
+    fn arm_spin(&mut self, tid: usize, span: u64) {
+        self.spin_left[tid] = 1 + self.rngs[tid].below(span) as u32;
+    }
+}
+
+impl Kernel for LockHandoff {
+    fn name(&self) -> &str {
+        "litmus-handoff"
+    }
+
+    fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    fn setup(&mut self, jvm: &mut JvmProcess) {
+        self.base = jvm.alloc_native(8192, 64);
+        self.mon = Some(jvm.monitors_mut().create());
+        self.m_cs = Some(jvm.methods_mut().register("LitmusHandoff.cs", 510));
+        self.lib = Some(LibCode::register(jvm, "LitmusHandoff", 6, 700));
+    }
+
+    fn step(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        if self.cur_round[tid] >= self.rounds {
+            return StepResult::finished();
+        }
+        ctx.call(self.m_cs.expect("setup"));
+        let mon = self.mon.expect("setup");
+        match self.phase[tid] {
+            0 => {
+                self.arm_spin(tid, 6);
+                self.phase[tid] = 1;
+                self.spin(tid, ctx);
+                StepResult::ran()
+            }
+            1 => {
+                if self.spin(tid, ctx) {
+                    return StepResult::ran();
+                }
+                ctx.atomic(self.addr_counter());
+                let already = ctx.process().monitors().owner(mon) == Some(tid as u32);
+                if !already {
+                    match ctx.process().monitors_mut().enter(mon, tid as u32) {
+                        MonitorOutcome::Contended => {
+                            return StepResult::blocked(BlockReason::Monitor(mon));
+                        }
+                        MonitorOutcome::Acquired => {}
+                    }
+                }
+                self.in_cs += 1;
+                if self.in_cs > 1 {
+                    self.mx_viol += 1;
+                }
+                self.hold_left[tid] = 1 + self.rngs[tid].below(3) as u32;
+                self.phase[tid] = 2;
+                StepResult::ran()
+            }
+            2 => {
+                // Inside the critical section: the hold spans several
+                // steps so scheduling events land while the lock is held.
+                self.hold_left[tid] -= 1;
+                let scratch = self.scratch();
+                ctx.load(self.addr_counter());
+                spin_tick(
+                    self.lib.as_mut().expect("setup"),
+                    &mut self.rngs[tid],
+                    ctx,
+                    scratch,
+                );
+                if self.hold_left[tid] > 0 {
+                    return StepResult::ran();
+                }
+                self.counter += 1;
+                ctx.store(self.addr_counter());
+                self.in_cs -= 1;
+                let next = ctx.process().monitors_mut().exit(mon, tid as u32);
+                self.phase[tid] = 3;
+                self.arm_spin(tid, 4);
+                StepResult::ran().with_wake(next.map(|t| vec![t as usize]).unwrap_or_default())
+            }
+            _ => {
+                if self.spin(tid, ctx) {
+                    return StepResult::ran();
+                }
+                self.cur_round[tid] += 1;
+                self.phase[tid] = 0;
+                if self.cur_round[tid] == self.rounds {
+                    self.finished_count += 1;
+                    if self.finished_count == self.threads as u32 {
+                        let sum_ok = self.counter == self.rounds * self.threads as u64;
+                        let mx_ok = self.mx_viol == 0;
+                        let c = bucket(ctx.process().monitors().contended(mon));
+                        self.final_label = Some(format!(
+                            "sum={},mx={},c={}",
+                            if sum_ok { "ok" } else { "bad" },
+                            if mx_ok { "ok" } else { "bad" },
+                            c
+                        ));
+                    }
+                    StepResult::finished()
+                } else {
+                    StepResult::ran()
+                }
+            }
+        }
+    }
+
+    fn progress(&self) -> f64 {
+        let done: u64 = self.cur_round.iter().sum();
+        done as f64 / (self.rounds * self.threads as u64) as f64
+    }
+
+    fn observation(&self) -> Option<String> {
+        self.final_label.clone()
+    }
+
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        use jsmt_snapshot::Snapshotable;
+        for rng in &self.rngs {
+            rng.save_state(w);
+        }
+        for &v in &self.phase {
+            w.put_u8(v);
+        }
+        for &v in &self.spin_left {
+            w.put_u32(v);
+        }
+        for &v in &self.hold_left {
+            w.put_u32(v);
+        }
+        for &v in &self.cur_round {
+            w.put_u64(v);
+        }
+        w.put_u64(self.counter);
+        w.put_u32(self.in_cs);
+        w.put_u64(self.mx_viol);
+        w.put_u32(self.finished_count);
+        w.put_bool(self.final_label.is_some());
+        if let Some(l) = &self.final_label {
+            w.put_str(l);
+        }
+        self.lib.as_ref().expect("setup").save_state(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        use jsmt_snapshot::Snapshotable;
+        for rng in &mut self.rngs {
+            rng.restore_state(r)?;
+        }
+        for v in &mut self.phase {
+            *v = r.get_u8()?;
+        }
+        for v in &mut self.spin_left {
+            *v = r.get_u32()?;
+        }
+        for v in &mut self.hold_left {
+            *v = r.get_u32()?;
+        }
+        for v in &mut self.cur_round {
+            *v = r.get_u64()?;
+        }
+        self.counter = r.get_u64()?;
+        self.in_cs = r.get_u32()?;
+        self.mx_viol = r.get_u64()?;
+        self.finished_count = r.get_u32()?;
+        self.final_label = if r.get_bool()? {
+            Some(r.get_str()?)
+        } else {
+            None
+        };
+        self.lib.as_mut().expect("setup").restore_state(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::litmus::testutil::drive;
+
+    #[test]
+    fn counter_exact_and_mutual_exclusion_holds() {
+        for seed in 0..24u64 {
+            let scale = 0.02 + seed as f64 * 0.001;
+            let mut k = LockHandoff::new(3, scale);
+            drive(&mut k, 3);
+            assert_eq!(k.counter(), 3 * rounds_of(scale, 12, 90.0));
+            assert_eq!(k.mx_violations(), 0);
+            let obs = k.observation().expect("label set at finish");
+            assert!(obs.starts_with("sum=ok,mx=ok,c="), "{obs}");
+        }
+    }
+
+    #[test]
+    fn tolerates_any_thread_count() {
+        for threads in [1, 2] {
+            let mut k = LockHandoff::new(threads, 0.05);
+            drive(&mut k, threads);
+            assert_eq!(k.counter(), threads as u64 * rounds_of(0.05, 12, 90.0));
+            assert_eq!(k.mx_violations(), 0);
+        }
+    }
+}

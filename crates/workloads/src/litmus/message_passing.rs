@@ -1,0 +1,404 @@
+//! `litmus-mp` — the message-passing litmus shape.
+//!
+//! A writer publishes `data = 1` and then raises `flag = 1`; a reader
+//! samples `r0 = flag` and then `r1 = data`. Under the simulator's
+//! sequentially-consistent memory (kernel state mutates at step
+//! granularity, in program order), the outcome `r0 = 1, r1 = 0` is
+//! forbidden: seeing the flag up implies the data write already
+//! happened. The writer maintains the invariant at *every* instant by
+//! ordering the round reset too (flag down before data down), and only
+//! resets after the reader's ack, so no sample point between the
+//! reader's two loads can expose `flag ∧ ¬data`.
+//!
+//! Each round re-arms with seed-varied spin widths on both sides, so a
+//! seed sweep samples many distinct schedules; the observation label is
+//! the sorted set of outcomes seen across rounds (e.g. `"00+01+11"`).
+
+use std::collections::BTreeSet;
+
+use jsmt_isa::Addr;
+use jsmt_jvm::{EmitCtx, JvmProcess, MethodId};
+
+use super::{join_labels, restore_labels, rounds_of, save_labels, seed_of, spin_tick, Scoreboard};
+use crate::util::{LibCode, Rng};
+use crate::{Kernel, StepResult};
+
+const PAIR_STRIDE: u64 = 256;
+
+/// The message-passing litmus kernel. See the module docs.
+#[derive(Debug)]
+pub struct MessagePassing {
+    threads: usize,
+    rounds: u64,
+    rngs: Vec<Rng>,
+    phase: Vec<u8>,
+    spin_left: Vec<u32>,
+    cur_round: Vec<u64>,
+    data: Vec<u64>,
+    flag: Vec<u64>,
+    ack: Vec<u64>,
+    wsync: Vec<u64>,
+    r0: Vec<u64>,
+    seen: BTreeSet<String>,
+    score: Scoreboard,
+    base: Addr,
+    m_proto: Option<MethodId>,
+    lib: Option<LibCode>,
+}
+
+impl MessagePassing {
+    /// Create the kernel: `scale` sizes the round count and seeds the
+    /// interleaving (see the family docs).
+    pub fn new(threads: usize, scale: f64) -> Self {
+        assert!(threads >= 1);
+        let seed = seed_of(scale);
+        let pairs = threads.div_ceil(2);
+        MessagePassing {
+            threads,
+            rounds: rounds_of(scale, 16, 120.0),
+            rngs: (0..threads)
+                .map(|t| Rng::new(seed ^ (0xA11CE + t as u64 * 7919)))
+                .collect(),
+            phase: vec![0; threads],
+            spin_left: vec![0; threads],
+            cur_round: vec![0; threads],
+            data: vec![0; pairs],
+            flag: vec![0; pairs],
+            ack: vec![0; pairs],
+            wsync: vec![0; pairs],
+            r0: vec![0; pairs],
+            seen: BTreeSet::new(),
+            score: Scoreboard::default(),
+            base: 0,
+            m_proto: None,
+            lib: None,
+        }
+    }
+
+    /// Outcomes seen so far (for tests).
+    pub fn outcomes(&self) -> &BTreeSet<String> {
+        &self.seen
+    }
+
+    fn is_solo(&self, tid: usize) -> bool {
+        self.threads % 2 == 1 && tid == self.threads - 1
+    }
+
+    fn addr_data(&self, p: usize) -> Addr {
+        self.base + p as u64 * PAIR_STRIDE
+    }
+
+    fn addr_flag(&self, p: usize) -> Addr {
+        self.base + p as u64 * PAIR_STRIDE + 8
+    }
+
+    fn addr_ack(&self, p: usize) -> Addr {
+        self.base + p as u64 * PAIR_STRIDE + 16
+    }
+
+    fn addr_wsync(&self, p: usize) -> Addr {
+        self.base + p as u64 * PAIR_STRIDE + 24
+    }
+
+    fn scratch(&self) -> Addr {
+        self.base + 4096
+    }
+
+    fn spin(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> bool {
+        if self.spin_left[tid] > 0 {
+            self.spin_left[tid] -= 1;
+            let scratch = self.scratch();
+            spin_tick(
+                self.lib.as_mut().expect("setup"),
+                &mut self.rngs[tid],
+                ctx,
+                scratch,
+            );
+            return true;
+        }
+        false
+    }
+
+    fn arm_spin(&mut self, tid: usize, span: u64) {
+        self.spin_left[tid] = 1 + self.rngs[tid].below(span) as u32;
+    }
+
+    /// End-of-round scoreboard fold; advances the round on success.
+    fn round_end(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        let wake = match self.score.update(tid, ctx) {
+            Ok(wake) => wake,
+            Err(blocked) => return blocked,
+        };
+        self.cur_round[tid] += 1;
+        self.phase[tid] = 0;
+        if self.cur_round[tid] == self.rounds {
+            StepResult::finished().with_wake(wake)
+        } else {
+            StepResult::ran().with_wake(wake)
+        }
+    }
+
+    fn step_writer(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        let p = tid / 2;
+        ctx.call(self.m_proto.expect("setup"));
+        match self.phase[tid] {
+            0 => {
+                self.arm_spin(tid, 5);
+                self.phase[tid] = 1;
+                self.spin(tid, ctx);
+                StepResult::ran()
+            }
+            1 => {
+                if !self.spin(tid, ctx) {
+                    self.data[p] = 1;
+                    ctx.store(self.addr_data(p));
+                    self.arm_spin(tid, 4);
+                    self.phase[tid] = 2;
+                }
+                StepResult::ran()
+            }
+            2 => {
+                if !self.spin(tid, ctx) {
+                    self.flag[p] = 1;
+                    ctx.store(self.addr_flag(p));
+                    self.phase[tid] = 3;
+                }
+                StepResult::ran()
+            }
+            3 => {
+                // Poll for the reader's ack, then retract flag before
+                // data — the invariant `flag == 1 ⇒ data == 1` must hold
+                // at every step boundary.
+                ctx.load(self.addr_ack(p));
+                ctx.branch(self.ack[p] != 0, false);
+                if self.ack[p] == self.cur_round[tid] + 1 {
+                    self.flag[p] = 0;
+                    ctx.store(self.addr_flag(p));
+                    self.data[p] = 0;
+                    ctx.store(self.addr_data(p));
+                    // Publish the round boundary: the reader will not
+                    // start sampling the next round until this lands, so
+                    // its sample pair can never straddle the reset.
+                    self.wsync[p] = self.cur_round[tid] + 1;
+                    ctx.store(self.addr_wsync(p));
+                    self.phase[tid] = 4;
+                } else {
+                    ctx.alu(3);
+                }
+                StepResult::ran()
+            }
+            _ => self.round_end(tid, ctx),
+        }
+    }
+
+    fn step_reader(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        let p = tid / 2;
+        ctx.call(self.m_proto.expect("setup"));
+        match self.phase[tid] {
+            0 => {
+                // Gate on the previous round's writer-side reset having
+                // fully landed before sampling anything.
+                ctx.load(self.addr_wsync(p));
+                ctx.branch(self.wsync[p] == self.cur_round[tid], false);
+                if self.wsync[p] == self.cur_round[tid] {
+                    self.arm_spin(tid, 6);
+                    self.phase[tid] = 1;
+                    self.spin(tid, ctx);
+                } else {
+                    ctx.alu(2);
+                }
+                StepResult::ran()
+            }
+            1 => {
+                if !self.spin(tid, ctx) {
+                    self.r0[p] = self.flag[p];
+                    ctx.load(self.addr_flag(p));
+                    self.arm_spin(tid, 3);
+                    self.phase[tid] = 2;
+                }
+                StepResult::ran()
+            }
+            2 => {
+                if !self.spin(tid, ctx) {
+                    let r1 = self.data[p];
+                    ctx.load(self.addr_data(p));
+                    self.seen
+                        .insert(format!("{}{}", self.r0[p].min(1), r1.min(1)));
+                    self.phase[tid] = 3;
+                }
+                StepResult::ran()
+            }
+            3 => {
+                self.ack[p] = self.cur_round[tid] + 1;
+                ctx.store(self.addr_ack(p));
+                self.phase[tid] = 4;
+                StepResult::ran()
+            }
+            _ => self.round_end(tid, ctx),
+        }
+    }
+
+    /// A leftover unpaired thread runs the whole protocol alone: it can
+    /// only ever observe `11`.
+    fn step_solo(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        let p = tid / 2;
+        ctx.call(self.m_proto.expect("setup"));
+        match self.phase[tid] {
+            0 => {
+                self.arm_spin(tid, 4);
+                self.phase[tid] = 1;
+                self.spin(tid, ctx);
+                StepResult::ran()
+            }
+            1 => {
+                if !self.spin(tid, ctx) {
+                    self.data[p] = 1;
+                    ctx.store(self.addr_data(p));
+                    self.flag[p] = 1;
+                    ctx.store(self.addr_flag(p));
+                    self.phase[tid] = 2;
+                }
+                StepResult::ran()
+            }
+            2 => {
+                let r0 = self.flag[p];
+                ctx.load(self.addr_flag(p));
+                let r1 = self.data[p];
+                ctx.load(self.addr_data(p));
+                self.seen.insert(format!("{}{}", r0.min(1), r1.min(1)));
+                self.flag[p] = 0;
+                self.data[p] = 0;
+                ctx.store(self.addr_flag(p));
+                ctx.store(self.addr_data(p));
+                self.phase[tid] = 4;
+                StepResult::ran()
+            }
+            _ => self.round_end(tid, ctx),
+        }
+    }
+}
+
+impl Kernel for MessagePassing {
+    fn name(&self) -> &str {
+        "litmus-mp"
+    }
+
+    fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    fn setup(&mut self, jvm: &mut JvmProcess) {
+        self.base = jvm.alloc_native(8192, 64);
+        self.m_proto = Some(jvm.methods_mut().register("LitmusMP.round", 420));
+        self.lib = Some(LibCode::register(jvm, "LitmusMP", 6, 700));
+        self.score.setup(jvm, self.base + 8064);
+    }
+
+    fn step(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        if self.cur_round[tid] >= self.rounds {
+            return StepResult::finished();
+        }
+        if self.is_solo(tid) {
+            self.step_solo(tid, ctx)
+        } else if tid.is_multiple_of(2) {
+            self.step_writer(tid, ctx)
+        } else {
+            self.step_reader(tid, ctx)
+        }
+    }
+
+    fn progress(&self) -> f64 {
+        let done: u64 = self.cur_round.iter().sum();
+        done as f64 / (self.rounds * self.threads as u64) as f64
+    }
+
+    fn observation(&self) -> Option<String> {
+        Some(join_labels(&self.seen))
+    }
+
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        use jsmt_snapshot::Snapshotable;
+        for rng in &self.rngs {
+            rng.save_state(w);
+        }
+        for &v in &self.phase {
+            w.put_u8(v);
+        }
+        for &v in &self.spin_left {
+            w.put_u32(v);
+        }
+        for &v in &self.cur_round {
+            w.put_u64(v);
+        }
+        for vs in [&self.data, &self.flag, &self.ack, &self.wsync, &self.r0] {
+            for &v in vs {
+                w.put_u64(v);
+            }
+        }
+        save_labels(w, &self.seen);
+        self.score.save_state(w);
+        self.lib.as_ref().expect("setup").save_state(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        use jsmt_snapshot::Snapshotable;
+        for rng in &mut self.rngs {
+            rng.restore_state(r)?;
+        }
+        for v in &mut self.phase {
+            *v = r.get_u8()?;
+        }
+        for v in &mut self.spin_left {
+            *v = r.get_u32()?;
+        }
+        for v in &mut self.cur_round {
+            *v = r.get_u64()?;
+        }
+        for vs in [
+            &mut self.data,
+            &mut self.flag,
+            &mut self.ack,
+            &mut self.wsync,
+            &mut self.r0,
+        ] {
+            for v in vs.iter_mut() {
+                *v = r.get_u64()?;
+            }
+        }
+        self.seen = restore_labels(r)?;
+        self.score.restore_state(r)?;
+        self.lib.as_mut().expect("setup").restore_state(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::litmus::testutil::drive;
+
+    #[test]
+    fn never_observes_flag_without_data() {
+        for seed in 0..24u64 {
+            let scale = 0.02 + seed as f64 * 0.001;
+            let mut k = MessagePassing::new(2, scale);
+            drive(&mut k, 2);
+            for label in k.outcomes() {
+                assert_ne!(label, "10", "forbidden outcome at scale {scale}");
+            }
+            assert!(!k.outcomes().is_empty());
+        }
+    }
+
+    #[test]
+    fn tolerates_odd_and_single_thread_counts() {
+        for threads in [1, 3] {
+            let mut k = MessagePassing::new(threads, 0.05);
+            drive(&mut k, threads);
+            assert!(k.progress() > 0.999);
+            assert!(k.outcomes().iter().all(|l| l != "10"));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The litmus workload family: small sync-bound kernels whose *output is
+//! the interleaving*, not a throughput number.
+//!
+//! Classic memory-model litmus shapes (message passing, store buffer)
+//! and synchronization-stress shapes (lock handoff, barrier convoy,
+//! wait/notify ping-pong) run their real protocols over the simulated
+//! machine — every monitor enter/exit is a real [`jsmt_jvm::MonitorTable`]
+//! transition narrated as atomic µops, every park a real scheduler block
+//! through the futex path. Each kernel records a per-thread observation
+//! tuple and exposes it through [`crate::Kernel::observation`] as a
+//! compact label; the harness in `jsmt-core` checks those labels against
+//! a per-shape allowed-outcomes table across a seed sweep.
+//!
+//! Seeding: a litmus kernel derives its RNG stream from the *bit pattern*
+//! of `scale` (every distinct scale is a distinct interleaving trial),
+//! while the work volume — rounds, tokens — still grows monotonically
+//! with `scale` like every other kernel, so the registry-wide property
+//! tests (work scales with `scale`, any thread count terminates) hold.
+//!
+//! Thread-count tolerance: the pairwise shapes (message passing, store
+//! buffer, ping-pong) partition threads into writer/reader pairs; an
+//! odd leftover thread runs a degenerate solo protocol that trivially
+//! satisfies the shape's invariant. The harness always runs them at
+//! their canonical thread counts ([`crate::BenchmarkId::default_threads`]).
+
+mod barrier_convoy;
+mod lock_handoff;
+mod message_passing;
+mod ping_pong;
+mod store_buffer;
+
+pub use barrier_convoy::BarrierConvoy;
+pub use lock_handoff::LockHandoff;
+pub use message_passing::MessagePassing;
+pub use ping_pong::PingPong;
+pub use store_buffer::StoreBuffer;
+
+use jsmt_isa::Addr;
+use jsmt_jvm::EmitCtx;
+
+use crate::util::{LibCode, Rng};
+
+/// The interleaving seed: the bit pattern of the workload scale, so each
+/// sweep point is a distinct trial while staying a plain `WorkloadSpec`
+/// field (and thus surviving the checkpoint roster unchanged).
+pub(crate) fn seed_of(scale: f64) -> u64 {
+    scale.to_bits()
+}
+
+/// Work volume scaled like every other kernel: a floor plus a
+/// `scale`-proportional term, so work grows strictly with `scale` and
+/// dominates per-seed spin-width noise.
+pub(crate) fn rounds_of(scale: f64, base: u64, per: f64) -> u64 {
+    base + (scale.max(0.0) * per) as u64
+}
+
+/// One seed-varied delay tick: a library-method call with a small ALU
+/// body plus a scratch load — enough µops that spin-width differences
+/// actually move the schedule, with a footprint like real Java glue code.
+pub(crate) fn spin_tick(lib: &mut LibCode, rng: &mut Rng, ctx: &mut EmitCtx<'_>, scratch: Addr) {
+    lib.invoke(ctx, 14 + rng.below(10) as u32);
+    ctx.load(scratch + rng.below(64) * 8);
+    ctx.branch(rng.chance(0.7), true);
+}
+
+/// Bucket a small counter into a closed three-way label so outcome
+/// tables stay enumerable: `0`, `1..=4`, `5..`.
+pub(crate) fn bucket(n: u64) -> &'static str {
+    match n {
+        0 => "0",
+        1..=4 => "lo",
+        _ => "hi",
+    }
+}
+
+/// A shared, monitor-guarded per-round result cell. Every litmus thread
+/// folds its round into the scoreboard under a real monitor, so even the
+/// lock-free shapes (message passing, store buffer) drive genuine
+/// monitor-enter/exit traffic — and occasionally the contended futex
+/// path — alongside their plain loads and stores.
+#[derive(Debug, Default)]
+pub(crate) struct Scoreboard {
+    mon: Option<jsmt_jvm::MonitorId>,
+    addr: Addr,
+    hits: u64,
+}
+
+impl Scoreboard {
+    pub(crate) fn setup(&mut self, jvm: &mut jsmt_jvm::JvmProcess, addr: Addr) {
+        self.mon = Some(jvm.monitors_mut().create());
+        self.addr = addr;
+    }
+
+    /// Monitor-guarded bump. `Ok(wake)` when the critical section ran to
+    /// completion; `Err(blocked)` when the caller must park (re-step this
+    /// same phase after the handoff wake — a woken thread already owns
+    /// the monitor and takes the `already` path).
+    pub(crate) fn update(
+        &mut self,
+        tid: usize,
+        ctx: &mut EmitCtx<'_>,
+    ) -> Result<Vec<usize>, crate::StepResult> {
+        use jsmt_jvm::MonitorOutcome;
+        let mon = self.mon.expect("setup");
+        ctx.atomic(self.addr);
+        let already = ctx.process().monitors().owner(mon) == Some(tid as u32);
+        if !already {
+            match ctx.process().monitors_mut().enter(mon, tid as u32) {
+                MonitorOutcome::Contended => {
+                    return Err(crate::StepResult::blocked(crate::BlockReason::Monitor(mon)));
+                }
+                MonitorOutcome::Acquired => {}
+            }
+        }
+        self.hits += 1;
+        ctx.load(self.addr);
+        ctx.alu(2);
+        ctx.store(self.addr);
+        let next = ctx.process().monitors_mut().exit(mon, tid as u32);
+        Ok(next.map(|t| vec![t as usize]).unwrap_or_default())
+    }
+
+    pub(crate) fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        w.put_u64(self.hits);
+    }
+
+    pub(crate) fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        self.hits = r.get_u64()?;
+        Ok(())
+    }
+}
+
+/// Serialize a sorted label set.
+pub(crate) fn save_labels(
+    w: &mut jsmt_snapshot::Writer,
+    labels: &std::collections::BTreeSet<String>,
+) {
+    w.put_usize(labels.len());
+    for l in labels {
+        w.put_str(l);
+    }
+}
+
+/// Restore a label set written by [`save_labels`].
+pub(crate) fn restore_labels(
+    r: &mut jsmt_snapshot::Reader<'_>,
+) -> Result<std::collections::BTreeSet<String>, jsmt_snapshot::SnapshotError> {
+    let n = r.get_len(2)?;
+    let mut set = std::collections::BTreeSet::new();
+    for _ in 0..n {
+        set.insert(r.get_str()?);
+    }
+    Ok(set)
+}
+
+/// Join a label set into the kernel's observation string ("00+01+11").
+pub(crate) fn join_labels(labels: &std::collections::BTreeSet<String>) -> String {
+    labels
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::{Kernel, StepOutcome};
+    use jsmt_jvm::{EmitCtx, JvmConfig, JvmProcess};
+
+    /// Minimal round-robin driver honouring blocks and wakes, for
+    /// kernel-level unit tests.
+    pub(crate) fn drive(k: &mut dyn Kernel, threads: usize) -> u64 {
+        let mut jvm = JvmProcess::new(1, JvmConfig::default());
+        k.setup(&mut jvm);
+        let mut blocked = vec![false; threads];
+        let mut finished = vec![false; threads];
+        let mut uops = 0u64;
+        let mut guard = 0u64;
+        while finished.iter().any(|f| !f) {
+            guard += 1;
+            assert!(guard < 2_000_000, "deadlock or runaway in {}", k.name());
+            for tid in 0..threads {
+                if blocked[tid] || finished[tid] {
+                    continue;
+                }
+                let mut out = Vec::new();
+                let mut ctx = EmitCtx::new(&mut jvm, &mut out);
+                let r = k.step(tid, &mut ctx);
+                uops += out.len() as u64;
+                for &w in &r.wake {
+                    blocked[w] = false;
+                }
+                match r.outcome {
+                    StepOutcome::Blocked(_) => blocked[tid] = true,
+                    StepOutcome::Finished => finished[tid] = true,
+                    StepOutcome::NeedsGc => {
+                        jvm.collect();
+                    }
+                    StepOutcome::Ran => {}
+                }
+            }
+            assert!(
+                (0..threads).any(|t| !finished[t] && !blocked[t]) || finished.iter().all(|f| *f),
+                "all litmus threads blocked in {}",
+                k.name()
+            );
+        }
+        uops
+    }
+}

@@ -1,0 +1,457 @@
+//! `litmus-pingpong` — wait/notify token passing over a real monitor.
+//!
+//! Threads pair up as producer/consumer on a one-slot token cell guarded
+//! by a per-pair monitor, running the canonical Java idiom: lock, `while
+//! (!ready) wait()`, mutate, `notify()`, hold a few more steps, unlock.
+//! The deliberate gap between `notify` and the unlock keeps the notified
+//! thread in the *pending-notify window* — re-queued for entry, not yet
+//! owner — across several scheduler-visible steps, which is exactly the
+//! state the checkpoint tests snapshot through.
+//!
+//! Witnessed invariants: a consumer must only ever consume a full slot
+//! (`"v=0"` in the label means a lost or phantom wakeup handed it an
+//! empty token), and every produced token must be consumed
+//! (`"bal=bad"` means the counts diverged). The final label also buckets
+//! how many real `wait` parks the schedule produced.
+//!
+//! A spuriously re-stepped thread re-blocks without re-entering: the
+//! entry-queue and wait-set membership probes distinguish "still parked"
+//! from "woken with ownership", so monitor statistics stay exact.
+
+use std::collections::BTreeSet;
+
+use jsmt_isa::Addr;
+use jsmt_jvm::{EmitCtx, JvmProcess, MethodId, MonitorId, MonitorOutcome};
+
+use super::{bucket, join_labels, restore_labels, rounds_of, save_labels, seed_of, spin_tick};
+use crate::util::{LibCode, Rng};
+use crate::{BlockReason, Kernel, StepResult};
+
+const PAIR_STRIDE: u64 = 256;
+
+/// The wait/notify ping-pong litmus kernel. See the module docs.
+#[derive(Debug)]
+pub struct PingPong {
+    threads: usize,
+    rounds: u64,
+    rngs: Vec<Rng>,
+    phase: Vec<u8>,
+    spin_left: Vec<u32>,
+    hold_left: Vec<u32>,
+    cur_round: Vec<u64>,
+    token: Vec<u64>,
+    produced: Vec<u64>,
+    consumed: Vec<u64>,
+    mons: Vec<MonitorId>,
+    seen: BTreeSet<String>,
+    finished_count: u32,
+    base: Addr,
+    m_proto: Option<MethodId>,
+    lib: Option<LibCode>,
+}
+
+impl PingPong {
+    /// Create the kernel: `scale` sizes the round count and seeds the
+    /// interleaving (see the family docs).
+    pub fn new(threads: usize, scale: f64) -> Self {
+        assert!(threads >= 1);
+        let seed = seed_of(scale);
+        let pairs = threads.div_ceil(2);
+        PingPong {
+            threads,
+            rounds: rounds_of(scale, 12, 80.0),
+            rngs: (0..threads)
+                .map(|t| Rng::new(seed ^ (0x9109 + t as u64 * 3571)))
+                .collect(),
+            phase: vec![0; threads],
+            spin_left: vec![0; threads],
+            hold_left: vec![0; threads],
+            cur_round: vec![0; threads],
+            token: vec![0; pairs],
+            produced: vec![0; pairs],
+            consumed: vec![0; pairs],
+            mons: Vec::new(),
+            seen: BTreeSet::new(),
+            finished_count: 0,
+            base: 0,
+            m_proto: None,
+            lib: None,
+        }
+    }
+
+    /// Labels observed so far (for tests).
+    pub fn outcomes(&self) -> &BTreeSet<String> {
+        &self.seen
+    }
+
+    fn is_solo(&self, tid: usize) -> bool {
+        self.threads % 2 == 1 && tid == self.threads - 1
+    }
+
+    fn addr_token(&self, p: usize) -> Addr {
+        self.base + p as u64 * PAIR_STRIDE
+    }
+
+    fn scratch(&self) -> Addr {
+        self.base + 4096
+    }
+
+    fn spin(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> bool {
+        if self.spin_left[tid] > 0 {
+            self.spin_left[tid] -= 1;
+            let scratch = self.scratch();
+            spin_tick(
+                self.lib.as_mut().expect("setup"),
+                &mut self.rngs[tid],
+                ctx,
+                scratch,
+            );
+            return true;
+        }
+        false
+    }
+
+    /// Acquire `mon`, tolerating spurious re-steps while parked. `Ok(())`
+    /// means the caller owns the monitor on return.
+    fn lock(&mut self, tid: usize, p: usize, ctx: &mut EmitCtx<'_>) -> Result<(), StepResult> {
+        let mon = self.mons[p];
+        ctx.atomic(self.addr_token(p));
+        let mons = ctx.process().monitors();
+        if mons.owner(mon) == Some(tid as u32) {
+            return Ok(());
+        }
+        if mons.entry_queued(mon, tid as u32) || mons.in_wait_set(mon, tid as u32) {
+            // Spurious re-step while parked: stay blocked, don't inflate
+            // the contention statistics with a second enter.
+            return Err(StepResult::blocked(BlockReason::Monitor(mon)));
+        }
+        match ctx.process().monitors_mut().enter(mon, tid as u32) {
+            MonitorOutcome::Contended => Err(StepResult::blocked(BlockReason::Monitor(mon))),
+            MonitorOutcome::Acquired => Ok(()),
+        }
+    }
+
+    fn finish_round(&mut self, tid: usize, ctx: &mut EmitCtx<'_>, wake: Vec<usize>) -> StepResult {
+        self.cur_round[tid] += 1;
+        self.phase[tid] = 0;
+        if self.cur_round[tid] < self.rounds {
+            return StepResult::ran().with_wake(wake);
+        }
+        self.finished_count += 1;
+        if self.finished_count == self.threads as u32 {
+            let bal = (0..self.token.len()).all(|p| self.produced[p] == self.consumed[p]);
+            self.seen
+                .insert(format!("bal={}", if bal { "ok" } else { "bad" }));
+            self.seen.insert(format!(
+                "w={}",
+                bucket(ctx.process().monitors().waits_total())
+            ));
+        }
+        StepResult::finished().with_wake(wake)
+    }
+
+    /// Producer: `while (full) wait(); token = 1; notify(); ...; unlock`.
+    fn step_producer(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        let p = tid / 2;
+        let mon = self.mons[p];
+        ctx.call(self.m_proto.expect("setup"));
+        match self.phase[tid] {
+            0 => {
+                self.spin_left[tid] = 1 + self.rngs[tid].below(5) as u32;
+                self.phase[tid] = 1;
+                self.spin(tid, ctx);
+                StepResult::ran()
+            }
+            1 => {
+                if self.spin(tid, ctx) {
+                    return StepResult::ran();
+                }
+                if let Err(blocked) = self.lock(tid, p, ctx) {
+                    return blocked;
+                }
+                self.phase[tid] = 2;
+                StepResult::ran()
+            }
+            2 => {
+                // Condition check under the lock; a woken thread lands
+                // back here and re-checks (the `while`, not an `if`).
+                if ctx.process().monitors().owner(mon) != Some(tid as u32) {
+                    return StepResult::blocked(BlockReason::Monitor(mon));
+                }
+                ctx.load(self.addr_token(p));
+                ctx.branch(self.token[p] != 0, false);
+                if self.token[p] != 0 {
+                    let next = ctx.process().monitors_mut().wait(mon, tid as u32);
+                    return StepResult::blocked(BlockReason::Monitor(mon))
+                        .with_wake(next.map(|t| vec![t as usize]).unwrap_or_default());
+                }
+                self.token[p] = 1;
+                self.produced[p] += 1;
+                ctx.store(self.addr_token(p));
+                ctx.process().monitors_mut().notify(mon, tid as u32);
+                self.hold_left[tid] = 1 + self.rngs[tid].below(3) as u32;
+                self.phase[tid] = 3;
+                StepResult::ran()
+            }
+            _ => {
+                // Hold the lock a few steps past the notify: the notified
+                // peer sits in the pending-notify window the whole time.
+                self.hold_left[tid] -= 1;
+                let scratch = self.scratch();
+                spin_tick(
+                    self.lib.as_mut().expect("setup"),
+                    &mut self.rngs[tid],
+                    ctx,
+                    scratch,
+                );
+                if self.hold_left[tid] > 0 {
+                    return StepResult::ran();
+                }
+                let next = ctx.process().monitors_mut().exit(mon, tid as u32);
+                self.finish_round(tid, ctx, next.map(|t| vec![t as usize]).unwrap_or_default())
+            }
+        }
+    }
+
+    /// Consumer: `while (empty) wait(); v = token; token = 0; notify()`.
+    fn step_consumer(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        let p = tid / 2;
+        let mon = self.mons[p];
+        ctx.call(self.m_proto.expect("setup"));
+        match self.phase[tid] {
+            0 => {
+                self.spin_left[tid] = 1 + self.rngs[tid].below(5) as u32;
+                self.phase[tid] = 1;
+                self.spin(tid, ctx);
+                StepResult::ran()
+            }
+            1 => {
+                if self.spin(tid, ctx) {
+                    return StepResult::ran();
+                }
+                if let Err(blocked) = self.lock(tid, p, ctx) {
+                    return blocked;
+                }
+                self.phase[tid] = 2;
+                StepResult::ran()
+            }
+            2 => {
+                if ctx.process().monitors().owner(mon) != Some(tid as u32) {
+                    return StepResult::blocked(BlockReason::Monitor(mon));
+                }
+                ctx.load(self.addr_token(p));
+                ctx.branch(self.token[p] == 0, false);
+                if self.token[p] == 0 {
+                    let next = ctx.process().monitors_mut().wait(mon, tid as u32);
+                    return StepResult::blocked(BlockReason::Monitor(mon))
+                        .with_wake(next.map(|t| vec![t as usize]).unwrap_or_default());
+                }
+                let v = self.token[p];
+                self.seen.insert(format!("v={}", v.min(1)));
+                self.token[p] = 0;
+                self.consumed[p] += 1;
+                ctx.store(self.addr_token(p));
+                ctx.process().monitors_mut().notify(mon, tid as u32);
+                self.hold_left[tid] = 1 + self.rngs[tid].below(2) as u32;
+                self.phase[tid] = 3;
+                StepResult::ran()
+            }
+            _ => {
+                self.hold_left[tid] -= 1;
+                let scratch = self.scratch();
+                spin_tick(
+                    self.lib.as_mut().expect("setup"),
+                    &mut self.rngs[tid],
+                    ctx,
+                    scratch,
+                );
+                if self.hold_left[tid] > 0 {
+                    return StepResult::ran();
+                }
+                let next = ctx.process().monitors_mut().exit(mon, tid as u32);
+                self.finish_round(tid, ctx, next.map(|t| vec![t as usize]).unwrap_or_default())
+            }
+        }
+    }
+
+    /// A leftover unpaired thread ping-pongs with itself: produce and
+    /// consume in program order, never waiting.
+    fn step_solo(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        let p = tid / 2;
+        ctx.call(self.m_proto.expect("setup"));
+        match self.phase[tid] {
+            0 => {
+                self.spin_left[tid] = 1 + self.rngs[tid].below(4) as u32;
+                self.phase[tid] = 1;
+                self.spin(tid, ctx);
+                StepResult::ran()
+            }
+            1 => {
+                if self.spin(tid, ctx) {
+                    return StepResult::ran();
+                }
+                if let Err(blocked) = self.lock(tid, p, ctx) {
+                    return blocked;
+                }
+                self.token[p] = 1;
+                self.produced[p] += 1;
+                ctx.store(self.addr_token(p));
+                self.phase[tid] = 2;
+                StepResult::ran()
+            }
+            _ => {
+                let v = self.token[p];
+                ctx.load(self.addr_token(p));
+                self.seen.insert(format!("v={}", v.min(1)));
+                self.token[p] = 0;
+                self.consumed[p] += 1;
+                ctx.store(self.addr_token(p));
+                let next = ctx.process().monitors_mut().exit(self.mons[p], tid as u32);
+                self.finish_round(tid, ctx, next.map(|t| vec![t as usize]).unwrap_or_default())
+            }
+        }
+    }
+}
+
+impl Kernel for PingPong {
+    fn name(&self) -> &str {
+        "litmus-pingpong"
+    }
+
+    fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    fn setup(&mut self, jvm: &mut JvmProcess) {
+        self.base = jvm.alloc_native(8192, 64);
+        self.m_proto = Some(jvm.methods_mut().register("LitmusPingPong.round", 470));
+        self.lib = Some(LibCode::register(jvm, "LitmusPingPong", 6, 700));
+        self.mons = (0..self.token.len())
+            .map(|_| jvm.monitors_mut().create())
+            .collect();
+    }
+
+    fn step(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        if self.cur_round[tid] >= self.rounds {
+            return StepResult::finished();
+        }
+        if self.is_solo(tid) {
+            self.step_solo(tid, ctx)
+        } else if tid.is_multiple_of(2) {
+            self.step_producer(tid, ctx)
+        } else {
+            self.step_consumer(tid, ctx)
+        }
+    }
+
+    fn progress(&self) -> f64 {
+        let done: u64 = self.cur_round.iter().sum();
+        done as f64 / (self.rounds * self.threads as u64) as f64
+    }
+
+    fn observation(&self) -> Option<String> {
+        Some(join_labels(&self.seen))
+    }
+
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        use jsmt_snapshot::Snapshotable;
+        for rng in &self.rngs {
+            rng.save_state(w);
+        }
+        for &v in &self.phase {
+            w.put_u8(v);
+        }
+        for &v in &self.spin_left {
+            w.put_u32(v);
+        }
+        for &v in &self.hold_left {
+            w.put_u32(v);
+        }
+        for &v in &self.cur_round {
+            w.put_u64(v);
+        }
+        for vs in [&self.token, &self.produced, &self.consumed] {
+            for &v in vs {
+                w.put_u64(v);
+            }
+        }
+        save_labels(w, &self.seen);
+        w.put_u32(self.finished_count);
+        self.lib.as_ref().expect("setup").save_state(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        use jsmt_snapshot::Snapshotable;
+        for rng in &mut self.rngs {
+            rng.restore_state(r)?;
+        }
+        for v in &mut self.phase {
+            *v = r.get_u8()?;
+        }
+        for v in &mut self.spin_left {
+            *v = r.get_u32()?;
+        }
+        for v in &mut self.hold_left {
+            *v = r.get_u32()?;
+        }
+        for v in &mut self.cur_round {
+            *v = r.get_u64()?;
+        }
+        for vs in [&mut self.token, &mut self.produced, &mut self.consumed] {
+            for v in vs.iter_mut() {
+                *v = r.get_u64()?;
+            }
+        }
+        self.seen = restore_labels(r)?;
+        self.finished_count = r.get_u32()?;
+        self.lib.as_mut().expect("setup").restore_state(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::litmus::testutil::drive;
+
+    #[test]
+    fn never_consumes_empty_token() {
+        for seed in 0..24u64 {
+            let scale = 0.02 + seed as f64 * 0.001;
+            let mut k = PingPong::new(2, scale);
+            drive(&mut k, 2);
+            assert!(!k.outcomes().contains("v=0"), "scale {scale}");
+            assert!(k.outcomes().contains("v=1"));
+            assert!(k.outcomes().contains("bal=ok"), "{:?}", k.outcomes());
+        }
+    }
+
+    #[test]
+    fn pair_actually_exercises_wait_notify() {
+        // At least one seed in a short sweep must produce a real park —
+        // otherwise the shape isn't testing the wait path at all.
+        let mut any_waits = false;
+        for seed in 0..8u64 {
+            let scale = 0.02 + seed as f64 * 0.001;
+            let mut k = PingPong::new(2, scale);
+            drive(&mut k, 2);
+            if k.outcomes().iter().any(|l| l == "w=lo" || l == "w=hi") {
+                any_waits = true;
+            }
+        }
+        assert!(any_waits, "no seed ever parked in wait()");
+    }
+
+    #[test]
+    fn tolerates_odd_and_single_thread_counts() {
+        for threads in [1, 3] {
+            let mut k = PingPong::new(threads, 0.05);
+            drive(&mut k, threads);
+            assert!(k.progress() > 0.999);
+            assert!(!k.outcomes().contains("v=0"));
+            assert!(k.outcomes().contains("bal=ok"));
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! `litmus-sb` — the store-buffer litmus shape.
+//!
+//! Two threads each store to their own variable and then load the
+//! other's: `A: x = 1; ra = y` against `B: y = 1; rb = x`. On real
+//! store-buffered hardware both loads can return 0; under sequential
+//! consistency — which this simulator's step-granular, program-ordered
+//! kernel state provides — `ra = rb = 0` is forbidden: whichever load
+//! executes last necessarily sees the other side's completed store.
+//! Observing `"00"` would mean an exec tier replayed stale state.
+//!
+//! The A side is the round leader: it records the pair's outcome once
+//! both sides have loaded, resets the shared variables, and publishes
+//! the round bump that gates the B side's next stores — so no store or
+//! load of round `r + 1` can overlap round `r`'s sampling.
+
+use std::collections::BTreeSet;
+
+use jsmt_isa::Addr;
+use jsmt_jvm::{EmitCtx, JvmProcess, MethodId};
+
+use super::{join_labels, restore_labels, rounds_of, save_labels, seed_of, spin_tick, Scoreboard};
+use crate::util::{LibCode, Rng};
+use crate::{Kernel, StepResult};
+
+const PAIR_STRIDE: u64 = 256;
+
+/// The store-buffer litmus kernel. See the module docs.
+#[derive(Debug)]
+pub struct StoreBuffer {
+    threads: usize,
+    rounds: u64,
+    rngs: Vec<Rng>,
+    phase: Vec<u8>,
+    spin_left: Vec<u32>,
+    cur_round: Vec<u64>,
+    x: Vec<u64>,
+    y: Vec<u64>,
+    ra: Vec<u64>,
+    rb: Vec<u64>,
+    done_a: Vec<bool>,
+    done_b: Vec<bool>,
+    round: Vec<u64>,
+    seen: BTreeSet<String>,
+    score: Scoreboard,
+    base: Addr,
+    m_proto: Option<MethodId>,
+    lib: Option<LibCode>,
+}
+
+impl StoreBuffer {
+    /// Create the kernel: `scale` sizes the round count and seeds the
+    /// interleaving (see the family docs).
+    pub fn new(threads: usize, scale: f64) -> Self {
+        assert!(threads >= 1);
+        let seed = seed_of(scale);
+        let pairs = threads.div_ceil(2);
+        StoreBuffer {
+            threads,
+            rounds: rounds_of(scale, 16, 120.0),
+            rngs: (0..threads)
+                .map(|t| Rng::new(seed ^ (0x5B5B + t as u64 * 6151)))
+                .collect(),
+            phase: vec![0; threads],
+            spin_left: vec![0; threads],
+            cur_round: vec![0; threads],
+            x: vec![0; pairs],
+            y: vec![0; pairs],
+            ra: vec![0; pairs],
+            rb: vec![0; pairs],
+            done_a: vec![false; pairs],
+            done_b: vec![false; pairs],
+            round: vec![0; pairs],
+            seen: BTreeSet::new(),
+            score: Scoreboard::default(),
+            base: 0,
+            m_proto: None,
+            lib: None,
+        }
+    }
+
+    /// Outcomes seen so far (for tests).
+    pub fn outcomes(&self) -> &BTreeSet<String> {
+        &self.seen
+    }
+
+    fn is_solo(&self, tid: usize) -> bool {
+        self.threads % 2 == 1 && tid == self.threads - 1
+    }
+
+    fn addr_x(&self, p: usize) -> Addr {
+        self.base + p as u64 * PAIR_STRIDE
+    }
+
+    fn addr_y(&self, p: usize) -> Addr {
+        self.base + p as u64 * PAIR_STRIDE + 8
+    }
+
+    fn addr_round(&self, p: usize) -> Addr {
+        self.base + p as u64 * PAIR_STRIDE + 16
+    }
+
+    fn scratch(&self) -> Addr {
+        self.base + 4096
+    }
+
+    fn spin(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> bool {
+        if self.spin_left[tid] > 0 {
+            self.spin_left[tid] -= 1;
+            let scratch = self.scratch();
+            spin_tick(
+                self.lib.as_mut().expect("setup"),
+                &mut self.rngs[tid],
+                ctx,
+                scratch,
+            );
+            return true;
+        }
+        false
+    }
+
+    fn arm_spin(&mut self, tid: usize, span: u64) {
+        self.spin_left[tid] = 1 + self.rngs[tid].below(span) as u32;
+    }
+
+    fn round_end(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        let wake = match self.score.update(tid, ctx) {
+            Ok(wake) => wake,
+            Err(blocked) => return blocked,
+        };
+        self.cur_round[tid] += 1;
+        self.phase[tid] = 0;
+        if self.cur_round[tid] == self.rounds {
+            StepResult::finished().with_wake(wake)
+        } else {
+            StepResult::ran().with_wake(wake)
+        }
+    }
+
+    /// The A side: store `x`, load `y`, then lead the round turnover.
+    fn step_a(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        let p = tid / 2;
+        ctx.call(self.m_proto.expect("setup"));
+        match self.phase[tid] {
+            0 => {
+                self.arm_spin(tid, 5);
+                self.phase[tid] = 1;
+                self.spin(tid, ctx);
+                StepResult::ran()
+            }
+            1 => {
+                if !self.spin(tid, ctx) {
+                    self.x[p] = 1;
+                    ctx.store(self.addr_x(p));
+                    self.arm_spin(tid, 4);
+                    self.phase[tid] = 2;
+                }
+                StepResult::ran()
+            }
+            2 => {
+                if !self.spin(tid, ctx) {
+                    self.ra[p] = self.y[p];
+                    ctx.load(self.addr_y(p));
+                    self.done_a[p] = true;
+                    self.phase[tid] = 3;
+                }
+                StepResult::ran()
+            }
+            3 => {
+                // Wait for the B side's load, then record and turn the
+                // round over.
+                ctx.load(self.addr_y(p));
+                ctx.branch(self.done_b[p], false);
+                if self.done_a[p] && self.done_b[p] {
+                    self.seen
+                        .insert(format!("{}{}", self.ra[p].min(1), self.rb[p].min(1)));
+                    self.x[p] = 0;
+                    self.y[p] = 0;
+                    ctx.store(self.addr_x(p));
+                    ctx.store(self.addr_y(p));
+                    self.ra[p] = 0;
+                    self.rb[p] = 0;
+                    self.done_a[p] = false;
+                    self.done_b[p] = false;
+                    self.round[p] += 1;
+                    ctx.store(self.addr_round(p));
+                    self.phase[tid] = 4;
+                } else {
+                    ctx.alu(3);
+                }
+                StepResult::ran()
+            }
+            _ => self.round_end(tid, ctx),
+        }
+    }
+
+    /// The B side: gated on the leader's round bump; store `y`, load `x`.
+    fn step_b(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        let p = tid / 2;
+        ctx.call(self.m_proto.expect("setup"));
+        match self.phase[tid] {
+            0 => {
+                ctx.load(self.addr_round(p));
+                ctx.branch(self.round[p] == self.cur_round[tid], false);
+                if self.round[p] == self.cur_round[tid] {
+                    self.arm_spin(tid, 5);
+                    self.phase[tid] = 1;
+                    self.spin(tid, ctx);
+                } else {
+                    ctx.alu(2);
+                }
+                StepResult::ran()
+            }
+            1 => {
+                if !self.spin(tid, ctx) {
+                    self.y[p] = 1;
+                    ctx.store(self.addr_y(p));
+                    self.arm_spin(tid, 4);
+                    self.phase[tid] = 2;
+                }
+                StepResult::ran()
+            }
+            2 => {
+                if !self.spin(tid, ctx) {
+                    self.rb[p] = self.x[p];
+                    ctx.load(self.addr_x(p));
+                    self.done_b[p] = true;
+                    self.phase[tid] = 3;
+                }
+                StepResult::ran()
+            }
+            3 => {
+                // Wait for the leader's round turnover before the
+                // scoreboard fold.
+                ctx.load(self.addr_round(p));
+                ctx.branch(self.round[p] > self.cur_round[tid], false);
+                if self.round[p] > self.cur_round[tid] {
+                    self.phase[tid] = 4;
+                } else {
+                    ctx.alu(3);
+                }
+                StepResult::ran()
+            }
+            _ => self.round_end(tid, ctx),
+        }
+    }
+
+    /// A leftover unpaired thread does both sides in program order: it
+    /// can only ever observe `11`.
+    fn step_solo(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        let p = tid / 2;
+        ctx.call(self.m_proto.expect("setup"));
+        match self.phase[tid] {
+            0 => {
+                self.arm_spin(tid, 4);
+                self.phase[tid] = 1;
+                self.spin(tid, ctx);
+                StepResult::ran()
+            }
+            1 => {
+                if !self.spin(tid, ctx) {
+                    self.x[p] = 1;
+                    self.y[p] = 1;
+                    ctx.store(self.addr_x(p));
+                    ctx.store(self.addr_y(p));
+                    self.phase[tid] = 2;
+                }
+                StepResult::ran()
+            }
+            2 => {
+                let ra = self.y[p];
+                let rb = self.x[p];
+                ctx.load(self.addr_y(p));
+                ctx.load(self.addr_x(p));
+                self.seen.insert(format!("{}{}", ra.min(1), rb.min(1)));
+                self.x[p] = 0;
+                self.y[p] = 0;
+                ctx.store(self.addr_x(p));
+                ctx.store(self.addr_y(p));
+                self.phase[tid] = 4;
+                StepResult::ran()
+            }
+            _ => self.round_end(tid, ctx),
+        }
+    }
+}
+
+impl Kernel for StoreBuffer {
+    fn name(&self) -> &str {
+        "litmus-sb"
+    }
+
+    fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    fn setup(&mut self, jvm: &mut JvmProcess) {
+        self.base = jvm.alloc_native(8192, 64);
+        self.m_proto = Some(jvm.methods_mut().register("LitmusSB.round", 430));
+        self.lib = Some(LibCode::register(jvm, "LitmusSB", 6, 700));
+        self.score.setup(jvm, self.base + 8064);
+    }
+
+    fn step(&mut self, tid: usize, ctx: &mut EmitCtx<'_>) -> StepResult {
+        if self.cur_round[tid] >= self.rounds {
+            return StepResult::finished();
+        }
+        if self.is_solo(tid) {
+            self.step_solo(tid, ctx)
+        } else if tid.is_multiple_of(2) {
+            self.step_a(tid, ctx)
+        } else {
+            self.step_b(tid, ctx)
+        }
+    }
+
+    fn progress(&self) -> f64 {
+        let done: u64 = self.cur_round.iter().sum();
+        done as f64 / (self.rounds * self.threads as u64) as f64
+    }
+
+    fn observation(&self) -> Option<String> {
+        Some(join_labels(&self.seen))
+    }
+
+    fn save_state(&self, w: &mut jsmt_snapshot::Writer) {
+        use jsmt_snapshot::Snapshotable;
+        for rng in &self.rngs {
+            rng.save_state(w);
+        }
+        for &v in &self.phase {
+            w.put_u8(v);
+        }
+        for &v in &self.spin_left {
+            w.put_u32(v);
+        }
+        for &v in &self.cur_round {
+            w.put_u64(v);
+        }
+        for vs in [&self.x, &self.y, &self.ra, &self.rb, &self.round] {
+            for &v in vs {
+                w.put_u64(v);
+            }
+        }
+        for vs in [&self.done_a, &self.done_b] {
+            for &v in vs {
+                w.put_bool(v);
+            }
+        }
+        save_labels(w, &self.seen);
+        self.score.save_state(w);
+        self.lib.as_ref().expect("setup").save_state(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut jsmt_snapshot::Reader<'_>,
+    ) -> Result<(), jsmt_snapshot::SnapshotError> {
+        use jsmt_snapshot::Snapshotable;
+        for rng in &mut self.rngs {
+            rng.restore_state(r)?;
+        }
+        for v in &mut self.phase {
+            *v = r.get_u8()?;
+        }
+        for v in &mut self.spin_left {
+            *v = r.get_u32()?;
+        }
+        for v in &mut self.cur_round {
+            *v = r.get_u64()?;
+        }
+        for vs in [
+            &mut self.x,
+            &mut self.y,
+            &mut self.ra,
+            &mut self.rb,
+            &mut self.round,
+        ] {
+            for v in vs.iter_mut() {
+                *v = r.get_u64()?;
+            }
+        }
+        for vs in [&mut self.done_a, &mut self.done_b] {
+            for v in vs.iter_mut() {
+                *v = r.get_bool()?;
+            }
+        }
+        self.seen = restore_labels(r)?;
+        self.score.restore_state(r)?;
+        self.lib.as_mut().expect("setup").restore_state(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::litmus::testutil::drive;
+
+    #[test]
+    fn never_observes_both_zero() {
+        for seed in 0..24u64 {
+            let scale = 0.02 + seed as f64 * 0.001;
+            let mut k = StoreBuffer::new(2, scale);
+            drive(&mut k, 2);
+            for label in k.outcomes() {
+                assert_ne!(label, "00", "SC forbids 00 (scale {scale})");
+            }
+            assert!(!k.outcomes().is_empty());
+        }
+    }
+
+    #[test]
+    fn tolerates_odd_and_single_thread_counts() {
+        for threads in [1, 3] {
+            let mut k = StoreBuffer::new(threads, 0.05);
+            drive(&mut k, threads);
+            assert!(k.progress() > 0.999);
+            assert!(k.outcomes().iter().all(|l| l != "00"));
+        }
+    }
+}

@@ -3,10 +3,12 @@
 use jsmt_jvm::JvmConfig;
 
 use crate::{
-    Compress, Db, Jack, Javac, Jess, Kernel, MolDyn, MonteCarlo, MpegAudio, PseudoJbb, RayTracer,
+    BarrierConvoy, Compress, Db, Jack, Javac, Jess, Kernel, LockHandoff, MessagePassing, MolDyn,
+    MonteCarlo, MpegAudio, PingPong, PseudoJbb, RayTracer, StoreBuffer,
 };
 
-/// The paper's ten benchmarks (Table 1).
+/// The paper's ten benchmarks (Table 1), plus the litmus family of
+/// sync-bound correctness shapes (see [`crate::litmus`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BenchmarkId {
     /// SPECjvm98 _201_compress.
@@ -29,11 +31,23 @@ pub enum BenchmarkId {
     RayTracer,
     /// PseudoJBB (SPECjbb2000 variant, fixed transactions).
     PseudoJbb,
+    /// Litmus: message-passing shape (flag/data publication).
+    LitmusMp,
+    /// Litmus: store-buffer shape (cross stores then loads).
+    LitmusSb,
+    /// Litmus: lock-handoff shape (one monitor circulated N ways).
+    LitmusHandoff,
+    /// Litmus: barrier-convoy shape (cyclic barrier, phase agreement).
+    LitmusConvoy,
+    /// Litmus: wait/notify ping-pong shape (token passing).
+    LitmusPingPong,
 }
 
 impl BenchmarkId {
-    /// All ten benchmarks in Table 1 order.
-    pub const ALL: [BenchmarkId; 10] = [
+    /// Every registered workload: the ten Table 1 benchmarks in paper
+    /// order, then the litmus shapes. Order is append-only — [`Self::tag`]
+    /// is a position in this array and tags live in snapshots.
+    pub const ALL: [BenchmarkId; 15] = [
         BenchmarkId::Compress,
         BenchmarkId::Jess,
         BenchmarkId::Db,
@@ -44,6 +58,20 @@ impl BenchmarkId {
         BenchmarkId::MonteCarlo,
         BenchmarkId::RayTracer,
         BenchmarkId::PseudoJbb,
+        BenchmarkId::LitmusMp,
+        BenchmarkId::LitmusSb,
+        BenchmarkId::LitmusHandoff,
+        BenchmarkId::LitmusConvoy,
+        BenchmarkId::LitmusPingPong,
+    ];
+
+    /// The litmus concurrency-correctness shapes.
+    pub const LITMUS: [BenchmarkId; 5] = [
+        BenchmarkId::LitmusMp,
+        BenchmarkId::LitmusSb,
+        BenchmarkId::LitmusHandoff,
+        BenchmarkId::LitmusConvoy,
+        BenchmarkId::LitmusPingPong,
     ];
 
     /// The nine benchmarks the paper uses single-threaded in §4.2/§4.3
@@ -82,6 +110,11 @@ impl BenchmarkId {
             BenchmarkId::MonteCarlo => "MonteCarlo",
             BenchmarkId::RayTracer => "RayTracer",
             BenchmarkId::PseudoJbb => "PseudoJBB",
+            BenchmarkId::LitmusMp => "litmus-mp",
+            BenchmarkId::LitmusSb => "litmus-sb",
+            BenchmarkId::LitmusHandoff => "litmus-handoff",
+            BenchmarkId::LitmusConvoy => "litmus-convoy",
+            BenchmarkId::LitmusPingPong => "litmus-pingpong",
         }
     }
 
@@ -108,7 +141,23 @@ impl BenchmarkId {
 
     /// Whether the benchmark accepts a thread-count parameter.
     pub fn is_multithreaded(self) -> bool {
-        Self::MULTITHREADED.contains(&self)
+        Self::MULTITHREADED.contains(&self) || self.is_litmus()
+    }
+
+    /// Whether this is a litmus concurrency-correctness shape.
+    pub fn is_litmus(self) -> bool {
+        Self::LITMUS.contains(&self)
+    }
+
+    /// The canonical thread count for the litmus shapes (the count their
+    /// allowed-outcome tables are written for); 1 or the paper default
+    /// elsewhere.
+    pub fn default_threads(self) -> usize {
+        match self {
+            BenchmarkId::LitmusMp | BenchmarkId::LitmusSb | BenchmarkId::LitmusPingPong => 2,
+            BenchmarkId::LitmusHandoff | BenchmarkId::LitmusConvoy => 3,
+            _ => 1,
+        }
     }
 
     /// The paper's three "bad partners" (§4.2): pairings with these slow
@@ -186,6 +235,11 @@ pub fn build(spec: WorkloadSpec) -> Box<dyn Kernel> {
         BenchmarkId::MonteCarlo => Box::new(MonteCarlo::new(threads, scale)),
         BenchmarkId::RayTracer => Box::new(RayTracer::new(threads, scale)),
         BenchmarkId::PseudoJbb => Box::new(PseudoJbb::new(threads, scale)),
+        BenchmarkId::LitmusMp => Box::new(MessagePassing::new(threads, scale)),
+        BenchmarkId::LitmusSb => Box::new(StoreBuffer::new(threads, scale)),
+        BenchmarkId::LitmusHandoff => Box::new(LockHandoff::new(threads, scale)),
+        BenchmarkId::LitmusConvoy => Box::new(BarrierConvoy::new(threads, scale)),
+        BenchmarkId::LitmusPingPong => Box::new(PingPong::new(threads, scale)),
     }
 }
 
@@ -210,13 +264,20 @@ pub fn jvm_config_for(id: BenchmarkId) -> JvmConfig {
             .with_jit_threshold(3),
         // Server allocation with moderate survival.
         BenchmarkId::PseudoJbb => base.with_heap(2 << 20).with_survival(0.4),
-        // Numeric kernels: roomy heap, few collections.
+        // Numeric kernels: roomy heap, few collections. The litmus
+        // shapes barely allocate either — the defaults keep GC out of
+        // their schedules.
         BenchmarkId::Compress
         | BenchmarkId::Db
         | BenchmarkId::Mpegaudio
         | BenchmarkId::MolDyn
         | BenchmarkId::MonteCarlo
-        | BenchmarkId::RayTracer => base,
+        | BenchmarkId::RayTracer
+        | BenchmarkId::LitmusMp
+        | BenchmarkId::LitmusSb
+        | BenchmarkId::LitmusHandoff
+        | BenchmarkId::LitmusConvoy
+        | BenchmarkId::LitmusPingPong => base,
     }
 }
 
@@ -274,6 +335,21 @@ mod tests {
             threads: 2,
             scale: 1.0,
         });
+    }
+
+    #[test]
+    fn litmus_tags_are_appended_after_the_paper_ten() {
+        // Tags live in snapshots: the ten paper benchmarks keep 0..=9 and
+        // the litmus shapes take 10..=14, forever.
+        for (i, id) in BenchmarkId::LITMUS.iter().enumerate() {
+            assert_eq!(id.tag(), 10 + i as u8);
+            assert!(id.is_litmus());
+            assert!(id.is_multithreaded());
+            assert!(id.default_threads() >= 2);
+            assert_eq!(BenchmarkId::parse(id.name()), Some(*id));
+        }
+        assert!(!BenchmarkId::MolDyn.is_litmus());
+        assert_eq!(BenchmarkId::Compress.default_threads(), 1);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use jsmt_workloads::BenchmarkId;
 /// All experiment names, in paper order. `pairing-suite` renders
 /// Figures 8, 9 and the offline analysis from a single grid pass;
 /// `bisect-divergence` is the differential-replay debugging tool.
-pub const EXPERIMENTS: [&str; 21] = [
+pub const EXPERIMENTS: [&str; 22] = [
     "table2",
     "fig1",
     "fig2",
@@ -47,7 +47,12 @@ pub const EXPERIMENTS: [&str; 21] = [
     "ablation-prefetch",
     "ablation-jit",
     "bisect-divergence",
+    "litmus",
 ];
+
+/// Default litmus seed-sweep width (`--seeds`): wide enough that every
+/// shape exercises its contended and wait-heavy interleavings.
+pub const DEFAULT_LITMUS_SEEDS: u64 = 64;
 
 /// The experiments that support `--checkpoint` (cell-level crash-safe
 /// progress): everything driven by the pairing grid.
@@ -168,6 +173,8 @@ pub struct Cli {
     pub supervise: SuperOpts,
     /// Crash-bundle path of the `replay-crash` subcommand.
     pub bundle: Option<String>,
+    /// Seeds per litmus shape (`--seeds N`, litmus only).
+    pub seeds: u64,
 }
 
 impl Cli {
@@ -203,6 +210,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, JsmtError> {
     let mut bisect = BisectOpts::default();
     let mut supervise = SuperOpts::default();
     let mut bundle: Option<String> = None;
+    let mut seeds = DEFAULT_LITMUS_SEEDS;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -352,6 +360,13 @@ pub fn parse_args(args: &[String]) -> Result<Cli, JsmtError> {
                     .parse::<u64>()
                     .map_err(|e| cli_err(format!("bad --seed: {e}")))?;
             }
+            "--seeds" => {
+                let v = it.next().ok_or_else(|| cli_err("--seeds needs a value"))?;
+                seeds = v
+                    .parse::<u64>()
+                    .map_err(|e| cli_err(format!("bad --seeds: {e}")))?
+                    .max(1);
+            }
             name if !name.starts_with('-') => match &experiment {
                 None => experiment = Some(name.to_string()),
                 Some(cmd) if cmd == "replay-crash" && bundle.is_none() => {
@@ -379,9 +394,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, JsmtError> {
             CHECKPOINTABLE.join(" ")
         )));
     }
-    if supervise.enabled && !CHECKPOINTABLE.contains(&experiment.as_str()) {
+    if supervise.enabled && experiment != "litmus" && !CHECKPOINTABLE.contains(&experiment.as_str())
+    {
         return Err(cli_err(format!(
-            "--supervised only applies to the pairing-grid experiments ({})",
+            "--supervised only applies to the pairing-grid experiments ({}) and litmus",
             CHECKPOINTABLE.join(" ")
         )));
     }
@@ -416,6 +432,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, JsmtError> {
         bisect,
         supervise,
         bundle,
+        seeds,
     })
 }
 
@@ -426,7 +443,7 @@ pub fn usage() -> String {
          \x20            [--checkpoint PATH | --resume PATH] [--checkpoint-every N]\n\
          \x20            [--supervised [--retries N] [--deadline-secs N] [--livelock-cycles N]\n\
          \x20             [--cell-checkpoint-every N] [--bundle-dir DIR] [--manifest PATH]\n\
-         \x20             [--faults SPEC]] <experiment>\n\
+         \x20             [--faults SPEC]] [--seeds N] <experiment>\n\
          \x20      repro replay-crash <bundle.crash>\n\
          experiments: {} all\n\
          --jobs N fans independent simulations over N worker threads (0/1 = serial;\n\
@@ -443,6 +460,11 @@ pub fn usage() -> String {
          fault-injection plan, e.g. 'panic,component=system,cycle=5000,scope=pair-grid/db+jack'.\n\
          replay-crash <bundle.crash> re-executes a recorded failure deterministically\n\
          and exits 0 when it reproduces.\n\
+         litmus [--seeds N] sweeps the sync-bound litmus shapes (message passing,\n\
+         store buffer, lock handoff, barrier convoy, wait/notify ping-pong) over N\n\
+         seeds each (default 64) and checks every observed interleaving against the\n\
+         shape's allowed-outcome table; --supervised turns a forbidden outcome into\n\
+         an isolated, bundled, replayable cell failure.\n\
          bisect-divergence [--a V] [--b V] [--bench NAME] [--horizon N] [--stride N]\n\
          replays two variants (fastfwd | no-fastfwd | trace-tier | no-trace-tier | seed=N)\n\
          in lockstep and reports\n\
@@ -548,7 +570,48 @@ pub fn run_experiment_on(engine: &Engine, name: &str, ctx: &ExperimentCtx, csv: 
                 exp::render_ablation_jit(&pts)
             }
         }
+        "litmus" => run_litmus(engine, ctx, DEFAULT_LITMUS_SEEDS, csv),
         other => panic!("unknown experiment {other} (validated at parse time)"),
+    }
+}
+
+/// Run the litmus interleaving sweep: every shape over `seeds` seeds,
+/// checked against the allowed-outcome tables. Bit-identical at any job
+/// count, exec-tier setting, and fast-forward setting.
+pub fn run_litmus(engine: &Engine, ctx: &ExperimentCtx, seeds: u64, csv: bool) -> String {
+    let sweeps = exp::litmus_all_on(engine, seeds, ctx);
+    if csv {
+        exp::csv_litmus(&sweeps)
+    } else {
+        exp::render_litmus(&sweeps)
+    }
+}
+
+/// Run the litmus sweep under the hardened supervisor: a cell whose
+/// outcome leaves its allowed table panics, is isolated, and (when
+/// `cfg.bundle_dir` is set) leaves a replayable crash bundle; surviving
+/// cells render normally. Mirrors [`run_experiment_supervised`] for the
+/// pairing grid.
+pub fn run_litmus_supervised(
+    engine: &Engine,
+    ctx: &ExperimentCtx,
+    seeds: u64,
+    csv: bool,
+    cfg: &exp::SupervisorCfg,
+) -> SupervisedOutcome {
+    let sl = exp::litmus_supervised(engine, seeds, ctx, cfg);
+    let manifest = exp::manifest_csv(&sl.failures);
+    let output = if sl.failures.is_empty() && !csv {
+        exp::render_litmus(&sl.sweeps)
+    } else {
+        // Partial (or machine-readable) results: surviving rows only,
+        // byte-identical to the corresponding rows of a clean run.
+        exp::csv_litmus(&sl.sweeps)
+    };
+    SupervisedOutcome {
+        output,
+        manifest,
+        failures: sl.failures,
     }
 }
 
@@ -896,6 +959,27 @@ mod tests {
         // Supervision is grid-only and incompatible with --checkpoint.
         assert!(parse_args(&s(&["--supervised", "fig1"])).is_err());
         assert!(parse_args(&s(&["--supervised", "--checkpoint", "x.ck", "fig8"])).is_err());
+    }
+
+    #[test]
+    fn litmus_flags_parse() {
+        let cli = parse_args(&s(&["litmus"])).unwrap();
+        assert_eq!(cli.experiment, "litmus");
+        assert_eq!(cli.seeds, DEFAULT_LITMUS_SEEDS);
+
+        let cli = parse_args(&s(&["--seeds", "12", "litmus"])).unwrap();
+        assert_eq!(cli.seeds, 12);
+        // Zero is clamped to one, garbage rejected.
+        assert_eq!(
+            parse_args(&s(&["--seeds", "0", "litmus"])).unwrap().seeds,
+            1
+        );
+        assert!(parse_args(&s(&["--seeds", "x", "litmus"])).is_err());
+        assert!(parse_args(&s(&["--seeds"])).is_err());
+
+        // Supervision extends to litmus; cell checkpointing does not.
+        assert!(parse_args(&s(&["--supervised", "litmus"])).is_ok());
+        assert!(parse_args(&s(&["--checkpoint", "x.ck", "litmus"])).is_err());
     }
 
     #[test]

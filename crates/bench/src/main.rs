@@ -6,7 +6,7 @@
 
 use jsmt_bench::{
     parse_args, run_all_on, run_bisect, run_experiment_ckpt, run_experiment_on,
-    run_experiment_supervised, run_replay_crash, usage, Cli,
+    run_experiment_supervised, run_litmus, run_litmus_supervised, run_replay_crash, usage, Cli,
 };
 use jsmt_core::experiments::Engine;
 use jsmt_core::JsmtError;
@@ -78,13 +78,17 @@ fn run(cli: &Cli) -> Result<i32, JsmtError> {
     } else if cli.experiment == "bisect-divergence" {
         run_bisect(&cli.bisect, &cli.ctx)
     } else if cli.supervise.enabled {
-        let outcome = run_experiment_supervised(
-            &engine,
-            &cli.experiment,
-            &cli.ctx,
-            cli.csv,
-            &cli.supervise.cfg(),
-        );
+        let outcome = if cli.experiment == "litmus" {
+            run_litmus_supervised(&engine, &cli.ctx, cli.seeds, cli.csv, &cli.supervise.cfg())
+        } else {
+            run_experiment_supervised(
+                &engine,
+                &cli.experiment,
+                &cli.ctx,
+                cli.csv,
+                &cli.supervise.cfg(),
+            )
+        };
         if let Some(path) = &cli.supervise.manifest {
             std::fs::write(path, &outcome.manifest).map_err(|e| {
                 JsmtError::from(e).context(format!("writing failure manifest '{path}'"))
@@ -115,6 +119,8 @@ fn run(cli: &Cli) -> Result<i32, JsmtError> {
             path,
             cli.checkpoint_every,
         )?
+    } else if cli.experiment == "litmus" {
+        run_litmus(&engine, &cli.ctx, cli.seeds, cli.csv)
     } else {
         run_experiment_on(&engine, &cli.experiment, &cli.ctx, cli.csv)
     };

@@ -22,6 +22,7 @@ use std::path::{Path, PathBuf};
 use jsmt_snapshot::{open, seal, SnapshotError, Writer};
 use jsmt_workloads::BenchmarkId;
 
+use super::litmus::run_checked_cell;
 use super::pairing::run_pair;
 use super::supervise::{CellFailure, CrashTail, FailureKind, SupervisorCfg};
 use super::{solo_baseline_cycles, Engine, ExperimentCtx};
@@ -316,6 +317,7 @@ impl CrashBundle {
 enum ReplayCell {
     Pair(BenchmarkId, BenchmarkId),
     Solo(BenchmarkId),
+    Litmus(BenchmarkId, u64),
 }
 
 impl ReplayCell {
@@ -337,6 +339,16 @@ impl ReplayCell {
             "solo-baselines" => Ok(ReplayCell::Solo(
                 BenchmarkId::parse(label).ok_or_else(|| unknown("benchmark"))?,
             )),
+            "litmus-sweep" => {
+                let (shape, seed) = label
+                    .split_once("@s")
+                    .ok_or_else(|| unknown("litmus label"))?;
+                let shape = BenchmarkId::parse(shape)
+                    .filter(|s| s.is_litmus())
+                    .ok_or_else(|| unknown("litmus shape"))?;
+                let seed = seed.parse().map_err(|_| unknown("litmus seed"))?;
+                Ok(ReplayCell::Litmus(shape, seed))
+            }
             _ => Err(JsmtError::new(
                 ErrorKind::Replay,
                 format!("bundle records unknown stage '{stage}'; cannot reconstruct the cell"),
@@ -349,7 +361,7 @@ impl ReplayCell {
             ReplayCell::Pair(a, b) => {
                 (solo_baseline_cycles(*a, ctx), solo_baseline_cycles(*b, ctx))
             }
-            ReplayCell::Solo(_) => (0, 0),
+            ReplayCell::Solo(_) | ReplayCell::Litmus(..) => (0, 0),
         }
     }
 
@@ -360,6 +372,9 @@ impl ReplayCell {
                 o.completions.0 + o.completions.1
             }
             ReplayCell::Solo(id) => solo_baseline_cycles(*id, ctx),
+            // Re-runs the same checked cell body as the sweep, so a
+            // forbidden outcome panics identically on replay.
+            ReplayCell::Litmus(shape, seed) => run_checked_cell(*shape, *seed, ctx).cycles,
         }
     }
 }
@@ -430,5 +445,9 @@ mod tests {
         assert_eq!(e.kind(), ErrorKind::Replay);
         assert!(ReplayCell::parse("pair-grid", "nosuch+db").is_err());
         assert!(ReplayCell::parse("pair-grid", "noplus").is_err());
+        assert!(ReplayCell::parse("litmus-sweep", "litmus-mp@s7").is_ok());
+        assert!(ReplayCell::parse("litmus-sweep", "compress@s7").is_err());
+        assert!(ReplayCell::parse("litmus-sweep", "litmus-mp@sseven").is_err());
+        assert!(ReplayCell::parse("litmus-sweep", "litmus-mp").is_err());
     }
 }

@@ -3,7 +3,8 @@
 use jsmt_report::Csv;
 
 use super::{
-    JitPoint, L1Point, MtPoint, PairGrid, PartitionPoint, PrefetchPoint, SinglePoint, ThreadPoint,
+    JitPoint, L1Point, LitmusSweep, MtPoint, PairGrid, PartitionPoint, PrefetchPoint, SinglePoint,
+    ThreadPoint,
 };
 
 /// CSV of the multithreaded characterization (Table 2 / Figures 1–7 data).
@@ -172,6 +173,42 @@ pub fn csv_prefetch(points: &[PrefetchPoint]) -> String {
             format!("{:.3}", p.l2_mpki_off),
             format!("{:.3}", p.l2_mpki_on),
         ]);
+    }
+    c.render()
+}
+
+/// CSV of the litmus sweeps: one row per (shape, seed) with the observed
+/// label and the sync counters it was produced under. This is the
+/// bit-identity surface the CI litmus matrix diffs across worker counts
+/// and exec tiers, and the golden file blessed in `tests/golden/`.
+pub fn csv_litmus(sweeps: &[LitmusSweep]) -> String {
+    let mut c = Csv::new(vec![
+        "shape".into(),
+        "seed".into(),
+        "label".into(),
+        "ok".into(),
+        "cycles".into(),
+        "blocks".into(),
+        "wakes".into(),
+        "waits".into(),
+        "notifies".into(),
+        "contended".into(),
+    ]);
+    for s in sweeps {
+        for p in &s.points {
+            c.row(vec![
+                p.shape.name().into(),
+                p.seed.to_string(),
+                p.label.clone(),
+                super::check_label(p.shape, &p.label).is_ok().to_string(),
+                p.cycles.to_string(),
+                p.blocks.to_string(),
+                p.wakes.to_string(),
+                p.waits.to_string(),
+                p.notifies.to_string(),
+                p.contended.to_string(),
+            ]);
+        }
     }
     c.render()
 }

@@ -10,6 +10,7 @@ mod bundle;
 mod checkpoint;
 mod csv_out;
 mod engine;
+mod litmus;
 mod mt;
 mod pairing;
 mod single;
@@ -25,9 +26,15 @@ pub use ablations::{
 pub use bundle::{CrashBundle, ReplayReport, KIND_BUNDLE};
 pub use checkpoint::{pair_matrix_ckpt, CkptError, GridCheckpoint, KIND_GRID};
 pub use csv_out::{
-    csv_grid, csv_jit, csv_l1, csv_mt, csv_partition, csv_prefetch, csv_single, csv_threads,
+    csv_grid, csv_jit, csv_l1, csv_litmus, csv_mt, csv_partition, csv_prefetch, csv_single,
+    csv_threads,
 };
 pub use engine::{BaselineCacheStats, Engine, JobTiming, Parallelism, StageTiming};
+pub use litmus::{
+    allowed_outcomes, check_label, forbidden_example, litmus_all_on, litmus_cell,
+    litmus_supervised, litmus_sweep, litmus_sweep_on, render_litmus, LitmusPoint, LitmusSweep,
+    SupervisedLitmus, LITMUS_CORRUPT_TARGET,
+};
 pub use mt::{
     characterize_mt, characterize_mt_on, gc_cycle_fraction, render_fig1, render_fig2,
     render_fig_mpki, render_table2, MpkiKind, MtPoint,

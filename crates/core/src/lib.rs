@@ -34,4 +34,4 @@ mod system;
 
 pub use config::SystemConfig;
 pub use error::{Context, ErrorKind, JsmtError};
-pub use system::{RunReport, System};
+pub use system::{RunReport, SyncStats, System};

@@ -394,6 +394,28 @@ impl ProcessReport {
     }
 }
 
+/// Synchronization counters of a run: scheduler block/wake events plus
+/// one process's monitor statistics (see [`System::sync_stats`]). The
+/// litmus harness records these per seed — being pure counter reads, they
+/// are part of the bit-identity surface across exec tiers and resumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SyncStats {
+    /// Scheduler block-event total (all processes).
+    pub block_events: u64,
+    /// Scheduler wake-event total (all processes).
+    pub wake_events: u64,
+    /// `Object.wait` calls in the process's monitor table.
+    pub waits: u64,
+    /// Threads notified in the process's monitor table.
+    pub notifies: u64,
+    /// Contended monitor acquisitions in the process.
+    pub contended: u64,
+    /// Threads currently parked in wait sets.
+    pub wait_parked: usize,
+    /// Threads currently in the pending-notify window.
+    pub pending_notify: usize,
+}
+
 /// Results of a run: raw counters, derived metrics, per-process outcomes.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -594,6 +616,28 @@ impl System {
     /// Completions of process `idx`.
     pub fn completions(&self, idx: usize) -> u64 {
         self.world.procs[idx].completions
+    }
+
+    /// The interleaving observation of process `idx`'s kernel, if the
+    /// kernel defines one (the litmus family's outcome label). Meaningful
+    /// only once the process has completed.
+    pub fn observation(&self, idx: usize) -> Option<String> {
+        self.world.procs[idx].kernel.observation()
+    }
+
+    /// Synchronization counters of the run so far: the scheduler's
+    /// block/wake event totals plus process `idx`'s monitor statistics.
+    pub fn sync_stats(&self, idx: usize) -> SyncStats {
+        let mons = self.world.procs[idx].jvm.monitors();
+        SyncStats {
+            block_events: self.world.sched.block_events(),
+            wake_events: self.world.sched.wake_events(),
+            waits: mons.waits_total(),
+            notifies: mons.notifies_total(),
+            contended: mons.contended_total(),
+            wait_parked: mons.wait_parked_total(),
+            pending_notify: mons.pending_notify_total(),
+        }
     }
 
     /// Advance the machine by one cycle.

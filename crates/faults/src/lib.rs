@@ -402,6 +402,34 @@ pub fn check_worker() {
     }
 }
 
+/// Whether an armed `corrupt` clause targeting `target` fires on this
+/// occurrence. This is the value-corruption twin of the durable-write
+/// hook: components with no byte stream to flip (e.g. the litmus
+/// harness's observation corruptor) poll it at their corruption point
+/// and deterministically falsify their value when it returns `true`.
+/// Occurrence counting matches durable writes — each matching clause
+/// fires on exactly its `nth` poll — so use a dedicated target name.
+pub fn corrupt_armed(target: &str) -> bool {
+    if !ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    let Some(state) = state() else { return false };
+    let mut fired = false;
+    for (i, fault) in state.plan.faults.iter().enumerate() {
+        let FaultKind::Corrupt { target: t, nth } = &fault.kind else {
+            continue;
+        };
+        if t != target || !applies(fault) {
+            continue;
+        }
+        let seen = state.write_counts[i].fetch_add(1, Ordering::SeqCst);
+        if seen == *nth {
+            fired = true;
+        }
+    }
+    fired
+}
+
 /// Whether the next durable write to `target` should fail, and how:
 /// `Some(Err(e))` = fail with `e` before writing anything,
 /// `Some(Ok(()))` = corrupt the payload, `None` = write faithfully.
@@ -561,6 +589,25 @@ mod tests {
         assert!(write_fault("bundle").is_none());
         assert!(write_fault("other").is_none());
         clear();
+    }
+
+    #[test]
+    fn corrupt_armed_fires_on_its_nth_poll_and_respects_scope() {
+        let _l = LOCK.lock().unwrap();
+        install_spec("corrupt,target=litmus-observation,nth=1,scope=cell-a").unwrap();
+        {
+            let _s = enter_scope("cell-a", 0);
+            assert!(!corrupt_armed("litmus-observation")); // poll #0
+            assert!(corrupt_armed("litmus-observation")); // poll #1 fires
+            assert!(!corrupt_armed("litmus-observation")); // #2 passes
+            assert!(!corrupt_armed("other-target"));
+        }
+        {
+            let _s = enter_scope("cell-b", 0);
+            assert!(!corrupt_armed("litmus-observation"));
+        }
+        clear();
+        assert!(!corrupt_armed("litmus-observation"));
     }
 
     #[test]

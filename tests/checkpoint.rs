@@ -217,6 +217,75 @@ fn scheduler_timer_boundary_across_resume() {
     }
 }
 
+/// A checkpoint taken while a thread is parked in `Object.wait` — and,
+/// harder, inside the *pending-notify window* (notified, moved to the
+/// entry queue, but not yet handed ownership because the notifier still
+/// holds the monitor) — must restore that exact synchronization state
+/// and continue to the identical interleaving observation.
+#[test]
+fn mid_wait_checkpoint_restores_pending_notify_edge() {
+    let wait_machine = || {
+        let mut sys = System::new(cfg(true));
+        // The ping-pong litmus shape lives in wait/notify: its producer
+        // holds the monitor for several scheduler steps after notifying,
+        // so the pending-notify window is wide enough to checkpoint in.
+        sys.add_process(WorkloadSpec::threaded(BenchmarkId::LitmusPingPong, 2).with_scale(0.03));
+        sys
+    };
+    let mut uninterrupted = wait_machine();
+    let golden = uninterrupted.run_to_completion();
+    let golden_label = uninterrupted.observation(0).expect("label");
+    let golden_stats = uninterrupted.sync_stats(0);
+    assert!(golden_stats.waits > 0, "ping-pong must actually wait");
+    assert!(golden_stats.notifies > 0, "ping-pong must actually notify");
+
+    // Walk a donor to each edge in turn: first a thread parked in a wait
+    // set, then a thread in the pending-notify window.
+    for edge in ["wait-parked", "pending-notify"] {
+        let mut donor = wait_machine();
+        let hit = loop {
+            let s = donor.sync_stats(0);
+            match edge {
+                "wait-parked" if s.wait_parked > 0 => break true,
+                "pending-notify" if s.pending_notify > 0 => break true,
+                _ => {}
+            }
+            if donor.cycles() >= golden.cycles {
+                break false;
+            }
+            donor.step_cycle();
+        };
+        assert!(hit, "{edge}: edge never occurred before completion");
+        let at = donor.cycles();
+        let stats_at = donor.sync_stats(0);
+
+        let bytes = donor.checkpoint();
+        let mut resumed = System::resume(cfg(true), &bytes).expect("mid-wait resume");
+        assert_eq!(resumed.cycles(), at);
+        assert_eq!(
+            resumed.sync_stats(0),
+            stats_at,
+            "{edge}: restored sync state differs at cycle {at}"
+        );
+        assert_eq!(resumed.checkpoint(), bytes, "{edge}: re-save not canonical");
+
+        let donor_final = donor.run_to_completion();
+        let resumed_final = resumed.run_to_completion();
+        assert_reports_equal(&golden, &donor_final, &format!("{edge} donor @{at}"));
+        assert_reports_equal(&golden, &resumed_final, &format!("{edge} resumed @{at}"));
+        assert_eq!(
+            resumed.observation(0).as_deref(),
+            Some(golden_label.as_str()),
+            "{edge}: interleaving label diverged after resume at cycle {at}"
+        );
+        assert_eq!(
+            resumed.sync_stats(0),
+            golden_stats,
+            "{edge}: final sync stats"
+        );
+    }
+}
+
 /// Corrupt, truncated, or mismatched snapshots fail cleanly — clean
 /// `Err`, no panic — and a resume under a different configuration is
 /// rejected by the fingerprint.

@@ -111,6 +111,27 @@ fn golden_jit_csv() {
     check("jit.csv", &exp::csv_jit(&pts));
 }
 
+/// The litmus interleaving sweep: pins the observed outcome label and
+/// the synchronization counters of every (shape, seed) cell. Any change
+/// to the scheduler, monitor protocol, or exec tiers that perturbs an
+/// interleaving shows up here as a label/counter diff — on every
+/// machine, at any `JSMT_JOBS` setting, with any tier toggles (the CI
+/// litmus matrix diffs all of them against these bytes).
+#[test]
+fn golden_litmus_csv() {
+    let ctx = ExperimentCtx::quick();
+    let sweeps = exp::litmus_all_on(&engine(), 6, &ctx);
+    for s in &sweeps {
+        assert!(
+            s.is_clean(),
+            "{}: forbidden outcomes {:?}",
+            s.shape.name(),
+            s.forbidden
+        );
+    }
+    check("litmus.csv", &exp::csv_litmus(&sweeps));
+}
+
 /// Pin the *busy* path itself, not just the quiet workloads the
 /// experiment goldens lean on. Dense synthetic streams drive the core
 /// through the same pending-buffer harness the system layer uses, so

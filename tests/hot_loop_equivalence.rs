@@ -111,6 +111,73 @@ impl Driver {
     }
 }
 
+/// The litmus shapes, through the *full system* (real scheduler, real
+/// monitors, GC threads): every exec-tier combination — trace tier
+/// on/off × fast-forward on/off — must produce the identical observed
+/// interleaving label, identical cycle count, identical counter bank,
+/// and byte-identical final checkpoint. A tier that perturbed monitor
+/// scheduling would flip an interleaving observation long before it
+/// corrupted a mean IPC, which is exactly why the litmus family exists.
+#[test]
+fn litmus_shapes_identical_across_tier_and_fastfwd_toggles() {
+    use jsmt_core::{System, SystemConfig};
+    use jsmt_workloads::{BenchmarkId, WorkloadSpec};
+
+    for &shape in &BenchmarkId::LITMUS {
+        let run = |trace: bool, fastfwd: bool| {
+            let mut sys = System::new(SystemConfig::p4(true).with_seed(0xC0FFEE));
+            sys.set_trace_tier(trace);
+            sys.set_fast_forward(fastfwd);
+            sys.add_process(
+                WorkloadSpec::threaded(shape, shape.default_threads()).with_scale(0.02),
+            );
+            let report = sys.run_to_completion();
+            (
+                report.cycles,
+                report.bank.clone(),
+                sys.observation(0),
+                sys.sync_stats(0),
+                sys.checkpoint(),
+            )
+        };
+        let golden = run(true, true);
+        assert!(golden.2.is_some(), "{}: no observation label", shape.name());
+        for (trace, fastfwd) in [(true, false), (false, true), (false, false)] {
+            let other = run(trace, fastfwd);
+            assert_eq!(
+                golden.0,
+                other.0,
+                "{}: cycles diverged at trace={trace} fastfwd={fastfwd}",
+                shape.name()
+            );
+            assert_eq!(
+                golden.2,
+                other.2,
+                "{}: interleaving label diverged at trace={trace} fastfwd={fastfwd}",
+                shape.name()
+            );
+            assert_eq!(
+                golden.3,
+                other.3,
+                "{}: sync stats diverged at trace={trace} fastfwd={fastfwd}",
+                shape.name()
+            );
+            assert_eq!(
+                golden.1,
+                other.1,
+                "{}: counter bank diverged at trace={trace} fastfwd={fastfwd}",
+                shape.name()
+            );
+            assert_eq!(
+                golden.4,
+                other.4,
+                "{}: checkpoint bytes diverged at trace={trace} fastfwd={fastfwd}",
+                shape.name()
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

@@ -115,6 +115,11 @@ pub struct SuperOpts {
     pub manifest: Option<String>,
     /// `--faults SPEC`: fault plan to arm (overrides `JSMT_FAULTS`).
     pub faults: Option<String>,
+    /// `--backoff-ms N`: base delay of the deterministic retry backoff
+    /// (0 disables sleeping; the zero schedule is still recorded).
+    pub backoff_ms: u64,
+    /// `--backoff-cap-ms N`: upper clamp on any single retry delay.
+    pub backoff_cap_ms: u64,
 }
 
 impl Default for SuperOpts {
@@ -128,6 +133,8 @@ impl Default for SuperOpts {
             bundle_dir: None,
             manifest: None,
             faults: None,
+            backoff_ms: 25,
+            backoff_cap_ms: 400,
         }
     }
 }
@@ -142,6 +149,8 @@ impl SuperOpts {
             livelock_cycles: self.livelock_cycles,
             checkpoint_every: self.cell_checkpoint_every,
             bundle_dir: self.bundle_dir.as_ref().map(std::path::PathBuf::from),
+            backoff_base: std::time::Duration::from_millis(self.backoff_ms),
+            backoff_cap: std::time::Duration::from_millis(self.backoff_cap_ms.max(self.backoff_ms)),
         }
     }
 }
@@ -175,6 +184,15 @@ pub struct Cli {
     pub bundle: Option<String>,
     /// Seeds per litmus shape (`--seeds N`, litmus only).
     pub seeds: u64,
+    /// `--workers N`: fan the pairing grid over N worker *processes*
+    /// (crash-tolerant shard dispatch; `None` = in-process execution).
+    pub workers: Option<usize>,
+    /// `--cache-dir PATH`: persistent result-cache directory (overrides
+    /// the `JSMT_CACHE` environment variable).
+    pub cache_dir: Option<String>,
+    /// `--shard-worker`: run as a shard worker serving requests on
+    /// stdin (internal; spawned by the `--workers` dispatcher).
+    pub shard_worker: bool,
 }
 
 impl Cli {
@@ -211,6 +229,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, JsmtError> {
     let mut supervise = SuperOpts::default();
     let mut bundle: Option<String> = None;
     let mut seeds = DEFAULT_LITMUS_SEEDS;
+    let mut workers: Option<usize> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut shard_worker = false;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -218,6 +239,40 @@ pub fn parse_args(args: &[String]) -> Result<Cli, JsmtError> {
             "--full" => ctx = ExperimentCtx::full(),
             "--csv" => csv = true,
             "--supervised" => supervise.enabled = true,
+            "--shard-worker" => shard_worker = true,
+            "--workers" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| cli_err("--workers needs a value"))?;
+                workers = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| cli_err(format!("bad --workers: {e}")))?
+                        .max(1),
+                );
+            }
+            "--cache-dir" => {
+                cache_dir = Some(
+                    it.next()
+                        .ok_or_else(|| cli_err("--cache-dir needs a path"))?
+                        .clone(),
+                );
+            }
+            "--backoff-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| cli_err("--backoff-ms needs a value"))?;
+                supervise.backoff_ms = v
+                    .parse::<u64>()
+                    .map_err(|e| cli_err(format!("bad --backoff-ms: {e}")))?;
+            }
+            "--backoff-cap-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| cli_err("--backoff-cap-ms needs a value"))?;
+                supervise.backoff_cap_ms = v
+                    .parse::<u64>()
+                    .map_err(|e| cli_err(format!("bad --backoff-cap-ms: {e}")))?;
+            }
             "--jobs" => {
                 let v = it.next().ok_or_else(|| cli_err("--jobs needs a value"))?;
                 jobs = Some(
@@ -377,6 +432,36 @@ pub fn parse_args(args: &[String]) -> Result<Cli, JsmtError> {
             other => return Err(cli_err(format!("unknown flag: {other}"))),
         }
     }
+    // `--shard-worker` is a service mode: no experiment argument, and
+    // no driver flags to cross-validate (the dispatcher builds the
+    // worker command line itself).
+    if shard_worker {
+        if experiment.is_some() {
+            return Err(cli_err("--shard-worker takes no experiment argument"));
+        }
+        if !ctx.scale.is_finite() || ctx.scale <= 0.0 || ctx.repeats == 0 {
+            return Err(JsmtError::new(
+                ErrorKind::Config,
+                "shard worker needs a valid --scale/--repeats",
+            ));
+        }
+        return Ok(Cli {
+            experiment: "shard-worker".to_string(),
+            ctx,
+            csv,
+            jobs,
+            checkpoint: None,
+            resume: false,
+            checkpoint_every,
+            bisect,
+            supervise,
+            bundle: None,
+            seeds,
+            workers: None,
+            cache_dir,
+            shard_worker: true,
+        });
+    }
     let experiment = experiment.ok_or_else(|| cli_err(usage()))?;
     if experiment == "replay-crash" {
         if bundle.is_none() {
@@ -406,6 +491,19 @@ pub fn parse_args(args: &[String]) -> Result<Cli, JsmtError> {
             "--supervised and --checkpoint/--resume are mutually exclusive",
         ));
     }
+    if workers.is_some() {
+        if !CHECKPOINTABLE.contains(&experiment.as_str()) {
+            return Err(cli_err(format!(
+                "--workers only applies to the pairing-grid experiments ({})",
+                CHECKPOINTABLE.join(" ")
+            )));
+        }
+        if supervise.enabled || checkpoint.is_some() {
+            return Err(cli_err(
+                "--workers is its own execution mode; drop --supervised/--checkpoint/--resume",
+            ));
+        }
+    }
     if !ctx.scale.is_finite() || ctx.scale <= 0.0 {
         return Err(JsmtError::new(
             ErrorKind::Config,
@@ -433,6 +531,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, JsmtError> {
         supervise,
         bundle,
         seeds,
+        workers,
+        cache_dir,
+        shard_worker: false,
     })
 }
 
@@ -443,7 +544,8 @@ pub fn usage() -> String {
          \x20            [--checkpoint PATH | --resume PATH] [--checkpoint-every N]\n\
          \x20            [--supervised [--retries N] [--deadline-secs N] [--livelock-cycles N]\n\
          \x20             [--cell-checkpoint-every N] [--bundle-dir DIR] [--manifest PATH]\n\
-         \x20             [--faults SPEC]] [--seeds N] <experiment>\n\
+         \x20             [--faults SPEC]] [--backoff-ms N] [--backoff-cap-ms N]\n\
+         \x20            [--workers N] [--cache-dir DIR] [--seeds N] <experiment>\n\
          \x20      repro replay-crash <bundle.crash>\n\
          experiments: {} all\n\
          --jobs N fans independent simulations over N worker threads (0/1 = serial;\n\
@@ -458,6 +560,16 @@ pub fn usage() -> String {
          crash-repro bundle in --bundle-dir; surviving cells render normally (exit 3\n\
          when any cell failed). --faults SPEC (or JSMT_FAULTS) arms the deterministic\n\
          fault-injection plan, e.g. 'panic,component=system,cycle=5000,scope=pair-grid/db+jack'.\n\
+         --workers N fans the pairing-grid experiments over N worker *processes*: a\n\
+         worker dying (kill, abort, OOM) loses at most its in-flight cell, which is\n\
+         reassigned with deterministic seeded backoff (--backoff-ms/--backoff-cap-ms,\n\
+         shared with --supervised retries); exhausted cells degrade to partial results\n\
+         plus the --manifest CSV and exit 3. Output is bit-identical to a serial run\n\
+         at any worker count.\n\
+         --cache-dir DIR (or JSMT_CACHE) attaches the persistent result cache to the\n\
+         pairing-grid experiments: finished cells are stored content-addressed and\n\
+         sealed; a rerun verifies every entry, quarantines corrupt ones (healing by\n\
+         recompute), and simulates only what is missing.\n\
          replay-crash <bundle.crash> re-executes a recorded failure deterministically\n\
          and exits 0 when it reproduces.\n\
          litmus [--seeds N] sweeps the sync-bound litmus shapes (message passing,\n\
@@ -714,6 +826,120 @@ pub fn run_experiment_supervised(
     }
 }
 
+/// Resolve the persistent result-cache directory: the `--cache-dir`
+/// flag wins over the `JSMT_CACHE` environment variable; neither means
+/// no cache.
+///
+/// # Errors
+///
+/// Returns a typed [`JsmtError`] when the directory cannot be created.
+pub fn resolve_cache(
+    flag: Option<&str>,
+) -> Result<Option<std::sync::Arc<jsmt_cache::Cache>>, JsmtError> {
+    let dir = flag
+        .map(str::to_string)
+        .or_else(|| std::env::var("JSMT_CACHE").ok().filter(|s| !s.is_empty()));
+    match dir {
+        Some(dir) => {
+            let cache = jsmt_cache::Cache::open(&dir)
+                .map_err(|e| JsmtError::from(e).context(format!("opening result cache '{dir}'")))?;
+            Ok(Some(std::sync::Arc::new(cache)))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Build the shard-dispatch policy for this invocation, including the
+/// worker command line (this binary in `--shard-worker` mode with the
+/// same context, fault plan, and cache directory).
+///
+/// # Errors
+///
+/// Returns a typed [`JsmtError`] when the current executable path
+/// cannot be determined.
+pub fn shard_cfg(
+    cli: &Cli,
+    cache: Option<std::sync::Arc<jsmt_cache::Cache>>,
+) -> Result<exp::ShardCfg, JsmtError> {
+    let exe = std::env::current_exe()
+        .map_err(|e| JsmtError::from(e).context("locating the worker binary"))?;
+    let mut argv = vec![
+        exe.display().to_string(),
+        "--shard-worker".to_string(),
+        "--scale".to_string(),
+        cli.ctx.scale.to_string(),
+        "--repeats".to_string(),
+        cli.ctx.repeats.to_string(),
+        "--seed".to_string(),
+        cli.ctx.seed.to_string(),
+        "--livelock-cycles".to_string(),
+        cli.supervise.livelock_cycles.to_string(),
+    ];
+    // Workers arm the same fault plan as the parent (flag beats env,
+    // like the parent's own resolution) and write through the same
+    // cache directory.
+    if let Some(spec) = cli
+        .supervise
+        .faults
+        .clone()
+        .or_else(|| std::env::var("JSMT_FAULTS").ok().filter(|s| !s.is_empty()))
+    {
+        argv.push("--faults".to_string());
+        argv.push(spec);
+    }
+    if let Some(cache) = &cache {
+        argv.push("--cache-dir".to_string());
+        argv.push(cache.dir().display().to_string());
+    }
+    Ok(exp::ShardCfg {
+        workers: cli.workers.unwrap_or(2),
+        retries: cli.supervise.retries,
+        deadline: (cli.supervise.deadline_secs > 0)
+            .then(|| std::time::Duration::from_secs(cli.supervise.deadline_secs)),
+        backoff_base: std::time::Duration::from_millis(cli.supervise.backoff_ms),
+        backoff_cap: std::time::Duration::from_millis(
+            cli.supervise.backoff_cap_ms.max(cli.supervise.backoff_ms),
+        ),
+        worker_argv: argv,
+        cache,
+    })
+}
+
+/// Run a pairing-grid experiment over crash-tolerant worker processes
+/// (`--workers N`). Same outcome contract as
+/// [`run_experiment_supervised`]: a fully-finished grid renders
+/// byte-identically to a serial run; a degraded one returns the
+/// partial-results CSV plus the failure manifest.
+///
+/// # Errors
+///
+/// Returns a typed [`JsmtError`] only for dispatcher-level faults (no
+/// worker could be spawned, a worker broke the protocol); cell-level
+/// failures degrade instead.
+pub fn run_experiment_sharded(
+    name: &str,
+    ctx: &ExperimentCtx,
+    csv: bool,
+    cfg: &exp::ShardCfg,
+) -> Result<SupervisedOutcome, JsmtError> {
+    let sg = exp::pair_matrix_sharded(ctx, cfg)?;
+    let manifest = sg.manifest_csv();
+    if sg.is_complete() {
+        let grid = sg.into_grid();
+        Ok(SupervisedOutcome {
+            output: render_grid_experiment(name, &grid, ctx, csv),
+            manifest,
+            failures: Vec::new(),
+        })
+    } else {
+        Ok(SupervisedOutcome {
+            output: sg.csv(),
+            manifest,
+            failures: sg.failures,
+        })
+    }
+}
+
 /// Replay a crash-repro bundle and render a human-readable report.
 /// Returns the report text and whether the recorded failure reproduced.
 ///
@@ -959,6 +1185,74 @@ mod tests {
         // Supervision is grid-only and incompatible with --checkpoint.
         assert!(parse_args(&s(&["--supervised", "fig1"])).is_err());
         assert!(parse_args(&s(&["--supervised", "--checkpoint", "x.ck", "fig8"])).is_err());
+    }
+
+    #[test]
+    fn shard_and_cache_flags_parse() {
+        let cli = parse_args(&s(&[
+            "--workers",
+            "4",
+            "--cache-dir",
+            "cells",
+            "--retries",
+            "2",
+            "--backoff-ms",
+            "10",
+            "--backoff-cap-ms",
+            "80",
+            "fig8",
+        ]))
+        .unwrap();
+        assert_eq!(cli.workers, Some(4));
+        assert_eq!(cli.cache_dir.as_deref(), Some("cells"));
+        assert!(!cli.shard_worker);
+        assert_eq!(cli.supervise.backoff_ms, 10);
+        assert_eq!(cli.supervise.backoff_cap_ms, 80);
+        let scfg = shard_cfg(&cli, None).unwrap();
+        assert_eq!(scfg.workers, 4);
+        assert_eq!(scfg.retries, 2);
+        assert_eq!(scfg.backoff_base, std::time::Duration::from_millis(10));
+        assert!(scfg.worker_argv.contains(&"--shard-worker".to_string()));
+        assert!(scfg.worker_argv.contains(&"--seed".to_string()));
+
+        // Zero workers clamps to one; garbage is rejected.
+        assert_eq!(
+            parse_args(&s(&["--workers", "0", "fig8"])).unwrap().workers,
+            Some(1)
+        );
+        assert!(parse_args(&s(&["--workers", "x", "fig8"])).is_err());
+        // Shard dispatch is grid-only and its own execution mode.
+        assert!(parse_args(&s(&["--workers", "2", "fig1"])).is_err());
+        assert!(parse_args(&s(&["--workers", "2", "--supervised", "fig8"])).is_err());
+        assert!(parse_args(&s(&["--workers", "2", "--checkpoint", "x.ck", "fig8"])).is_err());
+
+        // The supervisor picks up the backoff knobs too.
+        let cfg = cli.supervise.cfg();
+        assert_eq!(cfg.backoff_base, std::time::Duration::from_millis(10));
+        assert_eq!(cfg.backoff_cap, std::time::Duration::from_millis(80));
+    }
+
+    #[test]
+    fn shard_worker_mode_parses_standalone() {
+        let cli = parse_args(&s(&[
+            "--shard-worker",
+            "--scale",
+            "0.05",
+            "--repeats",
+            "3",
+            "--seed",
+            "7",
+            "--cache-dir",
+            "cells",
+        ]))
+        .unwrap();
+        assert!(cli.shard_worker);
+        assert_eq!(cli.ctx.scale, 0.05);
+        assert_eq!(cli.ctx.seed, 7);
+        assert_eq!(cli.cache_dir.as_deref(), Some("cells"));
+        // No experiment argument is accepted in worker mode.
+        assert!(parse_args(&s(&["--shard-worker", "fig8"])).is_err());
+        assert!(parse_args(&s(&["--shard-worker", "--scale", "0"])).is_err());
     }
 
     #[test]

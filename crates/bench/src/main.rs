@@ -5,8 +5,9 @@
 //! completed with failed cells (partial results were emitted).
 
 use jsmt_bench::{
-    parse_args, run_all_on, run_bisect, run_experiment_ckpt, run_experiment_on,
-    run_experiment_supervised, run_litmus, run_litmus_supervised, run_replay_crash, usage, Cli,
+    parse_args, resolve_cache, run_all_on, run_bisect, run_experiment_ckpt, run_experiment_on,
+    run_experiment_sharded, run_experiment_supervised, run_litmus, run_litmus_supervised,
+    run_replay_crash, shard_cfg, usage, Cli, CHECKPOINTABLE,
 };
 use jsmt_core::experiments::Engine;
 use jsmt_core::JsmtError;
@@ -61,8 +62,27 @@ fn run(cli: &Cli) -> Result<i32, JsmtError> {
         return Ok(if reproduced { 0 } else { 1 });
     }
 
+    if cli.shard_worker {
+        // Service mode: arm faults, attach the cache, serve shard
+        // requests on stdin until the dispatcher says exit.
+        arm_faults(cli)?;
+        let cache = resolve_cache(cli.cache_dir.as_deref())?;
+        jsmt_core::experiments::shard_worker_main(&cli.ctx, cache, cli.supervise.livelock_cycles)?;
+        return Ok(0);
+    }
+
     let faults_armed = arm_faults(cli)?;
-    let engine = Engine::new(cli.parallelism());
+    let mut engine = Engine::new(cli.parallelism());
+    // The persistent result cache serves every pairing-grid execution
+    // mode; other experiments have no cacheable cells yet.
+    let cache = if CHECKPOINTABLE.contains(&cli.experiment.as_str()) {
+        resolve_cache(cli.cache_dir.as_deref())?
+    } else {
+        None
+    };
+    if let Some(cache) = &cache {
+        engine.set_result_cache(std::sync::Arc::clone(cache));
+    }
     eprintln!(
         "# jsmt repro: experiment={} scale={} repeats={} seed={:#x} parallelism={:?}",
         cli.experiment,
@@ -105,6 +125,29 @@ fn run(cli: &Cli) -> Result<i32, JsmtError> {
             exit = 3;
         }
         outcome.output
+    } else if cli.workers.is_some() {
+        let scfg = shard_cfg(cli, cache.clone())?;
+        eprintln!(
+            "# jsmt repro: dispatching over {} worker process(es)",
+            scfg.workers
+        );
+        let outcome = run_experiment_sharded(&cli.experiment, &cli.ctx, cli.csv, &scfg)?;
+        if let Some(path) = &cli.supervise.manifest {
+            std::fs::write(path, &outcome.manifest).map_err(|e| {
+                JsmtError::from(e).context(format!("writing failure manifest '{path}'"))
+            })?;
+        }
+        for f in &outcome.failures {
+            eprintln!("# cell failed: {f}");
+        }
+        if !outcome.failures.is_empty() {
+            eprintln!(
+                "# jsmt repro: {} cell(s) failed; emitting partial results",
+                outcome.failures.len()
+            );
+            exit = 3;
+        }
+        outcome.output
     } else if let Some(path) = &cli.checkpoint {
         let path = std::path::Path::new(path);
         if cli.resume && !path.exists() {
@@ -128,6 +171,11 @@ fn run(cli: &Cli) -> Result<i32, JsmtError> {
     // Per-stage timing + baseline-cache stats, so the --jobs speedup is
     // observable without external tooling.
     eprint!("{}", engine.timing_report());
+    // Cache hit/miss/quarantine accounting (the CI determinism job
+    // asserts `misses=0` on a warm rerun from this line).
+    if let Some(cache) = &cache {
+        eprintln!("{}", cache.report());
+    }
     if faults_armed {
         jsmt_faults::clear();
     }

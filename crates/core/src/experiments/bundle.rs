@@ -281,6 +281,9 @@ impl CrashBundle {
             livelock_cycles: self.livelock_cycles,
             checkpoint_every: self.checkpoint_every,
             bundle_dir: None,
+            // Replay is a single attempt; no backoff is ever slept.
+            backoff_base: std::time::Duration::ZERO,
+            backoff_cap: std::time::Duration::ZERO,
         };
         let engine = Engine::serial();
         let out = engine.run_supervised(
@@ -300,8 +303,12 @@ impl CrashBundle {
                         FailureKind::Panic | FailureKind::Livelock => {
                             f.component == self.component && f.cycle == self.cycle
                         }
-                        // Wall-clock failures reproduce by kind alone.
-                        FailureKind::Deadline | FailureKind::Cancelled => true,
+                        // Wall-clock / process-environment failures
+                        // reproduce by kind alone (an in-process replay
+                        // cannot re-kill a worker process).
+                        FailureKind::Deadline
+                        | FailureKind::Cancelled
+                        | FailureKind::WorkerDeath => true,
                     }
             }
         };

@@ -20,7 +20,7 @@ use std::path::Path;
 use jsmt_snapshot::{open, seal, Reader, SnapshotError, Writer};
 use jsmt_workloads::BenchmarkId;
 
-use super::pairing::{run_pair, PairGrid, PairOutcome};
+use super::pairing::{PairGrid, PairOutcome};
 use super::{Engine, ExperimentCtx};
 
 /// Snapshot kind tag for grid checkpoint files.
@@ -71,7 +71,7 @@ pub struct GridCheckpoint {
     cells: BTreeMap<usize, PairOutcome>,
 }
 
-fn write_outcome(w: &mut Writer, o: &PairOutcome) {
+pub(crate) fn write_outcome(w: &mut Writer, o: &PairOutcome) {
     w.put_u8(o.a.tag());
     w.put_u8(o.b.tag());
     w.put_f64(o.speedup_a);
@@ -82,7 +82,7 @@ fn write_outcome(w: &mut Writer, o: &PairOutcome) {
     w.put_u64(o.completions.1);
 }
 
-fn read_outcome(r: &mut Reader<'_>) -> Result<PairOutcome, SnapshotError> {
+pub(crate) fn read_outcome(r: &mut Reader<'_>) -> Result<PairOutcome, SnapshotError> {
     let a = BenchmarkId::from_tag(r.get_u8()?)
         .ok_or(SnapshotError::Corrupt("unknown benchmark tag in grid cell"))?;
     let b = BenchmarkId::from_tag(r.get_u8()?)
@@ -268,16 +268,7 @@ pub fn pair_matrix_ckpt(
             .map(|&&index| (index, ck.benchmarks[index / n], ck.benchmarks[index % n]))
             .collect();
         let outcomes = engine.run("pair-grid", jobs, |&(index, a, b)| {
-            (
-                index,
-                run_pair(
-                    a,
-                    b,
-                    engine.solo_baseline(a, ctx),
-                    engine.solo_baseline(b, ctx),
-                    ctx,
-                ),
-            )
+            (index, engine.run_pair_cached(a, b, ctx))
         });
         for (index, outcome) in outcomes {
             ck.cells.insert(index, outcome);

@@ -218,6 +218,9 @@ impl BaselineCache {
 pub struct Engine {
     par: Parallelism,
     baselines: BaselineCache,
+    /// Optional persistent result cache (`--cache-dir` / `JSMT_CACHE`);
+    /// cells found here are verified, never recomputed.
+    result_cache: Option<Arc<jsmt_cache::Cache>>,
     job_timings: Mutex<Vec<JobTiming>>,
     stage_timings: Mutex<Vec<StageTiming>>,
 }
@@ -228,6 +231,7 @@ impl Engine {
         Engine {
             par,
             baselines: BaselineCache::default(),
+            result_cache: None,
             job_timings: Mutex::new(Vec::new()),
             stage_timings: Mutex::new(Vec::new()),
         }
@@ -246,6 +250,19 @@ impl Engine {
     /// The engine's parallelism setting.
     pub fn parallelism(&self) -> Parallelism {
         self.par
+    }
+
+    /// Attach a persistent result cache: solo baselines and pair cells
+    /// are looked up (and, on miss, stored) there, in addition to the
+    /// in-memory memoization. A cached cell is byte-identical to a
+    /// simulated one, so attaching a cache never changes output.
+    pub fn set_result_cache(&mut self, cache: Arc<jsmt_cache::Cache>) {
+        self.result_cache = Some(cache);
+    }
+
+    /// The attached persistent result cache, if any.
+    pub fn result_cache(&self) -> Option<&jsmt_cache::Cache> {
+        self.result_cache.as_deref()
     }
 
     /// Run one stage of independent jobs and return their outputs in
@@ -330,13 +347,32 @@ impl Engine {
     }
 
     /// Memoized [`solo_baseline_cycles`]: the first request per
-    /// `(benchmark, scale, seed, repeats)` simulates it, every later
-    /// request (any worker) is a cache hit.
+    /// `(benchmark, scale, seed, repeats)` consults the persistent
+    /// result cache (when attached) and simulates only on a true miss;
+    /// every later request (any worker) is an in-memory hit.
     pub fn solo_baseline(&self, id: BenchmarkId, ctx: &ExperimentCtx) -> u64 {
         self.baselines
-            .get_or_compute(baseline_key(id, ctx, false), || {
-                solo_baseline_cycles(id, ctx)
+            .get_or_compute(baseline_key(id, ctx, false), || match &self.result_cache {
+                Some(cache) => super::rescache::cached_solo_baseline(cache, id, ctx),
+                None => solo_baseline_cycles(id, ctx),
             })
+    }
+
+    /// [`super::run_pair`] through the persistent result cache (when
+    /// attached): the cell is simulated only if no verified entry
+    /// exists, and a fresh simulation is stored for every future run.
+    pub fn run_pair_cached(
+        &self,
+        a: BenchmarkId,
+        b: BenchmarkId,
+        ctx: &ExperimentCtx,
+    ) -> super::PairOutcome {
+        let a_solo = self.solo_baseline(a, ctx);
+        let b_solo = self.solo_baseline(b, ctx);
+        match &self.result_cache {
+            Some(cache) => super::rescache::cached_run_pair(cache, a, b, a_solo, b_solo, ctx),
+            None => super::run_pair(a, b, a_solo, b_solo, ctx),
+        }
     }
 
     /// Compute the baselines for `ids` as one engine stage, so that the

@@ -13,6 +13,8 @@ mod engine;
 mod litmus;
 mod mt;
 mod pairing;
+mod rescache;
+mod shard;
 mod single;
 pub mod supervise;
 mod threadcount;
@@ -44,11 +46,12 @@ pub use pairing::{
     render_fig8, render_fig9, render_pairing_analysis, render_pairing_prediction, run_pair,
     tc_misses, PairGrid, PairOutcome, PairingAnalysis, PairingPrediction, SupervisedGrid,
 };
+pub use shard::{pair_matrix_sharded, shard_worker_main, ShardCfg};
 pub use single::{
     fig10_single_thread_impact, fig10_single_thread_impact_on, fig11_self_pairs,
     fig11_self_pairs_on, render_fig10, render_fig11, SinglePoint,
 };
-pub use supervise::{manifest_csv, CellFailure, FailureKind, SupervisorCfg};
+pub use supervise::{backoff_schedule, manifest_csv, CellFailure, FailureKind, SupervisorCfg};
 pub use threadcount::{fig12_ipc_vs_threads, fig12_ipc_vs_threads_on, render_fig12, ThreadPoint};
 
 use crate::{RunReport, System, SystemConfig};

@@ -133,13 +133,7 @@ pub fn pair_matrix_on(engine: &Engine, ctx: &ExperimentCtx) -> PairGrid {
         .flat_map(|&a| benchmarks.iter().map(move |&b| (a, b)))
         .collect();
     let flat = engine.run("pair-grid", cells, |&(a, b)| {
-        run_pair(
-            a,
-            b,
-            engine.solo_baseline(a, ctx),
-            engine.solo_baseline(b, ctx),
-            ctx,
-        )
+        engine.run_pair_cached(a, b, ctx)
     });
     let mut outcomes = Vec::with_capacity(n);
     let mut it = flat.into_iter();
@@ -269,13 +263,7 @@ pub fn pair_matrix_supervised(
         .map(|(a, b)| (format!("{}+{}", a.name(), b.name()), (a, b)))
         .collect();
     let outcomes = engine.run_supervised("pair-grid", cfg, ctx, pair_jobs, |&(a, b)| {
-        run_pair(
-            a,
-            b,
-            engine.solo_baseline(a, ctx),
-            engine.solo_baseline(b, ctx),
-            ctx,
-        )
+        engine.run_pair_cached(a, b, ctx)
     });
     let mut cells = std::collections::BTreeMap::new();
     for (index, r) in outcomes.into_iter().enumerate() {

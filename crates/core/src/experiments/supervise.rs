@@ -63,6 +63,12 @@ pub struct SupervisorCfg {
     pub checkpoint_every: u64,
     /// Where to write crash-repro bundles; `None` disables bundles.
     pub bundle_dir: Option<PathBuf>,
+    /// Base delay of the decorrelated-jitter backoff slept between a
+    /// failed attempt and its retry; `Duration::ZERO` disables sleeping
+    /// (a zero schedule is still recorded in the manifest).
+    pub backoff_base: Duration,
+    /// Upper clamp on any single backoff delay.
+    pub backoff_cap: Duration,
 }
 
 impl Default for SupervisorCfg {
@@ -73,8 +79,55 @@ impl Default for SupervisorCfg {
             livelock_cycles: 2_000_000,
             checkpoint_every: 0,
             bundle_dir: None,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_millis(400),
         }
     }
+}
+
+/// The deterministic seeded backoff schedule for a cell: `attempts - 1`
+/// delays of decorrelated jitter (`d_{n+1} = uniform(base, 3·d_n)`,
+/// clamped to `cap`), seeded from `(seed, label)` so every attempt
+/// sequence — in this process or a respawned shard worker — sleeps the
+/// same schedule. Retrying immediately after a failure is the worst
+/// possible policy for the faults retries exist for (another process
+/// holding a file, an overloaded host, a racing cache writer); jitter
+/// decorrelates the retry storms of neighboring cells while staying
+/// bit-reproducible.
+pub fn backoff_schedule(
+    seed: u64,
+    label: &str,
+    attempts: u32,
+    base: Duration,
+    cap: Duration,
+) -> Vec<Duration> {
+    let n = attempts.saturating_sub(1) as usize;
+    if base.is_zero() {
+        return vec![Duration::ZERO; n];
+    }
+    let base_ms = u64::try_from(base.as_millis()).unwrap_or(u64::MAX).max(1);
+    let cap_ms = u64::try_from(cap.as_millis())
+        .unwrap_or(u64::MAX)
+        .max(base_ms);
+    // splitmix64 over (seed, label): cheap, stateless, and good enough
+    // jitter for spreading retries.
+    let mut state = seed ^ jsmt_snapshot::fnv64(label.as_bytes());
+    let mut mix = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut prev = base_ms;
+    (0..n)
+        .map(|_| {
+            let hi = prev.saturating_mul(3).clamp(base_ms, cap_ms);
+            let d = base_ms + mix() % (hi - base_ms + 1);
+            prev = d;
+            Duration::from_millis(d)
+        })
+        .collect()
 }
 
 /// How a supervised cell failed.
@@ -89,6 +142,11 @@ pub enum FailureKind {
     Deadline,
     /// The cell was cancelled from outside.
     Cancelled,
+    /// The shard worker *process* executing the cell died (SIGKILL,
+    /// abort, unexpected exit) — only produced by the multi-process
+    /// dispatcher; in-thread supervision turns process-safe failures
+    /// into one of the kinds above instead.
+    WorkerDeath,
 }
 
 impl FailureKind {
@@ -99,6 +157,7 @@ impl FailureKind {
             FailureKind::Livelock => "livelock",
             FailureKind::Deadline => "deadline",
             FailureKind::Cancelled => "cancelled",
+            FailureKind::WorkerDeath => "worker-death",
         }
     }
 
@@ -109,6 +168,7 @@ impl FailureKind {
             "livelock" => FailureKind::Livelock,
             "deadline" => FailureKind::Deadline,
             "cancelled" => FailureKind::Cancelled,
+            "worker-death" => FailureKind::WorkerDeath,
             _ => return None,
         })
     }
@@ -120,6 +180,7 @@ impl FailureKind {
             FailureKind::Livelock => 1,
             FailureKind::Deadline => 2,
             FailureKind::Cancelled => 3,
+            FailureKind::WorkerDeath => 4,
         }
     }
 
@@ -130,6 +191,7 @@ impl FailureKind {
             1 => FailureKind::Livelock,
             2 => FailureKind::Deadline,
             3 => FailureKind::Cancelled,
+            4 => FailureKind::WorkerDeath,
             _ => return None,
         })
     }
@@ -161,6 +223,9 @@ pub struct CellFailure {
     pub message: String,
     /// Attempts executed (always `retries + 1` for a recorded failure).
     pub attempts: u32,
+    /// The deterministic backoff schedule (milliseconds slept between
+    /// consecutive attempts; `attempts - 1` entries).
+    pub backoff_ms: Vec<u64>,
     /// Crash-repro bundle path, when one was written.
     pub bundle: Option<PathBuf>,
 }
@@ -254,7 +319,7 @@ pub struct Supervision {
 }
 
 impl Supervision {
-    fn new(cfg: &SupervisorCfg) -> Self {
+    pub(crate) fn new(cfg: &SupervisorCfg) -> Self {
         Supervision {
             flag: Arc::new(AtomicU8::new(RUNNING)),
             cycle: Arc::new(AtomicU64::new(0)),
@@ -281,11 +346,11 @@ pub(crate) fn current() -> Option<Supervision> {
     CURRENT.with(|c| c.borrow().clone())
 }
 
-struct SupervisionGuard {
+pub(crate) struct SupervisionGuard {
     prev: Option<Supervision>,
 }
 
-fn install(sup: Supervision) -> SupervisionGuard {
+pub(crate) fn install(sup: Supervision) -> SupervisionGuard {
     let prev = CURRENT.with(|c| c.replace(Some(sup)));
     SupervisionGuard { prev }
 }
@@ -301,7 +366,7 @@ impl Drop for SupervisionGuard {
 /// watchdog aborts), and the default hook would print a backtrace per
 /// attempt. Filter exactly our typed payloads; organic panics still
 /// reach the previous hook untouched.
-fn silence_supervised_panics() {
+pub(crate) fn silence_supervised_panics() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let previous = panic::take_hook();
@@ -404,15 +469,17 @@ impl Drop for MonitorSlot<'_> {
     }
 }
 
-/// Attribution extracted from a caught panic payload.
-struct Diagnosis {
-    kind: FailureKind,
-    component: String,
-    cycle: u64,
-    message: String,
+/// Attribution extracted from a caught panic payload (also used by the
+/// multi-process shard worker to serialize a failure over its reply
+/// pipe).
+pub(crate) struct Diagnosis {
+    pub(crate) kind: FailureKind,
+    pub(crate) component: String,
+    pub(crate) cycle: u64,
+    pub(crate) message: String,
 }
 
-fn diagnose(payload: Box<dyn std::any::Any + Send>, sup: &Supervision) -> Diagnosis {
+pub(crate) fn diagnose(payload: Box<dyn std::any::Any + Send>, sup: &Supervision) -> Diagnosis {
     if let Some(abort) = payload.downcast_ref::<CellAbort>() {
         let (kind, cycle) = match *abort {
             CellAbort::Livelock { cycle, .. } => (FailureKind::Livelock, cycle),
@@ -500,6 +567,13 @@ fn supervise_one<I, O>(
     let scope_label = format!("{stage}/{label}");
     let mut last: Option<(Diagnosis, CrashTail)> = None;
     let attempts = cfg.retries + 1;
+    let schedule = backoff_schedule(
+        ctx.seed,
+        &scope_label,
+        attempts,
+        cfg.backoff_base,
+        cfg.backoff_cap,
+    );
     for attempt in 0..attempts {
         let sup = Supervision::new(cfg);
         let _slot = monitor.map(|m| m.watch(Arc::clone(&sup.flag)));
@@ -515,6 +589,11 @@ fn supervise_one<I, O>(
                 let diagnosis = diagnose(payload, &sup);
                 let tail = std::mem::take(&mut *sup.tail.lock().expect("crash tail"));
                 last = Some((diagnosis, tail));
+                if let Some(delay) = schedule.get(attempt as usize) {
+                    if !delay.is_zero() {
+                        std::thread::sleep(*delay);
+                    }
+                }
             }
         }
     }
@@ -528,6 +607,7 @@ fn supervise_one<I, O>(
         cycle: diagnosis.cycle,
         message: diagnosis.message,
         attempts,
+        backoff_ms: schedule.iter().map(|d| d.as_millis() as u64).collect(),
         bundle: None,
     };
     if let Some(dir) = &cfg.bundle_dir {
@@ -556,6 +636,7 @@ pub fn manifest_csv(failures: &[CellFailure]) -> String {
         "component".into(),
         "cycle".into(),
         "attempts".into(),
+        "backoff_ms".into(),
         "bundle".into(),
         "message".into(),
     ]);
@@ -568,6 +649,12 @@ pub fn manifest_csv(failures: &[CellFailure]) -> String {
             f.component.clone(),
             f.cycle.to_string(),
             f.attempts.to_string(),
+            // The slept schedule, `/`-separated so the CSV shape holds.
+            f.backoff_ms
+                .iter()
+                .map(|ms| ms.to_string())
+                .collect::<Vec<_>>()
+                .join("/"),
             f.bundle
                 .as_ref()
                 .map(|p| p.display().to_string())
@@ -640,20 +727,88 @@ mod tests {
             cycle: 123456,
             message: "no retirement,\nfor a while".into(),
             attempts: 2,
+            backoff_ms: vec![31],
             bundle: Some(PathBuf::from("/tmp/b.crash")),
         }];
         let csv = manifest_csv(&failures);
         let mut lines = csv.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "stage,label,index,kind,component,cycle,attempts,bundle,message"
+            "stage,label,index,kind,component,cycle,attempts,backoff_ms,bundle,message"
         );
         assert_eq!(
             lines.next().unwrap(),
-            "pair-grid,compress+db,10,livelock,watchdog,123456,2,/tmp/b.crash,no retirement; for a while"
+            "pair-grid,compress+db,10,livelock,watchdog,123456,2,31,/tmp/b.crash,no retirement; for a while"
         );
         assert_eq!(lines.next(), None);
         assert_eq!(manifest_csv(&[]).lines().count(), 1);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_bounded_and_label_keyed() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(120);
+        let a = backoff_schedule(7, "pair-grid/compress+db", 5, base, cap);
+        let b = backoff_schedule(7, "pair-grid/compress+db", 5, base, cap);
+        assert_eq!(a, b, "same (seed, label) → same schedule");
+        assert_eq!(a.len(), 4);
+        for d in &a {
+            assert!(
+                *d >= base && *d <= cap,
+                "delay {d:?} out of [{base:?}, {cap:?}]"
+            );
+        }
+        let other = backoff_schedule(7, "pair-grid/jess+db", 5, base, cap);
+        assert_ne!(a, other, "different labels decorrelate");
+        let reseeded = backoff_schedule(8, "pair-grid/compress+db", 5, base, cap);
+        assert_ne!(a, reseeded, "different seeds decorrelate");
+        // Zero base disables sleeping but keeps the schedule shape.
+        assert_eq!(
+            backoff_schedule(7, "x", 3, Duration::ZERO, cap),
+            vec![Duration::ZERO; 2]
+        );
+        assert!(backoff_schedule(7, "x", 1, base, cap).is_empty());
+        assert!(backoff_schedule(7, "x", 0, base, cap).is_empty());
+    }
+
+    #[test]
+    fn retries_sleep_the_recorded_schedule() {
+        let engine = Engine::serial();
+        let cfg = SupervisorCfg {
+            retries: 2,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(20),
+            ..SupervisorCfg::default()
+        };
+        let t0 = Instant::now();
+        let out = engine.run_supervised(
+            "t",
+            &cfg,
+            &quick_ctx(),
+            vec![("always-dies".to_string(), ())],
+            |&()| -> () { panic!("persistent") },
+        );
+        let elapsed = t0.elapsed();
+        let f = out[0].as_ref().expect_err("persistent failure");
+        let expected = backoff_schedule(
+            quick_ctx().seed,
+            "t/always-dies",
+            3,
+            cfg.backoff_base,
+            cfg.backoff_cap,
+        );
+        assert_eq!(
+            f.backoff_ms,
+            expected
+                .iter()
+                .map(|d| d.as_millis() as u64)
+                .collect::<Vec<_>>()
+        );
+        let slept: Duration = expected.iter().sum();
+        assert!(
+            elapsed >= slept,
+            "attempts must be spaced by the schedule ({elapsed:?} < {slept:?})"
+        );
     }
 
     #[test]
@@ -663,6 +818,7 @@ mod tests {
             FailureKind::Livelock,
             FailureKind::Deadline,
             FailureKind::Cancelled,
+            FailureKind::WorkerDeath,
         ] {
             assert_eq!(FailureKind::parse(k.name()), Some(k));
             assert_eq!(FailureKind::from_tag(k.tag()), Some(k));

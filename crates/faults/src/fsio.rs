@@ -20,7 +20,12 @@ use std::path::Path;
 
 /// Durably persist `bytes` at `path` (temp file, fsync, atomic rename,
 /// parent-directory fsync). `target` names the write for the fault
-/// plan (`checkpoint`, `bundle`, …).
+/// plan (`checkpoint`, `bundle`, `cache`, …).
+///
+/// The temp file name embeds the process id, so concurrent shard
+/// workers persisting the same path (e.g. a shared cache entry both
+/// just computed) cannot stomp each other's in-flight temp file; the
+/// final rename is atomic and last-writer-wins with identical bytes.
 ///
 /// # Errors
 ///
@@ -28,23 +33,31 @@ use std::path::Path;
 /// `target`.
 pub fn persist(path: &Path, bytes: &[u8], target: &str) -> io::Result<()> {
     let mut payload = bytes;
-    let mut corrupted;
+    let mut mangled;
     match crate::write_fault(target) {
-        Some(Err(e)) => return Err(e),
-        Some(Ok(())) => {
+        Some(crate::WriteVerdict::Fail(e)) => return Err(e),
+        Some(crate::WriteVerdict::CorruptByte) => {
             // Flip one byte mid-payload: framing stays plausible, the
             // checksum does not.
-            corrupted = bytes.to_vec();
-            if !corrupted.is_empty() {
-                let mid = corrupted.len() / 2;
-                corrupted[mid] ^= 0xA5;
+            mangled = bytes.to_vec();
+            if !mangled.is_empty() {
+                let mid = mangled.len() / 2;
+                mangled[mid] ^= 0xA5;
             }
-            payload = &corrupted;
+            payload = &mangled;
+        }
+        Some(crate::WriteVerdict::Truncate) => {
+            // A torn write: only a prefix reached the disk before the
+            // "crash". Half the payload keeps the header readable so
+            // load-time validation has to catch the missing tail, not
+            // just an unreadable magic.
+            mangled = bytes[..bytes.len() / 2].to_vec();
+            payload = &mangled;
         }
         None => {}
     }
 
-    let tmp = path.with_extension("tmp");
+    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
     {
         let mut f = File::create(&tmp)?;
         f.write_all(payload)?;
@@ -83,10 +96,32 @@ mod tests {
         assert_eq!(fs::read(&path).unwrap(), b"first");
         persist(&path, b"second", "test-target").unwrap();
         assert_eq!(fs::read(&path).unwrap(), b"second");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "state.bin")
+            .collect();
         assert!(
-            !path.with_extension("tmp").exists(),
-            "temp file must not linger"
+            leftovers.is_empty(),
+            "temp files must not linger: {leftovers:?}"
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_persists_a_truncated_prefix() {
+        let _l = crate::tests::lock();
+        let dir = std::env::temp_dir().join(format!("jsmt-fsio-torn-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("entry.cell");
+        crate::install_spec("torn,target=torn-test,nth=1").unwrap();
+        persist(&path, b"0123456789", "torn-test").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"0123456789"); // write #0 clean
+        persist(&path, b"0123456789", "torn-test").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"01234"); // write #1 torn
+        persist(&path, b"0123456789", "torn-test").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"0123456789"); // #2 clean again
+        crate::clear();
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -21,8 +21,12 @@
 //! panic,component=gc,cycle=5000,scope=pair-grid/compress+db
 //! starve,cycle=2000,scope=pair-grid/jess+db,attempts=1
 //! worker-panic,scope=pair-grid/db+db
+//! worker-kill,scope=shard/compress+db,attempts=1
 //! io-error,target=checkpoint,nth=0
 //! corrupt,target=checkpoint,nth=1
+//! torn,target=cache,nth=0
+//! cache-corrupt,nth=2
+//! cache-torn-write
 //! ```
 //!
 //! * `panic` — `panic_any` an [`InjectedPanic`] from the named component
@@ -32,10 +36,19 @@
 //!   so forward-progress watchdogs can be exercised.
 //! * `worker-panic` — the worker thread dies at job pickup, before the
 //!   simulation starts.
+//! * `worker-kill` — the worker **process** aborts at shard pickup
+//!   (models SIGKILL/OOM-kill of a shard worker). With `nth=N` only the
+//!   `N`th matching pickup dies; without it, every matching pickup does.
 //! * `io-error` — the `nth` durable write to the named target fails with
 //!   a synthetic `io::Error`.
 //! * `corrupt` — the `nth` durable write to the named target flips one
 //!   payload byte, so a later load must detect the corruption.
+//! * `torn` — the `nth` durable write to the named target is truncated
+//!   mid-payload (a torn write that beat the fsync), so a later load
+//!   sees a short, checksum-less file.
+//! * `cache-corrupt` / `cache-torn-write` — sugar for
+//!   `corrupt,target=cache` / `torn,target=cache`; the drills named in
+//!   the robustness CI matrix.
 //!
 //! `scope=LABEL` restricts a clause to one supervised cell (labels look
 //! like `pair-grid/compress+db`); an unscoped clause matches everywhere.
@@ -59,6 +72,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 pub mod fsio;
+
+/// Durable-write target name of the persistent result cache; the
+/// `cache-corrupt` / `cache-torn-write` spec sugar expands to clauses
+/// with this target.
+pub const CACHE_TARGET: &str = "cache";
 
 /// One fault clause of a plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,18 +109,31 @@ pub enum FaultKind {
     },
     /// Kill the worker at job pickup, before the simulation starts.
     WorkerPanic,
+    /// Abort the worker *process* at shard pickup (models SIGKILL).
+    WorkerKill {
+        /// Zero-based pickup occurrence to kill (`None` = every matching
+        /// pickup).
+        nth: Option<u64>,
+    },
     /// Fail the `nth` durable write to `target` with an `io::Error`.
     IoError {
-        /// Write target name (`checkpoint`, `bundle`).
+        /// Write target name (`checkpoint`, `bundle`, `cache`).
         target: String,
         /// Zero-based occurrence to fail.
         nth: u64,
     },
     /// Flip a byte in the `nth` durable write to `target`.
     Corrupt {
-        /// Write target name (`checkpoint`, `bundle`).
+        /// Write target name (`checkpoint`, `bundle`, `cache`).
         target: String,
         /// Zero-based occurrence to corrupt.
+        nth: u64,
+    },
+    /// Truncate the `nth` durable write to `target` mid-payload.
+    Torn {
+        /// Write target name (`checkpoint`, `bundle`, `cache`).
+        target: String,
+        /// Zero-based occurrence to tear.
         nth: u64,
     },
 }
@@ -156,7 +187,7 @@ fn parse_clause(clause: &str) -> Result<Fault, String> {
     let mut component = None;
     let mut cycle = None;
     let mut target = None;
-    let mut nth = 0u64;
+    let mut nth = None::<u64>;
     let mut scope = None;
     let mut attempts = None;
     for field in fields {
@@ -173,9 +204,11 @@ fn parse_clause(clause: &str) -> Result<Fault, String> {
             }
             "target" => target = Some(value.to_string()),
             "nth" => {
-                nth = value
-                    .parse::<u64>()
-                    .map_err(|e| format!("fault clause {clause:?}: bad nth {value:?}: {e}"))?;
+                nth = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|e| format!("fault clause {clause:?}: bad nth {value:?}: {e}"))?,
+                );
             }
             "scope" => scope = Some(value.to_string()),
             "attempts" => {
@@ -198,15 +231,31 @@ fn parse_clause(clause: &str) -> Result<Fault, String> {
             cycle: cycle.ok_or_else(|| format!("fault clause {clause:?}: starve needs cycle="))?,
         },
         "worker-panic" => FaultKind::WorkerPanic,
+        "worker-kill" => FaultKind::WorkerKill { nth },
         "io-error" => FaultKind::IoError {
             target: target
                 .ok_or_else(|| format!("fault clause {clause:?}: io-error needs target="))?,
-            nth,
+            nth: nth.unwrap_or(0),
         },
         "corrupt" => FaultKind::Corrupt {
             target: target
                 .ok_or_else(|| format!("fault clause {clause:?}: corrupt needs target="))?,
-            nth,
+            nth: nth.unwrap_or(0),
+        },
+        "torn" => FaultKind::Torn {
+            target: target.ok_or_else(|| format!("fault clause {clause:?}: torn needs target="))?,
+            nth: nth.unwrap_or(0),
+        },
+        // Sugar for the cache robustness drills: the persistent result
+        // cache is the one durable target whose faults are routine
+        // enough to deserve first-class spellings.
+        "cache-corrupt" => FaultKind::Corrupt {
+            target: CACHE_TARGET.to_string(),
+            nth: nth.unwrap_or(0),
+        },
+        "cache-torn-write" => FaultKind::Torn {
+            target: CACHE_TARGET.to_string(),
+            nth: nth.unwrap_or(0),
         },
         other => return Err(format!("unknown fault kind {other:?} in clause {clause:?}")),
     };
@@ -402,6 +451,42 @@ pub fn check_worker() {
     }
 }
 
+/// Fault check at *shard* pickup in a worker process. When an armed
+/// `worker-kill` clause matches, the process aborts — no unwinding, no
+/// cleanup — exactly as a SIGKILL'd or OOM-killed worker would look to
+/// the dispatcher. `nth=N` kills only the `N`th matching pickup (the
+/// occurrence counter is per-process, so a respawned worker starts
+/// fresh); without `nth`, every matching pickup dies and only
+/// `attempts=`/`scope=` bound the blast radius.
+pub fn check_worker_kill() {
+    if worker_kill_fires() {
+        let (scope, attempt) = current_scope();
+        eprintln!("jsmt-faults: injected worker-kill at shard pickup (scope '{scope}', attempt {attempt}); aborting");
+        std::process::abort();
+    }
+}
+
+fn worker_kill_fires() -> bool {
+    if !ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    let Some(state) = state() else { return false };
+    let mut fired = false;
+    for (i, fault) in state.plan.faults.iter().enumerate() {
+        let FaultKind::WorkerKill { nth } = &fault.kind else {
+            continue;
+        };
+        if !applies(fault) {
+            continue;
+        }
+        let seen = state.write_counts[i].fetch_add(1, Ordering::SeqCst);
+        if nth.map(|n| seen == n).unwrap_or(true) {
+            fired = true;
+        }
+    }
+    fired
+}
+
 /// Whether an armed `corrupt` clause targeting `target` fires on this
 /// occurrence. This is the value-corruption twin of the durable-write
 /// hook: components with no byte stream to flip (e.g. the litmus
@@ -430,20 +515,33 @@ pub fn corrupt_armed(target: &str) -> bool {
     fired
 }
 
-/// Whether the next durable write to `target` should fail, and how:
-/// `Some(Err(e))` = fail with `e` before writing anything,
-/// `Some(Ok(()))` = corrupt the payload, `None` = write faithfully.
-/// Each matching clause fires on exactly its `nth` occurrence.
-pub(crate) fn write_fault(target: &str) -> Option<std::io::Result<()>> {
+/// How an injected fault wants the next durable write to misbehave.
+#[derive(Debug)]
+pub(crate) enum WriteVerdict {
+    /// Fail before writing anything.
+    Fail(std::io::Error),
+    /// Write the full payload with one byte flipped mid-stream.
+    CorruptByte,
+    /// Write only a truncated prefix of the payload (torn write).
+    Truncate,
+}
+
+/// Whether the next durable write to `target` should misbehave, and how.
+/// Each matching clause fires on exactly its `nth` occurrence; when
+/// several clauses fire on the same write the last one in the plan wins.
+pub(crate) fn write_fault(target: &str) -> Option<WriteVerdict> {
     if !ARMED.load(Ordering::Relaxed) {
         return None;
     }
     let state = state()?;
     let mut verdict = None;
     for (i, fault) in state.plan.faults.iter().enumerate() {
-        let (t, nth, is_error) = match &fault.kind {
-            FaultKind::IoError { target: t, nth } => (t, *nth, true),
-            FaultKind::Corrupt { target: t, nth } => (t, *nth, false),
+        let (t, nth, make) = match &fault.kind {
+            FaultKind::IoError { target: t, nth } => (
+                t, *nth, None, // built below so the error message can name the occurrence
+            ),
+            FaultKind::Corrupt { target: t, nth } => (t, *nth, Some(WriteVerdict::CorruptByte)),
+            FaultKind::Torn { target: t, nth } => (t, *nth, Some(WriteVerdict::Truncate)),
             _ => continue,
         };
         if t != target || !applies(fault) {
@@ -451,13 +549,11 @@ pub(crate) fn write_fault(target: &str) -> Option<std::io::Result<()>> {
         }
         let seen = state.write_counts[i].fetch_add(1, Ordering::SeqCst);
         if seen == nth {
-            verdict = Some(if is_error {
-                Err(std::io::Error::other(format!(
+            verdict = Some(make.unwrap_or_else(|| {
+                WriteVerdict::Fail(std::io::Error::other(format!(
                     "injected i/o error on write #{seen} to '{target}'"
                 )))
-            } else {
-                Ok(())
-            });
+            }));
         }
     }
     verdict
@@ -471,15 +567,22 @@ mod tests {
     /// touch it.
     static LOCK: Mutex<()> = Mutex::new(());
 
+    /// Shared with `fsio::tests`, which arms plans of its own.
+    pub(crate) fn lock() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     #[test]
     fn parses_every_kind() {
         let plan = FaultPlan::parse(
             "panic,component=gc,cycle=5000,scope=pair-grid/compress+db,attempts=1; \
              starve,cycle=100; worker-panic; io-error,target=checkpoint,nth=2; \
-             corrupt,target=bundle",
+             corrupt,target=bundle; worker-kill,nth=3; torn,target=checkpoint,nth=1; \
+             cache-corrupt,nth=2; cache-torn-write",
         )
         .expect("valid spec");
-        assert_eq!(plan.faults().len(), 5);
+        assert_eq!(plan.faults().len(), 9);
         assert_eq!(
             plan.faults()[0],
             Fault {
@@ -505,6 +608,36 @@ mod tests {
                 nth: 0
             }
         );
+        assert_eq!(
+            plan.faults()[5].kind,
+            FaultKind::WorkerKill { nth: Some(3) }
+        );
+        assert_eq!(
+            plan.faults()[6].kind,
+            FaultKind::Torn {
+                target: "checkpoint".into(),
+                nth: 1
+            }
+        );
+        // The cache drills are sugar over the generic write-target kinds.
+        assert_eq!(
+            plan.faults()[7].kind,
+            FaultKind::Corrupt {
+                target: CACHE_TARGET.into(),
+                nth: 2
+            }
+        );
+        assert_eq!(
+            plan.faults()[8].kind,
+            FaultKind::Torn {
+                target: CACHE_TARGET.into(),
+                nth: 0
+            }
+        );
+        assert_eq!(
+            FaultPlan::parse("worker-kill").unwrap().faults()[0].kind,
+            FaultKind::WorkerKill { nth: None }
+        );
     }
 
     #[test]
@@ -515,6 +648,8 @@ mod tests {
             "panic,component=gc",         // missing cycle
             "starve",                     // missing cycle
             "io-error",                   // missing target
+            "torn",                       // missing target
+            "worker-kill,nth=x",          // unparseable nth
             "frobnicate,cycle=1",         // unknown kind
             "panic,component=gc,cycle=x", // unparseable number
             "panic,component=gc,cycle=1,bogus=2",
@@ -581,14 +716,57 @@ mod tests {
     #[test]
     fn write_faults_fire_on_their_nth_occurrence() {
         let _l = LOCK.lock().unwrap();
-        install_spec("io-error,target=checkpoint,nth=1; corrupt,target=bundle,nth=0").unwrap();
+        install_spec(
+            "io-error,target=checkpoint,nth=1; corrupt,target=bundle,nth=0; \
+             cache-torn-write,nth=1",
+        )
+        .unwrap();
         assert!(write_fault("checkpoint").is_none()); // write #0 passes
-        assert!(matches!(write_fault("checkpoint"), Some(Err(_)))); // #1 fails
+        assert!(matches!(
+            write_fault("checkpoint"),
+            Some(WriteVerdict::Fail(_))
+        )); // #1 fails
         assert!(write_fault("checkpoint").is_none()); // #2 passes again
-        assert!(matches!(write_fault("bundle"), Some(Ok(())))); // corrupt #0
+        assert!(matches!(
+            write_fault("bundle"),
+            Some(WriteVerdict::CorruptByte)
+        )); // corrupt #0
         assert!(write_fault("bundle").is_none());
+        assert!(write_fault(CACHE_TARGET).is_none()); // cache write #0 passes
+        assert!(matches!(
+            write_fault(CACHE_TARGET),
+            Some(WriteVerdict::Truncate)
+        )); // #1 torn
         assert!(write_fault("other").is_none());
         clear();
+    }
+
+    #[test]
+    fn worker_kill_counts_pickups_and_respects_scope() {
+        let _l = LOCK.lock().unwrap();
+        install_spec("worker-kill,nth=1,scope=shard/a+b").unwrap();
+        {
+            let _s = enter_scope("shard/x+y", 0);
+            assert!(!worker_kill_fires()); // wrong scope: not even counted
+        }
+        {
+            let _s = enter_scope("shard/a+b", 0);
+            assert!(!worker_kill_fires()); // pickup #0 survives
+            assert!(worker_kill_fires()); // pickup #1 dies
+            assert!(!worker_kill_fires()); // #2 survives (nth already spent)
+        }
+        install_spec("worker-kill,attempts=1,scope=shard/a+b").unwrap();
+        {
+            let _s = enter_scope("shard/a+b", 0);
+            assert!(worker_kill_fires()); // every first-attempt pickup dies
+            assert!(worker_kill_fires());
+        }
+        {
+            let _s = enter_scope("shard/a+b", 1);
+            assert!(!worker_kill_fires()); // retry attempt survives
+        }
+        clear();
+        assert!(!worker_kill_fires());
     }
 
     #[test]
